@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-full examples clean fmt doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-full:
+	dune exec bench/main.exe -- table2-full
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/paper_examples.exe
+	dune exec examples/video_pipeline.exe
+	dune exec examples/grid_datacutter.exe
+	dune exec examples/replication_sweep.exe
+
+clean:
+	dune clean

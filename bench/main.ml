@@ -1,0 +1,411 @@
+(* Benchmark and reproduction harness.
+
+   Usage:  dune exec bench/main.exe [-- TARGET ...]
+
+   Without arguments, every table and figure of the paper is regenerated at
+   a moderate scale and the Bechamel micro-benchmarks of the computational
+   kernels are run. Targets select a subset:
+
+     table1 example-a example-b example-c tpn-stats sub-tpn critical-cycle
+     gantt-a gantt-b table2 table2-full ablation-poly ablation-mcr
+     calibrate bechamel
+
+   The per-experiment index lives in DESIGN.md §5; measured-vs-paper values
+   are recorded in EXPERIMENTS.md. *)
+
+open Rwt_util
+open Rwt_workflow
+
+let pf fmt = Format.printf fmt
+
+let section title =
+  pf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: round-robin paths of Example A                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1 — paths followed by the first input data (Example A)";
+  let a = Instances.example_a () in
+  pf "%a@." Paths.pp_table (a.Instance.mapping, 8);
+  pf "paper: 6 distinct paths, data set i takes the path of i-6@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 / §4.1 / §4.2: Example A, both models                      *)
+(* ------------------------------------------------------------------ *)
+
+let example_a () =
+  section "Example A (Figure 2, §4.1, §4.2)";
+  let a = Instances.example_a () in
+  List.iter
+    (fun model ->
+      let report = Rwt_core.Analysis.analyze model a in
+      pf "%a@." Rwt_core.Analysis.pp_report report)
+    Comm_model.all;
+  pf "paper: overlap P = 189 = Mct (critical: P0 out-port);@.";
+  pf "       strict Mct = 215.8 (P2) < P = 230.7@.";
+  let sim_o = Rwt_sim.Schedule.measured_period Comm_model.Overlap a in
+  let sim_s = Rwt_sim.Schedule.measured_period Comm_model.Strict a in
+  pf "simulator cross-check: overlap %a, strict %a@." Rat.pp_approx sim_o Rat.pp_approx sim_s
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4 and 5: the complete TPNs of Example A                     *)
+(* ------------------------------------------------------------------ *)
+
+let tpn_stats () =
+  section "Figures 4 & 5 — complete TPNs of Example A";
+  let a = Instances.example_a () in
+  List.iter
+    (fun model ->
+      let net = Rwt_core.Tpn_build.build model a in
+      pf "%s: %a (m = %d rows x %d columns)@." (Comm_model.to_string model)
+        Rwt_petri.Tpn.pp_stats net.Rwt_core.Tpn_build.tpn net.Rwt_core.Tpn_build.m
+        ((2 * net.Rwt_core.Tpn_build.n_stages) - 1);
+      pf "  places by constraint family (Figure 3): %a@." Rwt_core.Tpn_build.pp_census
+        (Rwt_core.Tpn_build.place_census net))
+    Comm_model.all;
+  pf "(full DOT renderings: rwt tpn -e a -m overlap --dot)@."
+
+(* ------------------------------------------------------------------ *)
+(* §4.1, Figure 6: Example B                                           *)
+(* ------------------------------------------------------------------ *)
+
+let example_b () =
+  section "Example B (Figure 6, §4.1) — no critical resource under overlap";
+  let b = Instances.example_b () in
+  let report = Rwt_core.Analysis.analyze Comm_model.Overlap b in
+  pf "%a@." Rwt_core.Analysis.pp_report report;
+  pf "paper: Mct = 258.3 (P2 out-port) < P = 291.7@.";
+  let sim = Rwt_sim.Schedule.measured_period Comm_model.Overlap b in
+  pf "simulator cross-check: %a@." Rat.pp_approx sim
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 12: Gantt diagrams                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gantt_a () =
+  section "Figure 7 — Gantt diagram of Example A, strict (no critical resource)";
+  let a = Instances.example_a () in
+  let sched = Rwt_sim.Schedule.run Comm_model.Strict a ~datasets:30 in
+  (* three periods, like the paper *)
+  print_string (Rwt_sim.Gantt.to_ascii ~width:100 ~from_dataset:6 ~until_dataset:23 sched);
+  pf "utilization over the window (all < 1: every resource idles):@.";
+  List.iter
+    (fun (unit, u) -> pf "  %-8s %a@." unit Rat.pp_approx u)
+    (Rwt_sim.Schedule.utilization sched ~from_dataset:6)
+
+let gantt_b () =
+  section "Figure 12 — Gantt diagram of Example B, overlap (first periods)";
+  let b = Instances.example_b () in
+  let sched = Rwt_sim.Schedule.run Comm_model.Overlap b ~datasets:60 in
+  print_string (Rwt_sim.Gantt.to_ascii ~width:100 ~from_dataset:24 ~until_dataset:47 sched);
+  pf "utilization (P2-out is the bottleneck yet also idles):@.";
+  List.iter
+    (fun (unit, u) -> pf "  %-8s %a@." unit Rat.pp_approx u)
+    (Rwt_sim.Schedule.utilization sched ~from_dataset:24)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: complex critical cycle of Example A, strict               *)
+(* ------------------------------------------------------------------ *)
+
+let critical_cycle () =
+  section "Figure 8 — complex critical cycle of Example A (strict)";
+  let a = Instances.example_a () in
+  let result = Rwt_core.Exact.period Comm_model.Strict a in
+  pf "%a@." (Rwt_core.Exact.pp_critical result) ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9 and 10: communication sub-TPNs                            *)
+(* ------------------------------------------------------------------ *)
+
+let sub_tpn () =
+  section "Figure 9 — sub-TPN of the transmission of F1 (Example A)";
+  let show inst ~file =
+    let analysis = Rwt_core.Poly_overlap.analyze inst in
+    List.iter
+      (function
+        | Rwt_core.Poly_overlap.Comm_col cc when cc.Rwt_core.Poly_overlap.file = file ->
+          pf "F%d: p = %d component(s), pattern u x v = %d x %d, c = %a copies@."
+            cc.Rwt_core.Poly_overlap.file cc.Rwt_core.Poly_overlap.p
+            cc.Rwt_core.Poly_overlap.u cc.Rwt_core.Poly_overlap.v Bigint.pp
+            cc.Rwt_core.Poly_overlap.c;
+          List.iter
+            (fun comp ->
+              pf
+                "  component %d: senders {%s}, receivers {%s}, critical ratio %a -> period bound %a@."
+                comp.Rwt_core.Poly_overlap.q
+                (String.concat ","
+                   (Array.to_list
+                      (Array.map Platform.proc_name comp.Rwt_core.Poly_overlap.senders)))
+                (String.concat ","
+                   (Array.to_list
+                      (Array.map Platform.proc_name comp.Rwt_core.Poly_overlap.receivers)))
+                Rat.pp_approx comp.Rwt_core.Poly_overlap.ratio Rat.pp_approx
+                comp.Rwt_core.Poly_overlap.bound)
+            cc.Rwt_core.Poly_overlap.components
+        | _ -> ())
+      analysis.Rwt_core.Poly_overlap.columns
+  in
+  show (Instances.example_a ()) ~file:1;
+  section "Figure 10 — sub-TPN of the transmission of F0 (Example B)";
+  show (Instances.example_b ()) ~file:0
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11 / 13 / 14 and appendix A: Example C                       *)
+(* ------------------------------------------------------------------ *)
+
+let example_c () =
+  section "Example C (Figures 11, 13, 14; appendix A)";
+  let c = Instances.example_c () in
+  pf "replication vector: (%s)@."
+    (String.concat ", "
+       (Array.to_list
+          (Array.map string_of_int (Mapping.replication_vector c.Instance.mapping))));
+  pf "m = %s (paper: 10395)@." (Bigint.to_string (Mapping.num_paths_big c.Instance.mapping));
+  let analysis = Rwt_core.Poly_overlap.analyze c in
+  pf "%a@." Rwt_core.Poly_overlap.pp_analysis analysis;
+  pf "paper (F1 column): p = 3, u = 7, v = 9, c = 55; the full component is 55 patterns of 7 x 9@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: the experiment campaign                                    *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ~scale () =
+  section
+    (Printf.sprintf
+       "Table 2 — experiments without critical resource (scale %.2f of the paper's 2 x 2576 runs)"
+       scale);
+  let progress label k =
+    if k > 0 && k mod 100 = 0 then Printf.eprintf "  [%s] %d instances...\n%!" label k
+  in
+  let results = Rwt_experiments.Table2.run_all ~scale ~progress () in
+  pf "%a@." Rwt_experiments.Table2.pp_results results;
+  pf "paper (full scale): overlap rows all 0; strict rows 14/220 (<9%%), 0/220, 5/68 (<7%%), 0/68, 10/1000 (<3%%), 0/1000@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_poly () =
+  section "Ablation — Theorem 1 (polynomial) vs full-TPN critical cycle (overlap)";
+  let rows =
+    Rwt_experiments.Ablation.poly_vs_exact
+      ~sizes:[ (3, 8); (4, 12); (5, 16); (6, 20); (6, 26) ]
+      ~samples_per_size:3 ()
+  in
+  pf "%a@." Rwt_experiments.Ablation.pp_poly_rows rows;
+  pf "agreement must be exact on every row; the poly algorithm's cost is driven by Σ(m_i·m_{i+1}), the TPN's by m = lcm(m_i)@."
+
+let ablation_mcr () =
+  section "Ablation — max-cycle-ratio solvers (Howard vs parametric vs Karp)";
+  let rows =
+    Rwt_experiments.Ablation.solver_comparison ~sizes:[ 20; 50; 100; 200 ]
+      ~samples_per_size:3 ()
+  in
+  pf "%a@." Rwt_experiments.Ablation.pp_solver_rows rows
+
+(* ------------------------------------------------------------------ *)
+(* Extensions beyond the paper                                         *)
+(* ------------------------------------------------------------------ *)
+
+let extension_latency () =
+  section "Extension — steady-state latency under periodic admission (Examples A/B)";
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun model ->
+          let l = Rwt_core.Latency.analyze model inst in
+          pf "%s %-8s %a@." name (Comm_model.to_string model) Rwt_core.Latency.pp l)
+        Comm_model.all)
+    [ ("A", Instances.example_a ()); ("B", Instances.example_b ()) ];
+  pf "(replication trades latency for throughput: see the per-class spread)@."
+
+let extension_optimize () =
+  section "Extension — heuristic mapping search (NP-hard companion problem)";
+  let pipeline =
+    Pipeline.of_ints ~work:[| 40; 2600; 900; 5200; 60 |] ~data:[| 8; 40; 40; 6 |]
+  in
+  let platform =
+    Platform.star
+      ~speeds:(Array.map Rat.of_int [| 200; 900; 900; 850; 850; 800; 800; 750; 2500; 2500 |])
+      ~link_bw:(Array.map Rat.of_int [| 25; 120; 120; 120; 120; 120; 120; 120; 250; 250 |])
+  in
+  List.iter
+    (fun model ->
+      let greedy = Rwt_core.Optimize.greedy model pipeline platform in
+      let ls = Rwt_core.Optimize.local_search ~iterations:300 model pipeline platform in
+      pf "%s: greedy period %a -> local search %a (%d evaluations)@."
+        (Comm_model.to_string model) Rat.pp_approx greedy.Rwt_core.Optimize.period
+        Rat.pp_approx ls.Rwt_core.Optimize.period ls.Rwt_core.Optimize.evaluations)
+    Comm_model.all
+
+let extension_stochastic () =
+  section "Extension — dynamic platforms (the paper's §6 future work)";
+  List.iter
+    (fun (name, inst) ->
+      let s = Rwt_experiments.Stochastic.run ~samples:120 Comm_model.Overlap inst in
+      pf "%s (overlap, ε = 1/5): %a@." name Rwt_experiments.Stochastic.pp s)
+    [ ("Example A", Instances.example_a ()); ("Example B", Instances.example_b ());
+      ("minimal 4x3 witness", Instances.minimal_no_critical_overlap ()) ]
+
+let minimal_witness () =
+  section "New result — minimal overlap no-critical-resource witness (4 x 3 replicas)";
+  let inst = Instances.minimal_no_critical_overlap () in
+  let report = Rwt_core.Analysis.analyze Comm_model.Overlap inst in
+  pf "%a@." Rwt_core.Analysis.pp_report report;
+  pf "found by this repository's Table 2 campaign; the paper's own campaign found 0      overlap cases in 2576 runs (its smallest known witness, Example B, is 3 x 4)@."
+
+let extension_sensitivity () =
+  section "Extension — what-if sensitivity: which upgrade helps? (Example B)";
+  List.iter
+    (fun model ->
+      let s = Rwt_core.Sensitivity.analyze model (Instances.example_b ()) in
+      pf "%s:@.%a@." (Comm_model.to_string model) Rwt_core.Sensitivity.pp s)
+    Comm_model.all;
+  pf "note: under overlap, doubling ANY processor speed is useless — only the seven@.";
+  pf "critical-cycle links matter, although P2-out has the largest cycle-time.@."
+
+let gap_distribution () =
+  section "Extension — distribution of the replication gap (P − Mct)/Mct";
+  List.iter
+    (fun (label, cfg) ->
+      List.iter
+        (fun model ->
+          let h = Rwt_experiments.Gap_hist.run ~samples:250 model cfg in
+          pf "%s / %a@." label Rwt_experiments.Gap_hist.pp h)
+        Comm_model.all)
+    [ ( "(3,7), comp 1, comm 5-10",
+        { Rwt_experiments.Generator.n_stages = 3; p = 7; comp = (1, 1); comm = (5, 10) } );
+      ( "(2,7), comp 1, comm 5-10",
+        { Rwt_experiments.Generator.n_stages = 2; p = 7; comp = (1, 1); comm = (5, 10) } ) ]
+
+let calibrate () =
+  section "Calibration — figure-label assignments of Examples A and B (DESIGN.md §4)";
+  List.iter
+    (fun (name, ok) -> pf "  %-55s %s@." name (if ok then "ok" else "FAIL"))
+    (Rwt_experiments.Calibrate.verify_published ());
+  let b = Rwt_experiments.Calibrate.example_b_candidates () in
+  pf "example B: %d assignments match the published values, %d with a unique critical resource@."
+    (List.length b)
+    (List.length (List.filter (fun c -> c.Rwt_experiments.Calibrate.unique_critical) b));
+  let a = Rwt_experiments.Calibrate.example_a_candidates () in
+  pf "example A: %d of 4320 assignments match the published values@." (List.length a)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the kernels                            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  section "Bechamel micro-benchmarks (one per reproduced table/figure kernel)";
+  let open Bechamel in
+  let a = Instances.example_a () in
+  let b = Instances.example_b () in
+  let c = Instances.example_c () in
+  let strict_net = Rwt_core.Tpn_build.build Comm_model.Strict a in
+  let strict_graph = Rwt_petri.Mcr.graph_of_tpn strict_net.Rwt_core.Tpn_build.tpn in
+  let rnd =
+    let r = Prng.create 5 in
+    Rwt_experiments.Generator.generate r
+      { Rwt_experiments.Generator.n_stages = 10; p = 20; comp = (5, 15); comm = (5, 15) }
+  in
+  let tests =
+    [ Test.make ~name:"table1/paths-example-a"
+        (Staged.stage (fun () -> ignore (Paths.distinct_paths a.Instance.mapping)));
+      Test.make ~name:"fig2/poly-period-example-a"
+        (Staged.stage (fun () -> ignore (Rwt_core.Poly_overlap.period a)));
+      Test.make ~name:"fig4/tpn-build-example-a"
+        (Staged.stage (fun () -> ignore (Rwt_core.Tpn_build.build Comm_model.Overlap a)));
+      Test.make ~name:"sec42/strict-exact-example-a"
+        (Staged.stage (fun () -> ignore (Rwt_core.Exact.period Comm_model.Strict a)));
+      Test.make ~name:"fig6/poly-period-example-b"
+        (Staged.stage (fun () -> ignore (Rwt_core.Poly_overlap.period b)));
+      Test.make ~name:"fig7/simulate-gantt-example-a"
+        (Staged.stage (fun () ->
+             let sched = Rwt_sim.Schedule.run Comm_model.Strict a ~datasets:30 in
+             ignore (Rwt_sim.Gantt.to_ascii ~width:100 sched)));
+      Test.make ~name:"fig8/critical-cycle-strict-a"
+        (Staged.stage (fun () -> ignore (Rwt_petri.Mcr.Exact.max_cycle_ratio strict_graph)));
+      Test.make ~name:"fig9/pattern-graph-mcr-a-f1"
+        (Staged.stage (fun () ->
+             ignore
+               (Rwt_petri.Mcr.Exact.max_cycle_ratio
+                  (Rwt_core.Poly_overlap.pattern_graph a ~file:1 ~q:0))));
+      Test.make ~name:"fig11/poly-period-example-c"
+        (Staged.stage (fun () -> ignore (Rwt_core.Poly_overlap.period c)));
+      Test.make ~name:"table2/one-(10,20)-instance-overlap"
+        (Staged.stage (fun () -> ignore (Rwt_core.Poly_overlap.period rnd)));
+      Test.make ~name:"kernel/parametric-mcr-strict-a"
+        (Staged.stage (fun () -> ignore (Rwt_petri.Mcr.Exact.parametric strict_graph)))
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.5 in
+    Benchmark.all
+      (Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) ())
+      [ Toolkit.Instance.monotonic_clock ]
+      test
+  in
+  let analyze raw =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  pf "%-42s %16s@." "kernel" "ns / run";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> pf "%-42s %16.1f@." name est
+          | _ -> pf "%-42s %16s@." name "n/a")
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_targets =
+  [ ("table1", table1);
+    ("example-a", example_a);
+    ("tpn-stats", tpn_stats);
+    ("example-b", example_b);
+    ("gantt-a", gantt_a);
+    ("gantt-b", gantt_b);
+    ("critical-cycle", critical_cycle);
+    ("sub-tpn", sub_tpn);
+    ("example-c", example_c);
+    ("table2", table2 ~scale:0.1);
+    ("table2-full", table2 ~scale:1.0);
+    ("ablation-poly", ablation_poly);
+    ("ablation-mcr", ablation_mcr);
+    ("ext-latency", extension_latency);
+    ("ext-optimize", extension_optimize);
+    ("ext-stochastic", extension_stochastic);
+    ("ext-sensitivity", extension_sensitivity);
+    ("gap-distribution", gap_distribution);
+    ("minimal-witness", minimal_witness);
+    ("calibrate", calibrate);
+    ("bechamel", bechamel) ]
+
+let default_targets =
+  [ "table1"; "example-a"; "tpn-stats"; "example-b"; "gantt-a"; "gantt-b";
+    "critical-cycle"; "sub-tpn"; "example-c"; "table2"; "ablation-poly";
+    "ablation-mcr"; "ext-latency"; "ext-optimize"; "ext-stochastic";
+    "ext-sensitivity"; "gap-distribution"; "minimal-witness"; "calibrate"; "bechamel" ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as targets) -> targets
+    | _ -> default_targets
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_targets with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown target %S; available: %s\n" name
+          (String.concat ", " (List.map fst all_targets));
+        exit 1)
+    requested

@@ -1,0 +1,431 @@
+(* rwt — replicated-workflow throughput toolbox.
+
+   Command-line front end for the library: compute periods and bounds,
+   inspect round-robin paths, export timed Petri nets, draw Gantt charts,
+   and run the paper's experiment campaigns. *)
+
+open Cmdliner
+open Rwt_util
+open Rwt_workflow
+
+(* --- instance sources: a file or a named example --- *)
+
+let load_instance file example =
+  match (file, example) with
+  | Some _, Some _ -> Error "use either --file or --example, not both"
+  | None, None -> Error "an instance is required: --file <path> or --example <a|b|c|figure1>"
+  | Some path, None -> Format_io.load path
+  | None, Some name ->
+    (match String.lowercase_ascii name with
+     | "a" | "example-a" -> Ok (Instances.example_a ())
+     | "b" | "example-b" -> Ok (Instances.example_b ())
+     | "c" | "example-c" -> Ok (Instances.example_c ())
+     | "no-replication" | "nr" -> Ok (Instances.no_replication ())
+     | other -> Error (Printf.sprintf "unknown example %S (try a, b, c, no-replication)" other))
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH"
+         ~doc:"Instance file (see the repository README for the format).")
+
+let example_arg =
+  Arg.(value & opt (some string) None & info [ "e"; "example" ] ~docv:"NAME"
+         ~doc:"Named paper instance: a, b, c, or no-replication.")
+
+let model_arg =
+  let model_conv =
+    Arg.conv
+      ( (fun s ->
+          match Comm_model.of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg "expected 'overlap' or 'strict'")),
+        fun fmt m -> Format.pp_print_string fmt (Comm_model.to_string m) )
+  in
+  Arg.(value & opt model_conv Comm_model.Overlap
+       & info [ "m"; "model" ] ~docv:"MODEL"
+           ~doc:"Communication model: overlap (default) or strict.")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("rwt: " ^ msg);
+    exit 1
+
+(* --- period --- *)
+
+let method_arg =
+  let method_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "auto" -> Ok Rwt_core.Analysis.Auto
+          | "tpn" -> Ok Rwt_core.Analysis.Tpn
+          | "poly" -> Ok Rwt_core.Analysis.Poly
+          | _ -> Error (`Msg "expected auto, tpn or poly")),
+        fun fmt m ->
+          Format.pp_print_string fmt
+            (match m with
+             | Rwt_core.Analysis.Auto -> "auto"
+             | Rwt_core.Analysis.Tpn -> "tpn"
+             | Rwt_core.Analysis.Poly -> "poly") )
+  in
+  Arg.(value & opt method_conv Rwt_core.Analysis.Auto
+       & info [ "method" ] ~docv:"METHOD"
+           ~doc:"Period computation: auto (default), tpn (full net), poly (Theorem 1).")
+
+let period_cmd =
+  let run file example model method_ exact json =
+    let inst = or_die (load_instance file example) in
+    let report = Rwt_core.Analysis.analyze ~method_ model inst in
+    if json then
+      print_endline
+        (Json.to_string ~pretty:true (Rwt_core.Analysis.report_to_json inst report))
+    else begin
+      Format.printf "%a@." Rwt_core.Analysis.pp_report report;
+      if exact then
+        Format.printf "exact period: %s@." (Rat.to_string report.Rwt_core.Analysis.period)
+    end
+  in
+  let exact_arg =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also print the period as an exact rational.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Full machine-readable report on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "period" ~doc:"Compute the period, throughput and Mct bound of a mapping.")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ method_arg $ exact_arg $ json_arg)
+
+(* --- mct --- *)
+
+let mct_cmd =
+  let run file example model =
+    let inst = or_die (load_instance file example) in
+    Format.printf "%a@." (Cycle_time.pp_table model) inst
+  in
+  Cmd.v
+    (Cmd.info "mct" ~doc:"Print every resource cycle-time and the Mct lower bound.")
+    Term.(const run $ file_arg $ example_arg $ model_arg)
+
+(* --- paths --- *)
+
+let paths_cmd =
+  let run file example k =
+    let inst = or_die (load_instance file example) in
+    let mapping = inst.Instance.mapping in
+    let m = Mapping.num_paths mapping in
+    Format.printf "m = lcm(%s) = %d distinct paths@.%a@."
+      (String.concat ", "
+         (Array.to_list (Array.map string_of_int (Mapping.replication_vector mapping))))
+      m Paths.pp_table
+      (mapping, match k with Some k -> k | None -> min (m + 2) 24)
+  in
+  let k_arg =
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K"
+           ~doc:"How many data sets to list (default: m + 2, capped at 24).")
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"List the round-robin paths of the first data sets (Table 1).")
+    Term.(const run $ file_arg $ example_arg $ k_arg)
+
+(* --- tpn --- *)
+
+let tpn_cmd =
+  let run file example model dot pnml =
+    let inst = or_die (load_instance file example) in
+    let net = Rwt_core.Tpn_build.build model inst in
+    if dot then print_string (Rwt_petri.Tpn.to_dot net.Rwt_core.Tpn_build.tpn)
+    else if pnml then print_string (Rwt_petri.Pnml.to_string net.Rwt_core.Tpn_build.tpn)
+    else
+      Format.printf "%s model: %a (m = %d rows x %d columns)@."
+        (Comm_model.to_string model) Rwt_petri.Tpn.pp_stats net.Rwt_core.Tpn_build.tpn
+        net.Rwt_core.Tpn_build.m
+        ((2 * net.Rwt_core.Tpn_build.n_stages) - 1)
+  in
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT on stdout.") in
+  let pnml_arg =
+    Arg.(value & flag & info [ "pnml" ] ~doc:"Emit PNML (ISO 15909-2) on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "tpn" ~doc:"Build the timed Petri net of the mapping (stats, DOT or PNML).")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ dot_arg $ pnml_arg)
+
+(* --- critical cycle --- *)
+
+let critical_cmd =
+  let run file example model =
+    let inst = or_die (load_instance file example) in
+    let result = Rwt_core.Exact.period model inst in
+    Format.printf "%a@." (Rwt_core.Exact.pp_critical result) ()
+  in
+  Cmd.v
+    (Cmd.info "critical" ~doc:"Show a critical cycle of the TPN (Figure 8).")
+    Term.(const run $ file_arg $ example_arg $ model_arg)
+
+(* --- gantt --- *)
+
+let gantt_cmd =
+  let run file example model datasets from_ds until_ds width text export utilization =
+    let inst = or_die (load_instance file example) in
+    let m = Mapping.num_paths inst.Instance.mapping in
+    let datasets = match datasets with Some d -> d | None -> 4 * m in
+    let sched = Rwt_sim.Schedule.run model inst ~datasets in
+    let from_dataset = match from_ds with Some d -> d | None -> 2 * m in
+    let until_dataset = match until_ds with Some d -> d | None -> (3 * m) - 1 in
+    (match export with
+     | Some "json" -> print_string (Rwt_sim.Trace_export.to_json ~pretty:true sched)
+     | Some "csv" -> print_string (Rwt_sim.Trace_export.to_csv sched)
+     | Some other ->
+       prerr_endline (Printf.sprintf "rwt: unknown export format %S (json or csv)" other);
+       exit 1
+     | None ->
+       if text then print_string (Rwt_sim.Gantt.to_text ~from_dataset ~until_dataset sched)
+       else print_string (Rwt_sim.Gantt.to_ascii ~width ~from_dataset ~until_dataset sched));
+    if utilization then begin
+      Format.printf "@.utilization from data set %d:@." from_dataset;
+      List.iter
+        (fun (unit, u) -> Format.printf "  %-8s %a@." unit Rat.pp_approx u)
+        (Rwt_sim.Schedule.utilization sched ~from_dataset)
+    end
+  in
+  let datasets_arg =
+    Arg.(value & opt (some int) None & info [ "datasets" ] ~docv:"N"
+           ~doc:"Simulation horizon (default 4m).")
+  in
+  let from_arg =
+    Arg.(value & opt (some int) None & info [ "from" ] ~docv:"D"
+           ~doc:"First data set shown (default 2m: past the transient).")
+  in
+  let until_arg =
+    Arg.(value & opt (some int) None & info [ "until" ] ~docv:"D"
+           ~doc:"Last data set shown (default 3m-1: one full period).")
+  in
+  let width_arg =
+    Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS" ~doc:"Chart width.")
+  in
+  let text_arg =
+    Arg.(value & flag & info [ "text" ] ~doc:"Exact textual intervals instead of a chart.")
+  in
+  let util_arg =
+    Arg.(value & flag & info [ "utilization" ] ~doc:"Also print per-resource utilization.")
+  in
+  let export_arg =
+    Arg.(value & opt (some string) None & info [ "export" ] ~docv:"FMT"
+           ~doc:"Dump the whole trace as json or csv instead of drawing.")
+  in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Simulate the schedule and draw it (Figures 7 and 12).")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ datasets_arg $ from_arg
+          $ until_arg $ width_arg $ text_arg $ export_arg $ util_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let run file example model blocks =
+    let inst = or_die (load_instance file example) in
+    let measured = Rwt_sim.Schedule.measured_period ~blocks model inst in
+    Format.printf "measured period: %a (%s)@." Rat.pp_approx measured (Rat.to_string measured)
+  in
+  let blocks_arg =
+    Arg.(value & opt int 40 & info [ "blocks" ] ~docv:"K" ~doc:"Horizon in blocks of m data sets.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Measure the steady-state period operationally.")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ blocks_arg)
+
+(* --- show / export an instance --- *)
+
+let show_cmd =
+  let run file example dot =
+    let inst = or_die (load_instance file example) in
+    if dot then print_string (Instance_dot.render inst)
+    else print_string (Format_io.to_string inst)
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Figure 2-style Graphviz rendering instead.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print an instance in the textual format (e.g. to export an example).")
+    Term.(const run $ file_arg $ example_arg $ dot_arg)
+
+(* --- certificate --- *)
+
+let certificate_cmd =
+  let run file example model verify_only =
+    let inst = or_die (load_instance file example) in
+    let net = Rwt_core.Tpn_build.build model inst in
+    let g = Rwt_petri.Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn in
+    match Rwt_petri.Certificate.make g with
+    | None -> prerr_endline "rwt: acyclic net, nothing to certify"; exit 1
+    | Some cert ->
+      (match Rwt_petri.Certificate.check g cert with
+       | Error msg -> prerr_endline ("rwt: certificate check failed: " ^ msg); exit 1
+       | Ok () ->
+         Format.eprintf "certificate verified: period %a = ratio %s over %d rows@."
+           Rat.pp_approx
+           (Rat.div_int cert.Rwt_petri.Certificate.lambda net.Rwt_core.Tpn_build.m)
+           (Rat.to_string cert.Rwt_petri.Certificate.lambda)
+           net.Rwt_core.Tpn_build.m;
+         if not verify_only then
+           print_endline (Rwt_petri.Certificate.to_json cert))
+  in
+  let verify_arg =
+    Arg.(value & flag & info [ "verify-only" ] ~doc:"Check but do not print the certificate.")
+  in
+  Cmd.v
+    (Cmd.info "certificate"
+       ~doc:"Emit (and independently re-check) an optimality certificate for the              period: a node potential plus a witness cycle, verifiable in one O(E)              pass of exact arithmetic.")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ verify_arg)
+
+(* --- sensitivity --- *)
+
+let sensitivity_cmd =
+  let run file example model factor =
+    let inst = or_die (load_instance file example) in
+    let factor =
+      try Rat.of_string factor with _ ->
+        prerr_endline "rwt: bad --factor (rational expected)";
+        exit 1
+    in
+    let s = Rwt_core.Sensitivity.analyze ~factor model inst in
+    Format.printf "%a@." Rwt_core.Sensitivity.pp s
+  in
+  let factor_arg =
+    Arg.(value & opt string "2" & info [ "factor" ] ~docv:"Q"
+           ~doc:"Upgrade factor applied to each resource in turn (default 2).")
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"What-if analysis: the exact period after upgrading each processor or              link, ranked. Shows which resources actually sit on the critical cycle.")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ factor_arg)
+
+(* --- latency --- *)
+
+let latency_cmd =
+  let run file example model margin =
+    let inst = or_die (load_instance file example) in
+    let margin =
+      match margin with
+      | None -> Rat.zero
+      | Some s ->
+        (try Rat.of_string s with _ ->
+          prerr_endline "rwt: bad --margin (rational expected)";
+          exit 1)
+    in
+    let l = Rwt_core.Latency.analyze ~margin model inst in
+    Format.printf "%a@." Rwt_core.Latency.pp l;
+    Array.iteri
+      (fun r lat -> Format.printf "  class %d: %a@." r Rat.pp_approx lat)
+      l.Rwt_core.Latency.per_residue
+  in
+  let margin_arg =
+    Arg.(value & opt (some string) None & info [ "margin" ] ~docv:"Q"
+           ~doc:"Release slack: data sets enter every period*(1+Q) (default 0).")
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Steady-state latency under periodic admission.")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ margin_arg)
+
+(* --- optimize --- *)
+
+let optimize_cmd =
+  let run file example model iterations seed =
+    let inst = or_die (load_instance file example) in
+    let pipeline = inst.Instance.pipeline and platform = inst.Instance.platform in
+    let greedy = Rwt_core.Optimize.greedy model pipeline platform in
+    Format.printf "greedy baseline:@.%a@.@." Rwt_core.Optimize.pp greedy;
+    let ls = Rwt_core.Optimize.local_search ~seed ~iterations model pipeline platform in
+    Format.printf "local search:@.%a@." Rwt_core.Optimize.pp ls;
+    let given = Rwt_core.Analysis.analyze model inst in
+    Format.printf "@.(the instance's own mapping has period %a)@." Rat.pp_approx
+      given.Rwt_core.Analysis.period
+  in
+  let iter_arg =
+    Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N" ~doc:"Search moves.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Heuristic mapping search on the instance's platform                                (the paper's NP-hard companion problem).")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ iter_arg $ seed_arg)
+
+(* --- stochastic --- *)
+
+let stochastic_cmd =
+  let run file example model samples epsilon seed =
+    let inst = or_die (load_instance file example) in
+    let epsilon =
+      try Rat.of_string epsilon with _ ->
+        prerr_endline "rwt: bad --epsilon (rational expected)";
+        exit 1
+    in
+    let s = Rwt_experiments.Stochastic.run ~seed ~samples ~epsilon model inst in
+    Format.printf "%a@." Rwt_experiments.Stochastic.pp s
+  in
+  let samples_arg =
+    Arg.(value & opt int 200 & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo samples.")
+  in
+  let eps_arg =
+    Arg.(value & opt string "1/5" & info [ "epsilon" ] ~docv:"Q"
+           ~doc:"Speed/bandwidth variability: factors uniform in [1-Q, 1+Q].")
+  in
+  let seed_arg = Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "stochastic" ~doc:"Period distribution over a dynamic platform                                  (the paper's stated future work).")
+    Term.(const run $ file_arg $ example_arg $ model_arg $ samples_arg $ eps_arg $ seed_arg)
+
+(* --- table2 --- *)
+
+let table2_cmd =
+  let run scale seed full =
+    let scale = if full then 1.0 else scale in
+    let progress = (fun label k -> if k mod 50 = 0 then Printf.eprintf "[%s] %d...\n%!" label k) in
+    let results = Rwt_experiments.Table2.run_all ~seed ~scale ~progress () in
+    Format.printf "%a@." Rwt_experiments.Table2.pp_results results
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S"
+           ~doc:"Fraction of the paper's 5152-experiment campaign (default 0.1).")
+  in
+  let seed_arg = Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Run the full-size campaign.") in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2 experiment campaign.")
+    Term.(const run $ scale_arg $ seed_arg $ full_arg)
+
+(* --- calibrate --- *)
+
+let calibrate_cmd =
+  let run () =
+    Format.printf "published-value checks on the shipped Examples A and B:@.";
+    List.iter
+      (fun (name, ok) -> Format.printf "  %-55s %s@." name (if ok then "ok" else "FAIL"))
+      (Rwt_experiments.Calibrate.verify_published ());
+    let b = Rwt_experiments.Calibrate.example_b_candidates () in
+    Format.printf "example B: %d label assignments reproduce the published values (%d with a unique critical resource)@."
+      (List.length b)
+      (List.length (List.filter (fun c -> c.Rwt_experiments.Calibrate.unique_critical) b));
+    Format.printf "running the example A search (4320 assignments)...@.";
+    let a = Rwt_experiments.Calibrate.example_a_candidates () in
+    Format.printf "example A: %d label assignments reproduce the published values@."
+      (List.length a)
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Re-run the figure-label calibration searches (DESIGN.md §4).")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "rwt" ~version:"1.0.0"
+       ~doc:"Throughput of replicated workflows on heterogeneous platforms (Benoit, \
+             Gallet, Gaujal, Robert 2009).")
+    [ period_cmd; mct_cmd; paths_cmd; tpn_cmd; critical_cmd; gantt_cmd; simulate_cmd;
+      show_cmd; certificate_cmd; sensitivity_cmd; latency_cmd; optimize_cmd;
+      stochastic_cmd; table2_cmd; calibrate_cmd ]
+
+let () =
+  (* model-level errors (invalid mapping, lcm overflow, …) become clean
+     diagnostics rather than cmdliner's "internal error" banner *)
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg) ->
+    prerr_endline ("rwt: " ^ msg);
+    exit 2

@@ -1,0 +1,52 @@
+(* The paper's named instances with every published value recomputed.
+
+   Run with: dune exec examples/paper_examples.exe *)
+
+open Rwt_util
+open Rwt_workflow
+
+let hr () = Format.printf "%s@." (String.make 72 '-')
+
+let () =
+  (* --- Example A (Figure 2, Table 1, §4.1, §4.2) --- *)
+  let a = Instances.example_a () in
+  hr ();
+  Format.printf "Example A: S1 replicated x2, S2 replicated x3 (m = %d paths)@."
+    (Mapping.num_paths a.Instance.mapping);
+  hr ();
+  Format.printf "%a@." Paths.pp_table (a.Instance.mapping, 8);
+  let overlap_a = Rwt_core.Analysis.analyze Comm_model.Overlap a in
+  Format.printf "overlap: %a@.  paper: period 189, critical resource P0-out@.@."
+    Rwt_core.Analysis.pp_report overlap_a;
+  let strict_a = Rwt_core.Analysis.analyze Comm_model.Strict a in
+  Format.printf "strict: %a@.  paper: Mct 215.8 on P2, period 230.7@.@."
+    Rwt_core.Analysis.pp_report strict_a;
+  Format.printf "Gantt of the strict schedule, one period (Figure 7):@.";
+  let sched = Rwt_sim.Schedule.run Comm_model.Strict a ~datasets:24 in
+  print_string (Rwt_sim.Gantt.to_ascii ~width:100 ~from_dataset:12 ~until_dataset:17 sched);
+
+  (* --- Example B (Figure 6, §4.1) --- *)
+  let b = Instances.example_b () in
+  hr ();
+  Format.printf "Example B: S0 replicated x3, S1 replicated x4 (m = %d paths)@."
+    (Mapping.num_paths b.Instance.mapping);
+  hr ();
+  let overlap_b = Rwt_core.Analysis.analyze Comm_model.Overlap b in
+  Format.printf "overlap: %a@.  paper: Mct 258.3 (P2 out-port), period 291.7@.@."
+    Rwt_core.Analysis.pp_report overlap_b;
+  Format.printf "Gantt of the overlap schedule (Figure 12):@.";
+  let sched_b = Rwt_sim.Schedule.run Comm_model.Overlap b ~datasets:48 in
+  print_string
+    (Rwt_sim.Gantt.to_ascii ~width:100 ~from_dataset:24 ~until_dataset:35 sched_b);
+
+  (* --- Example C (Figure 11, appendix A) --- *)
+  let c = Instances.example_c () in
+  hr ();
+  Format.printf "Example C: stages replicated (5, 21, 27, 11)@.";
+  hr ();
+  Format.printf "m = lcm = %s (paper: 10395)@."
+    (Bigint.to_string (Mapping.num_paths_big c.Instance.mapping));
+  let analysis = Rwt_core.Poly_overlap.analyze c in
+  Format.printf "%a@." Rwt_core.Poly_overlap.pp_analysis analysis;
+  Format.printf
+    "paper (transmission of F1): p = 3 connected components, c = 55 patterns of u x v = 7 x 9@."

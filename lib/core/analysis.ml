@@ -1,0 +1,67 @@
+open Rwt_util
+open Rwt_workflow
+
+type method_ = Auto | Tpn | Poly
+
+type report = {
+  model : Comm_model.t;
+  period : Rat.t;
+  throughput : Rat.t;
+  mct : Rat.t;
+  bottleneck : Cycle_time.resource;
+  has_critical_resource : bool;
+  gap : Rat.t;
+}
+
+let analyze ?(method_ = Auto) model inst =
+  let period =
+    match (method_, model) with
+    | Poly, Comm_model.Strict ->
+      invalid_arg "Analysis.analyze: no polynomial algorithm for the strict model"
+    | (Auto | Poly), Comm_model.Overlap -> Poly_overlap.period inst
+    | Auto, Comm_model.Strict | Tpn, _ -> (Exact.period model inst).period
+  in
+  let bottleneck = Cycle_time.critical model inst in
+  let mct = bottleneck.Cycle_time.cexec in
+  let has_critical_resource = Rat.equal period mct in
+  let gap = if Rat.is_zero mct then Rat.zero else Rat.div (Rat.sub period mct) mct in
+  { model; period; throughput = Rat.inv period; mct; bottleneck; has_critical_resource; gap }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>model: %a@,period: %a (throughput %.4g data sets / time unit)@,Mct:    %a (resource %s, stage S%d)@,%s@]"
+    Comm_model.pp r.model Rat.pp_approx r.period
+    (Rat.to_float r.throughput)
+    Rat.pp_approx r.mct
+    (Platform.proc_name r.bottleneck.Cycle_time.proc)
+    r.bottleneck.Cycle_time.stage
+    (if r.has_critical_resource then
+       "the critical resource dictates the period (P = Mct)"
+     else
+       Format.asprintf "no critical resource: P exceeds Mct by %a%%"
+         Rat.pp_approx (Rat.mul_int r.gap 100))
+
+let rat_fields key v =
+  [ (key, Json.String (Rat.to_string v)); (key ^ "_float", Json.Float (Rat.to_float v)) ]
+
+let report_to_json inst r =
+  let resource (res : Cycle_time.resource) =
+    Json.Obj
+      (( "proc", Json.String (Platform.proc_name res.Cycle_time.proc) )
+       :: ("stage", Json.Int res.Cycle_time.stage)
+       :: ("bottleneck", Json.String res.Cycle_time.bottleneck)
+       :: (rat_fields "cin" res.Cycle_time.cin
+           @ rat_fields "ccomp" res.Cycle_time.ccomp
+           @ rat_fields "cout" res.Cycle_time.cout
+           @ rat_fields "cexec" res.Cycle_time.cexec))
+  in
+  Json.Obj
+    (( "instance", Json.String inst.Instance.name )
+     :: ("model", Json.String (Comm_model.to_string r.model))
+     :: ("has_critical_resource", Json.Bool r.has_critical_resource)
+     :: ("m", Json.Int (Mapping.num_paths inst.Instance.mapping))
+     :: (rat_fields "period" r.period
+         @ rat_fields "throughput" r.throughput
+         @ rat_fields "mct" r.mct
+         @ rat_fields "gap" r.gap
+         @ [ ("resources", Json.List (List.map resource (Cycle_time.all r.model inst))) ]))

@@ -1,0 +1,31 @@
+(** End-to-end throughput analysis: period, [Mct] bound, critical-resource
+    detection (is the period dictated by a single saturated resource?) and
+    the gap statistics reported in the paper's Table 2. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type method_ =
+  | Auto  (** Theorem 1 for OVERLAP, full TPN for STRICT *)
+  | Tpn  (** full TPN for both *)
+  | Poly  (** Theorem 1 (OVERLAP only) *)
+
+type report = {
+  model : Comm_model.t;
+  period : Rat.t;
+  throughput : Rat.t;
+  mct : Rat.t;
+  bottleneck : Cycle_time.resource;  (** the resource achieving [Mct] *)
+  has_critical_resource : bool;  (** [period = Mct] exactly *)
+  gap : Rat.t;  (** [(period − Mct) / Mct], 0 when critical *)
+}
+
+val analyze : ?method_:method_ -> Comm_model.t -> Instance.t -> report
+(** @raise Invalid_argument if [Poly] is requested for the STRICT model
+    (no polynomial algorithm is known; the paper leaves it open). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : Instance.t -> report -> Rwt_util.Json.t
+(** Machine-readable report: exact rationals as strings, float
+    approximations alongside, plus the per-resource cycle-time table. *)

@@ -1,0 +1,42 @@
+open Rwt_util
+module Mcr = Rwt_petri.Mcr
+module D = Rwt_graph.Digraph
+
+type result = {
+  period : Rat.t;
+  tpn_ratio : Rat.t;
+  m : int;
+  critical : (int * int) list;
+  net : Tpn_build.t;
+}
+
+let period model inst =
+  let net = Tpn_build.build model inst in
+  let g = Mcr.graph_of_tpn net.Tpn_build.tpn in
+  match Mcr.Exact.max_cycle_ratio g with
+  | None -> invalid_arg "Exact.period: net has no circuit"
+  | Some w ->
+    let critical =
+      List.map
+        (fun eid -> Tpn_build.row_col net (D.edge g eid).D.src)
+        w.Mcr.Exact.cycle
+    in
+    { period = Rat.div_int w.Mcr.Exact.ratio net.Tpn_build.m;
+      tpn_ratio = w.Mcr.Exact.ratio;
+      m = net.Tpn_build.m;
+      critical;
+      net }
+
+let throughput model inst = Rat.inv (period model inst).period
+
+let pp_critical result fmt () =
+  Format.fprintf fmt "@[<v>critical cycle (%d transitions, ratio %a, period %a):@,"
+    (List.length result.critical) Rat.pp_approx result.tpn_ratio Rat.pp_approx
+    result.period;
+  List.iter
+    (fun (row, col) ->
+      let id = Tpn_build.transition_id result.net ~row ~col in
+      Format.fprintf fmt "  row %d: %a@," row Tpn_build.pp_kind
+        (Tpn_build.kind result.net id))
+    result.critical;
+  Format.fprintf fmt "@]"

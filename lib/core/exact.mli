@@ -1,0 +1,28 @@
+(** Exact period of a mapping by critical-cycle analysis of its full timed
+    Petri net (§4). Works for both communication models; cost grows with
+    [m = lcm(m_0, …, m_{n-1})], which the polynomial algorithm
+    ({!Poly_overlap}) avoids for the OVERLAP model. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type result = {
+  period : Rat.t;  (** per data set: critical ratio / m *)
+  tpn_ratio : Rat.t;  (** critical cycle ratio [L(C)/t(C)] of the net *)
+  m : int;
+  critical : (int * int) list;
+      (** (row, col) of the transitions on a critical cycle, in cycle
+          order *)
+  net : Tpn_build.t;
+}
+
+val period : Comm_model.t -> Instance.t -> result
+(** @raise Failure on [m] overflow.
+    @raise Invalid_argument on a degenerate single-stage mapping with no
+    cycle (cannot happen: round-robin circuits always exist). *)
+
+val throughput : Comm_model.t -> Instance.t -> Rat.t
+(** [1 / period]. *)
+
+val pp_critical : result -> Format.formatter -> unit -> unit
+(** Human-readable critical cycle: resources and transition kinds. *)

@@ -1,0 +1,46 @@
+open Rwt_util
+open Rwt_workflow
+
+type t = {
+  period : Rat.t;
+  per_residue : Rat.t array;
+  worst : Rat.t;
+  best : Rat.t;
+  mean : Rat.t;
+}
+
+let analyze ?(margin = Rat.zero) model inst =
+  if Rat.sign margin < 0 then invalid_arg "Latency.analyze: negative margin";
+  let period =
+    match model with
+    | Comm_model.Overlap -> Poly_overlap.period inst
+    | Comm_model.Strict -> (Exact.period model inst).Exact.period
+  in
+  let release_period = Rat.mul period (Rat.add Rat.one margin) in
+  let m = Mapping.num_paths inst.Instance.mapping in
+  let blocks = 40 in
+  let datasets = max (blocks * m) 200 in
+  let release d = Rat.mul_int release_period d in
+  let sched = Rwt_sim.Schedule.run ~release model inst ~datasets in
+  let latency d = Rat.sub (Rwt_sim.Schedule.ordered_completion sched d) (release d) in
+  (* the per-residue latency is non-increasing in the block index once the
+     transient has passed (released at rate >= capacity, latencies cannot
+     grow); read the last block and confirm against the previous one *)
+  let last_block = datasets - m in
+  let per_residue = Array.init m (fun r -> latency (last_block + r)) in
+  let prev = Array.init m (fun r -> latency (last_block - m + r)) in
+  let stable = ref true in
+  Array.iteri (fun r l -> if not (Rat.equal l prev.(r)) then stable := false) per_residue;
+  if not !stable then failwith "Latency.analyze: latencies not stabilized";
+  let worst = Array.fold_left Rat.max per_residue.(0) per_residue in
+  let best = Array.fold_left Rat.min per_residue.(0) per_residue in
+  let mean =
+    Rat.div_int (Array.fold_left Rat.add Rat.zero per_residue) m
+  in
+  { period = release_period; per_residue; worst; best; mean }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>release period %a: latency worst %a, best %a, mean %a over %d classes@]"
+    Rat.pp_approx t.period Rat.pp_approx t.worst Rat.pp_approx t.best Rat.pp_approx
+    t.mean (Array.length t.per_residue)

@@ -1,0 +1,33 @@
+(** Steady-state latency (response time) of a mapping — the companion metric
+    to the paper's throughput (its references [12, 14, 15] study the
+    latency/throughput trade-off that replication creates).
+
+    Data sets are released periodically, one every [period] time units (the
+    paper's steady-state regime: "a new data set enters the system every P
+    time-units"); the latency of data set [d] is its ordered-stream delivery
+    time minus its release date. With a release period equal to the exact
+    period of the mapping the system is critically loaded and the latency
+    converges to a periodic pattern over the [m] residue classes. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type t = {
+  period : Rat.t;  (** the release period used *)
+  per_residue : Rat.t array;  (** steady latency of each of the [m] classes *)
+  worst : Rat.t;
+  best : Rat.t;
+  mean : Rat.t;
+}
+
+val analyze : ?margin:Rat.t -> Comm_model.t -> Instance.t -> t
+(** Releases data sets every [period · (1 + margin)] time units, where
+    [period] is the exact period of the mapping and [margin] defaults to 0
+    (critical load; a positive margin models an under-loaded system and
+    yields smaller latencies). The steady values are read from the simulated
+    schedule once the per-residue latencies have stabilized.
+    @raise Failure if the latencies have not stabilized within the horizon
+    (cannot happen for [margin >= 0]: the schedule is then eventually
+    periodic). *)
+
+val pp : Format.formatter -> t -> unit

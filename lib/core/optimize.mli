@@ -1,0 +1,39 @@
+(** Heuristic mapping search.
+
+    Finding the throughput-maximizing mapping is NP-hard even without
+    replication (Benoit & Robert 2008, the paper's reference [3]); the paper
+    assumes the mapping is given. This module closes the loop for users of
+    the library: a greedy constructor plus randomized local search over
+    replication sets, with the exact period evaluators of this repository as
+    the objective. It is a pragmatic extension, not part of the paper. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type result = {
+  mapping : Mapping.t;
+  period : Rat.t;
+  evaluations : int;  (** how many candidate mappings were scored *)
+}
+
+val greedy : Comm_model.t -> Pipeline.t -> Platform.t -> result
+(** One processor per stage: stages in decreasing work order pick the
+    fastest remaining processor. The baseline every search starts from. *)
+
+val local_search :
+  ?seed:int ->
+  ?iterations:int ->
+  ?m_cap:int ->
+  Comm_model.t ->
+  Pipeline.t ->
+  Platform.t ->
+  result
+(** Randomized first-improvement local search from the greedy start.
+    Moves: assign an idle processor to a stage (replication), move a
+    processor between stages, retire a replica, swap two processors.
+    Candidates whose [lcm(m_i)] exceeds [m_cap] (default 720) are rejected
+    to keep the strict-model evaluation exact and fast. Deterministic in
+    [seed]. [iterations] bounds the number of attempted moves (default
+    400). The result never scores worse than {!greedy}. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,142 @@
+open Rwt_util
+open Rwt_workflow
+module Mcr = Rwt_petri.Mcr
+module D = Rwt_graph.Digraph
+
+type compute_column = {
+  stage : int;
+  per_proc : (int * Rat.t) list;
+  bound : Rat.t;
+}
+
+type component = {
+  q : int;
+  senders : int array;
+  receivers : int array;
+  ratio : Rat.t;
+  bound : Rat.t;
+}
+
+type comm_column = {
+  file : int;
+  p : int;
+  u : int;
+  v : int;
+  c : Bigint.t;
+  block : int;
+  components : component list;
+  bound : Rat.t;
+}
+
+type column = Compute_col of compute_column | Comm_col of comm_column
+
+type analysis = { columns : column list; period : Rat.t }
+
+let geometry mapping file =
+  let mi = Mapping.replication mapping file in
+  let mi1 = Mapping.replication mapping (file + 1) in
+  let p = Intmath.gcd mi mi1 in
+  (mi, mi1, p, mi / p, mi1 / p)
+
+let pattern_graph inst ~file ~q =
+  let mapping = inst.Instance.mapping in
+  let _, _, p, u, v = geometry mapping file in
+  let senders = Mapping.procs mapping file in
+  let receivers = Mapping.procs mapping (file + 1) in
+  let uv = u * v in
+  let g = D.create uv in
+  let firing tau =
+    let s = senders.(q + (p * (tau mod u))) in
+    let d = receivers.(q + (p * (tau mod v))) in
+    Instance.transfer_time inst ~file ~src:s ~dst:d
+  in
+  for tau = 0 to uv - 1 do
+    let w = firing tau in
+    (* sender round-robin: next transfer by the same sender replica *)
+    ignore
+      (D.add_edge g tau ((tau + u) mod uv)
+         { Mcr.Exact.weight = w; tokens = (if tau + u >= uv then 1 else 0) });
+    (* receiver round-robin: next reception by the same receiver replica *)
+    ignore
+      (D.add_edge g tau ((tau + v) mod uv)
+         { Mcr.Exact.weight = w; tokens = (if tau + v >= uv then 1 else 0) })
+  done;
+  g
+
+let analyze inst =
+  let mapping = inst.Instance.mapping in
+  let n = Mapping.n_stages mapping in
+  let m_big = Mapping.num_paths_big mapping in
+  let columns = ref [] in
+  for stage = n - 1 downto 0 do
+    (* interleave in reverse so the final list is in column order *)
+    if stage < n - 1 then begin
+      let mi, mi1, p, u, v = geometry mapping stage in
+      let block = Intmath.lcm mi mi1 in
+      let components =
+        List.init p (fun q ->
+            let g = pattern_graph inst ~file:stage ~q in
+            match Mcr.Exact.max_cycle_ratio g with
+            | None -> invalid_arg "Poly_overlap: pattern graph must have cycles"
+            | Some w ->
+              let senders =
+                Array.init u (fun a -> (Mapping.procs mapping stage).(q + (p * a)))
+              in
+              let receivers =
+                Array.init v (fun b -> (Mapping.procs mapping (stage + 1)).(q + (p * b)))
+              in
+              { q; senders; receivers;
+                ratio = w.Mcr.Exact.ratio;
+                bound = Rat.div_int w.Mcr.Exact.ratio block })
+      in
+      let bound =
+        List.fold_left (fun acc (comp : component) -> Rat.max acc comp.bound) Rat.zero components
+      in
+      columns :=
+        Comm_col
+          { file = stage; p; u; v;
+            c = Bigint.div m_big (Bigint.of_int block);
+            block; components; bound }
+        :: !columns
+    end;
+    let mi = Mapping.replication mapping stage in
+    let per_proc =
+      Array.to_list
+        (Array.map
+           (fun proc ->
+             (proc, Rat.div_int (Instance.compute_time inst ~stage ~proc) mi))
+           (Mapping.procs mapping stage))
+    in
+    let bound = List.fold_left (fun acc (_, b) -> Rat.max acc b) Rat.zero per_proc in
+    columns := Compute_col { stage; per_proc; bound } :: !columns
+  done;
+  let period =
+    List.fold_left
+      (fun acc col ->
+        Rat.max acc (match col with Compute_col c -> c.bound | Comm_col c -> c.bound))
+      Rat.zero !columns
+  in
+  { columns = !columns; period }
+
+let period inst = (analyze inst).period
+
+let column_bound _inst = function Compute_col c -> c.bound | Comm_col c -> c.bound
+
+let pp_analysis fmt a =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun col ->
+      match col with
+      | Compute_col c ->
+        Format.fprintf fmt "column S%d (compute): bound %a@," c.stage Rat.pp_approx c.bound
+      | Comm_col c ->
+        Format.fprintf fmt
+          "column F%d (transfer): p=%d u=%d v=%d c=%a block=%d bound %a@," c.file c.p
+          c.u c.v Bigint.pp c.c c.block Rat.pp_approx c.bound;
+        List.iter
+          (fun comp ->
+            Format.fprintf fmt "  component %d: ratio %a, bound %a@," comp.q
+              Rat.pp_approx comp.ratio Rat.pp_approx comp.bound)
+          c.components)
+    a.columns;
+  Format.fprintf fmt "period = %a@]" Rat.pp_approx a.period

@@ -1,0 +1,68 @@
+(** Theorem 1: polynomial computation of the OVERLAP ONE-PORT period.
+
+    In the OVERLAP TPN every circuit stays inside one column, so the period
+    decomposes per column:
+
+    - computation column of stage [i]: each replica [P_u] is a circuit of
+      identical transitions; its contribution is [w_i / (m_i·Π_u)];
+    - transfer column of file [F_i]: the sub-TPN splits into
+      [p = gcd(m_i, m_{i+1})] independent components; each component is
+      [c = m / lcm(m_i, m_{i+1})] copies of one [u×v] pattern
+      ([u = m_i/p], [v = m_{i+1}/p]). Quotienting the component onto a single
+      pattern maps cycles to cycles of equal ratio once tokens are counted as
+      winding numbers, so the component's contribution is the pattern
+      graph's maximum cycle ratio divided by [lcm(m_i, m_{i+1})].
+
+    The pattern graph lives on [Z_{uv}] (node [τ] ↔ the transfer whose
+    sender replica is [q + p·(τ mod u)] and receiver replica
+    [q + p·(τ mod v)]) with steps [+u] (sender round-robin) and [+v]
+    (receiver round-robin); an edge carries one token iff it wraps past
+    [uv]. Total cost is polynomial in [Σ m_i·m_{i+1}], never touching the
+    [m]-row TPN. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type compute_column = {
+  stage : int;
+  per_proc : (int * Rat.t) list;  (** replica → period contribution *)
+  bound : Rat.t;  (** max of the contributions *)
+}
+
+type component = {
+  q : int;  (** component index in [0, p) *)
+  senders : int array;  (** processor ids, round-robin order *)
+  receivers : int array;
+  ratio : Rat.t;  (** critical cycle ratio of the pattern graph *)
+  bound : Rat.t;  (** [ratio / lcm(m_i, m_{i+1})] *)
+}
+
+type comm_column = {
+  file : int;
+  p : int;
+  u : int;
+  v : int;
+  c : Bigint.t;  (** pattern copies per component, [m / lcm] *)
+  block : int;  (** [lcm(m_i, m_{i+1})] *)
+  components : component list;
+  bound : Rat.t;
+}
+
+type column = Compute_col of compute_column | Comm_col of comm_column
+
+type analysis = { columns : column list; period : Rat.t }
+
+val analyze : Instance.t -> analysis
+
+val period : Instance.t -> Rat.t
+(** The OVERLAP ONE-PORT period — equal to [Exact.period Overlap] but
+    computed in polynomial time. *)
+
+val pattern_graph : Instance.t -> file:int -> q:int -> Rwt_petri.Mcr.Exact.graph
+(** The [u×v] pattern graph [G'] of one component (Figures 9, 10, 14);
+    exposed for reporting and tests. *)
+
+val column_bound : Instance.t -> column -> Rat.t
+(** The contribution of one column ([bound] field, uniform accessor). *)
+
+val pp_analysis : Format.formatter -> analysis -> unit

@@ -1,0 +1,95 @@
+open Rwt_util
+open Rwt_workflow
+
+type target = Processor of int | Link of int * int
+
+type effect = {
+  target : target;
+  period : Rat.t;
+  improvement : Rat.t;
+}
+
+type t = {
+  baseline : Rat.t;
+  factor : Rat.t;
+  effects : effect list;
+}
+
+let period_of model inst =
+  match model with
+  | Comm_model.Overlap -> Poly_overlap.period inst
+  | Comm_model.Strict -> (Exact.period model inst).Exact.period
+
+let used_links inst =
+  let mapping = inst.Instance.mapping in
+  let n = Mapping.n_stages mapping in
+  let acc = ref [] in
+  for i = 0 to n - 2 do
+    Array.iter
+      (fun s ->
+        Array.iter (fun d -> acc := (s, d) :: !acc) (Mapping.procs mapping (i + 1)))
+      (Mapping.procs mapping i)
+  done;
+  List.rev !acc
+
+let with_platform inst platform =
+  Instance.create ~name:inst.Instance.name ~pipeline:inst.Instance.pipeline ~platform
+    ~mapping:inst.Instance.mapping
+
+let upgraded inst target factor =
+  let base = inst.Instance.platform in
+  let p = Platform.p base in
+  let speeds =
+    Array.init p (fun u ->
+        let s = Platform.speed base u in
+        match target with
+        | Processor v when v = u -> Rat.mul s factor
+        | _ -> s)
+  in
+  let bandwidths =
+    Array.init p (fun u ->
+        Array.init p (fun v ->
+            let b = Platform.bandwidth base u v in
+            match target with
+            | Link (s, d) when s = u && d = v -> Rat.mul b factor
+            | _ -> b))
+  in
+  with_platform inst (Platform.create ~speeds ~bandwidths)
+
+let analyze ?(factor = Rat.of_int 2) model inst =
+  if Rat.compare factor Rat.one <= 0 then
+    invalid_arg "Sensitivity.analyze: factor must exceed 1";
+  let baseline = period_of model inst in
+  let targets =
+    List.map (fun u -> Processor u) (Instance.resources inst)
+    @ List.map (fun (s, d) -> Link (s, d)) (used_links inst)
+  in
+  let effects =
+    List.map
+      (fun target ->
+        let period = period_of model (upgraded inst target factor) in
+        let improvement = Rat.div (Rat.sub baseline period) baseline in
+        { target; period; improvement })
+      targets
+  in
+  let effects =
+    List.stable_sort (fun a b -> Rat.compare b.improvement a.improvement) effects
+  in
+  { baseline; factor; effects }
+
+let pp_target fmt = function
+  | Processor u -> Format.fprintf fmt "%s" (Platform.proc_name u)
+  | Link (s, d) ->
+    Format.fprintf fmt "%s->%s" (Platform.proc_name s) (Platform.proc_name d)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>baseline period %a; upgrades by factor %a:@,"
+    Rat.pp_approx t.baseline Rat.pp t.factor;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-10s -> period %a (%a%% better)@,"
+        (Format.asprintf "%a" pp_target e.target)
+        Rat.pp_approx e.period Rat.pp_approx
+        (Rat.mul_int e.improvement 100))
+    t.effects;
+  Format.fprintf fmt "@]"

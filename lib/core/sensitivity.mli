@@ -1,0 +1,37 @@
+(** What-if sensitivity analysis: which resource upgrade actually improves
+    the throughput?
+
+    With replication the answer is not "the one with the largest
+    cycle-time": the period is set by a critical {e circuit} that may mix
+    several resources (the paper's central observation), so upgrading the
+    resource with the largest [Cexec] can be useless while a seemingly idle
+    link is the real lever. This module answers operationally: re-solve the
+    exact period with each resource individually sped up by a given factor
+    and rank the improvements. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type target =
+  | Processor of int  (** speed multiplied by the factor *)
+  | Link of int * int  (** bandwidth multiplied by the factor *)
+
+type effect = {
+  target : target;
+  period : Rat.t;  (** exact period after the upgrade *)
+  improvement : Rat.t;  (** [(P − P') / P], 0 when the upgrade is useless *)
+}
+
+type t = {
+  baseline : Rat.t;
+  factor : Rat.t;
+  effects : effect list;  (** sorted by decreasing improvement *)
+}
+
+val analyze : ?factor:Rat.t -> Comm_model.t -> Instance.t -> t
+(** [factor] defaults to 2 (a twice-faster processor / link). Only used
+    processors and used links are considered. OVERLAP uses Theorem 1 per
+    what-if; STRICT the full TPN. *)
+
+val pp_target : Format.formatter -> target -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,185 @@
+open Rwt_workflow
+module Tpn = Rwt_petri.Tpn
+
+type kind =
+  | Compute of { stage : int; proc : int }
+  | Transfer of { file : int; src : int; dst : int }
+
+type t = {
+  tpn : Tpn.t;
+  m : int;
+  n_stages : int;
+  model : Comm_model.t;
+  kinds : kind array;
+}
+
+let pp_kind fmt = function
+  | Compute { stage; proc } ->
+    Format.fprintf fmt "%s/S%d" (Platform.proc_name proc) stage
+  | Transfer { file; src; dst } ->
+    Format.fprintf fmt "%s->%s (F%d)" (Platform.proc_name src) (Platform.proc_name dst) file
+
+let cols n = (2 * n) - 1
+
+let transition_id t ~row ~col = (row * cols t.n_stages) + col
+let row_col t id = (id / cols t.n_stages, id mod cols t.n_stages)
+let kind t id = t.kinds.(id)
+
+(* Add the circuit of a round-robin resource over the given ordered rows in
+   one column: chain places with 0 tokens and a wrap-around place with the
+   single token. A one-row circuit degenerates to a marked self-loop. *)
+let add_circuit tpn ~name ~ids =
+  match ids with
+  | [] -> ()
+  | [ only ] -> Tpn.add_place tpn ~name ~src:only ~dst:only ~tokens:1
+  | first :: _ ->
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+        Tpn.add_place tpn ~name ~src:a ~dst:b ~tokens:0;
+        chain rest
+      | [ last ] -> Tpn.add_place tpn ~name ~src:last ~dst:first ~tokens:1
+      | [] -> ()
+    in
+    chain ids
+
+let build model inst =
+  let mapping = inst.Instance.mapping in
+  let n = Mapping.n_stages mapping in
+  let m = Mapping.num_paths mapping in
+  let ncols = cols n in
+  let id ~row ~col = (row * ncols) + col in
+  let kinds = Array.make (m * ncols) (Compute { stage = 0; proc = 0 }) in
+  let transitions =
+    Array.init (m * ncols) (fun tid ->
+        let row = tid / ncols and col = tid mod ncols in
+        if col mod 2 = 0 then begin
+          let stage = col / 2 in
+          let proc = Mapping.proc_for mapping ~stage ~dataset:row in
+          kinds.(tid) <- Compute { stage; proc };
+          { Tpn.tr_name =
+              Printf.sprintf "%s/S%d r%d" (Platform.proc_name proc) stage row;
+            firing = Instance.compute_time inst ~stage ~proc }
+        end
+        else begin
+          let file = (col - 1) / 2 in
+          let src = Mapping.proc_for mapping ~stage:file ~dataset:row in
+          let dst = Mapping.proc_for mapping ~stage:(file + 1) ~dataset:row in
+          kinds.(tid) <- Transfer { file; src; dst };
+          { Tpn.tr_name =
+              Printf.sprintf "%s->%s r%d" (Platform.proc_name src) (Platform.proc_name dst) row;
+            firing = Instance.transfer_time inst ~file ~src ~dst }
+        end)
+  in
+  let tpn = Tpn.create transitions in
+  (* 1. row-forward dependences *)
+  for row = 0 to m - 1 do
+    for col = 0 to ncols - 2 do
+      Tpn.add_place tpn ~name:"flow" ~src:(id ~row ~col) ~dst:(id ~row ~col:(col + 1))
+        ~tokens:0
+    done
+  done;
+  (* rows of stage i served by replica r: r, r + m_i, r + 2·m_i, … *)
+  let rows_of_replica mi r = List.init (m / mi) (fun k -> r + (k * mi)) in
+  (match model with
+   | Comm_model.Overlap ->
+     (* 2. computation round-robin circuits *)
+     for stage = 0 to n - 1 do
+       let mi = Mapping.replication mapping stage in
+       for r = 0 to mi - 1 do
+         let u = (Mapping.procs mapping stage).(r) in
+         add_circuit tpn
+           ~name:(Platform.proc_name u)
+           ~ids:(List.map (fun row -> id ~row ~col:(2 * stage)) (rows_of_replica mi r))
+       done
+     done;
+     (* 3. out-port circuits (transfer columns grouped by sender) *)
+     for file = 0 to n - 2 do
+       let mi = Mapping.replication mapping file in
+       for r = 0 to mi - 1 do
+         let u = (Mapping.procs mapping file).(r) in
+         add_circuit tpn
+           ~name:(Platform.proc_name u ^ "-out")
+           ~ids:(List.map (fun row -> id ~row ~col:((2 * file) + 1)) (rows_of_replica mi r))
+       done
+     done;
+     (* 4. in-port circuits (transfer columns grouped by receiver) *)
+     for file = 0 to n - 2 do
+       let mi1 = Mapping.replication mapping (file + 1) in
+       for r = 0 to mi1 - 1 do
+         let u = (Mapping.procs mapping (file + 1)).(r) in
+         add_circuit tpn
+           ~name:(Platform.proc_name u ^ "-in")
+           ~ids:(List.map (fun row -> id ~row ~col:((2 * file) + 1)) (rows_of_replica mi1 r))
+       done
+     done
+   | Comm_model.Strict ->
+     (* one circuit per processor: send of row j_l → receive of row j_{l+1};
+        the first (resp. last) stage uses its computation as first (resp.
+        last) serial operation *)
+     for stage = 0 to n - 1 do
+       let mi = Mapping.replication mapping stage in
+       let first_col = if stage = 0 then 0 else (2 * stage) - 1 in
+       let last_col = if stage = n - 1 then 2 * stage else (2 * stage) + 1 in
+       for r = 0 to mi - 1 do
+         let u = (Mapping.procs mapping stage).(r) in
+         let rows = rows_of_replica mi r in
+         let name = Platform.proc_name u in
+         (match rows with
+          | [] -> ()
+          | [ only ] ->
+            Tpn.add_place tpn ~name ~src:(id ~row:only ~col:last_col)
+              ~dst:(id ~row:only ~col:first_col) ~tokens:1
+          | first :: _ ->
+            let rec chain = function
+              | a :: (b :: _ as rest) ->
+                Tpn.add_place tpn ~name ~src:(id ~row:a ~col:last_col)
+                  ~dst:(id ~row:b ~col:first_col) ~tokens:0;
+                chain rest
+              | [ last ] ->
+                Tpn.add_place tpn ~name ~src:(id ~row:last ~col:last_col)
+                  ~dst:(id ~row:first ~col:first_col) ~tokens:1
+              | [] -> ()
+            in
+            chain rows)
+       done
+     done);
+  { tpn; m; n_stages = n; model; kinds }
+
+let resource_of_place _t (p : Tpn.place) =
+  match p.Tpn.pl_name with
+  | "flow" | "" -> None
+  | name -> Some name
+
+type census = {
+  flow : int;
+  compute_rr : int;
+  out_rr : int;
+  in_rr : int;
+  serial_rr : int;
+}
+
+let ends_with suffix name =
+  let ls = String.length suffix and ln = String.length name in
+  ln >= ls && String.sub name (ln - ls) ls = suffix
+
+let place_census t =
+  let census = ref { flow = 0; compute_rr = 0; out_rr = 0; in_rr = 0; serial_rr = 0 } in
+  Tpn.iter_places
+    (fun p ->
+      let c = !census in
+      census :=
+        (match p.Tpn.pl_name with
+         | "flow" -> { c with flow = c.flow + 1 }
+         | name when ends_with "-out" name -> { c with out_rr = c.out_rr + 1 }
+         | name when ends_with "-in" name -> { c with in_rr = c.in_rr + 1 }
+         | _ ->
+           (match t.model with
+            | Comm_model.Overlap -> { c with compute_rr = c.compute_rr + 1 }
+            | Comm_model.Strict -> { c with serial_rr = c.serial_rr + 1 })))
+    t.tpn;
+  !census
+
+let pp_census fmt c =
+  Format.fprintf fmt
+    "flow %d, compute round-robin %d, out-port %d, in-port %d, serial %d" c.flow
+    c.compute_rr c.out_rr c.in_rr c.serial_rr

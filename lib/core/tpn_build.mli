@@ -1,0 +1,60 @@
+(** Automatic construction of the timed Petri net of a replicated mapping
+    (§3 of the paper).
+
+    The net has [m = lcm(m_0, …, m_{n-1})] rows of [2n−1] transitions: even
+    columns are stage computations, odd columns are file transfers, row [j]
+    being the round-robin path of data sets [d ≡ j (mod m)]. Construction is
+    [O(m·n)]:
+
+    - both models: row-forward places (computation → transfer → next
+      computation) within each row;
+    - OVERLAP (§3.2): one circuit per compute resource in each computation
+      column, and per out-port (grouped by sender) and in-port (grouped by
+      receiver) in each transfer column;
+    - STRICT (§3.3): one circuit per processor chaining the send of one of
+      its rows to the receive of its next row (its whole
+      receive–compute–send block is serialized).
+
+    Each circuit's wrap-around place holds the single token modelling "this
+    resource serves one job at a time and is initially free". *)
+
+open Rwt_workflow
+
+type kind =
+  | Compute of { stage : int; proc : int }
+  | Transfer of { file : int; src : int; dst : int }
+
+type t = private {
+  tpn : Rwt_petri.Tpn.t;
+  m : int;  (** number of rows (paths) *)
+  n_stages : int;
+  model : Comm_model.t;
+  kinds : kind array;  (** per transition id *)
+}
+
+val build : Comm_model.t -> Instance.t -> t
+(** @raise Failure if [m] overflows a native int (report
+    {!Rwt_workflow.Mapping.num_paths_big} instead of building). *)
+
+val transition_id : t -> row:int -> col:int -> int
+val row_col : t -> int -> int * int
+val kind : t -> int -> kind
+val pp_kind : Format.formatter -> kind -> unit
+
+val resource_of_place : t -> Rwt_petri.Tpn.place -> string option
+(** The resource whose round-robin a circuit place encodes (e.g. ["P2"],
+    ["P2-out"], ["P3-in"]), [None] for row-forward dependence places. *)
+
+type census = {
+  flow : int;  (** row-forward dependence places (Figure 3a) *)
+  compute_rr : int;  (** computation round-robin circuits (Figure 3b) *)
+  out_rr : int;  (** out-port circuits (Figure 3c); 0 under STRICT *)
+  in_rr : int;  (** in-port circuits (Figure 3d); 0 under STRICT *)
+  serial_rr : int;  (** whole-processor circuits (§3.3); 0 under OVERLAP *)
+}
+
+val place_census : t -> census
+(** Break the net's places down by the constraint family that created them
+    (the paper's Figure 3 / Figure 5a). *)
+
+val pp_census : Format.formatter -> census -> unit

@@ -1,0 +1,145 @@
+open Rwt_util
+open Rwt_workflow
+module E = Rwt_petri.Mcr.Exact
+module D = Rwt_graph.Digraph
+
+type poly_vs_exact_row = {
+  instance : Instance.t;
+  m : int;
+  tpn_transitions : int;
+  poly_seconds : float;
+  exact_seconds : float;
+  agree : bool;
+  period : Rat.t;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let poly_vs_exact ?(seed = 7) ~sizes ~samples_per_size () =
+  let r = Prng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun (n_stages, p) ->
+      for _ = 1 to samples_per_size do
+        let rec fresh () =
+          let inst =
+            Generator.generate r { Generator.n_stages; p; comp = (5, 15); comm = (5, 15) }
+          in
+          if Mapping.num_paths inst.Instance.mapping > 20_000 then fresh () else inst
+        in
+        let inst = fresh () in
+        let m = Mapping.num_paths inst.Instance.mapping in
+        let poly, poly_seconds = time (fun () -> Rwt_core.Poly_overlap.period inst) in
+        let exact, exact_seconds =
+          time (fun () -> (Rwt_core.Exact.period Comm_model.Overlap inst).Rwt_core.Exact.period)
+        in
+        rows :=
+          { instance = inst; m; tpn_transitions = m * ((2 * n_stages) - 1);
+            poly_seconds; exact_seconds; agree = Rat.equal poly exact; period = poly }
+          :: !rows
+      done)
+    sizes;
+  List.rev !rows
+
+type solver_row = {
+  nodes : int;
+  edges : int;
+  howard_seconds : float;
+  parametric_seconds : float;
+  lawler_seconds : float;
+  karp_seconds : float;
+  all_agree : bool;
+}
+
+let random_live_graph r n =
+  let g = D.create n in
+  let g1 = D.create n in
+  (* unit-token copy for Karp *)
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle r order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun i u -> rank.(u) <- i) order;
+  for i = 0 to n - 1 do
+    (* a Hamiltonian marked ring guarantees strong connectivity *)
+    let w = Rat.of_int (Prng.int_in r 1 30) in
+    ignore (D.add_edge g order.(i) order.((i + 1) mod n) { E.weight = w; tokens = 1 });
+    ignore (D.add_edge g1 order.(i) order.((i + 1) mod n) w)
+  done;
+  for _ = 1 to 3 * n do
+    let u = Prng.int r n and v = Prng.int r n in
+    let tokens = if rank.(v) <= rank.(u) then 1 else if Prng.int r 3 = 0 then 1 else 0 in
+    let w = Rat.of_int (Prng.int_in r 0 30) in
+    ignore (D.add_edge g u v { E.weight = w; tokens });
+    ignore (D.add_edge g1 u v w)
+  done;
+  (g, g1)
+
+let solver_comparison ?(seed = 11) ~sizes ~samples_per_size () =
+  let r = Prng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      for _ = 1 to samples_per_size do
+        let g, g1 = random_live_graph r n in
+        let h, howard_seconds = time (fun () -> E.howard g) in
+        let p, parametric_seconds = time (fun () -> E.parametric g) in
+        let l, lawler_seconds =
+          time (fun () -> E.lawler ~epsilon:(Rat.of_ints 1 1_000_000_000) g)
+        in
+        let k, karp_seconds = time (fun () -> E.karp g1) in
+        let ratio = function Some w -> Some w.E.ratio | None -> None in
+        let hk =
+          (* Karp runs on the unit-token projection: compare against Howard
+             on the same projection *)
+          E.howard (D.map_labels (fun d -> { d with E.tokens = 1 }) g)
+        in
+        let lawler_close =
+          match (ratio h, ratio l) with
+          | Some a, Some b ->
+            (* lawler returns a genuine cycle's ratio within epsilon below *)
+            Rat.compare b a <= 0
+            && Rat.compare (Rat.sub a b) (Rat.of_ints 1 1_000_000_000) <= 0
+          | None, None -> true
+          | _ -> false
+        in
+        let all_agree =
+          ratio h = ratio p && lawler_close
+          && (match (ratio hk, k) with
+             | Some a, Some b -> Rat.equal a b
+             | None, None -> true
+             | _ -> false)
+        in
+        rows :=
+          { nodes = n; edges = D.num_edges g; howard_seconds; parametric_seconds;
+            lawler_seconds; karp_seconds; all_agree }
+          :: !rows
+      done)
+    sizes;
+  List.rev !rows
+
+let pp_poly_rows fmt rows =
+  Format.fprintf fmt "@[<v>%-14s %-8s %-12s %-12s %-12s %s@," "size" "m"
+    "transitions" "poly (s)" "full TPN (s)" "agree";
+  List.iter
+    (fun row ->
+      let mapping = row.instance.Instance.mapping in
+      Format.fprintf fmt "(%d,%d)%-6s %-8d %-12d %-12.5f %-12.5f %b@,"
+        (Mapping.n_stages mapping)
+        (Platform.p row.instance.Instance.platform)
+        "" row.m row.tpn_transitions row.poly_seconds row.exact_seconds row.agree)
+    rows;
+  Format.fprintf fmt "@]"
+
+let pp_solver_rows fmt rows =
+  Format.fprintf fmt "@[<v>%-8s %-8s %-14s %-14s %-14s %-14s %s@," "nodes" "edges"
+    "howard (s)" "parametric (s)" "lawler (s)" "karp (s)" "agree";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-8d %-8d %-14.5f %-14.5f %-14.5f %-14.5f %b@," row.nodes
+        row.edges row.howard_seconds row.parametric_seconds row.lawler_seconds
+        row.karp_seconds row.all_agree)
+    rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,41 @@
+(** Ablation studies around the design choices called out in DESIGN.md:
+    Theorem 1 vs full-TPN cost and agreement, and the relative behaviour of
+    the three max-cycle-ratio solvers. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type poly_vs_exact_row = {
+  instance : Instance.t;
+  m : int;  (** TPN rows *)
+  tpn_transitions : int;
+  poly_seconds : float;
+  exact_seconds : float;
+  agree : bool;  (** Theorem 1 result = full-TPN result (must always hold) *)
+  period : Rat.t;
+}
+
+val poly_vs_exact :
+  ?seed:int -> sizes:(int * int) list -> samples_per_size:int -> unit ->
+  poly_vs_exact_row list
+(** Random OVERLAP instances of the given (stages, processors) sizes;
+    instances whose [m] would make the full TPN intractable (> 20 000 rows)
+    are regenerated. *)
+
+type solver_row = {
+  nodes : int;
+  edges : int;
+  howard_seconds : float;
+  parametric_seconds : float;
+  lawler_seconds : float;  (** binary search to 1e-9 *)
+  karp_seconds : float;  (** on the unit-token variant *)
+  all_agree : bool;
+}
+
+val solver_comparison :
+  ?seed:int -> sizes:int list -> samples_per_size:int -> unit -> solver_row list
+(** Random live ratio graphs; Howard and parametric must agree exactly; Karp
+    is compared on the all-tokens-1 projection of the same topology. *)
+
+val pp_poly_rows : Format.formatter -> poly_vs_exact_row list -> unit
+val pp_solver_rows : Format.formatter -> solver_row list -> unit

@@ -1,0 +1,163 @@
+open Rwt_util
+open Rwt_workflow
+
+type candidate_a = {
+  p1_links : Rat.t array;
+  p2_links : Rat.t array;
+  comp45 : Rat.t * Rat.t;
+  out_links : Rat.t array;
+  strict_period : Rat.t;
+}
+
+let r = Rat.of_int
+
+let example_a_instance (c : candidate_a) =
+  Instance.of_times ~name:"example-A-candidate" ~p:7
+    ~stages:
+      [ [ (0, r 22) ];
+        [ (1, r 147); (2, r 128) ];
+        [ (3, r 73); (4, fst c.comp45); (5, snd c.comp45) ];
+        [ (6, r 73) ] ]
+    ~links:
+      [ ((0, 1), r 186); ((0, 2), r 192);
+        ((1, 3), c.p1_links.(0)); ((1, 4), c.p1_links.(1)); ((1, 5), c.p1_links.(2));
+        ((2, 3), c.p2_links.(0)); ((2, 4), c.p2_links.(1)); ((2, 5), c.p2_links.(2));
+        ((3, 6), c.out_links.(0)); ((4, 6), c.out_links.(1)); ((5, 6), c.out_links.(2)) ]
+    ()
+
+let permutations3 a =
+  let x = a.(0) and y = a.(1) and z = a.(2) in
+  [ [| x; y; z |]; [| x; z; y |]; [| y; x; z |]; [| y; z; x |]; [| z; x; y |]; [| z; y; x |] ]
+
+(* choose an ordered pair (for comps of P4, P5) from the 5 leftover labels;
+   the remaining 3 labels (in each of their orders) are the links to P6 *)
+let splits_of_leftovers leftovers =
+  let n = Array.length leftovers in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let rest =
+          Array.of_list
+            (List.filteri (fun k _ -> k <> i && k <> j) (Array.to_list leftovers))
+        in
+        List.iter
+          (fun out -> acc := ((leftovers.(i), leftovers.(j)), out) :: !acc)
+          (permutations3 rest)
+      end
+    done
+  done;
+  !acc
+
+let example_a_candidates () =
+  let p1_set = [| r 57; r 68; r 77 |] in
+  let p2_set = [| r 13; r 157; r 165 |] in
+  let leftovers = [| r 104; r 146; r 23; r 67; r 126 |] in
+  let target_overlap = r 189 in
+  let target_mct_strict = Rat.of_ints 1295 6 in
+  (* the paper prints 230.7; accept periods rounding to it at one decimal *)
+  let low = Rat.of_ints 23065 100 and high = Rat.of_ints 23075 100 in
+  let found = ref [] in
+  List.iter
+    (fun p1_links ->
+      List.iter
+        (fun p2_links ->
+          List.iter
+            (fun (comp45, out_links) ->
+              let cand =
+                { p1_links; p2_links; comp45; out_links; strict_period = Rat.zero }
+              in
+              let inst = example_a_instance cand in
+              let p_over = Rwt_core.Poly_overlap.period inst in
+              if Rat.equal p_over target_overlap then begin
+                let crit = Cycle_time.critical Comm_model.Overlap inst in
+                if crit.Cycle_time.proc = 0 && crit.Cycle_time.bottleneck = "out"
+                   && Rat.equal crit.Cycle_time.cexec target_overlap
+                then begin
+                  let mct_s = Cycle_time.mct Comm_model.Strict inst in
+                  if Rat.equal mct_s target_mct_strict then begin
+                    let p_strict =
+                      (Rwt_core.Exact.period Comm_model.Strict inst).Rwt_core.Exact.period
+                    in
+                    if Rat.compare p_strict low >= 0 && Rat.compare p_strict high < 0
+                    then found := { cand with strict_period = p_strict } :: !found
+                  end
+                end
+              end)
+            (splits_of_leftovers leftovers))
+        (permutations3 p2_set))
+    (permutations3 p1_set);
+  List.rev !found
+
+type candidate_b = {
+  expensive : (int * int) list;
+  unique_critical : bool;
+}
+
+let example_b_instance (c : candidate_b) =
+  let links = ref [] in
+  for s = 0 to 2 do
+    for d = 3 to 6 do
+      let cost = if List.mem (s, d) c.expensive then 1000 else 100 in
+      links := ((s, d), r cost) :: !links
+    done
+  done;
+  Instance.of_times ~name:"example-B-candidate" ~p:7
+    ~stages:
+      [ [ (0, r 100); (1, r 100); (2, r 100) ];
+        [ (3, r 100); (4, r 100); (5, r 100); (6, r 100) ] ]
+    ~links:!links ()
+
+let example_b_candidates () =
+  let target_mct = Rat.of_ints 3100 12 in
+  let target_p = Rat.of_ints 3500 12 in
+  let found = ref [] in
+  for mask = 0 to (1 lsl 12) - 1 do
+    let bits = List.filter (fun b -> mask land (1 lsl b) <> 0) (List.init 12 Fun.id) in
+    let p2 = List.length (List.filter (fun b -> b >= 8) bits) in
+    if List.length bits = 7 && p2 = 3 then begin
+      let expensive = List.map (fun b -> (b / 4, 3 + (b mod 4))) bits in
+      let cand = { expensive; unique_critical = false } in
+      let inst = example_b_instance cand in
+      if Rat.equal (Cycle_time.mct Comm_model.Overlap inst) target_mct
+         && Rat.equal (Rwt_core.Poly_overlap.period inst) target_p
+      then begin
+        (* is P2-out the unique maximum? *)
+        let others =
+          List.filter
+            (fun res -> res.Cycle_time.proc <> 2)
+            (Cycle_time.all Comm_model.Overlap inst)
+        in
+        let unique =
+          List.for_all (fun res -> Rat.compare res.Cycle_time.cexec target_mct < 0) others
+        in
+        found := { cand with unique_critical = unique } :: !found
+      end
+    end
+  done;
+  List.rev !found
+
+let verify_published () =
+  let a = Instances.example_a () in
+  let b = Instances.example_b () in
+  let overlap = Comm_model.Overlap and strict = Comm_model.Strict in
+  let crit_a = Cycle_time.critical overlap a in
+  let p_a_strict = (Rwt_core.Exact.period strict a).Rwt_core.Exact.period in
+  let crit_b = Cycle_time.critical overlap b in
+  [ ("A: overlap period = 189", Rat.equal (Rwt_core.Poly_overlap.period a) (r 189));
+    ( "A: overlap critical resource is P0-out at 189",
+      crit_a.Cycle_time.proc = 0 && crit_a.Cycle_time.bottleneck = "out"
+      && Rat.equal crit_a.Cycle_time.cexec (r 189) );
+    ( "A: strict Mct = 1295/6 = 215.83 on P2",
+      Rat.equal (Cycle_time.mct strict a) (Rat.of_ints 1295 6)
+      && (Cycle_time.critical strict a).Cycle_time.proc = 2 );
+    ( "A: strict period prints as 230.7",
+      Rat.compare p_a_strict (Rat.of_ints 23065 100) >= 0
+      && Rat.compare p_a_strict (Rat.of_ints 23075 100) < 0 );
+    ( "B: Mct = 3100/12 = 258.33 on P2-out",
+      Rat.equal (Cycle_time.mct overlap b) (Rat.of_ints 3100 12)
+      && crit_b.Cycle_time.proc = 2 && crit_b.Cycle_time.bottleneck = "out" );
+    ( "B: overlap period = 3500/12 = 291.67",
+      Rat.equal (Rwt_core.Poly_overlap.period b) (Rat.of_ints 3500 12) );
+    ( "B: no critical resource (P > every cycle-time)",
+      Rat.compare (Rwt_core.Poly_overlap.period b) (Cycle_time.mct overlap b) > 0 ) ]

@@ -1,0 +1,69 @@
+open Rwt_util
+open Rwt_workflow
+
+type histogram = {
+  model : Comm_model.t;
+  total : int;
+  zeros : int;
+  positives : Rat.t list;
+  buckets : (float * float * int) array;
+  max_gap : Rat.t;
+}
+
+let run ?(seed = 2009) ?(samples = 300) ?(bucket_percent = 1.0) ?(m_cap = 3000) model
+    cfg =
+  let r = Prng.create seed in
+  let zeros = ref 0 in
+  let total = ref 0 in
+  let positives = ref [] in
+  for _ = 1 to samples do
+    let inst = Generator.generate r cfg in
+    let tractable =
+      model = Comm_model.Overlap || Mapping.num_paths inst.Instance.mapping <= m_cap
+    in
+    if tractable then begin
+      incr total;
+      let period =
+        match model with
+        | Comm_model.Overlap -> Rwt_core.Poly_overlap.period inst
+        | Comm_model.Strict -> (Rwt_core.Exact.period model inst).Rwt_core.Exact.period
+      in
+      let mct = Cycle_time.mct model inst in
+      if Rat.equal period mct then incr zeros
+      else positives := Rat.div (Rat.sub period mct) mct :: !positives
+    end
+  done;
+  let positives = List.sort Rat.compare !positives in
+  let max_gap = match List.rev positives with [] -> Rat.zero | g :: _ -> g in
+  let top = Rat.to_float max_gap *. 100.0 in
+  let nbuckets = max 1 (int_of_float (ceil (top /. bucket_percent))) in
+  let buckets =
+    Array.init nbuckets (fun i ->
+        (float_of_int i *. bucket_percent, float_of_int (i + 1) *. bucket_percent, 0))
+  in
+  List.iter
+    (fun g ->
+      let pct = Rat.to_float g *. 100.0 in
+      let i = min (nbuckets - 1) (int_of_float (pct /. bucket_percent)) in
+      let lo, hi, c = buckets.(i) in
+      buckets.(i) <- (lo, hi, c + 1))
+    positives;
+  { model; total = !total; zeros = !zeros; positives; buckets; max_gap }
+
+let pp fmt h =
+  Format.fprintf fmt "@[<v>%s model: %d instances, %d with a critical resource, %d without@,"
+    (Comm_model.to_string h.model) h.total h.zeros (List.length h.positives);
+  if h.positives <> [] then begin
+    Format.fprintf fmt "positive gap distribution (max %a%%):@," Rat.pp_approx
+      (Rat.mul_int h.max_gap 100);
+    let widest =
+      Array.fold_left (fun acc (_, _, c) -> max acc c) 1 h.buckets
+    in
+    Array.iter
+      (fun (lo, hi, c) ->
+        if c > 0 || hi <= Rat.to_float h.max_gap *. 100.0 then
+          Format.fprintf fmt "  [%4.1f%%, %4.1f%%) %-4d %s@," lo hi c
+            (String.make (c * 40 / widest) '#'))
+      h.buckets
+  end;
+  Format.fprintf fmt "@]"

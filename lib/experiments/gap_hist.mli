@@ -1,0 +1,26 @@
+(** Distribution of the replication gap [(P − Mct)/Mct] over random
+    instances — the quantitative companion to Table 2's counts. The paper
+    reports only "diff less than x%" per row; this experiment samples the
+    full distribution, including how much of the mass is exactly zero
+    (critical resource) and how the positive tail is shaped. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type histogram = {
+  model : Comm_model.t;
+  total : int;
+  zeros : int;  (** instances with a critical resource (gap exactly 0) *)
+  positives : Rat.t list;  (** sorted positive gaps *)
+  buckets : (float * float * int) array;  (** [lo%, hi%) → count *)
+  max_gap : Rat.t;
+}
+
+val run :
+  ?seed:int -> ?samples:int -> ?bucket_percent:float -> ?m_cap:int ->
+  Comm_model.t -> Generator.config -> histogram
+(** Defaults: seed 2009, 300 samples, 1 % buckets, [m_cap] 3000 (strict
+    instances above the cap are skipped and not counted in [total]). *)
+
+val pp : Format.formatter -> histogram -> unit
+(** Counts plus an ASCII bar chart of the positive-gap buckets. *)

@@ -1,0 +1,62 @@
+open Rwt_util
+open Rwt_workflow
+
+type config = {
+  n_stages : int;
+  p : int;
+  comp : int * int;
+  comm : int * int;
+}
+
+(* Uniform composition via stars and bars: choose parts-1 distinct cut
+   points among total-1 gaps (Floyd's sampling), part sizes are the gaps. *)
+let random_composition r ~total ~parts =
+  if parts <= 0 || total < parts then invalid_arg "Generator.random_composition";
+  if parts = 1 then [| total |]
+  else begin
+    let chosen = Hashtbl.create (2 * parts) in
+    (* Floyd: for j = total-1-(parts-1)+1 .. total-1, pick t in [1, j]; if
+       taken, use j *)
+    for j = total - parts + 1 to total - 1 do
+      let t = 1 + Prng.int r j in
+      if Hashtbl.mem chosen t then Hashtbl.replace chosen j ()
+      else Hashtbl.replace chosen t ()
+    done;
+    let cuts = Hashtbl.fold (fun k () acc -> k :: acc) chosen [] in
+    let cuts = List.sort compare (0 :: total :: cuts) in
+    let rec gaps = function
+      | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+      | _ -> []
+    in
+    Array.of_list (gaps cuts)
+  end
+
+let generate r cfg =
+  let { n_stages = n; p; comp = clo, chi; comm = mlo, mhi } = cfg in
+  let counts = random_composition r ~total:p ~parts:n in
+  (* processors 0..p-1 assigned to stages in order, shuffled identities *)
+  let ids = Array.init p (fun u -> u) in
+  Prng.shuffle r ids;
+  let next = ref 0 in
+  let stages =
+    Array.to_list
+      (Array.map
+         (fun m ->
+           List.init m (fun _ ->
+               let u = ids.(!next) in
+               incr next;
+               (u, Rat.of_int (Prng.int_in r clo chi))))
+         counts)
+  in
+  (* transfer times for every used (sender, receiver) link *)
+  let links = ref [] in
+  let procs_of stage = List.map fst (List.nth stages stage) in
+  for i = 0 to n - 2 do
+    List.iter
+      (fun s ->
+        List.iter
+          (fun d -> links := ((s, d), Rat.of_int (Prng.int_in r mlo mhi)) :: !links)
+          (procs_of (i + 1)))
+      (procs_of i)
+  done;
+  Instance.of_times ~name:"random" ~p ~stages ~links:!links ()

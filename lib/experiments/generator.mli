@@ -1,0 +1,25 @@
+(** Random instance generation following the paper's experimental setup
+    (§5, Table 2): [n] stages on [p] processors, every processor used, the
+    replication counts drawn as a random composition of [p] into [n]
+    positive parts, compute and transfer times drawn uniformly from integer
+    ranges. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type config = {
+  n_stages : int;
+  p : int;
+  comp : int * int;  (** inclusive range of per-processor compute times *)
+  comm : int * int;  (** inclusive range of per-link transfer times *)
+}
+
+val generate : Prng.t -> config -> Instance.t
+(** Deterministic in the generator state. Work and data sizes are 1; speeds
+    and bandwidths are reciprocals of the drawn times, so compute/transfer
+    times are exactly the drawn integers. *)
+
+val random_composition : Prng.t -> total:int -> parts:int -> int array
+(** Uniform composition of [total] into [parts] positive integers
+    (stars-and-bars sampling without replacement).
+    @raise Invalid_argument if [total < parts] or [parts <= 0]. *)

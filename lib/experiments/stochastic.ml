@@ -1,0 +1,73 @@
+open Rwt_util
+open Rwt_workflow
+
+type stats = {
+  samples : int;
+  min : Rat.t;
+  max : Rat.t;
+  mean : Rat.t;
+  median : Rat.t;
+  q90 : Rat.t;
+  nominal : Rat.t;
+  no_critical : int;
+}
+
+let sample_platform r ~epsilon ~grid base =
+  if Rat.compare epsilon Rat.one >= 0 || Rat.sign epsilon < 0 then
+    invalid_arg "Stochastic.sample_platform: need 0 <= epsilon < 1";
+  if grid <= 0 then invalid_arg "Stochastic.sample_platform: grid <= 0";
+  (* a uniform rational factor in [1-ε, 1+ε] on a lattice of step ε/grid *)
+  let factor () =
+    let k = Prng.int_in r (-grid) grid in
+    Rat.add Rat.one (Rat.mul epsilon (Rat.of_ints k grid))
+  in
+  let p = Platform.p base in
+  let speeds = Array.init p (fun u -> Rat.mul (Platform.speed base u) (factor ())) in
+  let bandwidths =
+    Array.init p (fun u ->
+        Array.init p (fun v ->
+            if u = v then Platform.bandwidth base u v
+            else Rat.mul (Platform.bandwidth base u v) (factor ())))
+  in
+  Platform.create ~speeds ~bandwidths
+
+let period_of model inst =
+  match model with
+  | Comm_model.Overlap -> Rwt_core.Poly_overlap.period inst
+  | Comm_model.Strict -> (Rwt_core.Exact.period model inst).Rwt_core.Exact.period
+
+let run ?(seed = 2009) ?(samples = 200) ?(epsilon = Rat.of_ints 1 5) ?(grid = 100)
+    model inst =
+  if samples <= 0 then invalid_arg "Stochastic.run: samples <= 0";
+  let r = Prng.create seed in
+  let nominal = period_of model inst in
+  let periods = Array.make samples Rat.zero in
+  let no_critical = ref 0 in
+  for i = 0 to samples - 1 do
+    let platform = sample_platform r ~epsilon ~grid inst.Instance.platform in
+    let sample =
+      Instance.create ~name:"sample" ~pipeline:inst.Instance.pipeline ~platform
+        ~mapping:inst.Instance.mapping
+    in
+    let period = period_of model sample in
+    periods.(i) <- period;
+    if Rat.compare period (Cycle_time.mct model sample) > 0 then incr no_critical
+  done;
+  Array.sort Rat.compare periods;
+  let mean =
+    Rat.div_int (Array.fold_left Rat.add Rat.zero periods) samples
+  in
+  { samples;
+    min = periods.(0);
+    max = periods.(samples - 1);
+    mean;
+    median = periods.(samples / 2);
+    q90 = periods.(Stdlib.min (samples - 1) (samples * 9 / 10));
+    nominal;
+    no_critical = !no_critical }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>%d samples: period min %a / median %a / mean %a / q90 %a / max %a@,nominal %a; %d samples without critical resource@]"
+    s.samples Rat.pp_approx s.min Rat.pp_approx s.median Rat.pp_approx s.mean
+    Rat.pp_approx s.q90 Rat.pp_approx s.max Rat.pp_approx s.nominal s.no_critical

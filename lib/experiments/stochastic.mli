@@ -1,0 +1,39 @@
+(** Dynamic platforms — the paper's stated future work (§6: "finding good
+    schedules on dynamic platforms, whose speeds and bandwidths are modeled
+    by random variables").
+
+    We model a dynamic platform as a base platform whose speeds and
+    bandwidths are independently rescaled by uniform factors in
+    [1−ε, 1+ε] for each sample (rational arithmetic throughout: factors are
+    drawn as [k/grid] with [k] integer, so every sampled period is exact).
+    The Monte-Carlo distribution of the period quantifies how fragile a
+    mapping's throughput is to platform variability. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type stats = {
+  samples : int;
+  min : Rat.t;
+  max : Rat.t;
+  mean : Rat.t;
+  median : Rat.t;
+  q90 : Rat.t;  (** empirical 90th percentile *)
+  nominal : Rat.t;  (** period of the unperturbed instance *)
+  no_critical : int;  (** samples whose period exceeds their own Mct *)
+}
+
+val sample_platform :
+  Prng.t -> epsilon:Rat.t -> grid:int -> Platform.t -> Platform.t
+(** One random rescaling of every speed and bandwidth. [grid] controls the
+    resolution of the perturbation lattice (factors are multiples of
+    [1/grid]). @raise Invalid_argument if [epsilon >= 1] or [grid <= 0]. *)
+
+val run :
+  ?seed:int -> ?samples:int -> ?epsilon:Rat.t -> ?grid:int ->
+  Comm_model.t -> Instance.t -> stats
+(** Defaults: seed 2009, 200 samples, ε = 1/5, grid 100. The OVERLAP model
+    uses Theorem 1 per sample; STRICT uses the full TPN (the mapping is
+    fixed, so [m] is fixed — keep it tractable). *)
+
+val pp : Format.formatter -> stats -> unit

@@ -1,0 +1,123 @@
+open Rwt_util
+open Rwt_workflow
+
+type row_config = {
+  label : string;
+  sizes : (int * int) list;
+  comp : int * int;
+  comm : int * int;
+  count : int;
+}
+
+let paper_rows ~scale =
+  let c n = max 2 (int_of_float (float_of_int n *. scale)) in
+  [ { label = "(10,20) and (10,30)"; sizes = [ (10, 20); (10, 30) ];
+      comp = (5, 15); comm = (5, 15); count = c 220 };
+    { label = "(10,20) and (10,30)"; sizes = [ (10, 20); (10, 30) ];
+      comp = (10, 1000); comm = (10, 1000); count = c 220 };
+    { label = "(20,30)"; sizes = [ (20, 30) ]; comp = (5, 15); comm = (5, 15);
+      count = c 68 };
+    { label = "(20,30)"; sizes = [ (20, 30) ]; comp = (10, 1000);
+      comm = (10, 1000); count = c 68 };
+    { label = "(2,7) and (3,7)"; sizes = [ (2, 7); (3, 7) ]; comp = (1, 1);
+      comm = (5, 10); count = c 1000 };
+    { label = "(2,7) and (3,7)"; sizes = [ (2, 7); (3, 7) ]; comp = (1, 1);
+      comm = (10, 50); count = c 1000 } ]
+
+type row_result = {
+  config : row_config;
+  model : Comm_model.t;
+  total : int;
+  without_critical : int;
+  max_gap : Rat.t;
+  skipped : int;
+  estimated : int;
+}
+
+type period_outcome = Exact_period of Rat.t | Estimated_period of Rat.t | Intractable
+
+let period_of ~m_exact_cap ~m_sim_cap model inst =
+  match model with
+  | Comm_model.Overlap -> Exact_period (Rwt_core.Poly_overlap.period inst)
+  | Comm_model.Strict ->
+    let m = Mapping.num_paths inst.Instance.mapping in
+    if m <= m_exact_cap then
+      Exact_period (Rwt_core.Exact.period model inst).Rwt_core.Exact.period
+    else if m <= m_sim_cap then begin
+      let datasets = max (6 * m) 200 in
+      Estimated_period
+        (Rwt_sim.Schedule.period_estimate (Rwt_sim.Schedule.run model inst ~datasets))
+    end
+    else Intractable
+
+let run_row ?(seed = 2009) ?(m_exact_cap = 3000) ?(m_sim_cap = 30000)
+    ?(progress = fun _ -> ()) model cfg =
+  let r = Prng.create (seed + Hashtbl.hash (cfg.label, cfg.comp, cfg.comm, model)) in
+  let sizes = Array.of_list cfg.sizes in
+  let without = ref 0 in
+  let skipped = ref 0 in
+  let estimated = ref 0 in
+  let max_gap = ref Rat.zero in
+  for k = 0 to cfg.count - 1 do
+    progress k;
+    let n_stages, p = sizes.(k mod Array.length sizes) in
+    let inst =
+      Generator.generate r
+        { Generator.n_stages; p; comp = cfg.comp; comm = cfg.comm }
+    in
+    let mct = Cycle_time.mct model inst in
+    (match period_of ~m_exact_cap ~m_sim_cap model inst with
+     | Intractable -> incr skipped
+     | Exact_period period | Estimated_period period as o ->
+       (match o with Estimated_period _ -> incr estimated | _ -> ());
+       if Rat.compare period mct > 0 then begin
+         incr without;
+         let gap = Rat.div (Rat.sub period mct) mct in
+         if Rat.compare gap !max_gap > 0 then max_gap := gap
+       end)
+  done;
+  { config = cfg; model; total = cfg.count; without_critical = !without;
+    max_gap = !max_gap; skipped = !skipped; estimated = !estimated }
+
+let run_all ?seed ?m_exact_cap ?m_sim_cap ?(progress = fun _ _ -> ()) ~scale () =
+  let rows = paper_rows ~scale in
+  List.concat_map
+    (fun model ->
+      List.map
+        (fun cfg ->
+          run_row ?seed ?m_exact_cap ?m_sim_cap
+            ~progress:(progress (cfg.label ^ "/" ^ Comm_model.to_string model))
+            model cfg)
+        rows)
+    [ Comm_model.Overlap; Comm_model.Strict ]
+
+let pp_range fmt (lo, hi) =
+  if lo = hi then Format.fprintf fmt "%d" lo else Format.fprintf fmt "between %d and %d" lo hi
+
+let pp_results fmt results =
+  let header model =
+    Format.fprintf fmt "@,%s:@,"
+      (match model with Comm_model.Overlap -> "With overlap" | Comm_model.Strict -> "Without overlap")
+  in
+  Format.fprintf fmt "@[<v>%-22s %-24s %-24s %s@," "Size (stages, procs)"
+    "Computation times" "Communication times" "#exp without critical / total";
+  let last_model = ref None in
+  List.iter
+    (fun r ->
+      if !last_model <> Some r.model then begin
+        header r.model;
+        last_model := Some r.model
+      end;
+      Format.fprintf fmt "%-22s %-24s %-24s %d / %d%s%s@," r.config.label
+        (Format.asprintf "%a" pp_range r.config.comp)
+        (Format.asprintf "%a" pp_range r.config.comm)
+        r.without_critical r.total
+        (if r.without_critical > 0 then
+           Format.asprintf " (diff less than %a%%)" Rat.pp_approx
+             (Rat.mul_int r.max_gap 100)
+         else "")
+        (if r.skipped > 0 || r.estimated > 0 then
+           Printf.sprintf "  [%d simulated, %d skipped]" r.estimated r.skipped
+         else ""))
+    results;
+  Format.fprintf fmt "@]"

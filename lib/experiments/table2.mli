@@ -1,0 +1,49 @@
+(** Reproduction of the paper's Table 2: for each configuration class and
+    each communication model, count the experiments whose period strictly
+    exceeds every resource cycle-time (no critical resource), and the
+    largest relative gap among them.
+
+    The period is exact: Theorem 1 for OVERLAP; for STRICT, the full-TPN
+    critical cycle when [m = lcm(m_i)] is tractable, otherwise the
+    simulator's certified periodic regime. Instances whose [m] exceeds even
+    the simulation cap are counted in [skipped] (the paper hit the same wall:
+    its runs took up to 150 000 s). *)
+
+open Rwt_util
+open Rwt_workflow
+
+type row_config = {
+  label : string;  (** e.g. "(10,20) and (10,30)" *)
+  sizes : (int * int) list;  (** (stages, processors), cycled through *)
+  comp : int * int;
+  comm : int * int;
+  count : int;  (** experiments in this row *)
+}
+
+val paper_rows : scale:float -> row_config list
+(** The six configuration rows of Table 2, with [count] scaled by [scale]
+    (1.0 = the paper's 2 × 2 576 experiments). *)
+
+type row_result = {
+  config : row_config;
+  model : Comm_model.t;
+  total : int;
+  without_critical : int;
+  max_gap : Rat.t;  (** largest [(P − Mct)/Mct] over the row *)
+  skipped : int;  (** instances beyond the tractability caps *)
+  estimated : int;  (** instances measured by simulation rather than TPN *)
+}
+
+val run_row :
+  ?seed:int -> ?m_exact_cap:int -> ?m_sim_cap:int ->
+  ?progress:(int -> unit) -> Comm_model.t -> row_config -> row_result
+(** Defaults: [seed 2009], [m_exact_cap 3000] (largest TPN solved exactly),
+    [m_sim_cap 30000]. *)
+
+val run_all :
+  ?seed:int -> ?m_exact_cap:int -> ?m_sim_cap:int ->
+  ?progress:(string -> int -> unit) -> scale:float -> unit -> row_result list
+(** All rows × both models (OVERLAP rows first, as in the paper). *)
+
+val pp_results : Format.formatter -> row_result list -> unit
+(** Renders the table in the paper's layout. *)

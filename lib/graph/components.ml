@@ -1,0 +1,41 @@
+type result = { count : int; comp : int array }
+
+let undirected g =
+  let n = Digraph.num_nodes g in
+  let comp = Array.make n (-1) in
+  let adj = Array.make n [] in
+  Digraph.iter_edges
+    (fun e ->
+      adj.(e.Digraph.src) <- e.Digraph.dst :: adj.(e.Digraph.src);
+      adj.(e.Digraph.dst) <- e.Digraph.src :: adj.(e.Digraph.dst))
+    g;
+  let count = ref 0 in
+  for root = 0 to n - 1 do
+    if comp.(root) = -1 then begin
+      let c = !count in
+      incr count;
+      let stack = ref [ root ] in
+      comp.(root) <- c;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: tl ->
+          stack := tl;
+          List.iter
+            (fun v ->
+              if comp.(v) = -1 then begin
+                comp.(v) <- c;
+                stack := v :: !stack
+              end)
+            adj.(u)
+      done
+    end
+  done;
+  { count = !count; comp }
+
+let members r =
+  let buckets = Array.make r.count [] in
+  for v = Array.length r.comp - 1 downto 0 do
+    buckets.(r.comp.(v)) <- v :: buckets.(r.comp.(v))
+  done;
+  buckets

@@ -1,0 +1,12 @@
+(** Weakly connected components (edge direction ignored) — used to split a
+    communication column's sub-TPN into its [gcd(m_i, m_{i+1})] independent
+    components (Theorem 1). *)
+
+type result = {
+  count : int;
+  comp : int array;  (** [comp.(v)] is the component of node [v] *)
+}
+
+val undirected : 'e Digraph.t -> result
+
+val members : result -> int list array

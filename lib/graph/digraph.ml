@@ -1,0 +1,85 @@
+type 'e edge = { src : int; dst : int; label : 'e; id : int }
+
+type 'e t = {
+  n : int;
+  mutable edges : 'e edge array; (* grows; only [0, m) populated *)
+  mutable m : int;
+  out_adj : int list array; (* edge ids, most recent first *)
+  in_adj : int list array;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create";
+  { n; edges = [||]; m = 0; out_adj = Array.make n []; in_adj = Array.make n [] }
+
+let num_nodes g = g.n
+let num_edges g = g.m
+
+let add_edge g u v label =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Digraph.add_edge";
+  let e = { src = u; dst = v; label; id = g.m } in
+  if g.m >= Array.length g.edges then begin
+    let a = Array.make (Stdlib.max 8 (2 * Array.length g.edges)) e in
+    Array.blit g.edges 0 a 0 g.m;
+    g.edges <- a
+  end;
+  g.edges.(g.m) <- e;
+  g.m <- g.m + 1;
+  g.out_adj.(u) <- e.id :: g.out_adj.(u);
+  g.in_adj.(v) <- e.id :: g.in_adj.(v);
+  e
+
+let edge g id =
+  if id < 0 || id >= g.m then invalid_arg "Digraph.edge";
+  g.edges.(id)
+
+let out_edges g u = List.rev_map (fun id -> g.edges.(id)) g.out_adj.(u)
+let in_edges g v = List.rev_map (fun id -> g.edges.(id)) g.in_adj.(v)
+
+let iter_edges f g =
+  for i = 0 to g.m - 1 do
+    f g.edges.(i)
+  done
+
+let fold_edges f acc g =
+  let acc = ref acc in
+  for i = 0 to g.m - 1 do
+    acc := f !acc g.edges.(i)
+  done;
+  !acc
+
+let iter_nodes f g =
+  for u = 0 to g.n - 1 do
+    f u
+  done
+
+let out_degree g u = List.length g.out_adj.(u)
+let in_degree g v = List.length g.in_adj.(v)
+
+let map_labels f g =
+  let g' = create g.n in
+  iter_edges (fun e -> ignore (add_edge g' e.src e.dst (f e.label))) g;
+  g'
+
+let reverse g =
+  let g' = create g.n in
+  iter_edges (fun e -> ignore (add_edge g' e.dst e.src e.label)) g;
+  g'
+
+let subgraph g nodes =
+  let nodes = Array.of_list nodes in
+  let n' = Array.length nodes in
+  let old_of_new = nodes in
+  let new_of_old = Array.make g.n (-1) in
+  Array.iteri
+    (fun i u ->
+      if u < 0 || u >= g.n then invalid_arg "Digraph.subgraph";
+      new_of_old.(u) <- i)
+    nodes;
+  let g' = create n' in
+  iter_edges
+    (fun e ->
+      let u = new_of_old.(e.src) and v = new_of_old.(e.dst) in
+      if u >= 0 && v >= 0 then ignore (add_edge g' u v e.label))
+    g;
+  (g', old_of_new)

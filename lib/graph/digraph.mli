@@ -1,0 +1,44 @@
+(** Directed multigraph substrate.
+
+    Nodes are dense integers [0 .. n-1]; edges carry an arbitrary label and a
+    stable integer id (their insertion index). The structure is built
+    imperatively and then usually consulted read-only; {!out_edges} views are
+    cheap. This is the common carrier for the Petri-net analyses. *)
+
+type 'e edge = { src : int; dst : int; label : 'e; id : int }
+
+type 'e t
+
+val create : int -> 'e t
+(** [create n] is an empty graph on [n] nodes. *)
+
+val num_nodes : 'e t -> int
+val num_edges : 'e t -> int
+
+val add_edge : 'e t -> int -> int -> 'e -> 'e edge
+(** [add_edge g u v label] appends an edge; parallel edges and self-loops are
+    allowed. @raise Invalid_argument on out-of-range endpoints. *)
+
+val edge : 'e t -> int -> 'e edge
+(** Edge by id. @raise Invalid_argument if out of range. *)
+
+val out_edges : 'e t -> int -> 'e edge list
+(** Edges leaving a node, in insertion order. *)
+
+val in_edges : 'e t -> int -> 'e edge list
+
+val iter_edges : ('e edge -> unit) -> 'e t -> unit
+val fold_edges : ('a -> 'e edge -> 'a) -> 'a -> 'e t -> 'a
+val iter_nodes : (int -> unit) -> 'e t -> unit
+
+val out_degree : 'e t -> int -> int
+val in_degree : 'e t -> int -> int
+
+val map_labels : ('e -> 'f) -> 'e t -> 'f t
+
+val reverse : 'e t -> 'e t
+(** Same nodes, every edge flipped (edge ids preserved). *)
+
+val subgraph : 'e t -> int list -> 'e t * int array
+(** [subgraph g nodes] keeps only [nodes] and the edges among them, renumbered
+    densely; the returned array maps new indices to original node ids. *)

@@ -1,0 +1,42 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string attrs =
+  match attrs with
+  | [] -> ""
+  | _ ->
+    let body =
+      String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) attrs)
+    in
+    ", " ^ body
+
+let render ?(name = "g") ?(node_attrs = fun _ -> []) ?(edge_attrs = fun _ -> [])
+    ~node_label ~edge_label g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box];\n";
+  Digraph.iter_nodes
+    (fun u ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" u
+           (escape (node_label u))
+           (attrs_to_string (node_attrs u))))
+    g;
+  Digraph.iter_edges
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"%s];\n" e.Digraph.src e.Digraph.dst
+           (escape (edge_label e.Digraph.label))
+           (attrs_to_string (edge_attrs e))))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

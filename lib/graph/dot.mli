@@ -1,0 +1,11 @@
+(** DOT (Graphviz) rendering for any {!Digraph}. *)
+
+val render :
+  ?name:string ->
+  ?node_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:('e Digraph.edge -> (string * string) list) ->
+  node_label:(int -> string) ->
+  edge_label:('e -> string) ->
+  'e Digraph.t ->
+  string
+(** Returns the full [digraph { ... }] source. Labels are escaped. *)

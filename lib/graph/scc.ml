@@ -1,0 +1,79 @@
+type result = { count : int; comp : int array }
+
+(* Iterative Tarjan. The explicit stack holds (node, out-edge cursor). *)
+let tarjan g =
+  let n = Digraph.num_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let succ = Array.make n [||] in
+  for u = 0 to n - 1 do
+    succ.(u) <- Array.of_list (List.map (fun e -> e.Digraph.dst) (Digraph.out_edges g u))
+  done;
+  let visit root =
+    let call = ref [ (root, 0) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !call <> [] do
+      match !call with
+      | [] -> ()
+      | (u, i) :: rest ->
+        if i < Array.length succ.(u) then begin
+          let v = succ.(u).(i) in
+          call := (u, i + 1) :: rest;
+          if index.(v) = -1 then begin
+            index.(v) <- !next_index;
+            lowlink.(v) <- !next_index;
+            incr next_index;
+            stack := v :: !stack;
+            on_stack.(v) <- true;
+            call := (v, 0) :: !call
+          end
+          else if on_stack.(v) then lowlink.(u) <- Stdlib.min lowlink.(u) index.(v)
+        end
+        else begin
+          call := rest;
+          (match rest with
+           | (p, _) :: _ -> lowlink.(p) <- Stdlib.min lowlink.(p) lowlink.(u)
+           | [] -> ());
+          if lowlink.(u) = index.(u) then begin
+            let continue = ref true in
+            while !continue do
+              match !stack with
+              | [] -> continue := false
+              | w :: tl ->
+                stack := tl;
+                on_stack.(w) <- false;
+                comp.(w) <- !next_comp;
+                if w = u then continue := false
+            done;
+            incr next_comp
+          end
+        end
+    done
+  in
+  for u = 0 to n - 1 do
+    if index.(u) = -1 then visit u
+  done;
+  { count = !next_comp; comp }
+
+let members r =
+  let buckets = Array.make r.count [] in
+  for v = Array.length r.comp - 1 downto 0 do
+    buckets.(r.comp.(v)) <- v :: buckets.(r.comp.(v))
+  done;
+  buckets
+
+let is_trivial g r c =
+  let nodes = ref [] in
+  Array.iteri (fun v cv -> if cv = c then nodes := v :: !nodes) r.comp;
+  match !nodes with
+  | [ v ] -> not (List.exists (fun e -> e.Digraph.dst = v) (Digraph.out_edges g v))
+  | _ -> false

@@ -1,0 +1,19 @@
+(** Strongly connected components (Tarjan, iterative — safe on the large
+    event graphs produced by heavily replicated mappings). *)
+
+type result = {
+  count : int;  (** number of components *)
+  comp : int array;  (** [comp.(v)] is the component index of node [v] *)
+}
+
+val tarjan : 'e Digraph.t -> result
+(** Components are numbered in reverse topological order of the condensation:
+    if there is an edge from component [a] to component [b <> a] then
+    [a > b]. *)
+
+val members : result -> int list array
+(** [members r] lists the nodes of each component, ascending. *)
+
+val is_trivial : 'e Digraph.t -> result -> int -> bool
+(** A component is trivial iff it is a single node without a self-loop (hence
+    lies on no cycle). *)

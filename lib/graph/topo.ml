@@ -1,0 +1,28 @@
+(* Kahn's algorithm. *)
+let sort g =
+  let n = Digraph.num_nodes g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges (fun e -> indeg.(e.Digraph.dst) <- indeg.(e.Digraph.dst) + 1) g;
+  let queue = ref [] in
+  for u = n - 1 downto 0 do
+    if indeg.(u) = 0 then queue := u :: !queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while !queue <> [] do
+    match !queue with
+    | [] -> ()
+    | u :: tl ->
+      queue := tl;
+      order := u :: !order;
+      incr seen;
+      List.iter
+        (fun e ->
+          let v = e.Digraph.dst in
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then queue := v :: !queue)
+        (Digraph.out_edges g u)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let is_acyclic g = sort g <> None

@@ -1,0 +1,6 @@
+(** Topological ordering of acyclic directed graphs. *)
+
+val sort : 'e Digraph.t -> int list option
+(** [Some order] (sources first) if the graph is acyclic, [None] otherwise. *)
+
+val is_acyclic : 'e Digraph.t -> bool

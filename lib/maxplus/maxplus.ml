@@ -1,0 +1,132 @@
+module Make (N : Rwt_util.Num_intf.S) = struct
+  type scalar = Neg_inf | Fin of N.t
+
+  let zero = Neg_inf
+  let unit = Fin N.zero
+  let fin x = Fin x
+
+  let oplus a b =
+    match (a, b) with
+    | Neg_inf, x | x, Neg_inf -> x
+    | Fin x, Fin y -> Fin (N.max x y)
+
+  let otimes a b =
+    match (a, b) with
+    | Neg_inf, _ | _, Neg_inf -> Neg_inf
+    | Fin x, Fin y -> Fin (N.add x y)
+
+  let compare a b =
+    match (a, b) with
+    | Neg_inf, Neg_inf -> 0
+    | Neg_inf, _ -> -1
+    | _, Neg_inf -> 1
+    | Fin x, Fin y -> N.compare x y
+
+  let equal a b = compare a b = 0
+
+  let pp fmt = function
+    | Neg_inf -> Format.pp_print_string fmt "ε"
+    | Fin x -> N.pp fmt x
+
+  type mat = { r : int; c : int; data : scalar array }
+
+  let make r c v =
+    if r < 0 || c < 0 then invalid_arg "Maxplus.make";
+    { r; c; data = Array.make (r * c) v }
+
+  let init r c f =
+    let m = make r c Neg_inf in
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        m.data.((i * c) + j) <- f i j
+      done
+    done;
+    m
+
+  let rows m = m.r
+  let cols m = m.c
+  let get m i j = m.data.((i * m.c) + j)
+  let set m i j v = m.data.((i * m.c) + j) <- v
+
+  let identity n = init n n (fun i j -> if i = j then unit else Neg_inf)
+
+  let mul a b =
+    if a.c <> b.r then invalid_arg "Maxplus.mul: dimension mismatch";
+    init a.r b.c (fun i j ->
+        let acc = ref Neg_inf in
+        for k = 0 to a.c - 1 do
+          acc := oplus !acc (otimes (get a i k) (get b k j))
+        done;
+        !acc)
+
+  let add a b =
+    if a.r <> b.r || a.c <> b.c then invalid_arg "Maxplus.add: dimension mismatch";
+    init a.r a.c (fun i j -> oplus (get a i j) (get b i j))
+
+  let pow a k =
+    if k < 0 then invalid_arg "Maxplus.pow";
+    if a.r <> a.c then invalid_arg "Maxplus.pow: non-square";
+    let rec go acc base k =
+      if k = 0 then acc
+      else go (if k land 1 = 1 then mul acc base else acc) (mul base base) (k lsr 1)
+    in
+    go (identity a.r) a k
+
+  let mul_vec a x =
+    if a.c <> Array.length x then invalid_arg "Maxplus.mul_vec";
+    Array.init a.r (fun i ->
+        let acc = ref Neg_inf in
+        for k = 0 to a.c - 1 do
+          acc := oplus !acc (otimes (get a i k) x.(k))
+        done;
+        !acc)
+
+  (* A* by Floyd–Warshall-style closure; diverges iff a positive cycle
+     exists, detected on the diagonal. *)
+  let star a =
+    if a.r <> a.c then invalid_arg "Maxplus.star: non-square";
+    let n = a.r in
+    let m = init n n (fun i j -> if i = j then oplus unit (get a i j) else get a i j) in
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          set m i j (oplus (get m i j) (otimes (get m i k) (get m k j)))
+        done
+      done
+    done;
+    for i = 0 to n - 1 do
+      if compare (get m i i) unit > 0 then ok := false
+    done;
+    if !ok then Some m else None
+
+  let of_graph g =
+    let n = Rwt_graph.Digraph.num_nodes g in
+    let m = make n n Neg_inf in
+    Rwt_graph.Digraph.iter_edges
+      (fun e ->
+        let i = e.Rwt_graph.Digraph.dst and j = e.Rwt_graph.Digraph.src in
+        set m i j (oplus (get m i j) (Fin e.Rwt_graph.Digraph.label)))
+      g;
+    m
+
+  let eigen_iteration a x0 k =
+    let orbit = Array.make (k + 1) x0 in
+    for i = 1 to k do
+      orbit.(i) <- mul_vec a orbit.(i - 1)
+    done;
+    orbit
+
+  let pp_mat fmt m =
+    Format.fprintf fmt "@[<v>";
+    for i = 0 to m.r - 1 do
+      Format.fprintf fmt "[";
+      for j = 0 to m.c - 1 do
+        if j > 0 then Format.fprintf fmt " ";
+        pp fmt (get m i j)
+      done;
+      Format.fprintf fmt "]";
+      if i < m.r - 1 then Format.fprintf fmt "@,"
+    done;
+    Format.fprintf fmt "@]"
+end

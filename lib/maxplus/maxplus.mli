@@ -1,0 +1,72 @@
+(** The (max,+) semiring and its matrix algebra, following Baccelli, Cohen,
+    Olsder & Quadrat, "Synchronization and Linearity" (the paper's
+    reference [2]).
+
+    Timed event graphs have linear dater equations in this algebra:
+    [x(k) = A0 ⊗ x(k) ⊕ A1 ⊗ x(k-1) ⊕ …]; the asymptotic growth rate of
+    [x(k)] (the (max,+) eigenvalue) is the maximum cycle ratio that yields
+    the workflow period. The module is functorized over the numeric kernel so
+    the same code runs exactly (rationals) or fast (floats). *)
+
+module Make (N : Rwt_util.Num_intf.S) : sig
+  (** {1 Scalars} *)
+
+  type scalar = Neg_inf | Fin of N.t
+  (** [Neg_inf] is the semiring zero ε; [Fin N.zero] is the unit e. *)
+
+  val zero : scalar
+  val unit : scalar
+  val fin : N.t -> scalar
+  val oplus : scalar -> scalar -> scalar
+  (** max *)
+
+  val otimes : scalar -> scalar -> scalar
+  (** + (with ε absorbing) *)
+
+  val compare : scalar -> scalar -> int
+  val equal : scalar -> scalar -> bool
+  val pp : Format.formatter -> scalar -> unit
+
+  (** {1 Matrices} *)
+
+  type mat
+  (** Dense square or rectangular matrices over the semiring. *)
+
+  val make : int -> int -> scalar -> mat
+  val init : int -> int -> (int -> int -> scalar) -> mat
+  val rows : mat -> int
+  val cols : mat -> int
+  val get : mat -> int -> int -> scalar
+  val set : mat -> int -> int -> scalar -> unit
+
+  val identity : int -> mat
+  (** e on the diagonal, ε elsewhere. *)
+
+  val mul : mat -> mat -> mat
+  (** ⊗-product. @raise Invalid_argument on dimension mismatch. *)
+
+  val add : mat -> mat -> mat
+  (** entrywise ⊕. *)
+
+  val pow : mat -> int -> mat
+  (** ⊗-power, [k >= 0]. *)
+
+  val mul_vec : mat -> scalar array -> scalar array
+
+  val star : mat -> mat option
+  (** Kleene star [A* = I ⊕ A ⊕ A² ⊕ …] for a square matrix; [None] if some
+      diagonal of the closure becomes positive (a positive-weight cycle makes
+      the star diverge). Used to eliminate the instantaneous [A0] part of
+      dater equations. *)
+
+  val of_graph : N.t Rwt_graph.Digraph.t -> mat
+  (** Adjacency matrix: entry [(v, u)] is the max weight over edges [u → v]
+      (so that [mul_vec] propagates along edge direction), ε when absent. *)
+
+  val eigen_iteration : mat -> scalar array -> int -> scalar array array
+  (** [eigen_iteration a x0 k] returns the orbit [x0, A⊗x0, …, A^k⊗x0];
+      building block for power-method estimates of the eigenvalue (exact
+      eigenvalues are computed by {!Rwt_petri.Mcr} instead). *)
+
+  val pp_mat : Format.formatter -> mat -> unit
+end

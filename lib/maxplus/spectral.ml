@@ -1,0 +1,34 @@
+open Rwt_util
+module M = Maxplus.Make (Rat)
+module Tpn = Rwt_petri.Tpn
+module D = Rwt_graph.Digraph
+
+let period_of_tpn tpn =
+  let n = Tpn.num_transitions tpn in
+  let a0 = M.make n n M.Neg_inf in
+  let a1 = M.make n n M.Neg_inf in
+  Tpn.iter_places
+    (fun p ->
+      (* dater edge: x_dst(k) >= firing(dst) + x_src(k - tokens) *)
+      let weight = M.fin (Tpn.transition tpn p.Tpn.pl_dst).Tpn.firing in
+      let m = match p.Tpn.tokens with 0 -> a0 | 1 -> a1 | _ ->
+        invalid_arg "Spectral.period_of_tpn: place with more than one token"
+      in
+      M.set m p.Tpn.pl_dst p.Tpn.pl_src
+        (M.oplus (M.get m p.Tpn.pl_dst p.Tpn.pl_src) weight))
+    tpn;
+  match M.star a0 with
+  | None -> failwith "Spectral.period_of_tpn: token-free circuit"
+  | Some star ->
+    let a = M.mul star a1 in
+    (* spectral radius = max cycle mean of A as a graph (every edge of A
+       consumes exactly one token) *)
+    let g = D.create n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        match M.get a i j with
+        | M.Neg_inf -> ()
+        | M.Fin w -> ignore (D.add_edge g j i w)
+      done
+    done;
+    Rwt_petri.Mcr.Exact.karp g

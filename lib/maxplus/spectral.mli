@@ -1,0 +1,24 @@
+(** Period of a timed event graph through its (max,+) dater equations —
+    a fourth, independent computation path (next to Howard, the parametric
+    solver and the token game), exercising the algebra of the paper's
+    reference [2] end to end.
+
+    Daters satisfy [x(k) = A0 ⊗ x(k) ⊕ A1 ⊗ x(k−1)] where [A0] collects the
+    token-free places and [A1] the singly-marked ones. Eliminating the
+    instantaneous part gives [x(k) = (A0* ⊗ A1) ⊗ x(k−1)], and the period is
+    the (max,+) spectral radius of [A = A0* ⊗ A1], i.e. the maximum cycle
+    mean of [A] viewed as a weighted graph.
+
+    Cost is [O(n³)] in the number of transitions (the star), so this is a
+    cross-check for small and medium nets, not a replacement for the
+    polynomial algorithm. *)
+
+open Rwt_util
+
+val period_of_tpn : Rwt_petri.Tpn.t -> Rat.t option
+(** Maximum cycle ratio of the net (equal to
+    [Rwt_petri.Mcr.period_of_tpn]); [None] for acyclic nets.
+    @raise Invalid_argument if some place holds more than one token (the
+    nets of this repository are 1-bounded by construction; the general
+    reduction would expand multi-token places first).
+    @raise Failure if the net has a token-free circuit ([A0*] diverges). *)

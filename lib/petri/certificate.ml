@@ -1,0 +1,73 @@
+open Rwt_util
+module D = Rwt_graph.Digraph
+module E = Mcr.Exact
+
+type t = {
+  lambda : Rat.t;
+  potential : Rat.t array;
+  witness : int list;
+}
+
+let make g =
+  match E.max_cycle_ratio g with
+  | None -> None
+  | Some w ->
+    let lambda = w.E.ratio in
+    let n = D.num_nodes g in
+    (* longest-path fixpoint over reduced weights from an implicit
+       super-source: converges because no cycle is positive at λ* *)
+    let phi = Array.make n Rat.zero in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      D.iter_edges
+        (fun e ->
+          let reduced =
+            Rat.sub e.D.label.E.weight (Rat.mul lambda (Rat.of_int e.D.label.E.tokens))
+          in
+          let cand = Rat.add phi.(e.D.src) reduced in
+          if Rat.compare cand phi.(e.D.dst) > 0 then begin
+            phi.(e.D.dst) <- cand;
+            changed := true
+          end)
+        g
+    done;
+    Some { lambda; potential = phi; witness = w.E.cycle }
+
+let check g cert =
+  let n = D.num_nodes g in
+  if Array.length cert.potential <> n then Error "potential arity mismatch"
+  else begin
+    let violation = ref None in
+    D.iter_edges
+      (fun e ->
+        if !violation = None then begin
+          let reduced =
+            Rat.sub e.D.label.E.weight (Rat.mul cert.lambda (Rat.of_int e.D.label.E.tokens))
+          in
+          let slack =
+            Rat.sub (Rat.sub cert.potential.(e.D.dst) cert.potential.(e.D.src)) reduced
+          in
+          if Rat.sign slack < 0 then
+            violation := Some (Printf.sprintf "edge %d violates the potential inequality" e.D.id)
+        end)
+      g;
+    match !violation with
+    | Some msg -> Error msg
+    | None ->
+      (match E.cycle_ratio g cert.witness with
+       | ratio ->
+         if Rat.equal ratio cert.lambda then Ok ()
+         else Error "witness cycle does not achieve lambda"
+       | exception Invalid_argument msg -> Error ("invalid witness: " ^ msg))
+  end
+
+let to_json cert =
+  Json.to_string
+    (Json.Obj
+       [ ("lambda", Json.String (Rat.to_string cert.lambda));
+         ( "potential",
+           Json.List
+             (Array.to_list
+                (Array.map (fun v -> Json.String (Rat.to_string v)) cert.potential)) );
+         ("witness", Json.List (List.map (fun e -> Json.Int e) cert.witness)) ])

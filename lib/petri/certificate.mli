@@ -1,0 +1,32 @@
+(** Self-contained optimality certificates for the maximum cycle ratio.
+
+    A certificate for [λ] consists of a node potential [φ] with
+
+    [w(e) − λ·t(e) <= φ(dst e) − φ(src e)]   for every edge [e]
+
+    (summing around any cycle proves [ratio(C) <= λ]) together with a
+    witness cycle of ratio exactly [λ]. Checking a certificate is a single
+    [O(E)] pass of exact rational arithmetic — a verifier can trust a
+    reported period without trusting Howard's policy iteration, the
+    parametric solver, or any other machinery in this repository. *)
+
+open Rwt_util
+
+type t = {
+  lambda : Rat.t;
+  potential : Rat.t array;  (** one value per node *)
+  witness : int list;  (** edge ids of a cycle achieving [lambda] *)
+}
+
+val make : Mcr.Exact.graph -> t option
+(** Solve (via {!Mcr.Exact.max_cycle_ratio}) and derive a globally valid
+    potential by longest-path relaxation on the reduced weights (which have
+    no positive cycle at the optimum). [None] iff the graph is acyclic.
+    @raise Mcr.Exact.Not_live on token-free cycles. *)
+
+val check : Mcr.Exact.graph -> t -> (unit, string) result
+(** Independent verification: every edge inequality, witness validity and
+    the witness ratio. Does not call any solver. *)
+
+val to_json : t -> string
+(** Portable rendering (rationals as strings). *)

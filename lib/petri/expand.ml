@@ -1,0 +1,43 @@
+open Rwt_util
+
+let is_one_bounded tpn =
+  List.for_all (fun p -> p.Tpn.tokens <= 1) (Tpn.places tpn)
+
+let one_bounded tpn =
+  let base = Tpn.num_transitions tpn in
+  (* count the fresh buffer transitions needed *)
+  let extra =
+    List.fold_left
+      (fun acc p -> acc + max 0 (p.Tpn.tokens - 1))
+      0 (Tpn.places tpn)
+  in
+  let transitions =
+    Array.init (base + extra) (fun i ->
+        if i < base then Tpn.transition tpn i
+        else { Tpn.tr_name = Printf.sprintf "buf%d" (i - base); firing = Rat.zero })
+  in
+  let out = Tpn.create transitions in
+  let next_fresh = ref base in
+  List.iter
+    (fun p ->
+      if p.Tpn.tokens <= 1 then
+        Tpn.add_place out ~name:p.Tpn.pl_name ~src:p.Tpn.pl_src ~dst:p.Tpn.pl_dst
+          ~tokens:p.Tpn.tokens
+      else begin
+        (* src → buf → buf → … → dst, one token per hop *)
+        let hops = p.Tpn.tokens in
+        let prev = ref p.Tpn.pl_src in
+        for k = 1 to hops - 1 do
+          let fresh = !next_fresh in
+          incr next_fresh;
+          Tpn.add_place out
+            ~name:(Printf.sprintf "%s#%d" p.Tpn.pl_name k)
+            ~src:!prev ~dst:fresh ~tokens:1;
+          prev := fresh
+        done;
+        Tpn.add_place out
+          ~name:(Printf.sprintf "%s#%d" p.Tpn.pl_name hops)
+          ~src:!prev ~dst:p.Tpn.pl_dst ~tokens:1
+      end)
+    (Tpn.places tpn);
+  out

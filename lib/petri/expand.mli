@@ -1,0 +1,15 @@
+(** Reduction of timed event graphs to 1-bounded form.
+
+    A place holding [k >= 2] tokens is equivalent (for dater semantics and
+    cycle ratios) to a chain of [k] singly-marked places threaded through
+    [k-1] fresh zero-time transitions. The (max,+) matrix formulation
+    ({!Rwt_maxplus.Spectral}) and any analysis restricted to markings in
+    {0, 1} become fully general after this expansion. *)
+
+val one_bounded : Tpn.t -> Tpn.t
+(** Structurally equal to the input if it is already 1-bounded (fresh copy
+    otherwise). Firing times, liveness and every circuit's ratio are
+    preserved; added transitions are named ["buf<k>@<place>"] with firing
+    time 0. *)
+
+val is_one_bounded : Tpn.t -> bool

@@ -1,0 +1,485 @@
+module D = Rwt_graph.Digraph
+
+module Make (N : Rwt_util.Num_intf.S) = struct
+  type edge_data = { weight : N.t; tokens : int }
+  type graph = edge_data D.t
+
+  exception Not_live of int list
+
+  type witness = { ratio : N.t; cycle : int list }
+
+  let cycle_ratio g edge_ids =
+    match edge_ids with
+    | [] -> invalid_arg "Mcr.cycle_ratio: empty cycle"
+    | first :: _ ->
+      let rec go ids w t prev_dst =
+        match ids with
+        | [] ->
+          if prev_dst <> (D.edge g first).D.src then
+            invalid_arg "Mcr.cycle_ratio: edges do not close a cycle";
+          (w, t)
+        | id :: rest ->
+          let e = D.edge g id in
+          if e.D.src <> prev_dst then invalid_arg "Mcr.cycle_ratio: edges not consecutive";
+          go rest (N.add w e.D.label.weight) (t + e.D.label.tokens) e.D.dst
+      in
+      let w, t = go edge_ids N.zero 0 (D.edge g first).D.src in
+      if t <= 0 then invalid_arg "Mcr.cycle_ratio: token-free cycle";
+      N.div w (N.of_int t)
+
+  (* Liveness: the subgraph of token-free edges must be acyclic, otherwise a
+     circuit would deadlock (infinite ratio). *)
+  let check_live g =
+    let n = D.num_nodes g in
+    let g0 = D.create n in
+    D.iter_edges
+      (fun e -> if e.D.label.tokens = 0 then ignore (D.add_edge g0 e.D.src e.D.dst ()))
+      g;
+    match Rwt_graph.Topo.sort g0 with
+    | Some _ -> ()
+    | None ->
+      let color = Array.make n 0 in
+      let parent = Array.make n (-1) in
+      let cycle = ref [] in
+      let rec dfs u =
+        color.(u) <- 1;
+        List.iter
+          (fun e ->
+            let v = e.D.dst in
+            if !cycle = [] then
+              if color.(v) = 0 then begin
+                parent.(v) <- u;
+                dfs v
+              end
+              else if color.(v) = 1 then begin
+                let rec collect x acc =
+                  if x = v then v :: acc else collect parent.(x) (x :: acc)
+                in
+                cycle := collect u []
+              end)
+          (D.out_edges g0 u);
+        color.(u) <- 2
+      in
+      let u = ref 0 in
+      while !cycle = [] && !u < n do
+        if color.(!u) = 0 then dfs !u;
+        incr u
+      done;
+      raise (Not_live !cycle)
+
+  (* Per-SCC working representation: CSR out-adjacency over local node
+     indices, keeping original edge ids for witness extraction. *)
+  type ctx = {
+    n : int;
+    eptr : int array; (* length n+1 *)
+    edst : int array;
+    ew : N.t array;
+    et : int array;
+    eid : int array;
+  }
+
+  let build_ctx g members comp_id comp_of =
+    let nodes = Array.of_list members in
+    let n = Array.length nodes in
+    let local = Hashtbl.create (2 * n) in
+    Array.iteri (fun i u -> Hashtbl.replace local u i) nodes;
+    let deg = Array.make n 0 in
+    let edges = ref [] in
+    let m = ref 0 in
+    Array.iteri
+      (fun i u ->
+        List.iter
+          (fun e ->
+            if comp_of.(e.D.dst) = comp_id then begin
+              edges := (i, e) :: !edges;
+              deg.(i) <- deg.(i) + 1;
+              incr m
+            end)
+          (D.out_edges g u))
+      nodes;
+    let eptr = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      eptr.(i + 1) <- eptr.(i) + deg.(i)
+    done;
+    let pos = Array.copy eptr in
+    let edst = Array.make !m 0 in
+    let ew = Array.make !m N.zero in
+    let et = Array.make !m 0 in
+    let eid = Array.make !m 0 in
+    List.iter
+      (fun (u, e) ->
+        let i = pos.(u) in
+        pos.(u) <- i + 1;
+        edst.(i) <- Hashtbl.find local e.D.dst;
+        ew.(i) <- e.D.label.weight;
+        et.(i) <- e.D.label.tokens;
+        eid.(i) <- e.D.id)
+      !edges;
+    { n; eptr; edst; ew; et; eid }
+
+  (* Cycles of a policy (functional) graph: per cycle, the entry node and the
+     ordered list of local edge indices. *)
+  let policy_cycles ctx policy =
+    let state = Array.make ctx.n 0 in
+    (* 0 = unvisited, t > 0 = on walk #t, -1 = settled *)
+    let cycles = ref [] in
+    let tag = ref 0 in
+    for start = 0 to ctx.n - 1 do
+      if state.(start) = 0 then begin
+        incr tag;
+        let t = !tag in
+        let x = ref start in
+        let path = ref [] in
+        while state.(!x) = 0 do
+          state.(!x) <- t;
+          path := !x :: !path;
+          x := ctx.edst.(policy.(!x))
+        done;
+        if state.(!x) = t then begin
+          let entry = !x in
+          let rec collect y acc =
+            let acc = policy.(y) :: acc in
+            let z = ctx.edst.(policy.(y)) in
+            if z = entry then List.rev acc else collect z acc
+          in
+          cycles := (entry, collect entry []) :: !cycles
+        end;
+        List.iter (fun y -> state.(y) <- -1) !path
+      end
+    done;
+    !cycles
+
+  let ratio_of_edges ctx edges =
+    let w = List.fold_left (fun acc i -> N.add acc ctx.ew.(i)) N.zero edges in
+    let t = List.fold_left (fun acc i -> acc + ctx.et.(i)) 0 edges in
+    if t <= 0 then raise (Not_live []);
+    N.div w (N.of_int t)
+
+  (* Positive-cycle detection under reduced weights w − λ·t: n rounds of
+     Bellman–Ford (longest path) from an implicit super-source. A relaxation
+     in pass n certifies a positive cycle living in the predecessor graph;
+     walking predecessor edges with visited marks must revisit a node within
+     n steps (and provably cannot reach a nil predecessor before that). *)
+  let find_positive_cycle ctx lambda =
+    let dist = Array.make ctx.n N.zero in
+    let pred = Array.make ctx.n (-1) in
+    let reduced i = N.sub ctx.ew.(i) (N.mul lambda (N.of_int ctx.et.(i))) in
+    let changed = ref true in
+    let last_changed = ref (-1) in
+    let round = ref 0 in
+    while !changed && !round < ctx.n do
+      incr round;
+      changed := false;
+      for u = 0 to ctx.n - 1 do
+        for i = ctx.eptr.(u) to ctx.eptr.(u + 1) - 1 do
+          let z = ctx.edst.(i) in
+          let cand = N.add dist.(u) (reduced i) in
+          if N.compare cand dist.(z) > 0 then begin
+            dist.(z) <- cand;
+            pred.(z) <- i;
+            changed := true;
+            last_changed := z
+          end
+        done
+      done
+    done;
+    if not !changed then None
+    else begin
+      let src_of i =
+        (* source node of local edge i: binary search over the CSR ranges *)
+        let rec find lo hi =
+          if hi - lo <= 1 then lo
+          else
+            let mid = (lo + hi) / 2 in
+            if ctx.eptr.(mid) <= i then find mid hi else find lo mid
+        in
+        find 0 ctx.n
+      in
+      let visited = Array.make ctx.n false in
+      let x = ref !last_changed in
+      while not visited.(!x) do
+        visited.(!x) <- true;
+        x := src_of pred.(!x)
+      done;
+      let start = !x in
+      let acc = ref [] in
+      let y = ref start in
+      let first = ref true in
+      while !first || !y <> start do
+        first := false;
+        let e = pred.(!y) in
+        acc := e :: !acc;
+        y := src_of e
+      done;
+      Some !acc
+    end
+
+  (* Parametric cycle improvement — unconditionally correct reference:
+     start from any cycle's ratio λ; while the graph has a cycle of positive
+     reduced weight (w − λ·t), replace λ by that cycle's ratio. Each step
+     strictly increases λ within the finite set of simple-cycle ratios. *)
+  let parametric_scc ctx =
+    let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
+    let cyc0 =
+      match policy_cycles ctx policy with
+      | (_, c) :: _ -> c
+      | [] -> invalid_arg "Mcr: SCC without a cycle"
+    in
+    let lambda = ref (ratio_of_edges ctx cyc0) in
+    let best = ref cyc0 in
+    let continue_ = ref true in
+    while !continue_ do
+      match find_positive_cycle ctx !lambda with
+      | None -> continue_ := false
+      | Some cyc ->
+        let r = ratio_of_edges ctx cyc in
+        if N.compare r !lambda <= 0 then
+          (* impossible with exact arithmetic; guards float instability *)
+          continue_ := false
+        else begin
+          lambda := r;
+          best := cyc
+        end
+    done;
+    (!lambda, !best)
+
+  (* Lawler's binary search: bisect λ on [some cycle ratio, max achievable],
+     using positive-cycle existence as the feasibility predicate. Stops when
+     the bracket is narrower than [epsilon]; the returned value is the exact
+     ratio of a genuine cycle within [epsilon] of the optimum (so for the
+     exact kernel it is a certified lower bound, and the solver of choice
+     when an approximation is acceptable on huge graphs). *)
+  let lawler_scc ~epsilon ctx =
+    let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
+    let cyc0 =
+      match policy_cycles ctx policy with
+      | (_, c) :: _ -> c
+      | [] -> invalid_arg "Mcr: SCC without a cycle"
+    in
+    let best = ref cyc0 in
+    let lo = ref (ratio_of_edges ctx cyc0) in
+    (* any cycle ratio is bounded by the largest edge weight over the
+       smallest positive token count (1) times the cycle length factor:
+       sum w / sum t <= sum of positive weights *)
+    let hi = ref N.zero in
+    Array.iter (fun w -> if N.compare w N.zero > 0 then hi := N.add !hi w) ctx.ew;
+    if N.compare !hi !lo < 0 then hi := !lo;
+    while N.compare (N.sub !hi !lo) epsilon > 0 do
+      let mid = N.div (N.add !lo !hi) (N.of_int 2) in
+      match find_positive_cycle ctx mid with
+      | Some cyc ->
+        let r = ratio_of_edges ctx cyc in
+        best := cyc;
+        (* r > mid by construction: jump the lower bound to the witness *)
+        lo := N.max r mid
+      | None -> hi := mid
+    done;
+    (!lo, !best)
+
+  (* Howard policy iteration. The result is self-certifying: at termination
+     no edge improves the potentials, which proves λ ≥ every cycle ratio,
+     and the reported policy cycle attains λ. If the iteration has not
+     settled within the cap (possible only under pathological tie patterns),
+     fall back to the parametric solver. *)
+  let howard_scc ctx =
+    let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
+    let v = Array.make ctx.n N.zero in
+    let known = Array.make ctx.n false in
+    let settled = ref false in
+    let lambda = ref N.zero in
+    let best = ref [] in
+    let iters = ref 0 in
+    let cap = (20 * ctx.n) + 100 in
+    while (not !settled) && !iters < cap do
+      incr iters;
+      (* Value determination. *)
+      let cycles = policy_cycles ctx policy in
+      let lam, bc =
+        match cycles with
+        | [] -> invalid_arg "Mcr: SCC without a cycle"
+        | (_, c0) :: _ ->
+          List.fold_left
+            (fun (lam, bc) (_, edges) ->
+              let r = ratio_of_edges ctx edges in
+              if N.compare r lam > 0 then (r, edges) else (lam, bc))
+            (ratio_of_edges ctx c0, c0)
+            cycles
+      in
+      lambda := lam;
+      best := bc;
+      let reduced i = N.sub ctx.ew.(i) (N.mul lam (N.of_int ctx.et.(i))) in
+      Array.fill known 0 ctx.n false;
+      (* potentials on every policy cycle: pin the entry at 0 and relax
+         backwards around the cycle *)
+      List.iter
+        (fun (entry, edges) ->
+          let nodes =
+            List.fold_left (fun acc i -> ctx.edst.(i) :: acc) [] edges
+            (* = cycle nodes ending with entry, in reverse traversal order *)
+          in
+          v.(entry) <- N.zero;
+          known.(entry) <- true;
+          List.iter
+            (fun u ->
+              if not known.(u) then begin
+                v.(u) <- N.add (reduced policy.(u)) v.(ctx.edst.(policy.(u)));
+                known.(u) <- true
+              end)
+            nodes)
+        cycles;
+      (* chains: every succ-walk ends in a (now known) policy cycle *)
+      for u0 = 0 to ctx.n - 1 do
+        if not known.(u0) then begin
+          let stack = ref [] in
+          let x = ref u0 in
+          while not known.(!x) do
+            stack := !x :: !stack;
+            x := ctx.edst.(policy.(!x))
+          done;
+          List.iter
+            (fun u ->
+              v.(u) <- N.add (reduced policy.(u)) v.(ctx.edst.(policy.(u)));
+              known.(u) <- true)
+            !stack
+        end
+      done;
+      (* Policy improvement (strict, so exact arithmetic cannot cycle on
+         ties). *)
+      let improved = ref false in
+      for u = 0 to ctx.n - 1 do
+        let best_i = ref (-1) in
+        let best_val = ref v.(u) in
+        for i = ctx.eptr.(u) to ctx.eptr.(u + 1) - 1 do
+          let cand = N.add (reduced i) v.(ctx.edst.(i)) in
+          if N.compare cand !best_val > 0 then begin
+            best_val := cand;
+            best_i := i
+          end
+        done;
+        if !best_i >= 0 then begin
+          policy.(u) <- !best_i;
+          improved := true
+        end
+      done;
+      if not !improved then settled := true
+    done;
+    if !settled then (!lambda, !best) else parametric_scc ctx
+
+  (* Wrapper: liveness check, SCC decomposition, solve per component, return
+     the global maximum with an original-edge-id witness. *)
+  let solve scc_solver g =
+    check_live g;
+    let scc = Rwt_graph.Scc.tarjan g in
+    let members = Rwt_graph.Scc.members scc in
+    let best = ref None in
+    Array.iteri
+      (fun comp_id nodes ->
+        let ctx = build_ctx g nodes comp_id scc.Rwt_graph.Scc.comp in
+        (* skip components that cannot contain a cycle: a single node
+           needs a self-loop; otherwise an SCC with >= 2 nodes always has
+           every out-degree >= 1 inside *)
+        let has_cycle = ctx.n >= 2 || ctx.eptr.(ctx.n) > 0 in
+        if has_cycle then begin
+          let ratio, cyc = scc_solver ctx in
+          let cyc = List.map (fun i -> ctx.eid.(i)) cyc in
+          match !best with
+          | None -> best := Some { ratio; cycle = cyc }
+          | Some w -> if N.compare ratio w.ratio > 0 then best := Some { ratio; cycle = cyc }
+        end)
+      members;
+    !best
+
+  let parametric g = solve parametric_scc g
+  let howard g = solve howard_scc g
+  let lawler ~epsilon g = solve (lawler_scc ~epsilon) g
+  let max_cycle_ratio = howard
+
+  (* Karp's maximum cycle mean: per SCC, longest walks of each length from a
+     fixed source; λ* = max_v min_k (D_n(v) − D_k(v))/(n − k). *)
+  let karp g =
+    let scc = Rwt_graph.Scc.tarjan g in
+    let members = Rwt_graph.Scc.members scc in
+    let best = ref None in
+    Array.iteri
+      (fun comp_id nodes ->
+        let nodes_a = Array.of_list nodes in
+        let n = Array.length nodes_a in
+        let local = Hashtbl.create (2 * n) in
+        Array.iteri (fun i u -> Hashtbl.replace local u i) nodes_a;
+        let edges = ref [] in
+        Array.iteri
+          (fun i u ->
+            List.iter
+              (fun e ->
+                if scc.Rwt_graph.Scc.comp.(e.D.dst) = comp_id then
+                  edges := (i, Hashtbl.find local e.D.dst, e.D.label) :: !edges)
+              (D.out_edges g u))
+          nodes_a;
+        let edges = !edges in
+        let has_cycle = n >= 2 || edges <> [] in
+        if has_cycle then begin
+          let dist = Array.make_matrix (n + 1) n N.zero in
+          let reach = Array.make_matrix (n + 1) n false in
+          reach.(0).(0) <- true;
+          for k = 1 to n do
+            List.iter
+              (fun (u, z, w) ->
+                if reach.(k - 1).(u) then begin
+                  let cand = N.add dist.(k - 1).(u) w in
+                  if (not reach.(k).(z)) || N.compare cand dist.(k).(z) > 0 then begin
+                    dist.(k).(z) <- cand;
+                    reach.(k).(z) <- true
+                  end
+                end)
+              edges
+          done;
+          for v = 0 to n - 1 do
+            if reach.(n).(v) then begin
+              let lam_v = ref None in
+              for k = 0 to n - 1 do
+                if reach.(k).(v) then begin
+                  let mean = N.div (N.sub dist.(n).(v) dist.(k).(v)) (N.of_int (n - k)) in
+                  match !lam_v with
+                  | None -> lam_v := Some mean
+                  | Some m -> if N.compare mean m < 0 then lam_v := Some mean
+                end
+              done;
+              match !lam_v with
+              | None -> ()
+              | Some lv ->
+                (match !best with
+                 | None -> best := Some lv
+                 | Some b -> if N.compare lv b > 0 then best := Some lv)
+            end
+          done
+        end)
+      members;
+    !best
+end
+
+module Exact = Make (Rwt_util.Rat)
+module Approx = Make (Rwt_util.Num_intf.Float_num)
+
+let graph_of_tpn tpn =
+  let g = D.create (Tpn.num_transitions tpn) in
+  Tpn.iter_places
+    (fun p ->
+      ignore
+        (D.add_edge g p.Tpn.pl_src p.Tpn.pl_dst
+           { Exact.weight = (Tpn.transition tpn p.Tpn.pl_src).Tpn.firing;
+             tokens = p.Tpn.tokens }))
+    tpn;
+  g
+
+let float_graph_of_tpn tpn =
+  let g = D.create (Tpn.num_transitions tpn) in
+  Tpn.iter_places
+    (fun p ->
+      ignore
+        (D.add_edge g p.Tpn.pl_src p.Tpn.pl_dst
+           { Approx.weight = Rwt_util.Rat.to_float (Tpn.transition tpn p.Tpn.pl_src).Tpn.firing;
+             tokens = p.Tpn.tokens }))
+    tpn;
+  g
+
+let period_of_tpn tpn = Exact.max_cycle_ratio (graph_of_tpn tpn)

@@ -1,0 +1,75 @@
+(** Maximum cycle ratio of doubly-weighted directed graphs.
+
+    Each edge carries a numerator weight and an integer token count; the
+    objective is [λ* = max over cycles C of (Σ weight) / (Σ tokens)]. For a
+    timed event graph with edge weight = firing time of the source transition
+    and tokens = initial marking, [λ*] is the steady-state time between two
+    successive firings of any transition (the TPN period of the paper,
+    covering [m] data sets).
+
+    Three independent solvers are provided and cross-validated by the test
+    suite:
+    - {!Make.howard}: policy iteration — fast in practice; its result is
+      always certified by an explicit optimality check, and it falls back to
+      the parametric solver if it fails to converge;
+    - {!Make.parametric}: cycle-improvement with Bellman–Ford positive-cycle
+      detection — unconditionally correct, the reference;
+    - {!Make.karp}: Karp's maximum cycle {e mean} (tokens ignored, mean over
+      edge count), for the unit-token special case and cross-checks.
+
+    The functor runs over any numeric kernel; {!Exact} (rationals) gives
+    exact results, {!Approx} (floats) is for benchmarking. *)
+
+module Make (N : Rwt_util.Num_intf.S) : sig
+  type edge_data = { weight : N.t; tokens : int }
+
+  type graph = edge_data Rwt_graph.Digraph.t
+
+  exception Not_live of int list
+  (** Raised when some cycle carries zero tokens (its ratio is infinite, the
+      event graph would deadlock). Carries the node ids of a witness cycle. *)
+
+  type witness = {
+    ratio : N.t;
+    cycle : int list;  (** edge ids of a critical cycle, in order *)
+  }
+
+  val cycle_ratio : graph -> int list -> N.t
+  (** Ratio of the cycle formed by the given edge ids.
+      @raise Invalid_argument if the edges do not form a cycle or carry no
+      token. *)
+
+  val parametric : graph -> witness option
+  (** [None] iff the graph is acyclic. @raise Not_live (see above). *)
+
+  val howard : graph -> witness option
+  (** Same contract as {!parametric}; result certified, falls back internally
+      if policy iteration stalls. *)
+
+  val lawler : epsilon:N.t -> graph -> witness option
+  (** Lawler's parametric binary search. The returned ratio is the exact
+      ratio of a genuine cycle, within [epsilon] of the optimum — a
+      certified lower bound. Prefer {!howard} for exact answers; this solver
+      exists for the ablation study and as the classical baseline. *)
+
+  val max_cycle_ratio : graph -> witness option
+  (** The default solver ({!howard}). *)
+
+  val karp : N.t Rwt_graph.Digraph.t -> N.t option
+  (** Maximum cycle mean [(Σ weight)/|C|]; [None] iff acyclic. *)
+end
+
+module Exact : module type of Make (Rwt_util.Rat)
+module Approx : module type of Make (Rwt_util.Num_intf.Float_num)
+
+val graph_of_tpn : Tpn.t -> Exact.graph
+(** Event graph → ratio graph: one edge per place, weighted by the firing
+    time of its {e input} transition; edge ids coincide with place insertion
+    order. *)
+
+val float_graph_of_tpn : Tpn.t -> Approx.graph
+
+val period_of_tpn : Tpn.t -> Exact.witness option
+(** Maximum cycle ratio of the net's ratio graph: the exact steady-state
+    inter-firing time of every transition ([None] for acyclic nets, which
+    impose no throughput bound). @raise Exact.Not_live on token-free cycles. *)

@@ -1,0 +1,46 @@
+open Rwt_util
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(net_id = "tpn") tpn =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  pr "<pnml xmlns=\"http://www.pnml.org/version-2009/grammar/pnml\">\n";
+  pr "  <net id=\"%s\" type=\"http://www.pnml.org/version-2009/grammar/ptnet\">\n"
+    (escape net_id);
+  pr "    <page id=\"page0\">\n";
+  for i = 0 to Tpn.num_transitions tpn - 1 do
+    let tr = Tpn.transition tpn i in
+    pr "      <transition id=\"t%d\">\n" i;
+    pr "        <name><text>%s</text></name>\n" (escape tr.Tpn.tr_name);
+    pr "        <toolspecific tool=\"rwt\" version=\"1.0\">\n";
+    pr "          <firingTime>%s</firingTime>\n" (escape (Rat.to_string tr.Tpn.firing));
+    pr "        </toolspecific>\n";
+    pr "      </transition>\n"
+  done;
+  List.iteri
+    (fun k p ->
+      pr "      <place id=\"pl%d\">\n" k;
+      if p.Tpn.pl_name <> "" then
+        pr "        <name><text>%s</text></name>\n" (escape p.Tpn.pl_name);
+      if p.Tpn.tokens > 0 then
+        pr "        <initialMarking><text>%d</text></initialMarking>\n" p.Tpn.tokens;
+      pr "      </place>\n";
+      pr "      <arc id=\"a%din\" source=\"t%d\" target=\"pl%d\"/>\n" k p.Tpn.pl_src k;
+      pr "      <arc id=\"a%dout\" source=\"pl%d\" target=\"t%d\"/>\n" k k p.Tpn.pl_dst)
+    (Tpn.places tpn);
+  pr "    </page>\n  </net>\n</pnml>\n";
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** PNML (Petri Net Markup Language, ISO/IEC 15909-2) export.
+
+    The paper computed critical cycles with the GreatSPN and ERS tool suites
+    (its references [5, 9]); PNML is the interchange format that lets the
+    nets built here be opened in their modern successors (GreatSPN, TINA,
+    PIPE, …). We emit the P/T net skeleton with initial markings, plus the
+    firing times as [toolspecific] annotations (PNML's standard extension
+    point — stochastic/timed attributes are not part of the core schema).
+
+    Places are explicit PNML places between transition pairs, so the event
+    graph property is visible in the output structure. *)
+
+val to_string : ?net_id:string -> Tpn.t -> string
+(** A standalone [<pnml>] document (UTF-8). *)

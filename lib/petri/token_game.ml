@@ -1,0 +1,86 @@
+open Rwt_util
+
+let daters tpn k =
+  if k < 0 then invalid_arg "Token_game.daters";
+  (match Tpn.liveness tpn with
+   | Tpn.Live -> ()
+   | Tpn.Dead_cycle _ -> failwith "Token_game.daters: net has a token-free circuit");
+  let n = Tpn.num_transitions tpn in
+  let x = Array.init n (fun _ -> Array.make k Rat.zero) in
+  (* Group input places per transition once. *)
+  let inputs = Array.make n [] in
+  Tpn.iter_places (fun p -> inputs.(p.Tpn.pl_dst) <- p :: inputs.(p.Tpn.pl_dst)) tpn;
+  (* Firing order within one index j: transitions connected by token-free
+     places must fire in topological order of the token-free subgraph. *)
+  let g0 = Rwt_graph.Digraph.create n in
+  Tpn.iter_places
+    (fun p ->
+      if p.Tpn.tokens = 0 then
+        ignore (Rwt_graph.Digraph.add_edge g0 p.Tpn.pl_src p.Tpn.pl_dst ()))
+    tpn;
+  let order =
+    match Rwt_graph.Topo.sort g0 with
+    | Some o -> o
+    | None -> assert false (* liveness checked above *)
+  in
+  for j = 0 to k - 1 do
+    List.iter
+      (fun t ->
+        let firing = (Tpn.transition tpn t).Tpn.firing in
+        let ready =
+          List.fold_left
+            (fun acc p ->
+              let j' = j - p.Tpn.tokens in
+              if j' < 0 then acc else Rat.max acc x.(p.Tpn.pl_src).(j'))
+            Rat.zero inputs.(t)
+        in
+        x.(t).(j) <- Rat.add firing ready)
+      order
+  done;
+  x
+
+let slope_of x t k =
+  let k1 = k / 2 in
+  let dk = k - 1 - k1 in
+  if dk <= 0 then invalid_arg "Token_game.slope: horizon too short";
+  Rat.div_int (Rat.sub x.(t).(k - 1) x.(t).(k1)) dk
+
+let slope tpn ~transition ~k =
+  let x = daters tpn k in
+  slope_of x transition k
+
+let estimate_period tpn ~k =
+  let x = daters tpn k in
+  let n = Tpn.num_transitions tpn in
+  let best = ref (slope_of x 0 k) in
+  for t = 1 to n - 1 do
+    best := Rat.max !best (slope_of x t k)
+  done;
+  !best
+
+let exact_period tpn ?(max_k = 2000) () =
+  let n = Tpn.num_transitions tpn in
+  let x = daters tpn max_k in
+  (* For candidate cyclicity q, require x(k+q) − x(k) to be one constant c
+     for every transition, over a confirmation window of 2q+2 tail indices
+     (at least covering two extra full periods). *)
+  let confirmed q =
+    if 3 * q + 2 > max_k then None
+    else begin
+      let c = Rat.sub x.(0).(max_k - 1) x.(0).(max_k - 1 - q) in
+      let window = (2 * q) + 2 in
+      let ok = ref true in
+      for t = 0 to n - 1 do
+        for j = max_k - window to max_k - 1 do
+          if !ok && not (Rat.equal (Rat.sub x.(t).(j) x.(t).(j - q)) c) then ok := false
+        done
+      done;
+      if !ok then Some (Rat.div_int c q) else None
+    end
+  in
+  let rec search q = if 3 * q + 2 > max_k then None else
+      match confirmed q with
+      | Some p -> Some p
+      | None -> search (q + 1)
+  in
+  search 1

@@ -1,0 +1,36 @@
+(** Operational semantics of a timed event graph: the earliest-firing token
+    game, via the (max,+) dater recurrence
+
+    [x_t(k) = firing(t) + max over input places (s → t, τ tokens) of
+    x_s(k − τ)]   (terms with [k − τ < 0] read as 0: initial tokens are
+    available at time 0).
+
+    For a live event graph, [x_t(k)/k] converges to the maximum cycle ratio
+    over the circuits upstream of [t]; the maximum over all transitions
+    converges to the global maximum cycle ratio. This gives an independent
+    operational check of the {!Mcr} solvers, and it is also the reference
+    semantics that the workflow simulator ({!Rwt_sim}) must agree with. *)
+
+open Rwt_util
+
+val daters : Tpn.t -> int -> Rat.t array array
+(** [daters tpn k] is [x] with [x.(t).(j)] the completion time of the
+    [(j+1)]-th firing of transition [t], for [j < k].
+    @raise Invalid_argument if [k < 0].
+    @raise Failure if the net has a token-free circuit (it would deadlock:
+    the recurrence has no solution). *)
+
+val slope : Tpn.t -> transition:int -> k:int -> Rat.t
+(** [(x_t(k-1) − x_t(k/2)) / (k − 1 − k/2)]: finite-horizon growth-rate
+    estimate for one transition. *)
+
+val estimate_period : Tpn.t -> k:int -> Rat.t
+(** Maximum of {!slope} over all transitions: a finite-horizon estimate of
+    the net's period (exact once [k] exceeds the transient + cyclicity). *)
+
+val exact_period : Tpn.t -> ?max_k:int -> unit -> Rat.t option
+(** Runs the token game and searches for an exact periodic regime
+    [x(k+q) = x(k) + c] (componentwise, same [c] rational shift per [q]
+    firings). Returns [Some (c/q)] when such a regime is confirmed over the
+    tail of the horizon, [None] if not detected within [max_k] (default
+    2000) firings. The value, when returned, is exact. *)

@@ -1,0 +1,99 @@
+open Rwt_util
+
+type transition = { tr_name : string; firing : Rat.t }
+
+type place = { pl_src : int; pl_dst : int; tokens : int; pl_name : string }
+
+type t = {
+  transitions : transition array;
+  mutable places_rev : place list;
+  mutable n_places : int;
+}
+
+let create transitions =
+  Array.iter
+    (fun tr ->
+      if Rat.sign tr.firing < 0 then
+        invalid_arg "Tpn.create: negative firing time")
+    transitions;
+  { transitions; places_rev = []; n_places = 0 }
+
+let num_transitions t = Array.length t.transitions
+let num_places t = t.n_places
+let transition t i = t.transitions.(i)
+
+let add_place ?(name = "") t ~src ~dst ~tokens =
+  let n = num_transitions t in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Tpn.add_place: transition out of range";
+  if tokens < 0 then invalid_arg "Tpn.add_place: negative marking";
+  t.places_rev <- { pl_src = src; pl_dst = dst; tokens; pl_name = name } :: t.places_rev;
+  t.n_places <- t.n_places + 1
+
+let places t = List.rev t.places_rev
+let iter_places f t = List.iter f (places t)
+let total_tokens t = List.fold_left (fun acc p -> acc + p.tokens) 0 t.places_rev
+
+let graph t =
+  let g = Rwt_graph.Digraph.create (num_transitions t) in
+  iter_places (fun p -> ignore (Rwt_graph.Digraph.add_edge g p.pl_src p.pl_dst p)) t;
+  g
+
+type liveness = Live | Dead_cycle of int list
+
+(* Live iff the subgraph of token-free places is acyclic. On violation we
+   return a circuit witness found by walking the cycle in the token-free
+   subgraph. *)
+let liveness t =
+  let n = num_transitions t in
+  let g0 = Rwt_graph.Digraph.create n in
+  iter_places
+    (fun p -> if p.tokens = 0 then ignore (Rwt_graph.Digraph.add_edge g0 p.pl_src p.pl_dst ()))
+    t;
+  match Rwt_graph.Topo.sort g0 with
+  | Some _ -> Live
+  | None ->
+    (* Find a cycle: DFS with colors. *)
+    let color = Array.make n 0 in
+    let parent = Array.make n (-1) in
+    let cycle = ref [] in
+    let rec dfs u =
+      color.(u) <- 1;
+      List.iter
+        (fun e ->
+          let v = e.Rwt_graph.Digraph.dst in
+          if !cycle = [] then begin
+            if color.(v) = 0 then begin
+              parent.(v) <- u;
+              dfs v
+            end
+            else if color.(v) = 1 then begin
+              (* back edge: v .. u is a cycle *)
+              let rec collect x acc = if x = v then v :: acc else collect parent.(x) (x :: acc) in
+              cycle := collect u []
+            end
+          end)
+        (Rwt_graph.Digraph.out_edges g0 u);
+      color.(u) <- 2
+    in
+    let u = ref 0 in
+    while !cycle = [] && !u < n do
+      if color.(!u) = 0 then dfs !u;
+      incr u
+    done;
+    Dead_cycle !cycle
+
+let to_dot t =
+  let g = graph t in
+  Rwt_graph.Dot.render ~name:"tpn"
+    ~node_label:(fun i ->
+      let tr = t.transitions.(i) in
+      Printf.sprintf "%s\n%s" tr.tr_name (Rat.to_string tr.firing))
+    ~edge_label:(fun p ->
+      if p.tokens = 0 then ""
+      else String.concat "" (List.init p.tokens (fun _ -> "\xe2\x97\x8f")))
+    g
+
+let pp_stats fmt t =
+  Format.fprintf fmt "%d transitions, %d places, %d tokens" (num_transitions t)
+    (num_places t) (total_tokens t)

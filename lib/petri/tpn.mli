@@ -1,0 +1,56 @@
+(** Timed Petri nets with the event-graph property (timed event graphs).
+
+    Every place has exactly one input and one output transition, which the
+    representation enforces structurally: a place is an edge between two
+    transitions, carrying its initial marking. Transition firing times are
+    exact rationals. Under earliest-firing semantics the k-th firing dates
+    satisfy (max,+)-linear dater equations, and the asymptotic period of
+    every transition equals the maximum cycle ratio
+    [Σ firing times / Σ tokens] over the circuits (Baccelli et al. 1992). *)
+
+open Rwt_util
+
+type transition = { tr_name : string; firing : Rat.t }
+
+type place = {
+  pl_src : int;  (** input transition *)
+  pl_dst : int;  (** output transition *)
+  tokens : int;  (** initial marking, [>= 0] *)
+  pl_name : string;
+}
+
+type t
+
+val create : transition array -> t
+(** Net with the given transitions and no places yet. Firing times must be
+    [>= 0]. @raise Invalid_argument otherwise. *)
+
+val add_place : ?name:string -> t -> src:int -> dst:int -> tokens:int -> unit
+(** @raise Invalid_argument on out-of-range transitions or negative marking. *)
+
+val num_transitions : t -> int
+val num_places : t -> int
+val transition : t -> int -> transition
+val places : t -> place list
+val iter_places : (place -> unit) -> t -> unit
+
+val total_tokens : t -> int
+
+val graph : t -> place Rwt_graph.Digraph.t
+(** The underlying directed graph: nodes are transitions, edges are places.
+    Rebuilt on demand; edge labels are the places themselves. *)
+
+type liveness =
+  | Live
+  | Dead_cycle of int list  (** transition ids of a token-free circuit *)
+
+val liveness : t -> liveness
+(** An event graph is live iff every circuit holds at least one token.
+    [Dead_cycle] reports a witness circuit otherwise. *)
+
+val to_dot : t -> string
+(** Graphviz rendering: transitions as boxes annotated with firing times,
+    places as edges annotated with their marking (tokens shown as ●). *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: transitions / places / tokens. *)

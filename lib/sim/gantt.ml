@@ -1,0 +1,119 @@
+open Rwt_util
+open Rwt_workflow
+
+let event_units sched ev =
+  match (Schedule.model sched, ev.Schedule.op) with
+  | Comm_model.Overlap, Schedule.Compute { proc; _ } -> [ (proc, `Comp) ]
+  | Comm_model.Overlap, Schedule.Transfer { src; dst; _ } ->
+    [ (src, `Out); (dst, `In) ]
+  | Comm_model.Strict, Schedule.Compute { proc; _ } -> [ (proc, `Serial) ]
+  | Comm_model.Strict, Schedule.Transfer { src; dst; _ } ->
+    [ (src, `Serial); (dst, `Serial) ]
+
+let unit_name (proc, kind) =
+  match kind with
+  | `Comp | `Serial -> Platform.proc_name proc
+  | `Out -> Platform.proc_name proc ^ "-out"
+  | `In -> Platform.proc_name proc ^ "-in"
+
+(* order: processor id, then in < compute < out *)
+let unit_rank (proc, kind) =
+  (proc * 4) + match kind with `In -> 0 | `Comp | `Serial -> 1 | `Out -> 2
+
+let rows sched =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun unit ->
+          let cur = try Hashtbl.find table unit with Not_found -> [] in
+          Hashtbl.replace table unit (ev :: cur))
+        (event_units sched ev))
+    (Schedule.events sched);
+  Hashtbl.fold (fun unit evs acc -> (unit, evs) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare (unit_rank a) (unit_rank b))
+  |> List.map (fun (unit, evs) ->
+         ( unit_name unit,
+           List.sort (fun a b -> Rat.compare a.Schedule.start b.Schedule.start) evs ))
+
+let select ?from_dataset ?until_dataset sched =
+  let lo = Option.value from_dataset ~default:0 in
+  let hi = Option.value until_dataset ~default:(Schedule.horizon sched - 1) in
+  List.map
+    (fun (name, evs) ->
+      (name, List.filter (fun e -> e.Schedule.dataset >= lo && e.Schedule.dataset <= hi) evs))
+    (rows sched)
+  |> List.filter (fun (_, evs) -> evs <> [])
+
+let label ev =
+  match ev.Schedule.op with
+  | Schedule.Compute { stage; _ } -> Printf.sprintf "S%d(%d)" stage ev.Schedule.dataset
+  | Schedule.Transfer { file; _ } -> Printf.sprintf "F%d(%d)" file ev.Schedule.dataset
+
+let window rows =
+  List.fold_left
+    (fun (lo, hi) (_, evs) ->
+      List.fold_left
+        (fun (lo, hi) e ->
+          let lo =
+            match lo with
+            | None -> Some e.Schedule.start
+            | Some l -> Some (Rat.min l e.Schedule.start)
+          in
+          let hi =
+            match hi with
+            | None -> Some e.Schedule.finish
+            | Some h -> Some (Rat.max h e.Schedule.finish)
+          in
+          (lo, hi))
+        (lo, hi) evs)
+    (None, None) rows
+
+let to_ascii ?(width = 100) ?from_dataset ?until_dataset sched =
+  let rows = select ?from_dataset ?until_dataset sched in
+  match window rows with
+  | None, _ | _, None -> "(empty schedule)\n"
+  | Some lo, Some hi ->
+    let span = Rat.to_float (Rat.sub hi lo) in
+    let span = if span <= 0.0 then 1.0 else span in
+    let col time =
+      let f = (Rat.to_float (Rat.sub time lo)) /. span *. float_of_int width in
+      min width (max 0 (int_of_float f))
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "%-8s t=%s .. %s\n" "" (Rat.to_string lo) (Rat.to_string hi));
+    List.iter
+      (fun (name, evs) ->
+        let line = Bytes.make width ' ' in
+        List.iter
+          (fun e ->
+            let a = col e.Schedule.start and b = max (col e.Schedule.start + 1) (col e.Schedule.finish) in
+            let fill =
+              match e.Schedule.op with Schedule.Compute _ -> '#' | Schedule.Transfer _ -> '=' in
+            for c = a to min (b - 1) (width - 1) do
+              Bytes.set line c fill
+            done;
+            let l = label e in
+            if String.length l + 2 <= b - a then
+              Bytes.blit_string l 0 line (a + 1) (String.length l))
+          evs;
+        Buffer.add_string buf (Printf.sprintf "%-8s|%s|\n" name (Bytes.to_string line)))
+      rows;
+    Buffer.contents buf
+
+let to_text ?from_dataset ?until_dataset sched =
+  let rows = select ?from_dataset ?until_dataset sched in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, evs) ->
+      Buffer.add_string buf (Printf.sprintf "%s:\n" name);
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-8s [%s, %s)\n" (label e)
+               (Rat.to_string e.Schedule.start)
+               (Rat.to_string e.Schedule.finish)))
+        evs)
+    rows;
+  Buffer.contents buf

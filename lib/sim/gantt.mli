@@ -1,0 +1,22 @@
+(** Gantt-chart rendering of simulated schedules (the paper's Figures 7
+    and 12), as plain text.
+
+    Rows are resource units: under OVERLAP each processor contributes up to
+    three rows ([P2-in], [P2], [P2-out]); under STRICT a single row carries
+    its receives, computation and sends. *)
+
+val rows : Schedule.t -> (string * Schedule.event list) list
+(** Events per resource unit, each list sorted by start time. Unit order:
+    processor id, then in / compute / out. *)
+
+val to_ascii :
+  ?width:int -> ?from_dataset:int -> ?until_dataset:int -> Schedule.t -> string
+(** Scaled bar chart ([width] columns of timeline, default 100): ['#'] for
+    computation, ['='] for transfers, with [S<i>(<d>)] / [F<i>(<d>)] labels
+    embedded where space allows. The window spans the selected data sets
+    (defaults: all). *)
+
+val to_text :
+  ?from_dataset:int -> ?until_dataset:int -> Schedule.t -> string
+(** Exact textual listing: one line per resource unit, events with their
+    rational [\[start, finish)] intervals. *)

@@ -1,0 +1,199 @@
+open Rwt_util
+open Rwt_workflow
+
+type op =
+  | Compute of { stage : int; proc : int }
+  | Transfer of { file : int; src : int; dst : int }
+
+type event = { dataset : int; op : op; start : Rat.t; finish : Rat.t }
+
+type t = {
+  model : Comm_model.t;
+  inst : Instance.t;
+  datasets : int;
+  comp : event array array; (* comp.(d).(i) *)
+  trans : event array array; (* trans.(d).(i), i < n-1 *)
+  ordered : Rat.t array; (* prefix max of completion times *)
+}
+
+let dummy_event = { dataset = -1; op = Compute { stage = 0; proc = 0 }; start = Rat.zero; finish = Rat.zero }
+
+let run ?release model inst ~datasets =
+  if datasets <= 0 then invalid_arg "Schedule.run: datasets <= 0";
+  let mapping = inst.Instance.mapping in
+  let n = Mapping.n_stages mapping in
+  let mi = Array.init n (Mapping.replication mapping) in
+  let comp = Array.make_matrix datasets n dummy_event in
+  let trans = Array.make_matrix datasets (max 1 (n - 1)) dummy_event in
+  let comp_end d i = if d < 0 then Rat.zero else comp.(d).(i).finish in
+  let trans_end d i = if d < 0 then Rat.zero else trans.(d).(i).finish in
+  for d = 0 to datasets - 1 do
+    for i = 0 to n - 1 do
+      (* computation of stage i for data set d *)
+      let proc = Mapping.proc_for mapping ~stage:i ~dataset:d in
+      let dur = Instance.compute_time inst ~stage:i ~proc in
+      let arrival =
+        if i > 0 then trans_end d (i - 1)
+        else match release with None -> Rat.zero | Some f -> f d
+      in
+      let resource_free =
+        match model with
+        | Comm_model.Overlap ->
+          (* own compute unit: previous data set served by this replica *)
+          comp_end (d - mi.(i)) i
+        | Comm_model.Strict ->
+          if i > 0 then
+            (* serialization was already enforced when receiving *)
+            Rat.zero
+          else if n > 1 then trans_end (d - mi.(0)) 0 (* previous send *)
+          else comp_end (d - mi.(0)) 0
+      in
+      let start = Rat.max arrival resource_free in
+      comp.(d).(i) <- { dataset = d; op = Compute { stage = i; proc }; start;
+                        finish = Rat.add start dur };
+      (* transfer of file i (to the stage i+1 replica), if any *)
+      if i < n - 1 then begin
+        let src = proc in
+        let dst = Mapping.proc_for mapping ~stage:(i + 1) ~dataset:d in
+        let dur = Instance.transfer_time inst ~file:i ~src ~dst in
+        let file_ready = comp.(d).(i).finish in
+        let ports_free =
+          match model with
+          | Comm_model.Overlap ->
+            (* sender out-port and receiver in-port round-robins *)
+            Rat.max (trans_end (d - mi.(i)) i) (trans_end (d - mi.(i + 1)) i)
+          | Comm_model.Strict ->
+            (* sender side is covered by file_ready (its compute precedes);
+               receiver side: end of the receiver's previous serial block *)
+            if d - mi.(i + 1) < 0 then Rat.zero
+            else if i + 1 <= n - 2 then trans_end (d - mi.(i + 1)) (i + 1)
+            else comp_end (d - mi.(i + 1)) (i + 1)
+        in
+        let start = Rat.max file_ready ports_free in
+        trans.(d).(i) <- { dataset = d; op = Transfer { file = i; src; dst }; start;
+                           finish = Rat.add start dur }
+      end
+    done
+  done;
+  let ordered = Array.make datasets Rat.zero in
+  for d = 0 to datasets - 1 do
+    let c = comp.(d).(n - 1).finish in
+    ordered.(d) <- (if d = 0 then c else Rat.max ordered.(d - 1) c)
+  done;
+  { model; inst; datasets; comp; trans; ordered }
+
+let model t = t.model
+let instance t = t.inst
+let horizon t = t.datasets
+
+let events t =
+  let n = Mapping.n_stages t.inst.Instance.mapping in
+  let acc = ref [] in
+  for d = t.datasets - 1 downto 0 do
+    for i = n - 1 downto 0 do
+      if i < n - 1 then acc := t.trans.(d).(i) :: !acc;
+      acc := t.comp.(d).(i) :: !acc
+    done
+  done;
+  !acc
+
+let completion t d =
+  let n = Mapping.n_stages t.inst.Instance.mapping in
+  t.comp.(d).(n - 1).finish
+
+(* Completion of the ordered output stream: the paper's stream is consumed
+   in data-set order, so data set [d] is delivered once every data set up to
+   [d] has completed. When the last stage is replicated, its replicas'
+   completion streams can drift apart under greedy execution; the ordered
+   stream is paced by the slowest one, which is exactly the TPN's critical
+   ratio. *)
+let ordered_completion t d = t.ordered.(d)
+
+let compute_event t ~dataset ~stage = t.comp.(dataset).(stage)
+let transfer_event t ~dataset ~file = t.trans.(dataset).(file)
+
+(* The completion sequence is eventually periodic, but with a cyclicity that
+   may exceed one block of m data sets (e.g. Example B oscillates with
+   cyclicity 2·m). We first try to certify an exact periodic regime
+   [completion(d + q·m) − completion(d) = c] over a confirmation window; the
+   certified rate c/(q·m) is exact. Otherwise fall back to averaging over
+   the last half of the horizon. *)
+let period_estimate t =
+  let m = Mapping.num_paths t.inst.Instance.mapping in
+  let last = t.datasets - 1 in
+  if t.datasets < (2 * m) + 1 then
+    invalid_arg "Schedule.period_estimate: horizon shorter than 2m";
+  let exact_rate q =
+    (* need the window [last − 2qm − m, last] inside the horizon *)
+    let span = q * m in
+    if last - (2 * span) - m < 0 then None
+    else begin
+      let c = Rat.sub (ordered_completion t last) (ordered_completion t (last - span)) in
+      let ok = ref true in
+      for j = 0 to span + m do
+        if !ok
+           && not
+                (Rat.equal
+                   (Rat.sub (ordered_completion t (last - j)) (ordered_completion t (last - j - span)))
+                   c)
+        then ok := false
+      done;
+      if !ok then Some (Rat.div_int c span) else None
+    end
+  in
+  let rec search q = if q > 8 then None else
+      match exact_rate q with Some p -> Some p | None -> search (q + 1)
+  in
+  match search 1 with
+  | Some p -> p
+  | None ->
+    let span = (t.datasets / 2 / m) * m in
+    let span = max span m in
+    Rat.div_int (Rat.sub (ordered_completion t last) (ordered_completion t (last - span))) span
+
+let measured_period ?(blocks = 40) model inst =
+  let m = Mapping.num_paths inst.Instance.mapping in
+  let datasets = max (blocks * m) 200 in
+  period_estimate (run model inst ~datasets)
+
+(* Resource unit an event occupies; under OVERLAP a transfer occupies two
+   units (sender out-port, receiver in-port). *)
+let units_of_event model ev =
+  match (model, ev.op) with
+  | _, Compute { proc; _ } -> [ Platform.proc_name proc ]
+  | Comm_model.Overlap, Transfer { src; dst; _ } ->
+    [ Platform.proc_name src ^ "-out"; Platform.proc_name dst ^ "-in" ]
+  | Comm_model.Strict, Transfer { src; dst; _ } ->
+    [ Platform.proc_name src; Platform.proc_name dst ]
+
+let utilization t ~from_dataset =
+  if from_dataset < 0 || from_dataset >= t.datasets then
+    invalid_arg "Schedule.utilization: dataset out of range";
+  (* time window anchored on the ordered completion of [from_dataset] and
+     closed at the very last event; every event (any data set) is clipped to
+     the window, so resources running ahead of or behind the anchor data set
+     are still accounted for. *)
+  let window_start = ordered_completion t from_dataset in
+  let window_end = ordered_completion t (t.datasets - 1) in
+  let width = Rat.sub window_end window_start in
+  if Rat.sign width <= 0 then invalid_arg "Schedule.utilization: empty window";
+  let busy : (string, Rat.t ref) Hashtbl.t = Hashtbl.create 16 in
+  (* every resource unit appears, even if idle over the window *)
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun unit -> if not (Hashtbl.mem busy unit) then Hashtbl.add busy unit (ref Rat.zero))
+        (units_of_event t.model ev);
+      let span =
+        Rat.sub (Rat.min ev.finish window_end) (Rat.max ev.start window_start)
+      in
+      if Rat.sign span > 0 then
+        List.iter
+          (fun unit ->
+            match Hashtbl.find_opt busy unit with
+            | Some r -> r := Rat.add !r span
+            | None -> Hashtbl.add busy unit (ref span))
+          (units_of_event t.model ev))
+    (events t);
+  Hashtbl.fold (fun unit r acc -> (unit, Rat.div !r width) :: acc) busy []
+  |> List.sort compare

@@ -1,0 +1,71 @@
+(** Operational simulator: the earliest (greedy) schedule of the replicated
+    workflow, built independently of the Petri-net machinery as a dynamic
+    program over data sets. Serves three purposes: cross-validation of the
+    TPN period (the earliest schedule is exactly the TPN token game),
+    steady-state measurements, and Gantt charts (Figures 7 and 12).
+
+    Constraints encoded per model (a transfer occupies the sender's out-port
+    and the receiver's in-port simultaneously):
+
+    - OVERLAP: computations of a processor are serialized among themselves,
+      as are its outgoing and its incoming transfers (three independent
+      units);
+    - STRICT: each processor's receive → compute → send blocks are fully
+      serialized in round-robin order. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type op =
+  | Compute of { stage : int; proc : int }
+  | Transfer of { file : int; src : int; dst : int }
+
+type event = { dataset : int; op : op; start : Rat.t; finish : Rat.t }
+
+type t
+
+val run : ?release:(int -> Rat.t) -> Comm_model.t -> Instance.t -> datasets:int -> t
+(** Simulate the first [datasets] data sets. By default data sets are
+    admitted as early as possible (greedy); [release] gives each data set an
+    earliest entry date, e.g. [fun d -> Rat.mul_int period d] for the
+    periodic input regime of the paper's steady state.
+    @raise Invalid_argument if [datasets <= 0]. *)
+
+val model : t -> Comm_model.t
+val instance : t -> Instance.t
+val horizon : t -> int
+
+val events : t -> event list
+(** All events, ordered by data set then pipeline position. *)
+
+val completion : t -> int -> Rat.t
+(** Completion time of data set [d] (end of its last computation). *)
+
+val ordered_completion : t -> int -> Rat.t
+(** Delivery time of data set [d] on the {e ordered} output stream:
+    [max over d' <= d of completion d']. The paper's period is the pace of
+    this stream — when the last stage is replicated, greedy execution lets
+    fast replicas run ahead, but consumers receive results in data-set
+    order, so the slowest residue class dictates the rate. *)
+
+val compute_event : t -> dataset:int -> stage:int -> event
+val transfer_event : t -> dataset:int -> file:int -> event
+
+val period_estimate : t -> Rat.t
+(** Steady-state period from the completion sequence. First tries to certify
+    an exact periodic regime [completion(d + q·m) = completion(d) + q·m·P]
+    (the cyclicity [q·m] may exceed one block of [m] data sets — Example B
+    oscillates with [q = 2]); the certified value is exact. Falls back to an
+    average over the last half of the horizon.
+    @raise Invalid_argument if the horizon is shorter than [2m]. *)
+
+val measured_period : ?blocks:int -> Comm_model.t -> Instance.t -> Rat.t
+(** Convenience: simulate [blocks·m] data sets (default 40 blocks, at least
+    200 data sets) and return {!period_estimate}. *)
+
+val utilization : t -> from_dataset:int -> (string * Rat.t) list
+(** Per resource unit ("P2", "P2-out", "P2-in" under OVERLAP, "P2" under
+    STRICT): busy fraction over the time window from the ordered completion
+    of [from_dataset] to the horizon's last event (every event is clipped to
+    the window). In a schedule without critical resource every fraction
+    stays below 1 even as the window grows. *)

@@ -1,0 +1,50 @@
+open Rwt_util
+open Rwt_workflow
+
+let event_fields ev =
+  let open Schedule in
+  let base =
+    [ ("dataset", Json.Int ev.dataset);
+      ("start", Json.String (Rat.to_string ev.start));
+      ("finish", Json.String (Rat.to_string ev.finish));
+      ("start_s", Json.Float (Rat.to_float ev.start));
+      ("finish_s", Json.Float (Rat.to_float ev.finish)) ]
+  in
+  match ev.op with
+  | Compute { stage; proc } ->
+    ("kind", Json.String "compute") :: ("stage", Json.Int stage)
+    :: ("proc", Json.Int proc) :: base
+  | Transfer { file; src; dst } ->
+    ("kind", Json.String "transfer") :: ("file", Json.Int file)
+    :: ("src", Json.Int src) :: ("dst", Json.Int dst) :: base
+
+let to_json ?(pretty = false) sched =
+  let events = List.map (fun ev -> Json.Obj (event_fields ev)) (Schedule.events sched) in
+  Json.to_string ~pretty
+    (Json.Obj
+       [ ("instance", Json.String (Schedule.instance sched).Instance.name);
+         ("model", Json.String (Comm_model.to_string (Schedule.model sched)));
+         ("datasets", Json.Int (Schedule.horizon sched));
+         ("events", Json.List events) ])
+
+let to_csv sched =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "dataset,kind,index,proc,src,dst,start,finish,start_float,finish_float\n";
+  List.iter
+    (fun ev ->
+      let open Schedule in
+      let line =
+        match ev.op with
+        | Compute { stage; proc } ->
+          Printf.sprintf "%d,compute,%d,%d,,,%s,%s,%.9g,%.9g" ev.dataset stage proc
+            (Rat.to_string ev.start) (Rat.to_string ev.finish) (Rat.to_float ev.start)
+            (Rat.to_float ev.finish)
+        | Transfer { file; src; dst } ->
+          Printf.sprintf "%d,transfer,%d,,%d,%d,%s,%s,%.9g,%.9g" ev.dataset file src dst
+            (Rat.to_string ev.start) (Rat.to_string ev.finish) (Rat.to_float ev.start)
+            (Rat.to_float ev.finish)
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (Schedule.events sched);
+  Buffer.contents buf

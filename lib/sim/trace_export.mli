@@ -1,0 +1,16 @@
+(** Machine-readable exports of simulated schedules, for external tooling
+    (plotting, trace viewers, spreadsheets). Times are exported both as
+    exact rational strings and as float approximations. *)
+
+val to_json : ?pretty:bool -> Schedule.t -> string
+(** One object per event:
+    {v {"dataset": d, "kind": "compute"|"transfer", "stage"/"file": i,
+        "proc"/"src"+"dst": u, "start": "a/b", "finish": "c/d",
+        "start_s": float, "finish_s": float} v}
+    wrapped with the model name, horizon and instance name. *)
+
+val to_csv : Schedule.t -> string
+(** Header
+    [dataset,kind,index,proc,src,dst,start,finish,start_float,finish_float];
+    one row per event, compute rows leave [src]/[dst] empty and transfer
+    rows leave [proc] empty. *)

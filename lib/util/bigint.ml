@@ -1,0 +1,371 @@
+(* Sign-magnitude bignums over base-2^30 limbs (little-endian int arrays,
+   no leading zero limbs). All limb products fit in a 63-bit native int:
+   limb * limb < 2^60. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+let is_zero x = x.sign = 0
+let is_one x = x.sign = 1 && Array.length x.mag = 1 && x.mag.(0) = 1
+let sign x = x.sign
+let num_limbs x = Array.length x.mag
+
+(* Drop leading zero limbs; an all-zero magnitude yields [zero]. *)
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* min_int has no positive counterpart: peel one limb before [abs]. *)
+    let rec limbs acc n =
+      if n = 0 then acc else limbs ((n land base_mask) :: acc) (n lsr base_bits)
+    in
+    let n_abs = if n = min_int then n else abs n in
+    let l =
+      if n = min_int then
+        (* -2^62 = limbs [0; 0; 4] in base 2^30 *)
+        limbs [] ((-(min_int asr base_bits)) land max_int) @ [ 0 ]
+      else limbs [] n_abs
+    in
+    let l = List.rev l in
+    { sign; mag = Array.of_list l }
+  end
+
+let to_int_opt x =
+  match x.sign with
+  | 0 -> Some 0
+  | s ->
+    let n = Array.length x.mag in
+    if n > 3 then None
+    else begin
+      (* Accumulate; detect overflow against max_int. *)
+      let rec go i acc =
+        if i < 0 then Some (s * acc)
+        else
+          let limb = x.mag.(i) in
+          if acc > (max_int - limb) / base then None
+          else go (i - 1) ((acc * base) + limb)
+      in
+      go (n - 1) 0
+    end
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: does not fit"
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + Stdlib.max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let ai = if i < la then a.(i) else 0 in
+    let bi = if i < lb then b.(i) else 0 in
+    let s = ai + bi + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bi = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bi - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let p = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- p land base_mask;
+        carry := p lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
+    | _ -> normalize y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else normalize (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+let compare x y =
+  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+  else if x.sign >= 0 then cmp_mag x.mag y.mag
+  else cmp_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let hash x =
+  Array.fold_left (fun acc limb -> (acc * 1000003) lxor limb) x.sign x.mag
+
+(* Magnitude divided by a small positive int d (d*base must fit in an int,
+   i.e. d < 2^32). Returns (quotient magnitude, remainder int). *)
+let divmod_mag_int a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+let shl_bits a s =
+  (* 0 <= s < 30 *)
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      r.(i) <- v land base_mask;
+      carry := v lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+let shr_bits a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    let carry = ref 0 in
+    for i = la - 1 downto 0 do
+      let v = (!carry lsl base_bits) lor a.(i) in
+      r.(i) <- v lsr s;
+      carry := v land ((1 lsl s) - 1)
+    done;
+    r
+  end
+
+(* Knuth algorithm D on magnitudes; b has >= 2 limbs. *)
+let divmod_mag a b =
+  let lb = Array.length b in
+  (* Normalization shift so that the divisor's top limb >= base/2. *)
+  let top = b.(lb - 1) in
+  let s =
+    let rec go s t = if t >= base / 2 then s else go (s + 1) (t lsl 1) in
+    go 0 top
+  in
+  let v = shl_bits b s in
+  let v = Array.sub v 0 lb in
+  (* shifted divisor keeps lb limbs since top*2^s < base *)
+  let u0 = shl_bits a s in
+  let la = Array.length a in
+  let m = la - lb in
+  let u = Array.make (la + 1) 0 in
+  Array.blit u0 0 u 0 (Stdlib.min (Array.length u0) (la + 1));
+  let q = Array.make (m + 1) 0 in
+  let vtop = v.(lb - 1) in
+  let vsnd = if lb >= 2 then v.(lb - 2) else 0 in
+  for j = m downto 0 do
+    let num = (u.(j + lb) lsl base_bits) lor u.(j + lb - 1) in
+    let qhat = ref (num / vtop) in
+    let rhat = ref (num mod vtop) in
+    if !qhat >= base then begin
+      qhat := base - 1;
+      rhat := num - (!qhat * vtop)
+    end;
+    let continue = ref true in
+    while
+      !continue && !rhat < base
+      && !qhat * vsnd > (!rhat lsl base_bits) lor u.(j + lb - 2)
+    do
+      decr qhat;
+      rhat := !rhat + vtop;
+      if !rhat >= base then continue := false
+    done;
+    (* Multiply and subtract: u[j .. j+lb] -= qhat * v. *)
+    let borrow = ref 0 in
+    let carry = ref 0 in
+    for i = 0 to lb - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let d = u.(j + i) - (p land base_mask) - !borrow in
+      if d < 0 then begin u.(j + i) <- d + base; borrow := 1 end
+      else begin u.(j + i) <- d; borrow := 0 end
+    done;
+    let d = u.(j + lb) - !carry - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add back. *)
+      u.(j + lb) <- d + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to lb - 1 do
+        let sum = u.(j + i) + v.(i) + !carry in
+        u.(j + i) <- sum land base_mask;
+        carry := sum lsr base_bits
+      done;
+      u.(j + lb) <- (u.(j + lb) + !carry) land base_mask
+    end
+    else u.(j + lb) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = shr_bits (Array.sub u 0 lb) s in
+  (q, r)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else if cmp_mag a.mag b.mag < 0 then (zero, a)
+  else begin
+    let qmag, rmag =
+      if Array.length b.mag = 1 then begin
+        let q, r = divmod_mag_int a.mag b.mag.(0) in
+        (q, [| r |])
+      end
+      else divmod_mag a.mag b.mag
+    in
+    let q = normalize (a.sign * b.sign) qmag in
+    let r = normalize a.sign rmag in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd_pos a b = if is_zero b then a else gcd_pos b (rem a b)
+let gcd a b = gcd_pos (abs a) (abs b)
+
+let mul_int x d =
+  if d = 0 || x.sign = 0 then zero
+  else begin
+    let sign = if d > 0 then x.sign else -x.sign in
+    let d = Stdlib.abs d in
+    if d < base then begin
+      let la = Array.length x.mag in
+      let r = Array.make (la + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let p = (x.mag.(i) * d) + !carry in
+        r.(i) <- p land base_mask;
+        carry := p lsr base_bits
+      done;
+      r.(la) <- !carry;
+      normalize sign r
+    end
+    else normalize sign (mul_mag x.mag (of_int d).mag)
+  end
+
+let add_int x d = add x (of_int d)
+
+let pow x k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (k lsr 1)
+    end
+  in
+  go one x k
+
+let to_float x =
+  let f = Array.fold_right (fun limb acc -> (acc *. 1073741824.0) +. float_of_int limb) x.mag 0.0 in
+  if x.sign < 0 then -.f else f
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go mag =
+      if Array.length mag = 0 then ()
+      else begin
+        let q, r = divmod_mag_int mag 1_000_000_000 in
+        let q =
+          let n = ref (Array.length q) in
+          while !n > 0 && q.(!n - 1) = 0 do decr n done;
+          Array.sub q 0 !n
+        in
+        if Array.length q = 0 then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go x.mag;
+    (if x.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then failwith "Bigint.of_string: empty";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= len then failwith "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < len do
+    let chunk_len = Stdlib.min 9 (len - !i) in
+    let chunk = String.sub s !i chunk_len in
+    String.iter (fun c -> if c < '0' || c > '9' then failwith "Bigint.of_string: bad digit") chunk;
+    let v = int_of_string chunk in
+    let scale = int_of_float (10.0 ** float_of_int chunk_len) in
+    acc := add_int (mul_int !acc scale) v;
+    i := !i + chunk_len
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

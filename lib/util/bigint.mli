@@ -1,0 +1,71 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation over base-[2^30] limbs. This module exists
+    because the sealed build environment provides no [zarith]; it implements
+    exactly the operations needed by the exact rational kernel ({!Rat}). All
+    values are immutable. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] iff [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated division
+    (sign of [r] = sign of [a], [|r| < |b|]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val to_float : t -> float
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal literal.
+    @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val num_limbs : t -> int
+(** Number of base-[2^30] limbs in the magnitude (0 for zero); exposed for
+    diagnostics and complexity-oriented tests. *)

@@ -1,0 +1,32 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let a = abs a and b = abs b in
+    let g = gcd a b in
+    let q = a / g in
+    if q > max_int / b then failwith "Intmath.lcm: overflow" else q * b
+  end
+
+let lcm_list l = List.fold_left lcm 1 l
+
+let big_lcm_list l =
+  let module B = Bigint in
+  List.fold_left
+    (fun acc n ->
+      let n = B.of_int (abs n) in
+      if B.is_zero n then B.zero else B.div (B.mul acc n) (B.gcd acc n))
+    B.one l
+
+let pow_int b k =
+  if k < 0 then invalid_arg "Intmath.pow_int";
+  let rec go acc b k =
+    if k = 0 then acc
+    else go (if k land 1 = 1 then acc * b else acc) (b * b) (k lsr 1)
+  in
+  go 1 b k
+
+let ceil_div a b =
+  if a < 0 || b <= 0 then invalid_arg "Intmath.ceil_div";
+  (a + b - 1) / b

@@ -1,0 +1,22 @@
+(** Small integer number theory used by the round-robin path analysis
+    (Proposition 1 needs [lcm] over replication counts, Theorem 1 needs
+    [gcd]/[lcm] per stage pair). *)
+
+val gcd : int -> int -> int
+(** Non-negative gcd; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** Non-negative lcm of the absolute values.
+    @raise Failure on native-int overflow. *)
+
+val lcm_list : int list -> int
+(** [lcm_list [] = 1]. @raise Failure on overflow. *)
+
+val big_lcm_list : int list -> Bigint.t
+(** Overflow-free lcm for reporting astronomically replicated mappings. *)
+
+val pow_int : int -> int -> int
+(** [pow_int b k], [k >= 0], no overflow check. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] for [a >= 0], [b > 0]. *)

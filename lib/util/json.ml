@@ -1,0 +1,103 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Number of string
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let number s =
+  let ok =
+    let n = String.length s in
+    let i = ref 0 in
+    let digits () =
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do incr i done;
+      !i > start
+    in
+    if !i < n && s.[!i] = '-' then incr i;
+    digits ()
+    && (if !i < n && s.[!i] = '.' then begin incr i; digits () end else true)
+    && (if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+          digits ()
+        end
+        else true)
+    && !i = n
+  in
+  if ok then Number s else invalid_arg ("Json.number: malformed literal " ^ s)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else invalid_arg "Json: non-finite float"
+
+let to_string ?(pretty = false) t =
+  let buf = Buffer.create 256 in
+  let indent level = if pretty then Buffer.add_string buf (String.make (2 * level) ' ') in
+  let newline () = if pretty then Buffer.add_char buf '\n' in
+  let rec go level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_literal f)
+    | Number s -> Buffer.add_string buf s
+    | String s -> Buffer.add_string buf (escape_string s)
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      newline ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          indent (level + 1);
+          go (level + 1) item)
+        items;
+      newline ();
+      indent level;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      newline ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          indent (level + 1);
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf (if pretty then ": " else ":");
+          go (level + 1) v)
+        fields;
+      newline ();
+      indent level;
+      Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Minimal JSON emitter (no parser): enough to export schedules, analyses
+    and experiment results to external tooling. No external JSON library is
+    available in the sealed build environment, and emission is the only
+    direction this repository needs. Strings are escaped per RFC 8259;
+    numbers are emitted as-is by the caller ({!number} takes the rendered
+    form, so exact rationals can be carried as strings or decimal
+    approximations at the caller's choice). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Number of string  (** pre-rendered numeric literal, emitted verbatim *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val number : string -> t
+(** [Number] after validating the literal (optional sign, digits, optional
+    fraction/exponent). @raise Invalid_argument on a malformed literal. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [pretty] indents with two spaces. *)
+
+val escape_string : string -> string
+(** The quoted, escaped form of a string literal. *)

@@ -1,0 +1,47 @@
+(** Numeric kernel signature shared by the exact rational field ({!Rat}) and
+    the float field ({!Float_num}). The throughput solvers are functorized
+    over this signature so that every algorithm has both an exact reference
+    instantiation and a fast floating-point one. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  val min : t -> t -> t
+  val max : t -> t -> t
+
+  val to_float : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Floats as a {!S} instance (fast, inexact). *)
+module Float_num : S with type t = float = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let compare = Float.compare
+  let equal = Float.equal
+  let min = Float.min
+  let max = Float.max
+  let to_float x = x
+  let pp fmt x = Format.fprintf fmt "%g" x
+end

@@ -1,0 +1,36 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    Every experiment in this repository is seeded, so results in
+    EXPERIMENTS.md are reproducible bit-for-bit. The generator is splittable:
+    {!split} derives an independent stream, which keeps per-instance draws
+    independent of how many instances precede them. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent advances. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

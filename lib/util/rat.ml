@@ -1,0 +1,106 @@
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { num; den } else { num = B.div num g; den = B.div den g }
+  end
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let of_int n = { num = B.of_int n; den = B.one }
+let of_ints a b = make (B.of_int a) (B.of_int b)
+let num x = x.num
+let den x = x.den
+let is_zero x = B.is_zero x.num
+let sign x = B.sign x.num
+
+let add x y =
+  if is_zero x then y
+  else if is_zero y then x
+  else make (B.add (B.mul x.num y.den) (B.mul y.num x.den)) (B.mul x.den y.den)
+
+let neg x = { x with num = B.neg x.num }
+let sub x y = add x (neg y)
+let mul x y = make (B.mul x.num y.num) (B.mul x.den y.den)
+let inv x = make x.den x.num
+let div x y = mul x (inv y)
+let abs x = { x with num = B.abs x.num }
+let mul_int x n = make (B.mul_int x.num n) x.den
+let div_int x n = make x.num (B.mul_int x.den n)
+
+let compare x y = B.compare (B.mul x.num y.den) (B.mul y.num x.den)
+let equal x y = B.equal x.num y.num && B.equal x.den y.den
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+let is_integer x = B.is_one x.den
+
+let to_int_opt x = if is_integer x then B.to_int_opt x.num else None
+let to_float x = B.to_float x.num /. B.to_float x.den
+
+let to_string x =
+  if is_integer x then B.to_string x.num
+  else B.to_string x.num ^ "/" ^ B.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let a = B.of_string (String.sub s 0 i) in
+    let b = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make a b
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> { num = B.of_string s; den = B.one }
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       if String.length frac = 0 then { num = B.of_string int_part; den = B.one }
+       else begin
+         let scale = B.pow (B.of_int 10) (String.length frac) in
+         let whole = B.of_string (if int_part = "" || int_part = "-" || int_part = "+" then int_part ^ "0" else int_part) in
+         let fnum = B.of_string frac in
+         let fnum = if B.sign whole < 0 || (int_part <> "" && int_part.[0] = '-') then B.neg fnum else fnum in
+         make (B.add (B.mul whole scale) fnum) scale
+       end)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let pp_approx fmt x =
+  if is_integer x then Format.pp_print_string fmt (B.to_string x.num)
+  else begin
+    (* Round to two decimals, exactly, so printed tables match the paper's
+       258.33-style figures independent of float noise. *)
+    let scaled = B.mul_int x.num 100 in
+    let q, r = B.divmod scaled x.den in
+    let q =
+      (* round half away from zero *)
+      if B.compare (B.mul_int (B.abs r) 2) x.den >= 0 then
+        B.add q (B.of_int (B.sign x.num))
+      else q
+    in
+    let neg = B.sign q < 0 in
+    let q = B.abs q in
+    let whole, cents = B.divmod q (B.of_int 100) in
+    Format.fprintf fmt "%s%s.%02d"
+      (if neg then "-" else "")
+      (B.to_string whole)
+      (B.to_int_exn cents)
+  end
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) x y = compare x y < 0
+  let ( <= ) x y = compare x y <= 0
+  let ( > ) x y = compare x y > 0
+  let ( >= ) x y = compare x y >= 0
+end

@@ -1,0 +1,72 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    [gcd(|num|, den) = 1]. Canonical form makes structural equality of the
+    pair meaningful, but use {!equal}/{!compare} in client code. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] in canonical form. @raise Division_by_zero if [den] is 0. *)
+
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is the rational [a/b]. @raise Division_by_zero if [b = 0]. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val inv : t -> t
+val abs : t -> t
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+
+val to_int_opt : t -> int option
+(** [Some n] iff the value is an integer fitting in a native [int]. *)
+
+val to_float : t -> float
+
+val to_string : t -> string
+(** ["num/den"], or just ["num"] for integers. *)
+
+val of_string : string -> t
+(** Parses ["a"], ["a/b"] or ["a.bcd"] (finite decimal).
+    @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_approx : Format.formatter -> t -> unit
+(** Decimal rendering with a few digits, for tables ([258.33]-style). *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

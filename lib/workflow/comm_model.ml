@@ -1,0 +1,13 @@
+type t = Overlap | Strict
+
+let all = [ Overlap; Strict ]
+
+let to_string = function Overlap -> "overlap" | Strict -> "strict"
+
+let of_string = function
+  | "overlap" -> Some Overlap
+  | "strict" -> Some Strict
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b

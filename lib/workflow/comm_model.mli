@@ -1,0 +1,16 @@
+(** The two one-port communication models of the paper (§2). *)
+
+type t =
+  | Overlap
+      (** OVERLAP ONE-PORT: a processor may simultaneously receive one file,
+          compute, and send one file (in-port, CPU and out-port are three
+          independent serial units). *)
+  | Strict
+      (** STRICT ONE-PORT: a processor performs at most one of
+          receive / compute / send at a time. *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,88 @@
+open Rwt_util
+
+type resource = {
+  proc : int;
+  stage : int;
+  cin : Rat.t;
+  ccomp : Rat.t;
+  cout : Rat.t;
+  cexec : Rat.t;
+  bottleneck : string;
+}
+
+(* Average per-period port occupation: processor u = procs_i.(r) exchanges
+   one file per data set it serves; summing transfer times over one
+   lcm(m_i, m_other) block of data sets and dividing by the block length
+   gives the per-period average without materializing all m rows. *)
+let port_average inst ~stage ~r ~other_stage ~file ~outgoing =
+  let mapping = inst.Instance.mapping in
+  let mi = Mapping.replication mapping stage in
+  let mo = Mapping.replication mapping other_stage in
+  let block = Intmath.lcm mi mo in
+  let u = (Mapping.procs mapping stage).(r) in
+  let sum = ref Rat.zero in
+  let d = ref r in
+  while !d < block do
+    let v = Mapping.proc_for mapping ~stage:other_stage ~dataset:!d in
+    let t =
+      if outgoing then Instance.transfer_time inst ~file ~src:u ~dst:v
+      else Instance.transfer_time inst ~file ~src:v ~dst:u
+    in
+    sum := Rat.add !sum t;
+    d := !d + mi
+  done;
+  Rat.div_int !sum block
+
+let resource model inst u =
+  let mapping = inst.Instance.mapping in
+  match Mapping.stage_of mapping u with
+  | None -> invalid_arg "Cycle_time.resource: processor not used by the mapping"
+  | Some stage ->
+    let n = Mapping.n_stages mapping in
+    let mi = Mapping.replication mapping stage in
+    let procs = Mapping.procs mapping stage in
+    let r =
+      let rec find k = if procs.(k) = u then k else find (k + 1) in
+      find 0
+    in
+    let cin =
+      if stage = 0 then Rat.zero
+      else port_average inst ~stage ~r ~other_stage:(stage - 1) ~file:(stage - 1)
+             ~outgoing:false
+    in
+    let cout =
+      if stage = n - 1 then Rat.zero
+      else port_average inst ~stage ~r ~other_stage:(stage + 1) ~file:stage ~outgoing:true
+    in
+    let ccomp = Rat.div_int (Instance.compute_time inst ~stage ~proc:u) mi in
+    let cexec, bottleneck =
+      match model with
+      | Comm_model.Strict -> (Rat.add cin (Rat.add ccomp cout), "serial")
+      | Comm_model.Overlap ->
+        let m = Rat.max cin (Rat.max ccomp cout) in
+        let b =
+          if Rat.equal m cin then "in" else if Rat.equal m ccomp then "comp" else "out"
+        in
+        (m, b)
+    in
+    { proc = u; stage; cin; ccomp; cout; cexec; bottleneck }
+
+let all model inst = List.map (resource model inst) (Instance.resources inst)
+
+let critical model inst =
+  match all model inst with
+  | [] -> invalid_arg "Cycle_time.critical: empty mapping"
+  | r0 :: rest ->
+    List.fold_left (fun best r -> if Rat.compare r.cexec best.cexec > 0 then r else best) r0 rest
+
+let mct model inst = (critical model inst).cexec
+
+let pp_resource fmt r =
+  Format.fprintf fmt "%s (S%d): Cin=%a Ccomp=%a Cout=%a Cexec=%a [%s]"
+    (Platform.proc_name r.proc) r.stage Rat.pp_approx r.cin Rat.pp_approx r.ccomp
+    Rat.pp_approx r.cout Rat.pp_approx r.cexec r.bottleneck
+
+let pp_table model fmt inst =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun r -> Format.fprintf fmt "%a@," pp_resource r) (all model inst);
+  Format.fprintf fmt "Mct = %a@]" Rat.pp_approx (mct model inst)

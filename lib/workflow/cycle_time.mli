@@ -1,0 +1,39 @@
+(** Resource cycle-times and the [Mct] lower bound on the period (§2).
+
+    All quantities are normalized per data set entering the system: a
+    processor replicated [m_i] ways serves one data set out of [m_i], so its
+    per-data-set occupation is its per-item busy time divided by [m_i].
+    [Cexec] is [max(Cin, Ccomp, Cout)] under OVERLAP and
+    [Cin + Ccomp + Cout] under STRICT; [Mct = max_u Cexec(u)] satisfies
+    [P >= Mct] for every valid schedule, with equality whenever no stage is
+    replicated. *)
+
+open Rwt_util
+
+type resource = {
+  proc : int;
+  stage : int;
+  cin : Rat.t;  (** average per-period in-port occupation *)
+  ccomp : Rat.t;
+  cout : Rat.t;
+  cexec : Rat.t;  (** model-dependent combination *)
+  bottleneck : string;
+      (** which unit dominates under OVERLAP ("in" | "comp" | "out");
+          ["serial"] under STRICT *)
+}
+
+val resource : Comm_model.t -> Instance.t -> int -> resource
+(** Cycle-time of one (used) processor.
+    @raise Invalid_argument if the processor is not used by the mapping. *)
+
+val all : Comm_model.t -> Instance.t -> resource list
+(** Every used processor, ascending id. *)
+
+val mct : Comm_model.t -> Instance.t -> Rat.t
+(** The maximum cycle-time [Mct]. *)
+
+val critical : Comm_model.t -> Instance.t -> resource
+(** A resource achieving [Mct] (smallest processor id on ties). *)
+
+val pp_resource : Format.formatter -> resource -> unit
+val pp_table : Comm_model.t -> Format.formatter -> Instance.t -> unit

@@ -1,0 +1,127 @@
+open Rwt_util
+
+let to_string inst =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let { Instance.name; pipeline; platform; mapping } = inst in
+  let n = Pipeline.n_stages pipeline in
+  let p = Platform.p platform in
+  pr "name %s\n" name;
+  pr "stages %d\n" n;
+  pr "work %s\n"
+    (String.concat " " (List.init n (fun k -> Rat.to_string (Pipeline.work pipeline k))));
+  if n > 1 then
+    pr "data %s\n"
+      (String.concat " " (List.init (n - 1) (fun k -> Rat.to_string (Pipeline.data pipeline k))));
+  pr "processors %d\n" p;
+  pr "speeds %s\n"
+    (String.concat " " (List.init p (fun u -> Rat.to_string (Platform.speed platform u))));
+  for u = 0 to p - 1 do
+    for v = 0 to p - 1 do
+      if u <> v && not (Rat.equal (Platform.bandwidth platform u v) Rat.one) then
+        pr "bw %d %d %s\n" u v (Rat.to_string (Platform.bandwidth platform u v))
+    done
+  done;
+  for i = 0 to n - 1 do
+    pr "map %s\n"
+      (String.concat " "
+         (List.map string_of_int (Array.to_list (Mapping.procs mapping i))))
+  done;
+  Buffer.contents buf
+
+type parse_state = {
+  mutable pname : string;
+  mutable stages : int option;
+  mutable work : Rat.t array option;
+  mutable data : Rat.t array option;
+  mutable procs : int option;
+  mutable speeds : Rat.t array option;
+  mutable bw : (int * int * Rat.t) list;
+  mutable maps : int array list; (* reversed *)
+}
+
+let of_string s =
+  let st =
+    { pname = "instance"; stages = None; work = None; data = None; procs = None;
+      speeds = None; bw = []; maps = [] }
+  in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let exception Fail of string in
+  let fail lineno msg = raise (Fail (Printf.sprintf "line %d: %s" lineno msg)) in
+  let rat lineno tok =
+    try Rat.of_string tok with Failure _ | Division_by_zero ->
+      fail lineno (Printf.sprintf "bad rational %S" tok)
+  in
+  let int_tok lineno tok =
+    match int_of_string_opt tok with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "bad integer %S" tok)
+  in
+  try
+    let lines = String.split_on_char '\n' s in
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let toks =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun t -> t <> "")
+        in
+        match toks with
+        | [] -> ()
+        | "name" :: rest -> st.pname <- String.concat " " rest
+        | [ "stages"; n ] -> st.stages <- Some (int_tok lineno n)
+        | "work" :: rest -> st.work <- Some (Array.of_list (List.map (rat lineno) rest))
+        | "data" :: rest -> st.data <- Some (Array.of_list (List.map (rat lineno) rest))
+        | [ "processors"; p ] -> st.procs <- Some (int_tok lineno p)
+        | "speeds" :: rest -> st.speeds <- Some (Array.of_list (List.map (rat lineno) rest))
+        | [ "bw"; u; v; r ] ->
+          st.bw <- (int_tok lineno u, int_tok lineno v, rat lineno r) :: st.bw
+        | "map" :: rest ->
+          st.maps <- Array.of_list (List.map (int_tok lineno) rest) :: st.maps
+        | kw :: _ -> fail lineno (Printf.sprintf "unknown or malformed directive %S" kw))
+      lines;
+    let get what = function Some v -> v | None -> raise (Fail ("missing directive: " ^ what)) in
+    let n = get "stages" st.stages in
+    let p = get "processors" st.procs in
+    let work = get "work" st.work in
+    let data = match st.data with Some d -> d | None -> [||] in
+    let speeds = get "speeds" st.speeds in
+    if Array.length work <> n then raise (Fail "work: wrong arity");
+    if Array.length data <> max 0 (n - 1) then raise (Fail "data: wrong arity");
+    if Array.length speeds <> p then raise (Fail "speeds: wrong arity");
+    let bwm = Array.make_matrix p p Rat.one in
+    List.iter
+      (fun (u, v, r) ->
+        if u < 0 || u >= p || v < 0 || v >= p then raise (Fail "bw: processor out of range");
+        bwm.(u).(v) <- r)
+      st.bw;
+    let pipeline = Pipeline.create ~work ~data in
+    let platform =
+      try Platform.create ~speeds ~bandwidths:bwm
+      with Invalid_argument m -> raise (Fail m)
+    in
+    let assignment = Array.of_list (List.rev st.maps) in
+    let mapping =
+      match Mapping.create ~n_stages:n ~p assignment with
+      | Ok m -> m
+      | Error e -> raise (Fail (Mapping.error_to_string e))
+    in
+    Ok (Instance.create ~name:st.pname ~pipeline ~platform ~mapping)
+  with
+  | Fail msg -> Error msg
+  | Invalid_argument msg -> err 0 msg
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string inst))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

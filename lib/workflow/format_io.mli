@@ -1,0 +1,23 @@
+(** Textual instance format (round-trip safe, line based).
+
+    {v
+    # comments and blank lines are ignored
+    name <string>
+    stages <n>
+    work <w_0> ... <w_{n-1}>          # rationals: "3", "1/7" or "2.5"
+    data <d_0> ... <d_{n-2}>          # omitted when n = 1
+    processors <p>
+    speeds <s_0> ... <s_{p-1}>
+    bw <u> <v> <rate>                 # repeatable; unlisted pairs default to 1
+    map <u> <u'> ...                  # one line per stage, in stage order
+    v} *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> (Instance.t, string) result
+(** Error messages carry the offending line number. *)
+
+val save : string -> Instance.t -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val load : string -> (Instance.t, string) result

@@ -1,0 +1,80 @@
+open Rwt_util
+
+type t = {
+  name : string;
+  pipeline : Pipeline.t;
+  platform : Platform.t;
+  mapping : Mapping.t;
+}
+
+let create ~name ~pipeline ~platform ~mapping =
+  if Mapping.n_stages mapping <> Pipeline.n_stages pipeline then
+    invalid_arg "Instance.create: mapping/pipeline stage mismatch";
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun u ->
+          if u < 0 || u >= Platform.p platform then
+            invalid_arg "Instance.create: mapping uses unknown processor")
+        (Mapping.procs mapping i))
+    (Array.init (Mapping.n_stages mapping) (fun i -> i));
+  { name; pipeline; platform; mapping }
+
+let compute_time t ~stage ~proc =
+  Rat.div (Pipeline.work t.pipeline stage) (Platform.speed t.platform proc)
+
+let transfer_time t ~file ~src ~dst =
+  Rat.div (Pipeline.data t.pipeline file) (Platform.bandwidth t.platform src dst)
+
+let compute_time_for t ~stage ~dataset =
+  compute_time t ~stage ~proc:(Mapping.proc_for t.mapping ~stage ~dataset)
+
+let transfer_time_for t ~file ~dataset =
+  let src = Mapping.proc_for t.mapping ~stage:file ~dataset in
+  let dst = Mapping.proc_for t.mapping ~stage:(file + 1) ~dataset in
+  transfer_time t ~file ~src ~dst
+
+let of_times ?(name = "instance") ~p ~stages ~links () =
+  let n = List.length stages in
+  if n = 0 then invalid_arg "Instance.of_times: no stages";
+  let work = Array.make n Rat.one in
+  let data = Array.make (max 0 (n - 1)) Rat.one in
+  let speeds = Array.make p Rat.one in
+  let speed_set = Array.make p false in
+  List.iter
+    (List.iter (fun (u, time) ->
+         if u < 0 || u >= p then invalid_arg "Instance.of_times: processor out of range";
+         if Rat.sign time <= 0 then invalid_arg "Instance.of_times: non-positive time";
+         if speed_set.(u) then invalid_arg "Instance.of_times: duplicate processor time";
+         speeds.(u) <- Rat.inv time;
+         speed_set.(u) <- true))
+    stages;
+  let bw = Array.make_matrix p p Rat.one in
+  let bw_set = Array.make_matrix p p false in
+  List.iter
+    (fun ((u, v), time) ->
+      if u < 0 || u >= p || v < 0 || v >= p then
+        invalid_arg "Instance.of_times: link endpoint out of range";
+      if Rat.sign time <= 0 then invalid_arg "Instance.of_times: non-positive time";
+      if bw_set.(u).(v) then invalid_arg "Instance.of_times: duplicate link";
+      bw.(u).(v) <- Rat.inv time;
+      bw_set.(u).(v) <- true)
+    links;
+  let pipeline = Pipeline.create ~work ~data in
+  let platform = Platform.create ~speeds ~bandwidths:bw in
+  let assignment =
+    Array.of_list (List.map (fun l -> Array.of_list (List.map fst l)) stages)
+  in
+  let mapping = Mapping.create_exn ~n_stages:n ~p assignment in
+  create ~name ~pipeline ~platform ~mapping
+
+let resources t =
+  let used = ref [] in
+  for i = Mapping.n_stages t.mapping - 1 downto 0 do
+    used := Array.to_list (Mapping.procs t.mapping i) @ !used
+  done;
+  List.sort_uniq compare !used
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>instance %s:@,%a%a%a@]" t.name Pipeline.pp t.pipeline
+    Platform.pp t.platform Mapping.pp t.mapping

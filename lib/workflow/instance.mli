@@ -1,0 +1,51 @@
+(** A complete problem instance: pipeline + platform + mapping, with the
+    derived timing helpers used by every analysis. *)
+
+open Rwt_util
+
+type t = {
+  name : string;
+  pipeline : Pipeline.t;
+  platform : Platform.t;
+  mapping : Mapping.t;
+}
+
+val create :
+  name:string -> pipeline:Pipeline.t -> platform:Platform.t -> mapping:Mapping.t -> t
+(** @raise Invalid_argument if the mapping does not match the pipeline's
+    stage count or the platform's processor count. *)
+
+val compute_time : t -> stage:int -> proc:int -> Rat.t
+(** [w_stage / Π_proc]. *)
+
+val transfer_time : t -> file:int -> src:int -> dst:int -> Rat.t
+(** [δ_file / b_{src,dst}]. *)
+
+val compute_time_for : t -> stage:int -> dataset:int -> Rat.t
+(** Compute time of a data set on its round-robin processor. *)
+
+val transfer_time_for : t -> file:int -> dataset:int -> Rat.t
+(** Transfer time of [F_file] for a data set between its round-robin sender
+    (stage [file]) and receiver (stage [file+1]). *)
+
+val of_times :
+  ?name:string ->
+  p:int ->
+  stages:(int * Rat.t) list list ->
+  links:((int * int) * Rat.t) list ->
+  unit ->
+  t
+(** Convenience constructor used for the paper's figure-style examples where
+    {e times} rather than sizes are given: [stages] lists, per stage, the
+    [(processor, compute-time)] pairs in round-robin order; [links] gives
+    the transfer time of the (unique) file carried by each used link. The
+    pipeline gets unit work/data sizes and the platform the matching
+    reciprocal speeds/bandwidths, so [compute_time]/[transfer_time]
+    reproduce exactly the given values. Unused speeds and bandwidths are 1.
+    @raise Invalid_argument on inconsistencies (e.g. one processor with two
+    distinct compute times, a link listed twice). *)
+
+val resources : t -> int list
+(** The processors actually used by the mapping, ascending. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+open Rwt_util
+
+let render inst =
+  let { Instance.name; pipeline; mapping; _ } = inst in
+  let n = Mapping.n_stages mapping in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph \"%s\" {\n  rankdir=LR;\n  node [shape=box];\n" name;
+  for i = 0 to n - 1 do
+    pr "  subgraph cluster_s%d {\n    label=\"%s\";\n" i (Pipeline.name pipeline i);
+    Array.iter
+      (fun u ->
+        pr "    p%d [label=\"%s\\n%s\"];\n" u (Platform.proc_name u)
+          (Rat.to_string (Instance.compute_time inst ~stage:i ~proc:u)))
+      (Mapping.procs mapping i);
+    pr "  }\n"
+  done;
+  for i = 0 to n - 2 do
+    Array.iter
+      (fun s ->
+        Array.iter
+          (fun d ->
+            pr "  p%d -> p%d [label=\"%s\"];\n" s d
+              (Rat.to_string (Instance.transfer_time inst ~file:i ~src:s ~dst:d)))
+          (Mapping.procs mapping (i + 1)))
+      (Mapping.procs mapping i)
+  done;
+  pr "}\n";
+  Buffer.contents buf

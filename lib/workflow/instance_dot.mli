@@ -1,0 +1,7 @@
+(** Graphviz rendering of a mapped instance — the paper's Figure 2 / 6 / 11
+    style: one node per used processor (grouped by stage, labelled with its
+    compute time) and one edge per used link (labelled with its transfer
+    time). *)
+
+val render : Instance.t -> string
+(** DOT source with stage clusters. Times are printed as exact rationals. *)

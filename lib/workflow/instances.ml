@@ -1,0 +1,97 @@
+open Rwt_util
+
+let r = Rat.of_int
+
+(* Example A (Figure 2). The 18 published labels are: computations
+   P0=22, P1=147, P2=128, P3=73, P4=23, P5=146, P6=73 and transfers
+   P0→P1=186, P0→P2=192, P1→{P3,P4,P5}={57,68,77}, P2→{P3,P4,P5}=
+   {13,157,165}, {P3,P4,P5}→P6={104,67,126}. The edge assignment below is
+   the calibration result (see Rwt_experiments.Calibrate): it reproduces
+   P_overlap = 189 with critical resource P0-out and P_strict = 230.7 with
+   Mct = 215.83 on P2. *)
+let example_a () =
+  Instance.of_times ~name:"example-A" ~p:7
+    ~stages:
+      [ [ (0, r 22) ];
+        [ (1, r 147); (2, r 128) ];
+        [ (3, r 73); (4, r 23); (5, r 146) ];
+        [ (6, r 73) ] ]
+    ~links:
+      [ ((0, 1), r 186); ((0, 2), r 192);
+        ((1, 3), r 57); ((1, 4), r 68); ((1, 5), r 77);
+        ((2, 3), r 13); ((2, 4), r 157); ((2, 5), r 165);
+        ((3, 6), r 104); ((4, 6), r 67); ((5, 6), r 126) ]
+    ()
+
+(* Example B (Figure 6): 3 senders, 4 receivers, all computations cost 100;
+   seven links cost 1000 and five cost 100, with P2 holding three of the
+   1000-links (Cout(P2) = 3100/12 = Mct). The calibration pins the pattern
+   so that the full sub-TPN's critical cycle has ratio 7000/2, i.e. period
+   3500/12 = 291.67 as published. *)
+let example_b () =
+  Instance.of_times ~name:"example-B" ~p:7
+    ~stages:
+      [ [ (0, r 100); (1, r 100); (2, r 100) ];
+        [ (3, r 100); (4, r 100); (5, r 100); (6, r 100) ] ]
+    ~links:
+      [ ((0, 3), r 1000); ((0, 4), r 100); ((0, 5), r 100); ((0, 6), r 1000);
+        ((1, 3), r 100); ((1, 4), r 100); ((1, 5), r 1000); ((1, 6), r 1000);
+        ((2, 3), r 1000); ((2, 4), r 1000); ((2, 5), r 1000); ((2, 6), r 100) ]
+    ()
+
+(* Example C (Figure 11): only the replication vector (5, 21, 27, 11) is
+   published; timings are synthesized from a fixed seed. *)
+let example_c () =
+  let rng = Prng.create 2009 in
+  let counts = [| 5; 21; 27; 11 |] in
+  let p = Array.fold_left ( + ) 0 counts in
+  let next = ref 0 in
+  let stages =
+    Array.to_list
+      (Array.map
+         (fun m ->
+           List.init m (fun _ ->
+               let u = !next in
+               incr next;
+               (u, r (Prng.int_in rng 5 15))))
+         counts)
+  in
+  let links = ref [] in
+  let offset = Array.make 4 0 in
+  let acc = ref 0 in
+  Array.iteri (fun i m -> offset.(i) <- !acc; acc := !acc + m) counts;
+  for i = 0 to 2 do
+    for s = 0 to counts.(i) - 1 do
+      for d = 0 to counts.(i + 1) - 1 do
+        links := ((offset.(i) + s, offset.(i + 1) + d), r (Prng.int_in rng 5 15)) :: !links
+      done
+    done
+  done;
+  Instance.of_times ~name:"example-C" ~p ~stages ~links:!links ()
+
+(* Found by this repository's Table 2 campaign (seed 2009): a 2-stage
+   instance with replication (4, 3) whose OVERLAP period 34/3 strictly
+   exceeds its maximum cycle-time 67/6 — smaller than the paper's Example B
+   (which needs 3 + 4 replicas). The paper's own campaign found no overlap
+   case at all in 2 576 runs. Verified three ways (Theorem 1, full TPN,
+   simulator). *)
+let minimal_no_critical_overlap () =
+  Instance.of_times ~name:"minimal-no-critical-overlap" ~p:7
+    ~stages:
+      [ [ (3, r 1); (5, r 1); (0, r 1); (2, r 1) ];
+        [ (4, r 1); (6, r 1); (1, r 1) ] ]
+    ~links:
+      [ ((0, 1), r 33); ((0, 4), r 45); ((0, 6), r 38);
+        ((2, 1), r 26); ((2, 4), r 49); ((2, 6), r 41);
+        ((3, 1), r 45); ((3, 4), r 18); ((3, 6), r 15);
+        ((5, 1), r 30); ((5, 4), r 10); ((5, 6), r 39) ]
+    ()
+
+let figure1 () =
+  Pipeline.of_ints ~work:[| 10; 40; 30; 20 |] ~data:[| 8; 16; 4 |]
+
+let no_replication () =
+  Instance.of_times ~name:"no-replication" ~p:3
+    ~stages:[ [ (0, r 12) ]; [ (1, r 30) ]; [ (2, r 8) ] ]
+    ~links:[ ((0, 1), r 9); ((1, 2), r 14) ]
+    ()

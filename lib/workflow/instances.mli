@@ -1,0 +1,42 @@
+(** The paper's named instances.
+
+    Examples A and B are given in the paper as annotated figures; the
+    figure images are not machine-readable, so the published label values
+    are assigned to edges by a calibration search (see
+    [Rwt_experiments.Calibrate] and DESIGN.md §4) constrained by every
+    quantitative statement the paper makes about them:
+
+    - Example A, OVERLAP: period 189, critical resource = P0's out-port;
+    - Example A, STRICT: Mct = 1295/6 ≈ 215.83 on P2, period 230.7;
+    - Example B, OVERLAP: Mct = 3100/12 ≈ 258.33 on P2's out-port,
+      period 3500/12 ≈ 291.67 (no critical resource).
+
+    Example C only fixes the replication vector (5, 21, 27, 11); its timings
+    are synthesized deterministically. *)
+
+val example_a : unit -> Instance.t
+(** 4 stages on 7 processors; S1 replicated twice, S2 three times
+    (Figure 2). *)
+
+val example_b : unit -> Instance.t
+(** 2 stages on 7 processors; S0 replicated 3 times, S1 four times
+    (Figure 6). *)
+
+val example_c : unit -> Instance.t
+(** 4 stages replicated (5, 21, 27, 11) on 64 processors (Figure 11);
+    timings drawn from a fixed seed, compute times in [5,15], transfer
+    times in [5,15]. *)
+
+val figure1 : unit -> Pipeline.t
+(** The 4-stage pipeline sketch of Figure 1 (sizes only). *)
+
+val no_replication : unit -> Instance.t
+(** A 3-stage, one-to-one mapped instance: the baseline case where the
+    period provably equals [Mct]. *)
+
+val minimal_no_critical_overlap : unit -> Instance.t
+(** A 2-stage instance (replication 4 × 3, 7 processors) with {e no critical
+    resource under the OVERLAP model}: period [34/3] > [Mct = 67/6]. Found by
+    this repository's Table 2 campaign; the paper's own 2 576-run campaign
+    found no such overlap case (its smallest known witness, Example B, uses
+    3 + 4 replicas). *)

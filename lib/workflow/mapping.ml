@@ -1,0 +1,70 @@
+type error =
+  | Empty_stage of int
+  | Processor_reused of int
+  | Processor_out_of_range of int
+  | Stage_count_mismatch of { expected : int; got : int }
+
+let pp_error fmt = function
+  | Empty_stage i -> Format.fprintf fmt "stage %d has no processor" i
+  | Processor_reused u -> Format.fprintf fmt "processor %d assigned to several stages" u
+  | Processor_out_of_range u -> Format.fprintf fmt "processor %d out of range" u
+  | Stage_count_mismatch { expected; got } ->
+    Format.fprintf fmt "expected %d stage assignments, got %d" expected got
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = { assignment : int array array; p : int; stage_of_proc : int array }
+
+let create ~n_stages ~p assignment =
+  if Array.length assignment <> n_stages then
+    Error (Stage_count_mismatch { expected = n_stages; got = Array.length assignment })
+  else begin
+    let stage_of_proc = Array.make p (-1) in
+    let err = ref None in
+    Array.iteri
+      (fun i procs ->
+        if !err = None then
+          if Array.length procs = 0 then err := Some (Empty_stage i)
+          else
+            Array.iter
+              (fun u ->
+                if !err = None then
+                  if u < 0 || u >= p then err := Some (Processor_out_of_range u)
+                  else if stage_of_proc.(u) >= 0 then err := Some (Processor_reused u)
+                  else stage_of_proc.(u) <- i)
+              procs)
+      assignment;
+    match !err with
+    | Some e -> Error e
+    | None ->
+      Ok { assignment = Array.map Array.copy assignment; p; stage_of_proc }
+  end
+
+let create_exn ~n_stages ~p assignment =
+  match create ~n_stages ~p assignment with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Mapping.create: " ^ error_to_string e)
+
+let n_stages t = Array.length t.assignment
+let replication t i = Array.length t.assignment.(i)
+let replication_vector t = Array.map Array.length t.assignment
+let procs t i = Array.copy t.assignment.(i)
+let proc_for t ~stage ~dataset = t.assignment.(stage).(dataset mod Array.length t.assignment.(stage))
+let stage_of t u = if t.stage_of_proc.(u) >= 0 then Some t.stage_of_proc.(u) else None
+
+let num_paths t =
+  Rwt_util.Intmath.lcm_list (Array.to_list (replication_vector t))
+
+let num_paths_big t =
+  Rwt_util.Intmath.big_lcm_list (Array.to_list (replication_vector t))
+
+let is_replicated t = Array.exists (fun procs -> Array.length procs > 1) t.assignment
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i procs ->
+      Format.fprintf fmt "S%d -> {%s}@," i
+        (String.concat ", " (Array.to_list (Array.map Platform.proc_name procs))))
+    t.assignment;
+  Format.fprintf fmt "@]"

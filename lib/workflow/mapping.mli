@@ -1,0 +1,53 @@
+(** A mapping of pipeline stages onto processors, with replication: stage
+    [S_i] is assigned the ordered processor list [procs i] of length [m_i].
+    The paper's two structural rules are enforced:
+
+    - a processor executes at most one stage;
+    - the processors of a replicated stage serve the data sets in round-robin
+      order — data set [d] of stage [i] runs on [procs i].((d mod m_i)). *)
+
+type error =
+  | Empty_stage of int  (** a stage with no processor *)
+  | Processor_reused of int  (** a processor assigned to two stages *)
+  | Processor_out_of_range of int
+  | Stage_count_mismatch of { expected : int; got : int }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type t
+
+val create : n_stages:int -> p:int -> int array array -> (t, error) result
+(** [create ~n_stages ~p assignment] validates the assignment (one processor
+    list per stage, lists pairwise disjoint, ids in [\[0, p)]). *)
+
+val create_exn : n_stages:int -> p:int -> int array array -> t
+(** @raise Invalid_argument with the rendered error. *)
+
+val n_stages : t -> int
+
+val replication : t -> int -> int
+(** [replication t i = m_i]. *)
+
+val replication_vector : t -> int array
+
+val procs : t -> int -> int array
+(** The processors of stage [i], in round-robin order (a fresh copy). *)
+
+val proc_for : t -> stage:int -> dataset:int -> int
+(** The processor executing data set [dataset] of stage [stage]. *)
+
+val stage_of : t -> int -> int option
+(** Which stage a processor is assigned to, if any. *)
+
+val num_paths : t -> int
+(** [lcm(m_0, …, m_{n-1})] (Proposition 1).
+    @raise Failure on native-int overflow. *)
+
+val num_paths_big : t -> Rwt_util.Bigint.t
+(** Overflow-free variant for reporting. *)
+
+val is_replicated : t -> bool
+(** True iff some stage has [m_i > 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+let num_paths = Mapping.num_paths
+
+let path m d =
+  Array.init (Mapping.n_stages m) (fun i -> Mapping.proc_for m ~stage:i ~dataset:d)
+
+let first_paths m k = List.init k (fun d -> path m d)
+
+let distinct_paths m = first_paths m (num_paths m)
+
+let verify_period m =
+  let period = num_paths m in
+  let p0 = path m 0 in
+  (* the sequence repeats at m ... *)
+  path m period = p0
+  (* ... and at no smaller positive shift (uniformly over offsets) *)
+  && (let smaller_period q =
+        let rec all d = d >= period || (path m d = path m (d + q) && all (d + 1)) in
+        all 0
+      in
+      let rec none q = q >= period || ((not (smaller_period q)) && none (q + 1)) in
+      none 1)
+
+let pp_table fmt (m, k) =
+  Format.fprintf fmt "@[<v>%-10s %s@," "Input data" "Path in the system";
+  for d = 0 to k - 1 do
+    let names = Array.to_list (Array.map Platform.proc_name (path m d)) in
+    Format.fprintf fmt "%-10d %s@," d (String.concat " -> " names)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** Round-robin paths through the replicated pipeline (Proposition 1): data
+    set [d] traverses processors [(procs 0).(d mod m_0), …,
+    (procs n-1).(d mod m_{n-1})], and the path pattern repeats with period
+    [m = lcm(m_0, …, m_{n-1})]. *)
+
+val num_paths : Mapping.t -> int
+(** [m]. @raise Failure on overflow. *)
+
+val path : Mapping.t -> int -> int array
+(** [path m d] is the processor sequence for data set [d]. *)
+
+val first_paths : Mapping.t -> int -> int array list
+(** The paths of data sets [0 .. k-1]. *)
+
+val distinct_paths : Mapping.t -> int array list
+(** The [m] distinct paths, in round-robin order (data sets [0 .. m-1]). *)
+
+val verify_period : Mapping.t -> bool
+(** Checks Proposition 1 operationally: [m] is the smallest positive period
+    of the path sequence. Intended for tests ([O(m·n)]). *)
+
+val pp_table : Format.formatter -> Mapping.t * int -> unit
+(** Renders the paper's Table 1: the paths of the first [k] data sets. *)

@@ -1,0 +1,33 @@
+open Rwt_util
+
+type t = { work : Rat.t array; data : Rat.t array; names : string array }
+
+let create ~work ~data =
+  let n = Array.length work in
+  if n = 0 then invalid_arg "Pipeline.create: no stages";
+  if Array.length data <> n - 1 then
+    invalid_arg "Pipeline.create: need exactly n-1 file sizes";
+  Array.iter (fun w -> if Rat.sign w < 0 then invalid_arg "Pipeline.create: negative work") work;
+  Array.iter (fun d -> if Rat.sign d < 0 then invalid_arg "Pipeline.create: negative data") data;
+  { work; data; names = Array.init n (fun k -> Printf.sprintf "S%d" k) }
+
+let rename t names =
+  if Array.length names <> Array.length t.work then invalid_arg "Pipeline.rename: arity";
+  { t with names }
+
+let of_ints ~work ~data =
+  create ~work:(Array.map Rat.of_int work) ~data:(Array.map Rat.of_int data)
+
+let n_stages t = Array.length t.work
+let work t k = t.work.(k)
+let data t k = t.data.(k)
+let name t k = t.names.(k)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>pipeline with %d stages:@," (n_stages t);
+  for k = 0 to n_stages t - 1 do
+    Format.fprintf fmt "  %s: w=%a" (name t k) Rat.pp t.work.(k);
+    if k < n_stages t - 1 then Format.fprintf fmt ", out file δ=%a" Rat.pp t.data.(k);
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,30 @@
+(** The application model: a linear chain of [n] stages [S_0 … S_{n-1}].
+    Stage [S_k] costs [w_k] FLOP and passes a file [F_k] of [δ_k] bytes to
+    [S_{k+1}] (Figure 1 of the paper). *)
+
+open Rwt_util
+
+type t
+
+val create : work:Rat.t array -> data:Rat.t array -> t
+(** [create ~work ~data] with [length data = length work - 1]; all sizes must
+    be [>= 0] and there must be at least one stage.
+    @raise Invalid_argument otherwise. *)
+
+val rename : t -> string array -> t
+(** Replace the stage labels. @raise Invalid_argument on arity mismatch. *)
+
+val of_ints : work:int array -> data:int array -> t
+
+val n_stages : t -> int
+
+val work : t -> int -> Rat.t
+(** [work p k] is [w_k]. *)
+
+val data : t -> int -> Rat.t
+(** [data p k] is [δ_k], the size of file [F_k], for [k < n_stages - 1]. *)
+
+val name : t -> int -> string
+(** Stage label, defaulting to ["S<k>"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+open Rwt_util
+
+type t = { speeds : Rat.t array; bw : Rat.t array array }
+
+let create ~speeds ~bandwidths =
+  let p = Array.length speeds in
+  if p = 0 then invalid_arg "Platform.create: no processors";
+  Array.iter
+    (fun s -> if Rat.sign s <= 0 then invalid_arg "Platform.create: non-positive speed")
+    speeds;
+  if Array.length bandwidths <> p then invalid_arg "Platform.create: bandwidth matrix shape";
+  Array.iteri
+    (fun u row ->
+      if Array.length row <> p then invalid_arg "Platform.create: bandwidth matrix shape";
+      Array.iteri
+        (fun v b ->
+          if u <> v && Rat.sign b <= 0 then
+            invalid_arg "Platform.create: non-positive bandwidth")
+        row)
+    bandwidths;
+  { speeds; bw = bandwidths }
+
+let uniform ~p ~speed ~bandwidth =
+  create ~speeds:(Array.make p speed) ~bandwidths:(Array.make_matrix p p bandwidth)
+
+let star ~speeds ~link_bw =
+  let p = Array.length speeds in
+  if Array.length link_bw <> p then invalid_arg "Platform.star: link_bw length";
+  let bw = Array.init p (fun u -> Array.init p (fun v -> Rat.min link_bw.(u) link_bw.(v))) in
+  create ~speeds ~bandwidths:bw
+
+let two_clusters ~speeds ~split ~intra_bw ~inter_bw =
+  let p = Array.length speeds in
+  if split <= 0 || split >= p then invalid_arg "Platform.two_clusters: bad split";
+  let same_side u v = (u < split) = (v < split) in
+  let bw =
+    Array.init p (fun u ->
+        Array.init p (fun v -> if same_side u v then intra_bw else inter_bw))
+  in
+  create ~speeds ~bandwidths:bw
+
+let random r ~p ~speed_range:(slo, shi) ~bandwidth_range:(blo, bhi) =
+  let speeds = Array.init p (fun _ -> Rat.of_int (Prng.int_in r slo shi)) in
+  let bw =
+    Array.init p (fun _ -> Array.init p (fun _ -> Rat.of_int (Prng.int_in r blo bhi)))
+  in
+  create ~speeds ~bandwidths:bw
+
+let p t = Array.length t.speeds
+let speed t u = t.speeds.(u)
+let bandwidth t u v = t.bw.(u).(v)
+let proc_name u = Printf.sprintf "P%d" u
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>platform with %d processors:@," (p t);
+  for u = 0 to p t - 1 do
+    Format.fprintf fmt "  %s: speed %a@," (proc_name u) Rat.pp t.speeds.(u)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,44 @@
+(** The target platform: [p] heterogeneous processors, processor [P_u] of
+    speed [Π_u] (FLOP per time unit), and a bidirectional logical link
+    between every ordered pair with bandwidth [b_{u,v}] (bytes per time
+    unit) — §2 of the paper. Links may be logical (e.g. realized through a
+    central switch). *)
+
+open Rwt_util
+
+type t
+
+val create : speeds:Rat.t array -> bandwidths:Rat.t array array -> t
+(** [bandwidths] must be a [p × p] matrix; speeds and off-diagonal
+    bandwidths must be positive. @raise Invalid_argument otherwise. *)
+
+val uniform : p:int -> speed:Rat.t -> bandwidth:Rat.t -> t
+(** Homogeneous platform. *)
+
+val star : speeds:Rat.t array -> link_bw:Rat.t array -> t
+(** Star-shaped physical platform: every processor is connected to a central
+    switch by a link of bandwidth [link_bw.(u)]; the logical bandwidth
+    between [u] and [v] is [min (link_bw u) (link_bw v)]. *)
+
+val two_clusters :
+  speeds:Rat.t array -> split:int -> intra_bw:Rat.t -> inter_bw:Rat.t -> t
+(** Two-site grid: processors [0 .. split-1] form one cluster, the rest the
+    other; links within a cluster run at [intra_bw], links across at
+    [inter_bw] (the DataCutter-style topology of the paper's motivating
+    applications). @raise Invalid_argument unless [0 < split < length speeds]. *)
+
+val random :
+  Prng.t -> p:int -> speed_range:int * int -> bandwidth_range:int * int -> t
+(** Uniformly random integer speeds and bandwidths within the inclusive
+    ranges (the paper's experimental setup, Table 2). *)
+
+val p : t -> int
+(** Number of processors. *)
+
+val speed : t -> int -> Rat.t
+val bandwidth : t -> int -> int -> Rat.t
+
+val proc_name : int -> string
+(** ["P<u>"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+Optimality certificates: emitted, independently re-checked, and exact.
+
+  $ rwt certificate -e a -m strict --verify-only
+  certificate verified: period 230.67 = ratio 1384 over 6 rows
+
+  $ rwt certificate -e b -m overlap --verify-only
+  certificate verified: period 291.67 = ratio 3500 over 12 rows
+
+The JSON form carries the rational lambda and a witness cycle.
+
+  $ rwt certificate -e nr -m overlap 2>/dev/null | head -c 16
+  {"lambda":"30","

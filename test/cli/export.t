@@ -1,0 +1,18 @@
+Schedules export to CSV and JSON for external tooling.
+
+  $ rwt gantt -e no-replication --export csv --datasets 2 | head -4
+  dataset,kind,index,proc,src,dst,start,finish,start_float,finish_float
+  0,compute,0,0,,,0,12,0,12
+  0,transfer,0,,0,1,12,21,12,21
+  0,compute,1,1,,,21,51,21,51
+
+  $ rwt gantt -e no-replication --export json --datasets 1 | head -5
+  {
+    "instance": "no-replication",
+    "model": "overlap",
+    "datasets": 1,
+    "events": [
+
+  $ rwt gantt -e a --export yaml
+  rwt: unknown export format "yaml" (json or csv)
+  [1]

@@ -1,0 +1,28 @@
+Sensitivity: on Example B only the seven critical-cycle links help.
+
+  $ rwt sensitivity -e b | head -9
+  baseline period 291.67; upgrades by factor 2:
+    P0->P3     -> period 270.83 (7.14% better)
+    P0->P6     -> period 270.83 (7.14% better)
+    P1->P5     -> period 270.83 (7.14% better)
+    P1->P6     -> period 270.83 (7.14% better)
+    P2->P3     -> period 270.83 (7.14% better)
+    P2->P4     -> period 270.83 (7.14% better)
+    P2->P5     -> period 270.83 (7.14% better)
+    P0         -> period 291.67 (0% better)
+
+Latency under periodic admission (critical load, Example A overlap).
+
+  $ rwt latency -e a -m overlap | head -1
+  release period 189: latency worst 852, best 589, mean 724.17 over 6 classes
+
+Stochastic platforms are deterministic in the seed.
+
+  $ rwt stochastic -e a --samples 30 --seed 9 | head -1 > s1.txt
+  $ rwt stochastic -e a --samples 30 --seed 9 | head -1 > s2.txt
+  $ diff s1.txt s2.txt
+
+The paths and simulate commands agree with the exact period.
+
+  $ rwt simulate -e b -m overlap
+  measured period: 291.67 (875/3)

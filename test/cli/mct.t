@@ -1,0 +1,11 @@
+Per-resource cycle-times of Example A (strict): P2 is the bottleneck.
+
+  $ rwt mct -e a -m strict
+  P0 (S0): Cin=0 Ccomp=22 Cout=189 Cexec=211 [serial]
+  P1 (S1): Cin=93 Ccomp=73.50 Cout=33.67 Cexec=200.17 [serial]
+  P2 (S1): Cin=96 Ccomp=64 Cout=55.83 Cexec=215.83 [serial]
+  P3 (S2): Cin=11.67 Ccomp=24.33 Cout=34.67 Cexec=70.67 [serial]
+  P4 (S2): Cin=37.50 Ccomp=7.67 Cout=22.33 Cexec=67.50 [serial]
+  P5 (S2): Cin=40.33 Ccomp=48.67 Cout=42 Cexec=131 [serial]
+  P6 (S3): Cin=99 Ccomp=73 Cout=0 Cexec=172 [serial]
+  Mct = 215.83

@@ -1,0 +1,14 @@
+Table 1: the round-robin paths of Example A.
+
+  $ rwt paths -e a
+  m = lcm(1, 2, 3, 1) = 6 distinct paths
+  Input data Path in the system
+  0          P0 -> P1 -> P3 -> P6
+  1          P0 -> P2 -> P4 -> P6
+  2          P0 -> P1 -> P5 -> P6
+  3          P0 -> P2 -> P3 -> P6
+  4          P0 -> P1 -> P4 -> P6
+  5          P0 -> P2 -> P5 -> P6
+  6          P0 -> P1 -> P3 -> P6
+  7          P0 -> P2 -> P4 -> P6
+  

@@ -1,0 +1,30 @@
+Example A under both models reproduces the paper's values.
+
+  $ rwt period -e a -m overlap --exact
+  model: overlap
+  period: 189 (throughput 0.005291 data sets / time unit)
+  Mct:    189 (resource P0, stage S0)
+  the critical resource dictates the period (P = Mct)
+  exact period: 189
+
+  $ rwt period -e a -m strict --exact
+  model: strict
+  period: 230.67 (throughput 0.004335 data sets / time unit)
+  Mct:    215.83 (resource P2, stage S1)
+  no critical resource: P exceeds Mct by 6.87%
+  exact period: 692/3
+
+Example B has no critical resource even with overlap.
+
+  $ rwt period -e b -m overlap --exact
+  model: overlap
+  period: 291.67 (throughput 0.003429 data sets / time unit)
+  Mct:    258.33 (resource P2, stage S0)
+  no critical resource: P exceeds Mct by 12.90%
+  exact period: 875/3
+
+Theorem 1 refuses the strict model.
+
+  $ rwt period -e a -m strict --method poly
+  rwt: Analysis.analyze: no polynomial algorithm for the strict model
+  [2]

@@ -1,0 +1,15 @@
+Instances survive an export/import round trip.
+
+  $ rwt show -e no-replication > nr.rwt
+  $ rwt period -f nr.rwt -m strict --exact | tail -1
+  exact period: 53
+
+  $ rwt show -f nr.rwt > nr2.rwt
+  $ diff nr.rwt nr2.rwt
+
+Malformed files are rejected with a line number.
+
+  $ printf 'stages 2\nwork 1 1\ndata 1\nprocessors 2\nspeeds 1 nope\nmap 0\nmap 1\n' > bad.rwt
+  $ rwt period -f bad.rwt
+  rwt: line 5: bad rational "nope"
+  [1]

@@ -1,0 +1,193 @@
+(* Tests for the experiment harness: generator distributions, Table 2
+   machinery, calibration, ablations. *)
+
+open Rwt_util
+open Rwt_workflow
+module G = Rwt_experiments.Generator
+module T2 = Rwt_experiments.Table2
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- generator --- *)
+
+let composition_valid =
+  QCheck.Test.make ~count:500 ~name:"composition: positive parts, right sum"
+    (QCheck.pair QCheck.small_nat (QCheck.pair (QCheck.int_range 1 8) (QCheck.int_range 0 20)))
+    (fun (seed, (parts, extra)) ->
+      let total = parts + extra in
+      let r = Prng.create seed in
+      let c = G.random_composition r ~total ~parts in
+      Array.length c = parts
+      && Array.for_all (fun x -> x >= 1) c
+      && Array.fold_left ( + ) 0 c = total)
+
+let composition_rejects () =
+  let r = Prng.create 1 in
+  Alcotest.check_raises "total < parts" (Invalid_argument "Generator.random_composition")
+    (fun () -> ignore (G.random_composition r ~total:2 ~parts:3))
+
+let generate_respects_config =
+  QCheck.Test.make ~count:200 ~name:"generated instances respect the config"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create seed in
+      let cfg = { G.n_stages = 1 + Prng.int r 4; p = 6 + Prng.int r 6;
+                  comp = (3, 9); comm = (4, 12) } in
+      let inst = G.generate r cfg in
+      let mapping = inst.Instance.mapping in
+      Mapping.n_stages mapping = cfg.G.n_stages
+      && Platform.p inst.Instance.platform = cfg.G.p
+      && List.length (Instance.resources inst) = cfg.G.p
+      && List.for_all
+           (fun u ->
+             match Mapping.stage_of mapping u with
+             | None -> false
+             | Some stage ->
+               let t = Rat.to_float (Instance.compute_time inst ~stage ~proc:u) in
+               t >= 3.0 && t <= 9.0)
+           (Instance.resources inst)
+      &&
+      let ok = ref true in
+      for i = 0 to cfg.G.n_stages - 2 do
+        Array.iter
+          (fun s ->
+            Array.iter
+              (fun d ->
+                let t = Rat.to_float (Instance.transfer_time inst ~file:i ~src:s ~dst:d) in
+                if t < 4.0 || t > 12.0 then ok := false)
+              (Mapping.procs mapping (i + 1)))
+          (Mapping.procs mapping i)
+      done;
+      !ok)
+
+let generate_deterministic () =
+  let mk () =
+    G.generate (Prng.create 99) { G.n_stages = 3; p = 8; comp = (1, 5); comm = (1, 5) }
+  in
+  Alcotest.(check string) "same seed, same instance"
+    (Format_io.to_string (mk ()))
+    (Format_io.to_string (mk ()))
+
+(* --- table 2 --- *)
+
+let table2_rows_structure () =
+  let rows = T2.paper_rows ~scale:1.0 in
+  Alcotest.(check int) "6 rows" 6 (List.length rows);
+  let counts = List.map (fun r -> r.T2.count) rows in
+  Alcotest.(check (list int)) "paper counts" [ 220; 220; 68; 68; 1000; 1000 ] counts
+
+let table2_small_run () =
+  let results = T2.run_all ~scale:0.004 () in
+  Alcotest.(check int) "12 result rows" 12 (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "count consistency" true (r.T2.without_critical <= r.T2.total);
+      (* overlap: the paper found no case at all; with exact arithmetic a
+         violation would be a soundness bug, not noise *)
+      if r.T2.model = Comm_model.Overlap && r.T2.without_critical > 0 then begin
+        (* gaps can exist in principle (Example B!), but must be genuine:
+           re-verify against the TPN on a fresh generator *)
+        Alcotest.(check bool) "gap positive" true (Rat.sign r.T2.max_gap > 0)
+      end)
+    results
+
+let table2_deterministic () =
+  let r1 = T2.run_row Comm_model.Strict (List.nth (T2.paper_rows ~scale:0.004) 4) in
+  let r2 = T2.run_row Comm_model.Strict (List.nth (T2.paper_rows ~scale:0.004) 4) in
+  Alcotest.(check int) "same counts" r1.T2.without_critical r2.T2.without_critical;
+  Alcotest.(check bool) "same gap" true (Rat.equal r1.T2.max_gap r2.T2.max_gap)
+
+(* --- gap histogram --- *)
+
+let gap_hist_consistent () =
+  let cfg = { G.n_stages = 2; p = 7; comp = (1, 1); comm = (5, 10) } in
+  let h = Rwt_experiments.Gap_hist.run ~samples:120 Comm_model.Strict cfg in
+  let open Rwt_experiments.Gap_hist in
+  Alcotest.(check int) "zeros + positives = total" h.total
+    (h.zeros + List.length h.positives);
+  List.iter
+    (fun g -> Alcotest.(check bool) "gaps positive" true (Rat.sign g > 0))
+    h.positives;
+  let bucket_total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h.buckets in
+  Alcotest.(check int) "buckets cover positives" (List.length h.positives) bucket_total;
+  (* overlap on the same config: gaps must be rarer than or equal to strict *)
+  let ho = Rwt_experiments.Gap_hist.run ~samples:120 Comm_model.Overlap cfg in
+  Alcotest.(check bool) "rendering works" true
+    (String.length (Format.asprintf "%a" Rwt_experiments.Gap_hist.pp ho) > 0)
+
+let gap_hist_deterministic () =
+  let cfg = { G.n_stages = 3; p = 7; comp = (1, 1); comm = (5, 10) } in
+  let a = Rwt_experiments.Gap_hist.run ~samples:60 Comm_model.Strict cfg in
+  let b = Rwt_experiments.Gap_hist.run ~samples:60 Comm_model.Strict cfg in
+  Alcotest.(check int) "same zeros" a.Rwt_experiments.Gap_hist.zeros
+    b.Rwt_experiments.Gap_hist.zeros
+
+(* --- calibration --- *)
+
+let published_checks () =
+  List.iter
+    (fun (name, ok) -> Alcotest.(check bool) name true ok)
+    (Rwt_experiments.Calibrate.verify_published ())
+
+let example_b_candidates () =
+  let cands = Rwt_experiments.Calibrate.example_b_candidates () in
+  Alcotest.(check bool) "some candidates" true (List.length cands > 0);
+  (* the shipped instance's pattern must be among the unique-critical ones *)
+  let b = Instances.example_b () in
+  let shipped_expensive =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun d ->
+            if Rat.equal (Instance.transfer_time b ~file:0 ~src:s ~dst:d) (Rat.of_int 1000)
+            then Some (s, d)
+            else None)
+          [ 3; 4; 5; 6 ])
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "shipped pattern found with unique critical resource" true
+    (List.exists
+       (fun c ->
+         c.Rwt_experiments.Calibrate.unique_critical
+         && List.sort compare c.Rwt_experiments.Calibrate.expensive
+            = List.sort compare shipped_expensive)
+       cands)
+
+(* --- ablations --- *)
+
+let ablation_poly_agrees () =
+  let rows =
+    Rwt_experiments.Ablation.poly_vs_exact ~sizes:[ (2, 5); (3, 7) ] ~samples_per_size:3 ()
+  in
+  Alcotest.(check int) "rows" 6 (List.length rows);
+  List.iter
+    (fun r -> Alcotest.(check bool) "agree" true r.Rwt_experiments.Ablation.agree)
+    rows
+
+let ablation_solvers_agree () =
+  let rows =
+    Rwt_experiments.Ablation.solver_comparison ~sizes:[ 6; 12 ] ~samples_per_size:4 ()
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "agree" true r.Rwt_experiments.Ablation.all_agree)
+    rows
+
+let () =
+  Alcotest.run "rwt_experiments"
+    [ ( "generator",
+        [ qtest composition_valid;
+          Alcotest.test_case "rejects" `Quick composition_rejects;
+          qtest generate_respects_config;
+          Alcotest.test_case "deterministic" `Quick generate_deterministic ] );
+      ( "table2",
+        [ Alcotest.test_case "rows" `Quick table2_rows_structure;
+          Alcotest.test_case "small run" `Slow table2_small_run;
+          Alcotest.test_case "deterministic" `Quick table2_deterministic ] );
+      ( "gap histogram",
+        [ Alcotest.test_case "consistent" `Quick gap_hist_consistent;
+          Alcotest.test_case "deterministic" `Quick gap_hist_deterministic ] );
+      ( "calibration",
+        [ Alcotest.test_case "published checks" `Quick published_checks;
+          Alcotest.test_case "example B candidates" `Slow example_b_candidates ] );
+      ( "ablation",
+        [ Alcotest.test_case "poly vs exact" `Quick ablation_poly_agrees;
+          Alcotest.test_case "solvers" `Quick ablation_solvers_agree ] ) ]

@@ -1,0 +1,278 @@
+(* Tests for the extensions beyond the paper's core results: latency under
+   periodic admission, heuristic mapping optimization, stochastic (dynamic)
+   platforms, and the novel minimal no-critical-resource instance found by
+   this repository's campaign. *)
+
+open Rwt_util
+open Rwt_workflow
+
+let qtest = QCheck_alcotest.to_alcotest
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* --- release dates in the simulator --- *)
+
+let release_dates_respected =
+  QCheck.Test.make ~count:60 ~name:"released data sets never start early"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 5) in
+      let n = Prng.int_in r 1 3 in
+      let inst =
+        Rwt_experiments.Generator.generate r
+          { Rwt_experiments.Generator.n_stages = n; p = n + Prng.int r 4;
+            comp = (1, 10); comm = (1, 10) }
+      in
+      let gap = Rat.of_ints (Prng.int_in r 1 40) 2 in
+      let release d = Rat.mul_int gap d in
+      List.for_all
+        (fun model ->
+          let sched = Rwt_sim.Schedule.run ~release model inst ~datasets:30 in
+          let ok = ref true in
+          for d = 0 to 29 do
+            let ev = Rwt_sim.Schedule.compute_event sched ~dataset:d ~stage:0 in
+            if Rat.compare ev.Rwt_sim.Schedule.start (release d) < 0 then ok := false
+          done;
+          !ok)
+        Comm_model.all)
+
+let slow_release_dictates_pace () =
+  (* if data sets are released slower than the system period, the system
+     keeps up: completions are release + constant *)
+  let inst = Instances.example_a () in
+  let slow = Rat.of_int 400 (* > strict period 230.67 *) in
+  let release d = Rat.mul_int slow d in
+  let sched = Rwt_sim.Schedule.run ~release Comm_model.Strict inst ~datasets:40 in
+  let lat d = Rat.sub (Rwt_sim.Schedule.completion sched d) (release d) in
+  (* steady: latency becomes periodic with period m *)
+  Alcotest.check rat "latency periodic" (lat 20) (lat 26);
+  Alcotest.check rat "latency periodic 2" (lat 21) (lat 27)
+
+(* --- latency --- *)
+
+let latency_example_a () =
+  let a = Instances.example_a () in
+  List.iter
+    (fun model ->
+      let l = Rwt_core.Latency.analyze model a in
+      Alcotest.(check int) "6 residues" 6 (Array.length l.Rwt_core.Latency.per_residue);
+      Alcotest.(check bool) "worst >= mean" true
+        (Rat.compare l.Rwt_core.Latency.worst l.Rwt_core.Latency.mean >= 0);
+      Alcotest.(check bool) "mean >= best" true
+        (Rat.compare l.Rwt_core.Latency.mean l.Rwt_core.Latency.best >= 0);
+      (* latency is at least the raw pipeline traversal time of some path *)
+      let min_path =
+        Instance.transfer_time a ~file:0 ~src:0 ~dst:1 (* cheapest leg 186 *)
+      in
+      Alcotest.(check bool) "latency exceeds one transfer" true
+        (Rat.compare l.Rwt_core.Latency.best min_path > 0))
+    Comm_model.all
+
+let latency_margin_monotone () =
+  let a = Instances.example_a () in
+  let tight = Rwt_core.Latency.analyze Comm_model.Overlap a in
+  let relaxed =
+    Rwt_core.Latency.analyze ~margin:(Rat.of_ints 1 2) Comm_model.Overlap a
+  in
+  Alcotest.(check bool) "slack reduces worst latency" true
+    (Rat.compare relaxed.Rwt_core.Latency.worst tight.Rwt_core.Latency.worst <= 0)
+
+(* --- optimizer --- *)
+
+let optimizer_valid_and_no_worse =
+  QCheck.Test.make ~count:25 ~name:"local search beats or matches greedy, valid mapping"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 17) in
+      let n = Prng.int_in r 2 4 in
+      let p = n + Prng.int_in r 1 5 in
+      let pipeline =
+        Pipeline.create
+          ~work:(Array.init n (fun _ -> Rat.of_int (Prng.int_in r 1 40)))
+          ~data:(Array.init (n - 1) (fun _ -> Rat.of_int (Prng.int_in r 1 20)))
+      in
+      let platform =
+        Platform.random r ~p ~speed_range:(1, 10) ~bandwidth_range:(1, 10)
+      in
+      let greedy = Rwt_core.Optimize.greedy Comm_model.Overlap pipeline platform in
+      let ls =
+        Rwt_core.Optimize.local_search ~seed ~iterations:120 Comm_model.Overlap pipeline
+          platform
+      in
+      Rat.compare ls.Rwt_core.Optimize.period greedy.Rwt_core.Optimize.period <= 0
+      && Mapping.n_stages ls.Rwt_core.Optimize.mapping = n
+      &&
+      (* the reported period is truthful *)
+      let inst =
+        Instance.create ~name:"check" ~pipeline ~platform
+          ~mapping:ls.Rwt_core.Optimize.mapping
+      in
+      Rat.equal (Rwt_core.Poly_overlap.period inst) ls.Rwt_core.Optimize.period)
+
+let optimizer_finds_replication () =
+  (* heavy middle stage, plenty of identical processors: replication must
+     win over any one-per-stage mapping *)
+  let pipeline = Pipeline.of_ints ~work:[| 1; 60; 1 |] ~data:[| 1; 1 |] in
+  let platform = Platform.uniform ~p:8 ~speed:(Rat.of_int 1) ~bandwidth:(Rat.of_int 10) in
+  let greedy = Rwt_core.Optimize.greedy Comm_model.Overlap pipeline platform in
+  let ls =
+    Rwt_core.Optimize.local_search ~seed:3 ~iterations:400 Comm_model.Overlap pipeline
+      platform
+  in
+  Alcotest.(check bool) "replication found" true
+    (Mapping.is_replicated ls.Rwt_core.Optimize.mapping);
+  Alcotest.(check bool) "strictly better than greedy" true
+    (Rat.compare ls.Rwt_core.Optimize.period greedy.Rwt_core.Optimize.period < 0)
+
+let optimizer_strict_model () =
+  (* the strict evaluator goes through the full TPN; keep it tiny *)
+  let pipeline = Pipeline.of_ints ~work:[| 2; 20 |] ~data:[| 1 |] in
+  let platform = Platform.uniform ~p:4 ~speed:Rat.one ~bandwidth:(Rat.of_int 4) in
+  let ls =
+    Rwt_core.Optimize.local_search ~seed:5 ~iterations:80 Comm_model.Strict pipeline
+      platform
+  in
+  let inst =
+    Instance.create ~name:"check" ~pipeline ~platform
+      ~mapping:ls.Rwt_core.Optimize.mapping
+  in
+  Alcotest.check rat "reported strict period is truthful"
+    (Rwt_core.Exact.period Comm_model.Strict inst).Rwt_core.Exact.period
+    ls.Rwt_core.Optimize.period
+
+let optimizer_deterministic () =
+  let pipeline = Pipeline.of_ints ~work:[| 4; 9 |] ~data:[| 3 |] in
+  let platform = Platform.uniform ~p:5 ~speed:Rat.one ~bandwidth:Rat.one in
+  let a = Rwt_core.Optimize.local_search ~seed:7 Comm_model.Overlap pipeline platform in
+  let b = Rwt_core.Optimize.local_search ~seed:7 Comm_model.Overlap pipeline platform in
+  Alcotest.check rat "same period" a.Rwt_core.Optimize.period b.Rwt_core.Optimize.period
+
+(* --- stochastic platforms --- *)
+
+let stochastic_stats_ordered =
+  QCheck.Test.make ~count:15 ~name:"stochastic stats are ordered and bracket nominal"
+    QCheck.small_nat (fun seed ->
+      let inst = Instances.example_a () in
+      let s =
+        Rwt_experiments.Stochastic.run ~seed ~samples:40 Comm_model.Overlap inst
+      in
+      let open Rwt_experiments.Stochastic in
+      Rat.compare s.min s.median <= 0
+      && Rat.compare s.median s.q90 <= 0
+      && Rat.compare s.q90 s.max <= 0
+      && Rat.compare s.min s.mean <= 0
+      && Rat.compare s.mean s.max <= 0
+      && Rat.compare s.min s.nominal <= 0
+      && Rat.compare s.nominal s.max <= 0)
+
+let stochastic_zero_epsilon () =
+  let inst = Instances.example_b () in
+  let s =
+    Rwt_experiments.Stochastic.run ~samples:10 ~epsilon:Rat.zero Comm_model.Overlap inst
+  in
+  let open Rwt_experiments.Stochastic in
+  Alcotest.check rat "min = nominal" s.nominal s.min;
+  Alcotest.check rat "max = nominal" s.nominal s.max;
+  (* example B has no critical resource; neither do its unperturbed copies *)
+  Alcotest.(check int) "all samples no-critical" 10 s.no_critical
+
+let stochastic_rejects_bad_epsilon () =
+  let inst = Instances.example_a () in
+  Alcotest.check_raises "epsilon >= 1"
+    (Invalid_argument "Stochastic.sample_platform: need 0 <= epsilon < 1") (fun () ->
+      ignore
+        (Rwt_experiments.Stochastic.run ~samples:1 ~epsilon:Rat.one Comm_model.Overlap inst))
+
+let stochastic_deterministic () =
+  let inst = Instances.example_a () in
+  let s1 = Rwt_experiments.Stochastic.run ~seed:4 ~samples:25 Comm_model.Overlap inst in
+  let s2 = Rwt_experiments.Stochastic.run ~seed:4 ~samples:25 Comm_model.Overlap inst in
+  Alcotest.check rat "same mean" s1.Rwt_experiments.Stochastic.mean
+    s2.Rwt_experiments.Stochastic.mean
+
+(* --- sensitivity --- *)
+
+let sensitivity_example_b () =
+  let s = Rwt_core.Sensitivity.analyze Comm_model.Overlap (Instances.example_b ()) in
+  Alcotest.check rat "baseline" (Rat.of_ints 3500 12) s.Rwt_core.Sensitivity.baseline;
+  (* the seven expensive links are exactly the improving upgrades *)
+  let improving, useless =
+    List.partition
+      (fun e -> Rat.sign e.Rwt_core.Sensitivity.improvement > 0)
+      s.Rwt_core.Sensitivity.effects
+  in
+  Alcotest.(check int) "seven improving upgrades" 7 (List.length improving);
+  List.iter
+    (fun e ->
+      match e.Rwt_core.Sensitivity.target with
+      | Rwt_core.Sensitivity.Link _ -> ()
+      | Rwt_core.Sensitivity.Processor u ->
+        Alcotest.failf "processor P%d should not improve the period" u)
+    improving;
+  (* P2's compute upgrade is useless even though P2-out has the max Cexec *)
+  Alcotest.(check bool) "some processor among the useless" true
+    (List.exists
+       (fun e -> e.Rwt_core.Sensitivity.target = Rwt_core.Sensitivity.Processor 2)
+       useless)
+
+let sensitivity_never_hurts =
+  QCheck.Test.make ~count:40 ~name:"upgrades never increase the period"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 3131) in
+      let n = Prng.int_in r 1 3 in
+      let inst =
+        Rwt_experiments.Generator.generate r
+          { Rwt_experiments.Generator.n_stages = n; p = n + Prng.int r 4;
+            comp = (1, 10); comm = (1, 10) }
+      in
+      List.for_all
+        (fun model ->
+          let s = Rwt_core.Sensitivity.analyze model inst in
+          List.for_all
+            (fun e -> Rat.sign e.Rwt_core.Sensitivity.improvement >= 0)
+            s.Rwt_core.Sensitivity.effects)
+        Comm_model.all)
+
+let sensitivity_rejects_bad_factor () =
+  Alcotest.check_raises "factor 1"
+    (Invalid_argument "Sensitivity.analyze: factor must exceed 1") (fun () ->
+      ignore
+        (Rwt_core.Sensitivity.analyze ~factor:Rat.one Comm_model.Overlap
+           (Instances.example_a ())))
+
+(* --- the minimal no-critical-resource overlap instance --- *)
+
+let minimal_instance_checks () =
+  let inst = Instances.minimal_no_critical_overlap () in
+  let period = Rwt_core.Poly_overlap.period inst in
+  let mct = Cycle_time.mct Comm_model.Overlap inst in
+  Alcotest.check rat "period 34/3" (Rat.of_ints 34 3) period;
+  Alcotest.check rat "mct 67/6" (Rat.of_ints 67 6) mct;
+  Alcotest.(check bool) "no critical resource" true (Rat.compare period mct > 0);
+  (* verified three independent ways *)
+  Alcotest.check rat "full TPN agrees" period
+    (Rwt_core.Exact.period Comm_model.Overlap inst).Rwt_core.Exact.period;
+  Alcotest.check rat "simulator agrees" period
+    (Rwt_sim.Schedule.measured_period Comm_model.Overlap inst)
+
+let () =
+  Alcotest.run "rwt_extensions"
+    [ ( "release dates",
+        [ qtest release_dates_respected;
+          Alcotest.test_case "slow release" `Quick slow_release_dictates_pace ] );
+      ( "latency",
+        [ Alcotest.test_case "example A" `Quick latency_example_a;
+          Alcotest.test_case "margin monotone" `Quick latency_margin_monotone ] );
+      ( "optimizer",
+        [ qtest optimizer_valid_and_no_worse;
+          Alcotest.test_case "finds replication" `Quick optimizer_finds_replication;
+          Alcotest.test_case "strict model" `Quick optimizer_strict_model;
+          Alcotest.test_case "deterministic" `Quick optimizer_deterministic ] );
+      ( "stochastic",
+        [ qtest stochastic_stats_ordered;
+          Alcotest.test_case "epsilon 0" `Quick stochastic_zero_epsilon;
+          Alcotest.test_case "bad epsilon" `Quick stochastic_rejects_bad_epsilon;
+          Alcotest.test_case "deterministic" `Quick stochastic_deterministic ] );
+      ( "sensitivity",
+        [ Alcotest.test_case "example B" `Quick sensitivity_example_b;
+          qtest sensitivity_never_hurts;
+          Alcotest.test_case "bad factor" `Quick sensitivity_rejects_bad_factor ] );
+      ( "minimal no-critical instance",
+        [ Alcotest.test_case "verified three ways" `Quick minimal_instance_checks ] ) ]

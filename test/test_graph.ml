@@ -1,0 +1,152 @@
+(* Tests for the directed-graph substrate. *)
+
+module D = Rwt_graph.Digraph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Deterministic random graph from a seed. *)
+let random_graph seed =
+  let r = Rwt_util.Prng.create seed in
+  let n = Rwt_util.Prng.int_in r 1 12 in
+  let g = D.create n in
+  let m = Rwt_util.Prng.int_in r 0 (3 * n) in
+  for _ = 1 to m do
+    ignore (D.add_edge g (Rwt_util.Prng.int r n) (Rwt_util.Prng.int r n) ())
+  done;
+  g
+
+let digraph_basics () =
+  let g = D.create 3 in
+  let e0 = D.add_edge g 0 1 "a" in
+  let _e1 = D.add_edge g 1 2 "b" in
+  let e2 = D.add_edge g 1 2 "c" in
+  Alcotest.(check int) "nodes" 3 (D.num_nodes g);
+  Alcotest.(check int) "edges" 3 (D.num_edges g);
+  Alcotest.(check int) "ids" 0 e0.D.id;
+  Alcotest.(check int) "out deg" 2 (D.out_degree g 1);
+  Alcotest.(check int) "in deg" 2 (D.in_degree g 2);
+  Alcotest.(check (list string)) "out order" [ "b"; "c" ]
+    (List.map (fun e -> e.D.label) (D.out_edges g 1));
+  Alcotest.(check string) "edge by id" "c" (D.edge g e2.D.id).D.label;
+  Alcotest.check_raises "bad node" (Invalid_argument "Digraph.add_edge") (fun () ->
+      ignore (D.add_edge g 0 3 "x"))
+
+let reverse_involution =
+  QCheck.Test.make ~count:300 ~name:"reverse∘reverse preserves edges"
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let h = D.reverse (D.reverse g) in
+      let edges gr = D.fold_edges (fun acc e -> (e.D.src, e.D.dst) :: acc) [] gr in
+      List.sort compare (edges g) = List.sort compare (edges h))
+
+(* SCC oracle: Floyd–Warshall reachability. *)
+let scc_oracle g =
+  let n = D.num_nodes g in
+  let reach = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    reach.(i).(i) <- true
+  done;
+  D.iter_edges (fun e -> reach.(e.D.src).(e.D.dst) <- true) g;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+      done
+    done
+  done;
+  fun u v -> reach.(u).(v) && reach.(v).(u)
+
+let scc_correct =
+  QCheck.Test.make ~count:300 ~name:"tarjan vs reachability oracle"
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let r = Rwt_graph.Scc.tarjan g in
+      let same = scc_oracle g in
+      let ok = ref true in
+      let n = D.num_nodes g in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if (r.Rwt_graph.Scc.comp.(u) = r.Rwt_graph.Scc.comp.(v)) <> same u v then ok := false
+        done
+      done;
+      !ok)
+
+let scc_topo_order =
+  QCheck.Test.make ~count:300 ~name:"tarjan condensation is reverse-topological"
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let r = Rwt_graph.Scc.tarjan g in
+      D.fold_edges
+        (fun acc e ->
+          acc
+          &&
+          let cu = r.Rwt_graph.Scc.comp.(e.D.src) and cv = r.Rwt_graph.Scc.comp.(e.D.dst) in
+          cu = cv || cu > cv)
+        true g)
+
+let topo_valid =
+  QCheck.Test.make ~count:300 ~name:"topological order respects edges"
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      match Rwt_graph.Topo.sort g with
+      | None ->
+        (* must contain a cycle: some SCC is non-trivial *)
+        let r = Rwt_graph.Scc.tarjan g in
+        let has_self = D.fold_edges (fun acc e -> acc || e.D.src = e.D.dst) false g in
+        has_self || r.Rwt_graph.Scc.count < D.num_nodes g
+      | Some order ->
+        let pos = Array.make (D.num_nodes g) 0 in
+        List.iteri (fun i u -> pos.(u) <- i) order;
+        List.length order = D.num_nodes g
+        && D.fold_edges (fun acc e -> acc && pos.(e.D.src) < pos.(e.D.dst)) true g)
+
+let components_union =
+  QCheck.Test.make ~count:300 ~name:"weak components partition the nodes"
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let r = Rwt_graph.Components.undirected g in
+      let members = Rwt_graph.Components.members r in
+      let total = Array.fold_left (fun acc l -> acc + List.length l) 0 members in
+      total = D.num_nodes g
+      && D.fold_edges
+           (fun acc e ->
+             acc && r.Rwt_graph.Components.comp.(e.D.src) = r.Rwt_graph.Components.comp.(e.D.dst))
+           true g)
+
+let subgraph_consistent () =
+  let g = D.create 5 in
+  ignore (D.add_edge g 0 1 "a");
+  ignore (D.add_edge g 1 2 "b");
+  ignore (D.add_edge g 2 3 "c");
+  ignore (D.add_edge g 3 0 "d");
+  ignore (D.add_edge g 4 0 "e");
+  let sub, back = D.subgraph g [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "sub nodes" 4 (D.num_nodes sub);
+  Alcotest.(check int) "sub edges" 4 (D.num_edges sub);
+  Alcotest.(check int) "back map" 2 back.(2)
+
+let dot_renders () =
+  let g = D.create 2 in
+  ignore (D.add_edge g 0 1 "w\"eird");
+  let s =
+    Rwt_graph.Dot.render ~node_label:(fun i -> Printf.sprintf "n%d" i)
+      ~edge_label:(fun l -> l) g
+  in
+  Alcotest.(check bool) "has digraph" true
+    (String.length s > 0 && String.sub s 0 7 = "digraph");
+  Alcotest.(check bool) "escapes quotes" true
+    (let rec contains i =
+       i + 2 <= String.length s && (String.sub s i 2 = "\\\"" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "rwt_graph"
+    [ ( "digraph",
+        [ Alcotest.test_case "basics" `Quick digraph_basics;
+          qtest reverse_involution;
+          Alcotest.test_case "subgraph" `Quick subgraph_consistent ] );
+      ("scc", [ qtest scc_correct; qtest scc_topo_order ]);
+      ("topo", [ qtest topo_valid ]);
+      ("components", [ qtest components_union ]);
+      ("dot", [ Alcotest.test_case "render" `Quick dot_renders ]) ]

@@ -1,0 +1,215 @@
+(* Tests for the (max,+) algebra substrate. *)
+
+open Rwt_util
+module M = Rwt_maxplus.Maxplus.Make (Rat)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let scalar_gen =
+  QCheck.map
+    (fun (fin, a, b) ->
+      if fin then M.fin (Rat.of_ints a (if b = 0 then 1 else abs b)) else M.Neg_inf)
+    (QCheck.triple QCheck.bool (QCheck.int_range (-100) 100) (QCheck.int_range 1 20))
+
+let semiring_laws =
+  QCheck.Test.make ~count:2000 ~name:"(max,+) semiring laws"
+    (QCheck.triple scalar_gen scalar_gen scalar_gen)
+    (fun (a, b, c) ->
+      M.equal (M.oplus a b) (M.oplus b a)
+      && M.equal (M.oplus (M.oplus a b) c) (M.oplus a (M.oplus b c))
+      && M.equal (M.otimes (M.otimes a b) c) (M.otimes a (M.otimes b c))
+      && M.equal (M.oplus a M.zero) a
+      && M.equal (M.otimes a M.unit) a
+      && M.equal (M.otimes a M.zero) M.zero
+      && M.equal (M.otimes a (M.oplus b c)) (M.oplus (M.otimes a b) (M.otimes a c)))
+
+let random_mat r n =
+  M.init n n (fun _ _ ->
+      if Prng.int r 4 = 0 then M.Neg_inf else M.fin (Rat.of_int (Prng.int_in r 0 20)))
+
+let mat_assoc =
+  QCheck.Test.make ~count:200 ~name:"matrix ⊗ associativity" QCheck.small_nat
+    (fun seed ->
+      let r = Prng.create seed in
+      let n = Prng.int_in r 1 6 in
+      let a = random_mat r n and b = random_mat r n and c = random_mat r n in
+      let l = M.mul (M.mul a b) c and rr = M.mul a (M.mul b c) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if not (M.equal (M.get l i j) (M.get rr i j)) then ok := false
+        done
+      done;
+      !ok)
+
+let mat_identity =
+  QCheck.Test.make ~count:200 ~name:"identity is ⊗-neutral" QCheck.small_nat
+    (fun seed ->
+      let r = Prng.create seed in
+      let n = Prng.int_in r 1 6 in
+      let a = random_mat r n in
+      let l = M.mul (M.identity n) a and rr = M.mul a (M.identity n) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if not (M.equal (M.get l i j) (M.get a i j) && M.equal (M.get rr i j) (M.get a i j))
+          then ok := false
+        done
+      done;
+      !ok)
+
+let pow_matches_repeated_mul =
+  QCheck.Test.make ~count:100 ~name:"pow = repeated mul" QCheck.small_nat (fun seed ->
+      let r = Prng.create seed in
+      let n = Prng.int_in r 1 5 in
+      let a = random_mat r n in
+      let k = Prng.int_in r 0 6 in
+      let expected = ref (M.identity n) in
+      for _ = 1 to k do
+        expected := M.mul !expected a
+      done;
+      let got = M.pow a k in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if not (M.equal (M.get got i j) (M.get !expected i j)) then ok := false
+        done
+      done;
+      !ok)
+
+(* A* exists iff no positive cycle; A* entries are longest path weights. *)
+let star_unit () =
+  (* 0 →(2) 1 →(-3) 0 : cycle weight -1, star converges *)
+  let a = M.make 2 2 M.Neg_inf in
+  M.set a 1 0 (M.fin (Rat.of_int 2));
+  M.set a 0 1 (M.fin (Rat.of_int (-3)));
+  (match M.star a with
+   | None -> Alcotest.fail "star should converge"
+   | Some s ->
+     Alcotest.(check bool) "diag unit" true (M.equal (M.get s 0 0) M.unit);
+     Alcotest.(check bool) "path 0→1" true (M.equal (M.get s 1 0) (M.fin (Rat.of_int 2))));
+  (* positive cycle → divergence *)
+  let b = M.make 2 2 M.Neg_inf in
+  M.set b 1 0 (M.fin (Rat.of_int 2));
+  M.set b 0 1 (M.fin (Rat.of_int (-1)));
+  Alcotest.(check bool) "positive cycle diverges" true (M.star b = None)
+
+(* Dater recurrence on a two-transition event graph matches hand values. *)
+let dater_unit () =
+  (* x1(k) = 3 + x2(k-1); x2(k) = 2 + x1(k) : cycle time 5 per firing *)
+  let g = Rwt_graph.Digraph.create 2 in
+  ignore (Rwt_graph.Digraph.add_edge g 1 0 (Rat.of_int 3));
+  (* edge weights as propagation delays; use matrix directly instead *)
+  ignore g;
+  let a1 = M.make 2 2 M.Neg_inf in
+  (* A1: delayed dependency x1(k) <- x2(k-1) + 3 *)
+  M.set a1 0 1 (M.fin (Rat.of_int 3));
+  let a0 = M.make 2 2 M.Neg_inf in
+  (* A0: instantaneous x2(k) <- x1(k) + 2 *)
+  M.set a0 1 0 (M.fin (Rat.of_int 2));
+  match M.star a0 with
+  | None -> Alcotest.fail "a0 star"
+  | Some s ->
+    let a = M.mul s a1 in
+    let x0 = [| M.fin (Rat.of_int 3); M.fin (Rat.of_int 5) |] in
+    let orbit = M.eigen_iteration a x0 4 in
+    (* growth of 5 per step *)
+    let expect k i = M.fin (Rat.of_int ((5 * k) + if i = 0 then 3 else 5)) in
+    for k = 0 to 4 do
+      for i = 0 to 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "orbit k=%d i=%d" k i)
+          true
+          (M.equal orbit.(k).(i) (expect k i))
+      done
+    done
+
+let of_graph_unit () =
+  let g = Rwt_graph.Digraph.create 3 in
+  ignore (Rwt_graph.Digraph.add_edge g 0 1 (Rat.of_int 4));
+  ignore (Rwt_graph.Digraph.add_edge g 0 1 (Rat.of_int 7));
+  let m = M.of_graph g in
+  Alcotest.(check bool) "parallel edges take max" true
+    (M.equal (M.get m 1 0) (M.fin (Rat.of_int 7)));
+  Alcotest.(check bool) "absent edge" true (M.equal (M.get m 0 1) M.Neg_inf)
+
+(* --- spectral route: period via A = A0* ⊗ A1 --- *)
+
+let spectral_equals_mcr =
+  QCheck.Test.make ~count:150 ~name:"spectral radius of A0*A1 = max cycle ratio"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 321) in
+      let n = Prng.int_in r 2 8 in
+      let trs =
+        Array.init n (fun i ->
+            { Rwt_petri.Tpn.tr_name = Printf.sprintf "t%d" i;
+              firing = Rat.of_ints (Prng.int_in r 0 20) (Prng.int_in r 1 3) })
+      in
+      let net = Rwt_petri.Tpn.create trs in
+      for i = 0 to n - 1 do
+        Rwt_petri.Tpn.add_place net ~src:i ~dst:((i + 1) mod n) ~tokens:1
+      done;
+      for _ = 1 to Prng.int_in r 0 (2 * n) do
+        let u = Prng.int r n and v = Prng.int r n in
+        let tokens = if v <= u then 1 else if Prng.int r 3 = 0 then 1 else 0 in
+        Rwt_petri.Tpn.add_place net ~src:u ~dst:v ~tokens
+      done;
+      match (Rwt_maxplus.Spectral.period_of_tpn net, Rwt_petri.Mcr.period_of_tpn net) with
+      | Some s, Some w -> Rat.equal s w.Rwt_petri.Mcr.Exact.ratio
+      | None, None -> true
+      | _ -> false)
+
+let spectral_paper_examples () =
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun model ->
+          let net = Rwt_core.Tpn_build.build model inst in
+          match
+            ( Rwt_maxplus.Spectral.period_of_tpn net.Rwt_core.Tpn_build.tpn,
+              Rwt_petri.Mcr.period_of_tpn net.Rwt_core.Tpn_build.tpn )
+          with
+          | Some s, Some w ->
+            Alcotest.(check bool)
+              (name ^ "/" ^ Rwt_workflow.Comm_model.to_string model)
+              true
+              (Rat.equal s w.Rwt_petri.Mcr.Exact.ratio)
+          | _ -> Alcotest.fail "missing period")
+        Rwt_workflow.Comm_model.all)
+    [ ("A", Rwt_workflow.Instances.example_a ());
+      ("B", Rwt_workflow.Instances.example_b ()) ]
+
+let spectral_rejects_multitoken () =
+  let net =
+    Rwt_petri.Tpn.create [| { Rwt_petri.Tpn.tr_name = "t"; firing = Rat.one } |]
+  in
+  Rwt_petri.Tpn.add_place net ~src:0 ~dst:0 ~tokens:2;
+  Alcotest.check_raises "2 tokens"
+    (Invalid_argument "Spectral.period_of_tpn: place with more than one token")
+    (fun () -> ignore (Rwt_maxplus.Spectral.period_of_tpn net))
+
+let spectral_rejects_dead () =
+  let net =
+    Rwt_petri.Tpn.create
+      [| { Rwt_petri.Tpn.tr_name = "a"; firing = Rat.one };
+         { Rwt_petri.Tpn.tr_name = "b"; firing = Rat.one } |]
+  in
+  Rwt_petri.Tpn.add_place net ~src:0 ~dst:1 ~tokens:0;
+  Rwt_petri.Tpn.add_place net ~src:1 ~dst:0 ~tokens:0;
+  Alcotest.check_raises "dead"
+    (Failure "Spectral.period_of_tpn: token-free circuit") (fun () ->
+      ignore (Rwt_maxplus.Spectral.period_of_tpn net))
+
+let () =
+  Alcotest.run "rwt_maxplus"
+    [ ("semiring", [ qtest semiring_laws ]);
+      ("matrix", [ qtest mat_assoc; qtest mat_identity; qtest pow_matches_repeated_mul ]);
+      ( "star+dater",
+        [ Alcotest.test_case "star" `Quick star_unit;
+          Alcotest.test_case "dater" `Quick dater_unit;
+          Alcotest.test_case "of_graph" `Quick of_graph_unit ] );
+      ( "spectral",
+        [ qtest spectral_equals_mcr;
+          Alcotest.test_case "paper examples" `Quick spectral_paper_examples;
+          Alcotest.test_case "multi-token" `Quick spectral_rejects_multitoken;
+          Alcotest.test_case "dead" `Quick spectral_rejects_dead ] ) ]

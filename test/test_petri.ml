@@ -1,0 +1,401 @@
+(* Tests for timed event graphs and the maximum-cycle-ratio solvers.
+   The three solvers (Howard, parametric, Karp) plus the operational token
+   game are validated against each other on random live nets. *)
+
+open Rwt_util
+module P = Rwt_petri
+module D = Rwt_graph.Digraph
+module E = P.Mcr.Exact
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tr name firing = { P.Tpn.tr_name = name; firing }
+
+(* --- hand-built nets --- *)
+
+let single_loop () =
+  let net = P.Tpn.create [| tr "t" (Rat.of_int 5) |] in
+  P.Tpn.add_place net ~src:0 ~dst:0 ~tokens:1;
+  net
+
+let two_circuits () =
+  (* circuit A: t0 → t1 → t0, times 4 + 6, 1 token: ratio 10
+     circuit B: t1 → t2 → t1, times 6 + 12, 2 tokens: ratio 9 *)
+  let net =
+    P.Tpn.create [| tr "t0" (Rat.of_int 4); tr "t1" (Rat.of_int 6); tr "t2" (Rat.of_int 12) |]
+  in
+  P.Tpn.add_place net ~src:0 ~dst:1 ~tokens:0;
+  P.Tpn.add_place net ~src:1 ~dst:0 ~tokens:1;
+  P.Tpn.add_place net ~src:1 ~dst:2 ~tokens:1;
+  P.Tpn.add_place net ~src:2 ~dst:1 ~tokens:1;
+  net
+
+let tpn_basics () =
+  let net = two_circuits () in
+  Alcotest.(check int) "transitions" 3 (P.Tpn.num_transitions net);
+  Alcotest.(check int) "places" 4 (P.Tpn.num_places net);
+  Alcotest.(check int) "tokens" 3 (P.Tpn.total_tokens net);
+  Alcotest.(check bool) "live" true (P.Tpn.liveness net = P.Tpn.Live);
+  Alcotest.check_raises "negative firing"
+    (Invalid_argument "Tpn.create: negative firing time") (fun () ->
+      ignore (P.Tpn.create [| tr "bad" (Rat.of_int (-1)) |]));
+  Alcotest.check_raises "negative tokens"
+    (Invalid_argument "Tpn.add_place: negative marking") (fun () ->
+      P.Tpn.add_place net ~src:0 ~dst:1 ~tokens:(-1))
+
+let liveness_detects_dead_cycle () =
+  let net = P.Tpn.create [| tr "a" Rat.one; tr "b" Rat.one |] in
+  P.Tpn.add_place net ~src:0 ~dst:1 ~tokens:0;
+  P.Tpn.add_place net ~src:1 ~dst:0 ~tokens:0;
+  match P.Tpn.liveness net with
+  | P.Tpn.Live -> Alcotest.fail "should be dead"
+  | P.Tpn.Dead_cycle c -> Alcotest.(check int) "witness length" 2 (List.length c)
+
+let known_ratios () =
+  (match P.Mcr.period_of_tpn (single_loop ()) with
+   | Some w -> Alcotest.(check string) "self loop" "5" (Rat.to_string w.E.ratio)
+   | None -> Alcotest.fail "no cycle found");
+  match P.Mcr.period_of_tpn (two_circuits ()) with
+  | Some w ->
+    Alcotest.(check string) "two circuits" "10" (Rat.to_string w.E.ratio);
+    (* the witness cycle must be checkable and have the same ratio *)
+    let g = P.Mcr.graph_of_tpn (two_circuits ()) in
+    Alcotest.(check string) "witness ratio" "10" (Rat.to_string (E.cycle_ratio g w.E.cycle))
+  | None -> Alcotest.fail "no cycle found"
+
+let acyclic_has_no_period () =
+  let net = P.Tpn.create [| tr "a" Rat.one; tr "b" Rat.one |] in
+  P.Tpn.add_place net ~src:0 ~dst:1 ~tokens:1;
+  Alcotest.(check bool) "acyclic" true (P.Mcr.period_of_tpn net = None)
+
+let not_live_raises () =
+  let g = D.create 2 in
+  ignore (D.add_edge g 0 1 { E.weight = Rat.one; tokens = 0 });
+  ignore (D.add_edge g 1 0 { E.weight = Rat.one; tokens = 0 });
+  (try
+     ignore (E.max_cycle_ratio g);
+     Alcotest.fail "expected Not_live"
+   with E.Not_live c -> Alcotest.(check int) "witness" 2 (List.length c))
+
+(* --- random live ratio graphs ---
+   Liveness by construction: edges that go backward w.r.t. a random node
+   order carry at least one token, so every cycle is marked. *)
+let random_live_graph seed =
+  let r = Prng.create seed in
+  let n = Prng.int_in r 2 10 in
+  let g = D.create n in
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle r order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun i u -> rank.(u) <- i) order;
+  let m = Prng.int_in r n (4 * n) in
+  for _ = 1 to m do
+    let u = Prng.int r n and v = Prng.int r n in
+    let tokens =
+      if rank.(v) <= rank.(u) then Prng.int_in r 1 2
+      else if Prng.int r 3 = 0 then 1
+      else 0
+    in
+    let weight = Rat.of_ints (Prng.int_in r 0 50) (Prng.int_in r 1 4) in
+    ignore (D.add_edge g u v { E.weight; tokens })
+  done;
+  (* make sure at least one cycle exists *)
+  ignore (D.add_edge g 0 0 { E.weight = Rat.of_int 1; tokens = 1 });
+  g
+
+let solvers_agree =
+  QCheck.Test.make ~count:400 ~name:"howard = parametric on random live graphs"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph seed in
+      match (E.howard g, E.parametric g) with
+      | Some h, Some p -> Rat.equal h.E.ratio p.E.ratio
+      | None, None -> true
+      | _ -> false)
+
+let lawler_within_epsilon =
+  QCheck.Test.make ~count:200 ~name:"lawler within epsilon below howard"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph (seed + 5000) in
+      let eps = Rat.of_ints 1 1000 in
+      match (E.howard g, E.lawler ~epsilon:eps g) with
+      | Some h, Some l ->
+        Rat.compare l.E.ratio h.E.ratio <= 0
+        && Rat.compare (Rat.sub h.E.ratio l.E.ratio) eps <= 0
+        (* and the witness is a genuine cycle achieving the reported ratio *)
+        && Rat.equal (E.cycle_ratio g l.E.cycle) l.E.ratio
+      | None, None -> true
+      | _ -> false)
+
+let witness_achieves_ratio =
+  QCheck.Test.make ~count:400 ~name:"witness cycle achieves the reported ratio"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph seed in
+      match E.max_cycle_ratio g with
+      | None -> true
+      | Some w -> Rat.equal (E.cycle_ratio g w.E.cycle) w.E.ratio)
+
+let karp_is_unit_token_special_case =
+  QCheck.Test.make ~count:300 ~name:"karp = howard when all tokens are 1"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create seed in
+      let n = Prng.int_in r 2 8 in
+      let g = D.create n in
+      let gw = D.create n in
+      let m = Prng.int_in r n (3 * n) in
+      for _ = 1 to m do
+        let u = Prng.int r n and v = Prng.int r n in
+        let w = Rat.of_int (Prng.int_in r 0 30) in
+        ignore (D.add_edge g u v { E.weight = w; tokens = 1 });
+        ignore (D.add_edge gw u v w)
+      done;
+      match (E.howard g, E.karp gw) with
+      | Some h, Some k -> Rat.equal h.E.ratio k
+      | None, None -> true
+      | _ -> false)
+
+(* brute force over simple cycles as an oracle for small graphs *)
+let brute_force_mcr g =
+  let n = D.num_nodes g in
+  let best = ref None in
+  let rec dfs start u visited w t edges =
+    List.iter
+      (fun e ->
+        let v = e.D.dst in
+        let w' = Rat.add w e.D.label.E.weight and t' = t + e.D.label.E.tokens in
+        if v = start then begin
+          if t' > 0 then begin
+            let r = Rat.div w' (Rat.of_int t') in
+            match !best with
+            | None -> best := Some r
+            | Some b -> if Rat.compare r b > 0 then best := Some r
+          end
+        end
+        else if (not visited.(v)) && v > start then begin
+          visited.(v) <- true;
+          dfs start v visited w' t' (e.D.id :: edges);
+          visited.(v) <- false
+        end)
+      (D.out_edges g u)
+  in
+  for s = 0 to n - 1 do
+    let visited = Array.make n false in
+    visited.(s) <- true;
+    dfs s s visited Rat.zero 0 []
+  done;
+  !best
+
+let howard_matches_brute_force =
+  QCheck.Test.make ~count:200 ~name:"howard = brute force on small graphs"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 90000) in
+      let n = Prng.int_in r 2 6 in
+      let g = D.create n in
+      let order = Array.init n (fun i -> i) in
+      Prng.shuffle r order;
+      let rank = Array.make n 0 in
+      Array.iteri (fun i u -> rank.(u) <- i) order;
+      for _ = 1 to Prng.int_in r 2 (3 * n) do
+        let u = Prng.int r n and v = Prng.int r n in
+        let tokens = if rank.(v) <= rank.(u) then 1 else if Prng.int r 3 = 0 then 1 else 0 in
+        ignore
+          (D.add_edge g u v { E.weight = Rat.of_int (Prng.int_in r 0 20); tokens })
+      done;
+      match (E.howard g, brute_force_mcr g) with
+      | Some h, Some b -> Rat.equal h.E.ratio b
+      | None, None -> true
+      | _ -> false)
+
+(* --- optimality certificates --- *)
+
+let certificate_valid =
+  QCheck.Test.make ~count:250 ~name:"generated certificates always check"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph (seed + 60000) in
+      match P.Certificate.make g with
+      | None -> false (* random_live_graph always has a cycle *)
+      | Some cert -> P.Certificate.check g cert = Ok ())
+
+let certificate_rejects_tampering =
+  QCheck.Test.make ~count:150 ~name:"tampered certificates are rejected"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph (seed + 61000) in
+      match P.Certificate.make g with
+      | None -> false
+      | Some cert ->
+        (* lowering lambda must break some edge inequality or the witness *)
+        let lowered =
+          { cert with P.Certificate.lambda = Rat.sub cert.P.Certificate.lambda Rat.one }
+        in
+        P.Certificate.check g lowered <> Ok ())
+
+let certificate_example_a () =
+  let net = Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Strict
+      (Rwt_workflow.Instances.example_a ()) in
+  let g = P.Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn in
+  match P.Certificate.make g with
+  | None -> Alcotest.fail "no certificate"
+  | Some cert ->
+    Alcotest.(check string) "lambda = 1384 (6 data sets at 230.67)" "1384"
+      (Rat.to_string cert.P.Certificate.lambda);
+    Alcotest.(check bool) "checks" true (P.Certificate.check g cert = Ok ());
+    Alcotest.(check bool) "json renders" true
+      (String.length (P.Certificate.to_json cert) > 0)
+
+(* --- 1-bounded expansion --- *)
+
+let expansion_preserves_ratio =
+  QCheck.Test.make ~count:200 ~name:"multi-token expansion preserves the period"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 4242) in
+      let n = Prng.int_in r 2 7 in
+      let trs = Array.init n (fun i -> tr (Printf.sprintf "t%d" i) (Rat.of_int (Prng.int_in r 1 20))) in
+      let net = P.Tpn.create trs in
+      for i = 0 to n - 1 do
+        P.Tpn.add_place net ~src:i ~dst:((i + 1) mod n) ~tokens:(Prng.int_in r 1 4)
+      done;
+      for _ = 1 to Prng.int r (2 * n) do
+        let u = Prng.int r n and v = Prng.int r n in
+        let tokens = if v <= u then Prng.int_in r 1 3 else if Prng.int r 3 = 0 then 1 else 0 in
+        P.Tpn.add_place net ~src:u ~dst:v ~tokens
+      done;
+      let expanded = P.Expand.one_bounded net in
+      P.Expand.is_one_bounded expanded
+      && P.Tpn.total_tokens expanded = P.Tpn.total_tokens net
+      &&
+      match (P.Mcr.period_of_tpn net, P.Mcr.period_of_tpn expanded) with
+      | Some a, Some b -> Rat.equal a.E.ratio b.E.ratio
+      | None, None -> true
+      | _ -> false)
+
+let expansion_enables_spectral =
+  QCheck.Test.make ~count:100 ~name:"spectral works on expanded multi-token nets"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 777000) in
+      let n = Prng.int_in r 2 6 in
+      let trs = Array.init n (fun i -> tr (Printf.sprintf "t%d" i) (Rat.of_int (Prng.int_in r 1 15))) in
+      let net = P.Tpn.create trs in
+      for i = 0 to n - 1 do
+        P.Tpn.add_place net ~src:i ~dst:((i + 1) mod n) ~tokens:(Prng.int_in r 1 3)
+      done;
+      let expanded = P.Expand.one_bounded net in
+      match (Rwt_maxplus.Spectral.period_of_tpn expanded, P.Mcr.period_of_tpn net) with
+      | Some s, Some w -> Rat.equal s w.E.ratio
+      | None, None -> true
+      | _ -> false)
+
+let expansion_identity_when_bounded () =
+  let net = two_circuits () in
+  let e = P.Expand.one_bounded net in
+  Alcotest.(check int) "same transitions" (P.Tpn.num_transitions net) (P.Tpn.num_transitions e);
+  Alcotest.(check int) "same places" (P.Tpn.num_places net) (P.Tpn.num_places e)
+
+(* --- token game --- *)
+
+let token_game_slope_converges =
+  QCheck.Test.make ~count:120 ~name:"token game rate = max cycle ratio"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 1234) in
+      (* build a random live TPN: transitions with rational firings, plus
+         backward-token trick for liveness; ensure every transition is on a
+         cycle by threading a global marked ring *)
+      let n = Prng.int_in r 2 8 in
+      let trs =
+        Array.init n (fun i ->
+            tr (Printf.sprintf "t%d" i) (Rat.of_ints (Prng.int_in r 1 20) (Prng.int_in r 1 3)))
+      in
+      let net = P.Tpn.create trs in
+      for i = 0 to n - 1 do
+        P.Tpn.add_place net ~src:i ~dst:((i + 1) mod n) ~tokens:1
+      done;
+      for _ = 1 to Prng.int_in r 0 (2 * n) do
+        let u = Prng.int r n and v = Prng.int r n in
+        let tokens = if v <= u then 1 else if Prng.int r 3 = 0 then 1 else 0 in
+        P.Tpn.add_place net ~src:u ~dst:v ~tokens
+      done;
+      match P.Mcr.period_of_tpn net with
+      | None -> false (* the ring ensures a cycle exists *)
+      | Some w ->
+        (match P.Token_game.exact_period net ~max_k:600 () with
+         | Some p -> Rat.equal p w.E.ratio
+         | None ->
+           (* periodic regime not detected in horizon: accept if the slope
+              estimate is already close *)
+           let est = P.Token_game.estimate_period net ~k:600 in
+           abs_float (Rat.to_float est -. Rat.to_float w.E.ratio)
+           < 0.05 *. (1. +. abs_float (Rat.to_float w.E.ratio))))
+
+let token_game_daters_monotone =
+  QCheck.Test.make ~count:100 ~name:"daters are nondecreasing in k"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 777) in
+      let n = Prng.int_in r 2 6 in
+      let trs = Array.init n (fun i -> tr (Printf.sprintf "t%d" i) (Rat.of_int (Prng.int_in r 1 9))) in
+      let net = P.Tpn.create trs in
+      for i = 0 to n - 1 do
+        P.Tpn.add_place net ~src:i ~dst:((i + 1) mod n) ~tokens:1
+      done;
+      let x = P.Token_game.daters net 50 in
+      let ok = ref true in
+      for t = 0 to n - 1 do
+        for k = 1 to 49 do
+          if Rat.compare x.(t).(k) x.(t).(k - 1) < 0 then ok := false
+        done
+      done;
+      !ok)
+
+let token_game_rejects_dead () =
+  let net = P.Tpn.create [| tr "a" Rat.one; tr "b" Rat.one |] in
+  P.Tpn.add_place net ~src:0 ~dst:1 ~tokens:0;
+  P.Tpn.add_place net ~src:1 ~dst:0 ~tokens:0;
+  Alcotest.check_raises "deadlock"
+    (Failure "Token_game.daters: net has a token-free circuit") (fun () ->
+      ignore (P.Token_game.daters net 5))
+
+let pnml_export () =
+  let net = two_circuits () in
+  let xml = Rwt_petri.Pnml.to_string ~net_id:"two<circuits>" net in
+  let count needle =
+    let ln = String.length needle in
+    let c = ref 0 in
+    for i = 0 to String.length xml - ln do
+      if String.sub xml i ln = needle then incr c
+    done;
+    !c
+  in
+  Alcotest.(check int) "3 transitions" 3 (count "<transition id=");
+  Alcotest.(check int) "4 places" 4 (count "<place id=");
+  Alcotest.(check int) "8 arcs" 8 (count "<arc id=");
+  Alcotest.(check int) "3 marked places" 3 (count "<initialMarking>");
+  Alcotest.(check int) "net id escaped" 1 (count "two&lt;circuits&gt;");
+  Alcotest.(check int) "firing times attached" 3 (count "<firingTime>")
+
+let dot_export () =
+  let s = P.Tpn.to_dot (two_circuits ()) in
+  Alcotest.(check bool) "mentions t2" true
+    (let rec contains i =
+       i + 2 <= String.length s && (String.sub s i 2 = "t2" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "rwt_petri"
+    [ ( "tpn",
+        [ Alcotest.test_case "basics" `Quick tpn_basics;
+          Alcotest.test_case "dead cycle" `Quick liveness_detects_dead_cycle;
+          Alcotest.test_case "dot" `Quick dot_export;
+          Alcotest.test_case "pnml" `Quick pnml_export ] );
+      ( "mcr",
+        [ Alcotest.test_case "known ratios" `Quick known_ratios;
+          Alcotest.test_case "acyclic" `Quick acyclic_has_no_period;
+          Alcotest.test_case "not live" `Quick not_live_raises;
+          qtest solvers_agree; qtest lawler_within_epsilon; qtest witness_achieves_ratio;
+          qtest karp_is_unit_token_special_case; qtest howard_matches_brute_force ] );
+      ( "certificate",
+        [ qtest certificate_valid; qtest certificate_rejects_tampering;
+          Alcotest.test_case "example A strict" `Quick certificate_example_a ] );
+      ( "expansion",
+        [ qtest expansion_preserves_ratio; qtest expansion_enables_spectral;
+          Alcotest.test_case "identity on 1-bounded" `Quick expansion_identity_when_bounded ] );
+      ( "token game",
+        [ qtest token_game_slope_converges; qtest token_game_daters_monotone;
+          Alcotest.test_case "deadlock" `Quick token_game_rejects_dead ] ) ]

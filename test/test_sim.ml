@@ -1,0 +1,238 @@
+(* Tests for the operational simulator and Gantt rendering. The strongest
+   property is exact agreement with the TPN: the earliest schedule IS the
+   token game, and its measured period IS the critical cycle ratio. *)
+
+open Rwt_util
+open Rwt_workflow
+module S = Rwt_sim.Schedule
+
+let qtest = QCheck_alcotest.to_alcotest
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let random_instance seed =
+  let r = Prng.create seed in
+  let n = Prng.int_in r 1 4 in
+  let p = n + Prng.int r (2 * n) in
+  Rwt_experiments.Generator.generate r
+    { Rwt_experiments.Generator.n_stages = n; p; comp = (1, 20); comm = (1, 20) }
+
+(* --- agreement with the TPN --- *)
+
+let sim_equals_token_game =
+  QCheck.Test.make ~count:80 ~name:"schedule events = TPN daters (both models)"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      List.for_all
+        (fun model ->
+          let net = Rwt_core.Tpn_build.build model inst in
+          let m = net.Rwt_core.Tpn_build.m in
+          let n = Mapping.n_stages inst.Instance.mapping in
+          let k = 4 in
+          let x = Rwt_petri.Token_game.daters net.Rwt_core.Tpn_build.tpn k in
+          let sched = S.run model inst ~datasets:(m * k) in
+          let ok = ref true in
+          for kk = 0 to k - 1 do
+            for row = 0 to m - 1 do
+              for col = 0 to (2 * n) - 2 do
+                let d = row + (kk * m) in
+                let ev =
+                  if col mod 2 = 0 then S.compute_event sched ~dataset:d ~stage:(col / 2)
+                  else S.transfer_event sched ~dataset:d ~file:((col - 1) / 2)
+                in
+                let tid = Rwt_core.Tpn_build.transition_id net ~row ~col in
+                if not (Rat.equal x.(tid).(kk) ev.S.finish) then ok := false
+              done
+            done
+          done;
+          !ok)
+        Comm_model.all)
+
+let sim_period_equals_tpn =
+  QCheck.Test.make ~count:60 ~name:"measured period = critical cycle period"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      List.for_all
+        (fun model ->
+          let p_tpn = (Rwt_core.Exact.period model inst).Rwt_core.Exact.period in
+          Rat.equal (S.measured_period model inst) p_tpn)
+        Comm_model.all)
+
+(* --- schedule invariants --- *)
+
+let intervals_disjoint intervals =
+  let sorted = List.sort (fun (a, _) (b, _) -> Rat.compare a b) intervals in
+  let rec go = function
+    | (_, f1) :: ((s2, _) :: _ as rest) -> Rat.compare f1 s2 <= 0 && go rest
+    | _ -> true
+  in
+  go sorted
+
+let resources_never_overlap =
+  QCheck.Test.make ~count:60 ~name:"no resource unit runs two events at once"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      List.for_all
+        (fun model ->
+          let sched = S.run model inst ~datasets:60 in
+          List.for_all
+            (fun (_, evs) ->
+              intervals_disjoint (List.map (fun e -> (e.S.start, e.S.finish)) evs))
+            (Rwt_sim.Gantt.rows sched))
+        Comm_model.all)
+
+let dataflow_order =
+  QCheck.Test.make ~count:60 ~name:"file sent after computed, stage after received"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      let n = Mapping.n_stages inst.Instance.mapping in
+      List.for_all
+        (fun model ->
+          let sched = S.run model inst ~datasets:50 in
+          let ok = ref true in
+          for d = 0 to 49 do
+            for i = 0 to n - 1 do
+              let c = S.compute_event sched ~dataset:d ~stage:i in
+              if i > 0 then begin
+                let t = S.transfer_event sched ~dataset:d ~file:(i - 1) in
+                if Rat.compare t.S.finish c.S.start > 0 then ok := false
+              end;
+              if i < n - 1 then begin
+                let t = S.transfer_event sched ~dataset:d ~file:i in
+                if Rat.compare c.S.finish t.S.start > 0 then ok := false
+              end
+            done
+          done;
+          !ok)
+        Comm_model.all)
+
+let round_robin_order =
+  QCheck.Test.make ~count:60 ~name:"replicas start their data sets in round-robin order"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      let mapping = inst.Instance.mapping in
+      let n = Mapping.n_stages mapping in
+      List.for_all
+        (fun model ->
+          let sched = S.run model inst ~datasets:60 in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            let mi = Mapping.replication mapping i in
+            for d = mi to 59 do
+              let prev = S.compute_event sched ~dataset:(d - mi) ~stage:i in
+              let cur = S.compute_event sched ~dataset:d ~stage:i in
+              (* same replica: strictly ordered, non-overlapping *)
+              if Rat.compare prev.S.finish cur.S.start > 0 then ok := false
+            done
+          done;
+          !ok)
+        Comm_model.all)
+
+let strict_serializes_processors =
+  QCheck.Test.make ~count:60 ~name:"strict: full recv/comp/send serialization"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      let sched = S.run Comm_model.Strict inst ~datasets:60 in
+      (* under strict, every processor appears as a single Gantt row; overlap
+         freedom would show as an interval overlap, caught here *)
+      List.for_all
+        (fun (_, evs) -> intervals_disjoint (List.map (fun e -> (e.S.start, e.S.finish)) evs))
+        (Rwt_sim.Gantt.rows sched))
+
+(* --- example A published Gantt behaviour --- *)
+
+let example_a_strict_idle () =
+  (* Figure 7: in the strict schedule every resource has idle time *)
+  let sched = S.run Comm_model.Strict (Instances.example_a ()) ~datasets:36 in
+  let utils = S.utilization sched ~from_dataset:12 in
+  Alcotest.(check int) "7 resources" 7 (List.length utils);
+  List.iter
+    (fun (name, u) ->
+      if Rat.compare u Rat.one >= 0 then
+        Alcotest.failf "%s has no idle time (utilization %s)" name (Rat.to_string u))
+    utils
+
+let example_a_overlap_critical_busy () =
+  (* with overlap, P0-out is critical: utilization → 1 in steady state (the
+     finite window leaves only the drain tail idle) *)
+  let sched = S.run Comm_model.Overlap (Instances.example_a ()) ~datasets:240 in
+  let utils = S.utilization sched ~from_dataset:12 in
+  let p0out = List.assoc "P0-out" utils in
+  Alcotest.(check bool) "P0-out saturated" true
+    (Rat.compare p0out (Rat.of_ints 95 100) > 0);
+  (* and it dominates every other unit *)
+  List.iter
+    (fun (_, u) -> Alcotest.(check bool) "P0-out max" true (Rat.compare u p0out <= 0))
+    utils
+
+(* --- gantt rendering --- *)
+
+let gantt_renders () =
+  let sched = S.run Comm_model.Strict (Instances.example_a ()) ~datasets:18 in
+  let ascii = Rwt_sim.Gantt.to_ascii ~width:80 ~from_dataset:6 ~until_dataset:11 sched in
+  let lines = String.split_on_char '\n' ascii in
+  (* strict: one row per processor + header *)
+  Alcotest.(check int) "rows" 9 (List.length lines);
+  let text = Rwt_sim.Gantt.to_text ~from_dataset:6 ~until_dataset:6 sched in
+  Alcotest.(check bool) "text mentions S0(6)" true
+    (let needle = "S0(6)" in
+     let rec contains i =
+       i + String.length needle <= String.length text
+       && (String.sub text i (String.length needle) = needle || contains (i + 1))
+     in
+     contains 0)
+
+let gantt_overlap_three_rows () =
+  let sched = S.run Comm_model.Overlap (Instances.example_b ()) ~datasets:24 in
+  let rows = Rwt_sim.Gantt.rows sched in
+  (* P2 computes and sends: rows P2 and P2-out; receivers have P*-in *)
+  let names = List.map fst rows in
+  Alcotest.(check bool) "has P2" true (List.mem "P2" names);
+  Alcotest.(check bool) "has P2-out" true (List.mem "P2-out" names);
+  Alcotest.(check bool) "has P3-in" true (List.mem "P3-in" names)
+
+let run_rejects_bad_horizon () =
+  Alcotest.check_raises "datasets <= 0" (Invalid_argument "Schedule.run: datasets <= 0")
+    (fun () -> ignore (S.run Comm_model.Overlap (Instances.example_a ()) ~datasets:0))
+
+let completion_check () =
+  let inst = Instances.no_replication () in
+  let sched = S.run Comm_model.Strict inst ~datasets:3 in
+  (* data set 0: 12 + 9 + 30 + 14 + 8 = 73 *)
+  Alcotest.check rat "first completion" (Rat.of_int 73) (S.completion sched 0)
+
+(* --- trace export --- *)
+
+let trace_export_consistent () =
+  let sched = S.run Comm_model.Strict (Instances.no_replication ()) ~datasets:2 in
+  let json = Rwt_sim.Trace_export.to_json sched in
+  let csv = Rwt_sim.Trace_export.to_csv sched in
+  let count_lines s = List.length (String.split_on_char '\n' (String.trim s)) in
+  (* 2 datasets × (3 computes + 2 transfers) + header *)
+  Alcotest.(check int) "csv rows" 11 (count_lines csv);
+  let contains hay needle =
+    let ln = String.length needle in
+    let rec go i = i + ln <= String.length hay && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json has model" true (contains json {|"model":"strict"|});
+  Alcotest.(check bool) "json has exact rational" true (contains json {|"start":"0"|});
+  Alcotest.(check bool) "csv has transfer row" true (contains csv "0,transfer,0,,0,1,");
+  (* first completion of the no-replication instance is 73 *)
+  Alcotest.(check bool) "json has finish 73" true (contains json {|"finish":"73"|})
+
+let () =
+  Alcotest.run "rwt_sim"
+    [ ( "tpn agreement",
+        [ qtest sim_equals_token_game; qtest sim_period_equals_tpn ] );
+      ( "invariants",
+        [ qtest resources_never_overlap; qtest dataflow_order; qtest round_robin_order;
+          qtest strict_serializes_processors;
+          Alcotest.test_case "horizon" `Quick run_rejects_bad_horizon;
+          Alcotest.test_case "completion" `Quick completion_check ] );
+      ( "paper behaviour",
+        [ Alcotest.test_case "A strict all idle" `Quick example_a_strict_idle;
+          Alcotest.test_case "A overlap P0-out saturated" `Quick example_a_overlap_critical_busy ] );
+      ( "gantt",
+        [ Alcotest.test_case "ascii+text" `Quick gantt_renders;
+          Alcotest.test_case "overlap rows" `Quick gantt_overlap_three_rows ] );
+      ("trace export", [ Alcotest.test_case "json+csv" `Quick trace_export_consistent ]) ]

@@ -1,0 +1,228 @@
+(* Tests for the numeric substrate: Bigint, Rat, Intmath, Prng. *)
+
+open Rwt_util
+module B = Bigint
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Bigint: differential tests against native ints --- *)
+
+let int_range = QCheck.int_range (-1_000_000_000) 1_000_000_000
+
+let pair = QCheck.pair int_range int_range
+
+let bigint_add =
+  QCheck.Test.make ~count:2000 ~name:"bigint add = int add" pair (fun (a, b) ->
+      B.to_int_exn (B.add (B.of_int a) (B.of_int b)) = a + b)
+
+let bigint_sub =
+  QCheck.Test.make ~count:2000 ~name:"bigint sub = int sub" pair (fun (a, b) ->
+      B.to_int_exn (B.sub (B.of_int a) (B.of_int b)) = a - b)
+
+let bigint_mul =
+  QCheck.Test.make ~count:2000 ~name:"bigint mul = int mul" pair (fun (a, b) ->
+      B.to_int_exn (B.mul (B.of_int a) (B.of_int b)) = a * b)
+
+let bigint_divmod =
+  QCheck.Test.make ~count:2000 ~name:"bigint divmod = int divmod" pair (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int_exn q = a / b && B.to_int_exn r = a mod b)
+
+let bigint_compare =
+  QCheck.Test.make ~count:2000 ~name:"bigint compare = int compare" pair (fun (a, b) ->
+      compare a b = B.compare (B.of_int a) (B.of_int b))
+
+let bigint_string_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"bigint of_string ∘ to_string = id"
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 30) (QCheck.int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      (* strip redundant leading zeros for the comparison *)
+      let canonical =
+        let s' = ref 0 in
+        while !s' < String.length s - 1 && s.[!s'] = '0' do incr s' done;
+        String.sub s !s' (String.length s - !s')
+      in
+      B.to_string (B.of_string s) = canonical)
+
+let bigint_mul_assoc =
+  QCheck.Test.make ~count:1000 ~name:"bigint multi-limb (a*b)*c = a*(b*c)"
+    (QCheck.triple pair pair pair)
+    (fun ((a1, a2), (b1, b2), (c1, c2)) ->
+      (* build multi-limb operands *)
+      let big x y = B.add (B.mul (B.of_int x) (B.of_int 1_000_000_007)) (B.of_int y) in
+      let a = big a1 a2 and b = big b1 b2 and c = big c1 c2 in
+      B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)))
+
+let bigint_divmod_invariant =
+  QCheck.Test.make ~count:1000 ~name:"bigint multi-limb a = q*b + r, |r|<|b|"
+    (QCheck.triple pair pair pair)
+    (fun ((a1, a2), (b1, b2), (c1, c2)) ->
+      let big x y z =
+        B.add (B.mul (B.mul (B.of_int x) (B.of_int y)) (B.of_int 998_244_353)) (B.of_int z)
+      in
+      let a = big a1 a2 c1 and b = big b1 b2 c2 in
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r)
+      && B.compare (B.abs r) (B.abs b) < 0
+      && (B.is_zero r || B.sign r = B.sign a))
+
+let bigint_units () =
+  Alcotest.(check string) "min_int" (string_of_int min_int) (B.to_string (B.of_int min_int));
+  Alcotest.(check int) "max_int" max_int (B.to_int_exn (B.of_int max_int));
+  Alcotest.(check string) "gcd" "21" (B.to_string (B.gcd (B.of_int 462) (B.of_int 1071)));
+  Alcotest.(check string) "pow" "1000000000000000000000000000000"
+    (B.to_string (B.pow (B.of_int 10) 30));
+  Alcotest.(check bool) "to_int_opt overflow" true
+    (B.to_int_opt (B.pow (B.of_int 10) 30) = None);
+  Alcotest.(check string) "neg mul"
+    "-12193263113702179522496570642237463801111263526900"
+    (B.to_string
+       (B.mul
+          (B.of_string "123456789012345678901234567890")
+          (B.of_string "-98765432109876543210")))
+
+(* --- Rat --- *)
+
+let rat_gen =
+  QCheck.map
+    (fun (a, b) -> Rat.of_ints a (if b = 0 then 1 else b))
+    (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range (-100) 100))
+
+let rat_triple = QCheck.triple rat_gen rat_gen rat_gen
+
+let rat_field_laws =
+  QCheck.Test.make ~count:2000 ~name:"rat field laws" rat_triple (fun (x, y, z) ->
+      let open Rat in
+      equal (add x y) (add y x)
+      && equal (add (add x y) z) (add x (add y z))
+      && equal (mul x y) (mul y x)
+      && equal (mul (mul x y) z) (mul x (mul y z))
+      && equal (mul x (add y z)) (add (mul x y) (mul x z))
+      && equal (add x (neg x)) zero
+      && (is_zero x || equal (mul x (inv x)) one))
+
+let rat_order =
+  QCheck.Test.make ~count:2000 ~name:"rat order consistent with floats" rat_gen (fun x ->
+      let f = Rat.to_float x in
+      (Rat.sign x > 0) = (f > 0.0) || Rat.is_zero x)
+
+let rat_canonical =
+  QCheck.Test.make ~count:2000 ~name:"rat canonical form" rat_gen (fun x ->
+      Bigint.sign (Rat.den x) > 0
+      && Bigint.is_one (Bigint.gcd (Rat.num x) (Rat.den x)))
+
+let rat_units () =
+  Alcotest.(check string) "1/3+1/6" "1/2" (Rat.to_string Rat.(add (of_ints 1 3) (of_ints 1 6)));
+  Alcotest.(check string) "258.33" "258.33"
+    (Format.asprintf "%a" Rat.pp_approx (Rat.of_ints 3100 12));
+  Alcotest.(check string) "291.67" "291.67"
+    (Format.asprintf "%a" Rat.pp_approx (Rat.of_ints 3500 12));
+  Alcotest.(check string) "215.83" "215.83"
+    (Format.asprintf "%a" Rat.pp_approx (Rat.of_ints 1295 6));
+  Alcotest.(check bool) "of_string decimal" true
+    (Rat.equal (Rat.of_string "258.33") (Rat.of_ints 25833 100));
+  Alcotest.(check bool) "of_string fraction" true
+    (Rat.equal (Rat.of_string "-7/21") (Rat.of_ints (-1) 3));
+  Alcotest.(check bool) "of_string negative decimal" true
+    (Rat.equal (Rat.of_string "-2.5") (Rat.of_ints (-5) 2));
+  Alcotest.check_raises "den 0" Division_by_zero (fun () -> ignore (Rat.of_ints 1 0))
+
+(* --- Intmath --- *)
+
+let intmath_lcm_gcd =
+  QCheck.Test.make ~count:2000 ~name:"lcm * gcd = a * b"
+    (QCheck.pair (QCheck.int_range 1 10000) (QCheck.int_range 1 10000))
+    (fun (a, b) -> Intmath.lcm a b * Intmath.gcd a b = a * b)
+
+let intmath_units () =
+  Alcotest.(check int) "lcm list" 10395 (Intmath.lcm_list [ 5; 21; 27; 11 ]);
+  Alcotest.(check int) "lcm list example A" 6 (Intmath.lcm_list [ 1; 2; 3; 1 ]);
+  Alcotest.(check string) "big lcm" "10395"
+    (Bigint.to_string (Intmath.big_lcm_list [ 5; 21; 27; 11 ]));
+  Alcotest.(check int) "gcd 0 0" 0 (Intmath.gcd 0 0);
+  Alcotest.(check int) "ceil_div" 4 (Intmath.ceil_div 10 3)
+
+(* --- Prng --- *)
+
+let prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let prng_bounds =
+  QCheck.Test.make ~count:500 ~name:"prng int_in bounds" (QCheck.int_range 0 100000)
+    (fun seed ->
+      let r = Prng.create seed in
+      let lo = Prng.int_in r (-50) 50 in
+      let hi = lo + Prng.int r 100 in
+      let v = Prng.int_in r lo hi in
+      lo <= v && v <= hi)
+
+let prng_split_independent () =
+  let a = Prng.create 3 in
+  let b = Prng.split a in
+  let xs = List.init 50 (fun _ -> Prng.int a 1000000) in
+  let ys = List.init 50 (fun _ -> Prng.int b 1000000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let rat_pp_approx_edges () =
+  let show r = Format.asprintf "%a" Rat.pp_approx r in
+  Alcotest.(check string) "negative" "-215.83" (show (Rat.of_ints (-1295) 6));
+  Alcotest.(check string) "round half away from zero" "0.13" (show (Rat.of_ints 1 8));
+  Alcotest.(check string) "negative half" "-0.13" (show (Rat.of_ints (-1) 8));
+  Alcotest.(check string) "integer passthrough" "42" (show (Rat.of_int 42));
+  Alcotest.(check string) "tiny" "0.00" (show (Rat.of_ints 1 1000));
+  Alcotest.(check string) "carry across point" "1.00" (show (Rat.of_ints 999 1000))
+
+let bigint_hash_equal =
+  QCheck.Test.make ~count:1000 ~name:"equal bigints hash equally" int_range (fun a ->
+      let x = B.of_int a in
+      let y = B.sub (B.add x (B.of_int 12345)) (B.of_int 12345) in
+      B.equal x y && B.hash x = B.hash y)
+
+(* --- Json --- *)
+
+let json_escaping =
+  QCheck.Test.make ~count:500 ~name:"json strings round-trip printable + control chars"
+    QCheck.printable_string (fun s ->
+      let out = Json.to_string (Json.String s) in
+      (* well-formed: starts and ends with a quote, no raw control chars *)
+      String.length out >= 2
+      && out.[0] = '"'
+      && out.[String.length out - 1] = '"'
+      && String.for_all (fun c -> Char.code c >= 0x20) out)
+
+let json_units () =
+  Alcotest.(check string) "compact object" {|{"a":1,"b":[true,null]}|}
+    (Json.to_string (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]));
+  Alcotest.(check string) "escape" "\"a\\\"b\\\\c\\nd\""
+    (Json.to_string (Json.String "a\"b\\c\nd"));
+  Alcotest.(check string) "number literal" "3.25e-2"
+    (Json.to_string (Json.number "3.25e-2"));
+  Alcotest.check_raises "bad number" (Invalid_argument "Json.number: malformed literal 1.2.3")
+    (fun () -> ignore (Json.number "1.2.3"));
+  let pretty = Json.to_string ~pretty:true (Json.Obj [ ("x", Json.List [ Json.Int 1 ]) ]) in
+  Alcotest.(check bool) "pretty has newlines" true (String.contains pretty '\n')
+
+let () =
+  Alcotest.run "rwt_util"
+    [ ( "bigint",
+        [ qtest bigint_add; qtest bigint_sub; qtest bigint_mul; qtest bigint_divmod;
+          qtest bigint_compare; qtest bigint_string_roundtrip; qtest bigint_mul_assoc;
+          qtest bigint_divmod_invariant;
+          Alcotest.test_case "units" `Quick bigint_units; qtest bigint_hash_equal ] );
+      ( "rat",
+        [ qtest rat_field_laws; qtest rat_order; qtest rat_canonical;
+          Alcotest.test_case "units" `Quick rat_units;
+          Alcotest.test_case "pp_approx edges" `Quick rat_pp_approx_edges ] );
+      ( "intmath",
+        [ qtest intmath_lcm_gcd; Alcotest.test_case "units" `Quick intmath_units ] );
+      ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick prng_deterministic;
+          qtest prng_bounds;
+          Alcotest.test_case "split" `Quick prng_split_independent ] );
+      ("json", [ qtest json_escaping; Alcotest.test_case "units" `Quick json_units ]) ]

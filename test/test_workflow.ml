@@ -1,0 +1,336 @@
+(* Tests for the application/platform/mapping model layer. *)
+
+open Rwt_util
+open Rwt_workflow
+
+let qtest = QCheck_alcotest.to_alcotest
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* --- pipeline --- *)
+
+let pipeline_basics () =
+  let p = Pipeline.of_ints ~work:[| 10; 40; 30; 20 |] ~data:[| 8; 16; 4 |] in
+  Alcotest.(check int) "stages" 4 (Pipeline.n_stages p);
+  Alcotest.check rat "work" (Rat.of_int 40) (Pipeline.work p 1);
+  Alcotest.check rat "data" (Rat.of_int 16) (Pipeline.data p 1);
+  Alcotest.(check string) "name" "S2" (Pipeline.name p 2);
+  let p' = Pipeline.rename p [| "in"; "filter"; "encode"; "out" |] in
+  Alcotest.(check string) "renamed" "encode" (Pipeline.name p' 2);
+  Alcotest.check_raises "data arity" (Invalid_argument "Pipeline.create: need exactly n-1 file sizes")
+    (fun () -> ignore (Pipeline.of_ints ~work:[| 1; 2 |] ~data:[| 1; 2 |]));
+  Alcotest.check_raises "no stages" (Invalid_argument "Pipeline.create: no stages")
+    (fun () -> ignore (Pipeline.of_ints ~work:[||] ~data:[||]))
+
+(* --- platform --- *)
+
+let platform_basics () =
+  let pf = Platform.uniform ~p:3 ~speed:(Rat.of_int 2) ~bandwidth:(Rat.of_int 5) in
+  Alcotest.(check int) "p" 3 (Platform.p pf);
+  Alcotest.check rat "speed" (Rat.of_int 2) (Platform.speed pf 1);
+  Alcotest.check rat "bw" (Rat.of_int 5) (Platform.bandwidth pf 0 2);
+  Alcotest.check_raises "zero speed" (Invalid_argument "Platform.create: non-positive speed")
+    (fun () ->
+      ignore (Platform.create ~speeds:[| Rat.zero |] ~bandwidths:[| [| Rat.one |] |]))
+
+let platform_star () =
+  let pf =
+    Platform.star
+      ~speeds:[| Rat.of_int 1; Rat.of_int 2; Rat.of_int 3 |]
+      ~link_bw:[| Rat.of_int 10; Rat.of_int 4; Rat.of_int 6 |]
+  in
+  (* logical bandwidth = min of the two star links *)
+  Alcotest.check rat "bw 0-1" (Rat.of_int 4) (Platform.bandwidth pf 0 1);
+  Alcotest.check rat "bw 0-2" (Rat.of_int 6) (Platform.bandwidth pf 0 2);
+  Alcotest.check rat "bw 1-2" (Rat.of_int 4) (Platform.bandwidth pf 2 1)
+
+let platform_two_clusters () =
+  let pf =
+    Platform.two_clusters
+      ~speeds:(Array.make 5 Rat.one)
+      ~split:2 ~intra_bw:(Rat.of_int 10) ~inter_bw:(Rat.of_int 2)
+  in
+  Alcotest.check rat "intra left" (Rat.of_int 10) (Platform.bandwidth pf 0 1);
+  Alcotest.check rat "intra right" (Rat.of_int 10) (Platform.bandwidth pf 3 4);
+  Alcotest.check rat "inter" (Rat.of_int 2) (Platform.bandwidth pf 1 2);
+  Alcotest.check rat "inter sym" (Rat.of_int 2) (Platform.bandwidth pf 4 0);
+  Alcotest.check_raises "bad split" (Invalid_argument "Platform.two_clusters: bad split")
+    (fun () ->
+      ignore
+        (Platform.two_clusters ~speeds:(Array.make 2 Rat.one) ~split:2
+           ~intra_bw:Rat.one ~inter_bw:Rat.one))
+
+let platform_random_in_range =
+  QCheck.Test.make ~count:200 ~name:"random platform respects ranges" QCheck.small_nat
+    (fun seed ->
+      let r = Prng.create seed in
+      let pf = Platform.random r ~p:5 ~speed_range:(3, 9) ~bandwidth_range:(2, 4) in
+      let ok = ref true in
+      for u = 0 to 4 do
+        let s = Rat.to_float (Platform.speed pf u) in
+        if s < 3.0 || s > 9.0 then ok := false;
+        for v = 0 to 4 do
+          if u <> v then begin
+            let b = Rat.to_float (Platform.bandwidth pf u v) in
+            if b < 2.0 || b > 4.0 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* --- mapping --- *)
+
+let mapping_validation () =
+  let ok = Mapping.create ~n_stages:2 ~p:4 [| [| 0 |]; [| 1; 2 |] |] in
+  (match ok with
+   | Ok m ->
+     Alcotest.(check int) "m0" 1 (Mapping.replication m 0);
+     Alcotest.(check int) "m1" 2 (Mapping.replication m 1);
+     Alcotest.(check int) "paths" 2 (Mapping.num_paths m);
+     Alcotest.(check bool) "replicated" true (Mapping.is_replicated m);
+     Alcotest.(check int) "proc_for" 2 (Mapping.proc_for m ~stage:1 ~dataset:3);
+     Alcotest.(check bool) "stage_of" true (Mapping.stage_of m 2 = Some 1);
+     Alcotest.(check bool) "stage_of unused" true (Mapping.stage_of m 3 = None)
+   | Error _ -> Alcotest.fail "valid mapping rejected");
+  (match Mapping.create ~n_stages:2 ~p:4 [| [| 0 |]; [| 0; 1 |] |] with
+   | Error (Mapping.Processor_reused 0) -> ()
+   | _ -> Alcotest.fail "reuse not detected");
+  (match Mapping.create ~n_stages:2 ~p:4 [| [| 0 |]; [||] |] with
+   | Error (Mapping.Empty_stage 1) -> ()
+   | _ -> Alcotest.fail "empty stage not detected");
+  (match Mapping.create ~n_stages:2 ~p:2 [| [| 0 |]; [| 5 |] |] with
+   | Error (Mapping.Processor_out_of_range 5) -> ()
+   | _ -> Alcotest.fail "out of range not detected");
+  match Mapping.create ~n_stages:3 ~p:2 [| [| 0 |]; [| 1 |] |] with
+  | Error (Mapping.Stage_count_mismatch { expected = 3; got = 2 }) -> ()
+  | _ -> Alcotest.fail "stage count not checked"
+
+(* --- paths (Proposition 1) --- *)
+
+let random_mapping seed =
+  let r = Prng.create seed in
+  let n = Prng.int_in r 1 4 in
+  let counts = Array.init n (fun _ -> Prng.int_in r 1 4) in
+  let p = Array.fold_left ( + ) 0 counts in
+  let next = ref 0 in
+  let assignment =
+    Array.map
+      (fun m ->
+        Array.init m (fun _ ->
+            let u = !next in
+            incr next;
+            u))
+      counts
+  in
+  Mapping.create_exn ~n_stages:n ~p assignment
+
+let paths_lcm =
+  QCheck.Test.make ~count:300 ~name:"Prop 1: number of paths = lcm(m_i)"
+    QCheck.small_nat (fun seed ->
+      let m = random_mapping seed in
+      Paths.num_paths m
+      = Intmath.lcm_list (Array.to_list (Mapping.replication_vector m)))
+
+let paths_period_minimal =
+  QCheck.Test.make ~count:200 ~name:"Prop 1: m is the smallest period"
+    QCheck.small_nat (fun seed -> Paths.verify_period (random_mapping seed))
+
+let paths_distinct =
+  QCheck.Test.make ~count:200 ~name:"the m paths are pairwise distinct"
+    QCheck.small_nat (fun seed ->
+      let m = random_mapping seed in
+      let paths = Paths.distinct_paths m in
+      List.length (List.sort_uniq compare paths) = List.length paths)
+
+let paths_table_matches_paper () =
+  let a = Instances.example_a () in
+  let expected =
+    [ [| 0; 1; 3; 6 |]; [| 0; 2; 4; 6 |]; [| 0; 1; 5; 6 |]; [| 0; 2; 3; 6 |];
+      [| 0; 1; 4; 6 |]; [| 0; 2; 5; 6 |]; [| 0; 1; 3; 6 |]; [| 0; 2; 4; 6 |] ]
+  in
+  Alcotest.(check bool) "Table 1" true
+    (Paths.first_paths a.Instance.mapping 8 = expected)
+
+(* --- instance / of_times --- *)
+
+let of_times_roundtrip () =
+  let inst = Instances.example_a () in
+  Alcotest.check rat "comp P2" (Rat.of_int 128) (Instance.compute_time inst ~stage:1 ~proc:2);
+  Alcotest.check rat "transfer P0→P2" (Rat.of_int 192)
+    (Instance.transfer_time inst ~file:0 ~src:0 ~dst:2);
+  Alcotest.check rat "transfer_for ds 3" (Rat.of_int 13)
+    (Instance.transfer_time_for inst ~file:1 ~dataset:3);
+  Alcotest.(check (list int)) "resources" [ 0; 1; 2; 3; 4; 5; 6 ] (Instance.resources inst)
+
+let of_times_rejects_duplicates () =
+  Alcotest.check_raises "duplicate link" (Invalid_argument "Instance.of_times: duplicate link")
+    (fun () ->
+      ignore
+        (Instance.of_times ~p:2
+           ~stages:[ [ (0, Rat.one) ]; [ (1, Rat.one) ] ]
+           ~links:[ ((0, 1), Rat.one); ((0, 1), Rat.of_int 2) ]
+           ()))
+
+(* --- cycle times --- *)
+
+let cycle_time_example_a () =
+  let a = Instances.example_a () in
+  let res = Cycle_time.resource Comm_model.Overlap a 0 in
+  (* P0: computes every data set (22), sends 186/192 alternately *)
+  Alcotest.check rat "P0 ccomp" (Rat.of_int 22) res.Cycle_time.ccomp;
+  Alcotest.check rat "P0 cout" (Rat.of_int 189) res.Cycle_time.cout;
+  Alcotest.check rat "P0 cin" Rat.zero res.Cycle_time.cin;
+  let p2 = Cycle_time.resource Comm_model.Strict a 2 in
+  (* P2 serves every 2nd data set: (192 + 128 + (13+157+165)/3) / 2 *)
+  Alcotest.check rat "P2 strict" (Rat.of_ints 1295 6) p2.Cycle_time.cexec;
+  let p2o = Cycle_time.resource Comm_model.Overlap a 2 in
+  Alcotest.check rat "P2 overlap cin" (Rat.of_int 96) p2o.Cycle_time.cin;
+  Alcotest.check rat "P2 overlap ccomp" (Rat.of_int 64) p2o.Cycle_time.ccomp;
+  Alcotest.check rat "P2 overlap cout" (Rat.of_ints 335 6) p2o.Cycle_time.cout
+
+let cycle_time_strict_dominates =
+  QCheck.Test.make ~count:200 ~name:"strict cycle-time >= overlap cycle-time"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 31) in
+      let inst =
+        Rwt_experiments.Generator.generate r
+          { Rwt_experiments.Generator.n_stages = 1 + Prng.int r 3;
+            p = 4 + Prng.int r 4; comp = (1, 10); comm = (1, 10) }
+      in
+      List.for_all2
+        (fun (s : Cycle_time.resource) (o : Cycle_time.resource) ->
+          Rat.compare s.Cycle_time.cexec o.Cycle_time.cexec >= 0)
+        (Cycle_time.all Comm_model.Strict inst)
+        (Cycle_time.all Comm_model.Overlap inst))
+
+let cycle_time_unused_proc () =
+  let a = Instances.example_a () in
+  let inst =
+    Instance.create ~name:"pad" ~pipeline:a.Instance.pipeline
+      ~platform:
+        (Platform.create
+           ~speeds:(Array.init 8 (fun u -> if u < 7 then Platform.speed a.Instance.platform u else Rat.one))
+           ~bandwidths:
+             (Array.init 8 (fun u ->
+                  Array.init 8 (fun v ->
+                      if u < 7 && v < 7 then Platform.bandwidth a.Instance.platform u v
+                      else Rat.one))))
+      ~mapping:
+        (Mapping.create_exn ~n_stages:4 ~p:8
+           [| [| 0 |]; [| 1; 2 |]; [| 3; 4; 5 |]; [| 6 |] |])
+  in
+  Alcotest.check_raises "unused processor"
+    (Invalid_argument "Cycle_time.resource: processor not used by the mapping") (fun () ->
+      ignore (Cycle_time.resource Comm_model.Overlap inst 7))
+
+(* --- comm model --- *)
+
+let comm_model_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "roundtrip" true
+        (Comm_model.of_string (Comm_model.to_string m) = Some m))
+    Comm_model.all;
+  Alcotest.(check bool) "bad" true (Comm_model.of_string "half-duplex" = None)
+
+(* --- format --- *)
+
+let format_roundtrip_named () =
+  List.iter
+    (fun inst ->
+      let s = Format_io.to_string inst in
+      match Format_io.of_string s with
+      | Error e -> Alcotest.fail e
+      | Ok inst' ->
+        Alcotest.(check string) "name survives" inst.Instance.name inst'.Instance.name;
+        Alcotest.(check string) "round trip" s (Format_io.to_string inst'))
+    [ Instances.example_a (); Instances.example_b (); Instances.no_replication () ]
+
+let format_roundtrip_random =
+  QCheck.Test.make ~count:150 ~name:"format round-trips random instances"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 1) in
+      let n_stages = 1 + Prng.int r 4 in
+      let inst =
+        Rwt_experiments.Generator.generate r
+          { Rwt_experiments.Generator.n_stages;
+            p = n_stages + Prng.int r 6; comp = (1, 20); comm = (1, 20) }
+      in
+      let s = Format_io.to_string inst in
+      match Format_io.of_string s with
+      | Error _ -> false
+      | Ok inst' -> Format_io.to_string inst' = s)
+
+let format_errors () =
+  let check_err input =
+    match Format_io.of_string input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted malformed: " ^ input)
+  in
+  check_err "";
+  check_err "stages 2\nwork 1 1\ndata 1\nprocessors 2\nspeeds 1 1\nmap 0\nmap 0\n";
+  check_err "stages 1\nwork one\nprocessors 1\nspeeds 1\nmap 0\n";
+  check_err "stages 2\nwork 1 1\ndata 1\nprocessors 2\nspeeds 1 0\nmap 0\nmap 1\n";
+  check_err "bogus directive\n";
+  check_err "stages 2\nwork 1\ndata 1\nprocessors 2\nspeeds 1 1\nmap 0\nmap 1\n"
+
+(* --- instance dot --- *)
+
+let instance_dot_renders () =
+  let s = Instance_dot.render (Instances.example_a ()) in
+  let contains needle =
+    let ln = String.length needle in
+    let rec go i = i + ln <= String.length s && (String.sub s i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has clusters" true (contains "cluster_s2");
+  Alcotest.(check bool) "has P0 time" true (contains "P0\\n22");
+  Alcotest.(check bool) "has link 186" true (contains "\"186\"");
+  (* used links only: 11 edges for example A *)
+  let edges = ref 0 in
+  String.iteri
+    (fun i c -> if c = '>' && i > 0 && s.[i - 1] = '-' then incr edges)
+    s;
+  Alcotest.(check int) "11 links" 11 !edges
+
+(* --- file save/load --- *)
+
+let format_file_roundtrip () =
+  let inst = Instances.example_b () in
+  let path = Filename.temp_file "rwt_test" ".rwt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Format_io.save path inst;
+      match Format_io.load path with
+      | Error e -> Alcotest.fail e
+      | Ok inst' ->
+        Alcotest.(check string) "identical" (Format_io.to_string inst)
+          (Format_io.to_string inst'));
+  match Format_io.load "/nonexistent/path.rwt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+let () =
+  Alcotest.run "rwt_workflow"
+    [ ("pipeline", [ Alcotest.test_case "basics" `Quick pipeline_basics ]);
+      ( "platform",
+        [ Alcotest.test_case "basics" `Quick platform_basics;
+          Alcotest.test_case "star" `Quick platform_star;
+          Alcotest.test_case "two clusters" `Quick platform_two_clusters;
+          qtest platform_random_in_range ] );
+      ("mapping", [ Alcotest.test_case "validation" `Quick mapping_validation ]);
+      ( "paths",
+        [ qtest paths_lcm; qtest paths_period_minimal; qtest paths_distinct;
+          Alcotest.test_case "table 1" `Quick paths_table_matches_paper ] );
+      ( "instance",
+        [ Alcotest.test_case "of_times" `Quick of_times_roundtrip;
+          Alcotest.test_case "duplicates" `Quick of_times_rejects_duplicates ] );
+      ( "cycle time",
+        [ Alcotest.test_case "example A" `Quick cycle_time_example_a;
+          qtest cycle_time_strict_dominates;
+          Alcotest.test_case "unused proc" `Quick cycle_time_unused_proc ] );
+      ("comm model", [ Alcotest.test_case "roundtrip" `Quick comm_model_roundtrip ]);
+      ( "format",
+        [ Alcotest.test_case "named instances" `Quick format_roundtrip_named;
+          qtest format_roundtrip_random;
+          Alcotest.test_case "errors" `Quick format_errors;
+          Alcotest.test_case "file round trip" `Quick format_file_roundtrip ] );
+      ("dot", [ Alcotest.test_case "instance render" `Quick instance_dot_renders ]) ]
