@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json profile examples clean fmt doc
 
 all: build
 
@@ -13,11 +13,22 @@ test:
 test-force:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 
+# every bench run also writes BENCH_obs.json (metrics + per-target wall time)
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 bench-full:
 	dune exec bench/main.exe -- table2-full
+
+# quick machine-readable perf snapshot: a cheap target subset, then the dump
+bench-json:
+	dune exec bench/main.exe -- table1 example-a tpn-stats example-b sub-tpn example-c > /dev/null
+	dune exec bin/rwt.exe -- json-check BENCH_obs.json
+
+# per-phase cost table of the full pipeline on Example A, plus raw exports
+profile:
+	dune exec bin/rwt.exe -- profile -e a --metrics rwt_metrics.json --trace rwt_trace.json
+	@echo "metrics -> rwt_metrics.json, chrome trace -> rwt_trace.json"
 
 examples:
 	dune exec examples/quickstart.exe

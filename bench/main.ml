@@ -394,18 +394,39 @@ let default_targets =
     "ablation-mcr"; "ext-latency"; "ext-optimize"; "ext-stochastic";
     "ext-sensitivity"; "gap-distribution"; "minimal-witness"; "calibrate"; "bechamel" ]
 
+(* Machine-readable observability dump: per-target wall time (the
+   [span.bench.<target>] histograms) plus every counter/gauge/histogram the
+   instrumented kernels recorded. Future PRs diff these files to track the
+   perf trajectory; see doc/OBSERVABILITY.md. *)
+let write_bench_obs targets =
+  let path = "BENCH_obs.json" in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-obs/1");
+        ("targets", Json.List (List.map (fun t -> Json.String t) targets));
+        ("metrics", Rwt_obs.metrics_json ()) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s (%d metrics)\n%!" path
+    (List.length (Rwt_obs.metric_names ()))
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as targets) -> targets
     | _ -> default_targets
   in
+  Rwt_obs.enable ();
   List.iter
     (fun name ->
       match List.assoc_opt name all_targets with
-      | Some f -> f ()
+      | Some f -> Rwt_obs.with_span ("bench." ^ name) f
       | None ->
         Printf.eprintf "unknown target %S; available: %s\n" name
           (String.concat ", " (List.map fst all_targets));
         exit 1)
-    requested
+    requested;
+  write_bench_obs requested

@@ -2,7 +2,11 @@
 
    Command-line front end for the library: compute periods and bounds,
    inspect round-robin paths, export timed Petri nets, draw Gantt charts,
-   and run the paper's experiment campaigns. *)
+   profile the solver pipeline, and run the paper's experiment campaigns.
+
+   Conventions: results go to stdout, diagnostics/progress to stderr, and
+   every error path exits non-zero — so stdout stays machine-parseable
+   when --metrics/--json output is requested. *)
 
 open Cmdliner
 open Rwt_util
@@ -50,6 +54,47 @@ let or_die = function
     prerr_endline ("rwt: " ^ msg);
     exit 1
 
+(* --- observability: --metrics / --trace on every command --- *)
+
+let write_output path contents =
+  match path with
+  | "-" -> print_string contents; print_newline ()
+  | path ->
+    (try
+       let oc = open_out path in
+       output_string oc contents;
+       output_char oc '\n';
+       close_out oc
+     with Sys_error msg ->
+       prerr_endline ("rwt: cannot write " ^ path ^ ": " ^ msg);
+       exit 1)
+
+let obs_term =
+  let metrics_arg =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Record Rwt_obs metrics during the run and dump them as JSON to \
+                 $(docv) on exit (\"-\" for stdout).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record span trace events and dump Chrome trace-event JSON \
+                 (chrome://tracing, Perfetto) to $(docv) on exit (\"-\" for stdout).")
+  in
+  let setup metrics trace =
+    if metrics <> None || trace <> None then begin
+      Rwt_obs.enable ~trace:(trace <> None) ();
+      at_exit (fun () ->
+          (match metrics with
+           | Some path ->
+             write_output path (Json.to_string ~pretty:true (Rwt_obs.metrics_json ()))
+           | None -> ());
+          match trace with
+          | Some path -> write_output path (Json.to_string (Rwt_obs.trace_json ()))
+          | None -> ())
+    end
+  in
+  Term.(const setup $ metrics_arg $ trace_arg)
+
 (* --- period --- *)
 
 let method_arg =
@@ -73,7 +118,7 @@ let method_arg =
            ~doc:"Period computation: auto (default), tpn (full net), poly (Theorem 1).")
 
 let period_cmd =
-  let run file example model method_ exact json =
+  let run () file example model method_ exact json =
     let inst = or_die (load_instance file example) in
     let report = Rwt_core.Analysis.analyze ~method_ model inst in
     if json then
@@ -93,23 +138,24 @@ let period_cmd =
   in
   Cmd.v
     (Cmd.info "period" ~doc:"Compute the period, throughput and Mct bound of a mapping.")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ method_arg $ exact_arg $ json_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ method_arg
+          $ exact_arg $ json_arg)
 
 (* --- mct --- *)
 
 let mct_cmd =
-  let run file example model =
+  let run () file example model =
     let inst = or_die (load_instance file example) in
     Format.printf "%a@." (Cycle_time.pp_table model) inst
   in
   Cmd.v
     (Cmd.info "mct" ~doc:"Print every resource cycle-time and the Mct lower bound.")
-    Term.(const run $ file_arg $ example_arg $ model_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg)
 
 (* --- paths --- *)
 
 let paths_cmd =
-  let run file example k =
+  let run () file example k =
     let inst = or_die (load_instance file example) in
     let mapping = inst.Instance.mapping in
     let m = Mapping.num_paths mapping in
@@ -125,12 +171,12 @@ let paths_cmd =
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"List the round-robin paths of the first data sets (Table 1).")
-    Term.(const run $ file_arg $ example_arg $ k_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ k_arg)
 
 (* --- tpn --- *)
 
 let tpn_cmd =
-  let run file example model dot pnml =
+  let run () file example model dot pnml =
     let inst = or_die (load_instance file example) in
     let net = Rwt_core.Tpn_build.build model inst in
     if dot then print_string (Rwt_petri.Tpn.to_dot net.Rwt_core.Tpn_build.tpn)
@@ -147,24 +193,24 @@ let tpn_cmd =
   in
   Cmd.v
     (Cmd.info "tpn" ~doc:"Build the timed Petri net of the mapping (stats, DOT or PNML).")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ dot_arg $ pnml_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ dot_arg $ pnml_arg)
 
 (* --- critical cycle --- *)
 
 let critical_cmd =
-  let run file example model =
+  let run () file example model =
     let inst = or_die (load_instance file example) in
     let result = Rwt_core.Exact.period model inst in
     Format.printf "%a@." (Rwt_core.Exact.pp_critical result) ()
   in
   Cmd.v
     (Cmd.info "critical" ~doc:"Show a critical cycle of the TPN (Figure 8).")
-    Term.(const run $ file_arg $ example_arg $ model_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg)
 
 (* --- gantt --- *)
 
 let gantt_cmd =
-  let run file example model datasets from_ds until_ds width text export utilization =
+  let run () file example model datasets from_ds until_ds width text export utilization =
     let inst = or_die (load_instance file example) in
     let m = Mapping.num_paths inst.Instance.mapping in
     let datasets = match datasets with Some d -> d | None -> 4 * m in
@@ -214,13 +260,13 @@ let gantt_cmd =
   in
   Cmd.v
     (Cmd.info "gantt" ~doc:"Simulate the schedule and draw it (Figures 7 and 12).")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ datasets_arg $ from_arg
-          $ until_arg $ width_arg $ text_arg $ export_arg $ util_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ datasets_arg
+          $ from_arg $ until_arg $ width_arg $ text_arg $ export_arg $ util_arg)
 
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let run file example model blocks =
+  let run () file example model blocks =
     let inst = or_die (load_instance file example) in
     let measured = Rwt_sim.Schedule.measured_period ~blocks model inst in
     Format.printf "measured period: %a (%s)@." Rat.pp_approx measured (Rat.to_string measured)
@@ -230,12 +276,12 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Measure the steady-state period operationally.")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ blocks_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ blocks_arg)
 
 (* --- show / export an instance --- *)
 
 let show_cmd =
-  let run file example dot =
+  let run () file example dot =
     let inst = or_die (load_instance file example) in
     if dot then print_string (Instance_dot.render inst)
     else print_string (Format_io.to_string inst)
@@ -245,12 +291,12 @@ let show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print an instance in the textual format (e.g. to export an example).")
-    Term.(const run $ file_arg $ example_arg $ dot_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ dot_arg)
 
 (* --- certificate --- *)
 
 let certificate_cmd =
-  let run file example model verify_only =
+  let run () file example model verify_only =
     let inst = or_die (load_instance file example) in
     let net = Rwt_core.Tpn_build.build model inst in
     let g = Rwt_petri.Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn in
@@ -274,12 +320,12 @@ let certificate_cmd =
   Cmd.v
     (Cmd.info "certificate"
        ~doc:"Emit (and independently re-check) an optimality certificate for the              period: a node potential plus a witness cycle, verifiable in one O(E)              pass of exact arithmetic.")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ verify_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ verify_arg)
 
 (* --- sensitivity --- *)
 
 let sensitivity_cmd =
-  let run file example model factor =
+  let run () file example model factor =
     let inst = or_die (load_instance file example) in
     let factor =
       try Rat.of_string factor with _ ->
@@ -296,12 +342,12 @@ let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"What-if analysis: the exact period after upgrading each processor or              link, ranked. Shows which resources actually sit on the critical cycle.")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ factor_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ factor_arg)
 
 (* --- latency --- *)
 
 let latency_cmd =
-  let run file example model margin =
+  let run () file example model margin =
     let inst = or_die (load_instance file example) in
     let margin =
       match margin with
@@ -323,12 +369,12 @@ let latency_cmd =
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"Steady-state latency under periodic admission.")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ margin_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ margin_arg)
 
 (* --- optimize --- *)
 
 let optimize_cmd =
-  let run file example model iterations seed =
+  let run () file example model iterations seed =
     let inst = or_die (load_instance file example) in
     let pipeline = inst.Instance.pipeline and platform = inst.Instance.platform in
     let greedy = Rwt_core.Optimize.greedy model pipeline platform in
@@ -345,12 +391,12 @@ let optimize_cmd =
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Heuristic mapping search on the instance's platform                                (the paper's NP-hard companion problem).")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ iter_arg $ seed_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ iter_arg $ seed_arg)
 
 (* --- stochastic --- *)
 
 let stochastic_cmd =
-  let run file example model samples epsilon seed =
+  let run () file example model samples epsilon seed =
     let inst = or_die (load_instance file example) in
     let epsilon =
       try Rat.of_string epsilon with _ ->
@@ -370,12 +416,13 @@ let stochastic_cmd =
   let seed_arg = Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
   Cmd.v
     (Cmd.info "stochastic" ~doc:"Period distribution over a dynamic platform                                  (the paper's stated future work).")
-    Term.(const run $ file_arg $ example_arg $ model_arg $ samples_arg $ eps_arg $ seed_arg)
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ samples_arg
+          $ eps_arg $ seed_arg)
 
 (* --- table2 --- *)
 
 let table2_cmd =
-  let run scale seed full =
+  let run () scale seed full =
     let scale = if full then 1.0 else scale in
     let progress = (fun label k -> if k mod 50 = 0 then Printf.eprintf "[%s] %d...\n%!" label k) in
     let results = Rwt_experiments.Table2.run_all ~seed ~scale ~progress () in
@@ -389,7 +436,7 @@ let table2_cmd =
   let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Run the full-size campaign.") in
   Cmd.v
     (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2 experiment campaign.")
-    Term.(const run $ scale_arg $ seed_arg $ full_arg)
+    Term.(const run $ obs_term $ scale_arg $ seed_arg $ full_arg)
 
 (* --- calibrate --- *)
 
@@ -403,14 +450,93 @@ let calibrate_cmd =
     Format.printf "example B: %d label assignments reproduce the published values (%d with a unique critical resource)@."
       (List.length b)
       (List.length (List.filter (fun c -> c.Rwt_experiments.Calibrate.unique_critical) b));
-    Format.printf "running the example A search (4320 assignments)...@.";
+    (* progress note, not a result: stderr *)
+    Format.eprintf "running the example A search (4320 assignments)...@.";
     let a = Rwt_experiments.Calibrate.example_a_candidates () in
     Format.printf "example A: %d label assignments reproduce the published values@."
       (List.length a)
   in
   Cmd.v
     (Cmd.info "calibrate" ~doc:"Re-run the figure-label calibration searches (DESIGN.md §4).")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run () pos_file file example model datasets =
+    let file =
+      match (pos_file, file) with
+      | Some p, None -> Some p
+      | None, f -> f
+      | Some _, Some _ ->
+        prerr_endline "rwt: give the instance either as a positional FILE or via --file";
+        exit 1
+    in
+    (* profiling implies metrics collection even without --metrics *)
+    Rwt_obs.enable ();
+    let inst = Rwt_obs.with_span "load" (fun () -> or_die (load_instance file example)) in
+    let m = Mapping.num_paths inst.Instance.mapping in
+    Format.printf "profiling %s (model %s, m = %d)@." inst.Instance.name
+      (Comm_model.to_string model) m;
+    (* phase 1: Theorem 1 (polynomial), overlap only *)
+    (match model with
+     | Comm_model.Overlap ->
+       let p = Rwt_core.Poly_overlap.period inst in
+       Format.printf "poly period:     %a@." Rat.pp_approx p
+     | Comm_model.Strict -> ());
+    (* phase 2: full TPN build + exact max-cycle-ratio *)
+    let result = Rwt_core.Exact.period model inst in
+    Format.printf "tpn period:      %a (critical cycle: %d transitions)@." Rat.pp_approx
+      result.Rwt_core.Exact.period
+      (List.length result.Rwt_core.Exact.critical);
+    (* phase 3: operational simulation over a few periods *)
+    let datasets = match datasets with Some d -> d | None -> max (4 * m) 64 in
+    let sched = Rwt_sim.Schedule.run model inst ~datasets in
+    Format.printf "simulated:       %d data sets (last completion %a)@." datasets
+      Rat.pp_approx
+      (Rwt_sim.Schedule.ordered_completion sched (datasets - 1));
+    Format.printf "@.%a@." Rwt_obs.pp_span_table ()
+  in
+  let pos_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Instance file (alternative to --file/--example).")
+  in
+  let datasets_arg =
+    Arg.(value & opt (some int) None & info [ "datasets" ] ~docv:"N"
+           ~doc:"Simulation horizon for the sim phase (default max(4m, 64)).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the full analysis pipeline on an instance and print a per-phase              cost table (spans, calls, total/mean/p90/max seconds). Combine with              --metrics/--trace to export the raw numbers.")
+    Term.(const run $ obs_term $ pos_arg $ file_arg $ example_arg $ model_arg $ datasets_arg)
+
+(* --- json-check --- *)
+
+let json_check_cmd =
+  let run path =
+    let contents =
+      match path with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | p ->
+        (try In_channel.with_open_bin p In_channel.input_all
+         with Sys_error msg ->
+           prerr_endline ("rwt: " ^ msg);
+           exit 1)
+    in
+    match Json.of_string contents with
+    | Ok _ -> print_endline "ok"
+    | Error msg ->
+      prerr_endline ("rwt: invalid JSON: " ^ msg);
+      exit 1
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSON file to validate (\"-\" for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "json-check"
+       ~doc:"Parse a JSON file with the library's strict RFC 8259 parser; print              \"ok\" and exit 0 iff it is valid. Used by the test suite to              validate --metrics/--trace/--json output.")
+    Term.(const run $ path_arg)
 
 let main =
   Cmd.group
@@ -419,7 +545,7 @@ let main =
              Gallet, Gaujal, Robert 2009).")
     [ period_cmd; mct_cmd; paths_cmd; tpn_cmd; critical_cmd; gantt_cmd; simulate_cmd;
       show_cmd; certificate_cmd; sensitivity_cmd; latency_cmd; optimize_cmd;
-      stochastic_cmd; table2_cmd; calibrate_cmd ]
+      stochastic_cmd; table2_cmd; calibrate_cmd; profile_cmd; json_check_cmd ]
 
 let () =
   (* model-level errors (invalid mapping, lcm overflow, …) become clean

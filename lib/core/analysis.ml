@@ -14,6 +14,8 @@ type report = {
 }
 
 let analyze ?(method_ = Auto) model inst =
+  Rwt_obs.with_span "analysis.analyze" @@ fun () ->
+  Rwt_obs.incr "analysis.calls";
   let period =
     match (method_, model) with
     | Poly, Comm_model.Strict ->

@@ -11,6 +11,7 @@ type result = {
 }
 
 let period model inst =
+  Rwt_obs.with_span "exact.period" @@ fun () ->
   let net = Tpn_build.build model inst in
   let g = Mcr.graph_of_tpn net.Tpn_build.tpn in
   match Mcr.Exact.max_cycle_ratio g with

@@ -2,6 +2,7 @@ open Rwt_util
 open Rwt_workflow
 module Mcr = Rwt_petri.Mcr
 module D = Rwt_graph.Digraph
+module Obs = Rwt_obs
 
 type compute_column = {
   stage : int;
@@ -64,6 +65,7 @@ let pattern_graph inst ~file ~q =
   g
 
 let analyze inst =
+  Obs.with_span "poly.analyze" @@ fun () ->
   let mapping = inst.Instance.mapping in
   let n = Mapping.n_stages mapping in
   let m_big = Mapping.num_paths_big mapping in
@@ -73,6 +75,12 @@ let analyze inst =
     if stage < n - 1 then begin
       let mi, mi1, p, u, v = geometry mapping stage in
       let block = Intmath.lcm mi mi1 in
+      Obs.incr "poly.comm_columns";
+      Obs.add "poly.components" p;
+      (* per-stage-pair work: each of the p components solves a u·v-node
+         pattern graph with two edges per node *)
+      Obs.add "poly.pattern_nodes" (p * u * v);
+      Obs.add "poly.pattern_edges" (2 * p * u * v);
       let components =
         List.init p (fun q ->
             let g = pattern_graph inst ~file:stage ~q in
@@ -99,6 +107,7 @@ let analyze inst =
             block; components; bound }
         :: !columns
     end;
+    Obs.incr "poly.compute_columns";
     let mi = Mapping.replication mapping stage in
     let per_proc =
       Array.to_list

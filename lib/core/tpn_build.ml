@@ -1,5 +1,6 @@
 open Rwt_workflow
 module Tpn = Rwt_petri.Tpn
+module Obs = Rwt_obs
 
 type kind =
   | Compute of { stage : int; proc : int }
@@ -43,10 +44,22 @@ let add_circuit tpn ~name ~ids =
     chain ids
 
 let build model inst =
+  Obs.with_span "tpn.build" @@ fun () ->
   let mapping = inst.Instance.mapping in
   let n = Mapping.n_stages mapping in
   let m = Mapping.num_paths mapping in
   let ncols = cols n in
+  let cap = Rwt_petri.Expand.transition_cap () in
+  Obs.gauge "tpn.projected_transitions" (float_of_int (m * ncols));
+  if m * ncols > cap then begin
+    Obs.incr "expand.rejections";
+    failwith
+      (Printf.sprintf
+         "Tpn_build.build: the net would have m = %d rows of %d transitions \
+          (%d total), exceeding the cap of %d; use the polynomial analysis or \
+          raise Rwt_petri.Expand.set_transition_cap"
+         m ncols (m * ncols) cap)
+  end;
   let id ~row ~col = (row * ncols) + col in
   let kinds = Array.make (m * ncols) (Compute { stage = 0; proc = 0 }) in
   let transitions =
@@ -143,6 +156,11 @@ let build model inst =
             chain rows)
        done
      done);
+  Obs.incr "tpn.builds";
+  Obs.gauge "tpn.rows" (float_of_int m);
+  Obs.gauge "tpn.transitions" (float_of_int (Tpn.num_transitions tpn));
+  Obs.gauge "tpn.places" (float_of_int (Tpn.num_places tpn));
+  Obs.gauge_max "tpn.peak_transitions" (float_of_int (Tpn.num_transitions tpn));
   { tpn; m; n_stages = n; model; kinds }
 
 let resource_of_place _t (p : Tpn.place) =

@@ -34,7 +34,11 @@ type t = private {
 
 val build : Comm_model.t -> Instance.t -> t
 (** @raise Failure if [m] overflows a native int (report
-    {!Rwt_workflow.Mapping.num_paths_big} instead of building). *)
+    {!Rwt_workflow.Mapping.num_paths_big} instead of building), or if the
+    net's [m·(2n−1)] transitions would exceed
+    [Rwt_petri.Expand.transition_cap ()] — the diagnostic reports [m] and
+    the projected transition count, and the projection is published as the
+    [tpn.projected_transitions] gauge before the check. *)
 
 val transition_id : t -> row:int -> col:int -> int
 val row_col : t -> int -> int * int

@@ -4,7 +4,9 @@ module Tpn = Rwt_petri.Tpn
 module D = Rwt_graph.Digraph
 
 let period_of_tpn tpn =
+  Rwt_obs.with_span "maxplus.spectral" @@ fun () ->
   let n = Tpn.num_transitions tpn in
+  Rwt_obs.gauge "maxplus.dim" (float_of_int n);
   let a0 = M.make n n M.Neg_inf in
   let a1 = M.make n n M.Neg_inf in
   Tpn.iter_places
@@ -31,4 +33,5 @@ let period_of_tpn tpn =
         | M.Fin w -> ignore (D.add_edge g j i w)
       done
     done;
+    Rwt_obs.add "maxplus.star_edges" (D.num_edges g);
     Rwt_petri.Mcr.Exact.karp g

@@ -1,0 +1,309 @@
+module Json = Rwt_util.Json
+
+(* --- state --- *)
+
+let on = ref false
+let tracing = ref false
+let clock = ref Sys.time
+let t0 = ref 0.0
+
+(* log2-scale histogram over (0, inf): bucket k covers
+   (lo·2^(k-1), lo·2^k], bucket 0 covers (0, lo]. 96 buckets span
+   1e-9 s .. ~7.9e19, enough for any duration or size this repo meets. *)
+let n_buckets = 96
+let bucket_lo = 1e-9
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 64
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 64
+
+type trace_event = {
+  ev_name : string;
+  ev_ts : float; (* seconds since t0 *)
+  ev_dur : float; (* seconds *)
+  ev_args : (string * string) list;
+}
+
+let events : trace_event list ref = ref [] (* newest first *)
+let stack : (string * float * (string * string) list) list ref = ref []
+
+(* --- lifecycle --- *)
+
+let enabled () = !on
+
+let enable ?(trace = false) () =
+  on := true;
+  if trace then begin
+    tracing := true;
+    t0 := !clock ()
+  end
+
+let disable () = on := false
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset hists;
+  events := [];
+  stack := [];
+  t0 := !clock ()
+
+let set_clock f = clock := f
+
+(* --- recording --- *)
+
+let add name n =
+  if !on then begin
+    let n = if n < 0 then 0 else n in
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add counters name (ref n)
+  end
+
+let incr name = add name 1
+
+let gauge name v =
+  if !on then
+    match Hashtbl.find_opt gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add gauges name (ref v)
+
+let gauge_max name v =
+  if !on then
+    match Hashtbl.find_opt gauges name with
+    | Some r -> if v > !r then r := v
+    | None -> Hashtbl.add gauges name (ref v)
+
+let bucket_of v =
+  if v <= bucket_lo then 0
+  else begin
+    let k = 1 + int_of_float (Float.log2 (v /. bucket_lo)) in
+    if k >= n_buckets then n_buckets - 1 else k
+  end
+
+(* upper bound of bucket k: lo·2^k *)
+let bucket_hi k = bucket_lo *. Float.of_int (1 lsl (min k 62))
+
+let observe name v =
+  if !on then begin
+    let h =
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+        let h =
+          { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity;
+            buckets = Array.make n_buckets 0 }
+        in
+        Hashtbl.add hists name h;
+        h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v;
+    let b = h.buckets in
+    let k = bucket_of v in
+    b.(k) <- b.(k) + 1
+  end
+
+(* --- spans --- *)
+
+let span_begin ?(args = []) name =
+  if !on then stack := (name, !clock (), args) :: !stack
+
+let span_end () =
+  if !on then
+    match !stack with
+    | [] -> incr "obs.span_underflow"
+    | (name, start, args) :: rest ->
+      stack := rest;
+      let now = !clock () in
+      let dur = if now > start then now -. start else 0.0 in
+      observe ("span." ^ name) dur;
+      if !tracing then
+        events := { ev_name = name; ev_ts = start -. !t0; ev_dur = dur; ev_args = args }
+                  :: !events
+
+let with_span ?args name f =
+  if not !on then f ()
+  else begin
+    span_begin ?args name;
+    Fun.protect ~finally:span_end f
+  end
+
+let span_depth () = List.length !stack
+
+(* --- reading back --- *)
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let gauge_value name =
+  match Hashtbl.find_opt gauges name with Some r -> Some !r | None -> None
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile_of_hist (h : hist) q =
+  if h.count = 0 then nan
+  else begin
+    let rank = q *. float_of_int h.count in
+    let cum = ref 0 in
+    let k = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if float_of_int !cum >= rank then begin
+           k := i;
+           raise Exit
+         end
+       done;
+       k := n_buckets - 1
+     with Exit -> ());
+    (* bucket upper bound, clipped to the exact extremes *)
+    Float.min h.max_v (Float.max h.min_v (bucket_hi !k))
+  end
+
+let summary_of_hist (h : hist) =
+  { count = h.count;
+    sum = h.sum;
+    min = (if h.count = 0 then 0.0 else h.min_v);
+    max = (if h.count = 0 then 0.0 else h.max_v);
+    mean = (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count);
+    p50 = percentile_of_hist h 0.50;
+    p90 = percentile_of_hist h 0.90;
+    p99 = percentile_of_hist h 0.99 }
+
+let histogram_summary name =
+  Option.map summary_of_hist (Hashtbl.find_opt hists name)
+
+let percentile name q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Rwt_obs.percentile: q outside [0, 1]";
+  Option.map (fun h -> percentile_of_hist h q) (Hashtbl.find_opt hists name)
+
+let metric_names () =
+  let acc = ref [] in
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) counters;
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) gauges;
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) hists;
+  List.sort_uniq String.compare !acc
+
+(* --- export --- *)
+
+let sorted_fields tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* gauges and histogram stats hold plain floats; emit integral values
+   without a fractional part so the output stays compact *)
+let json_float f = if Float.is_nan f then Json.Null else Json.Float f
+
+let metrics_json () =
+  let hist_json h =
+    let s = summary_of_hist h in
+    Json.Obj
+      [ ("count", Json.Int s.count);
+        ("sum", json_float s.sum);
+        ("min", json_float s.min);
+        ("max", json_float s.max);
+        ("mean", json_float s.mean);
+        ("p50", json_float s.p50);
+        ("p90", json_float s.p90);
+        ("p99", json_float s.p99) ]
+  in
+  Json.Obj
+    [ ("schema", Json.String "rwt.metrics/1");
+      ("counters", Json.Obj (sorted_fields counters (fun r -> Json.Int !r)));
+      ("gauges", Json.Obj (sorted_fields gauges (fun r -> json_float !r)));
+      ("histograms", Json.Obj (sorted_fields hists hist_json)) ]
+
+let trace_json () =
+  let us s = s *. 1e6 in
+  let event e =
+    let base =
+      [ ("name", Json.String e.ev_name);
+        ("cat", Json.String "rwt");
+        ("ph", Json.String "X");
+        ("ts", json_float (us e.ev_ts));
+        ("dur", json_float (us e.ev_dur));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1) ]
+    in
+    let args =
+      match e.ev_args with
+      | [] -> []
+      | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)) ]
+    in
+    Json.Obj (base @ args)
+  in
+  (* events accumulate in completion order; emit by start time *)
+  let by_start =
+    List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) (List.rev !events)
+  in
+  Json.Obj
+    [ ("displayTimeUnit", Json.String "ms");
+      ("traceEvents", Json.List (List.map event by_start)) ]
+
+(* --- profiling report --- *)
+
+type span_row = {
+  span : string;
+  calls : int;
+  total_s : float;
+  mean_s : float;
+  p90_s : float;
+  max_s : float;
+}
+
+let span_prefix = "span."
+
+let span_table () =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name h ->
+      let lp = String.length span_prefix in
+      if String.length name > lp && String.sub name 0 lp = span_prefix then begin
+        let s = summary_of_hist h in
+        rows :=
+          { span = String.sub name lp (String.length name - lp);
+            calls = s.count;
+            total_s = s.sum;
+            mean_s = s.mean;
+            p90_s = s.p90;
+            max_s = s.max }
+          :: !rows
+      end)
+    hists;
+  List.sort
+    (fun a b ->
+      match compare b.total_s a.total_s with 0 -> compare a.span b.span | c -> c)
+    !rows
+
+let pp_span_table fmt () =
+  let rows = span_table () in
+  Format.fprintf fmt "@[<v>%-28s %8s %12s %12s %12s %12s@,"
+    "phase" "calls" "total(s)" "mean(s)" "p90(s)" "max(s)";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-28s %8d %12.6f %12.6f %12.6f %12.6f@," r.span r.calls
+        r.total_s r.mean_s r.p90_s r.max_s)
+    rows;
+  Format.fprintf fmt "%d metrics recorded (counters %d, gauges %d, histograms %d)@]"
+    (List.length (metric_names ()))
+    (Hashtbl.length counters) (Hashtbl.length gauges) (Hashtbl.length hists)

@@ -1,0 +1,134 @@
+(** Observability substrate: metrics, span tracing and solver profiling.
+
+    A single process-wide registry of named {e counters} (monotonic ints),
+    {e gauges} (last/max floats), and {e histograms} (log-scale buckets with
+    percentile summaries), plus a stack of {e spans} — named timed sections
+    whose durations feed [span.<name>] histograms and, optionally, a Chrome
+    [trace-event] log loadable in [chrome://tracing] or Perfetto.
+
+    Everything is disabled by default. Every recording entry point starts
+    with a single [if enabled] branch and returns immediately without
+    allocating when disabled, so instrumented library code costs nothing in
+    ordinary runs (tier-1 results are bit-identical either way).
+
+    The library is deliberately dependency-free: timing uses [Sys.time]
+    (processor time — the workloads here are CPU-bound, and it keeps the
+    clock monotonic and test-injectable), and export goes through
+    {!Rwt_util.Json}. Not thread-safe; the whole repository is
+    single-threaded. *)
+
+(** {1 Lifecycle} *)
+
+val enabled : unit -> bool
+
+val enable : ?trace:bool -> unit -> unit
+(** Start recording. [trace] additionally collects per-span trace events
+    (timestamps relative to this call) for {!trace_json}. Idempotent;
+    enabling does not clear previously recorded data. *)
+
+val disable : unit -> unit
+(** Stop recording. Recorded data is kept (export still works). *)
+
+val reset : unit -> unit
+(** Drop all metrics, trace events and open spans; keep the enabled flag. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the time source (seconds, monotonic non-decreasing). Default is
+    [Sys.time]. Used by the tests for deterministic span durations. *)
+
+(** {1 Recording} *)
+
+val incr : string -> unit
+(** Add 1 to a counter, creating it at 0 first if needed. *)
+
+val add : string -> int -> unit
+(** Add [n >= 0] to a counter. Negative increments are clipped to 0 so
+    counters stay monotonic. *)
+
+val gauge : string -> float -> unit
+(** Set a gauge to the given value (last write wins). *)
+
+val gauge_max : string -> float -> unit
+(** Set a gauge to the max of its current value and the given one. *)
+
+val observe : string -> float -> unit
+(** Record a sample into a histogram (log₂-scale buckets over [1e-9, ∞);
+    exact count/sum/min/max are kept alongside). *)
+
+(** {1 Spans} *)
+
+val span_begin : ?args:(string * string) list -> string -> unit
+(** Open a span. Spans nest: the innermost open span is the top of the
+    span stack. No-op when disabled. *)
+
+val span_end : unit -> unit
+(** Close the innermost span: its duration is recorded into the
+    [span.<name>] histogram and, when tracing, appended to the trace-event
+    log. A stray [span_end] with no open span increments
+    [obs.span_underflow] instead of raising. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span, closing it on exceptions
+    too. When disabled this is exactly [f ()]. *)
+
+val span_depth : unit -> int
+(** Number of currently open spans. *)
+
+(** {1 Reading back} *)
+
+val counter_value : string -> int
+(** Current value, 0 for a counter never written. *)
+
+val gauge_value : string -> float option
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val histogram_summary : string -> histogram_summary option
+(** Percentiles are bucket upper bounds (log₂ buckets: at most a factor-2
+    overestimate), clipped to the exact observed [min]/[max]. *)
+
+val percentile : string -> float -> float option
+(** [percentile name q] with [q] in [0, 1]. *)
+
+val metric_names : unit -> string list
+(** Sorted names of every counter, gauge and histogram recorded so far. *)
+
+(** {1 Export} *)
+
+val metrics_json : unit -> Rwt_util.Json.t
+(** Structured dump:
+    [{ "schema": "rwt.metrics/1", "counters": {..}, "gauges": {..},
+       "histograms": { name: {count,sum,min,max,mean,p50,p90,p99} } }]
+    with keys sorted for deterministic output. *)
+
+val trace_json : unit -> Rwt_util.Json.t
+(** Chrome trace-event JSON ([{"traceEvents": [...]}], complete events,
+    [ph = "X"], timestamps in microseconds), loadable by
+    [chrome://tracing] and Perfetto. Empty unless enabled with
+    [~trace:true]. *)
+
+(** {1 Profiling report} *)
+
+type span_row = {
+  span : string;  (** span name, without the [span.] prefix *)
+  calls : int;
+  total_s : float;
+  mean_s : float;
+  p90_s : float;
+  max_s : float;
+}
+
+val span_table : unit -> span_row list
+(** One row per span histogram, sorted by decreasing total time. *)
+
+val pp_span_table : Format.formatter -> unit -> unit
+(** Aligned per-phase cost table (the output of [rwt profile]). *)

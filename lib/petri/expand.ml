@@ -1,16 +1,38 @@
 open Rwt_util
+module Obs = Rwt_obs
+
+let default_transition_cap = 1_000_000
+let cap = ref default_transition_cap
+
+let transition_cap () = !cap
+
+let set_transition_cap c =
+  if c <= 0 then invalid_arg "Expand.set_transition_cap: cap must be positive";
+  cap := c
 
 let is_one_bounded tpn =
   List.for_all (fun p -> p.Tpn.tokens <= 1) (Tpn.places tpn)
 
-let one_bounded tpn =
+let one_bounded ?cap:local_cap tpn =
+  let cap = match local_cap with Some c -> c | None -> !cap in
   let base = Tpn.num_transitions tpn in
   (* count the fresh buffer transitions needed *)
-  let extra =
+  let extra, max_marking =
     List.fold_left
-      (fun acc p -> acc + max 0 (p.Tpn.tokens - 1))
-      0 (Tpn.places tpn)
+      (fun (extra, mm) p -> (extra + max 0 (p.Tpn.tokens - 1), max mm p.Tpn.tokens))
+      (0, 0) (Tpn.places tpn)
   in
+  Obs.gauge "expand.projected_transitions" (float_of_int (base + extra));
+  if base + extra > cap then begin
+    Obs.incr "expand.rejections";
+    failwith
+      (Printf.sprintf
+         "Expand.one_bounded: expansion would create %d transitions (%d original \
+          + %d buffer, largest marking m = %d), exceeding the cap of %d; raise it \
+          with Expand.set_transition_cap or pass ~cap"
+         (base + extra) base extra max_marking cap)
+  end;
+  Obs.add "expand.buffers" extra;
   let transitions =
     Array.init (base + extra) (fun i ->
         if i < base then Tpn.transition tpn i

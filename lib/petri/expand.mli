@@ -6,10 +6,31 @@
     ({!Rwt_maxplus.Spectral}) and any analysis restricted to markings in
     {0, 1} become fully general after this expansion. *)
 
-val one_bounded : Tpn.t -> Tpn.t
+val one_bounded : ?cap:int -> Tpn.t -> Tpn.t
 (** Structurally equal to the input if it is already 1-bounded (fresh copy
     otherwise). Firing times, liveness and every circuit's ratio are
     preserved; added transitions are named ["buf<k>@<place>"] with firing
-    time 0. *)
+    time 0.
+
+    The projected transition count of the output is checked against [cap]
+    (default {!transition_cap}) {e before} any allocation.
+    @raise Failure with a diagnostic reporting the original and buffer
+    transition counts, the largest marking and the cap, when the expansion
+    would exceed it. Rejections increment the [expand.rejections] counter
+    and the projection is always published as the
+    [expand.projected_transitions] gauge (see [Rwt_obs]). *)
 
 val is_one_bounded : Tpn.t -> bool
+
+val transition_cap : unit -> int
+(** Global size guard shared by {!one_bounded} and the TPN builder
+    ([Rwt_core.Tpn_build.build]): the largest transition count a constructed
+    or expanded net may have. Defaults to {!default_transition_cap}. *)
+
+val set_transition_cap : int -> unit
+(** @raise Invalid_argument if the cap is not positive. *)
+
+val default_transition_cap : int
+(** 1_000_000 — roomy enough for every paper example (Example C's full TPN
+    has 135_135 transitions) while refusing the exponential [lcm] blow-ups
+    the TPN route is documented to hit. *)

@@ -1,4 +1,5 @@
 module D = Rwt_graph.Digraph
+module Obs = Rwt_obs
 
 module Make (N : Rwt_util.Num_intf.S) = struct
   type edge_data = { weight : N.t; tokens : int }
@@ -30,6 +31,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
   (* Liveness: the subgraph of token-free edges must be acyclic, otherwise a
      circuit would deadlock (infinite ratio). *)
   let check_live g =
+    Obs.incr "mcr.liveness_checks";
     let n = D.num_nodes g in
     let g0 = D.create n in
     D.iter_edges
@@ -161,6 +163,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
      walking predecessor edges with visited marks must revisit a node within
      n steps (and provably cannot reach a nil predecessor before that). *)
   let find_positive_cycle ctx lambda =
+    Obs.incr "mcr.cycle_checks";
     let dist = Array.make ctx.n N.zero in
     let pred = Array.make ctx.n (-1) in
     let reduced i = N.sub ctx.ew.(i) (N.mul lambda (N.of_int ctx.et.(i))) in
@@ -183,6 +186,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
         done
       done
     done;
+    Obs.add "mcr.bf_rounds" !round;
     if not !changed then None
     else begin
       let src_of i =
@@ -229,6 +233,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     let best = ref cyc0 in
     let continue_ = ref true in
     while !continue_ do
+      Obs.incr "mcr.iterations";
       match find_positive_cycle ctx !lambda with
       | None -> continue_ := false
       | Some cyc ->
@@ -265,6 +270,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     Array.iter (fun w -> if N.compare w N.zero > 0 then hi := N.add !hi w) ctx.ew;
     if N.compare !hi !lo < 0 then hi := !lo;
     while N.compare (N.sub !hi !lo) epsilon > 0 do
+      Obs.incr "mcr.iterations";
       let mid = N.div (N.add !lo !hi) (N.of_int 2) in
       match find_positive_cycle ctx mid with
       | Some cyc ->
@@ -363,14 +369,24 @@ module Make (N : Rwt_util.Num_intf.S) = struct
       done;
       if not !improved then settled := true
     done;
-    if !settled then (!lambda, !best) else parametric_scc ctx
+    Obs.add "mcr.iterations" !iters;
+    if !settled then (!lambda, !best)
+    else begin
+      Obs.incr "mcr.howard_fallbacks";
+      parametric_scc ctx
+    end
 
   (* Wrapper: liveness check, SCC decomposition, solve per component, return
      the global maximum with an original-edge-id witness. *)
   let solve scc_solver g =
+    Obs.with_span "mcr.solve" @@ fun () ->
+    Obs.incr "mcr.solves";
+    Obs.add "mcr.nodes" (D.num_nodes g);
+    Obs.add "mcr.edges" (D.num_edges g);
     check_live g;
     let scc = Rwt_graph.Scc.tarjan g in
     let members = Rwt_graph.Scc.members scc in
+    Obs.add "mcr.sccs" (Array.length members);
     let best = ref None in
     Array.iteri
       (fun comp_id nodes ->
@@ -397,6 +413,10 @@ module Make (N : Rwt_util.Num_intf.S) = struct
   (* Karp's maximum cycle mean: per SCC, longest walks of each length from a
      fixed source; λ* = max_v min_k (D_n(v) − D_k(v))/(n − k). *)
   let karp g =
+    Obs.with_span "mcr.karp" @@ fun () ->
+    Obs.incr "mcr.solves";
+    Obs.add "mcr.nodes" (D.num_nodes g);
+    Obs.add "mcr.edges" (D.num_edges g);
     let scc = Rwt_graph.Scc.tarjan g in
     let members = Rwt_graph.Scc.members scc in
     let best = ref None in

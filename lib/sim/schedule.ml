@@ -20,8 +20,12 @@ let dummy_event = { dataset = -1; op = Compute { stage = 0; proc = 0 }; start = 
 
 let run ?release model inst ~datasets =
   if datasets <= 0 then invalid_arg "Schedule.run: datasets <= 0";
+  Rwt_obs.with_span "sim.run" @@ fun () ->
   let mapping = inst.Instance.mapping in
   let n = Mapping.n_stages mapping in
+  Rwt_obs.gauge "sim.datasets" (float_of_int datasets);
+  (* one computation per stage plus one transfer per file, per data set *)
+  Rwt_obs.add "sim.events" (datasets * ((2 * n) - 1));
   let mi = Array.init n (Mapping.replication mapping) in
   let comp = Array.make_matrix datasets n dummy_event in
   let trans = Array.make_matrix datasets (max 1 (n - 1)) dummy_event in

@@ -53,6 +53,202 @@ let float_literal f =
   else if Float.is_finite f then Printf.sprintf "%.17g" f
   else invalid_arg "Json: non-finite float"
 
+(* --- parser ---
+
+   Recursive descent over the RFC 8259 grammar. Numbers without fraction or
+   exponent that fit a native int parse to [Int]; every other number parses
+   to [Float]. [\uXXXX] escapes are decoded to UTF-8 (surrogate pairs
+   included). Depth is capped so adversarial input cannot blow the stack. *)
+
+exception Parse_error of int * string
+
+let max_depth = 512
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let err msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      Stdlib.incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then Stdlib.incr pos
+    else err (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else err (Printf.sprintf "expected %s" word)
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then err "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> err "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      Stdlib.incr pos
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then err "unterminated string";
+      match s.[!pos] with
+      | '"' -> Stdlib.incr pos
+      | '\\' ->
+        Stdlib.incr pos;
+        if !pos >= n then err "unterminated escape";
+        (match s.[!pos] with
+         | '"' -> Buffer.add_char buf '"'; Stdlib.incr pos
+         | '\\' -> Buffer.add_char buf '\\'; Stdlib.incr pos
+         | '/' -> Buffer.add_char buf '/'; Stdlib.incr pos
+         | 'b' -> Buffer.add_char buf '\b'; Stdlib.incr pos
+         | 'f' -> Buffer.add_char buf '\012'; Stdlib.incr pos
+         | 'n' -> Buffer.add_char buf '\n'; Stdlib.incr pos
+         | 'r' -> Buffer.add_char buf '\r'; Stdlib.incr pos
+         | 't' -> Buffer.add_char buf '\t'; Stdlib.incr pos
+         | 'u' ->
+           Stdlib.incr pos;
+           let cp = hex4 () in
+           let cp =
+             if cp >= 0xD800 && cp <= 0xDBFF
+                && !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let lo = hex4 () in
+               if lo >= 0xDC00 && lo <= 0xDFFF then
+                 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+               else err "unpaired surrogate"
+             end
+             else cp
+           in
+           add_utf8 buf cp
+         | _ -> err "unknown escape");
+        go ()
+      | c when Char.code c < 0x20 -> err "raw control character in string"
+      | c ->
+        Buffer.add_char buf c;
+        Stdlib.incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then Stdlib.incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do Stdlib.incr pos done;
+      if !pos = d0 then err "malformed number"
+    in
+    digits ();
+    let fractional = peek () = Some '.' in
+    if fractional then begin Stdlib.incr pos; digits () end;
+    let exponent = match peek () with Some ('e' | 'E') -> true | _ -> false in
+    if exponent then begin
+      Stdlib.incr pos;
+      (match peek () with Some ('+' | '-') -> Stdlib.incr pos | _ -> ());
+      digits ()
+    end;
+    let lit = String.sub s start (!pos - start) in
+    if (not fractional) && not exponent then
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> Float (float_of_string lit)
+    else Float (float_of_string lit)
+  in
+  let rec parse_value depth =
+    if depth > max_depth then err "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> err "unexpected end of input"
+    | Some '{' ->
+      Stdlib.incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin Stdlib.incr pos; Obj [] end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> Stdlib.incr pos; fields ((k, v) :: acc)
+          | Some '}' -> Stdlib.incr pos; Obj (List.rev ((k, v) :: acc))
+          | _ -> err "expected ',' or '}'"
+        in
+        fields []
+      end
+    | Some '[' ->
+      Stdlib.incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin Stdlib.incr pos; List [] end
+      else begin
+        let rec items acc =
+          let v = parse_value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> Stdlib.incr pos; items (v :: acc)
+          | Some ']' -> Stdlib.incr pos; List (List.rev (v :: acc))
+          | _ -> err "expected ',' or ']'"
+        in
+        items []
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> err (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then err "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (p, msg) ->
+    Error (Printf.sprintf "at offset %d: %s" p msg)
+
 let to_string ?(pretty = false) t =
   let buf = Buffer.create 256 in
   let indent level = if pretty then Buffer.add_string buf (String.make (2 * level) ' ') in

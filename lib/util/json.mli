@@ -1,7 +1,8 @@
-(** Minimal JSON emitter (no parser): enough to export schedules, analyses
-    and experiment results to external tooling. No external JSON library is
-    available in the sealed build environment, and emission is the only
-    direction this repository needs. Strings are escaped per RFC 8259;
+(** Minimal JSON emitter and parser: enough to export schedules, analyses,
+    experiment results and {!Rwt_obs}-style metric dumps to external
+    tooling, and to validate/round-trip them back. No external JSON library
+    is available in the sealed build environment. Strings are escaped per
+    RFC 8259;
     numbers are emitted as-is by the caller ({!number} takes the rendered
     form, so exact rationals can be carried as strings or decimal
     approximations at the caller's choice). *)
@@ -22,6 +23,13 @@ val number : string -> t
 
 val to_string : ?pretty:bool -> t -> string
 (** Compact by default; [pretty] indents with two spaces. *)
+
+val of_string : string -> (t, string) result
+(** Strict RFC 8259 parser. Numbers without a fraction or exponent that fit
+    a native [int] parse to [Int]; all other numbers parse to [Float]
+    (so a {!Number} survives a round-trip as its numeric value, not its
+    exact literal). [\uXXXX] escapes (including surrogate pairs) decode to
+    UTF-8. Errors report the byte offset. *)
 
 val escape_string : string -> string
 (** The quoted, escaped form of a string literal. *)

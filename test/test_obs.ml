@@ -1,0 +1,331 @@
+(* Tests for the observability substrate: counter/gauge/histogram math,
+   span nesting under a fake clock, disabled-mode no-op behaviour, size
+   guards, and the JSON export round-tripping through Rwt_util.Json. *)
+
+open Rwt_util
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Every test owns the global registry: start enabled from a clean slate. *)
+let fresh ?(trace = false) () =
+  Rwt_obs.reset ();
+  Rwt_obs.disable ();
+  Rwt_obs.set_clock Sys.time;
+  Rwt_obs.enable ~trace ();
+  Rwt_obs.reset ()
+
+(* --- counters and gauges --- *)
+
+let counter_math () =
+  fresh ();
+  Alcotest.(check int) "missing counter reads 0" 0 (Rwt_obs.counter_value "nope");
+  Rwt_obs.incr "c";
+  Rwt_obs.incr "c";
+  Rwt_obs.add "c" 40;
+  Alcotest.(check int) "2 incr + add 40" 42 (Rwt_obs.counter_value "c");
+  Rwt_obs.add "c" (-7);
+  Alcotest.(check int) "counters are monotonic (negative add clipped)" 42
+    (Rwt_obs.counter_value "c")
+
+let gauge_math () =
+  fresh ();
+  Alcotest.(check bool) "missing gauge is None" true (Rwt_obs.gauge_value "g" = None);
+  Rwt_obs.gauge "g" 3.0;
+  Rwt_obs.gauge "g" 1.5;
+  Alcotest.(check (float 0.0)) "last write wins" 1.5
+    (Option.get (Rwt_obs.gauge_value "g"));
+  Rwt_obs.gauge_max "peak" 2.0;
+  Rwt_obs.gauge_max "peak" 9.0;
+  Rwt_obs.gauge_max "peak" 4.0;
+  Alcotest.(check (float 0.0)) "gauge_max keeps the max" 9.0
+    (Option.get (Rwt_obs.gauge_value "peak"))
+
+(* --- histograms --- *)
+
+let histogram_exact_stats () =
+  fresh ();
+  List.iter (Rwt_obs.observe "h") [ 4.0; 1.0; 2.0; 8.0 ];
+  let s = Option.get (Rwt_obs.histogram_summary "h") in
+  Alcotest.(check int) "count" 4 s.Rwt_obs.count;
+  Alcotest.(check (float 1e-9)) "sum" 15.0 s.Rwt_obs.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Rwt_obs.min;
+  Alcotest.(check (float 1e-9)) "max" 8.0 s.Rwt_obs.max;
+  Alcotest.(check (float 1e-9)) "mean" 3.75 s.Rwt_obs.mean
+
+let percentile_bounds =
+  (* log2 buckets: the reported percentile is an upper bound on the true
+     one, within a factor 2, and always inside [min, max] *)
+  QCheck.Test.make ~count:200 ~name:"histogram percentile within log2-bucket bounds"
+    QCheck.(pair (list_of_size (Gen.int_range 1 60) (float_range 1e-6 1e6))
+              (float_range 0.01 1.0))
+    (fun (samples, q) ->
+      fresh ();
+      List.iter (Rwt_obs.observe "h") samples;
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank = max 0 (int_of_float (ceil (q *. float_of_int n)) - 1) in
+      let true_q = List.nth sorted rank in
+      let p = Option.get (Rwt_obs.percentile "h" q) in
+      let mn = List.hd sorted and mx = List.nth sorted (n - 1) in
+      p >= mn -. 1e-12 && p <= mx +. 1e-12
+      && p >= true_q *. 0.5 -. 1e-12
+      && p <= Float.min mx (true_q *. 2.0) +. 1e-12)
+
+let percentile_single_value () =
+  fresh ();
+  for _ = 1 to 100 do Rwt_obs.observe "h" 0.125 done;
+  (* clipping to exact min/max makes a constant stream exact *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12)) (Printf.sprintf "p%g of constant" (q *. 100.)) 0.125
+        (Option.get (Rwt_obs.percentile "h" q)))
+    [ 0.5; 0.9; 0.99; 1.0 ]
+
+(* --- spans --- *)
+
+let fake_clock () =
+  let t = ref 0.0 in
+  Rwt_obs.set_clock (fun () -> !t);
+  t
+
+let span_nesting () =
+  fresh ~trace:true ();
+  let t = fake_clock () in
+  Rwt_obs.reset ();
+  let result =
+    Rwt_obs.with_span "outer" (fun () ->
+        t := !t +. 1.0;
+        Rwt_obs.with_span ~args:[ ("k", "v") ] "inner" (fun () ->
+            t := !t +. 3.0;
+            Alcotest.(check int) "two spans open" 2 (Rwt_obs.span_depth ());
+            "answer");
+      )
+  in
+  Alcotest.(check string) "with_span returns f's value" "answer" result;
+  Alcotest.(check int) "stack drained" 0 (Rwt_obs.span_depth ());
+  let outer = Option.get (Rwt_obs.histogram_summary "span.outer") in
+  let inner = Option.get (Rwt_obs.histogram_summary "span.inner") in
+  Alcotest.(check (float 1e-9)) "outer duration includes inner" 4.0 outer.Rwt_obs.sum;
+  Alcotest.(check (float 1e-9)) "inner duration" 3.0 inner.Rwt_obs.sum;
+  (* trace events: chronological by start, µs timestamps, args preserved *)
+  match Rwt_obs.trace_json () with
+  | Json.Obj fields ->
+    (match List.assoc "traceEvents" fields with
+     | Json.List [ Json.Obj e1; Json.Obj e2 ] ->
+       Alcotest.(check string) "outer first (chronological)" "outer"
+         (match List.assoc "name" e1 with Json.String s -> s | _ -> "?");
+       Alcotest.(check string) "inner second" "inner"
+         (match List.assoc "name" e2 with Json.String s -> s | _ -> "?");
+       Alcotest.(check (float 1e-6)) "inner ts = 1s in µs" 1e6
+         (match List.assoc "ts" e2 with Json.Float f -> f | _ -> nan);
+       Alcotest.(check (float 1e-6)) "inner dur = 3s in µs" 3e6
+         (match List.assoc "dur" e2 with Json.Float f -> f | _ -> nan);
+       Alcotest.(check bool) "inner carries args" true
+         (match List.assoc_opt "args" e2 with
+          | Some (Json.Obj [ ("k", Json.String "v") ]) -> true
+          | _ -> false)
+     | _ -> Alcotest.fail "expected exactly two trace events")
+  | _ -> Alcotest.fail "trace_json must be an object"
+
+let span_exception_safety () =
+  fresh ();
+  (try
+     Rwt_obs.with_span "boom" (fun () -> failwith "kaboom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on exception" 0 (Rwt_obs.span_depth ());
+  let s = Option.get (Rwt_obs.histogram_summary "span.boom") in
+  Alcotest.(check int) "duration recorded despite exception" 1 s.Rwt_obs.count
+
+let span_underflow () =
+  fresh ();
+  Rwt_obs.span_end ();
+  Alcotest.(check int) "stray span_end counted, not raised" 1
+    (Rwt_obs.counter_value "obs.span_underflow")
+
+(* --- disabled mode --- *)
+
+let disabled_is_noop () =
+  fresh ();
+  Rwt_obs.disable ();
+  Rwt_obs.incr "c";
+  Rwt_obs.add "c" 10;
+  Rwt_obs.gauge "g" 1.0;
+  Rwt_obs.gauge_max "g2" 1.0;
+  Rwt_obs.observe "h" 1.0;
+  let v = Rwt_obs.with_span "s" (fun () -> 17) in
+  Rwt_obs.span_end ();
+  Alcotest.(check int) "with_span still runs f" 17 v;
+  Alcotest.(check int) "no spans tracked" 0 (Rwt_obs.span_depth ());
+  Alcotest.(check bool) "nothing recorded" true (Rwt_obs.metric_names () = []);
+  Alcotest.(check int) "counter untouched" 0 (Rwt_obs.counter_value "c");
+  Alcotest.(check bool) "not enabled" false (Rwt_obs.enabled ());
+  Rwt_obs.enable ();
+  Rwt_obs.incr "c";
+  Alcotest.(check int) "recording resumes after enable" 1 (Rwt_obs.counter_value "c")
+
+(* --- instrumented pipeline publishes the advertised metrics --- *)
+
+let pipeline_metrics () =
+  fresh ();
+  let a = Rwt_workflow.Instances.example_a () in
+  ignore (Rwt_core.Exact.period Rwt_workflow.Comm_model.Strict a);
+  ignore (Rwt_core.Poly_overlap.period a);
+  ignore (Rwt_sim.Schedule.run Rwt_workflow.Comm_model.Overlap a ~datasets:12);
+  let names = Rwt_obs.metric_names () in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " recorded") true (List.mem key names))
+    [ "mcr.iterations"; "mcr.solves"; "mcr.nodes"; "mcr.edges"; "tpn.rows";
+      "tpn.transitions"; "tpn.places"; "poly.components"; "poly.pattern_nodes";
+      "sim.events"; "span.mcr.solve"; "span.tpn.build"; "span.poly.analyze";
+      "span.sim.run" ];
+  Alcotest.(check bool) "at least 10 distinct metrics" true (List.length names >= 10);
+  Alcotest.(check (float 0.0)) "tpn.rows is m = 6" 6.0
+    (Option.get (Rwt_obs.gauge_value "tpn.rows"))
+
+(* --- size guards --- *)
+
+let expand_cap_guard () =
+  fresh ();
+  let a = Rwt_workflow.Instances.example_a () in
+  let net = Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Strict a in
+  let tpn = net.Rwt_core.Tpn_build.tpn in
+  (match Rwt_petri.Expand.one_bounded ~cap:3 tpn with
+   | exception Failure msg ->
+     Alcotest.(check bool) "message reports the cap" true
+       (contains msg "exceeding the cap");
+     Alcotest.(check bool) "message reports the marking m" true
+       (contains msg "m = ")
+   | _ -> Alcotest.fail "expansion above the cap must raise");
+  Alcotest.(check int) "rejection counted" 1 (Rwt_obs.counter_value "expand.rejections");
+  (* under the default cap the same expansion succeeds *)
+  ignore (Rwt_petri.Expand.one_bounded tpn)
+
+let tpn_build_cap_guard () =
+  fresh ();
+  let a = Rwt_workflow.Instances.example_a () in
+  let old = Rwt_petri.Expand.transition_cap () in
+  Rwt_petri.Expand.set_transition_cap 5;
+  Fun.protect ~finally:(fun () -> Rwt_petri.Expand.set_transition_cap old)
+    (fun () ->
+      match Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Overlap a with
+      | exception Failure msg ->
+        Alcotest.(check bool) "reports m and projection" true
+          (contains msg "m = 6" && contains msg "42")
+      | _ -> Alcotest.fail "build above the cap must raise");
+  Alcotest.(check bool) "cap restored" true
+    (Rwt_petri.Expand.transition_cap () = old);
+  (* restored cap admits the build again *)
+  ignore (Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Overlap a)
+
+let cap_validation () =
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument "Expand.set_transition_cap: cap must be positive")
+    (fun () -> Rwt_petri.Expand.set_transition_cap 0)
+
+(* --- JSON export round-trips --- *)
+
+let reparse_stable j =
+  let compact = Json.to_string j in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error e -> Alcotest.failf "export did not parse: %s (in %s)" e s
+      | Ok v ->
+        Alcotest.(check string) "parse normalizes to the compact form" compact
+          (Json.to_string v))
+    [ compact; Json.to_string ~pretty:true j ]
+
+let metrics_json_roundtrip () =
+  fresh ~trace:true ();
+  let t = fake_clock () in
+  Rwt_obs.reset ();
+  Rwt_obs.incr "a.count";
+  Rwt_obs.add "a.count" 5;
+  Rwt_obs.gauge "b.gauge" 2.5;
+  List.iter (Rwt_obs.observe "c.hist") [ 0.001; 0.01; 0.1 ];
+  Rwt_obs.with_span "phase" (fun () -> t := !t +. 0.25);
+  reparse_stable (Rwt_obs.metrics_json ());
+  reparse_stable (Rwt_obs.trace_json ());
+  (* spot-check content through the parser *)
+  match Json.of_string (Json.to_string (Rwt_obs.metrics_json ())) with
+  | Ok (Json.Obj fields) ->
+    (match List.assoc "counters" fields with
+     | Json.Obj cs ->
+       Alcotest.(check bool) "counter survives the round-trip" true
+         (List.assoc "a.count" cs = Json.Int 6)
+     | _ -> Alcotest.fail "counters must be an object");
+    (match List.assoc "schema" fields with
+     | Json.String s -> Alcotest.(check string) "schema" "rwt.metrics/1" s
+     | _ -> Alcotest.fail "schema must be a string")
+  | Ok _ -> Alcotest.fail "metrics_json must be an object"
+  | Error e -> Alcotest.fail e
+
+(* random JSON documents round-trip: to_string ∘ of_string ∘ to_string = to_string *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        (* -0.0 prints as "-0" but reparses as Int 0; normalize it away *)
+        map (fun f -> Json.Float (if f = 0.0 then 0.0 else f)) (float_range (-1e9) 1e9);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12)) ]
+  in
+  let key = string_size ~gen:printable (int_range 0 8) in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then scalar
+          else
+            frequency
+              [ (2, scalar);
+                (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+                (1,
+                 map (fun kvs -> Json.Obj kvs)
+                   (list_size (int_range 0 4) (pair key (self (n / 2))))) ])
+        (min n 6))
+
+let json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Json.of_string ∘ to_string = id (modulo printing)"
+    (QCheck.make json_gen ~print:(fun j -> Json.to_string j))
+    (fun j ->
+      let s = Json.to_string j in
+      match Json.of_string s with
+      | Error _ -> false
+      | Ok v ->
+        Json.to_string v = s
+        && (match Json.of_string (Json.to_string ~pretty:true j) with
+            | Ok v' -> Json.to_string v' = s
+            | Error _ -> false))
+
+let () =
+  Alcotest.run "rwt_obs"
+    [ ( "counters & gauges",
+        [ Alcotest.test_case "counter math" `Quick counter_math;
+          Alcotest.test_case "gauge math" `Quick gauge_math ] );
+      ( "histograms",
+        [ Alcotest.test_case "exact stats" `Quick histogram_exact_stats;
+          Alcotest.test_case "constant stream percentiles" `Quick percentile_single_value;
+          qtest percentile_bounds ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting & trace events" `Quick span_nesting;
+          Alcotest.test_case "exception safety" `Quick span_exception_safety;
+          Alcotest.test_case "underflow" `Quick span_underflow ] );
+      ( "disabled mode",
+        [ Alcotest.test_case "no-op" `Quick disabled_is_noop ] );
+      ( "pipeline",
+        [ Alcotest.test_case "advertised metrics" `Quick pipeline_metrics ] );
+      ( "size guards",
+        [ Alcotest.test_case "expand cap" `Quick expand_cap_guard;
+          Alcotest.test_case "tpn build cap" `Quick tpn_build_cap_guard;
+          Alcotest.test_case "cap validation" `Quick cap_validation ] );
+      ( "json",
+        [ Alcotest.test_case "metrics round-trip" `Quick metrics_json_roundtrip;
+          qtest json_roundtrip ] ) ]
