@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json batch-bench profile examples clean fmt doc
 
 all: build
 
@@ -24,6 +24,11 @@ bench-full:
 bench-json:
 	dune exec bench/main.exe -- table1 example-a tpn-stats example-b sub-tpn example-c > /dev/null
 	dune exec bin/rwt.exe -- json-check BENCH_obs.json
+
+# batch engine: 200-job synthetic sweep, sequential vs 4 domains -> BENCH_batch.json
+# (speedup near 1 is expected when the machine has a single core; see doc/BATCH.md)
+batch-bench:
+	dune exec bench/main.exe -- batch
 
 # per-phase cost table of the full pipeline on Example A, plus raw exports
 profile:

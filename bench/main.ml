@@ -293,6 +293,76 @@ let calibrate () =
   pf "example A: %d of 4320 assignments match the published values@." (List.length a)
 
 (* ------------------------------------------------------------------ *)
+(* Batch engine: sequential vs parallel throughput                     *)
+(* ------------------------------------------------------------------ *)
+
+(* 200-job synthetic mapping-space sweep through Rwt_batch: ~180 distinct
+   random instances plus duplicates that must come from the memo cache,
+   solved with the full-TPN method so each job carries real solver work.
+   Writes BENCH_batch.json (sequential vs --jobs 4 wall time, speedup);
+   on a single-core container the speedup is expected to sit near 1 —
+   the [cores] field records what the hardware allowed. *)
+let batch () =
+  section "Batch — work-stealing engine, 200-job synthetic set (seq vs 4 domains)";
+  let r = Prng.create 2009 in
+  let cfg =
+    { Rwt_experiments.Generator.n_stages = 4; p = 12; comp = (5, 15); comm = (5, 15) }
+  in
+  let uniques =
+    Array.init 180 (fun _ -> Rwt_experiments.Generator.generate r cfg)
+  in
+  let jobs =
+    List.init 200 (fun i ->
+        (* every 10th job repeats an earlier instance: a forced cache hit *)
+        let inst = if i mod 10 = 9 then uniques.(i / 10) else uniques.(i mod 180) in
+        Rwt_batch.job ~index:i ~model:Comm_model.Overlap ~method_:Rwt_core.Analysis.Tpn
+          (Rwt_batch.Inline inst))
+  in
+  let render outcomes =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun o -> Json.to_string (Rwt_batch.outcome_to_json ~timing:false o))
+            outcomes))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let (seq, seq_sum), t_seq = time (fun () -> Rwt_batch.run ~jobs:1 jobs) in
+  let (par, par_sum), t_par = time (fun () -> Rwt_batch.run ~jobs:4 jobs) in
+  let identical = render seq = render par in
+  let speedup = if t_par > 0.0 then t_seq /. t_par else 0.0 in
+  let cores = Domain.recommended_domain_count () in
+  pf "200 jobs (%d unique, %d cache hits): seq %.3f s, 4 domains %.3f s -> %.2fx on %d core%s@."
+    (seq_sum.Rwt_batch.total - seq_sum.Rwt_batch.cache_hits)
+    seq_sum.Rwt_batch.cache_hits t_seq t_par speedup cores
+    (if cores = 1 then "" else "s");
+  pf "results bit-identical across worker counts (modulo timing): %b@." identical;
+  if not identical then failwith "batch benchmark: results differ across worker counts";
+  ignore par_sum;
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-batch/1");
+        ("jobs", Json.Int 200);
+        ("unique", Json.Int (seq_sum.Rwt_batch.total - seq_sum.Rwt_batch.cache_hits));
+        ("cache_hits", Json.Int seq_sum.Rwt_batch.cache_hits);
+        ("ok", Json.Int seq_sum.Rwt_batch.ok);
+        ("cores", Json.Int cores);
+        ("jobs_parallel", Json.Int 4);
+        ("t_seq_s", Json.Float t_seq);
+        ("t_par_s", Json.Float t_par);
+        ("speedup", Json.Float speedup);
+        ("identical", Json.Bool identical) ]
+  in
+  let oc = open_out "BENCH_batch.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_batch.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -386,6 +456,7 @@ let all_targets =
     ("gap-distribution", gap_distribution);
     ("minimal-witness", minimal_witness);
     ("calibrate", calibrate);
+    ("batch", batch);
     ("bechamel", bechamel) ]
 
 let default_targets =

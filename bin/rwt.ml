@@ -510,6 +510,87 @@ let profile_cmd =
        ~doc:"Run the full analysis pipeline on an instance and print a per-phase              cost table (spans, calls, total/mean/p90/max seconds). Combine with              --metrics/--trace to export the raw numbers.")
     Term.(const run $ obs_term $ pos_arg $ file_arg $ example_arg $ model_arg $ datasets_arg)
 
+(* --- batch --- *)
+
+let batch_cmd =
+  let run () jobfile jobs timeout cap out no_timing =
+    let contents =
+      match jobfile with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | p ->
+        (try In_channel.with_open_text p In_channel.input_all
+         with Sys_error msg ->
+           prerr_endline ("rwt: " ^ msg);
+           exit 1)
+    in
+    match Rwt_batch.parse_jobs contents with
+    | Error msg ->
+      prerr_endline ("rwt: " ^ jobfile ^ ": " ^ msg);
+      exit 1
+    | Ok [] ->
+      prerr_endline ("rwt: " ^ jobfile ^ ": no jobs");
+      exit 1
+    | Ok job_list ->
+      let oc, close =
+        match out with
+        | None | Some "-" -> (stdout, fun () -> ())
+        | Some path ->
+          (try
+             let oc = open_out path in
+             (oc, fun () -> close_out oc)
+           with Sys_error msg ->
+             prerr_endline ("rwt: cannot write " ^ path ^ ": " ^ msg);
+             exit 1)
+      in
+      let summary =
+        Rwt_batch.run_to_channel ?jobs ?timeout ?transition_cap:cap
+          ~timing:(not no_timing) oc job_list
+      in
+      close ();
+      (* wall time is machine-dependent; keep the summary deterministic
+         alongside --no-timing so cram tests can pin it *)
+      if no_timing then Format.eprintf "rwt batch: %a@." Rwt_batch.pp_summary summary
+      else
+        Format.eprintf "rwt batch: %a in %.3f s@." Rwt_batch.pp_summary summary
+          summary.Rwt_batch.elapsed_s;
+      if summary.Rwt_batch.ok = 0 && summary.Rwt_batch.total > 0 then exit 3
+  in
+  let jobfile_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBFILE"
+           ~doc:"Job file (\"-\" for stdin): one instance path or NDJSON job object \
+                 per line; see doc/BATCH.md.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains (default: the recommended domain count of the machine).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Per-job budget in seconds, checked cooperatively at job checkpoints; \
+                 an over-budget job reports status \"timeout\" instead of running.")
+  in
+  let cap_arg =
+    Arg.(value & opt (some int) None & info [ "transition-cap" ] ~docv:"N"
+           ~doc:"Per-job TPN size guard (default: the library default); an lcm \
+                 blow-up reports status \"error\" instead of stalling the batch.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the NDJSON results to $(docv) instead of stdout.")
+  in
+  let no_timing_arg =
+    Arg.(value & flag & info [ "no-timing" ]
+           ~doc:"Omit wall-time fields so output is byte-identical across runs \
+                 and worker counts.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Evaluate a stream of (instance, model, method) jobs on a work-stealing \
+             pool of domains, one NDJSON result line per job, in job order. \
+             Duplicate jobs are served from a canonical-instance memo cache.")
+    Term.(const run $ obs_term $ jobfile_arg $ jobs_arg $ timeout_arg $ cap_arg
+          $ out_arg $ no_timing_arg)
+
 (* --- json-check --- *)
 
 let json_check_cmd =
@@ -545,7 +626,8 @@ let main =
              Gallet, Gaujal, Robert 2009).")
     [ period_cmd; mct_cmd; paths_cmd; tpn_cmd; critical_cmd; gantt_cmd; simulate_cmd;
       show_cmd; certificate_cmd; sensitivity_cmd; latency_cmd; optimize_cmd;
-      stochastic_cmd; table2_cmd; calibrate_cmd; profile_cmd; json_check_cmd ]
+      stochastic_cmd; table2_cmd; calibrate_cmd; profile_cmd; batch_cmd;
+      json_check_cmd ]
 
 let () =
   (* model-level errors (invalid mapping, lcm overflow, …) become clean

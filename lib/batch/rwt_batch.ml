@@ -1,0 +1,369 @@
+open Rwt_util
+open Rwt_workflow
+module Analysis = Rwt_core.Analysis
+module Obs = Rwt_obs
+
+(* --- jobs --- *)
+
+type spec = File of string | Inline of Instance.t
+
+type job = {
+  index : int;
+  id : string option;
+  spec : spec;
+  model : Comm_model.t;
+  method_ : Analysis.method_;
+}
+
+let job ?id ?(model = Comm_model.Overlap) ?(method_ = Analysis.Auto) ~index spec =
+  { index; id; spec; model; method_ }
+
+let method_to_string = function
+  | Analysis.Auto -> "auto"
+  | Analysis.Tpn -> "tpn"
+  | Analysis.Poly -> "poly"
+
+let method_of_string = function
+  | "auto" -> Some Analysis.Auto
+  | "tpn" -> Some Analysis.Tpn
+  | "poly" -> Some Analysis.Poly
+  | _ -> None
+
+(* --- job-file parsing --- *)
+
+let parse_job_line ~index ~lineno line =
+  (* '[' is accepted into the JSON branch only to reject it with a clear
+     "expected an object" error instead of treating it as a file path *)
+  if String.length line > 0 && (line.[0] = '{' || line.[0] = '[') then
+    match Json.of_string line with
+    | Error msg -> Error (Printf.sprintf "line %d: bad JSON: %s" lineno msg)
+    | Ok (Json.Obj fields) ->
+      let exception Bad of string in
+      (try
+         let file = ref None and id = ref None in
+         let model = ref Comm_model.Overlap and method_ = ref Analysis.Auto in
+         List.iter
+           (fun (k, v) ->
+             match (k, v) with
+             | "file", Json.String s -> file := Some s
+             | "id", Json.String s -> id := Some s
+             | "model", Json.String s ->
+               (match Comm_model.of_string s with
+                | Some m -> model := m
+                | None -> raise (Bad (Printf.sprintf "unknown model %S" s)))
+             | "method", Json.String s ->
+               (match method_of_string s with
+                | Some m -> method_ := m
+                | None -> raise (Bad (Printf.sprintf "unknown method %S" s)))
+             | ("file" | "id" | "model" | "method"), _ ->
+               raise (Bad (Printf.sprintf "key %S expects a string" k))
+             | k, _ -> raise (Bad (Printf.sprintf "unknown key %S" k)))
+           fields;
+         match !file with
+         | None -> raise (Bad "missing key \"file\"")
+         | Some path ->
+           Ok { index; id = !id; spec = File path; model = !model; method_ = !method_ }
+       with Bad msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+    | Ok _ -> Error (Printf.sprintf "line %d: expected a JSON object" lineno)
+  else Ok (job ~index (File line))
+
+let parse_jobs contents =
+  let exception Fail of string in
+  try
+    let jobs = ref [] and index = ref 0 in
+    List.iteri
+      (fun i line ->
+        let line = String.trim line in
+        if line <> "" && line.[0] <> '#' then begin
+          (match parse_job_line ~index:!index ~lineno:(i + 1) line with
+           | Ok j -> jobs := j :: !jobs
+           | Error msg -> raise (Fail msg));
+          incr index
+        end)
+      (String.split_on_char '\n' contents);
+    Ok (List.rev !jobs)
+  with Fail msg -> Error msg
+
+(* --- outcomes --- *)
+
+type status = Done | Failed of string | Timed_out
+
+type outcome = {
+  job : job;
+  status : status;
+  instance_name : string option;
+  period : Rat.t option;
+  m : int option;
+  n_stages : int option;
+  n_resources : int option;
+  cache_hit : bool;
+  wall_s : float;
+}
+
+let outcome_to_json ?(timing = true) o =
+  let opt k f v = match v with None -> [] | Some x -> [ (k, f x) ] in
+  let base =
+    ("job", Json.Int o.job.index)
+    :: (opt "id" (fun s -> Json.String s) o.job.id
+        @ (match o.job.spec with
+           | File p -> [ ("file", Json.String p) ]
+           | Inline _ -> [])
+        @ opt "instance" (fun s -> Json.String s) o.instance_name
+        @ [ ("model", Json.String (Comm_model.to_string o.job.model));
+            ("method", Json.String (method_to_string o.job.method_)) ])
+  in
+  let status =
+    match o.status with
+    | Done -> [ ("status", Json.String "ok") ]
+    | Failed msg -> [ ("status", Json.String "error"); ("error", Json.String msg) ]
+    | Timed_out -> [ ("status", Json.String "timeout") ]
+  in
+  let result =
+    opt "period" (fun p -> Json.String (Rat.to_string p)) o.period
+    @ opt "period_float" (fun p -> Json.Float (Rat.to_float p)) o.period
+    @ opt "throughput_float"
+        (fun p -> Json.Float (Rat.to_float (Rat.inv p)))
+        (match o.period with Some p when not (Rat.is_zero p) -> Some p | _ -> None)
+  in
+  (* deterministic per-job snapshot: instance shape, never wall time *)
+  let metrics =
+    match (o.m, o.n_stages, o.n_resources) with
+    | Some m, Some n, Some r ->
+      [ ("metrics",
+         Json.Obj
+           [ ("m", Json.Int m); ("stages", Json.Int n); ("resources", Json.Int r) ]) ]
+    | _ -> []
+  in
+  let cache = [ ("cache", Json.String (if o.cache_hit then "hit" else "miss")) ] in
+  let timing = if timing then [ ("wall_s", Json.Float o.wall_s) ] else [] in
+  Json.Obj (base @ status @ result @ metrics @ cache @ timing)
+
+type summary = {
+  total : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  cache_hits : int;
+  workers : int;
+  elapsed_s : float;
+}
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%d job%s: %d ok, %d error%s, %d timeout%s; %d cache hit%s (workers %d)"
+    s.total
+    (if s.total = 1 then "" else "s")
+    s.ok s.errors
+    (if s.errors = 1 then "" else "s")
+    s.timeouts
+    (if s.timeouts = 1 then "" else "s")
+    s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")
+    s.workers
+
+(* --- evaluation --- *)
+
+let now = Unix.gettimeofday
+
+(* canonical memo key: the instance's canonical serialization with the
+   name stripped, so identical content under different names or paths
+   shares one evaluation; model and method are part of the key *)
+let canonical_key inst model method_ =
+  let anon =
+    Instance.create ~name:"" ~pipeline:inst.Instance.pipeline
+      ~platform:inst.Instance.platform ~mapping:inst.Instance.mapping
+  in
+  Printf.sprintf "%s|%s|%s" (Format_io.to_string anon) (Comm_model.to_string model)
+    (method_to_string method_)
+
+let load_spec = function
+  | Inline inst -> Ok inst
+  | File path -> Format_io.load path
+
+(* one job, already loaded; [deadline] is absolute, checked at the
+   checkpoints (we cannot preempt a running solver — lcm blow-ups are
+   instead cut short by the transition cap) *)
+let eval_loaded ?deadline ?transition_cap (j : job) inst =
+  let start = now () in
+  let shape =
+    ( Some inst.Instance.name,
+      Some (Mapping.num_paths inst.Instance.mapping),
+      Some (Mapping.n_stages inst.Instance.mapping),
+      Some (List.length (Instance.resources inst)) )
+  in
+  let name, m, n, r = shape in
+  let finish status period =
+    { job = j; status; instance_name = name; period; m; n_stages = n;
+      n_resources = r; cache_hit = false; wall_s = now () -. start }
+  in
+  let over_deadline () =
+    match deadline with Some d -> now () >= d | None -> false
+  in
+  if over_deadline () then finish Timed_out None
+  else
+    match Analysis.analyze ~method_:j.method_ ?transition_cap j.model inst with
+    | report -> finish Done (Some report.Analysis.period)
+    | exception (Failure msg | Invalid_argument msg) -> finish (Failed msg) None
+
+(* --- work-stealing pool ---
+
+   Static task set: per-worker bounded deques are seeded round-robin
+   before any domain starts, the owner pops the front, thieves pop the
+   back. No task is ever added after seeding, so "every deque empty" is a
+   sound termination test and workers simply exit when a full scan finds
+   nothing to steal. *)
+
+type deque = { mu : Mutex.t; tasks : int array; mutable head : int; mutable tail : int }
+
+let pop_front d =
+  Mutex.protect d.mu (fun () ->
+      if d.head < d.tail then begin
+        let t = d.tasks.(d.head) in
+        d.head <- d.head + 1;
+        Some t
+      end
+      else None)
+
+let pop_back d =
+  Mutex.protect d.mu (fun () ->
+      if d.head < d.tail then begin
+        d.tail <- d.tail - 1;
+        Some d.tasks.(d.tail)
+      end
+      else None)
+
+let run_pool ~workers ~n_tasks (run_task : int -> unit) =
+  if workers <= 1 || n_tasks <= 1 then
+    for t = 0 to n_tasks - 1 do run_task t done
+  else begin
+    let deques =
+      Array.init workers (fun w ->
+          let mine = ref [] in
+          for t = n_tasks - 1 downto 0 do
+            if t mod workers = w then mine := t :: !mine
+          done;
+          let tasks = Array.of_list !mine in
+          { mu = Mutex.create (); tasks; head = 0; tail = Array.length tasks })
+    in
+    let worker w () =
+      let rec next_task k =
+        (* own deque first, then clockwise victims *)
+        if k >= workers then None
+        else begin
+          let v = (w + k) mod workers in
+          let take = if k = 0 then pop_front else pop_back in
+          match take deques.(v) with
+          | Some t ->
+            if k > 0 then Obs.incr "batch.steals";
+            Some t
+          | None -> next_task (k + 1)
+        end
+      in
+      let rec loop () =
+        match next_task 0 with
+        | Some t ->
+          run_task t;
+          loop ()
+        | None -> ()
+      in
+      loop ()
+    in
+    let domains = Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    Array.iter Domain.join domains
+  end
+
+(* --- the batch driver --- *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ?jobs ?timeout ?transition_cap (job_list : job list) =
+  Obs.with_span "batch.run" @@ fun () ->
+  let t_start = now () in
+  let workers =
+    match jobs with
+    | None -> max 1 (default_jobs ())
+    | Some j -> min 128 (max 1 j)
+  in
+  let job_arr = Array.of_list job_list in
+  let n = Array.length job_arr in
+  let results : outcome option array = Array.make n None in
+  (* phase 1 (sequential, cheap): load every instance and dedupe on the
+     canonical key so duplicates resolve identically at any worker count *)
+  let seen : (string, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  let loaded : Instance.t option array = Array.make n None in
+  let alias = Array.make n (-1) in (* representative index, or -1 *)
+  let unique = ref [] in (* reversed indices of jobs that must be solved *)
+  Array.iteri
+    (fun i j ->
+      match load_spec j.spec with
+      | Error msg ->
+        results.(i) <-
+          Some
+            { job = j; status = Failed msg; instance_name = None; period = None;
+              m = None; n_stages = None; n_resources = None; cache_hit = false;
+              wall_s = 0.0 }
+      | Ok inst ->
+        loaded.(i) <- Some inst;
+        let key = canonical_key inst j.model j.method_ in
+        (match Hashtbl.find_opt seen key with
+         | Some rep -> alias.(i) <- rep
+         | None ->
+           Hashtbl.add seen key i;
+           unique := i :: !unique))
+    job_arr;
+  let unique = Array.of_list (List.rev !unique) in
+  (* phase 2 (parallel): evaluate the unique jobs *)
+  run_pool ~workers ~n_tasks:(Array.length unique) (fun t ->
+      let i = unique.(t) in
+      let j = job_arr.(i) in
+      let inst = Option.get loaded.(i) in
+      let deadline = Option.map (fun s -> now () +. s) timeout in
+      let o =
+        match eval_loaded ?deadline ?transition_cap j inst with
+        | o -> o
+        | exception (Failure msg | Invalid_argument msg) ->
+          { job = j; status = Failed msg; instance_name = Some inst.Instance.name;
+            period = None; m = None; n_stages = None; n_resources = None;
+            cache_hit = false; wall_s = 0.0 }
+      in
+      Obs.observe "batch.job_wall_s" o.wall_s;
+      results.(i) <- Some o);
+  (* phase 3: replay memoized outcomes onto the duplicate jobs *)
+  Array.iteri
+    (fun i rep ->
+      if rep >= 0 then begin
+        let r = Option.get results.(rep) in
+        let inst = Option.get loaded.(i) in
+        results.(i) <-
+          Some
+            { r with job = job_arr.(i); instance_name = Some inst.Instance.name;
+              cache_hit = true; wall_s = 0.0 }
+      end)
+    alias;
+  let outcomes = Array.map Option.get results in
+  let count p = Array.fold_left (fun acc o -> if p o then acc + 1 else acc) 0 outcomes in
+  let summary =
+    { total = n;
+      ok = count (fun o -> o.status = Done);
+      errors = count (fun o -> match o.status with Failed _ -> true | _ -> false);
+      timeouts = count (fun o -> o.status = Timed_out);
+      cache_hits = count (fun o -> o.cache_hit);
+      workers;
+      elapsed_s = now () -. t_start }
+  in
+  Obs.add "batch.jobs" summary.total;
+  Obs.add "batch.cache_hits" summary.cache_hits;
+  Obs.add "batch.errors" summary.errors;
+  Obs.add "batch.timeouts" summary.timeouts;
+  Obs.gauge "batch.workers" (float_of_int workers);
+  (outcomes, summary)
+
+let run_to_channel ?jobs ?timeout ?transition_cap ?timing oc job_list =
+  let outcomes, summary = run ?jobs ?timeout ?transition_cap job_list in
+  Array.iter
+    (fun o ->
+      output_string oc (Json.to_string (outcome_to_json ?timing o));
+      output_char oc '\n')
+    outcomes;
+  flush oc;
+  summary

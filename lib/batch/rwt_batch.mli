@@ -1,0 +1,133 @@
+(** Multicore batch evaluation engine.
+
+    Evaluates a stream of {e jobs} — (instance × model × method) tuples —
+    on a work-stealing pool of OCaml 5 [Domain]s and renders one NDJSON
+    result line per job. This is the mapping-space-exploration substrate:
+    the paper's Table 2 campaign, the multi-criteria searches of
+    Benoit/Rehn-Sonigo/Robert, and any serving layer built later all
+    reduce to "evaluate many candidate mappings as fast as the hardware
+    allows".
+
+    {b Determinism.} Results are reported in job-file order, and every
+    non-timing field is a pure function of the job list and the engine
+    options — never of the worker count or of scheduling. Duplicate jobs
+    are deduplicated {e before} dispatch against a canonical-instance memo
+    key, so cache hits land on the same jobs whether the batch runs on one
+    domain or sixteen.
+
+    {b Robustness.} A job that fails to load, exceeds the per-job timeout
+    at a checkpoint, or blows the transition cap produces an ["error"] or
+    ["timeout"] result line; the batch always runs to completion. *)
+
+open Rwt_util
+open Rwt_workflow
+
+(** {1 Jobs} *)
+
+type spec =
+  | File of string  (** instance file in the [doc/FORMAT.md] syntax *)
+  | Inline of Instance.t  (** already-loaded instance (bench, tests) *)
+
+type job = {
+  index : int;  (** 0-based position in the job stream *)
+  id : string option;  (** caller-chosen label, echoed in the result *)
+  spec : spec;
+  model : Comm_model.t;
+  method_ : Rwt_core.Analysis.method_;
+}
+
+val job :
+  ?id:string ->
+  ?model:Comm_model.t ->
+  ?method_:Rwt_core.Analysis.method_ ->
+  index:int ->
+  spec ->
+  job
+(** Job with defaults: OVERLAP model, [Auto] method. *)
+
+val parse_jobs : string -> (job list, string) result
+(** Parse a job file. Each non-empty, non-[#] line is either
+
+    - a bare path to an instance file ([.rwt]-list form), evaluated with
+      the default model/method, or
+    - an NDJSON object
+      [{"file": "path", "model": "overlap"|"strict",
+        "method": "auto"|"tpn"|"poly", "id": "label"}]
+      where every key but ["file"] is optional.
+
+    The two forms can be mixed. Errors name the offending line. *)
+
+(** {1 Outcomes} *)
+
+type status =
+  | Done  (** period computed *)
+  | Failed of string  (** load/validation/solver error (cap included) *)
+  | Timed_out  (** per-job budget exhausted at a checkpoint *)
+
+type outcome = {
+  job : job;
+  status : status;
+  instance_name : string option;  (** from the loaded instance *)
+  period : Rat.t option;  (** [Some] iff [status = Done] *)
+  m : int option;  (** rows [lcm(m_i)], when the instance loaded *)
+  n_stages : int option;
+  n_resources : int option;
+  cache_hit : bool;  (** an earlier job had the same canonical key *)
+  wall_s : float;  (** this job's evaluation time; 0 for cache hits *)
+}
+
+val outcome_to_json : ?timing:bool -> outcome -> Json.t
+(** One NDJSON record. With [timing = false] (default [true]) the
+    [wall_s] field is omitted, making output byte-comparable across runs
+    and worker counts. *)
+
+type summary = {
+  total : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  cache_hits : int;
+  workers : int;
+  elapsed_s : float;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Running} *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?transition_cap:int ->
+  job list ->
+  outcome array * summary
+(** Evaluate every job; the result array is indexed like the input list.
+
+    [jobs] is the worker-domain count (default {!default_jobs}, clamped to
+    [[1, 128]]). [jobs = 1] runs on the calling domain. [timeout] is a
+    per-job budget in seconds, checked cooperatively at job checkpoints
+    (after load, before each solve): a job over budget reports
+    [Timed_out] instead of running its solver — [timeout <= 0] therefore
+    times every job out, which is the deterministic path the tests pin.
+    Runaway {e sizes} (the lcm blow-up) are handled by [transition_cap]
+    (default [Rwt_petri.Expand.transition_cap ()]), which turns the
+    pathological build into a fast [Failed] line.
+
+    Cache-hit jobs replay the memoized outcome of the first job with the
+    same canonical key — the canonical key is the name-stripped
+    {!Rwt_workflow.Format_io.to_string} serialization of the instance
+    plus model and method, so two files with identical content share one
+    evaluation. *)
+
+val run_to_channel :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?transition_cap:int ->
+  ?timing:bool ->
+  out_channel ->
+  job list ->
+  summary
+(** {!run}, then write one compact NDJSON line per job, in job order. *)

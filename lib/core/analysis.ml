@@ -13,7 +13,7 @@ type report = {
   gap : Rat.t;
 }
 
-let analyze ?(method_ = Auto) model inst =
+let analyze ?(method_ = Auto) ?transition_cap model inst =
   Rwt_obs.with_span "analysis.analyze" @@ fun () ->
   Rwt_obs.incr "analysis.calls";
   let period =
@@ -21,7 +21,8 @@ let analyze ?(method_ = Auto) model inst =
     | Poly, Comm_model.Strict ->
       invalid_arg "Analysis.analyze: no polynomial algorithm for the strict model"
     | (Auto | Poly), Comm_model.Overlap -> Poly_overlap.period inst
-    | Auto, Comm_model.Strict | Tpn, _ -> (Exact.period model inst).period
+    | Auto, Comm_model.Strict | Tpn, _ ->
+      (Exact.period ?transition_cap model inst).period
   in
   let bottleneck = Cycle_time.critical model inst in
   let mct = bottleneck.Cycle_time.cexec in

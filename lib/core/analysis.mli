@@ -20,9 +20,14 @@ type report = {
   gap : Rat.t;  (** [(period − Mct) / Mct], 0 when critical *)
 }
 
-val analyze : ?method_:method_ -> Comm_model.t -> Instance.t -> report
-(** @raise Invalid_argument if [Poly] is requested for the STRICT model
-    (no polynomial algorithm is known; the paper leaves it open). *)
+val analyze :
+  ?method_:method_ -> ?transition_cap:int -> Comm_model.t -> Instance.t -> report
+(** [transition_cap] bounds the size of any TPN the analysis constructs
+    (default: the process-wide [Rwt_petri.Expand.transition_cap ()]);
+    the polynomial route never builds the full net and ignores it.
+    @raise Invalid_argument if [Poly] is requested for the STRICT model
+    (no polynomial algorithm is known; the paper leaves it open).
+    @raise Failure when the TPN route exceeds the cap. *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -10,9 +10,9 @@ type result = {
   net : Tpn_build.t;
 }
 
-let period model inst =
+let period ?transition_cap model inst =
   Rwt_obs.with_span "exact.period" @@ fun () ->
-  let net = Tpn_build.build model inst in
+  let net = Tpn_build.build ?transition_cap model inst in
   let g = Mcr.graph_of_tpn net.Tpn_build.tpn in
   match Mcr.Exact.max_cycle_ratio g with
   | None -> invalid_arg "Exact.period: net has no circuit"
@@ -28,7 +28,8 @@ let period model inst =
       critical;
       net }
 
-let throughput model inst = Rat.inv (period model inst).period
+let throughput ?transition_cap model inst =
+  Rat.inv (period ?transition_cap model inst).period
 
 let pp_critical result fmt () =
   Format.fprintf fmt "@[<v>critical cycle (%d transitions, ratio %a, period %a):@,"

@@ -16,12 +16,14 @@ type result = {
   net : Tpn_build.t;
 }
 
-val period : Comm_model.t -> Instance.t -> result
-(** @raise Failure on [m] overflow.
+val period : ?transition_cap:int -> Comm_model.t -> Instance.t -> result
+(** [transition_cap] bounds the constructed net's size (default: the
+    process-wide [Rwt_petri.Expand.transition_cap ()]).
+    @raise Failure on [m] overflow or when the net would exceed the cap.
     @raise Invalid_argument on a degenerate single-stage mapping with no
     cycle (cannot happen: round-robin circuits always exist). *)
 
-val throughput : Comm_model.t -> Instance.t -> Rat.t
+val throughput : ?transition_cap:int -> Comm_model.t -> Instance.t -> Rat.t
 (** [1 / period]. *)
 
 val pp_critical : result -> Format.formatter -> unit -> unit

@@ -43,22 +43,39 @@ let add_circuit tpn ~name ~ids =
     in
     chain ids
 
-let build model inst =
+let build ?transition_cap model inst =
   Obs.with_span "tpn.build" @@ fun () ->
   let mapping = inst.Instance.mapping in
   let n = Mapping.n_stages mapping in
   let m = Mapping.num_paths mapping in
   let ncols = cols n in
-  let cap = Rwt_petri.Expand.transition_cap () in
-  Obs.gauge "tpn.projected_transitions" (float_of_int (m * ncols));
-  if m * ncols > cap then begin
+  let cap =
+    match transition_cap with
+    | Some c ->
+      if c <= 0 then invalid_arg "Tpn_build.build: transition_cap must be positive";
+      c
+    | None -> Rwt_petri.Expand.transition_cap ()
+  in
+  (* checked multiplication: on adversarial replication vectors m·(2n−1)
+     can wrap a native int and sail past the guard; overflow means the
+     projection certainly exceeds any representable cap *)
+  let projected = Rwt_util.Intmath.mul_checked m ncols in
+  Obs.gauge "tpn.projected_transitions"
+    (match projected with
+     | Some t -> float_of_int t
+     | None -> float_of_int m *. float_of_int ncols);
+  let over = match projected with Some t -> t > cap | None -> true in
+  if over then begin
     Obs.incr "expand.rejections";
     failwith
       (Printf.sprintf
          "Tpn_build.build: the net would have m = %d rows of %d transitions \
-          (%d total), exceeding the cap of %d; use the polynomial analysis or \
-          raise Rwt_petri.Expand.set_transition_cap"
-         m ncols (m * ncols) cap)
+          (%s total), exceeding the cap of %d; use the polynomial analysis, \
+          pass ~transition_cap or raise Rwt_petri.Expand.set_transition_cap"
+         m ncols
+         (Rwt_util.Bigint.to_string
+            (Rwt_util.Bigint.mul (Rwt_util.Bigint.of_int m) (Rwt_util.Bigint.of_int ncols)))
+         cap)
   end;
   let id ~row ~col = (row * ncols) + col in
   let kinds = Array.make (m * ncols) (Compute { stage = 0; proc = 0 }) in

@@ -1,11 +1,22 @@
 module Json = Rwt_util.Json
 
-(* --- state --- *)
+(* --- state ---
 
-let on = ref false
-let tracing = ref false
+   The registry is shared by every domain (Rwt_batch workers solve
+   concurrently): counter and gauge cells are [Atomic.t]s so hot-path
+   increments are lock-free once the cell exists, and a single mutex
+   guards table insertion, histogram mutation and the trace-event log.
+   Span stacks are domain-local ([Domain.DLS]) so nesting in one worker
+   never interleaves with another's. The disabled fast path is unchanged:
+   one flag read, no lock, no allocation. *)
+
+let on = Atomic.make false
+let tracing = Atomic.make false
 let clock = ref Sys.time
 let t0 = ref 0.0
+let mu = Mutex.create ()
+
+let locked f = Mutex.protect mu f
 
 (* log2-scale histogram over (0, inf): bucket k covers
    (lo·2^(k-1), lo·2^k], bucket 0 covers (0, lo]. 96 buckets span
@@ -21,8 +32,8 @@ type hist = {
   buckets : int array;
 }
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
-let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 64
+let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, float Atomic.t) Hashtbl.t = Hashtbl.create 64
 let hists : (string, hist) Hashtbl.t = Hashtbl.create 64
 
 type trace_event = {
@@ -32,55 +43,69 @@ type trace_event = {
   ev_args : (string * string) list;
 }
 
-let events : trace_event list ref = ref [] (* newest first *)
-let stack : (string * float * (string * string) list) list ref = ref []
+let events : trace_event list ref = ref [] (* newest first; guarded by mu *)
+
+let stack_key : (string * float * (string * string) list) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 (* --- lifecycle --- *)
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let enable ?(trace = false) () =
-  on := true;
+  Atomic.set on true;
   if trace then begin
-    tracing := true;
+    Atomic.set tracing true;
     t0 := !clock ()
   end
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset hists;
-  events := [];
-  stack := [];
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset hists;
+      events := []);
+  Domain.DLS.get stack_key := [];
   t0 := !clock ()
 
 let set_clock f = clock := f
 
 (* --- recording --- *)
 
+(* find-or-insert an atomic cell; the whole lookup is under the lock
+   because stdlib Hashtbl tolerates no unsynchronized reader during a
+   concurrent resize. The update of the returned cell is lock-free. *)
+let cell tbl name init =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make init in
+        Hashtbl.add tbl name c;
+        c)
+
 let add name n =
-  if !on then begin
+  if Atomic.get on then begin
     let n = if n < 0 then 0 else n in
-    match Hashtbl.find_opt counters name with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.add counters name (ref n)
+    ignore (Atomic.fetch_and_add (cell counters name 0) n)
   end
 
 let incr name = add name 1
 
 let gauge name v =
-  if !on then
-    match Hashtbl.find_opt gauges name with
-    | Some r -> r := v
-    | None -> Hashtbl.add gauges name (ref v)
+  if Atomic.get on then Atomic.set (cell gauges name v) v
 
 let gauge_max name v =
-  if !on then
-    match Hashtbl.find_opt gauges name with
-    | Some r -> if v > !r then r := v
-    | None -> Hashtbl.add gauges name (ref v)
+  if Atomic.get on then begin
+    let c = cell gauges name v in
+    let rec raise_to () =
+      let cur = Atomic.get c in
+      if v > cur && not (Atomic.compare_and_set c cur v) then raise_to ()
+    in
+    raise_to ()
+  end
 
 let bucket_of v =
   if v <= bucket_lo then 0
@@ -93,34 +118,38 @@ let bucket_of v =
 let bucket_hi k = bucket_lo *. Float.of_int (1 lsl (min k 62))
 
 let observe name v =
-  if !on then begin
-    let h =
-      match Hashtbl.find_opt hists name with
-      | Some h -> h
-      | None ->
+  if Atomic.get on then
+    locked (fun () ->
         let h =
-          { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity;
-            buckets = Array.make n_buckets 0 }
+          match Hashtbl.find_opt hists name with
+          | Some h -> h
+          | None ->
+            let h =
+              { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity;
+                buckets = Array.make n_buckets 0 }
+            in
+            Hashtbl.add hists name h;
+            h
         in
-        Hashtbl.add hists name h;
-        h
-    in
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v;
-    if v < h.min_v then h.min_v <- v;
-    if v > h.max_v then h.max_v <- v;
-    let b = h.buckets in
-    let k = bucket_of v in
-    b.(k) <- b.(k) + 1
-  end
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.min_v then h.min_v <- v;
+        if v > h.max_v then h.max_v <- v;
+        let b = h.buckets in
+        let k = bucket_of v in
+        b.(k) <- b.(k) + 1)
 
 (* --- spans --- *)
 
 let span_begin ?(args = []) name =
-  if !on then stack := (name, !clock (), args) :: !stack
+  if Atomic.get on then begin
+    let stack = Domain.DLS.get stack_key in
+    stack := (name, !clock (), args) :: !stack
+  end
 
 let span_end () =
-  if !on then
+  if Atomic.get on then begin
+    let stack = Domain.DLS.get stack_key in
     match !stack with
     | [] -> incr "obs.span_underflow"
     | (name, start, args) :: rest ->
@@ -128,26 +157,33 @@ let span_end () =
       let now = !clock () in
       let dur = if now > start then now -. start else 0.0 in
       observe ("span." ^ name) dur;
-      if !tracing then
-        events := { ev_name = name; ev_ts = start -. !t0; ev_dur = dur; ev_args = args }
-                  :: !events
+      if Atomic.get tracing then
+        locked (fun () ->
+            events :=
+              { ev_name = name; ev_ts = start -. !t0; ev_dur = dur; ev_args = args }
+              :: !events)
+  end
 
 let with_span ?args name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     span_begin ?args name;
     Fun.protect ~finally:span_end f
   end
 
-let span_depth () = List.length !stack
+let span_depth () = List.length !(Domain.DLS.get stack_key)
 
 (* --- reading back --- *)
 
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some c -> Atomic.get c | None -> 0)
 
 let gauge_value name =
-  match Hashtbl.find_opt gauges name with Some r -> Some !r | None -> None
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some c -> Some (Atomic.get c)
+      | None -> None)
 
 type histogram_summary = {
   count : int;
@@ -191,18 +227,20 @@ let summary_of_hist (h : hist) =
     p99 = percentile_of_hist h 0.99 }
 
 let histogram_summary name =
-  Option.map summary_of_hist (Hashtbl.find_opt hists name)
+  locked (fun () -> Option.map summary_of_hist (Hashtbl.find_opt hists name))
 
 let percentile name q =
   if q < 0.0 || q > 1.0 then invalid_arg "Rwt_obs.percentile: q outside [0, 1]";
-  Option.map (fun h -> percentile_of_hist h q) (Hashtbl.find_opt hists name)
+  locked (fun () ->
+      Option.map (fun h -> percentile_of_hist h q) (Hashtbl.find_opt hists name))
 
 let metric_names () =
-  let acc = ref [] in
-  Hashtbl.iter (fun k _ -> acc := k :: !acc) counters;
-  Hashtbl.iter (fun k _ -> acc := k :: !acc) gauges;
-  Hashtbl.iter (fun k _ -> acc := k :: !acc) hists;
-  List.sort_uniq String.compare !acc
+  locked (fun () ->
+      let acc = ref [] in
+      Hashtbl.iter (fun k _ -> acc := k :: !acc) counters;
+      Hashtbl.iter (fun k _ -> acc := k :: !acc) gauges;
+      Hashtbl.iter (fun k _ -> acc := k :: !acc) hists;
+      List.sort_uniq String.compare !acc)
 
 (* --- export --- *)
 
@@ -227,11 +265,14 @@ let metrics_json () =
         ("p90", json_float s.p90);
         ("p99", json_float s.p99) ]
   in
-  Json.Obj
-    [ ("schema", Json.String "rwt.metrics/1");
-      ("counters", Json.Obj (sorted_fields counters (fun r -> Json.Int !r)));
-      ("gauges", Json.Obj (sorted_fields gauges (fun r -> json_float !r)));
-      ("histograms", Json.Obj (sorted_fields hists hist_json)) ]
+  locked (fun () ->
+      Json.Obj
+        [ ("schema", Json.String "rwt.metrics/1");
+          ("counters",
+           Json.Obj (sorted_fields counters (fun c -> Json.Int (Atomic.get c))));
+          ("gauges",
+           Json.Obj (sorted_fields gauges (fun c -> json_float (Atomic.get c))));
+          ("histograms", Json.Obj (sorted_fields hists hist_json)) ])
 
 let trace_json () =
   let us s = s *. 1e6 in
@@ -254,7 +295,8 @@ let trace_json () =
   in
   (* events accumulate in completion order; emit by start time *)
   let by_start =
-    List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) (List.rev !events)
+    List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts)
+      (List.rev (locked (fun () -> !events)))
   in
   Json.Obj
     [ ("displayTimeUnit", Json.String "ms");
@@ -275,21 +317,22 @@ let span_prefix = "span."
 
 let span_table () =
   let rows = ref [] in
-  Hashtbl.iter
-    (fun name h ->
-      let lp = String.length span_prefix in
-      if String.length name > lp && String.sub name 0 lp = span_prefix then begin
-        let s = summary_of_hist h in
-        rows :=
-          { span = String.sub name lp (String.length name - lp);
-            calls = s.count;
-            total_s = s.sum;
-            mean_s = s.mean;
-            p90_s = s.p90;
-            max_s = s.max }
-          :: !rows
-      end)
-    hists;
+  locked (fun () ->
+      Hashtbl.iter
+        (fun name h ->
+          let lp = String.length span_prefix in
+          if String.length name > lp && String.sub name 0 lp = span_prefix then begin
+            let s = summary_of_hist h in
+            rows :=
+              { span = String.sub name lp (String.length name - lp);
+                calls = s.count;
+                total_s = s.sum;
+                mean_s = s.mean;
+                p90_s = s.p90;
+                max_s = s.max }
+              :: !rows
+          end)
+        hists);
   List.sort
     (fun a b ->
       match compare b.total_s a.total_s with 0 -> compare a.span b.span | c -> c)
@@ -304,6 +347,8 @@ let pp_span_table fmt () =
       Format.fprintf fmt "%-28s %8d %12.6f %12.6f %12.6f %12.6f@," r.span r.calls
         r.total_s r.mean_s r.p90_s r.max_s)
     rows;
+  let nc, ng, nh =
+    locked (fun () -> (Hashtbl.length counters, Hashtbl.length gauges, Hashtbl.length hists))
+  in
   Format.fprintf fmt "%d metrics recorded (counters %d, gauges %d, histograms %d)@]"
-    (List.length (metric_names ()))
-    (Hashtbl.length counters) (Hashtbl.length gauges) (Hashtbl.length hists)
+    (List.length (metric_names ())) nc ng nh

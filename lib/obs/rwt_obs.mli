@@ -14,8 +14,16 @@
     The library is deliberately dependency-free: timing uses [Sys.time]
     (processor time — the workloads here are CPU-bound, and it keeps the
     clock monotonic and test-injectable), and export goes through
-    {!Rwt_util.Json}. Not thread-safe; the whole repository is
-    single-threaded. *)
+    {!Rwt_util.Json}.
+
+    {b Domain safety.} The registry is shared across domains ([Rwt_batch]
+    workers record concurrently): counters and gauges are atomic cells
+    (increments are lock-free once a name exists), histogram updates and
+    trace events are serialized behind one mutex, and the span stack is
+    domain-local, so span nesting in one worker never interleaves with
+    another's. [reset] clears the shared registry but only the {e calling}
+    domain's span stack. [enable]/[disable]/[set_clock] are meant to be
+    called from the orchestrating domain before workers start. *)
 
 (** {1 Lifecycle} *)
 

@@ -2,35 +2,46 @@ open Rwt_util
 module Obs = Rwt_obs
 
 let default_transition_cap = 1_000_000
-let cap = ref default_transition_cap
 
-let transition_cap () = !cap
+(* process-wide default only; every entry point takes ?transition_cap so
+   concurrent solves (Rwt_batch domains) never need to mutate it *)
+let cap = Atomic.make default_transition_cap
+
+let transition_cap () = Atomic.get cap
 
 let set_transition_cap c =
   if c <= 0 then invalid_arg "Expand.set_transition_cap: cap must be positive";
-  cap := c
+  Atomic.set cap c
 
 let is_one_bounded tpn =
   List.for_all (fun p -> p.Tpn.tokens <= 1) (Tpn.places tpn)
 
-let one_bounded ?cap:local_cap tpn =
-  let cap = match local_cap with Some c -> c | None -> !cap in
+let one_bounded ?transition_cap:local_cap tpn =
+  let cap = match local_cap with Some c -> c | None -> Atomic.get cap in
   let base = Tpn.num_transitions tpn in
-  (* count the fresh buffer transitions needed *)
+  (* count the fresh buffer transitions needed; checked sums so adversarial
+     markings overflow into a clean rejection, not a wrapped-around pass *)
   let extra, max_marking =
     List.fold_left
-      (fun (extra, mm) p -> (extra + max 0 (p.Tpn.tokens - 1), max mm p.Tpn.tokens))
+      (fun (extra, mm) p ->
+        let need = max 0 (p.Tpn.tokens - 1) in
+        match Rwt_util.Intmath.add_checked extra need with
+        | Some e -> (e, max mm p.Tpn.tokens)
+        | None -> (max_int, max mm p.Tpn.tokens))
       (0, 0) (Tpn.places tpn)
   in
-  Obs.gauge "expand.projected_transitions" (float_of_int (base + extra));
-  if base + extra > cap then begin
+  let projected =
+    match Rwt_util.Intmath.add_checked base extra with Some t -> t | None -> max_int
+  in
+  Obs.gauge "expand.projected_transitions" (float_of_int projected);
+  if projected > cap then begin
     Obs.incr "expand.rejections";
     failwith
       (Printf.sprintf
          "Expand.one_bounded: expansion would create %d transitions (%d original \
           + %d buffer, largest marking m = %d), exceeding the cap of %d; raise it \
-          with Expand.set_transition_cap or pass ~cap"
-         (base + extra) base extra max_marking cap)
+          with Expand.set_transition_cap or pass ~transition_cap"
+         projected base extra max_marking cap)
   end;
   Obs.add "expand.buffers" extra;
   let transitions =

@@ -6,14 +6,16 @@
     ({!Rwt_maxplus.Spectral}) and any analysis restricted to markings in
     {0, 1} become fully general after this expansion. *)
 
-val one_bounded : ?cap:int -> Tpn.t -> Tpn.t
+val one_bounded : ?transition_cap:int -> Tpn.t -> Tpn.t
 (** Structurally equal to the input if it is already 1-bounded (fresh copy
     otherwise). Firing times, liveness and every circuit's ratio are
     preserved; added transitions are named ["buf<k>@<place>"] with firing
     time 0.
 
-    The projected transition count of the output is checked against [cap]
-    (default {!transition_cap}) {e before} any allocation.
+    The projected transition count of the output is checked against
+    [transition_cap] (default {!transition_cap}) {e before} any
+    allocation; the projection itself uses overflow-checked sums, so
+    adversarial markings are rejected rather than wrapping past the guard.
     @raise Failure with a diagnostic reporting the original and buffer
     transition counts, the largest marking and the cap, when the expansion
     would exceed it. Rejections increment the [expand.rejections] counter
@@ -23,12 +25,16 @@ val one_bounded : ?cap:int -> Tpn.t -> Tpn.t
 val is_one_bounded : Tpn.t -> bool
 
 val transition_cap : unit -> int
-(** Global size guard shared by {!one_bounded} and the TPN builder
-    ([Rwt_core.Tpn_build.build]): the largest transition count a constructed
-    or expanded net may have. Defaults to {!default_transition_cap}. *)
+(** Process-wide {e default} size guard shared by {!one_bounded} and the
+    TPN builder ([Rwt_core.Tpn_build.build]): the largest transition count
+    a constructed or expanded net may have when no explicit
+    [?transition_cap] is passed. Defaults to {!default_transition_cap}.
+    The cell is atomic, but concurrent solvers should prefer the explicit
+    argument: mutating the default races against every other domain. *)
 
 val set_transition_cap : int -> unit
-(** @raise Invalid_argument if the cap is not positive. *)
+(** Set the process-wide default (atomically).
+    @raise Invalid_argument if the cap is not positive. *)
 
 val default_transition_cap : int
 (** 1_000_000 — roomy enough for every paper example (Example C's full TPN

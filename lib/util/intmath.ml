@@ -19,6 +19,18 @@ let big_lcm_list l =
       if B.is_zero n then B.zero else B.div (B.mul acc n) (B.gcd acc n))
     B.one l
 
+let mul_checked a b =
+  if a = 0 || b = 0 then Some 0
+  else
+    let p = a * b in
+    (* division undoes a non-overflowing product exactly; min_int * -1 also
+       wraps, and is caught by the same test *)
+    if p / b = a && (a >= 0) = (b >= 0) = (p >= 0) then Some p else None
+
+let add_checked a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then None else Some s
+
 let pow_int b k =
   if k < 0 then invalid_arg "Intmath.pow_int";
   let rec go acc b k =

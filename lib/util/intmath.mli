@@ -15,6 +15,14 @@ val lcm_list : int list -> int
 val big_lcm_list : int list -> Bigint.t
 (** Overflow-free lcm for reporting astronomically replicated mappings. *)
 
+val mul_checked : int -> int -> int option
+(** [Some (a * b)] when the product fits a native [int], [None] on
+    overflow (including the [min_int * -1] corner). Used by size guards
+    that must raise rather than wrap on adversarial inputs. *)
+
+val add_checked : int -> int -> int option
+(** [Some (a + b)] without wraparound, [None] on overflow. *)
+
 val pow_int : int -> int -> int
 (** [pow_int b k], [k >= 0], no overflow check. *)
 

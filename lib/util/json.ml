@@ -48,10 +48,13 @@ let escape_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* JSON has no literal for nan/±infinity (RFC 8259 §6): serialize them as
+   null rather than raising or emitting a bare NaN that no conforming
+   parser (including [of_string] below) would accept back. *)
 let float_literal f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else if Float.is_finite f then Printf.sprintf "%.17g" f
-  else invalid_arg "Json: non-finite float"
+  else "null"
 
 (* --- parser ---
 

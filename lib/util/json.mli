@@ -22,14 +22,18 @@ val number : string -> t
     fraction/exponent). @raise Invalid_argument on a malformed literal. *)
 
 val to_string : ?pretty:bool -> t -> string
-(** Compact by default; [pretty] indents with two spaces. *)
+(** Compact by default; [pretty] indents with two spaces. Non-finite
+    [Float]s ([nan], [infinity], [neg_infinity]) have no JSON literal and
+    are serialized as [null] — the output is always valid RFC 8259. *)
 
 val of_string : string -> (t, string) result
 (** Strict RFC 8259 parser. Numbers without a fraction or exponent that fit
     a native [int] parse to [Int]; all other numbers parse to [Float]
     (so a {!Number} survives a round-trip as its numeric value, not its
-    exact literal). [\uXXXX] escapes (including surrogate pairs) decode to
-    UTF-8. Errors report the byte offset. *)
+    exact literal). Bare [NaN]/[Infinity]/[-Infinity] tokens are rejected —
+    only [null] carries the non-finite case, matching {!to_string}.
+    [\uXXXX] escapes (including surrogate pairs) decode to UTF-8. Errors
+    report the byte offset. *)
 
 val escape_string : string -> string
 (** The quoted, escaped form of a string literal. *)

@@ -1,0 +1,57 @@
+Batch evaluation of a mixed job file: bare paths and NDJSON job objects,
+with a duplicate (memo-cache hit) and a missing file (error line). With
+--no-timing the output is byte-stable, so it can be pinned here.
+
+  $ rwt show -e a > a.rwt
+  $ rwt show -e b > b.rwt
+  $ cat > jobs.ndjson <<'EOF'
+  > a.rwt
+  > {"file":"a.rwt","model":"strict","id":"a-strict"}
+  > # comment
+  > a.rwt
+  > {"file":"missing.rwt"}
+  > {"file":"b.rwt","method":"tpn"}
+  > EOF
+
+  $ rwt batch jobs.ndjson --jobs 2 --no-timing
+  {"job":0,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907,"metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
+  {"job":1,"id":"a-strict","file":"a.rwt","instance":"example-A","model":"strict","method":"auto","status":"ok","period":"692/3","period_float":230.66666666666666,"throughput_float":0.004335260115606936,"metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
+  {"job":2,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907,"metrics":{"m":6,"stages":4,"resources":7},"cache":"hit"}
+  {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"missing.rwt: No such file or directory","cache":"miss"}
+  {"job":4,"file":"b.rwt","instance":"example-B","model":"overlap","method":"tpn","status":"ok","period":"875/3","period_float":291.66666666666669,"throughput_float":0.0034285714285714284,"metrics":{"m":12,"stages":2,"resources":7},"cache":"miss"}
+  rwt batch: 5 jobs: 4 ok, 1 error, 0 timeouts; 1 cache hit (workers 2)
+
+Determinism: the same stream on one worker and on eight workers renders
+identical bytes — cache hits land on the same jobs either way.
+
+  $ rwt batch jobs.ndjson --jobs 1 --no-timing 2>/dev/null > j1.txt
+  $ rwt batch jobs.ndjson --jobs 8 --no-timing 2>/dev/null > j8.txt
+  $ cmp j1.txt j8.txt && echo identical
+  identical
+
+Timeout path: --timeout 0 expires every job at its first checkpoint, so
+solvable jobs report "timeout" deterministically; the load error still
+reports "error", the duplicate still replays from the cache, and the
+whole batch failing to produce any ok line exits 3.
+
+  $ rwt batch jobs.ndjson --jobs 1 --timeout 0 --no-timing
+  {"job":0,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"timeout","metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
+  {"job":1,"id":"a-strict","file":"a.rwt","instance":"example-A","model":"strict","method":"auto","status":"timeout","metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
+  {"job":2,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"timeout","metrics":{"m":6,"stages":4,"resources":7},"cache":"hit"}
+  {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"missing.rwt: No such file or directory","cache":"miss"}
+  {"job":4,"file":"b.rwt","instance":"example-B","model":"overlap","method":"tpn","status":"timeout","metrics":{"m":12,"stages":2,"resources":7},"cache":"miss"}
+  rwt batch: 5 jobs: 0 ok, 1 error, 4 timeouts; 1 cache hit (workers 1)
+  [3]
+
+Job files can come from stdin ("-") and results can go to a file.
+
+  $ echo a.rwt | rwt batch - --jobs 1 --no-timing -o out.ndjson
+  rwt batch: 1 job: 1 ok, 0 errors, 0 timeouts; 0 cache hits (workers 1)
+  $ cat out.ndjson
+  {"job":0,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907,"metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
+
+A malformed job file names the offending line and exits nonzero.
+
+  $ printf '{"file":"a.rwt","frobnicate":1}\n' | rwt batch -
+  rwt: -: line 1: unknown key "frobnicate"
+  [1]

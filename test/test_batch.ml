@@ -1,0 +1,166 @@
+(* Tests for Rwt_batch: job parsing, dedup/memoization, timeout semantics,
+   and the headline determinism property — results are bit-identical no
+   matter how many domains evaluate the stream. *)
+
+open Rwt_util
+module Batch = Rwt_batch
+module Generator = Rwt_experiments.Generator
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cfg = { Generator.n_stages = 3; p = 8; comp = (2, 9); comm = (2, 9) }
+
+let inline_jobs seed n =
+  let r = Prng.create seed in
+  (* a few forced duplicates so the cache path is always exercised *)
+  let uniques = Array.init (max 1 (n - n / 4)) (fun _ -> Generator.generate r gen_cfg) in
+  List.init n (fun i ->
+      let inst = uniques.(i mod Array.length uniques) in
+      Batch.job ~index:i ~model:Rwt_workflow.Comm_model.Overlap
+        ~method_:Rwt_core.Analysis.Auto (Batch.Inline inst))
+
+let render ?(timing = false) outcomes =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map (fun o -> Json.to_string (Batch.outcome_to_json ~timing o)) outcomes))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: jobs=1 and jobs=8 must agree bit for bit               *)
+(* ------------------------------------------------------------------ *)
+
+let determinism_across_workers =
+  QCheck.Test.make ~count:15 ~name:"batch results identical for jobs=1 and jobs=8"
+    (QCheck.pair (QCheck.int_range 0 10000) (QCheck.int_range 1 24))
+    (fun (seed, n) ->
+      let jobs = inline_jobs seed n in
+      let out1, sum1 = Batch.run ~jobs:1 jobs in
+      let out8, sum8 = Batch.run ~jobs:8 jobs in
+      render out1 = render out8
+      && sum1.Batch.ok = sum8.Batch.ok
+      && sum1.Batch.cache_hits = sum8.Batch.cache_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Dedup / memo cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cache_units () =
+  let r = Prng.create 42 in
+  let inst = Generator.generate r gen_cfg in
+  let mk i = Batch.job ~index:i ~model:Rwt_workflow.Comm_model.Overlap
+      ~method_:Rwt_core.Analysis.Auto (Batch.Inline inst)
+  in
+  let outcomes, summary = Batch.run ~jobs:1 [ mk 0; mk 1; mk 2 ] in
+  Alcotest.(check int) "total" 3 summary.Batch.total;
+  Alcotest.(check int) "ok" 3 summary.Batch.ok;
+  Alcotest.(check int) "cache hits" 2 summary.Batch.cache_hits;
+  Alcotest.(check bool) "first is a miss" false outcomes.(0).Batch.cache_hit;
+  Alcotest.(check bool) "second is a hit" true outcomes.(1).Batch.cache_hit;
+  Alcotest.(check bool) "third is a hit" true outcomes.(2).Batch.cache_hit;
+  (match (outcomes.(0).Batch.period, outcomes.(2).Batch.period) with
+   | Some p0, Some p2 ->
+       Alcotest.(check bool) "hit returns the memoized period" true (Rat.equal p0 p2)
+   | _ -> Alcotest.fail "expected periods on all three outcomes");
+  (* same instance under a different model is a distinct cache key *)
+  let strict = Batch.job ~index:3 ~model:Rwt_workflow.Comm_model.Strict
+      ~method_:Rwt_core.Analysis.Auto (Batch.Inline inst)
+  in
+  let outcomes', _ = Batch.run ~jobs:1 [ mk 0; strict ] in
+  Alcotest.(check bool) "different model misses" false outcomes'.(1).Batch.cache_hit
+
+(* ------------------------------------------------------------------ *)
+(* Timeout path: deadline 0 is already expired at the first checkpoint *)
+(* ------------------------------------------------------------------ *)
+
+let timeout_units () =
+  let jobs = inline_jobs 7 5 in
+  let outcomes, summary = Batch.run ~jobs:2 ~timeout:0.0 jobs in
+  Alcotest.(check int) "no successes" 0 summary.Batch.ok;
+  Array.iter
+    (fun o ->
+      match o.Batch.status with
+      | Batch.Timed_out -> ()
+      | Batch.Done -> Alcotest.fail "job finished despite expired deadline"
+      | Batch.Failed msg -> Alcotest.fail ("unexpected failure: " ^ msg))
+    outcomes;
+  (* every outcome (cache-hit replays included) counts in the summary *)
+  Alcotest.(check int) "all timed out" summary.Batch.total summary.Batch.timeouts;
+  Array.iter
+    (fun o -> Alcotest.(check bool) "no period" true (o.Batch.period = None))
+    outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Job-file parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_units () =
+  let contents =
+    String.concat "\n"
+      [ "a.rwt"; ""; "# comment";
+        {|{"file":"b.rwt","model":"strict","method":"tpn","id":"b1"}|};
+        "  c.rwt  " ]
+  in
+  let jobs =
+    match Batch.parse_jobs contents with
+    | Ok js -> js
+    | Error e -> Alcotest.fail ("parse_jobs: " ^ e)
+  in
+  Alcotest.(check int) "three jobs" 3 (List.length jobs);
+  let j0 = List.nth jobs 0 and j1 = List.nth jobs 1 and j2 = List.nth jobs 2 in
+  (match j0.Batch.spec with
+   | Batch.File f -> Alcotest.(check string) "bare path" "a.rwt" f
+   | Batch.Inline _ -> Alcotest.fail "expected File spec");
+  Alcotest.(check (option string)) "bare path has no id" None j0.Batch.id;
+  Alcotest.(check (option string)) "explicit id" (Some "b1") j1.Batch.id;
+  Alcotest.(check bool) "model strict" true
+    (j1.Batch.model = Rwt_workflow.Comm_model.Strict);
+  Alcotest.(check bool) "method tpn" true (j1.Batch.method_ = Rwt_core.Analysis.Tpn);
+  (match j2.Batch.spec with
+   | Batch.File f -> Alcotest.(check string) "whitespace trimmed" "c.rwt" f
+   | Batch.Inline _ -> Alcotest.fail "expected File spec");
+  Alcotest.(check int) "indices are stream positions" 2 j2.Batch.index;
+  let rejected contents =
+    match Batch.parse_jobs contents with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown key rejected" true
+    (rejected {|{"file":"a","frobnicate":1}|});
+  Alcotest.(check bool) "missing file rejected" true (rejected {|{"id":"x"}|});
+  Alcotest.(check bool) "bad model rejected" true
+    (rejected {|{"file":"a","model":"warp"}|});
+  Alcotest.(check bool) "non-object rejected" true (rejected "[1,2]")
+
+(* ------------------------------------------------------------------ *)
+(* NDJSON rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ndjson_units () =
+  let jobs = inline_jobs 11 3 in
+  let outcomes, _ = Batch.run ~jobs:1 jobs in
+  Array.iter
+    (fun o ->
+      let line = Json.to_string (Batch.outcome_to_json ~timing:false o) in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match Json.of_string line with
+      | Ok (Json.Obj fields) ->
+          Alcotest.(check bool) "has job index" true (List.mem_assoc "job" fields);
+          Alcotest.(check bool) "has status" true (List.mem_assoc "status" fields);
+          Alcotest.(check bool) "timing suppressed" false (List.mem_assoc "wall_s" fields)
+      | Ok _ -> Alcotest.fail "outcome must render as an object"
+      | Error e -> Alcotest.fail ("unparsable NDJSON line: " ^ e))
+    outcomes;
+  let timed = Json.to_string (Batch.outcome_to_json ~timing:true outcomes.(0)) in
+  match Json.of_string timed with
+  | Ok (Json.Obj fields) ->
+      Alcotest.(check bool) "timing present" true (List.mem_assoc "wall_s" fields)
+  | _ -> Alcotest.fail "unparsable timed line"
+
+let () =
+  Alcotest.run "rwt_batch"
+    [ ( "determinism", [ qtest determinism_across_workers ] );
+      ( "cache", [ Alcotest.test_case "units" `Quick cache_units ] );
+      ( "timeout", [ Alcotest.test_case "units" `Quick timeout_units ] );
+      ( "parse", [ Alcotest.test_case "units" `Quick parse_units ] );
+      ( "ndjson", [ Alcotest.test_case "units" `Quick ndjson_units ] ) ]

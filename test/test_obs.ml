@@ -195,7 +195,7 @@ let expand_cap_guard () =
   let a = Rwt_workflow.Instances.example_a () in
   let net = Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Strict a in
   let tpn = net.Rwt_core.Tpn_build.tpn in
-  (match Rwt_petri.Expand.one_bounded ~cap:3 tpn with
+  (match Rwt_petri.Expand.one_bounded ~transition_cap:3 tpn with
    | exception Failure msg ->
      Alcotest.(check bool) "message reports the cap" true
        (contains msg "exceeding the cap");

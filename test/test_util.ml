@@ -145,6 +145,29 @@ let intmath_units () =
   Alcotest.(check int) "gcd 0 0" 0 (Intmath.gcd 0 0);
   Alcotest.(check int) "ceil_div" 4 (Intmath.ceil_div 10 3)
 
+let intmath_checked_units () =
+  let some = Alcotest.(check (option int)) in
+  some "mul small" (Some 42) (Intmath.mul_checked 6 7);
+  some "mul negative" (Some (-42)) (Intmath.mul_checked (-6) 7);
+  some "mul zero" (Some 0) (Intmath.mul_checked 0 max_int);
+  some "mul overflow" None (Intmath.mul_checked max_int 2);
+  some "mul overflow negative" None (Intmath.mul_checked min_int 2);
+  some "mul min_int * -1" None (Intmath.mul_checked min_int (-1));
+  some "mul at edge" (Some max_int) (Intmath.mul_checked max_int 1);
+  some "add small" (Some 5) (Intmath.add_checked 2 3);
+  some "add overflow" None (Intmath.add_checked max_int 1);
+  some "add underflow" None (Intmath.add_checked min_int (-1));
+  some "add mixed signs never overflows" (Some (-1)) (Intmath.add_checked min_int max_int)
+
+let intmath_mul_checked_sound =
+  QCheck.Test.make ~count:2000 ~name:"mul_checked agrees with exact product"
+    (QCheck.pair QCheck.int QCheck.int)
+    (fun (a, b) ->
+      let exact = B.mul (B.of_int a) (B.of_int b) in
+      match Intmath.mul_checked a b with
+      | Some p -> B.equal (B.of_int p) exact
+      | None -> not (B.equal (B.of_int (a * b)) exact))
+
 (* --- Prng --- *)
 
 let prng_deterministic () =
@@ -208,6 +231,27 @@ let json_units () =
   let pretty = Json.to_string ~pretty:true (Json.Obj [ ("x", Json.List [ Json.Int 1 ]) ]) in
   Alcotest.(check bool) "pretty has newlines" true (String.contains pretty '\n')
 
+(* Non-finite floats have no JSON literal (RFC 8259): serialize as null,
+   and the parser must not accept bare NaN/Infinity spellings. *)
+let json_nonfinite () =
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "+inf -> null" "null" (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "-inf -> null" "null"
+    (Json.to_string (Json.Float Float.neg_infinity));
+  Alcotest.(check string) "nan inside structure" {|{"v":null,"w":[null,1.5]}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("v", Json.Float Float.nan);
+            ("w", Json.List [ Json.Float Float.neg_infinity; Json.Float 1.5 ]) ]));
+  let rejects s =
+    Alcotest.(check bool)
+      (Printf.sprintf "of_string rejects %s" s)
+      true
+      (match Json.of_string s with Error _ -> true | Ok _ -> false)
+  in
+  List.iter rejects
+    [ "NaN"; "Infinity"; "-Infinity"; "nan"; "inf"; {|{"v":NaN}|}; "[Infinity]" ]
+
 let () =
   Alcotest.run "rwt_util"
     [ ( "bigint",
@@ -220,9 +264,13 @@ let () =
           Alcotest.test_case "units" `Quick rat_units;
           Alcotest.test_case "pp_approx edges" `Quick rat_pp_approx_edges ] );
       ( "intmath",
-        [ qtest intmath_lcm_gcd; Alcotest.test_case "units" `Quick intmath_units ] );
+        [ qtest intmath_lcm_gcd; Alcotest.test_case "units" `Quick intmath_units;
+          Alcotest.test_case "checked arithmetic" `Quick intmath_checked_units;
+          qtest intmath_mul_checked_sound ] );
       ( "prng",
         [ Alcotest.test_case "deterministic" `Quick prng_deterministic;
           qtest prng_bounds;
           Alcotest.test_case "split" `Quick prng_split_independent ] );
-      ("json", [ qtest json_escaping; Alcotest.test_case "units" `Quick json_units ]) ]
+      ( "json",
+        [ qtest json_escaping; Alcotest.test_case "units" `Quick json_units;
+          Alcotest.test_case "non-finite floats" `Quick json_nonfinite ] ) ]
