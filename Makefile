@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json batch-bench profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json batch-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -29,6 +29,11 @@ bench-json:
 # (speedup near 1 is expected when the machine has a single core; see doc/BATCH.md)
 batch-bench:
 	dune exec bench/main.exe -- batch
+
+# full fault-injection matrix over the shipped examples (the smoke subset
+# already runs inside `make test`); see doc/RESILIENCE.md
+chaos:
+	dune exec test/chaos.exe -- --full
 
 # per-phase cost table of the full pipeline on Example A, plus raw exports
 profile:

@@ -40,7 +40,7 @@ let example_a () =
   let a = Instances.example_a () in
   List.iter
     (fun model ->
-      let report = Rwt_core.Analysis.analyze model a in
+      let report = Rwt_core.Analysis.analyze_exn model a in
       pf "%a@." Rwt_core.Analysis.pp_report report)
     Comm_model.all;
   pf "paper: overlap P = 189 = Mct (critical: P0 out-port);@.";
@@ -58,7 +58,7 @@ let tpn_stats () =
   let a = Instances.example_a () in
   List.iter
     (fun model ->
-      let net = Rwt_core.Tpn_build.build model a in
+      let net = Rwt_core.Tpn_build.build_exn model a in
       pf "%s: %a (m = %d rows x %d columns)@." (Comm_model.to_string model)
         Rwt_petri.Tpn.pp_stats net.Rwt_core.Tpn_build.tpn net.Rwt_core.Tpn_build.m
         ((2 * net.Rwt_core.Tpn_build.n_stages) - 1);
@@ -74,7 +74,7 @@ let tpn_stats () =
 let example_b () =
   section "Example B (Figure 6, §4.1) — no critical resource under overlap";
   let b = Instances.example_b () in
-  let report = Rwt_core.Analysis.analyze Comm_model.Overlap b in
+  let report = Rwt_core.Analysis.analyze_exn Comm_model.Overlap b in
   pf "%a@." Rwt_core.Analysis.pp_report report;
   pf "paper: Mct = 258.3 (P2 out-port) < P = 291.7@.";
   let sim = Rwt_sim.Schedule.measured_period Comm_model.Overlap b in
@@ -112,7 +112,7 @@ let gantt_b () =
 let critical_cycle () =
   section "Figure 8 — complex critical cycle of Example A (strict)";
   let a = Instances.example_a () in
-  let result = Rwt_core.Exact.period Comm_model.Strict a in
+  let result = Rwt_core.Exact.period_exn Comm_model.Strict a in
   pf "%a@." (Rwt_core.Exact.pp_critical result) ()
 
 (* ------------------------------------------------------------------ *)
@@ -252,7 +252,7 @@ let extension_stochastic () =
 let minimal_witness () =
   section "New result — minimal overlap no-critical-resource witness (4 x 3 replicas)";
   let inst = Instances.minimal_no_critical_overlap () in
-  let report = Rwt_core.Analysis.analyze Comm_model.Overlap inst in
+  let report = Rwt_core.Analysis.analyze_exn Comm_model.Overlap inst in
   pf "%a@." Rwt_core.Analysis.pp_report report;
   pf "found by this repository's Table 2 campaign; the paper's own campaign found 0      overlap cases in 2576 runs (its smallest known witness, Example B, is 3 x 4)@."
 
@@ -372,7 +372,7 @@ let bechamel () =
   let a = Instances.example_a () in
   let b = Instances.example_b () in
   let c = Instances.example_c () in
-  let strict_net = Rwt_core.Tpn_build.build Comm_model.Strict a in
+  let strict_net = Rwt_core.Tpn_build.build_exn Comm_model.Strict a in
   let strict_graph = Rwt_petri.Mcr.graph_of_tpn strict_net.Rwt_core.Tpn_build.tpn in
   let rnd =
     let r = Prng.create 5 in
@@ -385,9 +385,9 @@ let bechamel () =
       Test.make ~name:"fig2/poly-period-example-a"
         (Staged.stage (fun () -> ignore (Rwt_core.Poly_overlap.period a)));
       Test.make ~name:"fig4/tpn-build-example-a"
-        (Staged.stage (fun () -> ignore (Rwt_core.Tpn_build.build Comm_model.Overlap a)));
+        (Staged.stage (fun () -> ignore (Rwt_core.Tpn_build.build_exn Comm_model.Overlap a)));
       Test.make ~name:"sec42/strict-exact-example-a"
-        (Staged.stage (fun () -> ignore (Rwt_core.Exact.period Comm_model.Strict a)));
+        (Staged.stage (fun () -> ignore (Rwt_core.Exact.period_exn Comm_model.Strict a)));
       Test.make ~name:"fig6/poly-period-example-b"
         (Staged.stage (fun () -> ignore (Rwt_core.Poly_overlap.period b)));
       Test.make ~name:"fig7/simulate-gantt-example-a"

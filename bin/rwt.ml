@@ -14,10 +14,13 @@ open Rwt_workflow
 
 (* --- instance sources: a file or a named example --- *)
 
+let cli_err msg = Rwt_err.validate ~code:"validate.cli" msg
+
 let load_instance file example =
   match (file, example) with
-  | Some _, Some _ -> Error "use either --file or --example, not both"
-  | None, None -> Error "an instance is required: --file <path> or --example <a|b|c|figure1>"
+  | Some _, Some _ -> Error (cli_err "use either --file or --example, not both")
+  | None, None ->
+    Error (cli_err "an instance is required: --file <path> or --example <a|b|c|figure1>")
   | Some path, None -> Format_io.load path
   | None, Some name ->
     (match String.lowercase_ascii name with
@@ -25,7 +28,9 @@ let load_instance file example =
      | "b" | "example-b" -> Ok (Instances.example_b ())
      | "c" | "example-c" -> Ok (Instances.example_c ())
      | "no-replication" | "nr" -> Ok (Instances.no_replication ())
-     | other -> Error (Printf.sprintf "unknown example %S (try a, b, c, no-replication)" other))
+     | other ->
+       Error
+         (cli_err (Printf.sprintf "unknown example %S (try a, b, c, no-replication)" other)))
 
 let file_arg =
   Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH"
@@ -48,11 +53,11 @@ let model_arg =
        & info [ "m"; "model" ] ~docv:"MODEL"
            ~doc:"Communication model: overlap (default) or strict.")
 
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-    prerr_endline ("rwt: " ^ msg);
-    exit 1
+let die_err e =
+  prerr_endline ("rwt: " ^ Rwt_err.to_line e);
+  exit 1
+
+let or_die = function Ok v -> v | Error e -> die_err e
 
 (* --- observability: --metrics / --trace on every command --- *)
 
@@ -80,7 +85,21 @@ let obs_term =
            ~doc:"Record span trace events and dump Chrome trace-event JSON \
                  (chrome://tracing, Perfetto) to $(docv) on exit (\"-\" for stdout).")
   in
-  let setup metrics trace =
+  let fault_arg =
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Arm the deterministic fault-injection harness with $(docv) \
+                 (grammar in doc/RESILIENCE.md, e.g. \
+                 \"tpn.build=capacity;seed=7\"). Overrides \\$RWT_FAULT.")
+  in
+  let setup metrics trace fault =
+    (match fault with
+     | None -> ()
+     | Some spec ->
+       (match Rwt_fault.install spec with
+        | Ok () -> ()
+        | Error e ->
+          prerr_endline ("rwt: " ^ Rwt_err.to_line e);
+          exit 2));
     if metrics <> None || trace <> None then begin
       Rwt_obs.enable ~trace:(trace <> None) ();
       at_exit (fun () ->
@@ -93,7 +112,7 @@ let obs_term =
           | None -> ())
     end
   in
-  Term.(const setup $ metrics_arg $ trace_arg)
+  Term.(const setup $ metrics_arg $ trace_arg $ fault_arg)
 
 (* --- period --- *)
 
@@ -120,7 +139,7 @@ let method_arg =
 let period_cmd =
   let run () file example model method_ exact json =
     let inst = or_die (load_instance file example) in
-    let report = Rwt_core.Analysis.analyze ~method_ model inst in
+    let report = Rwt_core.Analysis.analyze_exn ~method_ model inst in
     if json then
       print_endline
         (Json.to_string ~pretty:true (Rwt_core.Analysis.report_to_json inst report))
@@ -178,7 +197,7 @@ let paths_cmd =
 let tpn_cmd =
   let run () file example model dot pnml =
     let inst = or_die (load_instance file example) in
-    let net = Rwt_core.Tpn_build.build model inst in
+    let net = Rwt_core.Tpn_build.build_exn model inst in
     if dot then print_string (Rwt_petri.Tpn.to_dot net.Rwt_core.Tpn_build.tpn)
     else if pnml then print_string (Rwt_petri.Pnml.to_string net.Rwt_core.Tpn_build.tpn)
     else
@@ -200,7 +219,7 @@ let tpn_cmd =
 let critical_cmd =
   let run () file example model =
     let inst = or_die (load_instance file example) in
-    let result = Rwt_core.Exact.period model inst in
+    let result = Rwt_core.Exact.period_exn model inst in
     Format.printf "%a@." (Rwt_core.Exact.pp_critical result) ()
   in
   Cmd.v
@@ -298,7 +317,7 @@ let show_cmd =
 let certificate_cmd =
   let run () file example model verify_only =
     let inst = or_die (load_instance file example) in
-    let net = Rwt_core.Tpn_build.build model inst in
+    let net = Rwt_core.Tpn_build.build_exn model inst in
     let g = Rwt_petri.Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn in
     match Rwt_petri.Certificate.make g with
     | None -> prerr_endline "rwt: acyclic net, nothing to certify"; exit 1
@@ -381,7 +400,7 @@ let optimize_cmd =
     Format.printf "greedy baseline:@.%a@.@." Rwt_core.Optimize.pp greedy;
     let ls = Rwt_core.Optimize.local_search ~seed ~iterations model pipeline platform in
     Format.printf "local search:@.%a@." Rwt_core.Optimize.pp ls;
-    let given = Rwt_core.Analysis.analyze model inst in
+    let given = Rwt_core.Analysis.analyze_exn model inst in
     Format.printf "@.(the instance's own mapping has period %a)@." Rat.pp_approx
       given.Rwt_core.Analysis.period
   in
@@ -485,7 +504,7 @@ let profile_cmd =
        Format.printf "poly period:     %a@." Rat.pp_approx p
      | Comm_model.Strict -> ());
     (* phase 2: full TPN build + exact max-cycle-ratio *)
-    let result = Rwt_core.Exact.period model inst in
+    let result = Rwt_core.Exact.period_exn model inst in
     Format.printf "tpn period:      %a (critical cycle: %d transitions)@." Rat.pp_approx
       result.Rwt_core.Exact.period
       (List.length result.Rwt_core.Exact.critical);
@@ -513,7 +532,9 @@ let profile_cmd =
 (* --- batch --- *)
 
 let batch_cmd =
-  let run () jobfile jobs timeout cap out no_timing =
+  let run () jobfile jobs timeout cap out no_timing journal resume retries backoff_ms =
+    if resume && journal = None then
+      die_err (cli_err "batch --resume requires --journal FILE");
     let contents =
       match jobfile with
       | "-" -> In_channel.input_all In_channel.stdin
@@ -524,12 +545,8 @@ let batch_cmd =
            exit 1)
     in
     match Rwt_batch.parse_jobs contents with
-    | Error msg ->
-      prerr_endline ("rwt: " ^ jobfile ^ ": " ^ msg);
-      exit 1
-    | Ok [] ->
-      prerr_endline ("rwt: " ^ jobfile ^ ": no jobs");
-      exit 1
+    | Error e -> die_err { e with Rwt_err.context = ("jobfile", jobfile) :: e.Rwt_err.context }
+    | Ok [] -> die_err (cli_err (jobfile ^ ": no jobs"))
     | Ok job_list ->
       let oc, close =
         match out with
@@ -543,8 +560,8 @@ let batch_cmd =
              exit 1)
       in
       let summary =
-        Rwt_batch.run_to_channel ?jobs ?timeout ?transition_cap:cap
-          ~timing:(not no_timing) oc job_list
+        Rwt_batch.run_to_channel ?jobs ?timeout ?transition_cap:cap ?journal ~resume
+          ~retries ~backoff_ms ~timing:(not no_timing) oc job_list
       in
       close ();
       (* wall time is machine-dependent; keep the summary deterministic
@@ -583,13 +600,36 @@ let batch_cmd =
            ~doc:"Omit wall-time fields so output is byte-identical across runs \
                  and worker counts.")
   in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append each completed evaluation to $(docv) (fsync'd NDJSON \
+                 sidecar) so a killed batch can be finished with --resume; \
+                 see doc/RESILIENCE.md for the format.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Replay results already recorded in --journal and evaluate \
+                 only the missing jobs. The journal must have been written \
+                 by the same job list and options.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Re-evaluate a job whose failure is transient (fault class) \
+                 up to $(docv) extra times under exponential backoff.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 100.0 & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"Base retry backoff: sleep $(docv)*2^k ms before retry k+1 \
+                 (default 100).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Evaluate a stream of (instance, model, method) jobs on a work-stealing \
              pool of domains, one NDJSON result line per job, in job order. \
              Duplicate jobs are served from a canonical-instance memo cache.")
     Term.(const run $ obs_term $ jobfile_arg $ jobs_arg $ timeout_arg $ cap_arg
-          $ out_arg $ no_timing_arg)
+          $ out_arg $ no_timing_arg $ journal_arg $ resume_arg $ retries_arg
+          $ backoff_arg)
 
 (* --- json-check --- *)
 
@@ -630,10 +670,22 @@ let main =
       json_check_cmd ]
 
 let () =
-  (* model-level errors (invalid mapping, lcm overflow, …) become clean
-     diagnostics rather than cmdliner's "internal error" banner *)
+  (* arm fault injection from the environment before any command runs;
+     --fault (per command) overrides *)
+  (match Rwt_fault.install_from_env () with
+   | Ok () -> ()
+   | Error e ->
+     prerr_endline ("rwt: " ^ Rwt_err.to_line e);
+     exit 2);
+  (* every failure — model-level (invalid mapping, lcm overflow, …),
+     solver, or injected — becomes one typed diagnostic line, never a raw
+     backtrace or cmdliner's "internal error" banner *)
   match Cmd.eval ~catch:false main with
   | code -> exit code
-  | exception (Invalid_argument msg | Failure msg) ->
-    prerr_endline ("rwt: " ^ msg);
+  | exception Rwt_err.Error e ->
+    prerr_endline ("rwt: " ^ Rwt_err.to_line e);
+    exit 2
+  | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+  | exception e ->
+    prerr_endline ("rwt: " ^ Rwt_err.to_line (Rwt_err.of_exn e));
     exit 2

@@ -36,7 +36,7 @@ let () =
   Format.printf "DataCutter-style filter chain on a two-site grid@.@.";
   List.iter
     (fun model ->
-      let report = Rwt_core.Analysis.analyze model inst in
+      let report = Rwt_core.Analysis.analyze_exn model inst in
       Format.printf "--- %s ---@.%a@.@." (Comm_model.to_string model)
         Rwt_core.Analysis.pp_report report;
       Format.printf "resource cycle-times:@.%a@.@." (Cycle_time.pp_table model) inst)
@@ -45,7 +45,7 @@ let () =
   (* The strict model usually has the larger gap: show the critical cycle
      that the Petri-net analysis finds (the paper's Figure 8 flavour) and
      that it spans several resources. *)
-  let result = Rwt_core.Exact.period Comm_model.Strict inst in
+  let result = Rwt_core.Exact.period_exn Comm_model.Strict inst in
   Format.printf "%a@." (Rwt_core.Exact.pp_critical result) ();
 
   (* Steady-state utilization: in the absence of a critical resource every

@@ -15,10 +15,10 @@ let () =
     (Mapping.num_paths a.Instance.mapping);
   hr ();
   Format.printf "%a@." Paths.pp_table (a.Instance.mapping, 8);
-  let overlap_a = Rwt_core.Analysis.analyze Comm_model.Overlap a in
+  let overlap_a = Rwt_core.Analysis.analyze_exn Comm_model.Overlap a in
   Format.printf "overlap: %a@.  paper: period 189, critical resource P0-out@.@."
     Rwt_core.Analysis.pp_report overlap_a;
-  let strict_a = Rwt_core.Analysis.analyze Comm_model.Strict a in
+  let strict_a = Rwt_core.Analysis.analyze_exn Comm_model.Strict a in
   Format.printf "strict: %a@.  paper: Mct 215.8 on P2, period 230.7@.@."
     Rwt_core.Analysis.pp_report strict_a;
   Format.printf "Gantt of the strict schedule, one period (Figure 7):@.";
@@ -31,7 +31,7 @@ let () =
   Format.printf "Example B: S0 replicated x3, S1 replicated x4 (m = %d paths)@."
     (Mapping.num_paths b.Instance.mapping);
   hr ();
-  let overlap_b = Rwt_core.Analysis.analyze Comm_model.Overlap b in
+  let overlap_b = Rwt_core.Analysis.analyze_exn Comm_model.Overlap b in
   Format.printf "overlap: %a@.  paper: Mct 258.3 (P2 out-port), period 291.7@.@."
     Rwt_core.Analysis.pp_report overlap_b;
   Format.printf "Gantt of the overlap schedule (Figure 12):@.";

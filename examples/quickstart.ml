@@ -30,7 +30,7 @@ let () =
   let mapping =
     Mapping.create_exn ~n_stages:3 ~p:5 [| [| 0 |]; [| 1; 2; 3 |]; [| 4 |] |]
   in
-  let inst = Instance.create ~name:"quickstart" ~pipeline ~platform ~mapping in
+  let inst = Instance.create_exn ~name:"quickstart" ~pipeline ~platform ~mapping in
 
   Format.printf "%a@." Instance.pp inst;
   Format.printf "round-robin paths:@.%a@." Paths.pp_table (mapping, Paths.num_paths mapping);
@@ -38,7 +38,7 @@ let () =
   (* Throughput analysis: Theorem 1 for overlap, full TPN for strict. *)
   List.iter
     (fun model ->
-      let report = Rwt_core.Analysis.analyze model inst in
+      let report = Rwt_core.Analysis.analyze_exn model inst in
       Format.printf "--- %s ---@.%a@.@." (Comm_model.to_string model)
         Rwt_core.Analysis.pp_report report)
     Comm_model.all;

@@ -38,8 +38,8 @@ let () =
   List.iter
     (fun replicas ->
       let inst = instance ~replicas in
-      let overlap = Rwt_core.Analysis.analyze Comm_model.Overlap inst in
-      let strict = Rwt_core.Analysis.analyze Comm_model.Strict inst in
+      let overlap = Rwt_core.Analysis.analyze_exn Comm_model.Overlap inst in
+      let strict = Rwt_core.Analysis.analyze_exn Comm_model.Strict inst in
       let latency = Rwt_core.Latency.analyze Comm_model.Overlap inst in
       Format.printf "%-3d %-14s %-14.4f %-14s %-22s %s@." replicas
         (Format.asprintf "%a" Rat.pp_approx overlap.Rwt_core.Analysis.period)

@@ -48,9 +48,9 @@ let () =
   List.iter
     (fun (label, assignment) ->
       let mapping = mapping_of assignment in
-      let inst = Instance.create ~name:label ~pipeline ~platform ~mapping in
-      let overlap = Rwt_core.Analysis.analyze Comm_model.Overlap inst in
-      let strict = Rwt_core.Analysis.analyze Comm_model.Strict inst in
+      let inst = Instance.create_exn ~name:label ~pipeline ~platform ~mapping in
+      let overlap = Rwt_core.Analysis.analyze_exn Comm_model.Overlap inst in
+      let strict = Rwt_core.Analysis.analyze_exn Comm_model.Strict inst in
       Format.printf "%-46s %12s %12s %10d %s@." label
         (Format.asprintf "%a" Rat.pp_approx overlap.Rwt_core.Analysis.period)
         (Format.asprintf "%a" Rat.pp_approx strict.Rwt_core.Analysis.period)
@@ -64,7 +64,7 @@ let () =
   (* Zoom on the best mapping: who is the bottleneck now? *)
   let label, best = List.nth candidates 3 in
   let inst =
-    Instance.create ~name:label ~pipeline ~platform ~mapping:(mapping_of best)
+    Instance.create_exn ~name:label ~pipeline ~platform ~mapping:(mapping_of best)
   in
   Format.printf "@.resource cycle-times for %S (overlap):@.%a@." label
     (Cycle_time.pp_table Comm_model.Overlap) inst;
@@ -79,7 +79,7 @@ let () =
   Format.printf "@.heuristic mapping search (overlap):@.%a@." Rwt_core.Optimize.pp search;
   let latency =
     Rwt_core.Latency.analyze Comm_model.Overlap
-      (Instance.create ~name:"optimized" ~pipeline ~platform
+      (Instance.create_exn ~name:"optimized" ~pipeline ~platform
          ~mapping:search.Rwt_core.Optimize.mapping)
   in
   Format.printf "@.throughput is not free: %a@." Rwt_core.Latency.pp latency

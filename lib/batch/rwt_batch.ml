@@ -31,12 +31,21 @@ let method_of_string = function
 
 (* --- job-file parsing --- *)
 
+let jobs_err ~lineno msg =
+  Rwt_err.parse ~code:"parse.jobs" ~line:lineno msg
+
 let parse_job_line ~index ~lineno line =
   (* '[' is accepted into the JSON branch only to reject it with a clear
      "expected an object" error instead of treating it as a file path *)
   if String.length line > 0 && (line.[0] = '{' || line.[0] = '[') then
-    match Json.of_string line with
-    | Error msg -> Error (Printf.sprintf "line %d: bad JSON: %s" lineno msg)
+    match Json.of_string_pos line with
+    | Error e ->
+      (* the job line is one line of the job file: its line number is the
+         job-file line, the JSON position contributes the column *)
+      Error
+        (Rwt_err.parse ~code:"parse.jobs" ~line:lineno ~col:e.Json.col
+           ~context:[ ("offset", string_of_int e.Json.offset) ]
+           (Printf.sprintf "bad JSON: %s" e.Json.reason))
     | Ok (Json.Obj fields) ->
       let exception Bad of string in
       (try
@@ -63,12 +72,12 @@ let parse_job_line ~index ~lineno line =
          | None -> raise (Bad "missing key \"file\"")
          | Some path ->
            Ok { index; id = !id; spec = File path; model = !model; method_ = !method_ }
-       with Bad msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
-    | Ok _ -> Error (Printf.sprintf "line %d: expected a JSON object" lineno)
+       with Bad msg -> Error (jobs_err ~lineno msg))
+    | Ok _ -> Error (jobs_err ~lineno "expected a JSON object")
   else Ok (job ~index (File line))
 
 let parse_jobs contents =
-  let exception Fail of string in
+  let exception Fail of Rwt_err.t in
   try
     let jobs = ref [] and index = ref 0 in
     List.iteri
@@ -77,16 +86,16 @@ let parse_jobs contents =
         if line <> "" && line.[0] <> '#' then begin
           (match parse_job_line ~index:!index ~lineno:(i + 1) line with
            | Ok j -> jobs := j :: !jobs
-           | Error msg -> raise (Fail msg));
+           | Error e -> raise (Fail e));
           incr index
         end)
       (String.split_on_char '\n' contents);
     Ok (List.rev !jobs)
-  with Fail msg -> Error msg
+  with Fail e -> Error e
 
 (* --- outcomes --- *)
 
-type status = Done | Failed of string | Timed_out
+type status = Done | Failed of Rwt_err.t | Timed_out
 
 type outcome = {
   job : job;
@@ -115,7 +124,11 @@ let outcome_to_json ?(timing = true) o =
   let status =
     match o.status with
     | Done -> [ ("status", Json.String "ok") ]
-    | Failed msg -> [ ("status", Json.String "error"); ("error", Json.String msg) ]
+    | Failed e ->
+      [ ("status", Json.String "error");
+        ("error", Json.String (Rwt_err.to_line e));
+        ("error_class", Json.String (Rwt_err.class_name e.Rwt_err.class_));
+        ("error_code", Json.String e.Rwt_err.code) ]
     | Timed_out -> [ ("status", Json.String "timeout") ]
   in
   let result =
@@ -144,6 +157,8 @@ type summary = {
   errors : int;
   timeouts : int;
   cache_hits : int;
+  resumed : int;
+  retried : int;
   workers : int;
   elapsed_s : float;
 }
@@ -158,7 +173,9 @@ let pp_summary fmt s =
     (if s.timeouts = 1 then "" else "s")
     s.cache_hits
     (if s.cache_hits = 1 then "" else "s")
-    s.workers
+    s.workers;
+  if s.resumed > 0 then Format.fprintf fmt ", %d resumed" s.resumed;
+  if s.retried > 0 then Format.fprintf fmt ", %d retried" s.retried
 
 (* --- evaluation --- *)
 
@@ -169,7 +186,7 @@ let now = Unix.gettimeofday
    shares one evaluation; model and method are part of the key *)
 let canonical_key inst model method_ =
   let anon =
-    Instance.create ~name:"" ~pipeline:inst.Instance.pipeline
+    Instance.create_exn ~name:"" ~pipeline:inst.Instance.pipeline
       ~platform:inst.Instance.platform ~mapping:inst.Instance.mapping
   in
   Printf.sprintf "%s|%s|%s" (Format_io.to_string anon) (Comm_model.to_string model)
@@ -179,10 +196,12 @@ let load_spec = function
   | Inline inst -> Ok inst
   | File path -> Format_io.load path
 
-(* one job, already loaded; [deadline] is absolute, checked at the
-   checkpoints (we cannot preempt a running solver — lcm blow-ups are
-   instead cut short by the transition cap) *)
+(* one job, already loaded; [deadline] is absolute. It is checked here at
+   the job checkpoints and threaded as a cooperative closure into the
+   solvers (Mcr iteration loops poll it), so a budget can fire inside a
+   long-running solve, not only between pipeline stages. *)
 let eval_loaded ?deadline ?transition_cap (j : job) inst =
+  Obs.with_span "batch.job" @@ fun () ->
   let start = now () in
   let shape =
     ( Some inst.Instance.name,
@@ -200,9 +219,180 @@ let eval_loaded ?deadline ?transition_cap (j : job) inst =
   in
   if over_deadline () then finish Timed_out None
   else
-    match Analysis.analyze ~method_:j.method_ ?transition_cap j.model inst with
-    | report -> finish Done (Some report.Analysis.period)
-    | exception (Failure msg | Invalid_argument msg) -> finish (Failed msg) None
+    let solver_deadline =
+      match deadline with Some d -> Some (fun () -> now () >= d) | None -> None
+    in
+    match
+      Rwt_err.catch (fun () ->
+          Analysis.analyze_exn ~method_:j.method_ ?transition_cap
+            ?deadline:solver_deadline j.model inst)
+    with
+    | Ok report -> finish Done (Some report.Analysis.period)
+    | Error { Rwt_err.class_ = Timeout; _ } -> finish Timed_out None
+    | Error e -> finish (Failed e) None
+
+(* --- crash-safe journal ---
+
+   Append-only NDJSON sidecar: a header line binding the journal to the
+   job list (and the options that affect results), then one record per
+   completed representative job. Every record is flushed and fsync'd
+   before the result is considered durable, so after a kill the journal
+   holds exactly the completed evaluations; a torn trailing line (the
+   crash hit mid-write) is detected by the JSON parser and dropped. *)
+
+let journal_schema = "rwt.journal/1"
+
+let journal_key ?timeout ?transition_cap job_list =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun j ->
+      Buffer.add_string buf (string_of_int j.index);
+      Buffer.add_char buf '\x00';
+      (match j.id with Some s -> Buffer.add_string buf s | None -> ());
+      Buffer.add_char buf '\x00';
+      (match j.spec with
+       | File p -> Buffer.add_string buf ("F" ^ p)
+       | Inline i -> Buffer.add_string buf ("I" ^ Format_io.to_string i));
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Comm_model.to_string j.model);
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (method_to_string j.method_);
+      Buffer.add_char buf '\x00')
+    job_list;
+  (match timeout with
+   | Some t -> Buffer.add_string buf (Printf.sprintf "timeout=%h" t)
+   | None -> ());
+  (match transition_cap with
+   | Some c -> Buffer.add_string buf (Printf.sprintf "cap=%d" c)
+   | None -> ());
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* the durable fields of a representative outcome; shape fields (m,
+   stages, resources, instance name) are recomputed from the reloaded
+   instance on resume, which keeps records small and the rendering
+   byte-identical either way *)
+type record = {
+  rec_status : string; (* "ok" | "error" | "timeout" *)
+  rec_period : Rat.t option;
+  rec_error : Rwt_err.t option;
+  rec_wall_s : float;
+}
+
+let record_to_json i r =
+  let opt k f v = match v with None -> [] | Some x -> [ (k, f x) ] in
+  Json.Obj
+    (("job", Json.Int i)
+     :: ("status", Json.String r.rec_status)
+     :: (opt "period" (fun p -> Json.String (Rat.to_string p)) r.rec_period
+         @ opt "error" Rwt_err.to_json r.rec_error
+         @ [ ("wall_s", Json.Float r.rec_wall_s) ]))
+
+let record_of_json = function
+  | Json.Obj fields ->
+    let str k =
+      match List.assoc_opt k fields with Some (Json.String s) -> Some s | _ -> None
+    in
+    (match (List.assoc_opt "job" fields, str "status") with
+     | Some (Json.Int i), Some rec_status ->
+       let rec_period =
+         match str "period" with
+         | Some s -> (try Some (Rat.of_string s) with _ -> None)
+         | None -> None
+       in
+       let rec_error = Option.bind (List.assoc_opt "error" fields) Rwt_err.of_json in
+       let rec_wall_s =
+         match List.assoc_opt "wall_s" fields with
+         | Some (Json.Float f) -> f
+         | Some (Json.Int n) -> float_of_int n
+         | _ -> 0.0
+       in
+       Some (i, { rec_status; rec_period; rec_error; rec_wall_s })
+     | _ -> None)
+  | _ -> None
+
+let record_of_outcome o =
+  match o.status with
+  | Done ->
+    { rec_status = "ok"; rec_period = o.period; rec_error = None; rec_wall_s = o.wall_s }
+  | Failed e ->
+    { rec_status = "error"; rec_period = None; rec_error = Some e;
+      rec_wall_s = o.wall_s }
+  | Timed_out ->
+    { rec_status = "timeout"; rec_period = None; rec_error = None;
+      rec_wall_s = o.wall_s }
+
+let outcome_of_record (j : job) inst r =
+  let status =
+    match r.rec_status with
+    | "ok" -> Done
+    | "timeout" -> Timed_out
+    | _ ->
+      Failed
+        (match r.rec_error with
+         | Some e -> e
+         | None -> Rwt_err.internal ~code:"internal.journal" "journaled error lost")
+  in
+  { job = j;
+    status;
+    instance_name = Some inst.Instance.name;
+    period = r.rec_period;
+    m = Some (Mapping.num_paths inst.Instance.mapping);
+    n_stages = Some (Mapping.n_stages inst.Instance.mapping);
+    n_resources = Some (List.length (Instance.resources inst));
+    cache_hit = false;
+    wall_s = r.rec_wall_s }
+
+type journal = { fd : Unix.file_descr; jmu : Mutex.t }
+
+let journal_append jr json =
+  let line = Json.to_string json ^ "\n" in
+  Mutex.protect jr.jmu (fun () ->
+      ignore (Unix.write_substring jr.fd line 0 (String.length line));
+      Unix.fsync jr.fd)
+
+(* read a journal left by an interrupted run: header must carry the same
+   binding key, then every parseable record line contributes; the first
+   malformed line ends the scan (torn tail from the crash) *)
+let journal_read path key =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> Ok None
+  | contents ->
+    (match String.split_on_char '\n' contents with
+     | [] | [ "" ] -> Ok None
+     | header :: rest ->
+       (match Json.of_string header with
+        | Ok (Json.Obj fields)
+          when List.assoc_opt "schema" fields = Some (Json.String journal_schema) ->
+          (match List.assoc_opt "key" fields with
+           | Some (Json.String k) when k = key ->
+             let records = Hashtbl.create 64 in
+             (try
+                List.iter
+                  (fun line ->
+                    if String.trim line <> "" then
+                      match Json.of_string line with
+                      | Ok j ->
+                        (match record_of_json j with
+                         | Some (i, r) -> Hashtbl.replace records i r
+                         | None -> raise Exit)
+                      | Error _ -> raise Exit)
+                  rest
+              with Exit -> ());
+             Ok (Some records)
+           | Some (Json.String k) ->
+             Error
+               (Rwt_err.validate ~code:"validate.journal"
+                  ~context:[ ("file", path); ("expected", key); ("found", k) ]
+                  "journal does not match this job list and options; \
+                   remove it or rerun without --resume")
+           | _ ->
+             Error
+               (Rwt_err.parse ~code:"parse.journal" ~file:path
+                  "journal header has no key"))
+        | _ ->
+          Error
+            (Rwt_err.parse ~code:"parse.journal" ~file:path
+               "not a batch journal (bad or missing header)")))
 
 (* --- work-stealing pool ---
 
@@ -276,7 +466,8 @@ let run_pool ~workers ~n_tasks (run_task : int -> unit) =
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run ?jobs ?timeout ?transition_cap (job_list : job list) =
+let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
+    ?(retries = 0) ?(backoff_ms = 100.0) (job_list : job list) =
   Obs.with_span "batch.run" @@ fun () ->
   let t_start = now () in
   let workers =
@@ -287,6 +478,36 @@ let run ?jobs ?timeout ?transition_cap (job_list : job list) =
   let job_arr = Array.of_list job_list in
   let n = Array.length job_arr in
   let results : outcome option array = Array.make n None in
+  (* journal setup: bind to the job list, recover completed records when
+     resuming, then (re)open for appending *)
+  let key = lazy (journal_key ?timeout ?transition_cap job_list) in
+  let recovered =
+    match journal_path with
+    | Some path when resume ->
+      (match journal_read path (Lazy.force key) with
+       | Ok (Some records) -> records
+       | Ok None -> Hashtbl.create 0
+       | Error e -> Rwt_err.raise_ e)
+    | _ -> Hashtbl.create 0
+  in
+  let journal =
+    match journal_path with
+    | None -> None
+    | Some path ->
+      let fresh = not (resume && Sys.file_exists path) in
+      let flags =
+        if fresh then Unix.[ O_WRONLY; O_CREAT; O_TRUNC ]
+        else Unix.[ O_WRONLY; O_APPEND ]
+      in
+      let fd = Unix.openfile path flags 0o644 in
+      let jr = { fd; jmu = Mutex.create () } in
+      if fresh then
+        journal_append jr
+          (Json.Obj
+             [ ("schema", Json.String journal_schema);
+               ("key", Json.String (Lazy.force key)) ]);
+      Some jr
+  in
   (* phase 1 (sequential, cheap): load every instance and dedupe on the
      canonical key so duplicates resolve identically at any worker count *)
   let seen : (string, int) Hashtbl.t = Hashtbl.create (2 * n) in
@@ -296,10 +517,10 @@ let run ?jobs ?timeout ?transition_cap (job_list : job list) =
   Array.iteri
     (fun i j ->
       match load_spec j.spec with
-      | Error msg ->
+      | Error e ->
         results.(i) <-
           Some
-            { job = j; status = Failed msg; instance_name = None; period = None;
+            { job = j; status = Failed e; instance_name = None; period = None;
               m = None; n_stages = None; n_resources = None; cache_hit = false;
               wall_s = 0.0 }
       | Ok inst ->
@@ -312,22 +533,57 @@ let run ?jobs ?timeout ?transition_cap (job_list : job list) =
            unique := i :: !unique))
     job_arr;
   let unique = Array.of_list (List.rev !unique) in
-  (* phase 2 (parallel): evaluate the unique jobs *)
+  let resumed = Atomic.make 0 in
+  let retried = Atomic.make 0 in
+  (* phase 2 (parallel): evaluate the unique jobs — journaled results are
+     replayed without re-evaluating, transient failures retry under
+     bounded exponential backoff, fresh results are journaled durably *)
   run_pool ~workers ~n_tasks:(Array.length unique) (fun t ->
       let i = unique.(t) in
       let j = job_arr.(i) in
       let inst = Option.get loaded.(i) in
-      let deadline = Option.map (fun s -> now () +. s) timeout in
       let o =
-        match eval_loaded ?deadline ?transition_cap j inst with
-        | o -> o
-        | exception (Failure msg | Invalid_argument msg) ->
-          { job = j; status = Failed msg; instance_name = Some inst.Instance.name;
-            period = None; m = None; n_stages = None; n_resources = None;
-            cache_hit = false; wall_s = 0.0 }
+        match Hashtbl.find_opt recovered i with
+        | Some r ->
+          Atomic.incr resumed;
+          Obs.incr "batch.resumed";
+          outcome_of_record j inst r
+        | None ->
+          let eval_once () =
+            let deadline = Option.map (fun s -> now () +. s) timeout in
+            match eval_loaded ?deadline ?transition_cap j inst with
+            | o -> o
+            | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+            | exception e ->
+              let err = Rwt_err.of_exn e in
+              let status =
+                match err.Rwt_err.class_ with
+                | Rwt_err.Timeout -> Timed_out
+                | _ -> Failed err
+              in
+              { job = j; status; instance_name = Some inst.Instance.name;
+                period = None; m = None; n_stages = None; n_resources = None;
+                cache_hit = false; wall_s = 0.0 }
+          in
+          let rec attempt k =
+            let o = eval_once () in
+            match o.status with
+            | Failed e when Rwt_err.transient e && k < retries ->
+              Obs.incr "batch.retries";
+              if k = 0 then Atomic.incr retried;
+              Unix.sleepf (backoff_ms *. (2.0 ** float_of_int k) /. 1000.0);
+              attempt (k + 1)
+            | _ -> o
+          in
+          let o = attempt 0 in
+          (match journal with
+           | Some jr -> journal_append jr (record_to_json i (record_of_outcome o))
+           | None -> ());
+          o
       in
       Obs.observe "batch.job_wall_s" o.wall_s;
       results.(i) <- Some o);
+  (match journal with Some jr -> Unix.close jr.fd | None -> ());
   (* phase 3: replay memoized outcomes onto the duplicate jobs *)
   Array.iteri
     (fun i rep ->
@@ -348,6 +604,8 @@ let run ?jobs ?timeout ?transition_cap (job_list : job list) =
       errors = count (fun o -> match o.status with Failed _ -> true | _ -> false);
       timeouts = count (fun o -> o.status = Timed_out);
       cache_hits = count (fun o -> o.cache_hit);
+      resumed = Atomic.get resumed;
+      retried = Atomic.get retried;
       workers;
       elapsed_s = now () -. t_start }
   in
@@ -358,8 +616,12 @@ let run ?jobs ?timeout ?transition_cap (job_list : job list) =
   Obs.gauge "batch.workers" (float_of_int workers);
   (outcomes, summary)
 
-let run_to_channel ?jobs ?timeout ?transition_cap ?timing oc job_list =
-  let outcomes, summary = run ?jobs ?timeout ?transition_cap job_list in
+let run_to_channel ?jobs ?timeout ?transition_cap ?journal ?resume ?retries
+    ?backoff_ms ?timing oc job_list =
+  let outcomes, summary =
+    run ?jobs ?timeout ?transition_cap ?journal ?resume ?retries ?backoff_ms
+      job_list
+  in
   Array.iter
     (fun o ->
       output_string oc (Json.to_string (outcome_to_json ?timing o));

@@ -16,8 +16,18 @@
     domain or sixteen.
 
     {b Robustness.} A job that fails to load, exceeds the per-job timeout
-    at a checkpoint, or blows the transition cap produces an ["error"] or
-    ["timeout"] result line; the batch always runs to completion. *)
+    at a checkpoint (or inside a solver — the budget is threaded into the
+    [Mcr] iteration loops as a cooperative deadline), or blows the
+    transition cap produces an ["error"] or ["timeout"] result line; the
+    batch always runs to completion. Errors are typed ({!Rwt_err.t}), and
+    transient (fault-injected) failures can retry under bounded
+    exponential backoff.
+
+    {b Crash safety.} With [~journal], every completed representative
+    evaluation is appended to an fsync'd NDJSON sidecar before the batch
+    moves on; after a crash, [~resume:true] replays the journaled results
+    and evaluates only the missing jobs, with [--no-timing] output
+    byte-identical to an uninterrupted run. See [doc/RESILIENCE.md]. *)
 
 open Rwt_util
 open Rwt_workflow
@@ -45,7 +55,7 @@ val job :
   job
 (** Job with defaults: OVERLAP model, [Auto] method. *)
 
-val parse_jobs : string -> (job list, string) result
+val parse_jobs : string -> (job list, Rwt_err.t) result
 (** Parse a job file. Each non-empty, non-[#] line is either
 
     - a bare path to an instance file ([.rwt]-list form), evaluated with
@@ -55,13 +65,15 @@ val parse_jobs : string -> (job list, string) result
         "method": "auto"|"tpn"|"poly", "id": "label"}]
       where every key but ["file"] is optional.
 
-    The two forms can be mixed. Errors name the offending line. *)
+    The two forms can be mixed. Errors are typed ({!Rwt_err.Parse}, code
+    ["parse.jobs"]) and carry the offending line (and, for malformed JSON,
+    the column) in their context. *)
 
 (** {1 Outcomes} *)
 
 type status =
   | Done  (** period computed *)
-  | Failed of string  (** load/validation/solver error (cap included) *)
+  | Failed of Rwt_err.t  (** typed load/validation/solver error *)
   | Timed_out  (** per-job budget exhausted at a checkpoint *)
 
 type outcome = {
@@ -78,8 +90,9 @@ type outcome = {
 
 val outcome_to_json : ?timing:bool -> outcome -> Json.t
 (** One NDJSON record. With [timing = false] (default [true]) the
-    [wall_s] field is omitted, making output byte-comparable across runs
-    and worker counts. *)
+    [wall_s] field is omitted, making output byte-comparable across runs,
+    worker counts and crash/resume boundaries. [Failed] outcomes carry
+    ["error"] (the rendered line), ["error_class"] and ["error_code"]. *)
 
 type summary = {
   total : int;
@@ -87,11 +100,15 @@ type summary = {
   errors : int;
   timeouts : int;
   cache_hits : int;
+  resumed : int;  (** representative jobs replayed from the journal *)
+  retried : int;  (** jobs that needed at least one transient retry *)
   workers : int;
   elapsed_s : float;
 }
 
 val pp_summary : Format.formatter -> summary -> unit
+(** The [resumed]/[retried] counts are appended only when nonzero, so
+    ordinary runs render exactly as before. *)
 
 (** {1 Running} *)
 
@@ -102,6 +119,10 @@ val run :
   ?jobs:int ->
   ?timeout:float ->
   ?transition_cap:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?retries:int ->
+  ?backoff_ms:float ->
   job list ->
   outcome array * summary
 (** Evaluate every job; the result array is indexed like the input list.
@@ -109,23 +130,39 @@ val run :
     [jobs] is the worker-domain count (default {!default_jobs}, clamped to
     [[1, 128]]). [jobs = 1] runs on the calling domain. [timeout] is a
     per-job budget in seconds, checked cooperatively at job checkpoints
-    (after load, before each solve): a job over budget reports
-    [Timed_out] instead of running its solver — [timeout <= 0] therefore
-    times every job out, which is the deterministic path the tests pin.
-    Runaway {e sizes} (the lcm blow-up) are handled by [transition_cap]
-    (default [Rwt_petri.Expand.transition_cap ()]), which turns the
-    pathological build into a fast [Failed] line.
+    (after load, before each solve, and inside the solver iteration
+    loops): a job over budget reports [Timed_out] — [timeout <= 0]
+    therefore times every job out, which is the deterministic path the
+    tests pin. Runaway {e sizes} (the lcm blow-up) are handled by
+    [transition_cap] (default [Rwt_petri.Expand.transition_cap ()]),
+    which turns the pathological build into a fast [Failed] line.
 
-    Cache-hit jobs replay the memoized outcome of the first job with the
-    same canonical key — the canonical key is the name-stripped
-    {!Rwt_workflow.Format_io.to_string} serialization of the instance
-    plus model and method, so two files with identical content share one
-    evaluation. *)
+    [journal] names an append-only NDJSON sidecar: a header line binds
+    the file to this job list and options (an MD5 key over the job
+    descriptors, [timeout] and [transition_cap]); each completed
+    representative evaluation is appended and fsync'd before the pool
+    moves on. With [resume = true], records recovered from a matching
+    journal are replayed instead of re-evaluated (the [resumed] summary
+    count), so a batch killed mid-run completes by re-running only the
+    missing jobs; phase 1 (load + dedup) always re-runs, keeping cache
+    attribution and [--no-timing] rendering byte-identical to an
+    uninterrupted run. A journal whose key does not match raises a typed
+    [Validate] error ({!Rwt_err.Error}); a torn trailing line (crash
+    mid-write) is silently dropped.
+
+    [retries] (default 0) re-evaluates a job whose failure is
+    {!Rwt_err.transient} (injected faults) up to that many extra times,
+    sleeping [backoff_ms]·2{^k} ms before attempt [k+1]
+    (default 100 ms). *)
 
 val run_to_channel :
   ?jobs:int ->
   ?timeout:float ->
   ?transition_cap:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?retries:int ->
+  ?backoff_ms:float ->
   ?timing:bool ->
   out_channel ->
   job list ->

@@ -11,28 +11,49 @@ type report = {
   bottleneck : Cycle_time.resource;
   has_critical_resource : bool;
   gap : Rat.t;
+  degraded : string option;
 }
 
-let analyze ?(method_ = Auto) ?transition_cap model inst =
+let analyze_exn ?(method_ = Auto) ?transition_cap ?deadline model inst =
   Rwt_obs.with_span "analysis.analyze" @@ fun () ->
   Rwt_obs.incr "analysis.calls";
-  let period =
+  let period, degraded =
     match (method_, model) with
     | Poly, Comm_model.Strict ->
-      invalid_arg "Analysis.analyze: no polynomial algorithm for the strict model"
-    | (Auto | Poly), Comm_model.Overlap -> Poly_overlap.period inst
-    | Auto, Comm_model.Strict | Tpn, _ ->
-      (Exact.period ?transition_cap model inst).period
+      Rwt_err.raise_
+        (Rwt_err.validate ~code:"validate.method"
+           "Analysis.analyze: no polynomial algorithm for the strict model")
+    | (Auto | Poly), Comm_model.Overlap -> (Poly_overlap.period inst, None)
+    | Tpn, Comm_model.Overlap ->
+      (* Graceful degradation: if the exact TPN route hits a size cap or a
+         deadline, Theorem 1 still answers exactly for OVERLAP — fall back
+         to the polynomial algorithm and say so in the report. *)
+      (match Exact.period_exn ?transition_cap ?deadline model inst with
+       | r -> (r.Exact.period, None)
+       | exception
+           Rwt_err.Error ({ Rwt_err.class_ = Capacity | Timeout; _ } as e) ->
+         Rwt_obs.incr "analysis.degraded";
+         ( Poly_overlap.period inst,
+           Some
+             (Printf.sprintf "tpn route failed (%s: %s); used polynomial algorithm"
+                e.Rwt_err.code
+                (Rwt_err.class_name e.Rwt_err.class_)) ))
+    | (Auto | Tpn), Comm_model.Strict ->
+      ((Exact.period_exn ?transition_cap ?deadline model inst).Exact.period, None)
   in
   let bottleneck = Cycle_time.critical model inst in
   let mct = bottleneck.Cycle_time.cexec in
   let has_critical_resource = Rat.equal period mct in
   let gap = if Rat.is_zero mct then Rat.zero else Rat.div (Rat.sub period mct) mct in
-  { model; period; throughput = Rat.inv period; mct; bottleneck; has_critical_resource; gap }
+  { model; period; throughput = Rat.inv period; mct; bottleneck;
+    has_critical_resource; gap; degraded }
+
+let analyze ?method_ ?transition_cap ?deadline model inst =
+  Rwt_err.catch (fun () -> analyze_exn ?method_ ?transition_cap ?deadline model inst)
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "@[<v>model: %a@,period: %a (throughput %.4g data sets / time unit)@,Mct:    %a (resource %s, stage S%d)@,%s@]"
+    "@[<v>model: %a@,period: %a (throughput %.4g data sets / time unit)@,Mct:    %a (resource %s, stage S%d)@,%s"
     Comm_model.pp r.model Rat.pp_approx r.period
     (Rat.to_float r.throughput)
     Rat.pp_approx r.mct
@@ -42,7 +63,11 @@ let pp_report fmt r =
        "the critical resource dictates the period (P = Mct)"
      else
        Format.asprintf "no critical resource: P exceeds Mct by %a%%"
-         Rat.pp_approx (Rat.mul_int r.gap 100))
+         Rat.pp_approx (Rat.mul_int r.gap 100));
+  (match r.degraded with
+   | None -> ()
+   | Some why -> Format.fprintf fmt "@,degraded: %s" why);
+  Format.fprintf fmt "@]"
 
 let rat_fields key v =
   [ (key, Json.String (Rat.to_string v)); (key ^ "_float", Json.Float (Rat.to_float v)) ]
@@ -63,7 +88,11 @@ let report_to_json inst r =
      :: ("model", Json.String (Comm_model.to_string r.model))
      :: ("has_critical_resource", Json.Bool r.has_critical_resource)
      :: ("m", Json.Int (Mapping.num_paths inst.Instance.mapping))
-     :: (rat_fields "period" r.period
+     :: (match r.degraded with
+         | None -> []
+         | Some why ->
+           [ ("degraded", Json.Bool true); ("degraded_reason", Json.String why) ])
+     @ (rat_fields "period" r.period
          @ rat_fields "throughput" r.throughput
          @ rat_fields "mct" r.mct
          @ rat_fields "gap" r.gap

@@ -18,16 +18,45 @@ type report = {
   bottleneck : Cycle_time.resource;  (** the resource achieving [Mct] *)
   has_critical_resource : bool;  (** [period = Mct] exactly *)
   gap : Rat.t;  (** [(period − Mct) / Mct], 0 when critical *)
+  degraded : string option;
+      (** [Some reason] when the requested TPN route hit a capacity guard
+          or deadline and the analysis fell back to the polynomial OVERLAP
+          algorithm (exact for that model); [None] for a first-choice
+          result. *)
 }
 
 val analyze :
-  ?method_:method_ -> ?transition_cap:int -> Comm_model.t -> Instance.t -> report
+  ?method_:method_ ->
+  ?transition_cap:int ->
+  ?deadline:(unit -> bool) ->
+  Comm_model.t ->
+  Instance.t ->
+  (report, Rwt_err.t) result
 (** [transition_cap] bounds the size of any TPN the analysis constructs
     (default: the process-wide [Rwt_petri.Expand.transition_cap ()]);
     the polynomial route never builds the full net and ignores it.
-    @raise Invalid_argument if [Poly] is requested for the STRICT model
-    (no polynomial algorithm is known; the paper leaves it open).
-    @raise Failure when the TPN route exceeds the cap. *)
+    [deadline] is polled inside the solvers (see [Rwt_petri.Mcr]).
+
+    Degradation policy: with [method_ = Tpn] on the OVERLAP model, a
+    {!Rwt_err.Capacity} or {!Rwt_err.Timeout} failure in the exact TPN
+    route falls back to the polynomial algorithm — still exact for that
+    model — and the report carries [degraded = Some reason]. The STRICT
+    model has no polynomial fallback, so those errors propagate.
+
+    [Error] carries class [Validate] (code ["validate.method"]) if [Poly]
+    is requested for the STRICT model (no polynomial algorithm is known;
+    the paper leaves it open), and class [Capacity]/[Timeout] when the
+    STRICT TPN route exceeds the cap or deadline. *)
+
+val analyze_exn :
+  ?method_:method_ ->
+  ?transition_cap:int ->
+  ?deadline:(unit -> bool) ->
+  Comm_model.t ->
+  Instance.t ->
+  report
+(** Exception shim for {!analyze}.
+    @raise Rwt_err.Error on the same conditions. *)
 
 val pp_report : Format.formatter -> report -> unit
 

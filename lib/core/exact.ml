@@ -10,11 +10,11 @@ type result = {
   net : Tpn_build.t;
 }
 
-let period ?transition_cap model inst =
+let period_exn ?transition_cap ?deadline model inst =
   Rwt_obs.with_span "exact.period" @@ fun () ->
-  let net = Tpn_build.build ?transition_cap model inst in
+  let net = Tpn_build.build_exn ?transition_cap model inst in
   let g = Mcr.graph_of_tpn net.Tpn_build.tpn in
-  match Mcr.Exact.max_cycle_ratio g with
+  match Mcr.Exact.max_cycle_ratio ?deadline g with
   | None -> invalid_arg "Exact.period: net has no circuit"
   | Some w ->
     let critical =
@@ -28,8 +28,11 @@ let period ?transition_cap model inst =
       critical;
       net }
 
+let period ?transition_cap ?deadline model inst =
+  Rwt_err.catch (fun () -> period_exn ?transition_cap ?deadline model inst)
+
 let throughput ?transition_cap model inst =
-  Rat.inv (period ?transition_cap model inst).period
+  Rat.inv (period_exn ?transition_cap model inst).period
 
 let pp_critical result fmt () =
   Format.fprintf fmt "@[<v>critical cycle (%d transitions, ratio %a, period %a):@,"

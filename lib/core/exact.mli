@@ -16,15 +16,25 @@ type result = {
   net : Tpn_build.t;
 }
 
-val period : ?transition_cap:int -> Comm_model.t -> Instance.t -> result
+val period :
+  ?transition_cap:int ->
+  ?deadline:(unit -> bool) ->
+  Comm_model.t ->
+  Instance.t ->
+  (result, Rwt_err.t) Stdlib.result
 (** [transition_cap] bounds the constructed net's size (default: the
-    process-wide [Rwt_petri.Expand.transition_cap ()]).
-    @raise Failure on [m] overflow or when the net would exceed the cap.
-    @raise Invalid_argument on a degenerate single-stage mapping with no
-    cycle (cannot happen: round-robin circuits always exist). *)
+    process-wide [Rwt_petri.Expand.transition_cap ()]); [deadline] is
+    polled inside the cycle-ratio solver (see [Rwt_petri.Mcr]). [Error]
+    carries class [Capacity] on [m] overflow or when the net would exceed
+    the cap, and class [Timeout] when [deadline] fires. *)
+
+val period_exn :
+  ?transition_cap:int -> ?deadline:(unit -> bool) -> Comm_model.t -> Instance.t -> result
+(** Exception shim for {!period}.
+    @raise Rwt_err.Error on the same conditions. *)
 
 val throughput : ?transition_cap:int -> Comm_model.t -> Instance.t -> Rat.t
-(** [1 / period]. *)
+(** [1 / period]. @raise Rwt_err.Error like {!period_exn}. *)
 
 val pp_critical : result -> Format.formatter -> unit -> unit
 (** Human-readable critical cycle: resources and transition kinds. *)

@@ -14,7 +14,7 @@ let analyze ?(margin = Rat.zero) model inst =
   let period =
     match model with
     | Comm_model.Overlap -> Poly_overlap.period inst
-    | Comm_model.Strict -> (Exact.period model inst).Exact.period
+    | Comm_model.Strict -> (Exact.period_exn model inst).Exact.period
   in
   let release_period = Rat.mul period (Rat.add Rat.one margin) in
   let m = Mapping.num_paths inst.Instance.mapping in

@@ -16,11 +16,11 @@ let evaluate model pipeline platform assignment ~p ~m_cap =
      | exception Failure _ -> None
      | m when m > m_cap -> None
      | _ ->
-       let inst = Instance.create ~name:"candidate" ~pipeline ~platform ~mapping in
+       let inst = Instance.create_exn ~name:"candidate" ~pipeline ~platform ~mapping in
        let period =
          match model with
          | Comm_model.Overlap -> Poly_overlap.period inst
-         | Comm_model.Strict -> (Exact.period model inst).Exact.period
+         | Comm_model.Strict -> (Exact.period_exn model inst).Exact.period
        in
        Some (mapping, period))
 

@@ -18,7 +18,7 @@ type t = {
 let period_of model inst =
   match model with
   | Comm_model.Overlap -> Poly_overlap.period inst
-  | Comm_model.Strict -> (Exact.period model inst).Exact.period
+  | Comm_model.Strict -> (Exact.period_exn model inst).Exact.period
 
 let used_links inst =
   let mapping = inst.Instance.mapping in
@@ -33,7 +33,7 @@ let used_links inst =
   List.rev !acc
 
 let with_platform inst platform =
-  Instance.create ~name:inst.Instance.name ~pipeline:inst.Instance.pipeline ~platform
+  Instance.create_exn ~name:inst.Instance.name ~pipeline:inst.Instance.pipeline ~platform
     ~mapping:inst.Instance.mapping
 
 let upgraded inst target factor =

@@ -43,7 +43,7 @@ let add_circuit tpn ~name ~ids =
     in
     chain ids
 
-let build ?transition_cap model inst =
+let build_exn ?transition_cap model inst =
   Obs.with_span "tpn.build" @@ fun () ->
   let mapping = inst.Instance.mapping in
   let n = Mapping.n_stages mapping in
@@ -52,7 +52,10 @@ let build ?transition_cap model inst =
   let cap =
     match transition_cap with
     | Some c ->
-      if c <= 0 then invalid_arg "Tpn_build.build: transition_cap must be positive";
+      if c <= 0 then
+        Rwt_util.Rwt_err.raise_
+          (Rwt_util.Rwt_err.validate ~code:"validate.cap"
+             "Tpn_build.build: transition_cap must be positive");
       c
     | None -> Rwt_petri.Expand.transition_cap ()
   in
@@ -67,15 +70,22 @@ let build ?transition_cap model inst =
   let over = match projected with Some t -> t > cap | None -> true in
   if over then begin
     Obs.incr "expand.rejections";
-    failwith
-      (Printf.sprintf
-         "Tpn_build.build: the net would have m = %d rows of %d transitions \
-          (%s total), exceeding the cap of %d; use the polynomial analysis, \
-          pass ~transition_cap or raise Rwt_petri.Expand.set_transition_cap"
-         m ncols
-         (Rwt_util.Bigint.to_string
-            (Rwt_util.Bigint.mul (Rwt_util.Bigint.of_int m) (Rwt_util.Bigint.of_int ncols)))
-         cap)
+    let total =
+      Rwt_util.Bigint.to_string
+        (Rwt_util.Bigint.mul (Rwt_util.Bigint.of_int m) (Rwt_util.Bigint.of_int ncols))
+    in
+    Rwt_util.Rwt_err.raise_
+      (Rwt_util.Rwt_err.capacity ~code:"capacity.tpn"
+         ~context:
+           [ ("m", string_of_int m);
+             ("cols", string_of_int ncols);
+             ("projected", total);
+             ("cap", string_of_int cap) ]
+         (Printf.sprintf
+            "Tpn_build.build: the net would have m = %d rows of %d transitions \
+             (%s total), exceeding the cap of %d; use the polynomial analysis, \
+             pass ~transition_cap or raise Rwt_petri.Expand.set_transition_cap"
+            m ncols total cap))
   end;
   let id ~row ~col = (row * ncols) + col in
   let kinds = Array.make (m * ncols) (Compute { stage = 0; proc = 0 }) in
@@ -179,6 +189,11 @@ let build ?transition_cap model inst =
   Obs.gauge "tpn.places" (float_of_int (Tpn.num_places tpn));
   Obs.gauge_max "tpn.peak_transitions" (float_of_int (Tpn.num_transitions tpn));
   { tpn; m; n_stages = n; model; kinds }
+
+let build ?transition_cap model inst =
+  match build_exn ?transition_cap model inst with
+  | t -> Ok t
+  | exception Rwt_util.Rwt_err.Error e -> Error e
 
 let resource_of_place _t (p : Tpn.place) =
   match p.Tpn.pl_name with

@@ -32,16 +32,22 @@ type t = private {
   kinds : kind array;  (** per transition id *)
 }
 
-val build : ?transition_cap:int -> Comm_model.t -> Instance.t -> t
-(** @raise Failure if [m] overflows a native int (report
-    {!Rwt_workflow.Mapping.num_paths_big} instead of building), or if the
-    net's [m·(2n−1)] transitions would exceed [transition_cap] (default
-    [Rwt_petri.Expand.transition_cap ()]) — the diagnostic reports [m] and
-    the projected transition count, and the projection is published as the
-    [tpn.projected_transitions] gauge before the check. The projection is
-    computed with overflow-checked multiplication, so a product that wraps
-    a native [int] is rejected rather than slipping under the cap.
-    @raise Invalid_argument if [transition_cap <= 0]. *)
+val build :
+  ?transition_cap:int -> Comm_model.t -> Instance.t -> (t, Rwt_util.Rwt_err.t) result
+(** [Error] (class [Capacity], code ["capacity.tpn"]) if [m] overflows a
+    native int (report {!Rwt_workflow.Mapping.num_paths_big} instead of
+    building), or if the net's [m·(2n−1)] transitions would exceed
+    [transition_cap] (default [Rwt_petri.Expand.transition_cap ()]) — the
+    diagnostic reports [m] and the projected transition count, and the
+    projection is published as the [tpn.projected_transitions] gauge before
+    the check. The projection is computed with overflow-checked
+    multiplication, so a product that wraps a native [int] is rejected
+    rather than slipping under the cap. [Error] (class [Validate]) if
+    [transition_cap <= 0]. *)
+
+val build_exn : ?transition_cap:int -> Comm_model.t -> Instance.t -> t
+(** Exception shim for {!build}.
+    @raise Rwt_util.Rwt_err.Error on the same conditions. *)
 
 val transition_id : t -> row:int -> col:int -> int
 val row_col : t -> int -> int * int

@@ -34,7 +34,7 @@ let poly_vs_exact ?(seed = 7) ~sizes ~samples_per_size () =
         let m = Mapping.num_paths inst.Instance.mapping in
         let poly, poly_seconds = time (fun () -> Rwt_core.Poly_overlap.period inst) in
         let exact, exact_seconds =
-          time (fun () -> (Rwt_core.Exact.period Comm_model.Overlap inst).Rwt_core.Exact.period)
+          time (fun () -> (Rwt_core.Exact.period_exn Comm_model.Overlap inst).Rwt_core.Exact.period)
         in
         rows :=
           { instance = inst; m; tpn_transitions = m * ((2 * n_stages) - 1);

@@ -77,7 +77,7 @@ let example_a_candidates () =
                   let mct_s = Cycle_time.mct Comm_model.Strict inst in
                   if Rat.equal mct_s target_mct_strict then begin
                     let p_strict =
-                      (Rwt_core.Exact.period Comm_model.Strict inst).Rwt_core.Exact.period
+                      (Rwt_core.Exact.period_exn Comm_model.Strict inst).Rwt_core.Exact.period
                     in
                     if Rat.compare p_strict low >= 0 && Rat.compare p_strict high < 0
                     then found := { cand with strict_period = p_strict } :: !found
@@ -142,7 +142,7 @@ let verify_published () =
   let b = Instances.example_b () in
   let overlap = Comm_model.Overlap and strict = Comm_model.Strict in
   let crit_a = Cycle_time.critical overlap a in
-  let p_a_strict = (Rwt_core.Exact.period strict a).Rwt_core.Exact.period in
+  let p_a_strict = (Rwt_core.Exact.period_exn strict a).Rwt_core.Exact.period in
   let crit_b = Cycle_time.critical overlap b in
   [ ("A: overlap period = 189", Rat.equal (Rwt_core.Poly_overlap.period a) (r 189));
     ( "A: overlap critical resource is P0-out at 189",

@@ -26,7 +26,7 @@ let run ?(seed = 2009) ?(samples = 300) ?(bucket_percent = 1.0) ?(m_cap = 3000) 
       let period =
         match model with
         | Comm_model.Overlap -> Rwt_core.Poly_overlap.period inst
-        | Comm_model.Strict -> (Rwt_core.Exact.period model inst).Rwt_core.Exact.period
+        | Comm_model.Strict -> (Rwt_core.Exact.period_exn model inst).Rwt_core.Exact.period
       in
       let mct = Cycle_time.mct model inst in
       if Rat.equal period mct then incr zeros

@@ -34,7 +34,7 @@ let sample_platform r ~epsilon ~grid base =
 let period_of model inst =
   match model with
   | Comm_model.Overlap -> Rwt_core.Poly_overlap.period inst
-  | Comm_model.Strict -> (Rwt_core.Exact.period model inst).Rwt_core.Exact.period
+  | Comm_model.Strict -> (Rwt_core.Exact.period_exn model inst).Rwt_core.Exact.period
 
 let run ?(seed = 2009) ?(samples = 200) ?(epsilon = Rat.of_ints 1 5) ?(grid = 100)
     model inst =
@@ -46,7 +46,7 @@ let run ?(seed = 2009) ?(samples = 200) ?(epsilon = Rat.of_ints 1 5) ?(grid = 10
   for i = 0 to samples - 1 do
     let platform = sample_platform r ~epsilon ~grid inst.Instance.platform in
     let sample =
-      Instance.create ~name:"sample" ~pipeline:inst.Instance.pipeline ~platform
+      Instance.create_exn ~name:"sample" ~pipeline:inst.Instance.pipeline ~platform
         ~mapping:inst.Instance.mapping
     in
     let period = period_of model sample in

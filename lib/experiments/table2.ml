@@ -42,7 +42,7 @@ let period_of ~m_exact_cap ~m_sim_cap model inst =
   | Comm_model.Strict ->
     let m = Mapping.num_paths inst.Instance.mapping in
     if m <= m_exact_cap then
-      Exact_period (Rwt_core.Exact.period model inst).Rwt_core.Exact.period
+      Exact_period (Rwt_core.Exact.period_exn model inst).Rwt_core.Exact.period
     else if m <= m_sim_cap then begin
       let datasets = max (6 * m) 200 in
       Estimated_period

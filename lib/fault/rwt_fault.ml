@@ -1,0 +1,198 @@
+open Rwt_util
+
+type action = Error_ | Capacity | Timeout | Delay of float | Abort
+type trigger = Always | Prob of float | Nth of int | After of int
+type rule = { pattern : string; action : action; trigger : trigger }
+
+(* --- armed state ---
+
+   One process-wide armed spec. Batch workers hit points concurrently, so
+   counter updates and PRNG draws run under a mutex; the decision is made
+   inside the lock and the action (raise/sleep/abort) outside it. *)
+
+type state = {
+  rules : rule list;
+  prng : Prng.t;
+  hit_counts : (string, int) Hashtbl.t;
+  mutable fired_n : int;
+}
+
+let armed : state option Atomic.t = Atomic.make None
+let mu = Mutex.create ()
+
+let active () = Atomic.get armed <> None
+
+(* --- spec parsing --- *)
+
+let parse_err msg = Rwt_err.parse ~code:"parse.fault_spec" msg
+
+let parse_action s =
+  match String.index_opt s ':' with
+  | None ->
+    (match s with
+     | "error" -> Ok Error_
+     | "capacity" -> Ok Capacity
+     | "timeout" -> Ok Timeout
+     | "abort" -> Ok Abort
+     | _ -> Error (parse_err (Printf.sprintf "unknown action %S" s)))
+  | Some i ->
+    let head = String.sub s 0 i and arg = String.sub s (i + 1) (String.length s - i - 1) in
+    (match head with
+     | "delay" ->
+       (match float_of_string_opt arg with
+        | Some ms when ms >= 0.0 -> Ok (Delay (ms /. 1000.0))
+        | _ -> Error (parse_err (Printf.sprintf "bad delay %S (milliseconds expected)" arg)))
+     | _ -> Error (parse_err (Printf.sprintf "unknown action %S" head)))
+
+let parse_trigger s =
+  if s = "" then Error (parse_err "empty trigger after '@'")
+  else
+    match s.[0] with
+    | 'p' ->
+      let arg = String.sub s 1 (String.length s - 1) in
+      (match float_of_string_opt arg with
+       | Some p when p >= 0.0 && p <= 1.0 -> Ok (Prob p)
+       | _ -> Error (parse_err (Printf.sprintf "bad probability %S (expected p<float in [0,1]>)" s)))
+    | '#' ->
+      (match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+       | Some n when n >= 1 -> Ok (Nth n)
+       | _ -> Error (parse_err (Printf.sprintf "bad hit index %S (expected #<positive int>)" s)))
+    | '+' ->
+      (match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+       | Some n when n >= 0 -> Ok (After n)
+       | _ -> Error (parse_err (Printf.sprintf "bad hit threshold %S (expected +<int>)" s)))
+    | _ -> Error (parse_err (Printf.sprintf "unknown trigger %S" s))
+
+let parse spec =
+  let exception Fail of Rwt_err.t in
+  let ok_or_fail = function Ok v -> v | Error e -> raise (Fail e) in
+  try
+    let seed = ref 0 in
+    let rules = ref [] in
+    String.split_on_char ';' spec
+    |> List.iter (fun clause ->
+           let clause = String.trim clause in
+           if clause <> "" then
+             match String.index_opt clause '=' with
+             | None ->
+               raise (Fail (parse_err (Printf.sprintf "clause %S has no '='" clause)))
+             | Some i ->
+               let key = String.trim (String.sub clause 0 i) in
+               let value =
+                 String.trim (String.sub clause (i + 1) (String.length clause - i - 1))
+               in
+               if key = "" then
+                 raise (Fail (parse_err (Printf.sprintf "clause %S has an empty point" clause)))
+               else if key = "seed" then
+                 match int_of_string_opt value with
+                 | Some s -> seed := s
+                 | None -> raise (Fail (parse_err (Printf.sprintf "bad seed %S" value)))
+               else begin
+                 let action, trigger =
+                   match String.index_opt value '@' with
+                   | None -> (ok_or_fail (parse_action value), Always)
+                   | Some j ->
+                     ( ok_or_fail (parse_action (String.sub value 0 j)),
+                       ok_or_fail
+                         (parse_trigger
+                            (String.sub value (j + 1) (String.length value - j - 1))) )
+                 in
+                 rules := { pattern = key; action; trigger } :: !rules
+               end);
+    if !rules = [] then Error (parse_err "spec arms no fault point")
+    else Ok (List.rev !rules, !seed)
+  with Fail e -> Error e
+
+(* --- matching and firing --- *)
+
+let matches pattern name =
+  let lp = String.length pattern in
+  if lp > 0 && pattern.[lp - 1] = '*' then
+    let prefix = String.sub pattern 0 (lp - 1) in
+    String.length name >= lp - 1 && String.sub name 0 (lp - 1) = prefix
+  else pattern = name
+
+let fault_error name count action =
+  let context = [ ("point", name); ("hit", string_of_int count) ] in
+  match action with
+  | Error_ ->
+    Rwt_err.fault ~code:"fault.injected" ~context
+      (Printf.sprintf "injected fault at %s" name)
+  | Capacity ->
+    Rwt_err.capacity ~code:"fault.capacity" ~context
+      (Printf.sprintf "injected capacity exhaustion at %s" name)
+  | Timeout ->
+    Rwt_err.timeout ~code:"fault.timeout" ~context
+      (Printf.sprintf "injected timeout at %s" name)
+  | Delay _ | Abort -> assert false
+
+let point name =
+  match Atomic.get armed with
+  | None -> ()
+  | Some st ->
+    let decision =
+      Mutex.protect mu (fun () ->
+          match List.find_opt (fun r -> matches r.pattern name) st.rules with
+          | None -> None
+          | Some r ->
+            let count = 1 + (try Hashtbl.find st.hit_counts name with Not_found -> 0) in
+            Hashtbl.replace st.hit_counts name count;
+            let fire =
+              match r.trigger with
+              | Always -> true
+              | Prob p -> Prng.float st.prng 1.0 < p
+              | Nth n -> count = n
+              | After n -> count > n
+            in
+            if fire then begin
+              st.fired_n <- st.fired_n + 1;
+              Some (r.action, count)
+            end
+            else None)
+    in
+    (match decision with
+     | None -> ()
+     | Some (Delay s, _) ->
+       Rwt_obs.incr "fault.delays";
+       Unix.sleepf s
+     | Some (Abort, count) ->
+       (* a simulated kill: say why on stderr, then die without flushing
+          stdout or running at_exit — exactly what crash-recovery tests
+          need to interrupt a batch mid-run *)
+       Printf.eprintf "rwt: fault: injected abort at %s (hit %d)\n%!" name count;
+       Unix._exit 70
+     | Some ((Error_ | Capacity | Timeout) as action, count) ->
+       Rwt_obs.incr "fault.injected";
+       raise (Rwt_err.Error (fault_error name count action)))
+
+let clear () =
+  Rwt_obs.set_span_hook None;
+  Atomic.set armed None
+
+let install spec =
+  match parse spec with
+  | Error e -> Error e
+  | Ok (rules, seed) ->
+    Atomic.set armed
+      (Some
+         { rules; prng = Prng.create seed; hit_counts = Hashtbl.create 16; fired_n = 0 });
+    Rwt_obs.set_span_hook (Some point);
+    Ok ()
+
+let install_from_env () =
+  match Sys.getenv_opt "RWT_FAULT" with
+  | None | Some "" -> Ok ()
+  | Some spec -> install spec
+
+let hits () =
+  match Atomic.get armed with
+  | None -> []
+  | Some st ->
+    Mutex.protect mu (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.hit_counts []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let fired () =
+  match Atomic.get armed with
+  | None -> 0
+  | Some st -> Mutex.protect mu (fun () -> st.fired_n)

@@ -1,0 +1,85 @@
+(** Deterministic fault injection at the pipeline's span sites.
+
+    Every {!Rwt_obs} span name ([analysis.analyze], [tpn.build],
+    [mcr.solve], [batch.job], [load], …) doubles as a named
+    fault-injection point; a handful of extra points ([batch.journal],
+    [json.parse]) are instrumented explicitly via {!point}. A {e fault
+    spec} — from the [RWT_FAULT] environment variable or [rwt --fault] —
+    arms rules that fire typed errors, artificial delays, capacity
+    exhaustion, or a hard process abort when a point is hit. Randomized
+    triggers draw from a seeded {!Rwt_util.Prng}, so a campaign replays
+    bit-for-bit from its spec.
+
+    {b Spec grammar} (see [doc/RESILIENCE.md]):
+    {v
+    spec     := clause (';' clause)*
+    clause   := 'seed' '=' INT
+              | point '=' action ('@' modifier)?
+    action   := 'error' | 'capacity' | 'timeout'
+              | 'delay:' MILLISECONDS | 'abort'
+    modifier := 'p' FLOAT   fire each hit with this probability
+              | '#' INT     fire only on the Nth hit of the point (1-based)
+              | '+' INT     fire on every hit strictly after the Nth
+    point    := point name, '*' allowed as a trailing glob
+    v}
+
+    Examples: [tpn.build=capacity], [mcr.*=error@p0.3;seed=7],
+    [batch.job=abort@#3], [analysis.analyze=delay:50].
+
+    Injected [error]/[capacity]/[timeout] actions raise
+    {!Rwt_util.Rwt_err.Error} (classes [Fault], [Capacity] and [Timeout]
+    respectively), so they surface at the same boundaries as organic
+    failures: a typed error line, a graceful degradation, or a batch
+    ["error"] record — never a crash or a silently wrong period. [abort]
+    terminates the process immediately with exit code 70 and {e no}
+    buffered-channel flushing, emulating a kill for crash-recovery tests. *)
+
+open Rwt_util
+
+type action =
+  | Error_  (** raise a [Fault]-class typed error (transient, retryable) *)
+  | Capacity  (** raise a [Capacity]-class typed error *)
+  | Timeout  (** raise a [Timeout]-class typed error *)
+  | Delay of float  (** sleep this many seconds, then continue *)
+  | Abort  (** [Unix._exit 70]: no flush, no [at_exit] — a simulated kill *)
+
+type trigger =
+  | Always
+  | Prob of float  (** per-hit coin flip from the seeded PRNG *)
+  | Nth of int  (** exactly the Nth hit of the point, 1-based *)
+  | After of int  (** every hit strictly after the Nth *)
+
+type rule = {
+  pattern : string;  (** point name; a trailing ['*'] is a prefix glob *)
+  action : action;
+  trigger : trigger;
+}
+
+val parse : string -> (rule list * int, Rwt_err.t) result
+(** Parse a spec into rules plus the seed (default 0). [Parse]-class
+    errors name the offending clause. *)
+
+val install : string -> (unit, Rwt_err.t) result
+(** Parse and arm a spec, hooking the injector into the {!Rwt_obs} span
+    sites. Replaces any previously armed spec and resets hit counters. *)
+
+val install_from_env : unit -> (unit, Rwt_err.t) result
+(** {!install} from [RWT_FAULT]; [Ok ()] when the variable is unset. *)
+
+val clear : unit -> unit
+(** Disarm: uninstall the span hook and drop all rules and counters. *)
+
+val active : unit -> bool
+
+val point : string -> unit
+(** Explicit instrumentation point, for sites that are not spans. No-op
+    unless armed; otherwise counts the hit and fires any matching rule
+    (first matching rule wins). Thread-safe; counter updates and PRNG
+    draws are serialized, so single-worker runs replay deterministically. *)
+
+val hits : unit -> (string * int) list
+(** Per-point hit counts since the last {!install}/{!clear}, sorted by
+    name. Only points matching at least one rule are counted. *)
+
+val fired : unit -> int
+(** Number of faults actually fired (injections, delays included). *)

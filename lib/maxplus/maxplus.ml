@@ -83,12 +83,18 @@ module Make (N : Rwt_util.Num_intf.S) = struct
 
   (* A* by Floyd–Warshall-style closure; diverges iff a positive cycle
      exists, detected on the diagonal. *)
-  let star a =
+  let star ?deadline a =
     if a.r <> a.c then invalid_arg "Maxplus.star: non-square";
     let n = a.r in
     let m = init n n (fun i j -> if i = j then oplus unit (get a i j) else get a i j) in
     let ok = ref true in
     for k = 0 to n - 1 do
+      (match deadline with
+       | Some d when d () ->
+         Rwt_util.Rwt_err.raise_
+           (Rwt_util.Rwt_err.timeout ~code:"mcr.deadline"
+              "solver deadline exceeded (cooperative checkpoint)")
+       | _ -> ());
       for i = 0 to n - 1 do
         for j = 0 to n - 1 do
           set m i j (oplus (get m i j) (otimes (get m i k) (get m k j)))

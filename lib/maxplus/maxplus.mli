@@ -53,11 +53,14 @@ module Make (N : Rwt_util.Num_intf.S) : sig
 
   val mul_vec : mat -> scalar array -> scalar array
 
-  val star : mat -> mat option
+  val star : ?deadline:(unit -> bool) -> mat -> mat option
   (** Kleene star [A* = I ⊕ A ⊕ A² ⊕ …] for a square matrix; [None] if some
       diagonal of the closure becomes positive (a positive-weight cycle makes
       the star diverge). Used to eliminate the instantaneous [A0] part of
-      dater equations. *)
+      dater equations. The closure is [O(n³)]; the optional [deadline]
+      closure is polled once per elimination pivot and aborts the closure
+      with a typed [Rwt_util.Rwt_err.Error] timeout when it returns
+      [true]. *)
 
   val of_graph : N.t Rwt_graph.Digraph.t -> mat
   (** Adjacency matrix: entry [(v, u)] is the max weight over edges [u → v]

@@ -3,7 +3,7 @@ module M = Maxplus.Make (Rat)
 module Tpn = Rwt_petri.Tpn
 module D = Rwt_graph.Digraph
 
-let period_of_tpn tpn =
+let period_of_tpn ?deadline tpn =
   Rwt_obs.with_span "maxplus.spectral" @@ fun () ->
   let n = Tpn.num_transitions tpn in
   Rwt_obs.gauge "maxplus.dim" (float_of_int n);
@@ -19,7 +19,7 @@ let period_of_tpn tpn =
       M.set m p.Tpn.pl_dst p.Tpn.pl_src
         (M.oplus (M.get m p.Tpn.pl_dst p.Tpn.pl_src) weight))
     tpn;
-  match M.star a0 with
+  match M.star ?deadline a0 with
   | None -> failwith "Spectral.period_of_tpn: token-free circuit"
   | Some star ->
     let a = M.mul star a1 in
@@ -34,4 +34,4 @@ let period_of_tpn tpn =
       done
     done;
     Rwt_obs.add "maxplus.star_edges" (D.num_edges g);
-    Rwt_petri.Mcr.Exact.karp g
+    Rwt_petri.Mcr.Exact.karp ?deadline g

@@ -15,7 +15,7 @@
 
 open Rwt_util
 
-val period_of_tpn : Rwt_petri.Tpn.t -> Rat.t option
+val period_of_tpn : ?deadline:(unit -> bool) -> Rwt_petri.Tpn.t -> Rat.t option
 (** Maximum cycle ratio of the net (equal to
     [Rwt_petri.Mcr.period_of_tpn]); [None] for acyclic nets.
     @raise Invalid_argument if some place holds more than one token (the

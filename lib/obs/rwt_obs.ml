@@ -141,7 +141,19 @@ let observe name v =
 
 (* --- spans --- *)
 
+(* Span-site hook: Rwt_fault registers itself here so every span name
+   doubles as a fault-injection point. The hook fires whether or not
+   metrics are enabled (fault campaigns must not require --metrics), and
+   it may raise — span_begin fires it before pushing, with_span before
+   entering, so an injected exception never leaves a dangling span. *)
+let span_hook : (string -> unit) option Atomic.t = Atomic.make None
+let set_span_hook h = Atomic.set span_hook h
+
+let fire_span_hook name =
+  match Atomic.get span_hook with Some f -> f name | None -> ()
+
 let span_begin ?(args = []) name =
+  fire_span_hook name;
   if Atomic.get on then begin
     let stack = Domain.DLS.get stack_key in
     stack := (name, !clock (), args) :: !stack
@@ -165,7 +177,10 @@ let span_end () =
   end
 
 let with_span ?args name f =
-  if not (Atomic.get on) then f ()
+  if not (Atomic.get on) then begin
+    fire_span_hook name;
+    f ()
+  end
   else begin
     span_begin ?args name;
     Fun.protect ~finally:span_end f

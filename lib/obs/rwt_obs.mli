@@ -82,6 +82,14 @@ val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 val span_depth : unit -> int
 (** Number of currently open spans. *)
 
+val set_span_hook : (string -> unit) option -> unit
+(** Install (or clear) a callback fired with the span name at the entry of
+    every span site — {e before} the span is pushed, and whether or not
+    metrics are enabled. This is how {!Rwt_fault} piggybacks its
+    fault-injection points on the existing instrumentation: the hook may
+    raise (the span is not yet open, so nesting stays balanced) or sleep.
+    At most one hook is installed process-wide; [None] uninstalls. *)
+
 (** {1 Reading back} *)
 
 val counter_value : string -> int

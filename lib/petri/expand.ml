@@ -16,7 +16,7 @@ let set_transition_cap c =
 let is_one_bounded tpn =
   List.for_all (fun p -> p.Tpn.tokens <= 1) (Tpn.places tpn)
 
-let one_bounded ?transition_cap:local_cap tpn =
+let one_bounded_exn ?transition_cap:local_cap tpn =
   let cap = match local_cap with Some c -> c | None -> Atomic.get cap in
   let base = Tpn.num_transitions tpn in
   (* count the fresh buffer transitions needed; checked sums so adversarial
@@ -36,12 +36,19 @@ let one_bounded ?transition_cap:local_cap tpn =
   Obs.gauge "expand.projected_transitions" (float_of_int projected);
   if projected > cap then begin
     Obs.incr "expand.rejections";
-    failwith
-      (Printf.sprintf
-         "Expand.one_bounded: expansion would create %d transitions (%d original \
-          + %d buffer, largest marking m = %d), exceeding the cap of %d; raise it \
-          with Expand.set_transition_cap or pass ~transition_cap"
-         projected base extra max_marking cap)
+    Rwt_err.raise_
+      (Rwt_err.capacity ~code:"capacity.expand"
+         ~context:
+           [ ("projected", string_of_int projected);
+             ("base", string_of_int base);
+             ("buffers", string_of_int extra);
+             ("max_marking", string_of_int max_marking);
+             ("cap", string_of_int cap) ]
+         (Printf.sprintf
+            "Expand.one_bounded: expansion would create %d transitions (%d original \
+             + %d buffer, largest marking m = %d), exceeding the cap of %d; raise it \
+             with Expand.set_transition_cap or pass ~transition_cap"
+            projected base extra max_marking cap))
   end;
   Obs.add "expand.buffers" extra;
   let transitions =
@@ -74,3 +81,8 @@ let one_bounded ?transition_cap:local_cap tpn =
       end)
     (Tpn.places tpn);
   out
+
+let one_bounded ?transition_cap tpn =
+  match one_bounded_exn ?transition_cap tpn with
+  | t -> Ok t
+  | exception Rwt_err.Error e -> Error e

@@ -6,7 +6,7 @@
     ({!Rwt_maxplus.Spectral}) and any analysis restricted to markings in
     {0, 1} become fully general after this expansion. *)
 
-val one_bounded : ?transition_cap:int -> Tpn.t -> Tpn.t
+val one_bounded : ?transition_cap:int -> Tpn.t -> (Tpn.t, Rwt_util.Rwt_err.t) result
 (** Structurally equal to the input if it is already 1-bounded (fresh copy
     otherwise). Firing times, liveness and every circuit's ratio are
     preserved; added transitions are named ["buf<k>@<place>"] with firing
@@ -16,11 +16,16 @@ val one_bounded : ?transition_cap:int -> Tpn.t -> Tpn.t
     [transition_cap] (default {!transition_cap}) {e before} any
     allocation; the projection itself uses overflow-checked sums, so
     adversarial markings are rejected rather than wrapping past the guard.
-    @raise Failure with a diagnostic reporting the original and buffer
-    transition counts, the largest marking and the cap, when the expansion
-    would exceed it. Rejections increment the [expand.rejections] counter
-    and the projection is always published as the
-    [expand.projected_transitions] gauge (see [Rwt_obs]). *)
+    Returns [Error] (class [Capacity], code ["capacity.expand"]) with a
+    diagnostic reporting the original and buffer transition counts, the
+    largest marking and the cap, when the expansion would exceed it.
+    Rejections increment the [expand.rejections] counter and the projection
+    is always published as the [expand.projected_transitions] gauge (see
+    [Rwt_obs]). *)
+
+val one_bounded_exn : ?transition_cap:int -> Tpn.t -> Tpn.t
+(** Exception shim for {!one_bounded}.
+    @raise Rwt_util.Rwt_err.Error on the same conditions. *)
 
 val is_one_bounded : Tpn.t -> bool
 

@@ -1,6 +1,19 @@
 module D = Rwt_graph.Digraph
 module Obs = Rwt_obs
 
+(* Cooperative deadline: solvers poll the closure at iteration granularity
+   (policy rounds, BF passes, Karp levels) so a batch per-job timeout can
+   fire inside a long solve rather than only between pipeline stages. *)
+let check_deadline = function
+  | None -> ()
+  | Some d ->
+    if d () then begin
+      Obs.incr "mcr.deadline_trips";
+      Rwt_util.Rwt_err.raise_
+        (Rwt_util.Rwt_err.timeout ~code:"mcr.deadline"
+           "solver deadline exceeded (cooperative checkpoint)")
+    end
+
 module Make (N : Rwt_util.Num_intf.S) = struct
   type edge_data = { weight : N.t; tokens : int }
   type graph = edge_data D.t
@@ -162,7 +175,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
      in pass n certifies a positive cycle living in the predecessor graph;
      walking predecessor edges with visited marks must revisit a node within
      n steps (and provably cannot reach a nil predecessor before that). *)
-  let find_positive_cycle ctx lambda =
+  let find_positive_cycle ?deadline ctx lambda =
     Obs.incr "mcr.cycle_checks";
     let dist = Array.make ctx.n N.zero in
     let pred = Array.make ctx.n (-1) in
@@ -171,6 +184,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     let last_changed = ref (-1) in
     let round = ref 0 in
     while !changed && !round < ctx.n do
+      check_deadline deadline;
       incr round;
       changed := false;
       for u = 0 to ctx.n - 1 do
@@ -222,7 +236,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
      start from any cycle's ratio λ; while the graph has a cycle of positive
      reduced weight (w − λ·t), replace λ by that cycle's ratio. Each step
      strictly increases λ within the finite set of simple-cycle ratios. *)
-  let parametric_scc ctx =
+  let parametric_scc ?deadline ctx =
     let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
     let cyc0 =
       match policy_cycles ctx policy with
@@ -234,7 +248,8 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     let continue_ = ref true in
     while !continue_ do
       Obs.incr "mcr.iterations";
-      match find_positive_cycle ctx !lambda with
+      check_deadline deadline;
+      match find_positive_cycle ?deadline ctx !lambda with
       | None -> continue_ := false
       | Some cyc ->
         let r = ratio_of_edges ctx cyc in
@@ -254,7 +269,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
      ratio of a genuine cycle within [epsilon] of the optimum (so for the
      exact kernel it is a certified lower bound, and the solver of choice
      when an approximation is acceptable on huge graphs). *)
-  let lawler_scc ~epsilon ctx =
+  let lawler_scc ~epsilon ?deadline ctx =
     let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
     let cyc0 =
       match policy_cycles ctx policy with
@@ -271,8 +286,9 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     if N.compare !hi !lo < 0 then hi := !lo;
     while N.compare (N.sub !hi !lo) epsilon > 0 do
       Obs.incr "mcr.iterations";
+      check_deadline deadline;
       let mid = N.div (N.add !lo !hi) (N.of_int 2) in
-      match find_positive_cycle ctx mid with
+      match find_positive_cycle ?deadline ctx mid with
       | Some cyc ->
         let r = ratio_of_edges ctx cyc in
         best := cyc;
@@ -287,7 +303,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
      and the reported policy cycle attains λ. If the iteration has not
      settled within the cap (possible only under pathological tie patterns),
      fall back to the parametric solver. *)
-  let howard_scc ctx =
+  let howard_scc ?deadline ctx =
     let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
     let v = Array.make ctx.n N.zero in
     let known = Array.make ctx.n false in
@@ -298,6 +314,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     let cap = (20 * ctx.n) + 100 in
     while (not !settled) && !iters < cap do
       incr iters;
+      check_deadline deadline;
       (* Value determination. *)
       let cycles = policy_cycles ctx policy in
       let lam, bc =
@@ -373,7 +390,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     if !settled then (!lambda, !best)
     else begin
       Obs.incr "mcr.howard_fallbacks";
-      parametric_scc ctx
+      parametric_scc ?deadline ctx
     end
 
   (* Wrapper: liveness check, SCC decomposition, solve per component, return
@@ -405,14 +422,14 @@ module Make (N : Rwt_util.Num_intf.S) = struct
       members;
     !best
 
-  let parametric g = solve parametric_scc g
-  let howard g = solve howard_scc g
-  let lawler ~epsilon g = solve (lawler_scc ~epsilon) g
-  let max_cycle_ratio = howard
+  let parametric ?deadline g = solve (parametric_scc ?deadline) g
+  let howard ?deadline g = solve (howard_scc ?deadline) g
+  let lawler ~epsilon ?deadline g = solve (lawler_scc ~epsilon ?deadline) g
+  let max_cycle_ratio ?deadline g = howard ?deadline g
 
   (* Karp's maximum cycle mean: per SCC, longest walks of each length from a
      fixed source; λ* = max_v min_k (D_n(v) − D_k(v))/(n − k). *)
-  let karp g =
+  let karp ?deadline g =
     Obs.with_span "mcr.karp" @@ fun () ->
     Obs.incr "mcr.solves";
     Obs.add "mcr.nodes" (D.num_nodes g);
@@ -442,6 +459,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
           let reach = Array.make_matrix (n + 1) n false in
           reach.(0).(0) <- true;
           for k = 1 to n do
+            check_deadline deadline;
             List.iter
               (fun (u, z, w) ->
                 if reach.(k - 1).(u) then begin
@@ -502,4 +520,4 @@ let float_graph_of_tpn tpn =
     tpn;
   g
 
-let period_of_tpn tpn = Exact.max_cycle_ratio (graph_of_tpn tpn)
+let period_of_tpn ?deadline tpn = Exact.max_cycle_ratio ?deadline (graph_of_tpn tpn)

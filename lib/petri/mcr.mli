@@ -39,23 +39,29 @@ module Make (N : Rwt_util.Num_intf.S) : sig
       @raise Invalid_argument if the edges do not form a cycle or carry no
       token. *)
 
-  val parametric : graph -> witness option
-  (** [None] iff the graph is acyclic. @raise Not_live (see above). *)
+  val parametric : ?deadline:(unit -> bool) -> graph -> witness option
+  (** [None] iff the graph is acyclic. @raise Not_live (see above).
 
-  val howard : graph -> witness option
+      All solvers poll the optional [deadline] closure once per iteration
+      (policy round, Bellman–Ford pass, Karp level); when it returns [true]
+      they abandon the solve by raising [Rwt_util.Rwt_err.Error] with class
+      [Timeout] and code ["mcr.deadline"], so a batch per-job budget can
+      interrupt a long-running solve cooperatively. *)
+
+  val howard : ?deadline:(unit -> bool) -> graph -> witness option
   (** Same contract as {!parametric}; result certified, falls back internally
       if policy iteration stalls. *)
 
-  val lawler : epsilon:N.t -> graph -> witness option
+  val lawler : epsilon:N.t -> ?deadline:(unit -> bool) -> graph -> witness option
   (** Lawler's parametric binary search. The returned ratio is the exact
       ratio of a genuine cycle, within [epsilon] of the optimum — a
       certified lower bound. Prefer {!howard} for exact answers; this solver
       exists for the ablation study and as the classical baseline. *)
 
-  val max_cycle_ratio : graph -> witness option
+  val max_cycle_ratio : ?deadline:(unit -> bool) -> graph -> witness option
   (** The default solver ({!howard}). *)
 
-  val karp : N.t Rwt_graph.Digraph.t -> N.t option
+  val karp : ?deadline:(unit -> bool) -> N.t Rwt_graph.Digraph.t -> N.t option
   (** Maximum cycle mean [(Σ weight)/|C|]; [None] iff acyclic. *)
 end
 
@@ -69,7 +75,8 @@ val graph_of_tpn : Tpn.t -> Exact.graph
 
 val float_graph_of_tpn : Tpn.t -> Approx.graph
 
-val period_of_tpn : Tpn.t -> Exact.witness option
+val period_of_tpn : ?deadline:(unit -> bool) -> Tpn.t -> Exact.witness option
 (** Maximum cycle ratio of the net's ratio graph: the exact steady-state
     inter-firing time of every transition ([None] for acyclic nets, which
-    impose no throughput bound). @raise Exact.Not_live on token-free cycles. *)
+    impose no throughput bound). @raise Exact.Not_live on token-free cycles;
+    [Rwt_util.Rwt_err.Error] (class [Timeout]) if [deadline] fires. *)

@@ -65,9 +65,23 @@ let float_literal f =
 
 exception Parse_error of int * string
 
+type pos_error = { offset : int; line : int; col : int; reason : string }
+
+(* 1-based line and column of a byte offset, for error reporting *)
+let line_col s offset =
+  let offset = min offset (String.length s) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if s.[i] = '\n' then begin
+      Stdlib.incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, offset - !bol + 1)
+
 let max_depth = 512
 
-let of_string s =
+let of_string_pos s =
   let n = String.length s in
   let pos = ref 0 in
   let err msg = raise (Parse_error (!pos, msg)) in
@@ -250,7 +264,16 @@ let of_string s =
   with
   | v -> Ok v
   | exception Parse_error (p, msg) ->
-    Error (Printf.sprintf "at offset %d: %s" p msg)
+    let line, col = line_col s p in
+    Error { offset = p; line; col; reason = msg }
+
+let pos_error_to_string e =
+  Printf.sprintf "line %d, column %d: %s" e.line e.col e.reason
+
+let of_string s =
+  match of_string_pos s with
+  | Ok v -> Ok v
+  | Error e -> Error (pos_error_to_string e)
 
 let to_string ?(pretty = false) t =
   let buf = Buffer.create 256 in

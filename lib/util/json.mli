@@ -26,14 +26,29 @@ val to_string : ?pretty:bool -> t -> string
     [Float]s ([nan], [infinity], [neg_infinity]) have no JSON literal and
     are serialized as [null] — the output is always valid RFC 8259. *)
 
-val of_string : string -> (t, string) result
+type pos_error = {
+  offset : int;  (** 0-based byte offset of the failure *)
+  line : int;  (** 1-based line *)
+  col : int;  (** 1-based column (bytes since the last newline) *)
+  reason : string;
+}
+(** Structured parse failure; [Rwt_err.json_parse] lifts it into the typed
+    error taxonomy (the dependency runs that way: [Json] knows nothing of
+    [Rwt_err]). *)
+
+val of_string_pos : string -> (t, pos_error) result
 (** Strict RFC 8259 parser. Numbers without a fraction or exponent that fit
     a native [int] parse to [Int]; all other numbers parse to [Float]
     (so a {!Number} survives a round-trip as its numeric value, not its
     exact literal). Bare [NaN]/[Infinity]/[-Infinity] tokens are rejected —
     only [null] carries the non-finite case, matching {!to_string}.
-    [\uXXXX] escapes (including surrogate pairs) decode to UTF-8. Errors
-    report the byte offset. *)
+    [\uXXXX] escapes (including surrogate pairs) decode to UTF-8. *)
+
+val of_string : string -> (t, string) result
+(** {!of_string_pos} with the error rendered as
+    ["line L, column C: reason"]. *)
+
+val pos_error_to_string : pos_error -> string
 
 val escape_string : string -> string
 (** The quoted, escaped form of a string literal. *)

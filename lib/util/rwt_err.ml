@@ -1,0 +1,129 @@
+type class_ = Parse | Validate | Capacity | Timeout | Numeric | Fault | Internal
+
+type t = {
+  class_ : class_;
+  code : string;
+  message : string;
+  context : (string * string) list;
+}
+
+exception Error of t
+
+let class_name = function
+  | Parse -> "parse"
+  | Validate -> "validate"
+  | Capacity -> "capacity"
+  | Timeout -> "timeout"
+  | Numeric -> "numeric"
+  | Fault -> "fault"
+  | Internal -> "internal"
+
+let class_of_name = function
+  | "parse" -> Some Parse
+  | "validate" -> Some Validate
+  | "capacity" -> Some Capacity
+  | "timeout" -> Some Timeout
+  | "numeric" -> Some Numeric
+  | "fault" -> Some Fault
+  | "internal" -> Some Internal
+  | _ -> None
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let make ?code ?(context = []) class_ message =
+  { class_;
+    code = (match code with Some c -> c | None -> class_name class_);
+    message = one_line message;
+    context }
+
+let parse ?code ?file ?line ?col ?(context = []) message =
+  let opt k f v = match v with None -> [] | Some x -> [ (k, f x) ] in
+  let context =
+    opt "file" Fun.id file
+    @ opt "line" string_of_int line
+    @ opt "col" string_of_int col
+    @ context
+  in
+  make ?code ~context Parse message
+
+let json_parse ?file (e : Json.pos_error) =
+  parse ~code:"parse.json" ?file ~line:e.Json.line ~col:e.Json.col
+    ~context:[ ("offset", string_of_int e.Json.offset) ]
+    e.Json.reason
+
+let validate ?code ?context message = make ?code ?context Validate message
+let capacity ?code ?context message = make ?code ?context Capacity message
+let timeout ?code ?context message = make ?code ?context Timeout message
+let numeric ?code ?context message = make ?code ?context Numeric message
+let fault ?code ?context message = make ?code ?context Fault message
+let internal ?code ?context message = make ?code ?context Internal message
+
+let transient t = t.class_ = Fault
+
+let to_line t =
+  let ctx =
+    match t.context with
+    | [] -> ""
+    | kvs ->
+      Printf.sprintf " [%s]"
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+  in
+  Printf.sprintf "%s: %s%s" (class_name t.class_) t.message ctx
+
+let pp fmt t = Format.pp_print_string fmt (to_line t)
+
+let to_json t =
+  Json.Obj
+    (( "class", Json.String (class_name t.class_) )
+     :: ("code", Json.String t.code)
+     :: ("message", Json.String t.message)
+     :: (match t.context with
+         | [] -> []
+         | kvs ->
+           [ ("context", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)) ]))
+
+let of_json = function
+  | Json.Obj fields ->
+    let str k = match List.assoc_opt k fields with Some (Json.String s) -> Some s | _ -> None in
+    (match Option.bind (str "class") class_of_name with
+     | None -> None
+     | Some class_ ->
+       let context =
+         match List.assoc_opt "context" fields with
+         | Some (Json.Obj kvs) ->
+           List.filter_map
+             (fun (k, v) -> match v with Json.String s -> Some (k, s) | _ -> None)
+             kvs
+         | _ -> []
+       in
+       Some
+         { class_;
+           code = Option.value ~default:(class_name class_) (str "code");
+           message = Option.value ~default:"" (str "message");
+           context })
+  | _ -> None
+
+(* classify legacy exceptions by message shape: the size guards all say
+   "exceeding the cap", parse-side failures name their line *)
+let of_exn = function
+  | Error t -> t
+  | Failure msg ->
+    let contains needle hay =
+      let ln = String.length needle and lh = String.length hay in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      go 0
+    in
+    if contains "exceeding the cap" msg then capacity ~code:"capacity.guard" msg
+    else internal ~code:"internal.failure" msg
+  | Invalid_argument msg -> validate ~code:"validate.invalid_arg" msg
+  | Sys_error msg -> parse ~code:"parse.io" msg
+  | Division_by_zero -> numeric ~code:"numeric.div0" "division by zero"
+  | e -> internal ~code:"internal.exn" (Printexc.to_string e)
+
+let catch f =
+  match f () with
+  | v -> Ok v
+  | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+  | exception e -> Error (of_exn e)
+
+let raise_ t = raise (Error t)

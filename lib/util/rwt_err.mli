@@ -1,0 +1,101 @@
+(** Typed error taxonomy for the whole pipeline.
+
+    Every failure mode a caller can meet at a public boundary — a malformed
+    instance file, an oversized TPN expansion, a solver deadline, an
+    injected fault — is classified into one of seven {!class_}es and carried
+    as a structured {!t}: class, stable machine code, one-line human
+    message, and an ordered key/value context (file, line, stage, processor,
+    cap hit, …). Boundary APIs return [(_, Rwt_err.t) result]; internal
+    callers that prefer exceptions use the [_exn] shims of each module,
+    which raise {!Error}.
+
+    The rendered form ({!to_line}) is always a single line, so the CLI can
+    print [rwt: <line>] and exit nonzero without ever showing a raw OCaml
+    backtrace, and NDJSON consumers get the same information structured via
+    {!to_json}. See [doc/RESILIENCE.md] for the full policy. *)
+
+type class_ =
+  | Parse  (** malformed input: instance files, job files, JSON *)
+  | Validate  (** well-formed but inconsistent: arities, ranges, models *)
+  | Capacity  (** a size guard fired: transition caps, lcm blow-ups *)
+  | Timeout  (** a deadline checkpoint fired inside a solver or stage *)
+  | Numeric  (** overflow or a numeric domain error in exact arithmetic *)
+  | Fault  (** injected by the {!Rwt_fault} harness (always transient) *)
+  | Internal  (** invariant violation; anything uncategorized ends here *)
+
+type t = {
+  class_ : class_;
+  code : string;  (** stable machine-readable code, e.g. ["parse.json"] *)
+  message : string;  (** human one-liner, never containing a newline *)
+  context : (string * string) list;  (** ordered structured details *)
+}
+
+exception Error of t
+(** The exception shim: [_exn] entry points raise this, {!catch} and the
+    CLI top level turn it back into a typed line. *)
+
+(** {1 Constructors} *)
+
+val make : ?code:string -> ?context:(string * string) list -> class_ -> string -> t
+(** [make cls msg]. [code] defaults to the class name; newlines in [msg]
+    are replaced by spaces so {!to_line} stays a single line. *)
+
+val parse :
+  ?code:string -> ?file:string -> ?line:int -> ?col:int ->
+  ?context:(string * string) list -> string -> t
+
+val json_parse : ?file:string -> Json.pos_error -> t
+(** Lift a structured JSON parse failure (with its line/column position)
+    into a {!Parse} error whose context carries [line], [col] and
+    [offset]. *)
+
+val validate : ?code:string -> ?context:(string * string) list -> string -> t
+val capacity : ?code:string -> ?context:(string * string) list -> string -> t
+val timeout : ?code:string -> ?context:(string * string) list -> string -> t
+val numeric : ?code:string -> ?context:(string * string) list -> string -> t
+val fault : ?code:string -> ?context:(string * string) list -> string -> t
+val internal : ?code:string -> ?context:(string * string) list -> string -> t
+
+(** {1 Classification} *)
+
+val class_name : class_ -> string
+(** ["parse"], ["validate"], ["capacity"], ["timeout"], ["numeric"],
+    ["fault"], ["internal"]. *)
+
+val class_of_name : string -> class_ option
+
+val transient : t -> bool
+(** Whether a retry can plausibly succeed: true exactly for {!Fault}
+    (injected faults fire per-hit, not per-job). {!Timeout} is {e not}
+    transient — the budget that expired was the job's own. *)
+
+(** {1 Rendering} *)
+
+val to_line : t -> string
+(** One line: [<class>: <message> [k=v, k=v]] (context suffix omitted when
+    empty). This is what [rwt] prints after ["rwt: "] on stderr. *)
+
+val to_json : t -> Json.t
+(** [{"class": .., "code": .., "message": .., "context": {..}}] (context
+    omitted when empty). *)
+
+val of_json : Json.t -> t option
+(** Inverse of {!to_json} (used by the batch journal on [--resume]). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Exception bridging} *)
+
+val of_exn : exn -> t
+(** Map a raw exception to a typed error: {!Error} unwraps;
+    [Failure]/[Invalid_argument]/[Sys_error]/[Division_by_zero] classify by
+    message shape (capacity guards mention their cap, parse errors their
+    line); everything else becomes {!Internal} carrying
+    [Printexc.to_string]. *)
+
+val catch : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting any raised exception via {!of_exn}. Does not
+    catch [Stack_overflow] or [Out_of_memory]. *)
+
+val raise_ : t -> 'a
+(** [raise (Error t)]. *)

@@ -40,14 +40,19 @@ type parse_state = {
   mutable maps : int array list; (* reversed *)
 }
 
-let of_string s =
+let of_string ?file s =
   let st =
     { pname = "instance"; stages = None; work = None; data = None; procs = None;
       speeds = None; bw = []; maps = [] }
   in
-  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
-  let exception Fail of string in
-  let fail lineno msg = raise (Fail (Printf.sprintf "line %d: %s" lineno msg)) in
+  let fctx = match file with None -> [] | Some f -> [ ("file", f) ] in
+  let exception Fail of Rwt_err.t in
+  let fail lineno msg =
+    raise (Fail (Rwt_err.parse ~code:"parse.instance" ?file ~line:lineno msg))
+  in
+  let vfail msg =
+    raise (Fail (Rwt_err.validate ~code:"validate.instance_file" ~context:fctx msg))
+  in
   let rat lineno tok =
     try Rat.of_string tok with Failure _ | Division_by_zero ->
       fail lineno (Printf.sprintf "bad rational %S" tok)
@@ -85,36 +90,39 @@ let of_string s =
           st.maps <- Array.of_list (List.map (int_tok lineno) rest) :: st.maps
         | kw :: _ -> fail lineno (Printf.sprintf "unknown or malformed directive %S" kw))
       lines;
-    let get what = function Some v -> v | None -> raise (Fail ("missing directive: " ^ what)) in
+    let get what = function Some v -> v | None -> vfail ("missing directive: " ^ what) in
     let n = get "stages" st.stages in
     let p = get "processors" st.procs in
     let work = get "work" st.work in
     let data = match st.data with Some d -> d | None -> [||] in
     let speeds = get "speeds" st.speeds in
-    if Array.length work <> n then raise (Fail "work: wrong arity");
-    if Array.length data <> max 0 (n - 1) then raise (Fail "data: wrong arity");
-    if Array.length speeds <> p then raise (Fail "speeds: wrong arity");
+    if Array.length work <> n then vfail "work: wrong arity";
+    if Array.length data <> max 0 (n - 1) then vfail "data: wrong arity";
+    if Array.length speeds <> p then vfail "speeds: wrong arity";
     let bwm = Array.make_matrix p p Rat.one in
     List.iter
       (fun (u, v, r) ->
-        if u < 0 || u >= p || v < 0 || v >= p then raise (Fail "bw: processor out of range");
+        if u < 0 || u >= p || v < 0 || v >= p then vfail "bw: processor out of range";
         bwm.(u).(v) <- r)
       st.bw;
     let pipeline = Pipeline.create ~work ~data in
     let platform =
       try Platform.create ~speeds ~bandwidths:bwm
-      with Invalid_argument m -> raise (Fail m)
+      with Invalid_argument m -> vfail m
     in
     let assignment = Array.of_list (List.rev st.maps) in
     let mapping =
       match Mapping.create ~n_stages:n ~p assignment with
       | Ok m -> m
-      | Error e -> raise (Fail (Mapping.error_to_string e))
+      | Error e -> vfail (Mapping.error_to_string e)
     in
-    Ok (Instance.create ~name:st.pname ~pipeline ~platform ~mapping)
+    (match Instance.create ~name:st.pname ~pipeline ~platform ~mapping with
+     | Ok inst -> Ok inst
+     | Error e -> Error { e with Rwt_err.context = fctx @ e.Rwt_err.context })
   with
-  | Fail msg -> Error msg
-  | Invalid_argument msg -> err 0 msg
+  | Fail e -> Error e
+  | Invalid_argument msg ->
+    Error (Rwt_err.validate ~code:"validate.instance_file" ~context:fctx msg)
 
 let save path inst =
   let oc = open_out path in
@@ -123,5 +131,5 @@ let save path inst =
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
-  | s -> of_string s
-  | exception Sys_error msg -> Error msg
+  | s -> of_string ~file:path s
+  | exception Sys_error msg -> Error (Rwt_err.parse ~code:"parse.io" msg)

@@ -12,12 +12,20 @@
     map <u> <u'> ...                  # one line per stage, in stage order
     v} *)
 
+open Rwt_util
+
 val to_string : Instance.t -> string
 
-val of_string : string -> (Instance.t, string) result
-(** Error messages carry the offending line number. *)
+val of_string : ?file:string -> string -> (Instance.t, Rwt_err.t) result
+(** Line-level failures are {!Rwt_err.Parse} errors (code
+    ["parse.instance"]) carrying the offending line number (and [file] when
+    given); cross-line inconsistencies (missing directives, arities, mapping
+    mismatches) are {!Rwt_err.Validate} errors (code
+    ["validate.instance_file"]). *)
 
 val save : string -> Instance.t -> unit
 (** @raise Sys_error on I/O failure. *)
 
-val load : string -> (Instance.t, string) result
+val load : string -> (Instance.t, Rwt_err.t) result
+(** {!of_string} on the file's contents; I/O failures become {!Rwt_err.Parse}
+    errors with code ["parse.io"]. *)

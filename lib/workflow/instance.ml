@@ -7,18 +7,34 @@ type t = {
   mapping : Mapping.t;
 }
 
-let create ~name ~pipeline ~platform ~mapping =
+let invalid name msg context =
+  Rwt_err.raise_
+    (Rwt_err.validate ~code:"validate.instance"
+       ~context:(("instance", name) :: context)
+       ("Instance.create: " ^ msg))
+
+let create_exn ~name ~pipeline ~platform ~mapping =
   if Mapping.n_stages mapping <> Pipeline.n_stages pipeline then
-    invalid_arg "Instance.create: mapping/pipeline stage mismatch";
+    invalid name "mapping/pipeline stage mismatch"
+      [ ("mapping_stages", string_of_int (Mapping.n_stages mapping));
+        ("pipeline_stages", string_of_int (Pipeline.n_stages pipeline)) ];
   Array.iter
     (fun i ->
       Array.iter
         (fun u ->
           if u < 0 || u >= Platform.p platform then
-            invalid_arg "Instance.create: mapping uses unknown processor")
+            invalid name "mapping uses unknown processor"
+              [ ("stage", string_of_int i);
+                ("proc", string_of_int u);
+                ("p", string_of_int (Platform.p platform)) ])
         (Mapping.procs mapping i))
     (Array.init (Mapping.n_stages mapping) (fun i -> i));
   { name; pipeline; platform; mapping }
+
+let create ~name ~pipeline ~platform ~mapping =
+  match create_exn ~name ~pipeline ~platform ~mapping with
+  | t -> Ok t
+  | exception Rwt_err.Error e -> Error e
 
 let compute_time t ~stage ~proc =
   Rat.div (Pipeline.work t.pipeline stage) (Platform.speed t.platform proc)
@@ -66,7 +82,7 @@ let of_times ?(name = "instance") ~p ~stages ~links () =
     Array.of_list (List.map (fun l -> Array.of_list (List.map fst l)) stages)
   in
   let mapping = Mapping.create_exn ~n_stages:n ~p assignment in
-  create ~name ~pipeline ~platform ~mapping
+  create_exn ~name ~pipeline ~platform ~mapping
 
 let resources t =
   let used = ref [] in

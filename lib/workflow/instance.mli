@@ -11,9 +11,19 @@ type t = {
 }
 
 val create :
+  name:string ->
+  pipeline:Pipeline.t ->
+  platform:Platform.t ->
+  mapping:Mapping.t ->
+  (t, Rwt_err.t) result
+(** [Error] (class [Validate], code ["validate.instance"]) if the mapping
+    does not match the pipeline's stage count or the platform's processor
+    count. *)
+
+val create_exn :
   name:string -> pipeline:Pipeline.t -> platform:Platform.t -> mapping:Mapping.t -> t
-(** @raise Invalid_argument if the mapping does not match the pipeline's
-    stage count or the platform's processor count. *)
+(** Exception shim for {!create}.
+    @raise Rwt_err.Error on the same conditions. *)
 
 val compute_time : t -> stage:int -> proc:int -> Rat.t
 (** [w_stage / Π_proc]. *)

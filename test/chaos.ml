@@ -1,0 +1,113 @@
+(* Chaos harness: sweep the fault matrix over the shipped example
+   instances and check the resilience invariant on every cell —
+
+     an injected fault yields either the fault-free answer (possibly via
+     the degraded polynomial route), a typed non-[Internal] error, or a
+     typed timeout; never a crash, a raw exception, or a silently wrong
+     period.
+
+   Runs as part of `dune runtest` with the smoke matrix (a few dozen
+   cells); `--full` (the `make chaos` target) sweeps every point/action/
+   trigger combination over every example, model and method, with
+   probabilistic triggers replayed under several seeds. Exits nonzero on
+   the first invariant violation. *)
+
+open Rwt_util
+open Rwt_workflow
+
+let instances =
+  [ ("example-A", Instances.example_a);
+    ("example-B", Instances.example_b);
+    ("no-replication", Instances.no_replication) ]
+
+let models = [ Comm_model.Overlap; Comm_model.Strict ]
+let methods = [ Rwt_core.Analysis.Auto; Rwt_core.Analysis.Tpn ]
+
+let smoke_points = [ "tpn.build"; "mcr.*"; "analysis.analyze" ]
+
+let full_points =
+  smoke_points @ [ "poly.analyze"; "expand.*"; "mcr.solve"; "load"; "*" ]
+
+let actions = [ "error"; "capacity"; "timeout"; "delay:1" ]
+
+let failures = ref 0
+let cells = ref 0
+
+let report spec name why =
+  incr failures;
+  Printf.eprintf "chaos: FAIL [%s on %s]: %s\n%!" spec name why
+
+(* one cell: install the spec, analyze, compare against the clean run *)
+let cell ~spec ~name ~model ~method_ inst clean =
+  incr cells;
+  (match Rwt_fault.install spec with
+   | Ok () -> ()
+   | Error e -> report spec name ("bad spec: " ^ Rwt_err.to_line e));
+  let result =
+    Fun.protect ~finally:Rwt_fault.clear (fun () ->
+        Rwt_core.Analysis.analyze ~method_ model inst)
+  in
+  match (result, clean) with
+  | Ok r, Ok (c : Rwt_core.Analysis.report) ->
+    if not (Rat.equal r.Rwt_core.Analysis.period c.Rwt_core.Analysis.period) then
+      report spec name
+        (Printf.sprintf "silently wrong period: %s instead of %s%s"
+           (Rat.to_string r.Rwt_core.Analysis.period)
+           (Rat.to_string c.Rwt_core.Analysis.period)
+           (match r.Rwt_core.Analysis.degraded with
+            | Some why -> " (degraded: " ^ why ^ ")"
+            | None -> ""))
+  | Ok _, Error _ -> report spec name "fault turned a failing analysis into a success"
+  | Error e, _ ->
+    if e.Rwt_err.class_ = Rwt_err.Internal then
+      report spec name ("untyped failure: " ^ Rwt_err.to_line e)
+  | exception e ->
+    report spec name ("raw exception escaped: " ^ Printexc.to_string e)
+
+let sweep ~full =
+  let points = if full then full_points else smoke_points in
+  let triggers =
+    if full then [ ""; "@#1"; "@#2"; "@+1"; "@p0.5;seed=3"; "@p0.5;seed=11" ]
+    else [ ""; "@#2" ]
+  in
+  List.iter
+    (fun (name, make_inst) ->
+      let inst = make_inst () in
+      List.iter
+        (fun model ->
+          List.iter
+            (fun method_ ->
+              let clean = Rwt_core.Analysis.analyze ~method_ model inst in
+              let label =
+                Printf.sprintf "%s/%s/%s" name
+                  (Comm_model.to_string model)
+                  (match method_ with
+                   | Rwt_core.Analysis.Auto -> "auto"
+                   | Rwt_core.Analysis.Tpn -> "tpn"
+                   | Rwt_core.Analysis.Poly -> "poly")
+              in
+              List.iter
+                (fun point ->
+                  List.iter
+                    (fun action ->
+                      List.iter
+                        (fun trigger ->
+                          let spec = point ^ "=" ^ action ^ trigger in
+                          cell ~spec ~name:label ~model ~method_ inst clean)
+                        triggers)
+                    actions)
+                points)
+            methods)
+        models)
+    instances
+
+let () =
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  sweep ~full;
+  if !failures > 0 then begin
+    Printf.eprintf "chaos: %d/%d cells violated the resilience invariant\n%!"
+      !failures !cells;
+    exit 1
+  end;
+  Printf.printf "chaos: %d cells ok (%s matrix)\n%!" !cells
+    (if full then "full" else "smoke")

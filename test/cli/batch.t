@@ -17,7 +17,7 @@ with a duplicate (memo-cache hit) and a missing file (error line). With
   {"job":0,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907,"metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
   {"job":1,"id":"a-strict","file":"a.rwt","instance":"example-A","model":"strict","method":"auto","status":"ok","period":"692/3","period_float":230.66666666666666,"throughput_float":0.004335260115606936,"metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
   {"job":2,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907,"metrics":{"m":6,"stages":4,"resources":7},"cache":"hit"}
-  {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"missing.rwt: No such file or directory","cache":"miss"}
+  {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"parse: missing.rwt: No such file or directory","error_class":"parse","error_code":"parse.io","cache":"miss"}
   {"job":4,"file":"b.rwt","instance":"example-B","model":"overlap","method":"tpn","status":"ok","period":"875/3","period_float":291.66666666666669,"throughput_float":0.0034285714285714284,"metrics":{"m":12,"stages":2,"resources":7},"cache":"miss"}
   rwt batch: 5 jobs: 4 ok, 1 error, 0 timeouts; 1 cache hit (workers 2)
 
@@ -38,7 +38,7 @@ whole batch failing to produce any ok line exits 3.
   {"job":0,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"timeout","metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
   {"job":1,"id":"a-strict","file":"a.rwt","instance":"example-A","model":"strict","method":"auto","status":"timeout","metrics":{"m":6,"stages":4,"resources":7},"cache":"miss"}
   {"job":2,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"timeout","metrics":{"m":6,"stages":4,"resources":7},"cache":"hit"}
-  {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"missing.rwt: No such file or directory","cache":"miss"}
+  {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"parse: missing.rwt: No such file or directory","error_class":"parse","error_code":"parse.io","cache":"miss"}
   {"job":4,"file":"b.rwt","instance":"example-B","model":"overlap","method":"tpn","status":"timeout","metrics":{"m":12,"stages":2,"resources":7},"cache":"miss"}
   rwt batch: 5 jobs: 0 ok, 1 error, 4 timeouts; 1 cache hit (workers 1)
   [3]
@@ -53,5 +53,5 @@ Job files can come from stdin ("-") and results can go to a file.
 A malformed job file names the offending line and exits nonzero.
 
   $ printf '{"file":"a.rwt","frobnicate":1}\n' | rwt batch -
-  rwt: -: line 1: unknown key "frobnicate"
+  rwt: parse: unknown key "frobnicate" [jobfile=-, line=1]
   [1]

@@ -26,5 +26,5 @@ Example B has no critical resource even with overlap.
 Theorem 1 refuses the strict model.
 
   $ rwt period -e a -m strict --method poly
-  rwt: Analysis.analyze: no polynomial algorithm for the strict model
+  rwt: validate: Analysis.analyze: no polynomial algorithm for the strict model
   [2]

@@ -1,0 +1,97 @@
+Resilience walkthrough: typed error lines, fault injection, graceful
+degradation, and crash-safe batch resume. See doc/RESILIENCE.md.
+
+Every failure is one typed line — class, message, structured context —
+and a nonzero exit; never a raw OCaml backtrace.
+
+  $ rwt period
+  rwt: validate: an instance is required: --file <path> or --example <a|b|c|figure1>
+  [1]
+
+  $ rwt period -e a -m strict --method poly
+  rwt: validate: Analysis.analyze: no polynomial algorithm for the strict model
+  [2]
+
+An injected capacity fault on the TPN build degrades the OVERLAP
+analysis to the polynomial algorithm (still exact) and says so:
+
+  $ rwt period -e a --method tpn --fault 'tpn.build=capacity'
+  model: overlap
+  period: 189 (throughput 0.005291 data sets / time unit)
+  Mct:    189 (resource P0, stage S0)
+  the critical resource dictates the period (P = Mct)
+  degraded: tpn route failed (fault.capacity: capacity); used polynomial algorithm
+
+  $ rwt period -e a --method tpn --fault 'tpn.build=capacity' --json | grep -c degraded
+  2
+
+The STRICT model has no polynomial fallback, so the same fault is a
+typed error line:
+
+  $ rwt period -e a -m strict --method tpn --fault 'tpn.build=capacity'
+  rwt: capacity: injected capacity exhaustion at tpn.build [point=tpn.build, hit=1]
+  [2]
+
+A malformed fault spec is itself a typed parse error:
+
+  $ rwt period -e a --fault 'tpn.build=warp'
+  rwt: parse: unknown action "warp"
+  [2]
+
+Crash-safe batch: arm an abort on the third unique evaluation (a
+simulated kill: exit 70, no flushing), journal to a sidecar, then resume.
+
+  $ rwt show -e a > a.rwt
+  $ rwt show -e b > b.rwt
+  $ cat > jobs.txt <<'EOF'
+  > a.rwt
+  > {"file":"a.rwt","model":"strict","id":"a-strict"}
+  > a.rwt
+  > b.rwt
+  > {"file":"b.rwt","model":"strict"}
+  > EOF
+
+  $ rwt batch jobs.txt --jobs 1 --no-timing -o reference.ndjson
+  rwt batch: 5 jobs: 5 ok, 0 errors, 0 timeouts; 1 cache hit (workers 1)
+
+  $ RWT_FAULT='batch.job=abort@#3' rwt batch jobs.txt --jobs 1 --no-timing \
+  >   --journal journal.ndjson -o partial.ndjson
+  rwt: fault: injected abort at batch.job (hit 3)
+  [70]
+
+The journal holds the header plus the two evaluations that were fsync'd
+before the kill:
+
+  $ head -c 34 journal.ndjson
+  {"schema":"rwt.journal/1","key":"9
+  $ grep -c '"status"' journal.ndjson
+  2
+
+--resume replays them and evaluates only the missing jobs; the output
+is byte-identical to the uninterrupted run:
+
+  $ rwt batch jobs.txt --jobs 1 --no-timing --journal journal.ndjson --resume \
+  >   -o resumed.ndjson
+  rwt batch: 5 jobs: 5 ok, 0 errors, 0 timeouts; 1 cache hit (workers 1), 2 resumed
+  $ cmp reference.ndjson resumed.ndjson && echo identical
+  identical
+
+A journal written under different options is refused, not misread:
+
+  $ rwt batch jobs.txt --jobs 1 --no-timing --timeout 9999 \
+  >   --journal journal.ndjson --resume -o /dev/null
+  rwt: validate: journal does not match this job list and options; remove it or rerun without --resume [file=journal.ndjson, expected=ec0d213d453eaaae3cb00ac417f10c4f, found=9042153c31d40bcedc197773e153fccd]
+  [2]
+
+  $ rwt batch jobs.txt --resume
+  rwt: validate: batch --resume requires --journal FILE
+  [1]
+
+Transient injected faults heal under --retries; the summary counts the
+retry and the output is again byte-identical:
+
+  $ RWT_FAULT='analysis.analyze=error@#1' rwt batch jobs.txt --jobs 1 --no-timing \
+  >   --retries 2 --backoff-ms 1 -o retried.ndjson
+  rwt batch: 5 jobs: 5 ok, 0 errors, 0 timeouts; 1 cache hit (workers 1), 1 retried
+  $ cmp reference.ndjson retried.ndjson && echo identical
+  identical

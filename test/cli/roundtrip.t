@@ -11,5 +11,5 @@ Malformed files are rejected with a line number.
 
   $ printf 'stages 2\nwork 1 1\ndata 1\nprocessors 2\nspeeds 1 nope\nmap 0\nmap 1\n' > bad.rwt
   $ rwt period -f bad.rwt
-  rwt: line 5: bad rational "nope"
+  rwt: parse: bad rational "nope" [file=bad.rwt, line=5]
   [1]

@@ -84,7 +84,7 @@ let timeout_units () =
       match o.Batch.status with
       | Batch.Timed_out -> ()
       | Batch.Done -> Alcotest.fail "job finished despite expired deadline"
-      | Batch.Failed msg -> Alcotest.fail ("unexpected failure: " ^ msg))
+      | Batch.Failed e -> Alcotest.fail ("unexpected failure: " ^ Rwt_err.to_line e))
     outcomes;
   (* every outcome (cache-hit replays included) counts in the summary *)
   Alcotest.(check int) "all timed out" summary.Batch.total summary.Batch.timeouts;
@@ -106,7 +106,7 @@ let parse_units () =
   let jobs =
     match Batch.parse_jobs contents with
     | Ok js -> js
-    | Error e -> Alcotest.fail ("parse_jobs: " ^ e)
+    | Error e -> Alcotest.fail ("parse_jobs: " ^ Rwt_err.to_line e)
   in
   Alcotest.(check int) "three jobs" 3 (List.length jobs);
   let j0 = List.nth jobs 0 and j1 = List.nth jobs 1 and j2 = List.nth jobs 2 in

@@ -32,7 +32,7 @@ let tpn_shape =
       let m = Mapping.num_paths inst.Instance.mapping in
       List.for_all
         (fun model ->
-          let net = Core.Tpn_build.build model inst in
+          let net = Core.Tpn_build.build_exn model inst in
           Tpn.num_transitions net.Core.Tpn_build.tpn = m * ((2 * n) - 1)
           && net.Core.Tpn_build.m = m)
         Comm_model.all)
@@ -43,7 +43,7 @@ let tpn_live =
       let inst = random_instance seed in
       List.for_all
         (fun model ->
-          Tpn.liveness (Core.Tpn_build.build model inst).Core.Tpn_build.tpn = Tpn.Live)
+          Tpn.liveness (Core.Tpn_build.build_exn model inst).Core.Tpn_build.tpn = Tpn.Live)
         Comm_model.all)
 
 let tpn_tokens_one_per_circuit =
@@ -53,8 +53,8 @@ let tpn_tokens_one_per_circuit =
       let mapping = inst.Instance.mapping in
       let n = Mapping.n_stages mapping in
       let used = List.length (Instance.resources inst) in
-      let overlap = Core.Tpn_build.build Comm_model.Overlap inst in
-      let strict = Core.Tpn_build.build Comm_model.Strict inst in
+      let overlap = Core.Tpn_build.build_exn Comm_model.Overlap inst in
+      let strict = Core.Tpn_build.build_exn Comm_model.Strict inst in
       (* overlap: one circuit per compute resource, plus out-port circuits for
          stages 0..n-2 and in-port circuits for stages 1..n-1 *)
       let senders =
@@ -75,7 +75,7 @@ let tpn_firing_times_match_kinds =
   QCheck.Test.make ~count:100 ~name:"transition firing times match their kind"
     QCheck.small_nat (fun seed ->
       let inst = random_instance seed in
-      let net = Core.Tpn_build.build Comm_model.Overlap inst in
+      let net = Core.Tpn_build.build_exn Comm_model.Overlap inst in
       let ok = ref true in
       for id = 0 to Tpn.num_transitions net.Core.Tpn_build.tpn - 1 do
         let expected =
@@ -92,7 +92,7 @@ let tpn_firing_times_match_kinds =
 
 let tpn_example_a_size () =
   (* Figure 4: m = 6 rows of 7 transitions *)
-  let net = Core.Tpn_build.build Comm_model.Overlap (Instances.example_a ()) in
+  let net = Core.Tpn_build.build_exn Comm_model.Overlap (Instances.example_a ()) in
   Alcotest.(check int) "m" 6 net.Core.Tpn_build.m;
   Alcotest.(check int) "transitions" 42 (Tpn.num_transitions net.Core.Tpn_build.tpn);
   (* places: 6 rows × 6 forward = 36; a circuit contributes one place per
@@ -100,7 +100,7 @@ let tpn_example_a_size () =
      6+(3+3)+(2+2+2) = 18; in-ports (3+3)+(2+2+2)+6 = 18 *)
   Alcotest.(check int) "places" 96 (Tpn.num_places net.Core.Tpn_build.tpn);
   Alcotest.(check int) "tokens = circuits" 19 (Tpn.total_tokens net.Core.Tpn_build.tpn);
-  let strict = Core.Tpn_build.build Comm_model.Strict (Instances.example_a ()) in
+  let strict = Core.Tpn_build.build_exn Comm_model.Strict (Instances.example_a ()) in
   (* strict: 36 forward + one circuit per processor (24 places, 7 tokens) *)
   Alcotest.(check int) "strict places" 60 (Tpn.num_places strict.Core.Tpn_build.tpn);
   Alcotest.(check int) "strict tokens" 7 (Tpn.total_tokens strict.Core.Tpn_build.tpn)
@@ -110,10 +110,10 @@ let tpn_example_a_size () =
 let example_a_values () =
   let a = Instances.example_a () in
   Alcotest.check rat "overlap period 189" (Rat.of_int 189) (Core.Poly_overlap.period a);
-  let e = Core.Exact.period Comm_model.Overlap a in
+  let e = Core.Exact.period_exn Comm_model.Overlap a in
   Alcotest.check rat "overlap exact" (Rat.of_int 189) e.Core.Exact.period;
   Alcotest.check rat "overlap Mct" (Rat.of_int 189) (Cycle_time.mct Comm_model.Overlap a);
-  let s = Core.Exact.period Comm_model.Strict a in
+  let s = Core.Exact.period_exn Comm_model.Strict a in
   Alcotest.check rat "strict period 230.67" (Rat.of_ints 1384 6) s.Core.Exact.period;
   Alcotest.check rat "strict Mct 215.83" (Rat.of_ints 1295 6)
     (Cycle_time.mct Comm_model.Strict a);
@@ -125,7 +125,7 @@ let example_b_values () =
   let b = Instances.example_b () in
   Alcotest.check rat "Mct 258.33" (Rat.of_ints 3100 12) (Cycle_time.mct Comm_model.Overlap b);
   Alcotest.check rat "overlap period 291.67" (Rat.of_ints 3500 12) (Core.Poly_overlap.period b);
-  let report = Core.Analysis.analyze Comm_model.Overlap b in
+  let report = Core.Analysis.analyze_exn Comm_model.Overlap b in
   Alcotest.(check bool) "no critical resource" false
     report.Core.Analysis.has_critical_resource;
   Alcotest.(check int) "bottleneck is P2" 2 report.Core.Analysis.bottleneck.Cycle_time.proc
@@ -164,7 +164,7 @@ let poly_equals_exact =
     QCheck.small_nat (fun seed ->
       let inst = random_instance seed in
       Rat.equal (Core.Poly_overlap.period inst)
-        (Core.Exact.period Comm_model.Overlap inst).Core.Exact.period)
+        (Core.Exact.period_exn Comm_model.Overlap inst).Core.Exact.period)
 
 let period_at_least_mct =
   QCheck.Test.make ~count:150 ~name:"P >= Mct (both models)" QCheck.small_nat
@@ -172,7 +172,7 @@ let period_at_least_mct =
       let inst = random_instance seed in
       List.for_all
         (fun model ->
-          Rat.compare (Core.Exact.period model inst).Core.Exact.period
+          Rat.compare (Core.Exact.period_exn model inst).Core.Exact.period
             (Cycle_time.mct model inst)
           >= 0)
         Comm_model.all)
@@ -183,7 +183,7 @@ let no_replication_implies_critical =
       let inst = random_instance ~max_per_stage:1 seed in
       List.for_all
         (fun model ->
-          Rat.equal (Core.Exact.period model inst).Core.Exact.period
+          Rat.equal (Core.Exact.period_exn model inst).Core.Exact.period
             (Cycle_time.mct model inst))
         Comm_model.all)
 
@@ -192,15 +192,15 @@ let strict_slower_than_overlap =
     QCheck.small_nat (fun seed ->
       let inst = random_instance seed in
       Rat.compare
-        (Core.Exact.period Comm_model.Strict inst).Core.Exact.period
-        (Core.Exact.period Comm_model.Overlap inst).Core.Exact.period
+        (Core.Exact.period_exn Comm_model.Strict inst).Core.Exact.period
+        (Core.Exact.period_exn Comm_model.Overlap inst).Core.Exact.period
       >= 0)
 
 let critical_cycle_is_consistent =
   QCheck.Test.make ~count:100 ~name:"critical cycle stays within one column (overlap)"
     QCheck.small_nat (fun seed ->
       let inst = random_instance seed in
-      let e = Core.Exact.period Comm_model.Overlap inst in
+      let e = Core.Exact.period_exn Comm_model.Overlap inst in
       match e.Core.Exact.critical with
       | [] -> false
       | (_, col0) :: rest -> List.for_all (fun (_, col) -> col = col0) rest)
@@ -211,7 +211,7 @@ let analysis_consistency =
       let inst = random_instance seed in
       List.for_all
         (fun model ->
-          let r = Core.Analysis.analyze model inst in
+          let r = Core.Analysis.analyze_exn model inst in
           Rat.equal (Rat.mul r.Core.Analysis.period r.Core.Analysis.throughput) Rat.one
           && r.Core.Analysis.has_critical_resource
              = Rat.equal r.Core.Analysis.period r.Core.Analysis.mct
@@ -219,12 +219,14 @@ let analysis_consistency =
         Comm_model.all)
 
 let poly_rejects_strict () =
-  Alcotest.check_raises "no strict poly"
-    (Invalid_argument "Analysis.analyze: no polynomial algorithm for the strict model")
-    (fun () ->
-      ignore
-        (Core.Analysis.analyze ~method_:Core.Analysis.Poly Comm_model.Strict
-           (Instances.example_a ())))
+  match
+    Core.Analysis.analyze ~method_:Core.Analysis.Poly Comm_model.Strict
+      (Instances.example_a ())
+  with
+  | Ok _ -> Alcotest.fail "Poly must be rejected for the strict model"
+  | Error e ->
+    Alcotest.(check bool) "validate class" true (e.Rwt_err.class_ = Rwt_err.Validate);
+    Alcotest.(check string) "stable code" "validate.method" e.Rwt_err.code
 
 (* The reduced pattern graph of F1 in Example A (Figure 9): 2 senders, 3
    receivers, single component of 6 transitions. *)
@@ -251,7 +253,7 @@ let pattern_graph_example_a () =
 
 let report_json () =
   let b = Instances.example_b () in
-  let r = Core.Analysis.analyze Comm_model.Overlap b in
+  let r = Core.Analysis.analyze_exn Comm_model.Overlap b in
   let json = Rwt_util.Json.to_string (Core.Analysis.report_to_json b r) in
   let contains needle =
     let ln = String.length needle in
@@ -270,7 +272,7 @@ let scale_instance inst k =
   let n = Pipeline.n_stages pipeline in
   let work = Array.init n (fun i -> Rat.mul_int (Pipeline.work pipeline i) k) in
   let data = Array.init (max 0 (n - 1)) (fun i -> Rat.mul_int (Pipeline.data pipeline i) k) in
-  Instance.create ~name:"scaled" ~pipeline:(Pipeline.create ~work ~data)
+  Instance.create_exn ~name:"scaled" ~pipeline:(Pipeline.create ~work ~data)
     ~platform:inst.Instance.platform ~mapping:inst.Instance.mapping
 
 let scaling_invariance =
@@ -280,8 +282,8 @@ let scaling_invariance =
       let k = 2 + (seed mod 5) in
       List.for_all
         (fun model ->
-          let p1 = (Core.Exact.period model inst).Core.Exact.period in
-          let p2 = (Core.Exact.period model (scale_instance inst k)).Core.Exact.period in
+          let p1 = (Core.Exact.period_exn model inst).Core.Exact.period in
+          let p2 = (Core.Exact.period_exn model (scale_instance inst k)).Core.Exact.period in
           Rat.equal p2 (Rat.mul_int p1 k))
         Comm_model.all)
 
@@ -304,15 +306,15 @@ let slower_link_cannot_speed_up =
       in
       let speeds = Array.init p (Platform.speed inst.Instance.platform) in
       let slower =
-        Instance.create ~name:"slower" ~pipeline:inst.Instance.pipeline
+        Instance.create_exn ~name:"slower" ~pipeline:inst.Instance.pipeline
           ~platform:(Platform.create ~speeds ~bandwidths:bw)
           ~mapping
       in
       List.for_all
         (fun model ->
           Rat.compare
-            (Core.Exact.period model slower).Core.Exact.period
-            (Core.Exact.period model inst).Core.Exact.period
+            (Core.Exact.period_exn model slower).Core.Exact.period
+            (Core.Exact.period_exn model inst).Core.Exact.period
           >= 0)
         Comm_model.all)
 
@@ -333,14 +335,14 @@ let idle_processor_is_irrelevant =
              (Mapping.procs inst.Instance.mapping))
       in
       let padded =
-        Instance.create ~name:"padded" ~pipeline:inst.Instance.pipeline
+        Instance.create_exn ~name:"padded" ~pipeline:inst.Instance.pipeline
           ~platform:(Platform.create ~speeds ~bandwidths:bw) ~mapping
       in
       List.for_all
         (fun model ->
           Rat.equal
-            (Core.Exact.period model padded).Core.Exact.period
-            (Core.Exact.period model inst).Core.Exact.period)
+            (Core.Exact.period_exn model padded).Core.Exact.period
+            (Core.Exact.period_exn model inst).Core.Exact.period)
         Comm_model.all)
 
 (* --- full-scale Example C integration (m = 10 395) --- *)
@@ -358,7 +360,7 @@ let example_c_strict_full () =
   let m = Mapping.num_paths c.Instance.mapping in
   (* the strict TPN has 10395 × 7 = 72 765 transitions; Howard must both
      terminate and agree exactly with the operational simulator *)
-  let exact = (Core.Exact.period Comm_model.Strict c).Core.Exact.period in
+  let exact = (Core.Exact.period_exn Comm_model.Strict c).Core.Exact.period in
   let sched = Rwt_sim.Schedule.run Comm_model.Strict c ~datasets:(3 * m) in
   Alcotest.check rat "full TPN = simulator at 72 765 transitions" exact
     (Rwt_sim.Schedule.period_estimate sched)

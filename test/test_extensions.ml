@@ -101,7 +101,7 @@ let optimizer_valid_and_no_worse =
       &&
       (* the reported period is truthful *)
       let inst =
-        Instance.create ~name:"check" ~pipeline ~platform
+        Instance.create_exn ~name:"check" ~pipeline ~platform
           ~mapping:ls.Rwt_core.Optimize.mapping
       in
       Rat.equal (Rwt_core.Poly_overlap.period inst) ls.Rwt_core.Optimize.period)
@@ -130,11 +130,11 @@ let optimizer_strict_model () =
       platform
   in
   let inst =
-    Instance.create ~name:"check" ~pipeline ~platform
+    Instance.create_exn ~name:"check" ~pipeline ~platform
       ~mapping:ls.Rwt_core.Optimize.mapping
   in
   Alcotest.check rat "reported strict period is truthful"
-    (Rwt_core.Exact.period Comm_model.Strict inst).Rwt_core.Exact.period
+    (Rwt_core.Exact.period_exn Comm_model.Strict inst).Rwt_core.Exact.period
     ls.Rwt_core.Optimize.period
 
 let optimizer_deterministic () =
@@ -248,7 +248,7 @@ let minimal_instance_checks () =
   Alcotest.(check bool) "no critical resource" true (Rat.compare period mct > 0);
   (* verified three independent ways *)
   Alcotest.check rat "full TPN agrees" period
-    (Rwt_core.Exact.period Comm_model.Overlap inst).Rwt_core.Exact.period;
+    (Rwt_core.Exact.period_exn Comm_model.Overlap inst).Rwt_core.Exact.period;
   Alcotest.check rat "simulator agrees" period
     (Rwt_sim.Schedule.measured_period Comm_model.Overlap inst)
 

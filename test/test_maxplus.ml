@@ -164,7 +164,7 @@ let spectral_paper_examples () =
     (fun (name, inst) ->
       List.iter
         (fun model ->
-          let net = Rwt_core.Tpn_build.build model inst in
+          let net = Rwt_core.Tpn_build.build_exn model inst in
           match
             ( Rwt_maxplus.Spectral.period_of_tpn net.Rwt_core.Tpn_build.tpn,
               Rwt_petri.Mcr.period_of_tpn net.Rwt_core.Tpn_build.tpn )

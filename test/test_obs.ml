@@ -173,7 +173,7 @@ let disabled_is_noop () =
 let pipeline_metrics () =
   fresh ();
   let a = Rwt_workflow.Instances.example_a () in
-  ignore (Rwt_core.Exact.period Rwt_workflow.Comm_model.Strict a);
+  ignore (Rwt_core.Exact.period_exn Rwt_workflow.Comm_model.Strict a);
   ignore (Rwt_core.Poly_overlap.period a);
   ignore (Rwt_sim.Schedule.run Rwt_workflow.Comm_model.Overlap a ~datasets:12);
   let names = Rwt_obs.metric_names () in
@@ -193,18 +193,22 @@ let pipeline_metrics () =
 let expand_cap_guard () =
   fresh ();
   let a = Rwt_workflow.Instances.example_a () in
-  let net = Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Strict a in
+  let net = Rwt_core.Tpn_build.build_exn Rwt_workflow.Comm_model.Strict a in
   let tpn = net.Rwt_core.Tpn_build.tpn in
   (match Rwt_petri.Expand.one_bounded ~transition_cap:3 tpn with
-   | exception Failure msg ->
+   | Error e ->
+     Alcotest.(check bool) "typed as a capacity error" true
+       (e.Rwt_err.class_ = Rwt_err.Capacity);
      Alcotest.(check bool) "message reports the cap" true
-       (contains msg "exceeding the cap");
+       (contains e.Rwt_err.message "exceeding the cap");
      Alcotest.(check bool) "message reports the marking m" true
-       (contains msg "m = ")
-   | _ -> Alcotest.fail "expansion above the cap must raise");
+       (contains e.Rwt_err.message "m = ")
+   | Ok _ -> Alcotest.fail "expansion above the cap must fail");
   Alcotest.(check int) "rejection counted" 1 (Rwt_obs.counter_value "expand.rejections");
   (* under the default cap the same expansion succeeds *)
-  ignore (Rwt_petri.Expand.one_bounded tpn)
+  (match Rwt_petri.Expand.one_bounded tpn with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Rwt_err.to_line e))
 
 let tpn_build_cap_guard () =
   fresh ();
@@ -214,14 +218,16 @@ let tpn_build_cap_guard () =
   Fun.protect ~finally:(fun () -> Rwt_petri.Expand.set_transition_cap old)
     (fun () ->
       match Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Overlap a with
-      | exception Failure msg ->
+      | Error e ->
+        Alcotest.(check bool) "typed as a capacity error" true
+          (e.Rwt_err.class_ = Rwt_err.Capacity);
         Alcotest.(check bool) "reports m and projection" true
-          (contains msg "m = 6" && contains msg "42")
-      | _ -> Alcotest.fail "build above the cap must raise");
+          (contains e.Rwt_err.message "m = 6" && contains e.Rwt_err.message "42")
+      | Ok _ -> Alcotest.fail "build above the cap must fail");
   Alcotest.(check bool) "cap restored" true
     (Rwt_petri.Expand.transition_cap () = old);
   (* restored cap admits the build again *)
-  ignore (Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Overlap a)
+  ignore (Rwt_core.Tpn_build.build_exn Rwt_workflow.Comm_model.Overlap a)
 
 let cap_validation () =
   Alcotest.check_raises "cap must be positive"

@@ -229,7 +229,7 @@ let certificate_rejects_tampering =
         P.Certificate.check g lowered <> Ok ())
 
 let certificate_example_a () =
-  let net = Rwt_core.Tpn_build.build Rwt_workflow.Comm_model.Strict
+  let net = Rwt_core.Tpn_build.build_exn Rwt_workflow.Comm_model.Strict
       (Rwt_workflow.Instances.example_a ()) in
   let g = P.Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn in
   match P.Certificate.make g with
@@ -258,7 +258,7 @@ let expansion_preserves_ratio =
         let tokens = if v <= u then Prng.int_in r 1 3 else if Prng.int r 3 = 0 then 1 else 0 in
         P.Tpn.add_place net ~src:u ~dst:v ~tokens
       done;
-      let expanded = P.Expand.one_bounded net in
+      let expanded = P.Expand.one_bounded_exn net in
       P.Expand.is_one_bounded expanded
       && P.Tpn.total_tokens expanded = P.Tpn.total_tokens net
       &&
@@ -277,7 +277,7 @@ let expansion_enables_spectral =
       for i = 0 to n - 1 do
         P.Tpn.add_place net ~src:i ~dst:((i + 1) mod n) ~tokens:(Prng.int_in r 1 3)
       done;
-      let expanded = P.Expand.one_bounded net in
+      let expanded = P.Expand.one_bounded_exn net in
       match (Rwt_maxplus.Spectral.period_of_tpn expanded, P.Mcr.period_of_tpn net) with
       | Some s, Some w -> Rat.equal s w.E.ratio
       | None, None -> true
@@ -285,7 +285,7 @@ let expansion_enables_spectral =
 
 let expansion_identity_when_bounded () =
   let net = two_circuits () in
-  let e = P.Expand.one_bounded net in
+  let e = P.Expand.one_bounded_exn net in
   Alcotest.(check int) "same transitions" (P.Tpn.num_transitions net) (P.Tpn.num_transitions e);
   Alcotest.(check int) "same places" (P.Tpn.num_places net) (P.Tpn.num_places e)
 

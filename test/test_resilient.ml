@@ -1,0 +1,337 @@
+(* Resilience tests: the typed error taxonomy, the deterministic fault
+   injection harness, solver deadlines, graceful degradation, and the
+   crash-safe batch journal.
+
+   The headline property (the chaos invariant): under any injected fault,
+   a batch renders each job either exactly as the fault-free run does, or
+   as a typed error/timeout line — never a crash and never a silently
+   wrong period. *)
+
+open Rwt_util
+module Batch = Rwt_batch
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* every test leaves the process-global fault harness disarmed *)
+let with_fault spec f =
+  (match Rwt_fault.install spec with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("install: " ^ Rwt_err.to_line e));
+  Fun.protect ~finally:Rwt_fault.clear f
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let taxonomy_units () =
+  let e =
+    Rwt_err.make ~code:"parse.demo" ~context:[ ("file", "x.rwt"); ("line", "3") ]
+      Rwt_err.Parse "bad\nthing"
+  in
+  Alcotest.(check string) "one line, newline scrubbed"
+    "parse: bad thing [file=x.rwt, line=3]" (Rwt_err.to_line e);
+  Alcotest.(check string) "default code is the class"
+    "validate" (Rwt_err.validate "nope").Rwt_err.code;
+  Alcotest.(check bool) "fault is transient" true
+    (Rwt_err.transient (Rwt_err.fault "injected"));
+  Alcotest.(check bool) "timeout is not transient" false
+    (Rwt_err.transient (Rwt_err.timeout "budget"));
+  (* json round-trip preserves everything *)
+  (match Rwt_err.of_json (Rwt_err.to_json e) with
+   | Some e' -> Alcotest.(check string) "json round-trip"
+                  (Rwt_err.to_line e) (Rwt_err.to_line e')
+   | None -> Alcotest.fail "of_json rejected to_json output")
+
+let of_exn_units () =
+  let cls e = (Rwt_err.of_exn e).Rwt_err.class_ in
+  Alcotest.(check bool) "cap guard -> capacity" true
+    (cls (Failure "42 transitions, exceeding the cap (5)") = Rwt_err.Capacity);
+  Alcotest.(check bool) "invalid_arg -> validate" true
+    (cls (Invalid_argument "x") = Rwt_err.Validate);
+  Alcotest.(check bool) "sys_error -> parse" true
+    (cls (Sys_error "no such file") = Rwt_err.Parse);
+  Alcotest.(check bool) "div0 -> numeric" true
+    (cls Division_by_zero = Rwt_err.Numeric);
+  Alcotest.(check bool) "anything else -> internal" true
+    (cls Exit = Rwt_err.Internal);
+  (* Error unwraps instead of double-wrapping *)
+  let t = Rwt_err.capacity ~code:"capacity.expand" "boom" in
+  Alcotest.(check string) "Error unwraps" "capacity.expand"
+    (Rwt_err.of_exn (Rwt_err.Error t)).Rwt_err.code;
+  match Rwt_err.catch (fun () -> raise (Failure "plain")) with
+  | Error e -> Alcotest.(check bool) "catch classifies" true
+                 (e.Rwt_err.class_ = Rwt_err.Internal)
+  | Ok _ -> Alcotest.fail "catch must catch"
+
+let json_parse_position () =
+  match Json.of_string_pos "{\"a\": 1,\n  \"b\": }" with
+  | Ok _ -> Alcotest.fail "malformed JSON accepted"
+  | Error pe ->
+    Alcotest.(check int) "line" 2 pe.Json.line;
+    Alcotest.(check bool) "column points past the colon" true (pe.Json.col > 5);
+    let e = Rwt_err.json_parse ~file:"x.json" pe in
+    Alcotest.(check bool) "context carries line" true
+      (List.mem_assoc "line" e.Rwt_err.context);
+    Alcotest.(check bool) "context carries col" true
+      (List.mem_assoc "col" e.Rwt_err.context)
+
+(* ------------------------------------------------------------------ *)
+(* Fault harness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fault_spec_units () =
+  (match Rwt_fault.parse "tpn.build=capacity" with
+   | Ok ([ r ], seed) ->
+     Alcotest.(check string) "pattern" "tpn.build" r.Rwt_fault.pattern;
+     Alcotest.(check bool) "action" true (r.Rwt_fault.action = Rwt_fault.Capacity);
+     Alcotest.(check bool) "trigger" true (r.Rwt_fault.trigger = Rwt_fault.Always);
+     Alcotest.(check int) "default seed" 0 seed
+   | Ok _ -> Alcotest.fail "expected one rule"
+   | Error e -> Alcotest.fail (Rwt_err.to_line e));
+  (match Rwt_fault.parse "mcr.*=error@p0.5;seed=9" with
+   | Ok ([ r ], seed) ->
+     Alcotest.(check bool) "prob trigger" true (r.Rwt_fault.trigger = Rwt_fault.Prob 0.5);
+     Alcotest.(check int) "seed" 9 seed
+   | Ok _ -> Alcotest.fail "expected one rule"
+   | Error e -> Alcotest.fail (Rwt_err.to_line e));
+  (match Rwt_fault.parse "x=delay:5@#2" with
+   | Ok ([ r ], _) ->
+     Alcotest.(check bool) "delay in seconds" true
+       (r.Rwt_fault.action = Rwt_fault.Delay 0.005);
+     Alcotest.(check bool) "nth trigger" true (r.Rwt_fault.trigger = Rwt_fault.Nth 2)
+   | Ok _ -> Alcotest.fail "expected one rule"
+   | Error e -> Alcotest.fail (Rwt_err.to_line e));
+  let rejected s =
+    match Rwt_fault.parse s with
+    | Error e -> e.Rwt_err.class_ = Rwt_err.Parse
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "no '=' rejected" true (rejected "bogus");
+  Alcotest.(check bool) "unknown action rejected" true (rejected "x=warp");
+  Alcotest.(check bool) "bad trigger rejected" true (rejected "x=error@z");
+  Alcotest.(check bool) "bad seed rejected" true (rejected "seed=many")
+
+let fault_fire_units () =
+  with_fault "p1=error@#2" (fun () ->
+      Alcotest.(check bool) "armed" true (Rwt_fault.active ());
+      Rwt_fault.point "p1";
+      (match Rwt_fault.point "p1" with
+       | () -> Alcotest.fail "second hit must fire"
+       | exception Rwt_err.Error e ->
+         Alcotest.(check bool) "fault class" true (e.Rwt_err.class_ = Rwt_err.Fault);
+         Alcotest.(check string) "code" "fault.injected" e.Rwt_err.code;
+         Alcotest.(check bool) "transient" true (Rwt_err.transient e));
+      Rwt_fault.point "p1" (* only the 2nd hit fires *);
+      Alcotest.(check int) "three hits counted" 3 (List.assoc "p1" (Rwt_fault.hits ()));
+      Alcotest.(check int) "one fault fired" 1 (Rwt_fault.fired ()));
+  Alcotest.(check bool) "disarmed" false (Rwt_fault.active ());
+  Rwt_fault.point "p1" (* no-op when disarmed *)
+
+let fault_glob_and_span () =
+  with_fault "mcr.*=timeout" (fun () ->
+      (* prefix glob matches the span site inside the solver *)
+      match
+        Rwt_core.Exact.period Rwt_workflow.Comm_model.Overlap
+          (Rwt_workflow.Instances.example_a ())
+      with
+      | Ok _ -> Alcotest.fail "injected timeout must surface"
+      | Error e ->
+        Alcotest.(check bool) "timeout class" true (e.Rwt_err.class_ = Rwt_err.Timeout);
+        Alcotest.(check string) "code" "fault.timeout" e.Rwt_err.code)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and degradation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_units () =
+  let a = Rwt_workflow.Instances.example_a () in
+  (match Rwt_core.Exact.period ~deadline:(fun () -> true)
+           Rwt_workflow.Comm_model.Overlap a
+   with
+   | Ok _ -> Alcotest.fail "expired deadline must stop the solver"
+   | Error e ->
+     Alcotest.(check bool) "timeout class" true (e.Rwt_err.class_ = Rwt_err.Timeout);
+     Alcotest.(check string) "checkpoint code" "mcr.deadline" e.Rwt_err.code);
+  (* a deadline that never fires changes nothing *)
+  match Rwt_core.Exact.period ~deadline:(fun () -> false)
+          Rwt_workflow.Comm_model.Overlap a
+  with
+  | Ok r ->
+    Alcotest.(check bool) "same period" true
+      (Rat.equal r.Rwt_core.Exact.period (Rat.of_int 189))
+  | Error e -> Alcotest.fail (Rwt_err.to_line e)
+
+let degradation_units () =
+  let a = Rwt_workflow.Instances.example_a () in
+  let poly = Rwt_core.Poly_overlap.period a in
+  (* overlap + tpn + tiny cap: falls back to Theorem 1, says so *)
+  (match Rwt_core.Analysis.analyze ~method_:Rwt_core.Analysis.Tpn ~transition_cap:3
+           Rwt_workflow.Comm_model.Overlap a
+   with
+   | Ok r ->
+     Alcotest.(check bool) "degraded is flagged" true
+       (r.Rwt_core.Analysis.degraded <> None);
+     Alcotest.(check bool) "period still exact" true
+       (Rat.equal r.Rwt_core.Analysis.period poly)
+   | Error e -> Alcotest.fail ("must degrade, not fail: " ^ Rwt_err.to_line e));
+  (* strict has no polynomial fallback: the capacity error propagates *)
+  (match Rwt_core.Analysis.analyze ~method_:Rwt_core.Analysis.Tpn ~transition_cap:3
+           Rwt_workflow.Comm_model.Strict a
+   with
+   | Ok _ -> Alcotest.fail "strict cannot degrade"
+   | Error e ->
+     Alcotest.(check bool) "capacity class" true (e.Rwt_err.class_ = Rwt_err.Capacity));
+  (* an untroubled run is not marked degraded *)
+  match Rwt_core.Analysis.analyze ~method_:Rwt_core.Analysis.Tpn
+          Rwt_workflow.Comm_model.Overlap a
+  with
+  | Ok r -> Alcotest.(check bool) "not degraded" true (r.Rwt_core.Analysis.degraded = None)
+  | Error e -> Alcotest.fail (Rwt_err.to_line e)
+
+(* ------------------------------------------------------------------ *)
+(* Batch journal: record + resume                                      *)
+(* ------------------------------------------------------------------ *)
+
+let inline_jobs () =
+  let a = Rwt_workflow.Instances.example_a () in
+  let nr = Rwt_workflow.Instances.no_replication () in
+  [ Batch.job ~index:0 (Batch.Inline a);
+    Batch.job ~index:1 ~model:Rwt_workflow.Comm_model.Strict (Batch.Inline a);
+    Batch.job ~index:2 (Batch.Inline a) (* cache hit of job 0 *);
+    Batch.job ~index:3 (Batch.Inline nr) ]
+
+let render outcomes =
+  Array.to_list outcomes
+  |> List.map (fun o -> Json.to_string (Batch.outcome_to_json ~timing:false o))
+
+let with_temp f =
+  let path = Filename.temp_file "rwt_journal" ".ndjson" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+      f path)
+
+let journal_resume_units () =
+  with_temp (fun path ->
+      let jobs = inline_jobs () in
+      let fresh, s1 = Batch.run ~jobs:1 ~journal:path jobs in
+      Alcotest.(check int) "nothing resumed on a fresh run" 0 s1.Batch.resumed;
+      (* resume over a complete journal: everything replays, nothing runs *)
+      let resumed, s2 = Batch.run ~jobs:1 ~journal:path ~resume:true jobs in
+      Alcotest.(check int) "every representative resumed" 3 s2.Batch.resumed;
+      Alcotest.(check int) "cache hits unchanged" s1.Batch.cache_hits s2.Batch.cache_hits;
+      Alcotest.(check (list string)) "rendering byte-identical"
+        (render fresh) (render resumed);
+      (* a torn trailing line (crash mid-write) is dropped, not fatal *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"job\":9,\"stat";
+      close_out oc;
+      let resumed', _ = Batch.run ~jobs:1 ~journal:path ~resume:true jobs in
+      Alcotest.(check (list string)) "torn tail ignored"
+        (render fresh) (render resumed'))
+
+let journal_key_mismatch () =
+  with_temp (fun path ->
+      let jobs = inline_jobs () in
+      ignore (Batch.run ~jobs:1 ~journal:path jobs);
+      (* different options -> different binding key -> typed refusal *)
+      match Rwt_err.catch (fun () ->
+          Batch.run ~jobs:1 ~timeout:9999.0 ~journal:path ~resume:true jobs)
+      with
+      | Ok _ -> Alcotest.fail "mismatched journal must be refused"
+      | Error e ->
+        Alcotest.(check bool) "validate class" true
+          (e.Rwt_err.class_ = Rwt_err.Validate);
+        Alcotest.(check string) "code" "validate.journal" e.Rwt_err.code)
+
+let retry_units () =
+  (* the first analysis hit fails with a transient fault; one retry heals it *)
+  with_fault "analysis.analyze=error@#1" (fun () ->
+      let jobs = inline_jobs () in
+      let outcomes, summary = Batch.run ~jobs:1 ~retries:2 ~backoff_ms:1.0 jobs in
+      Alcotest.(check int) "all ok after retry" summary.Batch.total summary.Batch.ok;
+      Alcotest.(check int) "one job needed a retry" 1 summary.Batch.retried;
+      Array.iter
+        (fun o ->
+          match o.Batch.status with
+          | Batch.Done -> ()
+          | _ -> Alcotest.fail "retry must heal an injected transient fault")
+        outcomes);
+  (* without retries the same fault is a typed error line, not a crash;
+     job 2 is a cache-hit alias of job 0, so it replays the failure too *)
+  with_fault "analysis.analyze=error@#1" (fun () ->
+      let outcomes, summary = Batch.run ~jobs:1 (inline_jobs ()) in
+      Alcotest.(check int) "failure and its cache-hit replay" 2 summary.Batch.errors;
+      match outcomes.(0).Batch.status with
+      | Batch.Failed e ->
+        Alcotest.(check bool) "typed as fault" true (e.Rwt_err.class_ = Rwt_err.Fault)
+      | _ -> Alcotest.fail "first job must carry the injected fault")
+
+(* ------------------------------------------------------------------ *)
+(* The chaos invariant (qcheck)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Under a random non-aborting fault spec, every rendered job line is
+   either byte-identical to the fault-free run or a typed error/timeout
+   record. *)
+let chaos_invariant =
+  let points =
+    [ "batch.job"; "analysis.analyze"; "tpn.build"; "mcr.solve"; "mcr.*";
+      "poly.analyze"; "expand.*" ]
+  in
+  let actions = [ "error"; "capacity"; "timeout" ] in
+  let gen =
+    QCheck.Gen.(
+      triple (oneofl points) (oneofl actions)
+        (oneof [ return ""; map (Printf.sprintf "@#%d") (int_range 1 4);
+                 map (Printf.sprintf "@p0.%d") (int_range 1 9) ]))
+  in
+  let print (p, a, t) = p ^ "=" ^ a ^ t in
+  QCheck.Test.make ~count:60
+    ~name:"chaos: faulty batch = fault-free batch or typed error lines"
+    (QCheck.make gen ~print)
+    (fun (point, action, trigger) ->
+      let jobs = inline_jobs () in
+      let reference, _ = Batch.run ~jobs:1 jobs in
+      let spec = Printf.sprintf "%s=%s%s;seed=7" point action trigger in
+      (match Rwt_fault.install spec with
+       | Ok () -> ()
+       | Error e -> QCheck.Test.fail_report (Rwt_err.to_line e));
+      let outcomes, _ =
+        Fun.protect ~finally:Rwt_fault.clear (fun () -> Batch.run ~jobs:1 jobs)
+      in
+      List.for_all2
+        (fun ref_line (o : Batch.outcome) ->
+          let line = Json.to_string (Batch.outcome_to_json ~timing:false o) in
+          match o.Batch.status with
+          | Batch.Done ->
+            (* no silent corruption: success must mean the same result *)
+            line = ref_line
+          | Batch.Failed e ->
+            e.Rwt_err.class_ <> Rwt_err.Internal
+            && (match Json.of_string line with
+                | Ok (Json.Obj fields) -> List.mem_assoc "error_class" fields
+                | _ -> false)
+          | Batch.Timed_out -> (
+            match Json.of_string line with
+            | Ok (Json.Obj fields) ->
+              List.assoc_opt "status" fields = Some (Json.String "timeout")
+            | _ -> false))
+        (render reference) (Array.to_list outcomes))
+
+let () =
+  Alcotest.run "rwt_resilient"
+    [ ( "taxonomy",
+        [ Alcotest.test_case "construction & rendering" `Quick taxonomy_units;
+          Alcotest.test_case "of_exn classification" `Quick of_exn_units;
+          Alcotest.test_case "json position" `Quick json_parse_position ] );
+      ( "fault",
+        [ Alcotest.test_case "spec grammar" `Quick fault_spec_units;
+          Alcotest.test_case "triggers & counters" `Quick fault_fire_units;
+          Alcotest.test_case "glob hits span sites" `Quick fault_glob_and_span ] );
+      ( "degradation",
+        [ Alcotest.test_case "solver deadline" `Quick deadline_units;
+          Alcotest.test_case "tpn falls back to poly" `Quick degradation_units ] );
+      ( "journal",
+        [ Alcotest.test_case "record & resume" `Quick journal_resume_units;
+          Alcotest.test_case "key mismatch" `Quick journal_key_mismatch;
+          Alcotest.test_case "transient retry" `Quick retry_units ] );
+      ("chaos", [ qtest chaos_invariant ]) ]

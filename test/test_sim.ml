@@ -24,7 +24,7 @@ let sim_equals_token_game =
       let inst = random_instance seed in
       List.for_all
         (fun model ->
-          let net = Rwt_core.Tpn_build.build model inst in
+          let net = Rwt_core.Tpn_build.build_exn model inst in
           let m = net.Rwt_core.Tpn_build.m in
           let n = Mapping.n_stages inst.Instance.mapping in
           let k = 4 in
@@ -53,7 +53,7 @@ let sim_period_equals_tpn =
       let inst = random_instance seed in
       List.for_all
         (fun model ->
-          let p_tpn = (Rwt_core.Exact.period model inst).Rwt_core.Exact.period in
+          let p_tpn = (Rwt_core.Exact.period_exn model inst).Rwt_core.Exact.period in
           Rat.equal (S.measured_period model inst) p_tpn)
         Comm_model.all)
 

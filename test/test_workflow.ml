@@ -205,7 +205,7 @@ let cycle_time_strict_dominates =
 let cycle_time_unused_proc () =
   let a = Instances.example_a () in
   let inst =
-    Instance.create ~name:"pad" ~pipeline:a.Instance.pipeline
+    Instance.create_exn ~name:"pad" ~pipeline:a.Instance.pipeline
       ~platform:
         (Platform.create
            ~speeds:(Array.init 8 (fun u -> if u < 7 then Platform.speed a.Instance.platform u else Rat.one))
@@ -239,7 +239,7 @@ let format_roundtrip_named () =
     (fun inst ->
       let s = Format_io.to_string inst in
       match Format_io.of_string s with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Rwt_err.to_line e)
       | Ok inst' ->
         Alcotest.(check string) "name survives" inst.Instance.name inst'.Instance.name;
         Alcotest.(check string) "round trip" s (Format_io.to_string inst'))
@@ -300,7 +300,7 @@ let format_file_roundtrip () =
   Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
       Format_io.save path inst;
       match Format_io.load path with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Rwt_err.to_line e)
       | Ok inst' ->
         Alcotest.(check string) "identical" (Format_io.to_string inst)
           (Format_io.to_string inst'));
