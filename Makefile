@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json batch-bench chaos profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json batch-bench mcr-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -29,6 +29,12 @@ bench-json:
 # (speedup near 1 is expected when the machine has a single core; see doc/BATCH.md)
 batch-bench:
 	dune exec bench/main.exe -- batch
+
+# MCR solver: pure exact vs float-screened vs SCCs-on-the-pool -> BENCH_mcr.json
+# (the screen speedup is arithmetic, not parallelism, so it holds on 1 core;
+# see doc/PERFORMANCE.md)
+mcr-bench:
+	dune exec bench/main.exe -- mcr
 
 # full fault-injection matrix over the shipped examples (the smoke subset
 # already runs inside `make test`); see doc/RESILIENCE.md

@@ -363,6 +363,135 @@ let batch () =
   Printf.eprintf "wrote BENCH_batch.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* MCR solver: pure exact vs float-screened vs parallel                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthetic many-SCC ratio graphs: [blocks] disjoint strongly connected
+   blocks of [size] nodes each (a ring plus forward chords). Tokens sit
+   only on wrapping edges, so the token-free subgraph is acyclic (live) and
+   every cycle's token count is its winding number. Weights are rationals
+   with ~6-digit numerators and denominators — the worst case for exact
+   Howard's bigint arithmetic and the best case for the float screen. *)
+let mcr_graph r ~blocks ~size =
+  let module Mcr = Rwt_petri.Mcr in
+  let module D = Rwt_graph.Digraph in
+  let g = D.create (blocks * size) in
+  for b = 0 to blocks - 1 do
+    let base = b * size in
+    let w () = Rat.of_ints (1 + Prng.int r 999_983) (1 + Prng.int r 999_983) in
+    for i = 0 to size - 1 do
+      let wrap j = if j >= size then 1 else 0 in
+      ignore
+        (D.add_edge g (base + i)
+           (base + ((i + 1) mod size))
+           { Mcr.Exact.weight = w (); tokens = wrap (i + 1) });
+      if i mod 3 = 0 then
+        ignore
+          (D.add_edge g (base + i)
+             (base + ((i + 2) mod size))
+             { Mcr.Exact.weight = w (); tokens = wrap (i + 2) })
+    done
+  done;
+  g
+
+(* Three configurations of the same production entry point
+   ([Mcr.solve_exact]): pure exact Howard, float-screened serial, and
+   float-screened with SCCs fanned out on the domain pool. Periods must be
+   identical across all three (the screen is certified, the pool reduction
+   deterministic); the screened witness cycle may legitimately differ from
+   exact Howard's (both attain the optimum). Writes BENCH_mcr.json. *)
+let mcr_bench () =
+  let module Mcr = Rwt_petri.Mcr in
+  let module D = Rwt_graph.Digraph in
+  section "MCR solver — pure exact vs float-screened vs +pool (BENCH_mcr.json)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let saved_screen = !Mcr.screen_enabled in
+  let saved_thresh = !Mcr.scc_parallel_threshold in
+  let graph_rows =
+    List.map
+      (fun (blocks, size) ->
+        let r = Prng.create ((blocks * 1000) + size) in
+        let g = mcr_graph r ~blocks ~size in
+        Mcr.screen_enabled := false;
+        Mcr.scc_parallel_threshold := max_int;
+        let exact, t_exact = time (fun () -> Mcr.solve_exact g) in
+        Mcr.screen_enabled := true;
+        let scr, t_scr = time (fun () -> Mcr.solve_exact g) in
+        Mcr.scc_parallel_threshold := 0;
+        let par, t_par = time (fun () -> Mcr.solve_exact g) in
+        Mcr.screen_enabled := saved_screen;
+        Mcr.scc_parallel_threshold := saved_thresh;
+        let identical =
+          match (exact, scr, par) with
+          | Some a, Some b, Some c ->
+            Rat.equal a.Mcr.Exact.ratio b.Mcr.Exact.ratio
+            && Rat.equal b.Mcr.Exact.ratio c.Mcr.Exact.ratio
+            && b.Mcr.Exact.cycle = c.Mcr.Exact.cycle
+          | None, None, None -> true
+          | _ -> false
+        in
+        if not identical then failwith "mcr benchmark: solver paths disagree";
+        let speedup_screen = if t_scr > 0.0 then t_exact /. t_scr else 0.0 in
+        let speedup_pool = if t_par > 0.0 then t_exact /. t_par else 0.0 in
+        pf "%3d sccs x %3d nodes: exact %.3fs, screened %.3fs (%.2fx), +pool %.3fs (%.2fx)@."
+          blocks size t_exact t_scr speedup_screen t_par speedup_pool;
+        Json.Obj
+          [ ("kind", Json.String "graph");
+            ("sccs", Json.Int blocks);
+            ("nodes", Json.Int (D.num_nodes g));
+            ("edges", Json.Int (D.num_edges g));
+            ("t_exact_s", Json.Float t_exact);
+            ("t_screened_s", Json.Float t_scr);
+            ("t_pool_s", Json.Float t_par);
+            ("speedup_screen", Json.Float speedup_screen);
+            ("speedup_pool", Json.Float speedup_pool);
+            ("identical", Json.Bool identical) ])
+      [ (4, 60); (8, 90); (16, 120) ]
+  in
+  (* polynomial algorithm: component fan-out + memo on a replication-heavy
+     instance; serial and parallel analyses must render identically *)
+  let poly_row =
+    let inst =
+      Rwt_experiments.Generator.generate (Prng.create 42)
+        { Rwt_experiments.Generator.n_stages = 6; p = 24; comp = (5, 15); comm = (5, 15) }
+    in
+    Rwt_core.Poly_overlap.reset_memo ();
+    let a_serial, t_cold = time (fun () -> Rwt_core.Poly_overlap.analyze ~workers:1 inst) in
+    let _, t_warm = time (fun () -> Rwt_core.Poly_overlap.analyze ~workers:1 inst) in
+    Rwt_core.Poly_overlap.reset_memo ();
+    let a_par, t_par = time (fun () -> Rwt_core.Poly_overlap.analyze ~workers:4 inst) in
+    let render a = Format.asprintf "%a" Rwt_core.Poly_overlap.pp_analysis a in
+    let identical = render a_serial = render a_par in
+    if not identical then failwith "mcr benchmark: poly analyses differ across worker counts";
+    let memo_speedup = if t_warm > 0.0 then t_cold /. t_warm else 0.0 in
+    pf "poly analyze (6 stages, 24 procs): cold %.3fs, memo-warm %.3fs (%.2fx), 4 workers %.3fs@."
+      t_cold t_warm memo_speedup t_par;
+    Json.Obj
+      [ ("kind", Json.String "poly");
+        ("t_cold_s", Json.Float t_cold);
+        ("t_warm_s", Json.Float t_warm);
+        ("t_par_s", Json.Float t_par);
+        ("memo_speedup", Json.Float memo_speedup);
+        ("identical", Json.Bool identical) ]
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-mcr/1");
+        ("cores", Json.Int cores);
+        ("rows", Json.List (graph_rows @ [ poly_row ])) ]
+  in
+  let oc = open_out "BENCH_mcr.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_mcr.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -457,6 +586,7 @@ let all_targets =
     ("minimal-witness", minimal_witness);
     ("calibrate", calibrate);
     ("batch", batch);
+    ("mcr", mcr_bench);
     ("bechamel", bechamel) ]
 
 let default_targets =

@@ -91,7 +91,15 @@ let obs_term =
                  (grammar in doc/RESILIENCE.md, e.g. \
                  \"tpn.build=capacity;seed=7\"). Overrides \\$RWT_FAULT.")
   in
-  let setup metrics trace fault =
+  let no_screen_arg =
+    Arg.(value & flag & info [ "no-screen" ]
+           ~doc:"Disable the float-screened exact MCR solver: every component \
+                 runs pure exact Howard policy iteration. Escape hatch for \
+                 debugging and for benchmarking the screen itself (see \
+                 doc/PERFORMANCE.md).")
+  in
+  let setup metrics trace fault no_screen =
+    if no_screen then Rwt_petri.Mcr.screen_enabled := false;
     (match fault with
      | None -> ()
      | Some spec ->
@@ -112,7 +120,7 @@ let obs_term =
           | None -> ())
     end
   in
-  Term.(const setup $ metrics_arg $ trace_arg $ fault_arg)
+  Term.(const setup $ metrics_arg $ trace_arg $ fault_arg $ no_screen_arg)
 
 (* --- period --- *)
 

@@ -394,77 +394,14 @@ let journal_read path key =
             (Rwt_err.parse ~code:"parse.journal" ~file:path
                "not a batch journal (bad or missing header)")))
 
-(* --- work-stealing pool ---
+(* --- the batch driver ---
 
-   Static task set: per-worker bounded deques are seeded round-robin
-   before any domain starts, the owner pops the front, thieves pop the
-   back. No task is ever added after seeding, so "every deque empty" is a
-   sound termination test and workers simply exit when a full scan finds
-   nothing to steal. *)
+   Job fan-out runs on the shared work-stealing pool ({!Rwt_pool}); a job
+   whose solver itself fans out (per-SCC [Mcr] solves, per-component
+   pattern solves) degrades those inner fan-outs to sequential loops
+   automatically, so worker counts never multiply. *)
 
-type deque = { mu : Mutex.t; tasks : int array; mutable head : int; mutable tail : int }
-
-let pop_front d =
-  Mutex.protect d.mu (fun () ->
-      if d.head < d.tail then begin
-        let t = d.tasks.(d.head) in
-        d.head <- d.head + 1;
-        Some t
-      end
-      else None)
-
-let pop_back d =
-  Mutex.protect d.mu (fun () ->
-      if d.head < d.tail then begin
-        d.tail <- d.tail - 1;
-        Some d.tasks.(d.tail)
-      end
-      else None)
-
-let run_pool ~workers ~n_tasks (run_task : int -> unit) =
-  if workers <= 1 || n_tasks <= 1 then
-    for t = 0 to n_tasks - 1 do run_task t done
-  else begin
-    let deques =
-      Array.init workers (fun w ->
-          let mine = ref [] in
-          for t = n_tasks - 1 downto 0 do
-            if t mod workers = w then mine := t :: !mine
-          done;
-          let tasks = Array.of_list !mine in
-          { mu = Mutex.create (); tasks; head = 0; tail = Array.length tasks })
-    in
-    let worker w () =
-      let rec next_task k =
-        (* own deque first, then clockwise victims *)
-        if k >= workers then None
-        else begin
-          let v = (w + k) mod workers in
-          let take = if k = 0 then pop_front else pop_back in
-          match take deques.(v) with
-          | Some t ->
-            if k > 0 then Obs.incr "batch.steals";
-            Some t
-          | None -> next_task (k + 1)
-        end
-      in
-      let rec loop () =
-        match next_task 0 with
-        | Some t ->
-          run_task t;
-          loop ()
-        | None -> ()
-      in
-      loop ()
-    in
-    let domains = Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
-    worker 0 ();
-    Array.iter Domain.join domains
-  end
-
-(* --- the batch driver --- *)
-
-let default_jobs () = Domain.recommended_domain_count ()
+let default_jobs () = Rwt_pool.recommended ()
 
 let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
     ?(retries = 0) ?(backoff_ms = 100.0) (job_list : job list) =
@@ -538,7 +475,7 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
   (* phase 2 (parallel): evaluate the unique jobs — journaled results are
      replayed without re-evaluating, transient failures retry under
      bounded exponential backoff, fresh results are journaled durably *)
-  run_pool ~workers ~n_tasks:(Array.length unique) (fun t ->
+  Rwt_pool.run ~workers ~n:(Array.length unique) (fun t ->
       let i = unique.(t) in
       let j = job_arr.(i) in
       let inst = Option.get loaded.(i) in

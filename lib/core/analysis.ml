@@ -23,7 +23,7 @@ let analyze_exn ?(method_ = Auto) ?transition_cap ?deadline model inst =
       Rwt_err.raise_
         (Rwt_err.validate ~code:"validate.method"
            "Analysis.analyze: no polynomial algorithm for the strict model")
-    | (Auto | Poly), Comm_model.Overlap -> (Poly_overlap.period inst, None)
+    | (Auto | Poly), Comm_model.Overlap -> (Poly_overlap.period ?deadline inst, None)
     | Tpn, Comm_model.Overlap ->
       (* Graceful degradation: if the exact TPN route hits a size cap or a
          deadline, Theorem 1 still answers exactly for OVERLAP — fall back
@@ -33,7 +33,9 @@ let analyze_exn ?(method_ = Auto) ?transition_cap ?deadline model inst =
        | exception
            Rwt_err.Error ({ Rwt_err.class_ = Capacity | Timeout; _ } as e) ->
          Rwt_obs.incr "analysis.degraded";
-         ( Poly_overlap.period inst,
+         (* thread the caller's deadline into the fallback too: a budget
+            that killed the TPN route must also bound the rescue path *)
+         ( Poly_overlap.period ?deadline inst,
            Some
              (Printf.sprintf "tpn route failed (%s: %s); used polynomial algorithm"
                 e.Rwt_err.code

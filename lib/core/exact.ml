@@ -14,7 +14,7 @@ let period_exn ?transition_cap ?deadline model inst =
   Rwt_obs.with_span "exact.period" @@ fun () ->
   let net = Tpn_build.build_exn ?transition_cap model inst in
   let g = Mcr.graph_of_tpn net.Tpn_build.tpn in
-  match Mcr.Exact.max_cycle_ratio ?deadline g with
+  match Mcr.solve_exact ?deadline g with
   | None -> invalid_arg "Exact.period: net has no circuit"
   | Some w ->
     let critical =

@@ -33,38 +33,112 @@ type column = Compute_col of compute_column | Comm_col of comm_column
 
 type analysis = { columns : column list; period : Rat.t }
 
+(* Cooperative deadline at analysis granularity (column and component
+   starts); [Mcr] re-polls inside each solve. Polling here too keeps an
+   expired deadline firing even when every component solve is a memo hit. *)
+let check_deadline = function
+  | None -> ()
+  | Some d ->
+    if d () then begin
+      Obs.incr "poly.deadline_trips";
+      Rwt_err.raise_
+        (Rwt_err.timeout ~code:"poly.deadline"
+           "analysis deadline exceeded (cooperative checkpoint)")
+    end
+
 let geometry mapping file =
   let mi = Mapping.replication mapping file in
   let mi1 = Mapping.replication mapping (file + 1) in
   let p = Intmath.gcd mi mi1 in
   (mi, mi1, p, mi / p, mi1 / p)
 
-let pattern_graph inst ~file ~q =
+(* A component's pattern graph is fully determined by (u, v) and the uv
+   transfer times in τ order — the processor ids only matter through the
+   times they induce. Materializing the weights first gives both the graph
+   and the memo key below. *)
+let pattern_weights inst ~file ~q =
   let mapping = inst.Instance.mapping in
   let _, _, p, u, v = geometry mapping file in
   let senders = Mapping.procs mapping file in
   let receivers = Mapping.procs mapping (file + 1) in
+  let w =
+    Array.init (u * v) (fun tau ->
+        let s = senders.(q + (p * (tau mod u))) in
+        let d = receivers.(q + (p * (tau mod v))) in
+        Instance.transfer_time inst ~file ~src:s ~dst:d)
+  in
+  (u, v, w)
+
+let graph_of_weights ~u ~v w =
   let uv = u * v in
   let g = D.create uv in
-  let firing tau =
-    let s = senders.(q + (p * (tau mod u))) in
-    let d = receivers.(q + (p * (tau mod v))) in
-    Instance.transfer_time inst ~file ~src:s ~dst:d
-  in
   for tau = 0 to uv - 1 do
-    let w = firing tau in
     (* sender round-robin: next transfer by the same sender replica *)
     ignore
       (D.add_edge g tau ((tau + u) mod uv)
-         { Mcr.Exact.weight = w; tokens = (if tau + u >= uv then 1 else 0) });
+         { Mcr.Exact.weight = w.(tau); tokens = (if tau + u >= uv then 1 else 0) });
     (* receiver round-robin: next reception by the same receiver replica *)
     ignore
       (D.add_edge g tau ((tau + v) mod uv)
-         { Mcr.Exact.weight = w; tokens = (if tau + v >= uv then 1 else 0) })
+         { Mcr.Exact.weight = w.(tau); tokens = (if tau + v >= uv then 1 else 0) })
   done;
   g
 
-let analyze inst =
+let pattern_graph inst ~file ~q =
+  let u, v, w = pattern_weights inst ~file ~q in
+  graph_of_weights ~u ~v w
+
+(* --- component-solve memo ----------------------------------------------
+
+   Replication sweeps re-analyze instances whose stage pairs mostly repeat:
+   the same (u, v) geometry over the same transfer profile yields the same
+   pattern graph, hence the same critical ratio. Keyed by the exact
+   canonical weight strings, so a hit is provably the same sub-problem and
+   the memoized ratio is byte-identical to a fresh solve. Domain-safe
+   (guarded by a mutex, values immutable); bounded — the table resets past
+   [memo_cap] entries rather than evicting, which keeps hits O(1). *)
+let memo : (string, Rat.t) Hashtbl.t = Hashtbl.create 512
+let memo_mu = Mutex.create ()
+let memo_cap = 4096
+
+let reset_memo () = Mutex.protect memo_mu (fun () -> Hashtbl.reset memo)
+let memo_find key = Mutex.protect memo_mu (fun () -> Hashtbl.find_opt memo key)
+
+let memo_store key r =
+  Mutex.protect memo_mu (fun () ->
+      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+      if not (Hashtbl.mem memo key) then Hashtbl.add memo key r)
+
+let memo_key ~u ~v w =
+  let b = Buffer.create (16 * Array.length w) in
+  Buffer.add_string b (string_of_int u);
+  Buffer.add_char b 'x';
+  Buffer.add_string b (string_of_int v);
+  Array.iter
+    (fun r ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (Rat.to_string r))
+    w;
+  Buffer.contents b
+
+let component_ratio ?deadline inst ~file ~q =
+  let u, v, w = pattern_weights inst ~file ~q in
+  let key = memo_key ~u ~v w in
+  match memo_find key with
+  | Some r ->
+    Obs.incr "poly.memo_hits";
+    r
+  | None ->
+    Obs.incr "poly.memo_misses";
+    let g = graph_of_weights ~u ~v w in
+    (match Mcr.solve_exact ?deadline g with
+     | None -> invalid_arg "Poly_overlap: pattern graph must have cycles"
+     | Some wit ->
+       let r = wit.Mcr.Exact.ratio in
+       memo_store key r;
+       r)
+
+let analyze ?deadline ?workers inst =
   Obs.with_span "poly.analyze" @@ fun () ->
   let mapping = inst.Instance.mapping in
   let n = Mapping.n_stages mapping in
@@ -72,6 +146,7 @@ let analyze inst =
   let columns = ref [] in
   for stage = n - 1 downto 0 do
     (* interleave in reverse so the final list is in column order *)
+    check_deadline deadline;
     if stage < n - 1 then begin
       let mi, mi1, p, u, v = geometry mapping stage in
       let block = Intmath.lcm mi mi1 in
@@ -81,21 +156,32 @@ let analyze inst =
          pattern graph with two edges per node *)
       Obs.add "poly.pattern_nodes" (p * u * v);
       Obs.add "poly.pattern_edges" (2 * p * u * v);
+      let solve_component q =
+        check_deadline deadline;
+        let ratio = component_ratio ?deadline inst ~file:stage ~q in
+        let senders =
+          Array.init u (fun a -> (Mapping.procs mapping stage).(q + (p * a)))
+        in
+        let receivers =
+          Array.init v (fun b -> (Mapping.procs mapping (stage + 1)).(q + (p * b)))
+        in
+        { q; senders; receivers; ratio; bound = Rat.div_int ratio block }
+      in
+      (* the p components are independent sub-problems: fan out on the
+         shared pool when asked to (explicit [workers]) or when the column
+         is big enough to amortize domain spawns; results land in a
+         q-indexed array either way, so the output is order-deterministic *)
+      let parallel =
+        p >= 2
+        &&
+        match workers with
+        | Some w -> w > 1
+        | None -> 2 * p * u * v >= !Mcr.scc_parallel_threshold
+      in
       let components =
-        List.init p (fun q ->
-            let g = pattern_graph inst ~file:stage ~q in
-            match Mcr.Exact.max_cycle_ratio g with
-            | None -> invalid_arg "Poly_overlap: pattern graph must have cycles"
-            | Some w ->
-              let senders =
-                Array.init u (fun a -> (Mapping.procs mapping stage).(q + (p * a)))
-              in
-              let receivers =
-                Array.init v (fun b -> (Mapping.procs mapping (stage + 1)).(q + (p * b)))
-              in
-              { q; senders; receivers;
-                ratio = w.Mcr.Exact.ratio;
-                bound = Rat.div_int w.Mcr.Exact.ratio block })
+        Array.to_list
+          (if parallel then Rwt_pool.map ?workers ~n:p solve_component
+           else Array.init p solve_component)
       in
       let bound =
         List.fold_left (fun acc (comp : component) -> Rat.max acc comp.bound) Rat.zero components
@@ -127,7 +213,7 @@ let analyze inst =
   in
   { columns = !columns; period }
 
-let period inst = (analyze inst).period
+let period ?deadline ?workers inst = (analyze ?deadline ?workers inst).period
 
 let column_bound _inst = function Compute_col c -> c.bound | Comm_col c -> c.bound
 

@@ -52,11 +52,26 @@ type column = Compute_col of compute_column | Comm_col of comm_column
 
 type analysis = { columns : column list; period : Rat.t }
 
-val analyze : Instance.t -> analysis
+val analyze :
+  ?deadline:(unit -> bool) -> ?workers:int -> Instance.t -> analysis
+(** Full column decomposition. The [p] components of each transfer column
+    are independent sub-problems: with [~workers:w > 1] (or, by default, on
+    columns big enough to amortize domain spawns — see
+    {!Rwt_petri.Mcr.scc_parallel_threshold}) they solve on the shared
+    {!Rwt_pool}; results are collected in component order, so parallel and
+    serial analyses are byte-identical. Component solves are memoized on
+    the exact transfer profile (counters [poly.memo_hits] /
+    [poly.memo_misses]); the [deadline] closure is polled at every column
+    and component start — and inside each solve — raising
+    [Rwt_util.Rwt_err.Error] (class [Timeout], code ["poly.deadline"]). *)
 
-val period : Instance.t -> Rat.t
+val period : ?deadline:(unit -> bool) -> ?workers:int -> Instance.t -> Rat.t
 (** The OVERLAP ONE-PORT period — equal to [Exact.period Overlap] but
     computed in polynomial time. *)
+
+val reset_memo : unit -> unit
+(** Clear the component-solve memo (benchmarks and tests that measure cold
+    solves). *)
 
 val pattern_graph : Instance.t -> file:int -> q:int -> Rwt_petri.Mcr.Exact.graph
 (** The [u×v] pattern graph [G'] of one component (Figures 9, 10, 14);

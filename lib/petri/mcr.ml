@@ -14,6 +14,12 @@ let check_deadline = function
            "solver deadline exceeded (cooperative checkpoint)")
     end
 
+(* Graphs with at least this many edges solve their SCCs on the shared
+   domain pool ({!Rwt_pool}); below it the per-domain spawn/join overhead
+   outweighs the win. Mutable so benchmarks and the CLI can force either
+   mode. *)
+let scc_parallel_threshold = ref 2048
+
 module Make (N : Rwt_util.Num_intf.S) = struct
   type edge_data = { weight : N.t; tokens : int }
   type graph = edge_data D.t
@@ -174,12 +180,18 @@ module Make (N : Rwt_util.Num_intf.S) = struct
      Bellman–Ford (longest path) from an implicit super-source. A relaxation
      in pass n certifies a positive cycle living in the predecessor graph;
      walking predecessor edges with visited marks must revisit a node within
-     n steps (and provably cannot reach a nil predecessor before that). *)
+     n steps. Reduced weights are materialized once (one exact sub/mul per
+     edge) instead of per edge per round — with a rational kernel that sub
+     and mul dominate the pass, so this is the difference between O(m) and
+     O(n·m) exact multiplications per check. *)
+  exception Broken_pred_walk
+
   let find_positive_cycle ?deadline ctx lambda =
     Obs.incr "mcr.cycle_checks";
+    let m = ctx.eptr.(ctx.n) in
+    let red = Array.init m (fun i -> N.sub ctx.ew.(i) (N.mul lambda (N.of_int ctx.et.(i)))) in
     let dist = Array.make ctx.n N.zero in
     let pred = Array.make ctx.n (-1) in
-    let reduced i = N.sub ctx.ew.(i) (N.mul lambda (N.of_int ctx.et.(i))) in
     let changed = ref true in
     let last_changed = ref (-1) in
     let round = ref 0 in
@@ -190,7 +202,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
       for u = 0 to ctx.n - 1 do
         for i = ctx.eptr.(u) to ctx.eptr.(u + 1) - 1 do
           let z = ctx.edst.(i) in
-          let cand = N.add dist.(u) (reduced i) in
+          let cand = N.add dist.(u) red.(i) in
           if N.compare cand dist.(z) > 0 then begin
             dist.(z) <- cand;
             pred.(z) <- i;
@@ -213,24 +225,61 @@ module Make (N : Rwt_util.Num_intf.S) = struct
         in
         find 0 ctx.n
       in
-      let visited = Array.make ctx.n false in
-      let x = ref !last_changed in
-      while not visited.(!x) do
-        visited.(!x) <- true;
-        x := src_of pred.(!x)
-      done;
-      let start = !x in
-      let acc = ref [] in
-      let y = ref start in
-      let first = ref true in
-      while !first || !y <> start do
-        first := false;
-        let e = pred.(!y) in
-        acc := e :: !acc;
-        y := src_of e
-      done;
-      Some !acc
+      (* With an exact kernel the walk provably revisits a node before any
+         nil predecessor: a pass-n relaxation needs a chain of n improving
+         relaxations, which must fold onto a cycle among n nodes. An unstable
+         kernel (float drift, NaN) can break that chain; following a nil
+         predecessor would fabricate a cycle out of node 0's edges, so the
+         walk degrades to None instead — callers treat it as "no positive
+         cycle", which for the parametric iteration means convergence. *)
+      let walk () =
+        let visited = Array.make ctx.n false in
+        let x = ref !last_changed in
+        while not visited.(!x) do
+          visited.(!x) <- true;
+          let p = pred.(!x) in
+          if p < 0 then raise Broken_pred_walk;
+          x := src_of p
+        done;
+        let start = !x in
+        let acc = ref [] in
+        let y = ref start in
+        let first = ref true in
+        while !first || !y <> start do
+          first := false;
+          let e = pred.(!y) in
+          if e < 0 then raise Broken_pred_walk;
+          acc := e :: !acc;
+          y := src_of e
+        done;
+        Some !acc
+      in
+      try walk ()
+      with Broken_pred_walk ->
+        Obs.incr "mcr.pred_walk_degraded";
+        None
     end
+
+  (* Certification primitive over the whole graph: a cycle of strictly
+     positive reduced weight at λ, as original edge ids, or [None] when λ is
+     an upper bound on every cycle ratio. Used by the screened solver to
+     certify a float candidate in a single exact pass, and exposed for the
+     solver tests. *)
+  let positive_cycle ?deadline g lambda =
+    let scc = Rwt_graph.Scc.tarjan g in
+    let members = Rwt_graph.Scc.members scc in
+    let found = ref None in
+    Array.iteri
+      (fun comp_id nodes ->
+        if !found = None then begin
+          let ctx = build_ctx g nodes comp_id scc.Rwt_graph.Scc.comp in
+          if ctx.n >= 2 || ctx.eptr.(ctx.n) > 0 then
+            match find_positive_cycle ?deadline ctx lambda with
+            | Some cyc -> found := Some (List.map (fun i -> ctx.eid.(i)) cyc)
+            | None -> ()
+        end)
+      members;
+    !found
 
   (* Parametric cycle improvement — unconditionally correct reference:
      start from any cycle's ratio λ; while the graph has a cycle of positive
@@ -296,7 +345,12 @@ module Make (N : Rwt_util.Num_intf.S) = struct
         lo := N.max r mid
       | None -> hi := mid
     done;
-    (!lo, !best)
+    (* Return the witness cycle's own ratio, not [!lo]: after a positive
+       round [!lo] is [max r mid] which can be a bisection midpoint — an
+       artifact of the search, not the ratio of any cycle. The witness ratio
+       is a genuine certified lower bound and, for a stable kernel, equals
+       [!lo] whenever the last update came from the witness. *)
+    (ratio_of_edges ctx !best, !best)
 
   (* Howard policy iteration. The result is self-certifying: at termination
      no edge improves the potentials, which proves λ ≥ every cycle ratio,
@@ -393,8 +447,23 @@ module Make (N : Rwt_util.Num_intf.S) = struct
       parametric_scc ?deadline ctx
     end
 
+  (* Deterministic reduction over per-component results: ascending component
+     order with a strict comparison reproduces the serial loop's tie-break
+     (first component achieving the maximum wins), so the parallel path is
+     byte-identical to the serial one. *)
+  let best_of_results results =
+    Array.fold_left
+      (fun best r ->
+        match (best, r) with
+        | None, r -> r
+        | best, None -> best
+        | Some b, Some w -> if N.compare w.ratio b.ratio > 0 then Some w else best)
+      None results
+
   (* Wrapper: liveness check, SCC decomposition, solve per component, return
-     the global maximum with an original-edge-id witness. *)
+     the global maximum with an original-edge-id witness. Components are
+     independent sub-problems; big graphs fan them out on the shared pool
+     (see [scc_parallel_threshold]). *)
   let solve scc_solver g =
     Obs.with_span "mcr.solve" @@ fun () ->
     Obs.incr "mcr.solves";
@@ -403,24 +472,27 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     check_live g;
     let scc = Rwt_graph.Scc.tarjan g in
     let members = Rwt_graph.Scc.members scc in
-    Obs.add "mcr.sccs" (Array.length members);
-    let best = ref None in
-    Array.iteri
-      (fun comp_id nodes ->
-        let ctx = build_ctx g nodes comp_id scc.Rwt_graph.Scc.comp in
-        (* skip components that cannot contain a cycle: a single node
-           needs a self-loop; otherwise an SCC with >= 2 nodes always has
-           every out-degree >= 1 inside *)
-        let has_cycle = ctx.n >= 2 || ctx.eptr.(ctx.n) > 0 in
-        if has_cycle then begin
-          let ratio, cyc = scc_solver ctx in
-          let cyc = List.map (fun i -> ctx.eid.(i)) cyc in
-          match !best with
-          | None -> best := Some { ratio; cycle = cyc }
-          | Some w -> if N.compare ratio w.ratio > 0 then best := Some { ratio; cycle = cyc }
-        end)
-      members;
-    !best
+    let n_comps = Array.length members in
+    Obs.add "mcr.sccs" n_comps;
+    let results = Array.make n_comps None in
+    let solve_comp comp_id =
+      let ctx = build_ctx g members.(comp_id) comp_id scc.Rwt_graph.Scc.comp in
+      (* skip components that cannot contain a cycle: a single node
+         needs a self-loop; otherwise an SCC with >= 2 nodes always has
+         every out-degree >= 1 inside *)
+      let has_cycle = ctx.n >= 2 || ctx.eptr.(ctx.n) > 0 in
+      if has_cycle then begin
+        let ratio, cyc = scc_solver ctx in
+        results.(comp_id) <- Some { ratio; cycle = List.map (fun i -> ctx.eid.(i)) cyc }
+      end
+    in
+    if n_comps >= 2 && D.num_edges g >= !scc_parallel_threshold then
+      Rwt_pool.run ~n:n_comps solve_comp
+    else
+      for c = 0 to n_comps - 1 do
+        solve_comp c
+      done;
+    best_of_results results
 
   let parametric ?deadline g = solve (parametric_scc ?deadline) g
   let howard ?deadline g = solve (howard_scc ?deadline) g
@@ -428,7 +500,16 @@ module Make (N : Rwt_util.Num_intf.S) = struct
   let max_cycle_ratio ?deadline g = howard ?deadline g
 
   (* Karp's maximum cycle mean: per SCC, longest walks of each length from a
-     fixed source; λ* = max_v min_k (D_n(v) − D_k(v))/(n − k). *)
+     fixed source; λ* = max_v min_k (D_n(v) − D_k(v))/(n − k).
+
+     The textbook formulation stores all n+1 levels of D — Θ(n²) numbers,
+     which for exact rationals is the dominant memory cost of the whole
+     solver. Levels only ever feed the next level and the final fold, so we
+     keep two rolling rows over a CSR edge list instead: pass 1 rolls up to
+     D_n, pass 2 replays levels 0..n−1 folding each into a per-node running
+     minimum as soon as it is produced. The relaxation is a pure max over
+     incoming candidates, so replaying it is order-independent and
+     bit-identical to the dense version — 2× the level work for Θ(n) memory. *)
   let karp ?deadline g =
     Obs.with_span "mcr.karp" @@ fun () ->
     Obs.incr "mcr.solves";
@@ -443,53 +524,102 @@ module Make (N : Rwt_util.Num_intf.S) = struct
         let n = Array.length nodes_a in
         let local = Hashtbl.create (2 * n) in
         Array.iteri (fun i u -> Hashtbl.replace local u i) nodes_a;
-        let edges = ref [] in
+        let deg = Array.make n 0 in
+        let m = ref 0 in
         Array.iteri
           (fun i u ->
             List.iter
               (fun e ->
-                if scc.Rwt_graph.Scc.comp.(e.D.dst) = comp_id then
-                  edges := (i, Hashtbl.find local e.D.dst, e.D.label) :: !edges)
+                if scc.Rwt_graph.Scc.comp.(e.D.dst) = comp_id then begin
+                  deg.(i) <- deg.(i) + 1;
+                  incr m
+                end)
               (D.out_edges g u))
           nodes_a;
-        let edges = !edges in
-        let has_cycle = n >= 2 || edges <> [] in
-        if has_cycle then begin
-          let dist = Array.make_matrix (n + 1) n N.zero in
-          let reach = Array.make_matrix (n + 1) n false in
-          reach.(0).(0) <- true;
-          for k = 1 to n do
-            check_deadline deadline;
+        let eptr = Array.make (n + 1) 0 in
+        for i = 0 to n - 1 do
+          eptr.(i + 1) <- eptr.(i) + deg.(i)
+        done;
+        let pos = Array.copy eptr in
+        let edst = Array.make !m 0 in
+        let ew = Array.make !m N.zero in
+        Array.iteri
+          (fun i u ->
             List.iter
-              (fun (u, z, w) ->
-                if reach.(k - 1).(u) then begin
-                  let cand = N.add dist.(k - 1).(u) w in
-                  if (not reach.(k).(z)) || N.compare cand dist.(k).(z) > 0 then begin
-                    dist.(k).(z) <- cand;
-                    reach.(k).(z) <- true
-                  end
+              (fun e ->
+                if scc.Rwt_graph.Scc.comp.(e.D.dst) = comp_id then begin
+                  let j = pos.(i) in
+                  pos.(i) <- j + 1;
+                  edst.(j) <- Hashtbl.find local e.D.dst;
+                  ew.(j) <- e.D.label
                 end)
-              edges
+              (D.out_edges g u))
+          nodes_a;
+        let has_cycle = n >= 2 || !m > 0 in
+        if has_cycle then begin
+          (* one relaxation level: (dist, reach) of level k−1 → level k *)
+          let relax (dp, rp) (dc, rc) =
+            Array.fill rc 0 n false;
+            for u = 0 to n - 1 do
+              if rp.(u) then
+                for i = eptr.(u) to eptr.(u + 1) - 1 do
+                  let z = edst.(i) in
+                  let cand = N.add dp.(u) ew.(i) in
+                  if (not rc.(z)) || N.compare cand dc.(z) > 0 then begin
+                    dc.(z) <- cand;
+                    rc.(z) <- true
+                  end
+                done
+            done
+          in
+          let fresh () = (Array.make n N.zero, Array.make n false) in
+          let start () =
+            let ((_, r0) as row) = fresh () in
+            r0.(0) <- true;
+            row
+          in
+          (* pass 1: roll to level n *)
+          let prev = ref (start ()) in
+          let cur = ref (fresh ()) in
+          for _k = 1 to n do
+            check_deadline deadline;
+            relax !prev !cur;
+            let t = !prev in
+            prev := !cur;
+            cur := t
           done;
-          for v = 0 to n - 1 do
-            if reach.(n).(v) then begin
-              let lam_v = ref None in
-              for k = 0 to n - 1 do
-                if reach.(k).(v) then begin
-                  let mean = N.div (N.sub dist.(n).(v) dist.(k).(v)) (N.of_int (n - k)) in
-                  match !lam_v with
-                  | None -> lam_v := Some mean
-                  | Some m -> if N.compare mean m < 0 then lam_v := Some mean
-                end
-              done;
-              match !lam_v with
+          let dn, rn = !prev in
+          (* pass 2: replay levels 0..n−1, folding min_k on the fly *)
+          let lam = Array.make n None in
+          let fold_level (dk, rk) k =
+            for v = 0 to n - 1 do
+              if rn.(v) && rk.(v) then begin
+                let mean = N.div (N.sub dn.(v) dk.(v)) (N.of_int (n - k)) in
+                match lam.(v) with
+                | None -> lam.(v) <- Some mean
+                | Some m0 -> if N.compare mean m0 < 0 then lam.(v) <- Some mean
+              end
+            done
+          in
+          let prev = ref (start ()) in
+          let cur = ref (fresh ()) in
+          fold_level !prev 0;
+          for k = 1 to n - 1 do
+            check_deadline deadline;
+            relax !prev !cur;
+            let t = !prev in
+            prev := !cur;
+            cur := t;
+            fold_level !prev k
+          done;
+          Array.iter
+            (function
               | None -> ()
-              | Some lv ->
-                (match !best with
-                 | None -> best := Some lv
-                 | Some b -> if N.compare lv b > 0 then best := Some lv)
-            end
-          done
+              | Some lv -> (
+                match !best with
+                | None -> best := Some lv
+                | Some b -> if N.compare lv b > 0 then best := Some lv))
+            lam
         end)
       members;
     !best
@@ -520,4 +650,109 @@ let float_graph_of_tpn tpn =
     tpn;
   g
 
-let period_of_tpn ?deadline tpn = Exact.max_cycle_ratio ?deadline (graph_of_tpn tpn)
+(* --- float-screened exact solve ---------------------------------------
+
+   Exact Howard spends almost all of its time in rational arithmetic: every
+   policy round re-evaluates potentials and reduced weights with gmp-free
+   [Rat] operations whose numerators grow along the iteration. The screen
+   runs Howard on a float mirror of each SCC first — same CSR arrays, weights
+   collapsed to doubles — and then certifies the float candidate with exactly
+   ONE exact pass:
+
+   1. re-cost the candidate witness cycle with rational arithmetic
+      ([ratio_of_edges]), giving a λ that is the true ratio of a genuine
+      cycle, hence a sound lower bound whatever the floats did;
+   2. one exact positive-cycle check at λ. [None] proves no cycle beats λ,
+      so λ = λ* and the witness attains it.
+
+   When certification fails (float noise picked the wrong cycle) the SCC
+   falls back to full exact Howard — the screen can be slow, never wrong. *)
+
+let screen_enabled = ref true
+
+(* Certification context: the reduced weights w − λ·t, scaled by their
+   common denominator into integers. A cycle's reduced weight keeps its sign
+   under a positive scale, so positive-cycle existence is preserved — and
+   integer rationals make the exact Bellman–Ford pass cheap, because adds
+   and compares skip the per-operation cross-multiply + gcd renormalization
+   that dominates on the huge-denominator values a candidate λ induces. *)
+let cert_ctx (ctx : Exact.ctx) lambda =
+  let module B = Rwt_util.Bigint in
+  let module R = Rwt_util.Rat in
+  let m = Array.length ctx.Exact.ew in
+  let red =
+    Array.init m (fun i ->
+        R.sub ctx.Exact.ew.(i) (R.mul lambda (R.of_int ctx.Exact.et.(i))))
+  in
+  let d =
+    Array.fold_left
+      (fun acc r ->
+        let den = R.den r in
+        B.mul acc (B.div den (B.gcd acc den)))
+      B.one red
+  in
+  let ew = Array.map (fun r -> R.make (B.mul (R.num r) (B.div d (R.den r))) B.one) red in
+  { ctx with Exact.ew; et = Array.make m 0 }
+
+let solve_screened ?deadline g =
+  Obs.with_span "mcr.solve" @@ fun () ->
+  Obs.incr "mcr.solves";
+  Obs.add "mcr.nodes" (D.num_nodes g);
+  Obs.add "mcr.edges" (D.num_edges g);
+  Exact.check_live g;
+  let scc = Rwt_graph.Scc.tarjan g in
+  let members = Rwt_graph.Scc.members scc in
+  let n_comps = Array.length members in
+  Obs.add "mcr.sccs" n_comps;
+  let results = Array.make n_comps None in
+  let solve_comp comp_id =
+    let ctx = Exact.build_ctx g members.(comp_id) comp_id scc.Rwt_graph.Scc.comp in
+    let has_cycle = ctx.Exact.n >= 2 || ctx.Exact.eptr.(ctx.Exact.n) > 0 in
+    if has_cycle then begin
+      let screened =
+        let fctx =
+          { Approx.n = ctx.Exact.n;
+            eptr = ctx.Exact.eptr;
+            edst = ctx.Exact.edst;
+            ew = Array.map Rwt_util.Rat.to_float ctx.Exact.ew;
+            et = ctx.Exact.et;
+            eid = ctx.Exact.eid }
+        in
+        (* the float mirror shares local edge indexing with [ctx], so the
+           float witness is directly a cycle of the exact context *)
+        match Approx.howard_scc ?deadline fctx with
+        | exception Approx.Not_live _ -> None
+        | _, [] -> None
+        | _, cyc -> (
+          match Exact.ratio_of_edges ctx cyc with
+          | exception Exact.Not_live _ -> None
+          | lambda ->
+            if Exact.find_positive_cycle ?deadline (cert_ctx ctx lambda) Rwt_util.Rat.zero = None
+            then Some (lambda, cyc)
+            else None)
+      in
+      let ratio, cyc =
+        match screened with
+        | Some rc ->
+          Obs.incr "mcr.screen_hits";
+          rc
+        | None ->
+          Obs.incr "mcr.screen_misses";
+          Exact.howard_scc ?deadline ctx
+      in
+      results.(comp_id) <-
+        Some { Exact.ratio; cycle = List.map (fun i -> ctx.Exact.eid.(i)) cyc }
+    end
+  in
+  if n_comps >= 2 && D.num_edges g >= !scc_parallel_threshold then
+    Rwt_pool.run ~n:n_comps solve_comp
+  else
+    for c = 0 to n_comps - 1 do
+      solve_comp c
+    done;
+  Exact.best_of_results results
+
+let solve_exact ?deadline g =
+  if !screen_enabled then solve_screened ?deadline g else Exact.howard ?deadline g
+
+let period_of_tpn ?deadline tpn = solve_exact ?deadline (graph_of_tpn tpn)

@@ -61,12 +61,51 @@ module Make (N : Rwt_util.Num_intf.S) : sig
   val max_cycle_ratio : ?deadline:(unit -> bool) -> graph -> witness option
   (** The default solver ({!howard}). *)
 
+  val positive_cycle : ?deadline:(unit -> bool) -> graph -> N.t -> int list option
+  (** [positive_cycle g λ] is a cycle (original edge ids, in order) of
+      strictly positive reduced weight [Σ(w − λ·t) > 0], or [None] when no
+      such cycle exists — i.e. λ is an upper bound on every cycle ratio.
+      This is the certification primitive of the screened solver; it is
+      exposed for tests and external certificate checking. If the internal
+      predecessor walk is broken by an unstable numeric kernel the check
+      degrades to [None] (and bumps the [mcr.pred_walk_degraded] counter)
+      instead of fabricating a bogus cycle. *)
+
   val karp : ?deadline:(unit -> bool) -> N.t Rwt_graph.Digraph.t -> N.t option
-  (** Maximum cycle mean [(Σ weight)/|C|]; [None] iff acyclic. *)
+  (** Maximum cycle mean [(Σ weight)/|C|]; [None] iff acyclic. Uses two
+      rolling rows over a CSR edge list — Θ(n) memory per component rather
+      than the textbook Θ(n²) table. *)
 end
 
 module Exact : module type of Make (Rwt_util.Rat)
 module Approx : module type of Make (Rwt_util.Num_intf.Float_num)
+
+val scc_parallel_threshold : int ref
+(** Graphs with at least this many edges solve their strongly connected
+    components on the shared domain pool ({!Rwt_pool}); smaller graphs stay
+    serial (default 2048). Set to [max_int] to force serial solves, [0] to
+    force the pool. The reduction over components is deterministic either
+    way. *)
+
+val screen_enabled : bool ref
+(** When true (the default) {!solve_exact} routes through {!solve_screened};
+    the [--no-screen] CLI flag and benchmarks flip this to force pure exact
+    Howard. *)
+
+val solve_screened :
+  ?deadline:(unit -> bool) -> Exact.graph -> Exact.witness option
+(** Float-screened exact solve. Per SCC: run float Howard on a mirrored
+    context, then certify the candidate with one exact pass — re-cost the
+    witness cycle with rational arithmetic and run a single exact
+    positive-cycle check at that ratio ([None] proves optimality). On
+    certification failure the component falls back to full exact Howard, so
+    the result is always exactly {!Exact.howard}'s. Counts
+    [mcr.screen_hits] / [mcr.screen_misses]. Same exceptions as
+    {!Exact.howard}. *)
+
+val solve_exact : ?deadline:(unit -> bool) -> Exact.graph -> Exact.witness option
+(** The production exact solver: {!solve_screened} when {!screen_enabled},
+    else {!Exact.howard}. Both paths return identical witnesses. *)
 
 val graph_of_tpn : Tpn.t -> Exact.graph
 (** Event graph → ratio graph: one edge per place, weighted by the firing

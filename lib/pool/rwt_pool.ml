@@ -1,0 +1,94 @@
+module Obs = Rwt_obs
+
+let recommended () = Domain.recommended_domain_count ()
+
+let default_workers = ref 0
+
+(* a worker must never spawn a nested pool: domains-inside-domains
+   oversubscribe the machine and can deadlock join order under memory
+   pressure, so nested [run]s degrade to the sequential loop *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+type deque = { mu : Mutex.t; tasks : int array; mutable head : int; mutable tail : int }
+
+let pop_front d =
+  Mutex.protect d.mu (fun () ->
+      if d.head < d.tail then begin
+        let t = d.tasks.(d.head) in
+        d.head <- d.head + 1;
+        Some t
+      end
+      else None)
+
+let pop_back d =
+  Mutex.protect d.mu (fun () ->
+      if d.head < d.tail then begin
+        d.tail <- d.tail - 1;
+        Some d.tasks.(d.tail)
+      end
+      else None)
+
+let run ?workers ~n task =
+  let requested =
+    match workers with
+    | Some w -> max 1 w
+    | None -> (match !default_workers with 0 -> recommended () | w -> max 1 w)
+  in
+  let workers = min 128 (min requested (max 1 n)) in
+  if workers <= 1 || n <= 1 || Domain.DLS.get in_worker then
+    for t = 0 to n - 1 do
+      task t
+    done
+  else begin
+    let failure : exn option Atomic.t = Atomic.make None in
+    (* static task set, seeded round-robin before any domain starts *)
+    let deques =
+      Array.init workers (fun w ->
+          let mine = ref [] in
+          for t = n - 1 downto 0 do
+            if t mod workers = w then mine := t :: !mine
+          done;
+          let tasks = Array.of_list !mine in
+          { mu = Mutex.create (); tasks; head = 0; tail = Array.length tasks })
+    in
+    let worker w () =
+      Domain.DLS.set in_worker true;
+      let rec next_task k =
+        (* own deque first, then clockwise victims *)
+        if k >= workers then None
+        else begin
+          let v = (w + k) mod workers in
+          let take = if k = 0 then pop_front else pop_back in
+          match take deques.(v) with
+          | Some t ->
+            if k > 0 then Obs.incr "pool.steals";
+            Some t
+          | None -> next_task (k + 1)
+        end
+      in
+      let rec loop () =
+        if Atomic.get failure = None then
+          match next_task 0 with
+          | Some t ->
+            (try task t
+             with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+            loop ()
+          | None -> ()
+      in
+      loop ();
+      Domain.DLS.set in_worker false
+    in
+    let domains = Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    (* the calling domain is worker 0, so [run] never idles a core *)
+    worker 0 ();
+    Array.iter Domain.join domains;
+    match Atomic.get failure with None -> () | Some e -> raise e
+  end
+
+let map ?workers ~n f =
+  if n <= 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run ?workers ~n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end

@@ -1,0 +1,41 @@
+(** Shared work-stealing pool of OCaml 5 [Domain]s.
+
+    One process-wide primitive for data-parallel fan-out over a {e static}
+    task set, extracted from [Rwt_batch] so every layer (batch jobs, per-SCC
+    max-cycle-ratio solves, per-component pattern solves in the polynomial
+    algorithm) schedules through the same pool discipline:
+
+    - per-worker bounded deques are seeded round-robin before any domain
+      starts; the owner pops the front, thieves pop the back;
+    - no task is ever added after seeding, so "every deque is empty" is a
+      sound termination test and workers simply exit;
+    - nested calls run sequentially: a task that itself calls {!run} (for
+      example a batch job whose solver fans out over SCCs) detects that it is
+      already inside a pool worker and degrades to a plain loop instead of
+      oversubscribing the machine with domains-inside-domains;
+    - the first exception raised by any task is re-raised in the calling
+      domain after every worker has drained (remaining tasks are abandoned,
+      not silently dropped: the exception is the result).
+
+    Steal counts are recorded in the [pool.steals] {!Rwt_obs} counter. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism. *)
+
+val default_workers : int ref
+(** Worker count used when {!run} is called without [?workers]:
+    [0] (the default) means {!recommended}; any positive value pins the
+    count process-wide ([1] disables parallelism everywhere). Meant to be
+    set once by the CLI / test harness before solvers run. *)
+
+val run : ?workers:int -> n:int -> (int -> unit) -> unit
+(** [run ~n f] evaluates [f 0 .. f (n-1)], using up to [workers] domains
+    (clamped to [[1, min 128 n]]). Sequential — in task order — when the
+    effective worker count is 1, when [n <= 1], or when called from inside
+    a pool worker. Tasks must be independent; any shared state they touch
+    must be domain-safe. The first task exception is re-raised after the
+    pool drains. *)
+
+val map : ?workers:int -> n:int -> (int -> 'a) -> 'a array
+(** [map ~n f] is [[| f 0; ...; f (n-1) |]] computed through {!run}; the
+    result order is always the task order, independent of scheduling. *)

@@ -251,6 +251,58 @@ let pattern_graph_example_a () =
       (Rat.div_int w.Rwt_petri.Mcr.Exact.ratio cc.Core.Poly_overlap.block)
   | _ -> Alcotest.fail "missing column or ratio"
 
+(* --- parallel components, memo, and deadline threading --- *)
+
+let poly_parallel_deterministic =
+  QCheck.Test.make ~count:60 ~name:"poly analysis identical across worker counts"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance (seed + 8800) in
+      let render a = Format.asprintf "%a" Core.Poly_overlap.pp_analysis a in
+      let serial = render (Core.Poly_overlap.analyze ~workers:1 inst) in
+      let parallel = render (Core.Poly_overlap.analyze ~workers:4 inst) in
+      serial = parallel)
+
+let poly_parallel_example_c () =
+  let c = Instances.example_c () in
+  let render a = Format.asprintf "%a" Core.Poly_overlap.pp_analysis a in
+  Alcotest.(check string) "example C analysis identical across worker counts"
+    (render (Core.Poly_overlap.analyze ~workers:1 c))
+    (render (Core.Poly_overlap.analyze ~workers:4 c))
+
+let poly_memo_hits () =
+  Rwt_obs.enable ();
+  Core.Poly_overlap.reset_memo ();
+  let c = Instances.example_c () in
+  ignore (Core.Poly_overlap.analyze c);
+  let misses_cold = Rwt_obs.counter_value "poly.memo_misses" in
+  let hits_cold = Rwt_obs.counter_value "poly.memo_hits" in
+  ignore (Core.Poly_overlap.analyze c);
+  let misses_warm = Rwt_obs.counter_value "poly.memo_misses" in
+  let hits_warm = Rwt_obs.counter_value "poly.memo_hits" in
+  Alcotest.(check bool) "cold run solved something" true (misses_cold > 0);
+  Alcotest.(check int) "warm run re-solves nothing" misses_cold misses_warm;
+  Alcotest.(check bool) "warm run hit the memo for every component" true
+    (hits_warm - hits_cold >= misses_cold);
+  (* hits must be byte-identical to fresh solves *)
+  Core.Poly_overlap.reset_memo ();
+  let fresh = (Core.Poly_overlap.analyze c).Core.Poly_overlap.period in
+  let memoized = (Core.Poly_overlap.analyze c).Core.Poly_overlap.period in
+  Alcotest.check rat "memoized period = fresh period" fresh memoized
+
+(* Regression: the degraded Tpn→Poly fallback used to drop [?deadline], so a
+   budget that killed the TPN route let the rescue analysis run unbounded.
+   With an already-expired deadline, the whole analysis must now report
+   Timeout rather than fall back to an un-budgeted polynomial solve. *)
+let fallback_keeps_deadline () =
+  match
+    Core.Analysis.analyze ~method_:Core.Analysis.Tpn
+      ~deadline:(fun () -> true)
+      Comm_model.Overlap (Instances.example_a ())
+  with
+  | Ok _ -> Alcotest.fail "expired deadline must not produce a report"
+  | Error e ->
+    Alcotest.(check bool) "timeout class" true (e.Rwt_err.class_ = Rwt_err.Timeout)
+
 let report_json () =
   let b = Instances.example_b () in
   let r = Core.Analysis.analyze_exn Comm_model.Overlap b in
@@ -381,6 +433,11 @@ let () =
           qtest critical_cycle_is_consistent; qtest analysis_consistency;
           Alcotest.test_case "poly rejects strict" `Quick poly_rejects_strict;
           Alcotest.test_case "pattern graph A/F1" `Quick pattern_graph_example_a ] );
+      ( "parallel + memo + deadline",
+        [ qtest poly_parallel_deterministic;
+          Alcotest.test_case "example C across workers" `Quick poly_parallel_example_c;
+          Alcotest.test_case "memo hits" `Quick poly_memo_hits;
+          Alcotest.test_case "fallback keeps deadline" `Quick fallback_keeps_deadline ] );
       ( "reporting", [ Alcotest.test_case "json report" `Quick report_json ] );
       ( "invariances",
         [ qtest scaling_invariance; qtest slower_link_cannot_speed_up;

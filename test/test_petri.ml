@@ -205,6 +205,196 @@ let howard_matches_brute_force =
       | None, None -> true
       | _ -> false)
 
+(* --- solver regressions on adversarial numeric kernels ---
+
+   The solvers are functorized over the numeric kernel precisely so that
+   invariants provable for exact arithmetic can be probed where they break:
+   a kernel with a lossy multiply makes Lawler's feasibility oracle
+   inconsistent with its bracket, and a kernel whose [add] drifts between
+   calls breaks the Bellman–Ford pass-n ⟹ predecessor-cycle theorem. *)
+
+(* [mul] systematically undershoots: reduced weights w − λ·t come out
+   inflated by 1e-3, so the positive-cycle oracle says "feasible" for λ
+   slightly above the true optimum and Lawler's lower bound can end on a
+   bisection midpoint that is no cycle's ratio. *)
+module Lossy_mul = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+  let add = ( +. )
+  let sub = ( -. )
+  let mul a b = (a *. b) -. 1e-3
+  let div = ( /. )
+  let neg x = -.x
+  let compare = Float.compare
+  let equal = Float.equal
+  let min = Float.min
+  let max = Float.max
+  let to_float x = x
+  let pp fmt x = Format.fprintf fmt "%g" x
+end
+
+module LK = P.Mcr.Make (Lossy_mul)
+
+let lawler_returns_witness_ratio () =
+  (* 3-cycle of ratio exactly 1/3; [cycle_ratio] only uses the kernel's
+     (here exact) add/div, so the invariant below is checkable despite the
+     lossy mul. Before the fix, lawler reported a bisection midpoint
+     ~5e-4 above the witness cycle's own ratio. *)
+  let g = D.create 3 in
+  let e w src dst = ignore (D.add_edge g src dst { LK.weight = w; tokens = 1 }) in
+  e 0.25 0 1;
+  e 0.25 1 2;
+  e 0.5 2 0;
+  match LK.lawler ~epsilon:1e-6 g with
+  | None -> Alcotest.fail "3-cycle must have a ratio"
+  | Some w ->
+    Alcotest.(check (float 1e-9))
+      "reported ratio is the witness cycle's own ratio"
+      (LK.cycle_ratio g w.LK.cycle)
+      w.LK.ratio
+
+(* [add] drifts upward with every call: a node whose true reduced distance
+   never improves can still be "relaxed" in the final pass, and its
+   predecessor chain dead-ends at an unrelaxed node. Before the guard, the
+   walk silently treated the nil predecessor as node 0 and fabricated a
+   cycle that does not beat λ at all. *)
+module Drifting_add = struct
+  type t = float
+
+  let calls = ref 0
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+
+  let add a b =
+    incr calls;
+    a +. b +. (0.03 *. float_of_int !calls)
+
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let compare = Float.compare
+  let equal = Float.equal
+  let min = Float.min
+  let max = Float.max
+  let to_float x = x
+  let pp fmt x = Format.fprintf fmt "%g" x
+end
+
+module DK = P.Mcr.Make (Drifting_add)
+
+let pred_walk_guard () =
+  Drifting_add.calls := 0;
+  (* one SCC; at λ = 1 every cycle has ratio ≤ 1 (the 0↔1 churn cycle has
+     ratio exactly 1), so a sound answer is either None or a cycle whose
+     TRUE ratio — recomputed below with honest floats — exceeds 1. The
+     drift makes edge 5 (3→2) relax in the final pass with pred(3) = -1. *)
+  let g = D.create 4 in
+  let e w t src dst = ignore (D.add_edge g src dst { DK.weight = w; tokens = t }) in
+  e 1.1 1 0 1;
+  e 0.9 1 1 0;
+  e 0.0 5 1 2;
+  e 0.0 5 2 3;
+  e 0.0 5 3 0;
+  e 0.5 1 3 2;
+  let true_w = [| 1.1; 0.9; 0.0; 0.0; 0.0; 0.5 |] in
+  let true_t = [| 1; 1; 5; 5; 5; 1 |] in
+  match DK.positive_cycle g 1.0 with
+  | None -> () (* degraded walk (or honest convergence): sound either way *)
+  | Some cyc ->
+    let sw = List.fold_left (fun a i -> a +. true_w.(i)) 0.0 cyc in
+    let st = List.fold_left (fun a i -> a + true_t.(i)) 0 cyc in
+    Alcotest.(check bool)
+      (Printf.sprintf "reported cycle ratio %g must exceed lambda = 1"
+         (sw /. float_of_int st))
+      true
+      (sw /. float_of_int st > 1.0)
+
+(* --- float-screened solve and pooled SCC fan-out --- *)
+
+let screened_matches_exact =
+  QCheck.Test.make ~count:300 ~name:"float-screened solve = pure exact howard"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph (seed + 31000) in
+      match (P.Mcr.solve_screened g, E.howard g) with
+      | Some s, Some h ->
+        Rat.equal s.E.ratio h.E.ratio && Rat.equal (E.cycle_ratio g s.E.cycle) s.E.ratio
+      | None, None -> true
+      | _ -> false)
+
+let screen_toggle_agrees =
+  QCheck.Test.make ~count:100 ~name:"solve_exact identical with screen on and off"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph (seed + 32000) in
+      let saved = !P.Mcr.screen_enabled in
+      P.Mcr.screen_enabled := false;
+      let off = P.Mcr.solve_exact g in
+      P.Mcr.screen_enabled := true;
+      let on = P.Mcr.solve_exact g in
+      P.Mcr.screen_enabled := saved;
+      match (off, on) with
+      | Some a, Some b -> Rat.equal a.E.ratio b.E.ratio
+      | None, None -> true
+      | _ -> false)
+
+let pooled_sccs_deterministic =
+  QCheck.Test.make ~count:50 ~name:"pooled SCC solve is witness-identical to serial"
+    QCheck.small_nat (fun seed ->
+      let g = random_live_graph (seed + 77000) in
+      let saved_thresh = !P.Mcr.scc_parallel_threshold in
+      let saved_workers = !Rwt_pool.default_workers in
+      P.Mcr.scc_parallel_threshold := max_int;
+      let serial = P.Mcr.solve_screened g in
+      P.Mcr.scc_parallel_threshold := 0;
+      Rwt_pool.default_workers := 4;
+      (* force real domains even on a 1-core container *)
+      let pooled = P.Mcr.solve_screened g in
+      P.Mcr.scc_parallel_threshold := saved_thresh;
+      Rwt_pool.default_workers := saved_workers;
+      match (serial, pooled) with
+      | Some a, Some b -> Rat.equal a.E.ratio b.E.ratio && a.E.cycle = b.E.cycle
+      | None, None -> true
+      | _ -> false)
+
+(* smoke variant of `make mcr-bench`: the three production configurations
+   of [solve_exact] must agree on a small many-SCC graph *)
+let mcr_bench_smoke () =
+  let r = Prng.create 7 in
+  let blocks = 3 and size = 8 in
+  let g = D.create (blocks * size) in
+  for b = 0 to blocks - 1 do
+    let base = b * size in
+    for i = 0 to size - 1 do
+      let w = Rat.of_ints (Prng.int_in r 1 999) (Prng.int_in r 1 999) in
+      let dst = (i + 1) mod size in
+      ignore
+        (D.add_edge g (base + i) (base + dst)
+           { E.weight = w; tokens = (if dst = 0 then 1 else 0) })
+    done
+  done;
+  let saved_screen = !P.Mcr.screen_enabled in
+  let saved_thresh = !P.Mcr.scc_parallel_threshold in
+  P.Mcr.screen_enabled := false;
+  P.Mcr.scc_parallel_threshold := max_int;
+  let exact = P.Mcr.solve_exact g in
+  P.Mcr.screen_enabled := true;
+  let screened = P.Mcr.solve_exact g in
+  P.Mcr.scc_parallel_threshold := 0;
+  let pooled = P.Mcr.solve_exact g in
+  P.Mcr.screen_enabled := saved_screen;
+  P.Mcr.scc_parallel_threshold := saved_thresh;
+  match (exact, screened, pooled) with
+  | Some a, Some b, Some c ->
+    Alcotest.(check string) "screened = exact" (Rat.to_string a.E.ratio)
+      (Rat.to_string b.E.ratio);
+    Alcotest.(check string) "pooled = exact" (Rat.to_string a.E.ratio)
+      (Rat.to_string c.E.ratio)
+  | _ -> Alcotest.fail "all three paths must find the ring cycles"
+
 (* --- optimality certificates --- *)
 
 let certificate_valid =
@@ -390,6 +580,15 @@ let () =
           Alcotest.test_case "not live" `Quick not_live_raises;
           qtest solvers_agree; qtest lawler_within_epsilon; qtest witness_achieves_ratio;
           qtest karp_is_unit_token_special_case; qtest howard_matches_brute_force ] );
+      ( "solver regressions",
+        [ Alcotest.test_case "lawler returns its witness's ratio" `Quick
+            lawler_returns_witness_ratio;
+          Alcotest.test_case "pred walk guarded against nil predecessors" `Quick
+            pred_walk_guard ] );
+      ( "screened solve",
+        [ qtest screened_matches_exact; qtest screen_toggle_agrees;
+          qtest pooled_sccs_deterministic;
+          Alcotest.test_case "mcr bench smoke" `Quick mcr_bench_smoke ] );
       ( "certificate",
         [ qtest certificate_valid; qtest certificate_rejects_tampering;
           Alcotest.test_case "example A strict" `Quick certificate_example_a ] );
