@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json batch-bench mcr-bench chaos profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json batch-bench mcr-bench tpn-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -35,6 +35,13 @@ batch-bench:
 # see doc/PERFORMANCE.md)
 mcr-bench:
 	dune exec bench/main.exe -- mcr
+
+# TPN construction: fused direct-to-graph builder vs legacy materialized net,
+# build+solve wall time and retained heap, both models -> BENCH_tpnbuild.json
+# (the fusion speedup is allocation arithmetic, so it holds on 1 core; see
+# doc/PERFORMANCE.md)
+tpn-bench:
+	dune exec bench/main.exe -- tpn
 
 # full fault-injection matrix over the shipped examples (the smoke subset
 # already runs inside `make test`); see doc/RESILIENCE.md

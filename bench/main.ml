@@ -492,6 +492,197 @@ let mcr_bench () =
   Printf.eprintf "wrote BENCH_mcr.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* TPN build: fused direct-to-graph vs legacy materialized net          *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic instance with a prescribed replication vector: coprime
+   entries drive m = lcm(m_i) up while the stage count stays small, which
+   is exactly the regime where the TPN route's cost is the build, not the
+   solve. Processor speeds and bandwidths cycle through small coprime
+   values so firing times are non-trivial rationals. *)
+let tpn_instance repl =
+  let n = Array.length repl in
+  let p = Array.fold_left ( + ) 0 repl in
+  let r = Prng.create (Array.fold_left (fun acc mi -> (acc * 31) + mi) 17 repl) in
+  let pipeline =
+    Pipeline.of_ints
+      ~work:(Array.init n (fun _ -> Prng.int_in r 5000 9000))
+      ~data:(Array.init (n - 1) (fun _ -> Prng.int_in r 1000 3000))
+  in
+  (* distinct random per-processor speeds and bandwidths: structured or
+     tied values make the float screen miss and Howard cycle, which would
+     benchmark the solver's worst case instead of the builders *)
+  let platform =
+    Platform.star
+      ~speeds:(Array.init p (fun _ -> Rat.of_int (Prng.int_in r 300 700)))
+      ~link_bw:(Array.init p (fun _ -> Rat.of_int (Prng.int_in r 200 500)))
+  in
+  let next = ref 0 in
+  let assignment =
+    Array.map
+      (fun mi ->
+        Array.init mi (fun _ ->
+            let u = !next in
+            incr next;
+            u))
+      repl
+  in
+  let mapping = Mapping.create_exn ~n_stages:n ~p assignment in
+  Instance.create_exn
+    ~name:(Printf.sprintf "tpnbench-m%d" (Mapping.num_paths mapping))
+    ~pipeline ~platform ~mapping
+
+(* The two routes must produce the same graph edge for edge — same ids,
+   endpoints, token counts and weights; anything else is a correctness
+   bug, not a benchmark artifact. *)
+let assert_graphs_identical gl gf =
+  let module D = Rwt_graph.Digraph in
+  let module E = Rwt_petri.Mcr.Exact in
+  if D.num_nodes gl <> D.num_nodes gf || D.num_edges gl <> D.num_edges gf then
+    failwith "tpn benchmark: fused and legacy graphs differ in size";
+  for i = 0 to D.num_edges gl - 1 do
+    let a = D.edge gl i and b = D.edge gf i in
+    if
+      a.D.src <> b.D.src || a.D.dst <> b.D.dst
+      || a.D.label.E.tokens <> b.D.label.E.tokens
+      || not (Rat.equal a.D.label.E.weight b.D.label.E.weight)
+    then failwith (Printf.sprintf "tpn benchmark: graphs differ at edge %d" i)
+  done
+
+(* End-to-end (build + solve) comparison of [Exact.period_exn]'s two
+   routes on growing coprime replication vectors, both models. Also
+   measures the retained heap of each route's product — the fused route
+   holds only the graph, the legacy route additionally the net with its
+   m·(2n−1) name strings and place list. Writes BENCH_tpnbuild.json. *)
+let tpn_build_bench () =
+  let module Mcr = Rwt_petri.Mcr in
+  let module D = Rwt_graph.Digraph in
+  section "TPN build — fused direct-to-graph vs legacy net (BENCH_tpnbuild.json)";
+  (* best of [reps]: one timing sample per rep, minimum wall time. The
+     compaction before each rep keeps one route's garbage from being
+     collected on the other route's clock. *)
+  let time ~reps f =
+    let best = ref infinity and v = ref None in
+    for _ = 1 to reps do
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      let x = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      v := Some x
+    done;
+    (Option.get !v, !best)
+  in
+  let live f =
+    Gc.compact ();
+    let before = (Gc.stat ()).Gc.live_words in
+    let v = f () in
+    Gc.compact ();
+    let after = (Gc.stat ()).Gc.live_words in
+    (v, max 0 (after - before))
+  in
+  let rows =
+    List.concat_map
+      (fun repl ->
+        let inst = tpn_instance repl in
+        let m = Mapping.num_paths inst.Instance.mapping in
+        let reps = if m <= 200 then 3 else 2 in
+        List.map
+          (fun model ->
+            let (net, gl, wl), t_legacy =
+              time ~reps (fun () ->
+                  let net = Rwt_core.Tpn_build.build_exn model inst in
+                  let g = Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn in
+                  (net, g, Mcr.solve_exact g))
+            in
+            let (fg, wf), t_fused =
+              time ~reps (fun () ->
+                  let fg = Rwt_core.Tpn_graph.build_exn model inst in
+                  (fg, Mcr.solve_exact fg.Rwt_core.Tpn_graph.graph))
+            in
+            (* build-only split, to show where the end-to-end win comes from *)
+            let _, tb_legacy =
+              time ~reps (fun () ->
+                  let net = Rwt_core.Tpn_build.build_exn model inst in
+                  Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn)
+            in
+            let _, tb_fused =
+              time ~reps (fun () -> Rwt_core.Tpn_graph.build_exn model inst)
+            in
+            assert_graphs_identical gl fg.Rwt_core.Tpn_graph.graph;
+            let period =
+              match (wl, wf) with
+              | Some a, Some b ->
+                if not (Rat.equal a.Mcr.Exact.ratio b.Mcr.Exact.ratio) then
+                  failwith "tpn benchmark: fused and legacy periods differ";
+                Rat.div_int a.Mcr.Exact.ratio m
+              | _ -> failwith "tpn benchmark: net must have a circuit"
+            in
+            (* retained heap of each route's product, result held alive *)
+            let legacy_prod, live_legacy =
+              live (fun () ->
+                  let net = Rwt_core.Tpn_build.build_exn model inst in
+                  (net, Mcr.graph_of_tpn net.Rwt_core.Tpn_build.tpn))
+            in
+            let fused_prod, live_fused =
+              live (fun () -> Rwt_core.Tpn_graph.build_exn model inst)
+            in
+            ignore (Sys.opaque_identity legacy_prod);
+            ignore (Sys.opaque_identity fused_prod);
+            ignore (Sys.opaque_identity net);
+            let speedup = if t_fused > 0.0 then t_legacy /. t_fused else 0.0 in
+            let live_ratio =
+              if live_fused > 0 then float_of_int live_legacy /. float_of_int live_fused
+              else 0.0
+            in
+            pf
+              "%-7s m=%5d (%6d arcs): legacy %.4fs (build %.4fs), fused %.4fs (build %.4fs) -> %.2fx; live %d -> %d words (%.2fx)@."
+              (Comm_model.to_string model) m
+              (D.num_edges fg.Rwt_core.Tpn_graph.graph)
+              t_legacy tb_legacy t_fused tb_fused speedup live_legacy live_fused
+              live_ratio;
+            Json.Obj
+              [ ("model", Json.String (Comm_model.to_string model));
+                ("repl",
+                 Json.List (List.map (fun r -> Json.Int r) (Array.to_list repl)));
+                ("m", Json.Int m);
+                ("transitions", Json.Int (D.num_nodes fg.Rwt_core.Tpn_graph.graph));
+                ("arcs", Json.Int (D.num_edges fg.Rwt_core.Tpn_graph.graph));
+                ("period", Json.String (Rat.to_string period));
+                ("t_legacy_s", Json.Float t_legacy);
+                ("t_fused_s", Json.Float t_fused);
+                ("t_build_legacy_s", Json.Float tb_legacy);
+                ("t_build_fused_s", Json.Float tb_fused);
+                ("speedup", Json.Float speedup);
+                ("build_speedup",
+                 Json.Float (if tb_fused > 0.0 then tb_legacy /. tb_fused else 0.0));
+                ("live_legacy_words", Json.Int live_legacy);
+                ("live_fused_words", Json.Int live_fused);
+                ("live_ratio", Json.Float live_ratio);
+                ("identical", Json.Bool true) ])
+          Comm_model.all)
+      (* small coprime vectors exercise the solver-bound regime (one giant
+         SCC); the large aligned vectors are the builder-bound regime the
+         fusion targets — m grows while every row stays its own small SCC *)
+      [ [| 2; 3 |];
+        [| 3; 4; 5 |];
+        [| 4; 5; 7 |];
+        [| 504; 504; 504 |];
+        [| 2520; 2520; 2520 |] ]
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-tpnbuild/1");
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("rows", Json.List rows) ]
+  in
+  let oc = open_out "BENCH_tpnbuild.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_tpnbuild.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -587,6 +778,7 @@ let all_targets =
     ("calibrate", calibrate);
     ("batch", batch);
     ("mcr", mcr_bench);
+    ("tpn", tpn_build_bench);
     ("bechamel", bechamel) ]
 
 let default_targets =

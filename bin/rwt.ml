@@ -98,8 +98,17 @@ let obs_term =
                  debugging and for benchmarking the screen itself (see \
                  doc/PERFORMANCE.md).")
   in
-  let setup metrics trace fault no_screen =
+  let legacy_tpn_arg =
+    Arg.(value & flag & info [ "legacy-tpn" ]
+           ~doc:"Build the MCR graph through the materialized timed Petri net \
+                 (Tpn_build then graph_of_tpn) instead of the fused \
+                 direct-to-graph builder. The two routes produce identical \
+                 graphs; this is an escape hatch for debugging and for \
+                 benchmarking the fusion itself (see doc/PERFORMANCE.md).")
+  in
+  let setup metrics trace fault no_screen legacy_tpn =
     if no_screen then Rwt_petri.Mcr.screen_enabled := false;
+    if legacy_tpn then Rwt_core.Exact.fused_enabled := false;
     (match fault with
      | None -> ()
      | Some spec ->
@@ -120,7 +129,8 @@ let obs_term =
           | None -> ())
     end
   in
-  Term.(const setup $ metrics_arg $ trace_arg $ fault_arg $ no_screen_arg)
+  Term.(const setup $ metrics_arg $ trace_arg $ fault_arg $ no_screen_arg
+        $ legacy_tpn_arg)
 
 (* --- period --- *)
 

@@ -403,11 +403,15 @@ let journal_read path key =
 
 let default_jobs () = Rwt_pool.recommended ()
 
+(* below this many unique jobs, domain spawn/teardown costs more than the
+   parallelism recovers, even on a multicore host *)
+let min_parallel_jobs = 4
+
 let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
     ?(retries = 0) ?(backoff_ms = 100.0) (job_list : job list) =
   Obs.with_span "batch.run" @@ fun () ->
   let t_start = now () in
-  let workers =
+  let requested_workers =
     match jobs with
     | None -> max 1 (default_jobs ())
     | Some j -> min 128 (max 1 j)
@@ -470,6 +474,17 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
            unique := i :: !unique))
     job_arr;
   let unique = Array.of_list (List.rev !unique) in
+  (* collapse to a sequential run when domains cannot pay for themselves:
+     a single-core host (spawned domains only add scheduling overhead —
+     once measured as a 0.27× "speedup" in BENCH_batch.json) or too few
+     unique jobs to amortize domain startup. An explicit [~jobs] request
+     is capped the same way; results are identical at any worker count. *)
+  let workers =
+    if Domain.recommended_domain_count () <= 1
+       || Array.length unique < min_parallel_jobs
+    then 1
+    else requested_workers
+  in
   let resumed = Atomic.make 0 in
   let retried = Atomic.make 0 in
   (* phase 2 (parallel): evaluate the unique jobs — journaled results are

@@ -102,7 +102,8 @@ type summary = {
   cache_hits : int;
   resumed : int;  (** representative jobs replayed from the journal *)
   retried : int;  (** jobs that needed at least one transient retry *)
-  workers : int;
+  workers : int;  (** effective worker-domain count (after the sequential
+                      fallback), not necessarily the requested [jobs] *)
   elapsed_s : float;
 }
 
@@ -128,7 +129,13 @@ val run :
 (** Evaluate every job; the result array is indexed like the input list.
 
     [jobs] is the worker-domain count (default {!default_jobs}, clamped to
-    [[1, 128]]). [jobs = 1] runs on the calling domain. [timeout] is a
+    [[1, 128]]). [jobs = 1] runs on the calling domain. The engine falls
+    back to one worker — even against an explicit [jobs] — when
+    [Domain.recommended_domain_count () <= 1] (spawning domains on a
+    single-core host only adds scheduling overhead) or when fewer than a
+    handful of unique jobs remain after deduplication (domain startup
+    would dominate); the summary's [workers] field reports the effective
+    count. Results are identical at any worker count. [timeout] is a
     per-job budget in seconds, checked cooperatively at job checkpoints
     (after load, before each solve, and inside the solver iteration
     loops): a job over budget reports [Timed_out] — [timeout <= 0]

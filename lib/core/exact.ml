@@ -1,4 +1,5 @@
 open Rwt_util
+open Rwt_workflow
 module Mcr = Rwt_petri.Mcr
 module D = Rwt_graph.Digraph
 
@@ -7,32 +8,45 @@ type result = {
   tpn_ratio : Rat.t;
   m : int;
   critical : (int * int) list;
-  net : Tpn_build.t;
+  model : Comm_model.t;
+  inst : Instance.t;
 }
+
+let fused_enabled = ref true
 
 let period_exn ?transition_cap ?deadline model inst =
   Rwt_obs.with_span "exact.period" @@ fun () ->
-  let net = Tpn_build.build_exn ?transition_cap model inst in
-  let g = Mcr.graph_of_tpn net.Tpn_build.tpn in
+  let m, g =
+    if !fused_enabled then
+      let fg = Tpn_graph.build_exn ?transition_cap model inst in
+      (fg.Tpn_graph.m, fg.Tpn_graph.graph)
+    else
+      let net = Tpn_build.build_exn ?transition_cap model inst in
+      (net.Tpn_build.m, Mcr.graph_of_tpn net.Tpn_build.tpn)
+  in
+  let ncols = (2 * Mapping.n_stages inst.Instance.mapping) - 1 in
   match Mcr.solve_exact ?deadline g with
   | None -> invalid_arg "Exact.period: net has no circuit"
   | Some w ->
     let critical =
       List.map
-        (fun eid -> Tpn_build.row_col net (D.edge g eid).D.src)
+        (fun eid ->
+          let tid = (D.edge g eid).D.src in
+          (tid / ncols, tid mod ncols))
         w.Mcr.Exact.cycle
     in
-    { period = Rat.div_int w.Mcr.Exact.ratio net.Tpn_build.m;
+    { period = Rat.div_int w.Mcr.Exact.ratio m;
       tpn_ratio = w.Mcr.Exact.ratio;
-      m = net.Tpn_build.m;
+      m;
       critical;
-      net }
+      model;
+      inst }
 
 let period ?transition_cap ?deadline model inst =
   Rwt_err.catch (fun () -> period_exn ?transition_cap ?deadline model inst)
 
-let throughput ?transition_cap model inst =
-  Rat.inv (period_exn ?transition_cap model inst).period
+let throughput ?transition_cap ?deadline model inst =
+  Rat.inv (period_exn ?transition_cap ?deadline model inst).period
 
 let pp_critical result fmt () =
   Format.fprintf fmt "@[<v>critical cycle (%d transitions, ratio %a, period %a):@,"
@@ -40,8 +54,7 @@ let pp_critical result fmt () =
     result.period;
   List.iter
     (fun (row, col) ->
-      let id = Tpn_build.transition_id result.net ~row ~col in
       Format.fprintf fmt "  row %d: %a@," row Tpn_build.pp_kind
-        (Tpn_build.kind result.net id))
+        (Tpn_build.kind_at result.inst.Instance.mapping ~row ~col))
     result.critical;
   Format.fprintf fmt "@]"

@@ -13,8 +13,19 @@ type result = {
   critical : (int * int) list;
       (** (row, col) of the transitions on a critical cycle, in cycle
           order *)
-  net : Tpn_build.t;
+  model : Comm_model.t;
+  inst : Instance.t;
+      (** the analyzed instance — transition kinds and names on the
+          critical cycle are recovered from it by index math
+          ({!Tpn_build.kind_at}), so no net needs to be retained *)
 }
+
+val fused_enabled : bool ref
+(** When true (the default) {!period_exn} builds the ratio graph with the
+    fused builder ({!Tpn_graph}), skipping the materialized net; set to
+    [false] (CLI [--legacy-tpn]) to force the legacy
+    {!Tpn_build.build_exn} → [Mcr.graph_of_tpn] route. Both routes produce
+    edge-for-edge identical graphs and therefore identical results. *)
 
 val period :
   ?transition_cap:int ->
@@ -33,8 +44,10 @@ val period_exn :
 (** Exception shim for {!period}.
     @raise Rwt_err.Error on the same conditions. *)
 
-val throughput : ?transition_cap:int -> Comm_model.t -> Instance.t -> Rat.t
-(** [1 / period]. @raise Rwt_err.Error like {!period_exn}. *)
+val throughput :
+  ?transition_cap:int -> ?deadline:(unit -> bool) -> Comm_model.t -> Instance.t -> Rat.t
+(** [1 / period]. [deadline] is threaded to the solver exactly as in
+    {!period}. @raise Rwt_err.Error like {!period_exn}. *)
 
 val pp_critical : result -> Format.formatter -> unit -> unit
 (** Human-readable critical cycle: resources and transition kinds. *)

@@ -26,6 +26,74 @@ let transition_id t ~row ~col = (row * cols t.n_stages) + col
 let row_col t id = (id / cols t.n_stages, id mod cols t.n_stages)
 let kind t id = t.kinds.(id)
 
+(* Pure index math: the kind and display name of the transition at
+   (row, col) are fully determined by the mapping, so neither needs the
+   materialized net. The fused builder ({!Tpn_graph}) derives both on
+   demand from these; the eager builder below uses the same functions so
+   the two renderings can never drift apart. *)
+let kind_at mapping ~row ~col =
+  if col mod 2 = 0 then
+    let stage = col / 2 in
+    Compute { stage; proc = Mapping.proc_for mapping ~stage ~dataset:row }
+  else
+    let file = (col - 1) / 2 in
+    Transfer
+      { file;
+        src = Mapping.proc_for mapping ~stage:file ~dataset:row;
+        dst = Mapping.proc_for mapping ~stage:(file + 1) ~dataset:row }
+
+let name_at mapping ~row ~col =
+  match kind_at mapping ~row ~col with
+  | Compute { stage; proc } ->
+    Printf.sprintf "%s/S%d r%d" (Platform.proc_name proc) stage row
+  | Transfer { src; dst; _ } ->
+    Printf.sprintf "%s->%s r%d" (Platform.proc_name src) (Platform.proc_name dst) row
+
+(* Size guard shared by the eager and fused builders: publish the projected
+   transition count, then reject nets over the cap with a typed capacity
+   error. Rejections count under [tpn.rejections] — distinct from the
+   symbolic-expansion guard's [expand.rejections], so the two limits are
+   tellable apart in metrics. *)
+let check_cap_exn ?transition_cap ~m ~ncols () =
+  let cap =
+    match transition_cap with
+    | Some c ->
+      if c <= 0 then
+        Rwt_util.Rwt_err.raise_
+          (Rwt_util.Rwt_err.validate ~code:"validate.cap"
+             "Tpn_build.build: transition_cap must be positive");
+      c
+    | None -> Rwt_petri.Expand.transition_cap ()
+  in
+  (* checked multiplication: on adversarial replication vectors m·(2n−1)
+     can wrap a native int and sail past the guard; overflow means the
+     projection certainly exceeds any representable cap *)
+  let projected = Rwt_util.Intmath.mul_checked m ncols in
+  Obs.gauge "tpn.projected_transitions"
+    (match projected with
+     | Some t -> float_of_int t
+     | None -> float_of_int m *. float_of_int ncols);
+  let over = match projected with Some t -> t > cap | None -> true in
+  if over then begin
+    Obs.incr "tpn.rejections";
+    let total =
+      Rwt_util.Bigint.to_string
+        (Rwt_util.Bigint.mul (Rwt_util.Bigint.of_int m) (Rwt_util.Bigint.of_int ncols))
+    in
+    Rwt_util.Rwt_err.raise_
+      (Rwt_util.Rwt_err.capacity ~code:"capacity.tpn"
+         ~context:
+           [ ("m", string_of_int m);
+             ("cols", string_of_int ncols);
+             ("projected", total);
+             ("cap", string_of_int cap) ]
+         (Printf.sprintf
+            "Tpn_build.build: the net would have m = %d rows of %d transitions \
+             (%s total), exceeding the cap of %d; use the polynomial analysis, \
+             pass ~transition_cap or raise Rwt_petri.Expand.set_transition_cap"
+            m ncols total cap))
+  end
+
 (* Add the circuit of a round-robin resource over the given ordered rows in
    one column: chain places with 0 tokens and a wrap-around place with the
    single token. A one-row circuit degenerates to a marked self-loop. *)
@@ -49,66 +117,21 @@ let build_exn ?transition_cap model inst =
   let n = Mapping.n_stages mapping in
   let m = Mapping.num_paths mapping in
   let ncols = cols n in
-  let cap =
-    match transition_cap with
-    | Some c ->
-      if c <= 0 then
-        Rwt_util.Rwt_err.raise_
-          (Rwt_util.Rwt_err.validate ~code:"validate.cap"
-             "Tpn_build.build: transition_cap must be positive");
-      c
-    | None -> Rwt_petri.Expand.transition_cap ()
-  in
-  (* checked multiplication: on adversarial replication vectors m·(2n−1)
-     can wrap a native int and sail past the guard; overflow means the
-     projection certainly exceeds any representable cap *)
-  let projected = Rwt_util.Intmath.mul_checked m ncols in
-  Obs.gauge "tpn.projected_transitions"
-    (match projected with
-     | Some t -> float_of_int t
-     | None -> float_of_int m *. float_of_int ncols);
-  let over = match projected with Some t -> t > cap | None -> true in
-  if over then begin
-    Obs.incr "expand.rejections";
-    let total =
-      Rwt_util.Bigint.to_string
-        (Rwt_util.Bigint.mul (Rwt_util.Bigint.of_int m) (Rwt_util.Bigint.of_int ncols))
-    in
-    Rwt_util.Rwt_err.raise_
-      (Rwt_util.Rwt_err.capacity ~code:"capacity.tpn"
-         ~context:
-           [ ("m", string_of_int m);
-             ("cols", string_of_int ncols);
-             ("projected", total);
-             ("cap", string_of_int cap) ]
-         (Printf.sprintf
-            "Tpn_build.build: the net would have m = %d rows of %d transitions \
-             (%s total), exceeding the cap of %d; use the polynomial analysis, \
-             pass ~transition_cap or raise Rwt_petri.Expand.set_transition_cap"
-            m ncols total cap))
-  end;
+  check_cap_exn ?transition_cap ~m ~ncols ();
   let id ~row ~col = (row * ncols) + col in
-  let kinds = Array.make (m * ncols) (Compute { stage = 0; proc = 0 }) in
+  let kinds =
+    Array.init (m * ncols) (fun tid ->
+        kind_at mapping ~row:(tid / ncols) ~col:(tid mod ncols))
+  in
   let transitions =
     Array.init (m * ncols) (fun tid ->
         let row = tid / ncols and col = tid mod ncols in
-        if col mod 2 = 0 then begin
-          let stage = col / 2 in
-          let proc = Mapping.proc_for mapping ~stage ~dataset:row in
-          kinds.(tid) <- Compute { stage; proc };
-          { Tpn.tr_name =
-              Printf.sprintf "%s/S%d r%d" (Platform.proc_name proc) stage row;
-            firing = Instance.compute_time inst ~stage ~proc }
-        end
-        else begin
-          let file = (col - 1) / 2 in
-          let src = Mapping.proc_for mapping ~stage:file ~dataset:row in
-          let dst = Mapping.proc_for mapping ~stage:(file + 1) ~dataset:row in
-          kinds.(tid) <- Transfer { file; src; dst };
-          { Tpn.tr_name =
-              Printf.sprintf "%s->%s r%d" (Platform.proc_name src) (Platform.proc_name dst) row;
-            firing = Instance.transfer_time inst ~file ~src ~dst }
-        end)
+        { Tpn.tr_name = name_at mapping ~row ~col;
+          firing =
+            (match kinds.(tid) with
+             | Compute { stage; proc } -> Instance.compute_time inst ~stage ~proc
+             | Transfer { file; src; dst } ->
+               Instance.transfer_time inst ~file ~src ~dst) })
   in
   let tpn = Tpn.create transitions in
   (* 1. row-forward dependences *)

@@ -54,6 +54,25 @@ val row_col : t -> int -> int * int
 val kind : t -> int -> kind
 val pp_kind : Format.formatter -> kind -> unit
 
+val kind_at : Mapping.t -> row:int -> col:int -> kind
+(** Kind of the transition at [(row, col)] by pure index math — no net
+    needed. [kind net id] agrees with
+    [kind_at mapping ~row ~col] for [(row, col) = row_col net id]. *)
+
+val name_at : Mapping.t -> row:int -> col:int -> string
+(** Display name of the transition at [(row, col)], identical to the
+    [tr_name] the eager builder stores (e.g. ["P2/S1 r3"],
+    ["P0->P2 r4"]). The fused route ({!Tpn_graph}) renders names on demand
+    through this instead of materializing [m·(2n−1)] strings up front. *)
+
+val check_cap_exn : ?transition_cap:int -> m:int -> ncols:int -> unit -> unit
+(** The shared size guard: publish the [tpn.projected_transitions] gauge,
+    then reject projections over the cap (overflow-checked product) with
+    the [capacity.tpn] error both builders raise. Rejections increment
+    [tpn.rejections] — a counter of its own, distinct from the symbolic
+    expansion guard's [expand.rejections].
+    @raise Rwt_util.Rwt_err.Error as described under {!build}. *)
+
 val resource_of_place : t -> Rwt_petri.Tpn.place -> string option
 (** The resource whose round-robin a circuit place encodes (e.g. ["P2"],
     ["P2-out"], ["P3-in"]), [None] for row-forward dependence places. *)

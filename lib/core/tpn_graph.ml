@@ -1,0 +1,184 @@
+open Rwt_util
+open Rwt_workflow
+module Mcr = Rwt_petri.Mcr
+module Obs = Rwt_obs
+
+type t = {
+  graph : Mcr.Exact.graph;
+  m : int;
+  n_stages : int;
+  model : Comm_model.t;
+  inst : Instance.t;
+}
+
+let cols n = (2 * n) - 1
+
+let transition_id t ~row ~col = (row * cols t.n_stages) + col
+let row_col t id = (id / cols t.n_stages, id mod cols t.n_stages)
+
+let kind t id =
+  let row, col = row_col t id in
+  Tpn_build.kind_at t.inst.Instance.mapping ~row ~col
+
+let tr_name t id =
+  let row, col = row_col t id in
+  Tpn_build.name_at t.inst.Instance.mapping ~row ~col
+
+(* The fused construction. The legacy route materializes the net three
+   times over — [m·(2n−1)] transition records with eagerly formatted
+   names, a place list, and then a re-walk of that list into the ratio
+   graph ([Mcr.graph_of_tpn]). Here the same graph is emitted straight
+   from index arithmetic into a flat arc table:
+
+   - arcs are appended in exactly the order [Tpn_build.build_exn] adds
+     places (row-forward flows, then the model's circuits), so edge ids,
+     endpoints, token counts and weights coincide with the legacy route
+     edge for edge — pinned by a qcheck property;
+   - firing times are computed once per distinct key — [(stage, replica)]
+     for computations, [(file, sender replica, receiver replica)] for
+     transfers — and shared across all [m] rows instead of being recomputed
+     [m·(2n−1)] times ([tpn.fire_keys] counts the distinct values);
+   - transition names are never built; {!tr_name} renders them on demand
+     from the mapping when a witness, Gantt or DOT export asks. *)
+let build_exn ?transition_cap model inst =
+  Obs.with_span "tpn.build" @@ fun () ->
+  let mapping = inst.Instance.mapping in
+  let n = Mapping.n_stages mapping in
+  let m = Mapping.num_paths mapping in
+  let ncols = cols n in
+  Tpn_build.check_cap_exn ?transition_cap ~m ~ncols ();
+  let repl = Array.init n (Mapping.replication mapping) in
+  let procs = Array.init n (Mapping.procs mapping) in
+  let fire_keys = ref 0 in
+  (* computations: every row served by replica r of stage s fires for the
+     same time — one rational per (s, r), eagerly (all are used) *)
+  let cfire =
+    Array.init n (fun stage ->
+        Array.init repl.(stage) (fun r ->
+            incr fire_keys;
+            Instance.compute_time inst ~stage ~proc:procs.(stage).(r)))
+  in
+  (* transfers: the (sender, receiver) pair of row j is
+     (j mod m_f, j mod m_{f+1}), so it is periodic in
+     j mod lcm(m_f, m_{f+1}) — index the cache by that residue (exactly
+     the set of realizable pairs, never the full m_f·m_{f+1} square) and
+     fill it lazily *)
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let tlcm =
+    Array.init (max 0 (n - 1)) (fun file ->
+        let mf = repl.(file) and mf1 = repl.(file + 1) in
+        mf / gcd mf mf1 * mf1)
+  in
+  let tfire = Array.init (max 0 (n - 1)) (fun file -> Array.make tlcm.(file) None) in
+  let transfer_fire file row =
+    let slot = row mod tlcm.(file) in
+    match tfire.(file).(slot) with
+    | Some w -> w
+    | None ->
+      incr fire_keys;
+      let rs = row mod repl.(file) and rd = row mod repl.(file + 1) in
+      let w =
+        Instance.transfer_time inst ~file ~src:procs.(file).(rs)
+          ~dst:procs.(file + 1).(rd)
+      in
+      tfire.(file).(slot) <- Some w;
+      w
+  in
+  let fire ~row ~col =
+    if col mod 2 = 0 then cfire.(col / 2).(row mod repl.(col / 2))
+    else transfer_fire ((col - 1) / 2) row
+  in
+  (* exactly-sized arc table: every circuit of a resource serving k rows
+     contributes k arcs, and the circuits of one column family cover each
+     row once — so each family adds m arcs per column it spans *)
+  let n_arcs =
+    (m * (ncols - 1))
+    + (match model with
+       | Comm_model.Overlap -> (m * n) + (2 * m * (n - 1))
+       | Comm_model.Strict -> m * n)
+  in
+  let asrc = Array.make n_arcs 0 in
+  let adst = Array.make n_arcs 0 in
+  let atok = Array.make n_arcs 0 in
+  let aw = Array.make n_arcs Rat.zero in
+  let next = ref 0 in
+  let id ~row ~col = (row * ncols) + col in
+  let push ~srow ~scol ~dst ~tokens =
+    let i = !next in
+    asrc.(i) <- id ~row:srow ~col:scol;
+    adst.(i) <- dst;
+    atok.(i) <- tokens;
+    aw.(i) <- fire ~row:srow ~col:scol;
+    next := i + 1
+  in
+  (* 1. row-forward dependences *)
+  for row = 0 to m - 1 do
+    for col = 0 to ncols - 2 do
+      push ~srow:row ~scol:col ~dst:(id ~row ~col:(col + 1)) ~tokens:0
+    done
+  done;
+  (* round-robin circuit of replica [r] (one of [mi]) over its rows
+     r, r+mi, r+2mi, …: chain arcs from [scol_of row] to [dcol_of next
+     row], wrap-around arc carries the single token; a one-row circuit
+     degenerates to a marked self-loop *)
+  let circuit ~mi ~r ~scol ~dcol =
+    let cnt = m / mi in
+    if cnt = 1 then push ~srow:r ~scol ~dst:(id ~row:r ~col:dcol) ~tokens:1
+    else begin
+      for j = 0 to cnt - 2 do
+        push ~srow:(r + (j * mi)) ~scol
+          ~dst:(id ~row:(r + ((j + 1) * mi)) ~col:dcol)
+          ~tokens:0
+      done;
+      push ~srow:(r + ((cnt - 1) * mi)) ~scol ~dst:(id ~row:r ~col:dcol) ~tokens:1
+    end
+  in
+  (match model with
+   | Comm_model.Overlap ->
+     (* 2. computation round-robin circuits *)
+     for stage = 0 to n - 1 do
+       let col = 2 * stage in
+       for r = 0 to repl.(stage) - 1 do
+         circuit ~mi:repl.(stage) ~r ~scol:col ~dcol:col
+       done
+     done;
+     (* 3. out-port circuits (transfer columns grouped by sender) *)
+     for file = 0 to n - 2 do
+       let col = (2 * file) + 1 in
+       for r = 0 to repl.(file) - 1 do
+         circuit ~mi:repl.(file) ~r ~scol:col ~dcol:col
+       done
+     done;
+     (* 4. in-port circuits (transfer columns grouped by receiver) *)
+     for file = 0 to n - 2 do
+       let col = (2 * file) + 1 in
+       for r = 0 to repl.(file + 1) - 1 do
+         circuit ~mi:repl.(file + 1) ~r ~scol:col ~dcol:col
+       done
+     done
+   | Comm_model.Strict ->
+     (* one circuit per processor: send of row j_l → receive of row
+        j_{l+1}; terminal stages use their computation instead *)
+     for stage = 0 to n - 1 do
+       let first_col = if stage = 0 then 0 else (2 * stage) - 1 in
+       let last_col = if stage = n - 1 then 2 * stage else (2 * stage) + 1 in
+       for r = 0 to repl.(stage) - 1 do
+         circuit ~mi:repl.(stage) ~r ~scol:last_col ~dcol:first_col
+       done
+     done);
+  assert (!next = n_arcs);
+  let graph =
+    Mcr.graph_of_arcs ~n:(m * ncols) ~src:asrc ~dst:adst ~weight:aw ~tokens:atok
+  in
+  Obs.incr "tpn.fused_builds";
+  Obs.add "tpn.fire_keys" !fire_keys;
+  Obs.gauge "tpn.rows" (float_of_int m);
+  Obs.gauge "tpn.transitions" (float_of_int (m * ncols));
+  Obs.gauge "tpn.places" (float_of_int n_arcs);
+  Obs.gauge_max "tpn.peak_transitions" (float_of_int (m * ncols));
+  { graph; m; n_stages = n; model; inst }
+
+let build ?transition_cap model inst =
+  match build_exn ?transition_cap model inst with
+  | t -> Ok t
+  | exception Rwt_util.Rwt_err.Error e -> Error e

@@ -1,0 +1,57 @@
+(** Fused direct-to-graph construction of the timed Petri net (§3 of the
+    paper) — the weighted ratio graph {!Rwt_petri.Mcr} solves, emitted
+    straight from [(model, instance)] index arithmetic.
+
+    The legacy route ({!Tpn_build} then {!Rwt_petri.Mcr.graph_of_tpn})
+    materializes [m·(2n−1)] transition records with eagerly formatted name
+    strings plus a place list, then re-walks the places into the graph.
+    This builder skips all of it:
+
+    - arcs (endpoints, token counts) are written into exactly-sized flat
+      arrays in the legacy place-insertion order, so the resulting graph is
+      edge-for-edge identical to the legacy one — same edge ids, endpoints,
+      tokens and weights (pinned by a qcheck property in the test suite);
+    - firing times are computed once per distinct key — [(stage, replica)]
+      for computations, [(file, sender, receiver)] for transfers — and
+      shared across all [m] rows (the [tpn.fire_keys] counter records how
+      many distinct rationals were built);
+    - transition names are derived lazily from the mapping by
+      {!Tpn_build.name_at} only when {!tr_name} is called.
+
+    {!Exact} routes through this builder by default;
+    [Exact.fused_enabled := false] (CLI [--legacy-tpn]) restores the legacy
+    path. *)
+
+open Rwt_workflow
+
+type t = private {
+  graph : Rwt_petri.Mcr.Exact.graph;
+  m : int;  (** number of rows (paths) *)
+  n_stages : int;
+  model : Comm_model.t;
+  inst : Instance.t;
+}
+
+val build_exn : ?transition_cap:int -> Comm_model.t -> Instance.t -> t
+(** Build the ratio graph of the instance's timed Petri net without
+    materializing the net. Size guard, [capacity.tpn] diagnostics and the
+    [tpn.projected_transitions] gauge are shared with the legacy builder
+    via {!Tpn_build.check_cap_exn}; the build runs under the ["tpn.build"]
+    span and publishes the same [tpn.rows] / [tpn.transitions] /
+    [tpn.places] gauges, plus the [tpn.fused_builds] counter.
+    @raise Rwt_util.Rwt_err.Error as {!Tpn_build.build_exn}. *)
+
+val build :
+  ?transition_cap:int -> Comm_model.t -> Instance.t -> (t, Rwt_util.Rwt_err.t) result
+(** Result shim for {!build_exn}. *)
+
+val transition_id : t -> row:int -> col:int -> int
+val row_col : t -> int -> int * int
+
+val kind : t -> int -> Tpn_build.kind
+(** Kind of a transition, recovered by index math ({!Tpn_build.kind_at}). *)
+
+val tr_name : t -> int -> string
+(** Display name of a transition, rendered on demand
+    ({!Tpn_build.name_at}); identical to the [tr_name] string the legacy
+    builder would have stored. *)

@@ -29,6 +29,30 @@ let add_edge g u v label =
   g.in_adj.(v) <- e.id :: g.in_adj.(v);
   e
 
+(* Bulk constructor: one exactly-sized allocation per array instead of
+   amortized doubling plus per-edge bounds rechecks. The adjacency lists are
+   built most-recent-first, matching what the same sequence of [add_edge]
+   calls would produce, so consumers relying on [out_edges] order see no
+   difference. *)
+let of_arrays ~n ~src ~dst label =
+  if n < 0 then invalid_arg "Digraph.of_arrays";
+  let m = Array.length src in
+  if Array.length dst <> m || Array.length label <> m then
+    invalid_arg "Digraph.of_arrays: array lengths differ";
+  let edges =
+    Array.init m (fun i ->
+        let u = src.(i) and v = dst.(i) in
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Digraph.of_arrays: endpoint out of range";
+        { src = u; dst = v; label = label.(i); id = i })
+  in
+  let out_adj = Array.make n [] and in_adj = Array.make n [] in
+  for i = 0 to m - 1 do
+    out_adj.(src.(i)) <- i :: out_adj.(src.(i));
+    in_adj.(dst.(i)) <- i :: in_adj.(dst.(i))
+  done;
+  { n; edges; m; out_adj; in_adj }
+
 let edge g id =
   if id < 0 || id >= g.m then invalid_arg "Digraph.edge";
   g.edges.(id)

@@ -19,6 +19,14 @@ val add_edge : 'e t -> int -> int -> 'e -> 'e edge
 (** [add_edge g u v label] appends an edge; parallel edges and self-loops are
     allowed. @raise Invalid_argument on out-of-range endpoints. *)
 
+val of_arrays : n:int -> src:int array -> dst:int array -> 'e array -> 'e t
+(** [of_arrays ~n ~src ~dst labels] is the graph produced by
+    [add_edge g src.(i) dst.(i) labels.(i)] for [i = 0 .. m-1] — same edge
+    ids, same adjacency order — built in one exactly-sized pass (no
+    amortized growth). This is the bulk entry point for builders that
+    already hold their arcs as flat arrays.
+    @raise Invalid_argument on length mismatch or out-of-range endpoints. *)
+
 val edge : 'e t -> int -> 'e edge
 (** Edge by id. @raise Invalid_argument if out of range. *)
 

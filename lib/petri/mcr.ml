@@ -355,8 +355,12 @@ module Make (N : Rwt_util.Num_intf.S) = struct
   (* Howard policy iteration. The result is self-certifying: at termination
      no edge improves the potentials, which proves λ ≥ every cycle ratio,
      and the reported policy cycle attains λ. If the iteration has not
-     settled within the cap (possible only under pathological tie patterns),
-     fall back to the parametric solver. *)
+     settled within the cap — or λ has stopped improving for [n + 16]
+     rounds, the signature of the policy oscillating between tied cycles
+     whose potentials are pinned at incomparable per-cycle entries (the
+     bias-improvement phases of a converging run never exceed ~n rounds
+     at one λ level) — fall back to the parametric solver instead of
+     burning the remaining O(n·E) budget on a loop that cannot settle. *)
   let howard_scc ?deadline ctx =
     let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
     let v = Array.make ctx.n N.zero in
@@ -366,7 +370,9 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     let best = ref [] in
     let iters = ref 0 in
     let cap = (20 * ctx.n) + 100 in
-    while (not !settled) && !iters < cap do
+    let stall_cap = ctx.n + 16 in
+    let stall = ref 0 in
+    while (not !settled) && !iters < cap && !stall < stall_cap do
       incr iters;
       check_deadline deadline;
       (* Value determination. *)
@@ -382,6 +388,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
             (ratio_of_edges ctx c0, c0)
             cycles
       in
+      if !iters = 1 || N.compare lam !lambda > 0 then stall := 0 else incr stall;
       lambda := lam;
       best := bc;
       let reduced i = N.sub ctx.ew.(i) (N.mul lam (N.of_int ctx.et.(i))) in
@@ -638,6 +645,17 @@ let graph_of_tpn tpn =
              tokens = p.Tpn.tokens }))
     tpn;
   g
+
+(* Bulk entry point for fused builders ([Rwt_core.Tpn_graph]) that compute
+   their arcs by index arithmetic: the flat arc table becomes the ratio
+   graph in one exactly-sized pass, with edge ids equal to arc indices —
+   the same ids [graph_of_tpn] assigns to the corresponding places. *)
+let graph_of_arcs ~n ~src ~dst ~weight ~tokens =
+  let m = Array.length src in
+  if Array.length weight <> m || Array.length tokens <> m then
+    invalid_arg "Mcr.graph_of_arcs: array lengths differ";
+  D.of_arrays ~n ~src ~dst
+    (Array.init m (fun i -> { Exact.weight = weight.(i); tokens = tokens.(i) }))
 
 let float_graph_of_tpn tpn =
   let g = D.create (Tpn.num_transitions tpn) in

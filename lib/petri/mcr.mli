@@ -112,6 +112,21 @@ val graph_of_tpn : Tpn.t -> Exact.graph
     time of its {e input} transition; edge ids coincide with place insertion
     order. *)
 
+val graph_of_arcs :
+  n:int ->
+  src:int array ->
+  dst:int array ->
+  weight:Rwt_util.Rat.t array ->
+  tokens:int array ->
+  Exact.graph
+(** Ratio graph from a flat arc table, in one exactly-sized pass: arc [i]
+    becomes edge id [i] from [src.(i)] to [dst.(i)] with the given weight
+    and token count. Used by the fused TPN-graph builder, which never
+    materializes a {!Tpn.t}; a table listing the places of a net in
+    insertion order yields a graph identical (edge for edge) to
+    {!graph_of_tpn} on that net.
+    @raise Invalid_argument on length mismatch or out-of-range endpoints. *)
+
 val float_graph_of_tpn : Tpn.t -> Approx.graph
 
 val period_of_tpn : ?deadline:(unit -> bool) -> Tpn.t -> Exact.witness option

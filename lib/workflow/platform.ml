@@ -1,6 +1,13 @@
 open Rwt_util
 
-type t = { speeds : Rat.t array; bw : Rat.t array array }
+(* Star platforms keep only the per-processor link bandwidths: the dense
+   p x p logical matrix is implied by b_{u,v} = min(l_u, l_v), and
+   materializing it is Theta(p^2) memory for nothing on large platforms
+   (replicated mappings need one processor per stage instance, so p grows
+   with the replication counts). *)
+type bw_repr = Dense of Rat.t array array | Star of Rat.t array
+
+type t = { speeds : Rat.t array; bw : bw_repr }
 
 let create ~speeds ~bandwidths =
   let p = Array.length speeds in
@@ -18,16 +25,22 @@ let create ~speeds ~bandwidths =
             invalid_arg "Platform.create: non-positive bandwidth")
         row)
     bandwidths;
-  { speeds; bw = bandwidths }
+  { speeds; bw = Dense bandwidths }
 
 let uniform ~p ~speed ~bandwidth =
   create ~speeds:(Array.make p speed) ~bandwidths:(Array.make_matrix p p bandwidth)
 
 let star ~speeds ~link_bw =
   let p = Array.length speeds in
+  if p = 0 then invalid_arg "Platform.star: no processors";
   if Array.length link_bw <> p then invalid_arg "Platform.star: link_bw length";
-  let bw = Array.init p (fun u -> Array.init p (fun v -> Rat.min link_bw.(u) link_bw.(v))) in
-  create ~speeds ~bandwidths:bw
+  Array.iter
+    (fun s -> if Rat.sign s <= 0 then invalid_arg "Platform.star: non-positive speed")
+    speeds;
+  Array.iter
+    (fun b -> if Rat.sign b <= 0 then invalid_arg "Platform.star: non-positive bandwidth")
+    link_bw;
+  { speeds; bw = Star (Array.copy link_bw) }
 
 let two_clusters ~speeds ~split ~intra_bw ~inter_bw =
   let p = Array.length speeds in
@@ -48,7 +61,10 @@ let random r ~p ~speed_range:(slo, shi) ~bandwidth_range:(blo, bhi) =
 
 let p t = Array.length t.speeds
 let speed t u = t.speeds.(u)
-let bandwidth t u v = t.bw.(u).(v)
+let bandwidth t u v =
+  match t.bw with
+  | Dense m -> m.(u).(v)
+  | Star l -> Rat.min l.(u) l.(v)
 let proc_name u = Printf.sprintf "P%d" u
 
 let pp fmt t =

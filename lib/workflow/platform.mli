@@ -18,7 +18,11 @@ val uniform : p:int -> speed:Rat.t -> bandwidth:Rat.t -> t
 val star : speeds:Rat.t array -> link_bw:Rat.t array -> t
 (** Star-shaped physical platform: every processor is connected to a central
     switch by a link of bandwidth [link_bw.(u)]; the logical bandwidth
-    between [u] and [v] is [min (link_bw u) (link_bw v)]. *)
+    between [u] and [v] is [min (link_bw u) (link_bw v)]. Stored as the
+    [p] link bandwidths, not the implied dense matrix, so star platforms
+    stay O(p) — large replicated mappings need one processor per stage
+    instance, and the Θ(p²) matrix dominated the whole pipeline's memory
+    before anything was even built. *)
 
 val two_clusters :
   speeds:Rat.t array -> split:int -> intra_bw:Rat.t -> inter_bw:Rat.t -> t

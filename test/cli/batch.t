@@ -19,7 +19,7 @@ with a duplicate (memo-cache hit) and a missing file (error line). With
   {"job":2,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907,"metrics":{"m":6,"stages":4,"resources":7},"cache":"hit"}
   {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"parse: missing.rwt: No such file or directory","error_class":"parse","error_code":"parse.io","cache":"miss"}
   {"job":4,"file":"b.rwt","instance":"example-B","model":"overlap","method":"tpn","status":"ok","period":"875/3","period_float":291.66666666666669,"throughput_float":0.0034285714285714284,"metrics":{"m":12,"stages":2,"resources":7},"cache":"miss"}
-  rwt batch: 5 jobs: 4 ok, 1 error, 0 timeouts; 1 cache hit (workers 2)
+  rwt batch: 5 jobs: 4 ok, 1 error, 0 timeouts; 1 cache hit (workers 1)
 
 Determinism: the same stream on one worker and on eight workers renders
 identical bytes — cache hits land on the same jobs either way.

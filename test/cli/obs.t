@@ -6,7 +6,7 @@ table is machine-dependent, so only the deterministic lines are kept.
   poly period:     189
   tpn period:      189 (critical cycle: 6 transitions)
   simulated:       64 data sets (last completion 12599)
-  29 metrics recorded (counters 17, gauges 6, histograms 6)
+  30 metrics recorded (counters 18, gauges 6, histograms 6)
 
 Both exports are valid JSON.
 

@@ -43,6 +43,17 @@ let determinism_across_workers =
       && sum1.Batch.ok = sum8.Batch.ok
       && sum1.Batch.cache_hits = sum8.Batch.cache_hits)
 
+(* the sequential fallback: tiny batches never pay domain spawn, whatever
+   worker count was requested — and on a single-core host no batch does *)
+let sequential_fallback_units () =
+  let jobs = inline_jobs 7 2 in
+  let _, summary = Batch.run ~jobs:8 jobs in
+  Alcotest.(check int) "tiny batch runs on one worker" 1 summary.Batch.workers;
+  if Domain.recommended_domain_count () <= 1 then begin
+    let _, big = Batch.run ~jobs:8 (inline_jobs 7 24) in
+    Alcotest.(check int) "single-core host runs sequentially" 1 big.Batch.workers
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Dedup / memo cache                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -160,6 +171,8 @@ let ndjson_units () =
 let () =
   Alcotest.run "rwt_batch"
     [ ( "determinism", [ qtest determinism_across_workers ] );
+      ( "workers",
+        [ Alcotest.test_case "sequential fallback" `Quick sequential_fallback_units ] );
       ( "cache", [ Alcotest.test_case "units" `Quick cache_units ] );
       ( "timeout", [ Alcotest.test_case "units" `Quick timeout_units ] );
       ( "parse", [ Alcotest.test_case "units" `Quick parse_units ] );

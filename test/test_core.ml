@@ -397,6 +397,74 @@ let idle_processor_is_irrelevant =
             (Core.Exact.period_exn model inst).Core.Exact.period)
         Comm_model.all)
 
+(* --- fused direct-to-graph construction (Tpn_graph) --- *)
+
+let check_fused_identical model inst =
+  let module D = Rwt_graph.Digraph in
+  let module E = Rwt_petri.Mcr.Exact in
+  let net = Core.Tpn_build.build_exn model inst in
+  let gl = Rwt_petri.Mcr.graph_of_tpn net.Core.Tpn_build.tpn in
+  let fg = Core.Tpn_graph.build_exn model inst in
+  let gf = fg.Core.Tpn_graph.graph in
+  D.num_nodes gl = D.num_nodes gf
+  && D.num_edges gl = D.num_edges gf
+  &&
+  let ok = ref true in
+  for i = 0 to D.num_edges gl - 1 do
+    let a = D.edge gl i and b = D.edge gf i in
+    if
+      a.D.src <> b.D.src || a.D.dst <> b.D.dst
+      || a.D.label.E.tokens <> b.D.label.E.tokens
+      || not (Rat.equal a.D.label.E.weight b.D.label.E.weight)
+    then ok := false
+  done;
+  !ok
+
+let fused_graph_identical =
+  QCheck.Test.make ~count:150
+    ~name:"fused graph = legacy graph edge for edge (both models)"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      List.for_all (fun model -> check_fused_identical model inst) Comm_model.all)
+
+let fused_names_match_legacy =
+  QCheck.Test.make ~count:80 ~name:"lazy transition names render the legacy strings"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance seed in
+      let net = Core.Tpn_build.build_exn Comm_model.Overlap inst in
+      let fg = Core.Tpn_graph.build_exn Comm_model.Overlap inst in
+      let nt = Rwt_petri.Tpn.num_transitions net.Core.Tpn_build.tpn in
+      let ok = ref true in
+      for id = 0 to nt - 1 do
+        let legacy = (Rwt_petri.Tpn.transition net.Core.Tpn_build.tpn id).Rwt_petri.Tpn.tr_name in
+        if String.compare legacy (Core.Tpn_graph.tr_name fg id) <> 0 then ok := false
+      done;
+      !ok)
+
+(* the route flag: legacy and fused [Exact.period_exn] agree on the shipped
+   examples — the smoke version of `make tpn-bench` (same protocol, small
+   instances) that runs inside `dune runtest` *)
+let tpn_bench_smoke () =
+  let insts = [ Instances.example_a (); Instances.example_b () ] in
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun model ->
+          Alcotest.(check bool)
+            "fused and legacy graphs identical" true
+            (check_fused_identical model inst);
+          let fused = (Core.Exact.period_exn model inst).Core.Exact.period in
+          let saved = !Core.Exact.fused_enabled in
+          Core.Exact.fused_enabled := false;
+          let legacy =
+            Fun.protect
+              ~finally:(fun () -> Core.Exact.fused_enabled := saved)
+              (fun () -> (Core.Exact.period_exn model inst).Core.Exact.period)
+          in
+          Alcotest.check rat "fused route period = legacy route period" legacy fused)
+        Comm_model.all)
+    insts
+
 (* --- full-scale Example C integration (m = 10 395) --- *)
 
 let example_c_overlap_full () =
@@ -438,6 +506,9 @@ let () =
           Alcotest.test_case "example C across workers" `Quick poly_parallel_example_c;
           Alcotest.test_case "memo hits" `Quick poly_memo_hits;
           Alcotest.test_case "fallback keeps deadline" `Quick fallback_keeps_deadline ] );
+      ( "fused build",
+        [ qtest fused_graph_identical; qtest fused_names_match_legacy;
+          Alcotest.test_case "tpn bench smoke" `Quick tpn_bench_smoke ] );
       ( "reporting", [ Alcotest.test_case "json report" `Quick report_json ] );
       ( "invariances",
         [ qtest scaling_invariance; qtest slower_link_cannot_speed_up;
