@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json batch-bench mcr-bench tpn-bench chaos profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -25,7 +25,23 @@ bench-json:
 	dune exec bench/main.exe -- table1 example-a tpn-stats example-b sub-tpn example-c > /dev/null
 	dune exec bin/rwt.exe -- json-check BENCH_obs.json
 
-# batch engine: 200-job synthetic sweep, sequential vs 4 domains -> BENCH_batch.json
+# perf-regression gate: validate every BENCH_*.json in the tree, then (when
+# OLD= and NEW= name two snapshots) compare them with `rwt obs diff` — exits
+# nonzero when any metric regresses past the threshold (default 10%, override
+# with THRESHOLD=pct); see doc/OBSERVABILITY.md
+bench-diff:
+	@found=0; for f in BENCH_*.json; do \
+	  [ -e "$$f" ] || continue; found=1; \
+	  dune exec bin/rwt.exe -- json-check "$$f" || exit 1; \
+	done; \
+	if [ $$found -eq 0 ]; then echo "bench-diff: no BENCH_*.json snapshots (run make bench-json first)"; fi
+	@if [ -n "$(OLD)" ] && [ -n "$(NEW)" ]; then \
+	  dune exec bin/rwt.exe -- obs diff "$(OLD)" "$(NEW)" --threshold $(or $(THRESHOLD),10); \
+	else \
+	  echo "bench-diff: set OLD=old.json NEW=new.json to compare two snapshots"; \
+	fi
+
+# batch engine: 200-job synthetic sweep, sequential vs parallel -> BENCH_batch.json
 # (speedup near 1 is expected when the machine has a single core; see doc/BATCH.md)
 batch-bench:
 	dune exec bench/main.exe -- batch

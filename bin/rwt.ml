@@ -61,18 +61,19 @@ let or_die = function Ok v -> v | Error e -> die_err e
 
 (* --- observability: --metrics / --trace on every command --- *)
 
-let write_output path contents =
+let write_raw path contents =
   match path with
-  | "-" -> print_string contents; print_newline ()
+  | "-" -> print_string contents
   | path ->
     (try
        let oc = open_out path in
        output_string oc contents;
-       output_char oc '\n';
        close_out oc
      with Sys_error msg ->
        prerr_endline ("rwt: cannot write " ^ path ^ ": " ^ msg);
        exit 1)
+
+let write_output path contents = write_raw path (contents ^ "\n")
 
 let obs_term =
   let metrics_arg =
@@ -106,7 +107,13 @@ let obs_term =
                  graphs; this is an escape hatch for debugging and for \
                  benchmarking the fusion itself (see doc/PERFORMANCE.md).")
   in
-  let setup metrics trace fault no_screen legacy_tpn =
+  let events_arg =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Record structured solver events (convergence telemetry: Howard \
+                 rounds, screen verdicts, per-SCC outcomes) in the bounded ring \
+                 and dump them as NDJSON to $(docv) on exit (\"-\" for stdout).")
+  in
+  let setup metrics trace events fault no_screen legacy_tpn =
     if no_screen then Rwt_petri.Mcr.screen_enabled := false;
     if legacy_tpn then Rwt_core.Exact.fused_enabled := false;
     (match fault with
@@ -117,20 +124,23 @@ let obs_term =
         | Error e ->
           prerr_endline ("rwt: " ^ Rwt_err.to_line e);
           exit 2));
-    if metrics <> None || trace <> None then begin
-      Rwt_obs.enable ~trace:(trace <> None) ();
+    if metrics <> None || trace <> None || events <> None then begin
+      Rwt_obs.enable ~trace:(trace <> None) ~events:(events <> None) ();
       at_exit (fun () ->
           (match metrics with
            | Some path ->
              write_output path (Json.to_string ~pretty:true (Rwt_obs.metrics_json ()))
            | None -> ());
-          match trace with
-          | Some path -> write_output path (Json.to_string (Rwt_obs.trace_json ()))
+          (match trace with
+           | Some path -> write_output path (Json.to_string (Rwt_obs.trace_json ()))
+           | None -> ());
+          match events with
+          | Some path -> write_raw path (Rwt_obs.events_ndjson ())
           | None -> ())
     end
   in
-  Term.(const setup $ metrics_arg $ trace_arg $ fault_arg $ no_screen_arg
-        $ legacy_tpn_arg)
+  Term.(const setup $ metrics_arg $ trace_arg $ events_arg $ fault_arg
+        $ no_screen_arg $ legacy_tpn_arg)
 
 (* --- period --- *)
 
@@ -500,7 +510,7 @@ let calibrate_cmd =
 (* --- profile --- *)
 
 let profile_cmd =
-  let run () pos_file file example model datasets =
+  let run () pos_file file example model datasets sort top =
     let file =
       match (pos_file, file) with
       | Some p, None -> Some p
@@ -509,8 +519,9 @@ let profile_cmd =
         prerr_endline "rwt: give the instance either as a positional FILE or via --file";
         exit 1
     in
-    (* profiling implies metrics collection even without --metrics *)
-    Rwt_obs.enable ();
+    (* profiling implies metrics and convergence-event collection even
+       without --metrics/--events *)
+    Rwt_obs.enable ~events:true ();
     let inst = Rwt_obs.with_span "load" (fun () -> or_die (load_instance file example)) in
     let m = Mapping.num_paths inst.Instance.mapping in
     Format.printf "profiling %s (model %s, m = %d)@." inst.Instance.name
@@ -532,7 +543,20 @@ let profile_cmd =
     Format.printf "simulated:       %d data sets (last completion %a)@." datasets
       Rat.pp_approx
       (Rwt_sim.Schedule.ordered_completion sched (datasets - 1));
-    Format.printf "@.%a@." Rwt_obs.pp_span_table ()
+    Format.printf "@.%a@." (Rwt_obs.pp_span_table ~sort ?top) ();
+    let es = Rwt_obs.event_stats () in
+    if es.Rwt_obs.recorded > 0 then begin
+      let head = List.filteri (fun i _ -> i < 6) es.Rwt_obs.by_name in
+      let dropped =
+        if es.Rwt_obs.dropped > 0 then
+          Printf.sprintf ", %d dropped" es.Rwt_obs.dropped
+        else ""
+      in
+      Format.printf "%d events recorded (ring %d/%d%s): %s@." es.Rwt_obs.recorded
+        es.Rwt_obs.kept es.Rwt_obs.capacity dropped
+        (String.concat ", "
+           (List.map (fun (n, c) -> Printf.sprintf "%s %d" n c) head))
+    end
   in
   let pos_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
@@ -542,29 +566,74 @@ let profile_cmd =
     Arg.(value & opt (some int) None & info [ "datasets" ] ~docv:"N"
            ~doc:"Simulation horizon for the sim phase (default max(4m, 64)).")
   in
+  let sort_arg =
+    let sort_conv =
+      Arg.enum
+        [ ("total", Rwt_obs.By_total); ("mean", Rwt_obs.By_mean);
+          ("p90", Rwt_obs.By_p90); ("calls", Rwt_obs.By_calls) ]
+    in
+    Arg.(value & opt sort_conv Rwt_obs.By_total & info [ "sort" ] ~docv:"COL"
+           ~doc:"Span-table sort column: total (default), mean, p90 or calls.")
+  in
+  let top_arg =
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"N"
+           ~doc:"Show only the $(docv) most expensive spans.")
+  in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Run the full analysis pipeline on an instance and print a per-phase              cost table (spans, calls, total/mean/p90/max seconds). Combine with              --metrics/--trace to export the raw numbers.")
-    Term.(const run $ obs_term $ pos_arg $ file_arg $ example_arg $ model_arg $ datasets_arg)
+       ~doc:"Run the full analysis pipeline on an instance and print a per-phase              cost table (spans, calls, total/mean/p90/max seconds). Combine with              --metrics/--trace/--events to export the raw numbers.")
+    Term.(const run $ obs_term $ pos_arg $ file_arg $ example_arg $ model_arg $ datasets_arg
+          $ sort_arg $ top_arg)
 
 (* --- batch --- *)
 
+(* the --example job family: every (model × method) combination that the
+   analyzer accepts — strict×poly is excluded because there is no
+   polynomial algorithm for the strict model. Five distinct canonical
+   keys, so --jobs N>1 genuinely fans out even from a single instance. *)
+let example_job_family inst =
+  List.mapi
+    (fun index (model, method_, id) ->
+      Rwt_batch.job ~id ~model ~method_ ~index (Rwt_batch.Inline inst))
+    [ (Comm_model.Overlap, Rwt_core.Analysis.Auto, "overlap-auto");
+      (Comm_model.Overlap, Rwt_core.Analysis.Tpn, "overlap-tpn");
+      (Comm_model.Overlap, Rwt_core.Analysis.Poly, "overlap-poly");
+      (Comm_model.Strict, Rwt_core.Analysis.Auto, "strict-auto");
+      (Comm_model.Strict, Rwt_core.Analysis.Tpn, "strict-tpn") ]
+
 let batch_cmd =
-  let run () jobfile jobs timeout cap out no_timing journal resume retries backoff_ms =
+  let run () jobfile example jobs timeout cap out no_timing journal resume retries
+      backoff_ms =
     if resume && journal = None then
       die_err (cli_err "batch --resume requires --journal FILE");
-    let contents =
-      match jobfile with
-      | "-" -> In_channel.input_all In_channel.stdin
-      | p ->
-        (try In_channel.with_open_text p In_channel.input_all
-         with Sys_error msg ->
-           prerr_endline ("rwt: " ^ msg);
-           exit 1)
+    let job_result =
+      match (jobfile, example) with
+      | Some _, Some _ ->
+        die_err (cli_err "use either JOBFILE or --example, not both")
+      | None, None ->
+        die_err
+          (cli_err
+             "jobs are required: give a JOBFILE (\"-\" for stdin) or --example NAME")
+      | None, Some name ->
+        Ok (example_job_family (or_die (load_instance None (Some name))))
+      | Some jobfile, None ->
+        let contents =
+          match jobfile with
+          | "-" -> In_channel.input_all In_channel.stdin
+          | p ->
+            (try In_channel.with_open_text p In_channel.input_all
+             with Sys_error msg ->
+               prerr_endline ("rwt: " ^ msg);
+               exit 1)
+        in
+        (match Rwt_batch.parse_jobs contents with
+         | Error e ->
+           Error { e with Rwt_err.context = ("jobfile", jobfile) :: e.Rwt_err.context }
+         | Ok [] -> Error (cli_err (jobfile ^ ": no jobs"))
+         | Ok job_list -> Ok job_list)
     in
-    match Rwt_batch.parse_jobs contents with
-    | Error e -> die_err { e with Rwt_err.context = ("jobfile", jobfile) :: e.Rwt_err.context }
-    | Ok [] -> die_err (cli_err (jobfile ^ ": no jobs"))
+    match job_result with
+    | Error e -> die_err e
     | Ok job_list ->
       let oc, close =
         match out with
@@ -591,13 +660,17 @@ let batch_cmd =
       if summary.Rwt_batch.ok = 0 && summary.Rwt_batch.total > 0 then exit 3
   in
   let jobfile_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBFILE"
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"JOBFILE"
            ~doc:"Job file (\"-\" for stdin): one instance path or NDJSON job object \
-                 per line; see doc/BATCH.md.")
+                 per line; see doc/BATCH.md. Alternative to --example.")
   in
   let jobs_arg =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Worker domains (default: the recommended domain count of the machine).")
+           ~doc:"Worker domains. An explicit count is honored as given (capped at \
+                 the number of unique jobs), even on a single-core host — combine \
+                 with --trace to see one lane per worker. Default: the recommended \
+                 domain count of the machine, with a sequential fallback for tiny \
+                 batches and single-core hosts.")
   in
   let timeout_arg =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
@@ -645,9 +718,9 @@ let batch_cmd =
        ~doc:"Evaluate a stream of (instance, model, method) jobs on a work-stealing \
              pool of domains, one NDJSON result line per job, in job order. \
              Duplicate jobs are served from a canonical-instance memo cache.")
-    Term.(const run $ obs_term $ jobfile_arg $ jobs_arg $ timeout_arg $ cap_arg
-          $ out_arg $ no_timing_arg $ journal_arg $ resume_arg $ retries_arg
-          $ backoff_arg)
+    Term.(const run $ obs_term $ jobfile_arg $ example_arg $ jobs_arg $ timeout_arg
+          $ cap_arg $ out_arg $ no_timing_arg $ journal_arg $ resume_arg
+          $ retries_arg $ backoff_arg)
 
 (* --- json-check --- *)
 
@@ -677,6 +750,135 @@ let json_check_cmd =
        ~doc:"Parse a JSON file with the library's strict RFC 8259 parser; print              \"ok\" and exit 0 iff it is valid. Used by the test suite to              validate --metrics/--trace/--json output.")
     Term.(const run $ path_arg)
 
+(* --- obs: observability tooling (diff, prometheus) --- *)
+
+let read_json_file path =
+  let contents =
+    match path with
+    | "-" -> In_channel.input_all In_channel.stdin
+    | p ->
+      (try In_channel.with_open_bin p In_channel.input_all
+       with Sys_error msg ->
+         prerr_endline ("rwt: " ^ msg);
+         exit 1)
+  in
+  match Json.of_string contents with
+  | Ok j -> j
+  | Error msg ->
+    prerr_endline ("rwt: " ^ path ^ ": invalid JSON: " ^ msg);
+    exit 1
+
+let obs_diff_cmd =
+  let run old_path new_path threshold_pct min_delta good match_pats quiet =
+    let old_json = read_json_file old_path and new_json = read_json_file new_path in
+    let higher_better k = List.exists (fun p -> Rwt_obs.glob_match p k) good in
+    let keep k =
+      match match_pats with
+      | [] -> true
+      | ps -> List.exists (fun p -> Rwt_obs.glob_match p k) ps
+    in
+    let threshold = threshold_pct /. 100.0 in
+    let r =
+      Rwt_obs.diff_metrics ~threshold ~min_delta ~higher_better ~old_json ~new_json ()
+    in
+    let entries = List.filter (fun e -> keep e.Rwt_obs.key) r.Rwt_obs.entries in
+    let only_old = List.filter keep r.Rwt_obs.only_old in
+    let only_new = List.filter keep r.Rwt_obs.only_new in
+    let count st = List.length (List.filter (fun e -> e.Rwt_obs.status = st) entries) in
+    let regressions = count Rwt_obs.Regression in
+    let improvements = count Rwt_obs.Improvement in
+    let pct rel =
+      if rel = infinity then "+inf%"
+      else if rel = neg_infinity then "-inf%"
+      else Printf.sprintf "%+.1f%%" (100.0 *. rel)
+    in
+    Printf.printf
+      "rwt obs diff: %d keys compared, %d regression%s, %d improvement%s (threshold %g%%)\n"
+      (List.length entries) regressions
+      (if regressions = 1 then "" else "s")
+      improvements
+      (if improvements = 1 then "" else "s")
+      threshold_pct;
+    if not quiet then
+      List.iter
+        (fun e ->
+          match e.Rwt_obs.status with
+          | Rwt_obs.Unchanged -> ()
+          | Rwt_obs.Regression ->
+            Printf.printf "  REGRESSION  %-40s %g -> %g  (%s)\n" e.Rwt_obs.key
+              e.Rwt_obs.v_old e.Rwt_obs.v_new (pct e.Rwt_obs.rel)
+          | Rwt_obs.Improvement ->
+            Printf.printf "  improved    %-40s %g -> %g  (%s)\n" e.Rwt_obs.key
+              e.Rwt_obs.v_old e.Rwt_obs.v_new (pct e.Rwt_obs.rel))
+        entries;
+    if only_old <> [] || only_new <> [] then
+      Printf.printf "  (%d keys only in OLD, %d only in NEW)\n" (List.length only_old)
+        (List.length only_new);
+    if regressions > 0 then exit 4
+  in
+  let old_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD"
+           ~doc:"Baseline metrics/BENCH JSON file (\"-\" for stdin).")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW"
+           ~doc:"Candidate metrics/BENCH JSON file.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Relative change (percent) beyond which a key counts as a \
+                 regression or improvement (default 10).")
+  in
+  let min_delta_arg =
+    Arg.(value & opt float 0.0 & info [ "min-delta" ] ~docv:"ABS"
+           ~doc:"Ignore changes whose absolute delta is below $(docv) — keeps \
+                 noise on near-zero timings out of the report (default 0).")
+  in
+  let good_arg =
+    Arg.(value & opt_all string [ "*speedup*"; "*throughput*" ]
+         & info [ "good" ] ~docv:"GLOB"
+             ~doc:"Keys matching $(docv) ('*' wildcards) are \"higher is \
+                   better\": a drop is the regression. Repeatable; defaults to \
+                   *speedup* and *throughput*.")
+  in
+  let match_arg =
+    Arg.(value & opt_all string [] & info [ "match" ] ~docv:"GLOB"
+           ~doc:"Compare only keys matching $(docv) ('*' wildcards). \
+                 Repeatable; default: every numeric key.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Summary line only, no per-key detail.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare every numeric leaf of two metrics/BENCH JSON dumps against a              relative threshold; exit 4 when any key regressed. The enforcement              behind make bench-diff.")
+    Term.(const run $ old_arg $ new_arg $ threshold_arg $ min_delta_arg $ good_arg
+          $ match_arg $ quiet_arg)
+
+let obs_prom_cmd =
+  let run path =
+    match Rwt_obs.prometheus_of_json (read_json_file path) with
+    | Ok text -> print_string text
+    | Error msg ->
+      prerr_endline ("rwt: " ^ path ^ ": " ^ msg);
+      exit 1
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"rwt.metrics/1 JSON dump (or a BENCH envelope wrapping one); \
+                 \"-\" for stdin.")
+  in
+  Cmd.v
+    (Cmd.info "prom"
+       ~doc:"Render a --metrics JSON dump in Prometheus text exposition format              (the future /metrics body for rwt serve).")
+    Term.(const run $ path_arg)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Observability tooling: compare two metric dumps against regression            thresholds, or convert a dump to Prometheus text format.")
+    [ obs_diff_cmd; obs_prom_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "rwt" ~version:"1.0.0"
@@ -685,7 +887,7 @@ let main =
     [ period_cmd; mct_cmd; paths_cmd; tpn_cmd; critical_cmd; gantt_cmd; simulate_cmd;
       show_cmd; certificate_cmd; sensitivity_cmd; latency_cmd; optimize_cmd;
       stochastic_cmd; table2_cmd; calibrate_cmd; profile_cmd; batch_cmd;
-      json_check_cmd ]
+      obs_cmd; json_check_cmd ]
 
 let () =
   (* arm fault injection from the environment before any command runs;

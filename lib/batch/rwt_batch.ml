@@ -411,11 +411,6 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
     ?(retries = 0) ?(backoff_ms = 100.0) (job_list : job list) =
   Obs.with_span "batch.run" @@ fun () ->
   let t_start = now () in
-  let requested_workers =
-    match jobs with
-    | None -> max 1 (default_jobs ())
-    | Some j -> min 128 (max 1 j)
-  in
   let job_arr = Array.of_list job_list in
   let n = Array.length job_arr in
   let results : outcome option array = Array.make n None in
@@ -474,23 +469,36 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
            unique := i :: !unique))
     job_arr;
   let unique = Array.of_list (List.rev !unique) in
-  (* collapse to a sequential run when domains cannot pay for themselves:
-     a single-core host (spawned domains only add scheduling overhead —
-     once measured as a 0.27× "speedup" in BENCH_batch.json) or too few
-     unique jobs to amortize domain startup. An explicit [~jobs] request
-     is capped the same way; results are identical at any worker count. *)
+  (* worker policy: an explicit [~jobs] request is honored as given
+     (capped at the unique-job count — extra domains would only idle —
+     and at 128). Without one, collapse to a sequential run when domains
+     cannot pay for themselves: a single-core host (spawned domains only
+     add scheduling overhead — once measured as a 0.27× "speedup" in
+     BENCH_batch.json) or too few unique jobs to amortize domain startup.
+     Results are identical at any worker count. *)
   let workers =
-    if Domain.recommended_domain_count () <= 1
-       || Array.length unique < min_parallel_jobs
-    then 1
-    else requested_workers
+    let n_unique = max 1 (Array.length unique) in
+    match jobs with
+    | Some j -> min (min 128 (max 1 j)) n_unique
+    | None ->
+      if Domain.recommended_domain_count () <= 1
+         || Array.length unique < min_parallel_jobs
+      then 1
+      else min (max 1 (default_jobs ())) n_unique
   in
   let resumed = Atomic.make 0 in
   let retried = Atomic.make 0 in
+  (* jobs-in-flight gauge, counter-sampled on every transition so traces
+     show the fan-out envelope over time; one flag read when disabled *)
+  let obs_on = Obs.enabled () in
+  let inflight = Atomic.make 0 in
   (* phase 2 (parallel): evaluate the unique jobs — journaled results are
      replayed without re-evaluating, transient failures retry under
      bounded exponential backoff, fresh results are journaled durably *)
   Rwt_pool.run ~workers ~n:(Array.length unique) (fun t ->
+      if obs_on then
+        Obs.sample "batch.inflight"
+          (float_of_int (1 + Atomic.fetch_and_add inflight 1));
       let i = unique.(t) in
       let j = job_arr.(i) in
       let inst = Option.get loaded.(i) in
@@ -534,7 +542,10 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
           o
       in
       Obs.observe "batch.job_wall_s" o.wall_s;
-      results.(i) <- Some o);
+      results.(i) <- Some o;
+      if obs_on then
+        Obs.sample "batch.inflight"
+          (float_of_int (Atomic.fetch_and_add inflight (-1) - 1)));
   (match journal with Some jr -> Unix.close jr.fd | None -> ());
   (* phase 3: replay memoized outcomes onto the duplicate jobs *)
   Array.iteri

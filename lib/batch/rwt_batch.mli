@@ -128,14 +128,17 @@ val run :
   outcome array * summary
 (** Evaluate every job; the result array is indexed like the input list.
 
-    [jobs] is the worker-domain count (default {!default_jobs}, clamped to
-    [[1, 128]]). [jobs = 1] runs on the calling domain. The engine falls
-    back to one worker — even against an explicit [jobs] — when
+    [jobs] is the worker-domain count, clamped to [[1, 128]] and to the
+    number of unique jobs left after deduplication (extra domains would
+    only idle). An explicit [jobs] is honored as given — [jobs = 1] runs
+    on the calling domain, [jobs = 4] spawns domains even on a single-core
+    host (how traces prove the parallel layers). Without it the engine
+    picks {!default_jobs} but falls back to one worker when
     [Domain.recommended_domain_count () <= 1] (spawning domains on a
     single-core host only adds scheduling overhead) or when fewer than a
-    handful of unique jobs remain after deduplication (domain startup
-    would dominate); the summary's [workers] field reports the effective
-    count. Results are identical at any worker count. [timeout] is a
+    handful of unique jobs remain (domain startup would dominate); the
+    summary's [workers] field reports the effective count. Results are
+    identical at any worker count. [timeout] is a
     per-job budget in seconds, checked cooperatively at job checkpoints
     (after load, before each solve, and inside the solver iteration
     loops): a job over budget reports [Timed_out] — [timeout <= 0]

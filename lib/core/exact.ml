@@ -28,6 +28,16 @@ let period_exn ?transition_cap ?deadline model inst =
   match Mcr.solve_exact ?deadline g with
   | None -> invalid_arg "Exact.period: net has no circuit"
   | Some w ->
+    if Rwt_obs.events_enabled () then
+      Rwt_obs.event "exact.period"
+        ~fields:
+          [ ("instance", Json.String inst.Instance.name);
+            ("model", Json.String (Comm_model.to_string model));
+            ("path", Json.String (if !fused_enabled then "fused" else "legacy"));
+            ("m", Json.Int m);
+            ("transitions", Json.Int (D.num_nodes g));
+            ("period", Json.Float (Rat.to_float (Rat.div_int w.Mcr.Exact.ratio m)));
+            ("cycle_len", Json.Int (List.length w.Mcr.Exact.cycle)) ];
     let critical =
       List.map
         (fun eid ->

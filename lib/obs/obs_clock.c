@@ -1,0 +1,21 @@
+/* Monotonic clock for Rwt_obs span timestamps.
+ *
+ * The sealed build has no OCaml binding for clock_gettime, so this stub
+ * exposes CLOCK_MONOTONIC as float seconds. Returns a negative value when
+ * the clock is unavailable; the OCaml side probes once at startup and
+ * falls back to Unix.gettimeofday.
+ */
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value rwt_obs_monotonic_s(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+#endif
+  return caml_copy_double(-1.0);
+}

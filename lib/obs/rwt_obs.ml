@@ -5,18 +5,32 @@ module Json = Rwt_util.Json
    The registry is shared by every domain (Rwt_batch workers solve
    concurrently): counter and gauge cells are [Atomic.t]s so hot-path
    increments are lock-free once the cell exists, and a single mutex
-   guards table insertion, histogram mutation and the trace-event log.
-   Span stacks are domain-local ([Domain.DLS]) so nesting in one worker
-   never interleaves with another's. The disabled fast path is unchanged:
-   one flag read, no lock, no allocation. *)
+   guards table insertion, histogram mutation, the trace-event log and
+   the structured-event ring. Span stacks are domain-local ([Domain.DLS])
+   so nesting in one worker never interleaves with another's. The
+   disabled fast path is unchanged: one flag read, no lock, no
+   allocation. *)
 
 let on = Atomic.make false
 let tracing = Atomic.make false
-let clock = ref Sys.time
+let events_on = Atomic.make false
+
+(* Monotonic clock (C stub over CLOCK_MONOTONIC); probed once at module
+   init, wall clock as fallback. Wall-clock steps under [gettimeofday]
+   skew span durations, so the stub is strongly preferred. *)
+external monotonic_clock : unit -> float = "rwt_obs_monotonic_s"
+
+let default_clock =
+  if monotonic_clock () >= 0.0 then monotonic_clock else Unix.gettimeofday
+
+let clock = ref default_clock
 let t0 = ref 0.0
 let mu = Mutex.create ()
 
 let locked f = Mutex.protect mu f
+
+(* the domain that loaded this module: its trace lane is labelled "main" *)
+let main_tid = (Domain.self () :> int)
 
 (* log2-scale histogram over (0, inf): bucket k covers
    (lo·2^(k-1), lo·2^k], bucket 0 covers (0, lo]. 96 buckets span
@@ -38,39 +52,77 @@ let hists : (string, hist) Hashtbl.t = Hashtbl.create 64
 
 type trace_event = {
   ev_name : string;
+  ev_ph : string; (* "X" complete span | "C" counter sample *)
+  ev_tid : int; (* recording domain's id: one Chrome lane per domain *)
   ev_ts : float; (* seconds since t0 *)
-  ev_dur : float; (* seconds *)
-  ev_args : (string * string) list;
+  ev_dur : float; (* seconds; 0 for counter samples *)
+  ev_args : (string * Json.t) list;
 }
 
-let events : trace_event list ref = ref [] (* newest first; guarded by mu *)
+let trace_log : trace_event list ref = ref [] (* newest first; guarded by mu *)
 
-let stack_key : (string * float * (string * string) list) list ref Domain.DLS.key =
+(* --- structured event ring ---
+
+   A bounded ring of NDJSON-able records (solver convergence telemetry:
+   Howard rounds, screen verdicts, per-SCC outcomes). Oldest entries are
+   overwritten when full, so a runaway solve cannot exhaust memory; the
+   drop count is reported alongside the export. Guarded by [mu]. *)
+
+type event = {
+  e_ts : float; (* seconds since t0 *)
+  e_dom : int; (* recording domain's id *)
+  e_name : string;
+  e_fields : (string * Json.t) list;
+}
+
+let default_event_capacity = 8192
+let event_cap = ref default_event_capacity
+let ring : event array ref = ref [||] (* allocated on first event *)
+let ring_pos = ref 0 (* next write slot *)
+let ring_total = ref 0 (* events ever pushed (kept + dropped) *)
+
+let ring_reset () =
+  ring := [||];
+  ring_pos := 0;
+  ring_total := 0
+
+let set_event_capacity n =
+  locked (fun () ->
+      event_cap := max 1 n;
+      ring_reset ())
+
+let stack_key : (string * float * (string * Json.t) list) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 (* --- lifecycle --- *)
 
 let enabled () = Atomic.get on
+let tracing_enabled () = Atomic.get tracing
+let events_enabled () = Atomic.get events_on
 
-let enable ?(trace = false) () =
+let enable ?(trace = false) ?(events = false) () =
   Atomic.set on true;
-  if trace then begin
-    Atomic.set tracing true;
-    t0 := !clock ()
-  end
+  if trace || events then t0 := !clock ();
+  if trace then Atomic.set tracing true;
+  if events then Atomic.set events_on true
 
-let disable () = Atomic.set on false
+let disable () =
+  Atomic.set on false;
+  Atomic.set tracing false;
+  Atomic.set events_on false
 
 let reset () =
   locked (fun () ->
       Hashtbl.reset counters;
       Hashtbl.reset gauges;
       Hashtbl.reset hists;
-      events := []);
+      trace_log := [];
+      ring_reset ());
   Domain.DLS.get stack_key := [];
   t0 := !clock ()
 
 let set_clock f = clock := f
+let now () = !clock ()
 
 (* --- recording --- *)
 
@@ -139,6 +191,32 @@ let observe name v =
         let k = bucket_of v in
         b.(k) <- b.(k) + 1)
 
+let push_trace ev = locked (fun () -> trace_log := ev :: !trace_log)
+
+let sample name v =
+  if Atomic.get on then begin
+    Atomic.set (cell gauges name v) v;
+    if Atomic.get tracing then
+      push_trace
+        { ev_name = name; ev_ph = "C"; ev_tid = (Domain.self () :> int);
+          ev_ts = !clock () -. !t0; ev_dur = 0.0;
+          ev_args = [ (name, Json.Float v) ] }
+  end
+
+let event ?(fields = []) name =
+  if Atomic.get events_on then begin
+    let e =
+      { e_ts = !clock () -. !t0; e_dom = (Domain.self () :> int);
+        e_name = name; e_fields = fields }
+    in
+    locked (fun () ->
+        if Array.length !ring = 0 then ring := Array.make !event_cap e;
+        let cap = Array.length !ring in
+        !ring.(!ring_pos) <- e;
+        ring_pos := (!ring_pos + 1) mod cap;
+        ring_total := !ring_total + 1)
+  end
+
 (* --- spans --- *)
 
 (* Span-site hook: Rwt_fault registers itself here so every span name
@@ -170,10 +248,9 @@ let span_end () =
       let dur = if now > start then now -. start else 0.0 in
       observe ("span." ^ name) dur;
       if Atomic.get tracing then
-        locked (fun () ->
-            events :=
-              { ev_name = name; ev_ts = start -. !t0; ev_dur = dur; ev_args = args }
-              :: !events)
+        push_trace
+          { ev_name = name; ev_ph = "X"; ev_tid = (Domain.self () :> int);
+            ev_ts = start -. !t0; ev_dur = dur; ev_args = args }
   end
 
 let with_span ?args name f =
@@ -257,15 +334,65 @@ let metric_names () =
       Hashtbl.iter (fun k _ -> acc := k :: !acc) hists;
       List.sort_uniq String.compare !acc)
 
+(* --- structured events: reading back / export --- *)
+
+(* retained window in arrival order; requires [mu] *)
+let kept_events_locked () =
+  let r = !ring in
+  let cap = Array.length r in
+  if cap = 0 then []
+  else if !ring_total <= cap then Array.to_list (Array.sub r 0 !ring_total)
+  else List.init cap (fun i -> r.((!ring_pos + i) mod cap))
+
+let json_float f = if Float.is_nan f then Json.Null else Json.Float f
+
+let event_json e =
+  Json.Obj
+    (("ts", json_float e.e_ts)
+     :: ("dom", Json.Int e.e_dom)
+     :: ("ev", Json.String e.e_name)
+     :: e.e_fields)
+
+let events_json () = List.map event_json (locked kept_events_locked)
+
+let events_ndjson () =
+  let lines = List.map (fun j -> Json.to_string j ^ "\n") (events_json ()) in
+  String.concat "" lines
+
+type event_stats = {
+  recorded : int;
+  kept : int;
+  dropped : int;
+  capacity : int;
+  by_name : (string * int) list;
+}
+
+let event_stats () =
+  let kept, total, cap =
+    locked (fun () -> (kept_events_locked (), !ring_total, !event_cap))
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace tbl e.e_name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.e_name)))
+    kept;
+  let by_name =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (na, ca) (nb, cb) ->
+           match compare cb ca with 0 -> String.compare na nb | c -> c)
+  in
+  let kept_n = List.length kept in
+  { recorded = total; kept = kept_n; dropped = total - kept_n;
+    capacity = cap; by_name }
+
+let event_count () = (event_stats ()).recorded
+
 (* --- export --- *)
 
 let sorted_fields tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-(* gauges and histogram stats hold plain floats; emit integral values
-   without a fractional part so the output stays compact *)
-let json_float f = if Float.is_nan f then Json.Null else Json.Float f
 
 let metrics_json () =
   let hist_json h =
@@ -291,31 +418,271 @@ let metrics_json () =
 
 let trace_json () =
   let us s = s *. 1e6 in
-  let event e =
+  let entry e =
     let base =
       [ ("name", Json.String e.ev_name);
         ("cat", Json.String "rwt");
-        ("ph", Json.String "X");
-        ("ts", json_float (us e.ev_ts));
-        ("dur", json_float (us e.ev_dur));
-        ("pid", Json.Int 1);
-        ("tid", Json.Int 1) ]
+        ("ph", Json.String e.ev_ph);
+        ("ts", json_float (us e.ev_ts)) ]
     in
+    let dur = if e.ev_ph = "X" then [ ("dur", json_float (us e.ev_dur)) ] else [] in
+    let ids = [ ("pid", Json.Int 1); ("tid", Json.Int e.ev_tid) ] in
     let args =
-      match e.ev_args with
-      | [] -> []
-      | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)) ]
+      match e.ev_args with [] -> [] | kvs -> [ ("args", Json.Obj kvs) ]
     in
-    Json.Obj (base @ args)
+    Json.Obj (base @ dur @ ids @ args)
   in
   (* events accumulate in completion order; emit by start time *)
   let by_start =
     List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts)
-      (List.rev (locked (fun () -> !events)))
+      (List.rev (locked (fun () -> !trace_log)))
+  in
+  (* one metadata record per distinct domain so viewers label the lanes *)
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.ev_tid) by_start)
+  in
+  let lane tid =
+    let label =
+      if tid = main_tid then "main" else Printf.sprintf "domain %d" tid
+    in
+    Json.Obj
+      [ ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String label) ]) ]
   in
   Json.Obj
     [ ("displayTimeUnit", Json.String "ms");
-      ("traceEvents", Json.List (List.map event by_start)) ]
+      ("traceEvents", Json.List (List.map lane tids @ List.map entry by_start)) ]
+
+(* --- Prometheus text exposition --- *)
+
+(* metric-name mangling: prefix with rwt_, squash every byte outside
+   [A-Za-z0-9_] to '_' (dots become underscores; collisions between
+   "a.b" and "a_b" are accepted) *)
+let prom_name name =
+  let b = Bytes.of_string ("rwt_" ^ name) in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+    | _ -> Bytes.set b i '_'
+  done;
+  Bytes.to_string b
+
+let prom_value v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* the slice of a histogram summary the exporter needs *)
+type prom_hist = {
+  ph_count : int;
+  ph_sum : float;
+  ph_p50 : float;
+  ph_p90 : float;
+  ph_p99 : float;
+}
+
+let prom_hist_of_summary (s : histogram_summary) =
+  { ph_count = s.count; ph_sum = s.sum; ph_p50 = s.p50; ph_p90 = s.p90;
+    ph_p99 = s.p99 }
+
+let prometheus_render ~counters ~gauges ~hists =
+  let buf = Buffer.create 1024 in
+  let header name kind src =
+    Printf.bprintf buf "# HELP %s rwt %s %s\n# TYPE %s %s\n" name kind src
+      name kind
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name ^ "_total" in
+      header n "counter" name;
+      Printf.bprintf buf "%s %d\n" n v)
+    counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      header n "gauge" name;
+      Printf.bprintf buf "%s %s\n" n (prom_value v))
+    gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      header n "summary" name;
+      Printf.bprintf buf "%s{quantile=\"0.5\"} %s\n" n (prom_value h.ph_p50);
+      Printf.bprintf buf "%s{quantile=\"0.9\"} %s\n" n (prom_value h.ph_p90);
+      Printf.bprintf buf "%s{quantile=\"0.99\"} %s\n" n (prom_value h.ph_p99);
+      Printf.bprintf buf "%s_sum %s\n" n (prom_value h.ph_sum);
+      Printf.bprintf buf "%s_count %d\n" n h.ph_count)
+    hists;
+  Buffer.contents buf
+
+let prometheus () =
+  let cs, gs, hs =
+    locked (fun () ->
+        ( sorted_fields counters Atomic.get,
+          sorted_fields gauges Atomic.get,
+          sorted_fields hists (fun h -> prom_hist_of_summary (summary_of_hist h)) ))
+  in
+  prometheus_render ~counters:cs ~gauges:gs ~hists:hs
+
+let prometheus_of_json j =
+  (* accepts an rwt.metrics/1 dump directly, or any object wrapping one
+     under a "metrics" key (e.g. the rwt.bench-obs/1 envelope) *)
+  let rec find_metrics = function
+    | Json.Obj kvs -> (
+      match List.assoc_opt "schema" kvs with
+      | Some (Json.String "rwt.metrics/1") -> Some kvs
+      | _ -> (
+        match List.assoc_opt "metrics" kvs with
+        | Some m -> find_metrics m
+        | None -> None))
+    | _ -> None
+  in
+  let num = function
+    | Json.Int i -> Some (float_of_int i)
+    | Json.Float f -> Some f
+    | Json.Number s -> float_of_string_opt s
+    | Json.Null -> Some nan
+    | _ -> None
+  in
+  let obj_fields = function Some (Json.Obj kvs) -> kvs | _ -> [] in
+  match find_metrics j with
+  | None -> Error "not an rwt.metrics/1 document (no matching \"schema\")"
+  | Some kvs ->
+    let cs =
+      List.filter_map
+        (fun (k, v) ->
+          match v with Json.Int i -> Some (k, i) | _ -> None)
+        (obj_fields (List.assoc_opt "counters" kvs))
+    in
+    let gs =
+      List.filter_map
+        (fun (k, v) -> Option.map (fun f -> (k, f)) (num v))
+        (obj_fields (List.assoc_opt "gauges" kvs))
+    in
+    let hs =
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Obj fs ->
+            let f name = Option.bind (List.assoc_opt name fs) num in
+            let i name =
+              match List.assoc_opt name fs with
+              | Some (Json.Int n) -> Some n
+              | _ -> None
+            in
+            (match (i "count", f "sum", f "p50", f "p90", f "p99") with
+             | Some c, Some s, Some p50, Some p90, Some p99 ->
+               Some
+                 (k, { ph_count = c; ph_sum = s; ph_p50 = p50; ph_p90 = p90;
+                       ph_p99 = p99 })
+             | _ -> None)
+          | _ -> None)
+        (obj_fields (List.assoc_opt "histograms" kvs))
+    in
+    Ok (prometheus_render ~counters:cs ~gauges:gs ~hists:hs)
+
+(* --- metric diffing (rwt obs diff / make bench-diff) --- *)
+
+let flatten_numeric j =
+  let acc = ref [] in
+  let join path k = if path = "" then k else path ^ "." ^ k in
+  let rec go path = function
+    | Json.Int i -> acc := (path, float_of_int i) :: !acc
+    | Json.Float f -> acc := (path, f) :: !acc
+    | Json.Number s -> (
+      match float_of_string_opt s with
+      | Some f -> acc := (path, f) :: !acc
+      | None -> ())
+    | Json.Obj kvs -> List.iter (fun (k, v) -> go (join path k) v) kvs
+    | Json.List vs ->
+      List.iteri (fun i v -> go (join path (string_of_int i)) v) vs
+    | Json.Null | Json.Bool _ | Json.String _ -> ()
+  in
+  go "" j;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+(* '*'-only glob: '*' matches any (possibly empty) substring *)
+let glob_match pat s =
+  let np = String.length pat and ns = String.length s in
+  let rec go pi si =
+    if pi = np then si = ns
+    else
+      match pat.[pi] with
+      | '*' ->
+        let rec try_from k = k <= ns && (go (pi + 1) k || try_from (k + 1)) in
+        try_from si
+      | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+type diff_status = Regression | Improvement | Unchanged
+
+type diff_entry = {
+  key : string;
+  v_old : float;
+  v_new : float;
+  rel : float; (* signed relative change, (new-old)/|old| *)
+  status : diff_status;
+}
+
+type diff_report = {
+  entries : diff_entry list;
+  only_old : string list;
+  only_new : string list;
+  regressions : int;
+  improvements : int;
+}
+
+let diff_metrics ?(threshold = 0.10) ?(min_delta = 0.0)
+    ?(higher_better = fun _ -> false) ~old_json ~new_json () =
+  let olds = flatten_numeric old_json and news = flatten_numeric new_json in
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace old_tbl k v) olds;
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace new_tbl k v) news;
+  let only_old =
+    List.filter_map
+      (fun (k, _) -> if Hashtbl.mem new_tbl k then None else Some k)
+      olds
+  in
+  let only_new =
+    List.filter_map
+      (fun (k, _) -> if Hashtbl.mem old_tbl k then None else Some k)
+      news
+  in
+  let entries =
+    List.filter_map
+      (fun (k, v_old) ->
+        match Hashtbl.find_opt new_tbl k with
+        | None -> None
+        | Some v_new ->
+          let delta = v_new -. v_old in
+          let rel =
+            if v_old <> 0.0 then delta /. Float.abs v_old
+            else if delta = 0.0 then 0.0
+            else if delta > 0.0 then infinity
+            else neg_infinity
+          in
+          let status =
+            if Float.is_nan delta || Float.abs delta < min_delta then Unchanged
+            else begin
+              let worse = if higher_better k then -.rel else rel in
+              if worse > threshold then Regression
+              else if worse < -.threshold then Improvement
+              else Unchanged
+            end
+          in
+          Some { key = k; v_old; v_new; rel; status })
+      olds
+  in
+  let count s = List.length (List.filter (fun e -> e.status = s) entries) in
+  { entries; only_old; only_new;
+    regressions = count Regression; improvements = count Improvement }
 
 (* --- profiling report --- *)
 
@@ -328,9 +695,11 @@ type span_row = {
   max_s : float;
 }
 
+type span_sort = By_total | By_mean | By_p90 | By_calls
+
 let span_prefix = "span."
 
-let span_table () =
+let span_rows () =
   let rows = ref [] in
   locked (fun () ->
       Hashtbl.iter
@@ -348,13 +717,31 @@ let span_table () =
               :: !rows
           end)
         hists);
-  List.sort
-    (fun a b ->
-      match compare b.total_s a.total_s with 0 -> compare a.span b.span | c -> c)
-    !rows
+  !rows
 
-let pp_span_table fmt () =
-  let rows = span_table () in
+let sort_rows sort rows =
+  let key a b =
+    match sort with
+    | By_total -> compare b.total_s a.total_s
+    | By_mean -> compare b.mean_s a.mean_s
+    | By_p90 -> compare b.p90_s a.p90_s
+    | By_calls -> compare b.calls a.calls
+  in
+  List.sort
+    (fun a b -> match key a b with 0 -> compare a.span b.span | c -> c)
+    rows
+
+let truncate_rows top rows =
+  match top with
+  | Some n when n >= 0 && List.length rows > n -> List.filteri (fun i _ -> i < n) rows
+  | _ -> rows
+
+let span_table ?(sort = By_total) ?top () =
+  truncate_rows top (sort_rows sort (span_rows ()))
+
+let pp_span_table ?(sort = By_total) ?top fmt () =
+  let all = sort_rows sort (span_rows ()) in
+  let rows = truncate_rows top all in
   Format.fprintf fmt "@[<v>%-28s %8s %12s %12s %12s %12s@,"
     "phase" "calls" "total(s)" "mean(s)" "p90(s)" "max(s)";
   List.iter
@@ -362,6 +749,9 @@ let pp_span_table fmt () =
       Format.fprintf fmt "%-28s %8d %12.6f %12.6f %12.6f %12.6f@," r.span r.calls
         r.total_s r.mean_s r.p90_s r.max_s)
     rows;
+  if List.length rows < List.length all then
+    Format.fprintf fmt "(showing top %d of %d spans)@," (List.length rows)
+      (List.length all);
   let nc, ng, nh =
     locked (fun () -> (Hashtbl.length counters, Hashtbl.length gauges, Hashtbl.length hists))
   in

@@ -1,48 +1,66 @@
-(** Observability substrate: metrics, span tracing and solver profiling.
+(** Observability substrate: metrics, domain-aware span tracing, solver
+    convergence telemetry and profiling/regression tooling.
 
     A single process-wide registry of named {e counters} (monotonic ints),
     {e gauges} (last/max floats), and {e histograms} (log-scale buckets with
     percentile summaries), plus a stack of {e spans} — named timed sections
     whose durations feed [span.<name>] histograms and, optionally, a Chrome
-    [trace-event] log loadable in [chrome://tracing] or Perfetto.
+    [trace-event] log loadable in [chrome://tracing] or Perfetto — and a
+    bounded ring of {e structured events} (solver convergence telemetry,
+    exported as NDJSON).
 
     Everything is disabled by default. Every recording entry point starts
     with a single [if enabled] branch and returns immediately without
     allocating when disabled, so instrumented library code costs nothing in
     ordinary runs (tier-1 results are bit-identical either way).
 
-    The library is deliberately dependency-free: timing uses [Sys.time]
-    (processor time — the workloads here are CPU-bound, and it keeps the
-    clock monotonic and test-injectable), and export goes through
+    Timing uses [CLOCK_MONOTONIC] (via a local C stub; wall-clock fallback
+    where unavailable), so wall-clock steps never skew span durations; the
+    clock stays test-injectable through {!set_clock}. Export goes through
     {!Rwt_util.Json}.
 
     {b Domain safety.} The registry is shared across domains ([Rwt_batch]
     workers record concurrently): counters and gauges are atomic cells
-    (increments are lock-free once a name exists), histogram updates and
-    trace events are serialized behind one mutex, and the span stack is
-    domain-local, so span nesting in one worker never interleaves with
-    another's. [reset] clears the shared registry but only the {e calling}
-    domain's span stack. [enable]/[disable]/[set_clock] are meant to be
-    called from the orchestrating domain before workers start. *)
+    (increments are lock-free once a name exists), histogram updates, trace
+    events and the event ring are serialized behind one mutex, and the span
+    stack is domain-local, so span nesting in one worker never interleaves
+    with another's. Trace and counter-sample events are tagged with the
+    recording domain's id and exported as one Chrome [tid] lane per domain.
+    [reset] clears the shared registry but only the {e calling} domain's
+    span stack. [enable]/[disable]/[set_clock] are meant to be called from
+    the orchestrating domain before workers start. *)
 
 (** {1 Lifecycle} *)
 
 val enabled : unit -> bool
 
-val enable : ?trace:bool -> unit -> unit
+val enable : ?trace:bool -> ?events:bool -> unit -> unit
 (** Start recording. [trace] additionally collects per-span trace events
-    (timestamps relative to this call) for {!trace_json}. Idempotent;
-    enabling does not clear previously recorded data. *)
+    and counter samples (timestamps relative to this call) for
+    {!trace_json}; [events] turns on the structured-event ring for
+    {!event}. Idempotent; enabling does not clear previously recorded
+    data. *)
+
+val tracing_enabled : unit -> bool
+val events_enabled : unit -> bool
 
 val disable : unit -> unit
-(** Stop recording. Recorded data is kept (export still works). *)
+(** Stop recording (metrics, tracing and events). Recorded data is kept
+    (export still works). *)
 
 val reset : unit -> unit
-(** Drop all metrics, trace events and open spans; keep the enabled flag. *)
+(** Drop all metrics, trace events, structured events and open spans; keep
+    the enabled flags. *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the time source (seconds, monotonic non-decreasing). Default is
-    [Sys.time]. Used by the tests for deterministic span durations. *)
+    [CLOCK_MONOTONIC] (wall clock where unavailable). Used by the tests for
+    deterministic span durations. *)
+
+val now : unit -> float
+(** The current reading of the active clock (the {!set_clock} one if
+    installed). Instrumentation sites use this so injected test clocks
+    govern every derived duration. *)
 
 (** {1 Recording} *)
 
@@ -59,23 +77,42 @@ val gauge : string -> float -> unit
 val gauge_max : string -> float -> unit
 (** Set a gauge to the max of its current value and the given one. *)
 
+val sample : string -> float -> unit
+(** {!gauge}, and additionally — when tracing — append a Chrome
+    counter-sample event ([ph = "C"]) on the calling domain's lane, so the
+    gauge renders as a time series (queue depth, jobs in flight) in trace
+    viewers. *)
+
 val observe : string -> float -> unit
 (** Record a sample into a histogram (log₂-scale buckets over [1e-9, ∞);
     exact count/sum/min/max are kept alongside). *)
 
+val event : ?fields:(string * Rwt_util.Json.t) list -> string -> unit
+(** Append a structured record to the bounded event ring (no-op unless
+    enabled with [~events:true]). Each record carries a timestamp, the
+    recording domain's id, the event name and the given fields; the
+    rendered NDJSON object is [{"ts":…,"dom":…,"ev":name, fields…}], so
+    field keys should avoid [ts]/[dom]/[ev]. When the ring is full the
+    oldest record is overwritten ({!event_stats} reports the drop count). *)
+
+val set_event_capacity : int -> unit
+(** Resize the event ring (default 8192 records), discarding its current
+    contents. Clamped to at least 1. *)
+
 (** {1 Spans} *)
 
-val span_begin : ?args:(string * string) list -> string -> unit
+val span_begin : ?args:(string * Rwt_util.Json.t) list -> string -> unit
 (** Open a span. Spans nest: the innermost open span is the top of the
-    span stack. No-op when disabled. *)
+    span stack. No-op when disabled. [args] travel into the trace event. *)
 
 val span_end : unit -> unit
 (** Close the innermost span: its duration is recorded into the
     [span.<name>] histogram and, when tracing, appended to the trace-event
-    log. A stray [span_end] with no open span increments
-    [obs.span_underflow] instead of raising. *)
+    log on the calling domain's lane. A stray [span_end] with no open span
+    increments [obs.span_underflow] instead of raising. *)
 
-val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+val with_span :
+  ?args:(string * Rwt_util.Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] inside a span, closing it on exceptions
     too. When disabled this is exactly [f ()]. *)
 
@@ -118,6 +155,20 @@ val percentile : string -> float -> float option
 val metric_names : unit -> string list
 (** Sorted names of every counter, gauge and histogram recorded so far. *)
 
+type event_stats = {
+  recorded : int;  (** events ever pushed, kept or not *)
+  kept : int;  (** events currently retained in the ring *)
+  dropped : int;  (** [recorded - kept]: overwritten by newer events *)
+  capacity : int;
+  by_name : (string * int) list;
+      (** per-name counts over the retained window, most frequent first *)
+}
+
+val event_stats : unit -> event_stats
+
+val event_count : unit -> int
+(** Total structured events recorded so far (including overwritten ones). *)
+
 (** {1 Export} *)
 
 val metrics_json : unit -> Rwt_util.Json.t
@@ -127,10 +178,80 @@ val metrics_json : unit -> Rwt_util.Json.t
     with keys sorted for deterministic output. *)
 
 val trace_json : unit -> Rwt_util.Json.t
-(** Chrome trace-event JSON ([{"traceEvents": [...]}], complete events,
-    [ph = "X"], timestamps in microseconds), loadable by
-    [chrome://tracing] and Perfetto. Empty unless enabled with
-    [~trace:true]. *)
+(** Chrome trace-event JSON ([{"traceEvents": [...]}]), loadable by
+    [chrome://tracing] and Perfetto. Spans are complete events
+    ([ph = "X"]), {!sample} calls are counter events ([ph = "C"]), and
+    every event carries the recording domain's id as its [tid], so each
+    domain renders as its own lane; a [thread_name] metadata record labels
+    every lane ("main" for the domain that loaded the library). Timestamps
+    are microseconds. Empty unless enabled with [~trace:true]. *)
+
+val events_json : unit -> Rwt_util.Json.t list
+(** The retained structured events, oldest first, one object per event. *)
+
+val events_ndjson : unit -> string
+(** {!events_json} rendered as newline-delimited JSON (one compact object
+    per line, each line [\n]-terminated). *)
+
+val prometheus : unit -> string
+(** The registry in Prometheus text exposition format: counters as
+    [rwt_<name>_total], gauges as [rwt_<name>], histograms as summaries
+    ([quantile="0.5"|"0.9"|"0.99"], [_sum], [_count]). Metric names are
+    mangled to [[A-Za-z0-9_]] with an [rwt_] prefix; every family carries
+    [# HELP]/[# TYPE] headers naming the original metric. This is the
+    future [/metrics] body for [rwt serve]. *)
+
+val prometheus_of_json : Rwt_util.Json.t -> (string, string) result
+(** Render a parsed [rwt.metrics/1] dump (or any object wrapping one under
+    a ["metrics"] key, e.g. [rwt.bench-obs/1]) in the same format as
+    {!prometheus}. Applying it to [metrics_json ()] yields exactly
+    [prometheus ()]. *)
+
+(** {1 Metric diffing} *)
+
+val flatten_numeric : Rwt_util.Json.t -> (string * float) list
+(** Every numeric leaf of a JSON document as a sorted
+    [dotted.path -> value] list (list elements use their index as the path
+    component, e.g. [rows.0.t_exact_s]). Non-numeric leaves are skipped. *)
+
+val glob_match : string -> string -> bool
+(** [glob_match pat s]: ['*'] matches any (possibly empty) substring; every
+    other character matches itself. *)
+
+type diff_status = Regression | Improvement | Unchanged
+
+type diff_entry = {
+  key : string;
+  v_old : float;
+  v_new : float;
+  rel : float;  (** signed relative change, [(new - old) / |old|] *)
+  status : diff_status;
+}
+
+type diff_report = {
+  entries : diff_entry list;  (** keys present on both sides, sorted *)
+  only_old : string list;
+  only_new : string list;
+  regressions : int;
+  improvements : int;
+}
+
+val diff_metrics :
+  ?threshold:float ->
+  ?min_delta:float ->
+  ?higher_better:(string -> bool) ->
+  old_json:Rwt_util.Json.t ->
+  new_json:Rwt_util.Json.t ->
+  unit ->
+  diff_report
+(** Compare every numeric leaf present in both documents. A change is a
+    {!Regression} when it exceeds [threshold] (relative, default 0.10) in
+    the bad direction — higher for ordinary keys (times, counts), lower
+    for keys the [higher_better] predicate claims (throughputs, speedups);
+    the opposite direction beyond the threshold is an {!Improvement}.
+    Absolute changes below [min_delta] (default 0) are {!Unchanged}
+    regardless, which keeps noise on near-zero timings out of the
+    report. *)
 
 (** {1 Profiling report} *)
 
@@ -143,8 +264,12 @@ type span_row = {
   max_s : float;
 }
 
-val span_table : unit -> span_row list
-(** One row per span histogram, sorted by decreasing total time. *)
+type span_sort = By_total | By_mean | By_p90 | By_calls
 
-val pp_span_table : Format.formatter -> unit -> unit
-(** Aligned per-phase cost table (the output of [rwt profile]). *)
+val span_table : ?sort:span_sort -> ?top:int -> unit -> span_row list
+(** One row per span histogram, sorted by the requested column
+    (default: decreasing total time), truncated to [top] rows if given. *)
+
+val pp_span_table : ?sort:span_sort -> ?top:int -> Format.formatter -> unit -> unit
+(** Aligned per-phase cost table (the output of [rwt profile]); notes the
+    truncation when [top] hides rows. *)

@@ -1,5 +1,6 @@
 module D = Rwt_graph.Digraph
 module Obs = Rwt_obs
+module Json = Rwt_util.Json
 
 (* Cooperative deadline: solvers poll the closure at iteration granularity
    (policy rounds, BF passes, Karp levels) so a batch per-job timeout can
@@ -23,6 +24,17 @@ let scc_parallel_threshold = ref 2048
 module Make (N : Rwt_util.Num_intf.S) = struct
   type edge_data = { weight : N.t; tokens : int }
   type graph = edge_data D.t
+
+  (* which instantiation is talking, for the convergence-event stream;
+     overwritten right after [Exact]/[Approx] are built below (the field
+     stays internal: the mli's [Make] signature hides it) *)
+  let kernel = ref "num"
+
+  (* λ rendered for the event stream: the float field is for plotting, the
+     exact literal (kernel-dependent) for auditing certified bounds *)
+  let lambda_fields lam =
+    [ ("lambda", Json.Float (N.to_float lam));
+      ("lambda_exact", Json.String (Format.asprintf "%a" N.pp lam)) ]
 
   exception Not_live of int list
 
@@ -391,6 +403,14 @@ module Make (N : Rwt_util.Num_intf.S) = struct
       if !iters = 1 || N.compare lam !lambda > 0 then stall := 0 else incr stall;
       lambda := lam;
       best := bc;
+      if Obs.events_enabled () then
+        Obs.event "howard.round"
+          ~fields:
+            (("kernel", Json.String !kernel)
+             :: ("n", Json.Int ctx.n)
+             :: ("iter", Json.Int !iters)
+             :: ("stall", Json.Int !stall)
+             :: lambda_fields lam);
       let reduced i = N.sub ctx.ew.(i) (N.mul lam (N.of_int ctx.et.(i))) in
       Array.fill known 0 ctx.n false;
       (* potentials on every policy cycle: pin the entry at 0 and relax
@@ -451,6 +471,15 @@ module Make (N : Rwt_util.Num_intf.S) = struct
     if !settled then (!lambda, !best)
     else begin
       Obs.incr "mcr.howard_fallbacks";
+      if Obs.events_enabled () then
+        Obs.event
+          (if !stall >= stall_cap then "howard.stall_exit" else "howard.cap_exit")
+          ~fields:
+            (("kernel", Json.String !kernel)
+             :: ("n", Json.Int ctx.n)
+             :: ("iter", Json.Int !iters)
+             :: ("stall", Json.Int !stall)
+             :: lambda_fields !lambda);
       parametric_scc ?deadline ctx
     end
 
@@ -490,6 +519,15 @@ module Make (N : Rwt_util.Num_intf.S) = struct
       let has_cycle = ctx.n >= 2 || ctx.eptr.(ctx.n) > 0 in
       if has_cycle then begin
         let ratio, cyc = scc_solver ctx in
+        if Obs.events_enabled () then
+          Obs.event "mcr.scc_solved"
+            ~fields:
+              (("kernel", Json.String !kernel)
+               :: ("comp", Json.Int comp_id)
+               :: ("n", Json.Int ctx.n)
+               :: ("edges", Json.Int ctx.eptr.(ctx.n))
+               :: ("cycle_len", Json.Int (List.length cyc))
+               :: lambda_fields ratio);
         results.(comp_id) <- Some { ratio; cycle = List.map (fun i -> ctx.eid.(i)) cyc }
       end
     in
@@ -635,6 +673,10 @@ end
 module Exact = Make (Rwt_util.Rat)
 module Approx = Make (Rwt_util.Num_intf.Float_num)
 
+let () =
+  Exact.kernel := "exact";
+  Approx.kernel := "float"
+
 let graph_of_tpn tpn =
   let g = D.create (Tpn.num_transitions tpn) in
   Tpn.iter_places
@@ -749,15 +791,36 @@ let solve_screened ?deadline g =
             then Some (lambda, cyc)
             else None)
       in
+      let scc_fields =
+        [ ("comp", Json.Int comp_id);
+          ("n", Json.Int ctx.Exact.n);
+          ("edges", Json.Int ctx.Exact.eptr.(ctx.Exact.n)) ]
+      in
       let ratio, cyc =
         match screened with
-        | Some rc ->
+        | Some ((lambda, _) as rc) ->
           Obs.incr "mcr.screen_hits";
+          if Obs.events_enabled () then
+            Obs.event "screen.certified"
+              ~fields:
+                (scc_fields
+                 @ [ ("lambda", Json.Float (Rwt_util.Rat.to_float lambda)) ]);
           rc
         | None ->
           Obs.incr "mcr.screen_misses";
+          if Obs.events_enabled () then
+            Obs.event "screen.fallback" ~fields:scc_fields;
           Exact.howard_scc ?deadline ctx
       in
+      if Obs.events_enabled () then
+        Obs.event "mcr.scc_solved"
+          ~fields:
+            (("kernel", Json.String "exact")
+             :: scc_fields
+             @ [ ("cycle_len", Json.Int (List.length cyc));
+                 ("lambda", Json.Float (Rwt_util.Rat.to_float ratio));
+                 ("lambda_exact",
+                  Json.String (Format.asprintf "%a" Rwt_util.Rat.pp ratio)) ]);
       results.(comp_id) <-
         Some { Exact.ratio; cycle = List.map (fun i -> ctx.Exact.eid.(i)) cyc }
     end

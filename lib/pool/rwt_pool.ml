@@ -1,4 +1,5 @@
 module Obs = Rwt_obs
+module Json = Rwt_util.Json
 
 let recommended () = Domain.recommended_domain_count ()
 
@@ -51,6 +52,13 @@ let run ?workers ~n task =
           let tasks = Array.of_list !mine in
           { mu = Mutex.create (); tasks; head = 0; tail = Array.length tasks })
     in
+    (* per-worker observability: one [pool.worker] span per worker (so the
+       trace shows one lane per domain even when a single worker drains
+       everything), busy/idle split, steal-latency histogram and a
+       queue-depth counter sample after every pop. All of it sits behind a
+       single flag read taken before the domains spawn. *)
+    let obs_on = Obs.enabled () in
+    let depth d = Mutex.protect d.mu (fun () -> d.tail - d.head) in
     let worker w () =
       Domain.DLS.set in_worker true;
       let rec next_task k =
@@ -62,21 +70,46 @@ let run ?workers ~n task =
           match take deques.(v) with
           | Some t ->
             if k > 0 then Obs.incr "pool.steals";
-            Some t
+            Some (t, k > 0)
           | None -> next_task (k + 1)
         end
       in
+      let busy = ref 0.0 in
+      let run_task t =
+        try task t
+        with e -> ignore (Atomic.compare_and_set failure None (Some e))
+      in
       let rec loop () =
         if Atomic.get failure = None then
-          match next_task 0 with
-          | Some t ->
-            (try task t
-             with e -> ignore (Atomic.compare_and_set failure None (Some e)));
-            loop ()
-          | None -> ()
+          if not obs_on then
+            match next_task 0 with
+            | Some (t, _) -> run_task t; loop ()
+            | None -> ()
+          else begin
+            let t_seek = Obs.now () in
+            match next_task 0 with
+            | Some (t, stolen) ->
+              if stolen then Obs.observe "pool.steal_latency_s" (Obs.now () -. t_seek);
+              Obs.sample "pool.queue_depth" (float_of_int (depth deques.(w)));
+              let t_run = Obs.now () in
+              Obs.with_span ~args:[ ("task", Json.Int t) ] "pool.task" (fun () ->
+                  run_task t);
+              busy := !busy +. (Obs.now () -. t_run);
+              loop ()
+            | None -> ()
+          end
       in
-      loop ();
-      Domain.DLS.set in_worker false
+      let body () =
+        if not obs_on then loop ()
+        else begin
+          let t_start = Obs.now () in
+          Obs.with_span ~args:[ ("worker", Json.Int w) ] "pool.worker" loop;
+          Obs.observe "pool.worker_busy_s" !busy;
+          Obs.observe "pool.worker_idle_s"
+            (Float.max 0.0 (Obs.now () -. t_start -. !busy))
+        end
+      in
+      Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) body
     in
     let domains = Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
     (* the calling domain is worker 0, so [run] never idles a core *)

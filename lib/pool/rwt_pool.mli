@@ -17,7 +17,13 @@
       domain after every worker has drained (remaining tasks are abandoned,
       not silently dropped: the exception is the result).
 
-    Steal counts are recorded in the [pool.steals] {!Rwt_obs} counter. *)
+    When {!Rwt_obs} is enabled each worker also records its lane: a
+    [pool.worker] span wrapping the drain loop (one Chrome-trace lane per
+    domain), a [pool.task] span per task, [pool.worker_busy_s] /
+    [pool.worker_idle_s] histograms, a [pool.steal_latency_s] histogram
+    (time spent hunting before a successful steal), a [pool.queue_depth]
+    counter-sampled gauge, and the [pool.steals] counter. Disabled cost is
+    one flag read taken before the domains spawn. *)
 
 val recommended : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism. *)

@@ -19,7 +19,7 @@ with a duplicate (memo-cache hit) and a missing file (error line). With
   {"job":2,"file":"a.rwt","instance":"example-A","model":"overlap","method":"auto","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907,"metrics":{"m":6,"stages":4,"resources":7},"cache":"hit"}
   {"job":3,"file":"missing.rwt","model":"overlap","method":"auto","status":"error","error":"parse: missing.rwt: No such file or directory","error_class":"parse","error_code":"parse.io","cache":"miss"}
   {"job":4,"file":"b.rwt","instance":"example-B","model":"overlap","method":"tpn","status":"ok","period":"875/3","period_float":291.66666666666669,"throughput_float":0.0034285714285714284,"metrics":{"m":12,"stages":2,"resources":7},"cache":"miss"}
-  rwt batch: 5 jobs: 4 ok, 1 error, 0 timeouts; 1 cache hit (workers 1)
+  rwt batch: 5 jobs: 4 ok, 1 error, 0 timeouts; 1 cache hit (workers 2)
 
 Determinism: the same stream on one worker and on eight workers renders
 identical bytes — cache hits land on the same jobs either way.
@@ -54,4 +54,35 @@ A malformed job file names the offending line and exits nonzero.
 
   $ printf '{"file":"a.rwt","frobnicate":1}\n' | rwt batch -
   rwt: parse: unknown key "frobnicate" [jobfile=-, line=1]
+  [1]
+
+Domain-aware tracing: --example builds the 5-job model×method family for
+a shipped instance, an explicit --jobs is honored even on one core, and
+the Chrome trace shows one tid lane per worker domain with queue-depth /
+in-flight counter samples riding along.
+
+  $ rwt batch -e a --jobs 4 --no-timing --trace t.json -o lanes.ndjson
+  rwt batch: 5 jobs: 5 ok, 0 errors, 0 timeouts; 0 cache hits (workers 4)
+  $ rwt json-check t.json
+  ok
+  $ grep -o '"tid":[0-9]*' t.json | sort -u | wc -l | awk '{print ($1 >= 2) ? "multiple lanes" : "single lane"}'
+  multiple lanes
+  $ grep -o '"ph":"C"' t.json | wc -l | awk '{print ($1 > 0) ? "counter samples present" : "none"}'
+  counter samples present
+  $ grep -o '"name":"pool.worker"' t.json | sort | uniq -c | sed 's/^ *//'
+  4 "name":"pool.worker"
+  $ grep -oE '"id":"[a-z-]*"' lanes.ndjson
+  "id":"overlap-auto"
+  "id":"overlap-tpn"
+  "id":"overlap-poly"
+  "id":"strict-auto"
+  "id":"strict-tpn"
+
+JOBFILE and --example are mutually exclusive, and one of them is required.
+
+  $ rwt batch jobs.ndjson -e a
+  rwt: validate: use either JOBFILE or --example, not both
+  [1]
+  $ rwt batch
+  rwt: validate: jobs are required: give a JOBFILE ("-" for stdin) or --example NAME
   [1]

@@ -1,0 +1,55 @@
+Perf-regression comparator: `rwt obs diff OLD NEW` flattens every numeric
+leaf of two bench snapshots to dotted paths and compares them pairwise.
+Identical inputs exit 0.
+
+  $ cat > old.json <<'EOF'
+  > {"schema":"rwt.bench-batch/1","t_seq_s":1.0,"speedup":4.0,
+  >  "rows":[{"t_exact_s":0.5},{"t_exact_s":0.25}]}
+  > EOF
+  $ rwt obs diff old.json old.json
+  rwt obs diff: 4 keys compared, 0 regressions, 0 improvements (threshold 10%)
+
+A >threshold move in the bad direction — up for times, down for keys
+matching the --good globs (default *speedup* and *throughput*) — is a
+regression and the exit code turns nonzero, so `make bench-diff` can gate
+CI on it.
+
+  $ cat > new.json <<'EOF'
+  > {"schema":"rwt.bench-batch/1","t_seq_s":1.3,"speedup":3.0,
+  >  "rows":[{"t_exact_s":0.5},{"t_exact_s":0.25}]}
+  > EOF
+  $ rwt obs diff old.json new.json
+  rwt obs diff: 4 keys compared, 2 regressions, 0 improvements (threshold 10%)
+    REGRESSION  speedup                                  4 -> 3  (-25.0%)
+    REGRESSION  t_seq_s                                  1 -> 1.3  (+30.0%)
+  [4]
+
+The threshold is configurable; a loose one lets the same delta pass.
+
+  $ rwt obs diff old.json new.json --threshold 50
+  rwt obs diff: 4 keys compared, 0 regressions, 0 improvements (threshold 50%)
+
+The same deltas in the other direction are improvements, reported but
+not fatal.
+
+  $ rwt obs diff new.json old.json
+  rwt obs diff: 4 keys compared, 0 regressions, 2 improvements (threshold 10%)
+    improved    speedup                                  3 -> 4  (+33.3%)
+    improved    t_seq_s                                  1.3 -> 1  (-23.1%)
+
+--match restricts the comparison to the selected paths, --quiet drops
+the per-key lines (the exit code still gates), and keys present on only
+one side are noted, never fatal.
+
+  $ rwt obs diff old.json new.json --match 'rows.*'
+  rwt obs diff: 2 keys compared, 0 regressions, 0 improvements (threshold 10%)
+  $ rwt obs diff old.json new.json --quiet
+  rwt obs diff: 4 keys compared, 2 regressions, 0 improvements (threshold 10%)
+  [4]
+  $ cat > grown.json <<'EOF'
+  > {"schema":"rwt.bench-batch/1","t_seq_s":1.0,"speedup":4.0,"born":1.0,
+  >  "rows":[{"t_exact_s":0.5},{"t_exact_s":0.25}]}
+  > EOF
+  $ rwt obs diff old.json grown.json
+  rwt obs diff: 4 keys compared, 0 regressions, 0 improvements (threshold 10%)
+    (0 keys only in OLD, 1 only in NEW)

@@ -32,3 +32,38 @@ it still parses.
 
   $ rwt period -e a -m overlap --metrics - | sed -n '/^{/,$p' | rwt json-check -
   ok
+
+Solver convergence telemetry: profile records structured events (Howard
+rounds, screen outcomes, per-SCC solutions) and summarizes the ring; the
+--events export is one valid JSON object per line carrying ts/dom/ev.
+
+  $ rwt profile -e a --events events.ndjson | grep -oE '^[0-9]+ events recorded \(ring [0-9]+/[0-9]+\)'
+  50 events recorded (ring 50/8192)
+  $ wc -l < events.ndjson
+  50
+  $ grep -oE '"ev":"(howard.round|screen.certified|mcr.scc_solved|exact.period)"' events.ndjson | sort | uniq -c | sed 's/^ *//'
+  1 "ev":"exact.period"
+  23 "ev":"howard.round"
+  13 "ev":"mcr.scc_solved"
+  13 "ev":"screen.certified"
+  $ head -1 events.ndjson | rwt json-check -
+  ok
+  $ head -1 events.ndjson | grep -cE '^\{"ts":[0-9.eE+-]+,"dom":[0-9]+,"ev":'
+  1
+
+The profile table re-sorts and truncates on request, noting hidden rows.
+
+  $ rwt profile -e a --sort calls --top 3 | grep -E '^(phase|\(showing)'
+  phase                           calls     total(s)      mean(s)       p90(s)       max(s)
+  (showing top 3 of 6 spans)
+
+The Prometheus renderer exposes the same dump in text exposition format.
+
+  $ rwt profile -e a --metrics prom_in.json > /dev/null
+  $ rwt obs prom prom_in.json | grep -E '^(# TYPE rwt_mcr_solves_total|rwt_mcr_solves_total|# TYPE rwt_tpn_rows|rwt_tpn_rows) '
+  # TYPE rwt_mcr_solves_total counter
+  rwt_mcr_solves_total 4
+  # TYPE rwt_tpn_rows gauge
+  rwt_tpn_rows 6
+  $ rwt obs prom prom_in.json | grep -c '"0.9"'
+  6

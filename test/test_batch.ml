@@ -43,16 +43,29 @@ let determinism_across_workers =
       && sum1.Batch.ok = sum8.Batch.ok
       && sum1.Batch.cache_hits = sum8.Batch.cache_hits)
 
-(* the sequential fallback: tiny batches never pay domain spawn, whatever
-   worker count was requested — and on a single-core host no batch does *)
-let sequential_fallback_units () =
-  let jobs = inline_jobs 7 2 in
-  let _, summary = Batch.run ~jobs:8 jobs in
-  Alcotest.(check int) "tiny batch runs on one worker" 1 summary.Batch.workers;
+(* worker policy: an explicit [jobs] is honored (so traces can prove the
+   parallel layers even on a single-core host) but never exceeds the unique
+   job count; the automatic choice still falls back to one worker on tiny
+   batches and single-core hosts *)
+let worker_policy_units () =
+  (* inline_jobs 7 2 has 2 jobs, both unique: explicit 8 is capped at 2 *)
+  let _, small = Batch.run ~jobs:8 (inline_jobs 7 2) in
+  Alcotest.(check int) "explicit jobs capped at unique count" 2
+    small.Batch.workers;
+  let _, one = Batch.run ~jobs:1 (inline_jobs 7 8) in
+  Alcotest.(check int) "explicit jobs=1 runs sequentially" 1 one.Batch.workers;
+  (* 24 jobs -> 18 uniques: explicit 8 is honored as given *)
+  let _, big = Batch.run ~jobs:8 (inline_jobs 7 24) in
+  Alcotest.(check int) "explicit jobs honored on big batches" 8
+    big.Batch.workers;
   if Domain.recommended_domain_count () <= 1 then begin
-    let _, big = Batch.run ~jobs:8 (inline_jobs 7 24) in
-    Alcotest.(check int) "single-core host runs sequentially" 1 big.Batch.workers
-  end
+    let _, auto = Batch.run (inline_jobs 7 24) in
+    Alcotest.(check int) "automatic choice stays sequential on one core" 1
+      auto.Batch.workers
+  end;
+  let _, tiny_auto = Batch.run (inline_jobs 7 2) in
+  Alcotest.(check int) "automatic choice on a tiny batch is sequential" 1
+    tiny_auto.Batch.workers
 
 (* ------------------------------------------------------------------ *)
 (* Dedup / memo cache                                                  *)
@@ -172,7 +185,7 @@ let () =
   Alcotest.run "rwt_batch"
     [ ( "determinism", [ qtest determinism_across_workers ] );
       ( "workers",
-        [ Alcotest.test_case "sequential fallback" `Quick sequential_fallback_units ] );
+        [ Alcotest.test_case "worker policy" `Quick worker_policy_units ] );
       ( "cache", [ Alcotest.test_case "units" `Quick cache_units ] );
       ( "timeout", [ Alcotest.test_case "units" `Quick timeout_units ] );
       ( "parse", [ Alcotest.test_case "units" `Quick parse_units ] );

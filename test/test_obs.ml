@@ -12,11 +12,11 @@ let contains s sub =
   go 0
 
 (* Every test owns the global registry: start enabled from a clean slate. *)
-let fresh ?(trace = false) () =
+let fresh ?(trace = false) ?(events = false) () =
   Rwt_obs.reset ();
   Rwt_obs.disable ();
   Rwt_obs.set_clock Sys.time;
-  Rwt_obs.enable ~trace ();
+  Rwt_obs.enable ~trace ~events ();
   Rwt_obs.reset ()
 
 (* --- counters and gauges --- *)
@@ -100,7 +100,7 @@ let span_nesting () =
   let result =
     Rwt_obs.with_span "outer" (fun () ->
         t := !t +. 1.0;
-        Rwt_obs.with_span ~args:[ ("k", "v") ] "inner" (fun () ->
+        Rwt_obs.with_span ~args:[ ("k", Json.String "v") ] "inner" (fun () ->
             t := !t +. 3.0;
             Alcotest.(check int) "two spans open" 2 (Rwt_obs.span_depth ());
             "answer");
@@ -112,11 +112,25 @@ let span_nesting () =
   let inner = Option.get (Rwt_obs.histogram_summary "span.inner") in
   Alcotest.(check (float 1e-9)) "outer duration includes inner" 4.0 outer.Rwt_obs.sum;
   Alcotest.(check (float 1e-9)) "inner duration" 3.0 inner.Rwt_obs.sum;
-  (* trace events: chronological by start, µs timestamps, args preserved *)
+  (* trace events: chronological by start, µs timestamps, args preserved;
+     metadata ("M") records label the lanes and are filtered out here *)
   match Rwt_obs.trace_json () with
   | Json.Obj fields ->
-    (match List.assoc "traceEvents" fields with
-     | Json.List [ Json.Obj e1; Json.Obj e2 ] ->
+    let events =
+      match List.assoc "traceEvents" fields with
+      | Json.List l -> l
+      | _ -> Alcotest.fail "traceEvents must be a list"
+    in
+    let ph e =
+      match e with
+      | Json.Obj f ->
+        (match List.assoc_opt "ph" f with Some (Json.String s) -> s | _ -> "?")
+      | _ -> "?"
+    in
+    Alcotest.(check int) "one thread_name record for the single lane" 1
+      (List.length (List.filter (fun e -> ph e = "M") events));
+    (match List.filter (fun e -> ph e = "X") events with
+     | [ Json.Obj e1; Json.Obj e2 ] ->
        Alcotest.(check string) "outer first (chronological)" "outer"
          (match List.assoc "name" e1 with Json.String s -> s | _ -> "?");
        Alcotest.(check string) "inner second" "inner"
@@ -125,11 +139,13 @@ let span_nesting () =
          (match List.assoc "ts" e2 with Json.Float f -> f | _ -> nan);
        Alcotest.(check (float 1e-6)) "inner dur = 3s in µs" 3e6
          (match List.assoc "dur" e2 with Json.Float f -> f | _ -> nan);
+       Alcotest.(check bool) "span events carry the domain id as tid" true
+         (List.assoc_opt "tid" e1 = Some (Json.Int (Domain.self () :> int)));
        Alcotest.(check bool) "inner carries args" true
          (match List.assoc_opt "args" e2 with
           | Some (Json.Obj [ ("k", Json.String "v") ]) -> true
           | _ -> false)
-     | _ -> Alcotest.fail "expected exactly two trace events")
+     | _ -> Alcotest.fail "expected exactly two span trace events")
   | _ -> Alcotest.fail "trace_json must be an object"
 
 let span_exception_safety () =
@@ -272,6 +288,290 @@ let metrics_json_roundtrip () =
   | Ok _ -> Alcotest.fail "metrics_json must be an object"
   | Error e -> Alcotest.fail e
 
+(* --- structured event ring --- *)
+
+let event_ring_drop_oldest () =
+  fresh ~events:true ();
+  Rwt_obs.set_event_capacity 4;
+  Fun.protect ~finally:(fun () -> Rwt_obs.set_event_capacity 8192) @@ fun () ->
+  for i = 1 to 6 do
+    Rwt_obs.event "tick" ~fields:[ ("i", Json.Int i) ]
+  done;
+  Alcotest.(check int) "all pushes counted" 6 (Rwt_obs.event_count ());
+  let s = Rwt_obs.event_stats () in
+  Alcotest.(check int) "recorded" 6 s.Rwt_obs.recorded;
+  Alcotest.(check int) "kept = capacity" 4 s.Rwt_obs.kept;
+  Alcotest.(check int) "dropped = overflow" 2 s.Rwt_obs.dropped;
+  Alcotest.(check int) "capacity" 4 s.Rwt_obs.capacity;
+  Alcotest.(check bool) "by_name counts the window" true
+    (s.Rwt_obs.by_name = [ ("tick", 4) ]);
+  (* retained window is the newest 4, oldest first *)
+  let is =
+    List.map
+      (fun e ->
+        match e with
+        | Json.Obj f ->
+          Alcotest.(check bool) "record carries ts/dom/ev" true
+            (List.mem_assoc "ts" f && List.mem_assoc "dom" f
+             && List.assoc_opt "ev" f = Some (Json.String "tick"));
+          (match List.assoc "i" f with Json.Int i -> i | _ -> -1)
+        | _ -> -1)
+      (Rwt_obs.events_json ())
+  in
+  Alcotest.(check (list int)) "oldest two overwritten" [ 3; 4; 5; 6 ] is;
+  (* NDJSON: one \n-terminated parseable object per line *)
+  let nd = Rwt_obs.events_ndjson () in
+  let lines = String.split_on_char '\n' nd in
+  Alcotest.(check bool) "final newline" true
+    (String.length nd > 0 && nd.[String.length nd - 1] = '\n');
+  List.iter
+    (fun l ->
+      if l <> "" then
+        match Json.of_string l with
+        | Ok (Json.Obj _) -> ()
+        | Ok _ -> Alcotest.fail "NDJSON line must be an object"
+        | Error e -> Alcotest.failf "NDJSON line did not parse: %s (%s)" e l)
+    lines;
+  Alcotest.(check int) "4 lines + trailing empty" 5 (List.length lines)
+
+let events_off_by_default () =
+  fresh ();
+  Rwt_obs.event "tick";
+  Alcotest.(check bool) "events gated behind ~events:true" false
+    (Rwt_obs.events_enabled ());
+  Alcotest.(check int) "nothing recorded" 0 (Rwt_obs.event_count ())
+
+(* --- Prometheus exposition --- *)
+
+let prometheus_format () =
+  fresh ();
+  Rwt_obs.add "mcr.iterations" 42;
+  Rwt_obs.gauge "tpn.rows" 6.0;
+  List.iter (Rwt_obs.observe "solve-time.s") [ 1.0; 2.0; 3.0 ];
+  let body = Rwt_obs.prometheus () in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" frag) true
+        (contains body frag))
+    [ "# TYPE rwt_mcr_iterations_total counter";
+      "rwt_mcr_iterations_total 42";
+      "# TYPE rwt_tpn_rows gauge";
+      "rwt_tpn_rows 6";
+      (* '-' and '.' both mangle to '_' *)
+      "# TYPE rwt_solve_time_s summary";
+      "rwt_solve_time_s{quantile=\"0.5\"}";
+      "rwt_solve_time_s{quantile=\"0.9\"}";
+      "rwt_solve_time_s{quantile=\"0.99\"}";
+      "rwt_solve_time_s_sum 6";
+      "rwt_solve_time_s_count 3";
+      "# HELP" ];
+  (* every non-comment line is "name[{labels}] value" *)
+  List.iter
+    (fun l ->
+      if l <> "" && l.[0] <> '#' then
+        match String.index_opt l ' ' with
+        | None -> Alcotest.failf "malformed exposition line: %s" l
+        | Some i ->
+          let v = String.sub l (i + 1) (String.length l - i - 1) in
+          (match float_of_string_opt v with
+           | Some _ -> ()
+           | None ->
+             Alcotest.(check bool) (Printf.sprintf "numeric value in %S" l) true
+               (List.mem v [ "NaN"; "+Inf"; "-Inf" ])))
+    (String.split_on_char '\n' body)
+
+let prometheus_roundtrip () =
+  fresh ();
+  Rwt_obs.incr "c";
+  Rwt_obs.gauge "g" 2.5;
+  Rwt_obs.observe "h" 0.25;
+  (match Rwt_obs.prometheus_of_json (Rwt_obs.metrics_json ()) with
+   | Ok body ->
+     Alcotest.(check string) "from-JSON render = live render"
+       (Rwt_obs.prometheus ()) body
+   | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* a bench-obs wrapper holding the dump under "metrics" also renders *)
+  (match
+     Rwt_obs.prometheus_of_json
+       (Json.Obj [ ("schema", Json.String "rwt.bench-obs/1");
+                   ("metrics", Rwt_obs.metrics_json ()) ])
+   with
+   | Ok body ->
+     Alcotest.(check string) "wrapper unwraps to the same render"
+       (Rwt_obs.prometheus ()) body
+   | Error e -> Alcotest.failf "wrapper render failed: %s" e);
+  match Rwt_obs.prometheus_of_json (Json.List []) with
+  | Ok _ -> Alcotest.fail "non-metrics JSON must be rejected"
+  | Error _ -> ()
+
+(* --- metric diffing --- *)
+
+let glob_matching () =
+  List.iter
+    (fun (pat, s, want) ->
+      Alcotest.(check bool) (Printf.sprintf "%S ~ %S" pat s) want
+        (Rwt_obs.glob_match pat s))
+    [ ("*", "anything", true);
+      ("*speedup*", "rows.0.speedup", true);
+      ("*speedup*", "speedup", true);
+      ("*speedup*", "rows.0.t_exact_s", false);
+      ("a*c", "abc", true);
+      ("a*c", "ac", true);
+      ("a*c", "abd", false);
+      ("literal", "literal", true);
+      ("literal", "literally", false);
+      ("", "", true);
+      ("", "x", false) ]
+
+let flatten_paths () =
+  let doc =
+    Json.Obj
+      [ ("rows",
+         Json.List
+           [ Json.Obj [ ("t_exact_s", Json.Float 0.5); ("name", Json.String "a") ];
+             Json.Obj [ ("t_exact_s", Json.Float 0.25) ] ]);
+        ("total", Json.Int 7);
+        ("skip", Json.Bool true) ]
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "numeric leaves under dotted paths, sorted"
+    [ ("rows.0.t_exact_s", 0.5); ("rows.1.t_exact_s", 0.25); ("total", 7.0) ]
+    (Rwt_obs.flatten_numeric doc)
+
+let diff_classification () =
+  let metrics kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) kvs) in
+  let old_json =
+    metrics [ ("t_solve", 1.0); ("speedup", 4.0); ("tiny", 1e-9); ("gone", 1.0) ]
+  and new_json =
+    metrics [ ("t_solve", 1.3); ("speedup", 3.0); ("tiny", 2e-9); ("born", 1.0) ]
+  in
+  let r =
+    Rwt_obs.diff_metrics ~threshold:0.10 ~min_delta:1e-6
+      ~higher_better:(Rwt_obs.glob_match "*speedup*")
+      ~old_json ~new_json ()
+  in
+  Alcotest.(check int) "two regressions" 2 r.Rwt_obs.regressions;
+  Alcotest.(check int) "no improvements" 0 r.Rwt_obs.improvements;
+  Alcotest.(check (list string)) "key only in OLD" [ "gone" ] r.Rwt_obs.only_old;
+  Alcotest.(check (list string)) "key only in NEW" [ "born" ] r.Rwt_obs.only_new;
+  let status k =
+    (List.find (fun e -> e.Rwt_obs.key = k) r.Rwt_obs.entries).Rwt_obs.status
+  in
+  Alcotest.(check bool) "+30% time is a regression" true
+    (status "t_solve" = Rwt_obs.Regression);
+  Alcotest.(check bool) "-25% speedup is a regression (higher is better)" true
+    (status "speedup" = Rwt_obs.Regression);
+  Alcotest.(check bool) "+100% below min_delta is unchanged" true
+    (status "tiny" = Rwt_obs.Unchanged);
+  (* the same inputs flipped: regressions become improvements *)
+  let r' =
+    Rwt_obs.diff_metrics ~threshold:0.10 ~min_delta:1e-6
+      ~higher_better:(Rwt_obs.glob_match "*speedup*")
+      ~old_json:new_json ~new_json:old_json ()
+  in
+  Alcotest.(check int) "flipped: no regressions" 0 r'.Rwt_obs.regressions;
+  Alcotest.(check int) "flipped: two improvements" 2 r'.Rwt_obs.improvements;
+  (* identical inputs: nothing moves *)
+  let r0 = Rwt_obs.diff_metrics ~old_json ~new_json:old_json () in
+  Alcotest.(check int) "identical: no regressions" 0 r0.Rwt_obs.regressions;
+  Alcotest.(check int) "identical: no improvements" 0 r0.Rwt_obs.improvements;
+  Alcotest.(check bool) "identical: all entries unchanged" true
+    (List.for_all (fun e -> e.Rwt_obs.status = Rwt_obs.Unchanged) r0.Rwt_obs.entries)
+
+(* --- profile table sorting --- *)
+
+let span_table_sorting () =
+  fresh ();
+  let t = fake_clock () in
+  Rwt_obs.reset ();
+  let record name dur calls =
+    for _ = 1 to calls do
+      Rwt_obs.span_begin name;
+      t := !t +. dur;
+      Rwt_obs.span_end ()
+    done
+  in
+  record "slow" 5.0 1;          (* total 5.0, 1 call *)
+  record "frequent" 0.5 8;      (* total 4.0, 8 calls *)
+  record "medium" 1.0 3;        (* total 3.0, 3 calls *)
+  let names rows = List.map (fun r -> r.Rwt_obs.span) rows in
+  Alcotest.(check (list string)) "default sorts by total"
+    [ "slow"; "frequent"; "medium" ]
+    (names (Rwt_obs.span_table ()));
+  Alcotest.(check (list string)) "By_calls"
+    [ "frequent"; "medium"; "slow" ]
+    (names (Rwt_obs.span_table ~sort:Rwt_obs.By_calls ()));
+  Alcotest.(check (list string)) "By_mean"
+    [ "slow"; "medium"; "frequent" ]
+    (names (Rwt_obs.span_table ~sort:Rwt_obs.By_mean ()));
+  Alcotest.(check (list string)) "top truncates after sorting"
+    [ "frequent"; "medium" ]
+    (names (Rwt_obs.span_table ~sort:Rwt_obs.By_calls ~top:2 ()));
+  let table =
+    Format.asprintf "%a" (fun fmt () -> Rwt_obs.pp_span_table ~top:2 fmt ()) ()
+  in
+  Alcotest.(check bool) "pp notes the truncation" true
+    (contains table "top 2 of 3")
+
+(* --- multi-domain stress: shared registry under concurrent recording --- *)
+
+let stress_domains () =
+  fresh ~trace:true ~events:true ();
+  let domains = 4 and iters = 500 in
+  let body () =
+    for i = 1 to iters do
+      Rwt_obs.incr "stress.count";
+      Rwt_obs.observe "stress.hist" (float_of_int i);
+      Rwt_obs.with_span "stress.work" (fun () ->
+          Rwt_obs.sample "stress.depth" (float_of_int (i mod 7)));
+      Rwt_obs.event "stress.tick" ~fields:[ ("i", Json.Int i) ]
+    done
+  in
+  let ds = Array.init domains (fun _ -> Domain.spawn body) in
+  Array.iter Domain.join ds;
+  let n = domains * iters in
+  Alcotest.(check int) "no lost counter increments" n
+    (Rwt_obs.counter_value "stress.count");
+  Alcotest.(check int) "no lost histogram samples" n
+    (Option.get (Rwt_obs.histogram_summary "stress.hist")).Rwt_obs.count;
+  Alcotest.(check int) "every span closed exactly once" n
+    (Option.get (Rwt_obs.histogram_summary "span.stress.work")).Rwt_obs.count;
+  Alcotest.(check int) "no span underflow across domains" 0
+    (Rwt_obs.counter_value "obs.span_underflow");
+  Alcotest.(check int) "no lost events" n (Rwt_obs.event_count ());
+  let s = Rwt_obs.event_stats () in
+  Alcotest.(check int) "ring kept everything (capacity 8192)" n s.Rwt_obs.kept;
+  Alcotest.(check int) "nothing dropped" 0 s.Rwt_obs.dropped;
+  (* exports stay valid JSON under the concurrent write history *)
+  reparse_stable (Rwt_obs.metrics_json ());
+  reparse_stable (Rwt_obs.trace_json ());
+  List.iter
+    (fun l ->
+      if l <> "" then
+        match Json.of_string l with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "stress NDJSON line broken: %s" e)
+    (String.split_on_char '\n' (Rwt_obs.events_ndjson ()));
+  (* each domain got its own trace lane *)
+  match Rwt_obs.trace_json () with
+  | Json.Obj fields ->
+    let tids = Hashtbl.create 8 in
+    (match List.assoc "traceEvents" fields with
+     | Json.List l ->
+       List.iter
+         (fun e ->
+           match e with
+           | Json.Obj f when List.assoc_opt "ph" f = Some (Json.String "X") ->
+             (match List.assoc_opt "tid" f with
+              | Some (Json.Int t) -> Hashtbl.replace tids t ()
+              | _ -> Alcotest.fail "span event without tid")
+           | _ -> ())
+         l
+     | _ -> Alcotest.fail "traceEvents must be a list");
+    Alcotest.(check int) "one lane per recording domain" domains
+      (Hashtbl.length tids)
+  | _ -> Alcotest.fail "trace_json must be an object"
+
 (* random JSON documents round-trip: to_string ∘ of_string ∘ to_string = to_string *)
 let json_gen =
   let open QCheck.Gen in
@@ -332,6 +632,20 @@ let () =
         [ Alcotest.test_case "expand cap" `Quick expand_cap_guard;
           Alcotest.test_case "tpn build cap" `Quick tpn_build_cap_guard;
           Alcotest.test_case "cap validation" `Quick cap_validation ] );
+      ( "events",
+        [ Alcotest.test_case "ring drops oldest" `Quick event_ring_drop_oldest;
+          Alcotest.test_case "off by default" `Quick events_off_by_default ] );
+      ( "prometheus",
+        [ Alcotest.test_case "exposition format" `Quick prometheus_format;
+          Alcotest.test_case "json round-trip" `Quick prometheus_roundtrip ] );
+      ( "diff",
+        [ Alcotest.test_case "glob matching" `Quick glob_matching;
+          Alcotest.test_case "flatten paths" `Quick flatten_paths;
+          Alcotest.test_case "classification" `Quick diff_classification ] );
+      ( "profile",
+        [ Alcotest.test_case "span table sorting" `Quick span_table_sorting ] );
+      ( "stress",
+        [ Alcotest.test_case "4-domain recording" `Quick stress_domains ] );
       ( "json",
         [ Alcotest.test_case "metrics round-trip" `Quick metrics_json_roundtrip;
           qtest json_roundtrip ] ) ]
