@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench chaos profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench incr-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -58,6 +58,13 @@ mcr-bench:
 # doc/PERFORMANCE.md)
 tpn-bench:
 	dune exec bench/main.exe -- tpn
+
+# delta layer: k-neighbour sweep through one Delta session vs k cold solves,
+# strict model, periods asserted Rat-identical -> BENCH_incremental.json
+# (the speedup is skipped rebuilds + clean-component reuse, so it holds on
+# 1 core; see doc/PERFORMANCE.md)
+incr-bench:
+	dune exec bench/main.exe -- incr
 
 # full fault-injection matrix over the shipped examples (the smoke subset
 # already runs inside `make test`); see doc/RESILIENCE.md

@@ -689,6 +689,126 @@ let tpn_build_bench () =
   Printf.eprintf "wrote BENCH_tpnbuild.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Delta layer: k-neighbour sweep, patched vs cold                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One step of a sweep chain: multiply a single parameter — a processor
+   speed, a link bandwidth, a stage's work or a file's data volume — by a
+   rational factor ≠ 1, cycling through the four families. The mapping is
+   untouched, so every chained instance is shape-compatible with its
+   predecessor and the delta session must take the patch path on all k
+   steps. *)
+let perturb_instance r step inst =
+  let pf = inst.Instance.platform in
+  let p = Platform.p pf in
+  let pipeline = inst.Instance.pipeline in
+  let n = Pipeline.n_stages pipeline in
+  let factors =
+    [| Rat.of_ints 5 4; Rat.of_ints 3 4; Rat.of_ints 7 4; Rat.of_ints 9 4;
+       Rat.of_ints 3 2 |]
+  in
+  let f = factors.(step mod Array.length factors) in
+  let speeds = Array.init p (Platform.speed pf) in
+  let bandwidths = Array.init p (fun u -> Array.init p (Platform.bandwidth pf u)) in
+  let work = Array.init n (Pipeline.work pipeline) in
+  let data = Array.init (n - 1) (Pipeline.data pipeline) in
+  (match step mod 4 with
+   | 0 ->
+     let u = Prng.int r p in
+     speeds.(u) <- Rat.mul speeds.(u) f
+   | 1 ->
+     let u = Prng.int r p in
+     let v = (u + 1 + Prng.int r (p - 1)) mod p in
+     bandwidths.(u).(v) <- Rat.mul bandwidths.(u).(v) f
+   | 2 ->
+     let s = Prng.int r n in
+     work.(s) <- Rat.mul work.(s) f
+   | _ ->
+     let fl = Prng.int r (n - 1) in
+     data.(fl) <- Rat.mul data.(fl) f);
+  Instance.create_exn ~name:inst.Instance.name
+    ~pipeline:(Pipeline.create ~work ~data)
+    ~platform:(Platform.create ~speeds ~bandwidths)
+    ~mapping:inst.Instance.mapping
+
+(* A (k+1)-instance chain per workload, solved twice: once cold (the
+   production single-instance path, full rebuild + solve per instance) and
+   once through a single delta session (in-place weight patches +
+   warm-started re-solves). Periods must be Rat-identical pairwise — the
+   whole point of the layer is that the fast path is not an approximation.
+   The coprime row is solver-bound (one giant SCC), the aligned row is
+   builder-bound (m large, every row its own small SCC) — the regime where
+   skipping the rebuild pays most. Writes BENCH_incremental.json. *)
+let incremental_bench () =
+  section "Delta layer — k-neighbour sweep, patched vs cold (BENCH_incremental.json)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let k = 48 in
+  let rows =
+    List.map
+      (fun (label, repl) ->
+        let base = tpn_instance repl in
+        let r = Prng.create 77 in
+        let chain = Array.make (k + 1) base in
+        for i = 1 to k do
+          chain.(i) <- perturb_instance r (i - 1) chain.(i - 1)
+        done;
+        let cold, t_cold =
+          time (fun () ->
+              Array.map
+                (fun inst ->
+                  (Rwt_core.Exact.period_exn Comm_model.Strict inst)
+                    .Rwt_core.Exact.period)
+                chain)
+        in
+        let session = Rwt_core.Delta.create Comm_model.Strict in
+        let delta, t_delta =
+          time (fun () -> Array.map (Rwt_core.Delta.period_exn session) chain)
+        in
+        let identical = Array.for_all2 Rat.equal cold delta in
+        if not identical then
+          failwith "incremental benchmark: delta and cold periods differ";
+        let st = Rwt_core.Delta.stats session in
+        if st.Rwt_core.Delta.patch_hits <> k then
+          failwith "incremental benchmark: a chained instance missed the patch path";
+        let speedup = if t_delta > 0.0 then t_cold /. t_delta else 0.0 in
+        pf
+          "%-8s m=%4d: %d-step chain cold %.3fs, delta %.3fs -> %.2fx (%d patches, %d fallbacks, %d rounds saved)@."
+          label
+          (Mapping.num_paths base.Instance.mapping)
+          k t_cold t_delta speedup st.Rwt_core.Delta.patch_hits
+          st.Rwt_core.Delta.cold_fallbacks st.Rwt_core.Delta.rounds_saved;
+        Json.Obj
+          [ ("workload", Json.String label);
+            ("model", Json.String "strict");
+            ("repl", Json.List (List.map (fun x -> Json.Int x) (Array.to_list repl)));
+            ("m", Json.Int (Mapping.num_paths base.Instance.mapping));
+            ("k", Json.Int k);
+            ("t_cold_s", Json.Float t_cold);
+            ("t_delta_s", Json.Float t_delta);
+            ("speedup", Json.Float speedup);
+            ("patch_hits", Json.Int st.Rwt_core.Delta.patch_hits);
+            ("cold_fallbacks", Json.Int st.Rwt_core.Delta.cold_fallbacks);
+            ("warmstart_rounds_saved", Json.Int st.Rwt_core.Delta.rounds_saved);
+            ("identical", Json.Bool identical) ])
+      [ ("coprime", [| 4; 5; 7 |]); ("aligned", [| 504; 504; 504 |]) ]
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-incremental/1");
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("rows", Json.List rows) ]
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_incremental.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -785,6 +905,7 @@ let all_targets =
     ("batch", batch);
     ("mcr", mcr_bench);
     ("tpn", tpn_build_bench);
+    ("incr", incremental_bench);
     ("bechamel", bechamel) ]
 
 let default_targets =

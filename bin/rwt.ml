@@ -107,15 +107,25 @@ let obs_term =
                  graphs; this is an escape hatch for debugging and for \
                  benchmarking the fusion itself (see doc/PERFORMANCE.md).")
   in
+  let no_delta_arg =
+    Arg.(value & flag & info [ "no-delta" ]
+           ~doc:"Disable the incremental delta layer: sweep-shaped workloads \
+                 (sensitivity, calibration, local search) rebuild and re-solve \
+                 every instance from scratch instead of patching the cached \
+                 graph in place and warm-starting the solver. Escape hatch for \
+                 debugging and for benchmarking the layer itself (see \
+                 doc/PERFORMANCE.md).")
+  in
   let events_arg =
     Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
            ~doc:"Record structured solver events (convergence telemetry: Howard \
                  rounds, screen verdicts, per-SCC outcomes) in the bounded ring \
                  and dump them as NDJSON to $(docv) on exit (\"-\" for stdout).")
   in
-  let setup metrics trace events fault no_screen legacy_tpn =
+  let setup metrics trace events fault no_screen legacy_tpn no_delta =
     if no_screen then Rwt_petri.Mcr.screen_enabled := false;
     if legacy_tpn then Rwt_core.Exact.fused_enabled := false;
+    if no_delta then Rwt_core.Delta.enabled := false;
     (match fault with
      | None -> ()
      | Some spec ->
@@ -140,7 +150,7 @@ let obs_term =
     end
   in
   Term.(const setup $ metrics_arg $ trace_arg $ events_arg $ fault_arg
-        $ no_screen_arg $ legacy_tpn_arg)
+        $ no_screen_arg $ legacy_tpn_arg $ no_delta_arg)
 
 (* --- period --- *)
 

@@ -1,0 +1,69 @@
+open Rwt_util
+open Rwt_workflow
+module Mcr = Rwt_petri.Mcr
+module Obs = Rwt_obs
+
+(* Escape hatch (CLI [--no-delta]): when off, every evaluation through a
+   session rebuilds and resolves cold — the delta layer becomes a plain
+   cache-less wrapper around the fused path. *)
+let enabled = ref true
+
+type loaded = { fg : Tpn_graph.t; session : Mcr.session }
+
+type t = {
+  model : Comm_model.t;
+  transition_cap : int option;
+  mutable loaded : loaded option;
+  mutable patch_hits : int;
+  mutable cold_fallbacks : int;
+  mutable rounds_saved : int;
+}
+
+type stats = { patch_hits : int; cold_fallbacks : int; rounds_saved : int }
+
+let create ?transition_cap model =
+  { model;
+    transition_cap;
+    loaded = None;
+    patch_hits = 0;
+    cold_fallbacks = 0;
+    rounds_saved = 0 }
+
+let stats (t : t) =
+  { patch_hits = t.patch_hits;
+    cold_fallbacks = t.cold_fallbacks;
+    rounds_saved = t.rounds_saved }
+
+let period_exn ?deadline t inst =
+  Obs.with_span "delta.period" @@ fun () ->
+  let witness, m =
+    match t.loaded with
+    | Some { fg; session } when !enabled && Tpn_graph.shape_compatible fg inst ->
+      (* Same skeleton: relabel the arcs in place and re-solve warm. *)
+      Tpn_graph.patch_exn fg inst;
+      let w, saved = Mcr.session_resolve ?deadline session in
+      t.patch_hits <- t.patch_hits + 1;
+      t.rounds_saved <- t.rounds_saved + saved;
+      Obs.incr "delta.patch_hits";
+      Obs.add "delta.warmstart_rounds_saved" saved;
+      (w, fg.Tpn_graph.m)
+    | prev ->
+      (* Topology changed (or first call, or the layer is disabled): cold
+         build + solve, and capture the new session for the next call. *)
+      let fg = Tpn_graph.build_exn ?transition_cap:t.transition_cap t.model inst in
+      let session, w = Mcr.session_init ?deadline fg.Tpn_graph.graph in
+      t.loaded <- Some { fg; session };
+      (* a fallback is a *shape mismatch*; neither the first unavoidable
+         cold solve nor a disabled layer counts as one *)
+      (match prev with
+       | Some _ when !enabled ->
+         t.cold_fallbacks <- t.cold_fallbacks + 1;
+         Obs.incr "delta.cold_fallbacks"
+       | _ -> ());
+      (w, fg.Tpn_graph.m)
+  in
+  match witness with
+  | None -> invalid_arg "Delta.period: net has no circuit"
+  | Some w -> Rat.div_int w.Mcr.Exact.ratio m
+
+let period ?deadline t inst = Rwt_err.catch (fun () -> period_exn ?deadline t inst)

@@ -1,0 +1,54 @@
+(** Incremental period evaluation for sweep-shaped workloads.
+
+    Every sweep in this repo — {!Sensitivity.analyze}, calibration,
+    replication sweeps, {!Optimize.local_search} — evaluates long chains of
+    instances that differ from their predecessor in a single parameter.
+    A delta session exploits that the fused graph's topology (arc endpoints,
+    token counts, arc order) depends only on [(model, n_stages, replication
+    vector)]: when a new instance shares those with the previous one
+    ({!Tpn_graph.shape_compatible}), its firing times are patched onto the
+    cached graph in place ({!Tpn_graph.patch_exn}) and the MCR is re-solved
+    through {!Rwt_petri.Mcr.session_resolve} — reusing the liveness check,
+    the SCC decomposition and the CSR contexts, and warm-starting Howard
+    from the previously settled policy. When the shape differs the session
+    falls back to a cold build + solve and re-arms on the new skeleton.
+
+    The warm path is Rat-identical to a cold solve: Howard's fixed point is
+    self-certifying regardless of its starting policy, and the screened
+    solver certifies its candidate with one exact positive-cycle pass.
+    Asserted by the [incr] bench target and a qcheck property.
+
+    Counters: [delta.patch_hits], [delta.cold_fallbacks],
+    [delta.warmstart_rounds_saved] (plus per-session {!stats}). *)
+
+open Rwt_workflow
+
+type t
+(** A session: one communication model, one cached graph skeleton. *)
+
+val enabled : bool ref
+(** When [false] (CLI [--no-delta]) every call takes the cold path, without
+    counting a fallback. Default [true]. *)
+
+val create : ?transition_cap:int -> Comm_model.t -> t
+(** A fresh session; the first {!period_exn} call performs a cold solve. *)
+
+val period_exn : ?deadline:(unit -> bool) -> t -> Instance.t -> Rwt_util.Rat.t
+(** The instance's exact period — equal to
+    [(Exact.period_exn model inst).period] — via the patch path when the
+    instance is shape-compatible with the cached skeleton, via a cold
+    rebuild otherwise.
+    @raise Invalid_argument if the net has no circuit;
+    [Rwt_util.Rwt_err.Error] on cap/timeout, as {!Exact.period_exn}. *)
+
+val period :
+  ?deadline:(unit -> bool) -> t -> Instance.t ->
+  (Rwt_util.Rat.t, Rwt_util.Rwt_err.t) result
+(** Result shim for {!period_exn}. *)
+
+type stats = { patch_hits : int; cold_fallbacks : int; rounds_saved : int }
+
+val stats : t -> stats
+(** Per-session counts: patched evaluations, shape-mismatch cold fallbacks
+    (the first, unavoidable cold solve is not counted), and Howard policy
+    rounds saved by warm starts versus the session's cold baseline. *)

@@ -7,7 +7,11 @@ type result = {
   evaluations : int;
 }
 
-let evaluate model pipeline platform assignment ~p ~m_cap =
+(* [session] routes STRICT scoring through the delta layer: replica-preserving
+   moves (swaps) keep the replication vector, so they patch the cached graph
+   in place and warm-start the solver; shape-changing moves fall back to a
+   cold solve inside the session and re-arm it on the new skeleton. *)
+let evaluate ?session model pipeline platform assignment ~p ~m_cap =
   let n = Array.length assignment in
   match Mapping.create ~n_stages:n ~p assignment with
   | Error _ -> None
@@ -18,9 +22,10 @@ let evaluate model pipeline platform assignment ~p ~m_cap =
      | _ ->
        let inst = Instance.create_exn ~name:"candidate" ~pipeline ~platform ~mapping in
        let period =
-         match model with
-         | Comm_model.Overlap -> Poly_overlap.period inst
-         | Comm_model.Strict -> (Exact.period_exn model inst).Exact.period
+         match (model, session) with
+         | Comm_model.Overlap, _ -> Poly_overlap.period inst
+         | Comm_model.Strict, Some s -> Delta.period_exn s inst
+         | Comm_model.Strict, None -> (Exact.period_exn model inst).Exact.period
        in
        Some (mapping, period))
 
@@ -51,6 +56,11 @@ let local_search ?(seed = 42) ?(iterations = 400) ?(m_cap = 720) model pipeline 
   let n = Pipeline.n_stages pipeline in
   let p = Platform.p platform in
   let r = Prng.create seed in
+  let session =
+    match model with
+    | Comm_model.Strict -> Some (Delta.create model)
+    | Comm_model.Overlap -> None
+  in
   let start = greedy model pipeline platform in
   (* random walk with tolerance: single moves often degrade the period
      before a paired move pays off (adding a slow replica slows its stage's
@@ -144,7 +154,7 @@ let local_search ?(seed = 42) ?(iterations = 400) ?(m_cap = 720) model pipeline 
     match propose () with
     | None -> ()
     | Some candidate ->
-      (match evaluate model pipeline platform candidate ~p ~m_cap with
+      (match evaluate ?session model pipeline platform candidate ~p ~m_cap with
        | None -> ()
        | Some (_, period) ->
          incr evaluations;
@@ -163,7 +173,7 @@ let local_search ?(seed = 42) ?(iterations = 400) ?(m_cap = 720) model pipeline 
          end)
   done;
   match
-    evaluate model pipeline platform !best_assignment ~p ~m_cap:max_int
+    evaluate ?session model pipeline platform !best_assignment ~p ~m_cap:max_int
   with
   | Some (mapping, period) -> { mapping; period; evaluations = !evaluations }
   | None -> invalid_arg "Optimize.local_search: internal error"

@@ -34,6 +34,9 @@ val local_search :
     Candidates whose [lcm(m_i)] exceeds [m_cap] (default 720) are rejected
     to keep the strict-model evaluation exact and fast. Deterministic in
     [seed]. [iterations] bounds the number of attempted moves (default
-    400). The result never scores worse than {!greedy}. *)
+    400). The result never scores worse than {!greedy}. STRICT candidates
+    are scored through one {!Delta} session: replica-preserving moves
+    (swaps) patch the cached graph in place and warm-start the solver,
+    shape-changing moves re-arm the session with a cold solve. *)
 
 val pp : Format.formatter -> result -> unit

@@ -99,15 +99,22 @@ let pattern_graph inst ~file ~q =
    [memo_cap] entries rather than evicting, which keeps hits O(1). *)
 let memo : (string, Rat.t) Hashtbl.t = Hashtbl.create 512
 let memo_mu = Mutex.create ()
-let memo_cap = 4096
+let memo_cap = ref 4096
 
 let reset_memo () = Mutex.protect memo_mu (fun () -> Hashtbl.reset memo)
 let memo_find key = Mutex.protect memo_mu (fun () -> Hashtbl.find_opt memo key)
+let memo_size () = Mutex.protect memo_mu (fun () -> Hashtbl.length memo)
 
+(* Membership first, reset only when a genuinely new key needs room: two
+   workers racing on the same component both call [memo_store], and the
+   loser's duplicate insertion must be a no-op — resetting before the
+   membership check made it wipe every live entry once the table was full. *)
 let memo_store key r =
   Mutex.protect memo_mu (fun () ->
-      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
-      if not (Hashtbl.mem memo key) then Hashtbl.add memo key r)
+      if not (Hashtbl.mem memo key) then begin
+        if Hashtbl.length memo >= !memo_cap then Hashtbl.reset memo;
+        Hashtbl.add memo key r
+      end)
 
 let memo_key ~u ~v w =
   let b = Buffer.create (16 * Array.length w) in

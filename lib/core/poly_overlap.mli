@@ -73,6 +73,23 @@ val reset_memo : unit -> unit
 (** Clear the component-solve memo (benchmarks and tests that measure cold
     solves). *)
 
+val memo_cap : int ref
+(** Capacity bound of the component-solve memo (default 4096). When a
+    {e new} key arrives with the table at capacity, the table resets rather
+    than evicting — duplicate stores (two workers racing on the same
+    component) are no-ops and never trigger the reset. Mutable for tests. *)
+
+val memo_size : unit -> int
+(** Current number of memoized component ratios. *)
+
+val memo_store : string -> Rat.t -> unit
+(** Insert into the component-solve memo under an arbitrary key (no-op when
+    the key is present). Exposed for the capacity-semantics regression
+    test; production code derives keys internally. *)
+
+val memo_find : string -> Rat.t option
+(** Lookup by raw key; counterpart of {!memo_store}. *)
+
 val pattern_graph : Instance.t -> file:int -> q:int -> Rwt_petri.Mcr.Exact.graph
 (** The [u×v] pattern graph [G'] of one component (Figures 9, 10, 14);
     exposed for reporting and tests. *)

@@ -15,19 +15,36 @@ type t = {
   effects : effect list;
 }
 
-let period_of model inst =
+(* Every what-if shares the baseline's mapping — only the platform numbers
+   move — so the STRICT evaluations all hit the delta session's patch path:
+   one fused build + SCC decomposition for the whole analysis, one
+   warm-started re-solve per target. OVERLAP keeps Theorem 1. *)
+let period_of session model inst =
   match model with
   | Comm_model.Overlap -> Poly_overlap.period inst
-  | Comm_model.Strict -> (Exact.period_exn model inst).Exact.period
+  | Comm_model.Strict -> Delta.period_exn session inst
 
+(* Distinct directed links (s, d), s ≠ d, that some consecutive stage pair
+   can communicate over, in first-occurrence order. The raw cross product
+   repeats a pair whenever two stage interfaces share it and emits s = s
+   self-links when one processor serves consecutive stages — each duplicate
+   costing a full extra period solve and each self-link padding the report
+   with a no-op entry (intra-processor transfers don't touch a link). *)
 let used_links inst =
   let mapping = inst.Instance.mapping in
   let n = Mapping.n_stages mapping in
+  let seen = Hashtbl.create 64 in
   let acc = ref [] in
   for i = 0 to n - 2 do
     Array.iter
       (fun s ->
-        Array.iter (fun d -> acc := (s, d) :: !acc) (Mapping.procs mapping (i + 1)))
+        Array.iter
+          (fun d ->
+            if s <> d && not (Hashtbl.mem seen (s, d)) then begin
+              Hashtbl.add seen (s, d) ();
+              acc := (s, d) :: !acc
+            end)
+          (Mapping.procs mapping (i + 1)))
       (Mapping.procs mapping i)
   done;
   List.rev !acc
@@ -59,7 +76,8 @@ let upgraded inst target factor =
 let analyze ?(factor = Rat.of_int 2) model inst =
   if Rat.compare factor Rat.one <= 0 then
     invalid_arg "Sensitivity.analyze: factor must exceed 1";
-  let baseline = period_of model inst in
+  let session = Delta.create model in
+  let baseline = period_of session model inst in
   let targets =
     List.map (fun u -> Processor u) (Instance.resources inst)
     @ List.map (fun (s, d) -> Link (s, d)) (used_links inst)
@@ -67,7 +85,7 @@ let analyze ?(factor = Rat.of_int 2) model inst =
   let effects =
     List.map
       (fun target ->
-        let period = period_of model (upgraded inst target factor) in
+        let period = period_of session model (upgraded inst target factor) in
         let improvement = Rat.div (Rat.sub baseline period) baseline in
         { target; period; improvement })
       targets

@@ -28,10 +28,17 @@ type t = {
   effects : effect list;  (** sorted by decreasing improvement *)
 }
 
+val used_links : Instance.t -> (int * int) list
+(** Distinct directed links [(s, d)], [s ≠ d], that some consecutive stage
+    pair of the mapping can communicate over, in first-occurrence order —
+    the link targets {!analyze} considers. Exposed for tests. *)
+
 val analyze : ?factor:Rat.t -> Comm_model.t -> Instance.t -> t
 (** [factor] defaults to 2 (a twice-faster processor / link). Only used
     processors and used links are considered. OVERLAP uses Theorem 1 per
-    what-if; STRICT the full TPN. *)
+    what-if; STRICT evaluates all what-ifs through one {!Delta} session
+    (they share the baseline's mapping, so every evaluation after the first
+    patches weights in place and warm-starts the solver). *)
 
 val pp_target : Format.formatter -> target -> unit
 val pp : Format.formatter -> t -> unit

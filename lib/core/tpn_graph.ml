@@ -3,12 +3,14 @@ open Rwt_workflow
 module Mcr = Rwt_petri.Mcr
 module Obs = Rwt_obs
 
+module D = Rwt_graph.Digraph
+
 type t = {
   graph : Mcr.Exact.graph;
   m : int;
   n_stages : int;
   model : Comm_model.t;
-  inst : Instance.t;
+  mutable inst : Instance.t; (* updated by {!patch_exn}; shape never changes *)
 }
 
 let cols n = (2 * n) - 1
@@ -182,3 +184,97 @@ let build ?transition_cap model inst =
   match build_exn ?transition_cap model inst with
   | t -> Ok t
   | exception Rwt_util.Rwt_err.Error e -> Error e
+
+(* The arc topology — endpoints, token counts, arc order — depends only on
+   (model, n_stages, replication vector): the builder above derives every
+   src/dst/tokens from those alone. Which processors serve the stages, their
+   speeds and bandwidths, and the pipeline's w/δ columns only enter through
+   the firing times, i.e. the edge weights. Two instances with equal stage
+   count and replication vector therefore share a graph skeleton exactly. *)
+let shape_compatible t inst =
+  let mapping = inst.Instance.mapping in
+  Mapping.n_stages mapping = t.n_stages
+  && Mapping.replication_vector mapping
+     = Mapping.replication_vector t.inst.Instance.mapping
+
+(* Re-derive the firing times that can have changed and relabel only their
+   arcs in place. Same key-sharing as the builder — one rational per
+   (stage, replica) and per transfer residue class — but each key is first
+   screened against the previous instance: a computation key is clean when
+   its replica's processor, that processor's speed and the stage's work are
+   unchanged; a transfer key when its (sender, receiver) pair, the file's
+   data volume and the pair's bandwidth are unchanged. A sweep step
+   perturbs one parameter, so almost every key is clean and the patch costs
+   a few parameter comparisons instead of m·(2n−1) rational divisions. The
+   transfer cache fills eagerly over the residues mod lcm(m_f, m_{f+1}) —
+   every residue is realized because that lcm divides m. *)
+let patch_exn t inst =
+  Obs.with_span "tpn.patch" @@ fun () ->
+  if not (shape_compatible t inst) then
+    invalid_arg "Tpn_graph.patch_exn: instance shape differs from the session's";
+  let prev = t.inst in
+  let mapping = inst.Instance.mapping in
+  let mapping0 = prev.Instance.mapping in
+  let pipeline = inst.Instance.pipeline and pipeline0 = prev.Instance.pipeline in
+  let platform = inst.Instance.platform and platform0 = prev.Instance.platform in
+  let n = t.n_stages in
+  let ncols = cols n in
+  let repl = Array.init n (Mapping.replication mapping) in
+  let procs = Array.init n (Mapping.procs mapping) in
+  let procs0 = Array.init n (Mapping.procs mapping0) in
+  (* None = key unchanged, Some w = new firing time *)
+  let cfire =
+    Array.init n (fun stage ->
+        let work_same =
+          Rat.equal (Pipeline.work pipeline stage) (Pipeline.work pipeline0 stage)
+        in
+        Array.init repl.(stage) (fun r ->
+            let u = procs.(stage).(r) and u0 = procs0.(stage).(r) in
+            if
+              u = u0 && work_same
+              && Rat.equal (Platform.speed platform u) (Platform.speed platform0 u0)
+            then None
+            else Some (Instance.compute_time inst ~stage ~proc:u)))
+  in
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let tlcm =
+    Array.init (max 0 (n - 1)) (fun file ->
+        let mf = repl.(file) and mf1 = repl.(file + 1) in
+        mf / gcd mf mf1 * mf1)
+  in
+  let tfire =
+    Array.init (max 0 (n - 1)) (fun file ->
+        let data_same =
+          Rat.equal (Pipeline.data pipeline file) (Pipeline.data pipeline0 file)
+        in
+        Array.init tlcm.(file) (fun slot ->
+            let rs = slot mod repl.(file) and rd = slot mod repl.(file + 1) in
+            let src = procs.(file).(rs) and dst = procs.(file + 1).(rd) in
+            let src0 = procs0.(file).(rs) and dst0 = procs0.(file + 1).(rd) in
+            if
+              src = src0 && dst = dst0 && data_same
+              && Rat.equal
+                   (Platform.bandwidth platform src dst)
+                   (Platform.bandwidth platform0 src0 dst0)
+            then None
+            else Some (Instance.transfer_time inst ~file ~src ~dst)))
+  in
+  let fire ~row ~col =
+    if col mod 2 = 0 then cfire.(col / 2).(row mod repl.(col / 2))
+    else
+      let file = (col - 1) / 2 in
+      tfire.(file).(row mod tlcm.(file))
+  in
+  let g = t.graph in
+  let patched = ref 0 in
+  for i = 0 to D.num_edges g - 1 do
+    let e = D.edge g i in
+    match fire ~row:(e.D.src / ncols) ~col:(e.D.src mod ncols) with
+    | None -> ()
+    | Some w ->
+      incr patched;
+      D.set_label g i { e.D.label with Mcr.Exact.weight = w }
+  done;
+  t.inst <- inst;
+  Obs.incr "tpn.patches";
+  Obs.add "tpn.patched_arcs" !patched

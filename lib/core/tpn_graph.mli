@@ -29,7 +29,7 @@ type t = private {
   m : int;  (** number of rows (paths) *)
   n_stages : int;
   model : Comm_model.t;
-  inst : Instance.t;
+  mutable inst : Instance.t;  (** tracks the last {!patch_exn} *)
 }
 
 val build_exn : ?transition_cap:int -> Comm_model.t -> Instance.t -> t
@@ -44,6 +44,23 @@ val build_exn : ?transition_cap:int -> Comm_model.t -> Instance.t -> t
 val build :
   ?transition_cap:int -> Comm_model.t -> Instance.t -> (t, Rwt_util.Rwt_err.t) result
 (** Result shim for {!build_exn}. *)
+
+val shape_compatible : t -> Instance.t -> bool
+(** [shape_compatible t inst] holds when [inst] has the same stage count and
+    replication vector as the instance [t] was built (or last patched) from.
+    The arc topology — endpoints, token counts, arc order — of the fused
+    graph depends only on [(model, n_stages, replication vector)]; processor
+    identities, speeds, bandwidths and the pipeline's [w]/[δ] columns enter
+    only through the firing times, i.e. the edge weights. So a
+    shape-compatible instance can be {!patch_exn}ed onto [t] in place. *)
+
+val patch_exn : t -> Instance.t -> unit
+(** [patch_exn t inst] re-derives every firing time for [inst] and relabels
+    the arcs of [t.graph] in place ([Rwt_graph.Digraph.set_label]): edge ids,
+    endpoints and token counts are untouched, so structural views (SCC
+    decompositions, solver sessions) built over the graph stay valid. Counts
+    [tpn.patches].
+    @raise Invalid_argument when [shape_compatible t inst] is false. *)
 
 val transition_id : t -> row:int -> col:int -> int
 val row_col : t -> int -> int * int

@@ -57,6 +57,15 @@ let edge g id =
   if id < 0 || id >= g.m then invalid_arg "Digraph.edge";
   g.edges.(id)
 
+(* Relabel in place: endpoints, token structure and adjacency are untouched,
+   so every view built over the topology (SCCs, CSR contexts, topological
+   orders) stays valid. This is the primitive behind incremental weight
+   patches. *)
+let set_label g id label =
+  if id < 0 || id >= g.m then invalid_arg "Digraph.set_label";
+  let e = g.edges.(id) in
+  g.edges.(id) <- { e with label }
+
 let out_edges g u = List.rev_map (fun id -> g.edges.(id)) g.out_adj.(u)
 let in_edges g v = List.rev_map (fun id -> g.edges.(id)) g.in_adj.(v)
 

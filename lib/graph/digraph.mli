@@ -30,6 +30,13 @@ val of_arrays : n:int -> src:int array -> dst:int array -> 'e array -> 'e t
 val edge : 'e t -> int -> 'e edge
 (** Edge by id. @raise Invalid_argument if out of range. *)
 
+val set_label : 'e t -> int -> 'e -> unit
+(** [set_label g id label] replaces the label of edge [id] in place.
+    Endpoints, edge ids and adjacency are untouched, so any structural view
+    (SCC decomposition, CSR contexts) built over [g] stays valid — this is
+    the primitive behind incremental weight patches.
+    @raise Invalid_argument if out of range. *)
+
 val out_edges : 'e t -> int -> 'e edge list
 (** Edges leaving a node, in insertion order. *)
 

@@ -372,9 +372,35 @@ module Make (N : Rwt_util.Num_intf.S) = struct
      whose potentials are pinned at incomparable per-cycle entries (the
      bias-improvement phases of a converging run never exceed ~n rounds
      at one λ level) — fall back to the parametric solver instead of
-     burning the remaining O(n·E) budget on a loop that cannot settle. *)
-  let howard_scc ?deadline ctx =
-    let policy = Array.init ctx.n (fun u -> ctx.eptr.(u)) in
+     burning the remaining O(n·E) budget on a loop that cannot settle.
+
+     [init] warm-starts the policy: a previous run's final policy (local
+     edge indices) restarts the iteration next to its old fixed point, so a
+     perturbed instance typically settles in a round or two instead of
+     re-climbing from the uniform first-out-edge policy. Entries are
+     validated against this context's CSR ranges; an invalid warm policy
+     silently degrades to the cold start (correctness never depends on
+     [init] — any policy reaches the same certified fixed point). The full
+     variant returns the final policy and the number of value/improvement
+     rounds spent, which the session layer uses to account warm-start
+     savings. *)
+  let howard_scc_full ?deadline ?init ctx =
+    let policy =
+      match init with
+      | Some p
+        when Array.length p = ctx.n
+             && (let ok = ref true in
+                 Array.iteri
+                   (fun u i -> if i < ctx.eptr.(u) || i >= ctx.eptr.(u + 1) then ok := false)
+                   p;
+                 !ok) ->
+        Obs.incr "mcr.warm_starts";
+        Array.copy p
+      | Some _ ->
+        Obs.incr "mcr.warm_start_rejected";
+        Array.init ctx.n (fun u -> ctx.eptr.(u))
+      | None -> Array.init ctx.n (fun u -> ctx.eptr.(u))
+    in
     let v = Array.make ctx.n N.zero in
     let known = Array.make ctx.n false in
     let settled = ref false in
@@ -468,7 +494,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
       if not !improved then settled := true
     done;
     Obs.add "mcr.iterations" !iters;
-    if !settled then (!lambda, !best)
+    if !settled then (!lambda, !best, Some policy, !iters)
     else begin
       Obs.incr "mcr.howard_fallbacks";
       if Obs.events_enabled () then
@@ -480,8 +506,15 @@ module Make (N : Rwt_util.Num_intf.S) = struct
              :: ("iter", Json.Int !iters)
              :: ("stall", Json.Int !stall)
              :: lambda_fields !lambda);
-      parametric_scc ?deadline ctx
+      (* No fixed-point policy to hand to a future warm start: the parametric
+         witness is a cycle, not a policy. *)
+      let lam, cyc = parametric_scc ?deadline ctx in
+      (lam, cyc, None, !iters)
     end
+
+  let howard_scc ?deadline ctx =
+    let lam, cyc, _, _ = howard_scc_full ?deadline ctx in
+    (lam, cyc)
 
   (* Deterministic reduction over per-component results: ascending component
      order with a strict comparison reproduces the serial loop's tie-break
@@ -754,6 +787,65 @@ let cert_ctx (ctx : Exact.ctx) lambda =
   let ew = Array.map (fun r -> R.make (B.mul (R.num r) (B.div d (R.den r))) B.one) red in
   { ctx with Exact.ew; et = Array.make m 0 }
 
+(* One component of the screened solve, warm-startable. The float mirror
+   shares [eptr]/[edst]/[et]/[eid] with the exact context — only the weight
+   column is collapsed to doubles — so local edge indices mean the same
+   thing in both kernels: a float witness is directly a cycle of the exact
+   context, and a settled policy from either kernel is a valid warm start
+   for the other. Returns the settled policy of whichever Howard run
+   produced the answer (None when the parametric fallback did) plus the
+   number of policy rounds it spent, so a session can warm-start and
+   account its savings. *)
+let screened_scc_solve ?deadline ?init ~comp_id (ctx : Exact.ctx) =
+  let screened =
+    let fctx =
+      { Approx.n = ctx.Exact.n;
+        eptr = ctx.Exact.eptr;
+        edst = ctx.Exact.edst;
+        ew = Array.map Rwt_util.Rat.to_float ctx.Exact.ew;
+        et = ctx.Exact.et;
+        eid = ctx.Exact.eid }
+    in
+    match Approx.howard_scc_full ?deadline ?init fctx with
+    | exception Approx.Not_live _ -> None
+    | _, [], _, _ -> None
+    | _, cyc, pol, iters -> (
+      match Exact.ratio_of_edges ctx cyc with
+      | exception Exact.Not_live _ -> None
+      | lambda ->
+        if Exact.find_positive_cycle ?deadline (cert_ctx ctx lambda) Rwt_util.Rat.zero = None
+        then Some (lambda, cyc, pol, iters)
+        else None)
+  in
+  let scc_fields =
+    [ ("comp", Json.Int comp_id);
+      ("n", Json.Int ctx.Exact.n);
+      ("edges", Json.Int ctx.Exact.eptr.(ctx.Exact.n)) ]
+  in
+  let ((ratio, cyc, _, _) as result) =
+    match screened with
+    | Some ((lambda, _, _, _) as r) ->
+      Obs.incr "mcr.screen_hits";
+      if Obs.events_enabled () then
+        Obs.event "screen.certified"
+          ~fields:
+            (scc_fields @ [ ("lambda", Json.Float (Rwt_util.Rat.to_float lambda)) ]);
+      r
+    | None ->
+      Obs.incr "mcr.screen_misses";
+      if Obs.events_enabled () then Obs.event "screen.fallback" ~fields:scc_fields;
+      Exact.howard_scc_full ?deadline ?init ctx
+  in
+  if Obs.events_enabled () then
+    Obs.event "mcr.scc_solved"
+      ~fields:
+        (("kernel", Json.String "exact")
+         :: scc_fields
+         @ [ ("cycle_len", Json.Int (List.length cyc));
+             ("lambda", Json.Float (Rwt_util.Rat.to_float ratio));
+             ("lambda_exact", Json.String (Format.asprintf "%a" Rwt_util.Rat.pp ratio)) ]);
+  result
+
 let solve_screened ?deadline g =
   Obs.with_span "mcr.solve" @@ fun () ->
   Obs.incr "mcr.solves";
@@ -769,58 +861,7 @@ let solve_screened ?deadline g =
     let ctx = Exact.build_ctx g members.(comp_id) comp_id scc.Rwt_graph.Scc.comp in
     let has_cycle = ctx.Exact.n >= 2 || ctx.Exact.eptr.(ctx.Exact.n) > 0 in
     if has_cycle then begin
-      let screened =
-        let fctx =
-          { Approx.n = ctx.Exact.n;
-            eptr = ctx.Exact.eptr;
-            edst = ctx.Exact.edst;
-            ew = Array.map Rwt_util.Rat.to_float ctx.Exact.ew;
-            et = ctx.Exact.et;
-            eid = ctx.Exact.eid }
-        in
-        (* the float mirror shares local edge indexing with [ctx], so the
-           float witness is directly a cycle of the exact context *)
-        match Approx.howard_scc ?deadline fctx with
-        | exception Approx.Not_live _ -> None
-        | _, [] -> None
-        | _, cyc -> (
-          match Exact.ratio_of_edges ctx cyc with
-          | exception Exact.Not_live _ -> None
-          | lambda ->
-            if Exact.find_positive_cycle ?deadline (cert_ctx ctx lambda) Rwt_util.Rat.zero = None
-            then Some (lambda, cyc)
-            else None)
-      in
-      let scc_fields =
-        [ ("comp", Json.Int comp_id);
-          ("n", Json.Int ctx.Exact.n);
-          ("edges", Json.Int ctx.Exact.eptr.(ctx.Exact.n)) ]
-      in
-      let ratio, cyc =
-        match screened with
-        | Some ((lambda, _) as rc) ->
-          Obs.incr "mcr.screen_hits";
-          if Obs.events_enabled () then
-            Obs.event "screen.certified"
-              ~fields:
-                (scc_fields
-                 @ [ ("lambda", Json.Float (Rwt_util.Rat.to_float lambda)) ]);
-          rc
-        | None ->
-          Obs.incr "mcr.screen_misses";
-          if Obs.events_enabled () then
-            Obs.event "screen.fallback" ~fields:scc_fields;
-          Exact.howard_scc ?deadline ctx
-      in
-      if Obs.events_enabled () then
-        Obs.event "mcr.scc_solved"
-          ~fields:
-            (("kernel", Json.String "exact")
-             :: scc_fields
-             @ [ ("cycle_len", Json.Int (List.length cyc));
-                 ("lambda", Json.Float (Rwt_util.Rat.to_float ratio));
-                 ("lambda_exact",
-                  Json.String (Format.asprintf "%a" Rwt_util.Rat.pp ratio)) ]);
+      let ratio, cyc, _, _ = screened_scc_solve ?deadline ~comp_id ctx in
       results.(comp_id) <-
         Some { Exact.ratio; cycle = List.map (fun i -> ctx.Exact.eid.(i)) cyc }
     end
@@ -837,3 +878,115 @@ let solve_exact ?deadline g =
   if !screen_enabled then solve_screened ?deadline g else Exact.howard ?deadline g
 
 let period_of_tpn ?deadline tpn = solve_exact ?deadline (graph_of_tpn tpn)
+
+(* --- incremental sessions ---------------------------------------------
+
+   A session captures everything about a solve that depends only on the
+   graph's *topology*: the liveness certificate, the SCC decomposition and
+   the per-component CSR contexts. When only edge weights change — the
+   delta layer relabels edges in place with [Digraph.set_label] —
+   [session_resolve] refreshes each context's weight column from the live
+   labels and re-solves every component warm-started from its previously
+   settled policy. Correctness never rests on the warm start: Howard's
+   fixed point is self-certifying whatever policy it starts from, and the
+   screened path certifies its candidate with one exact positive-cycle
+   pass, so a resolve is Rat-identical to a cold solve of the patched
+   graph. Tokens are topology here (they decide liveness and per-cycle
+   token counts), so a session must never outlive a token change — that is
+   the caller's patch precondition. *)
+
+type session = {
+  sgraph : Exact.graph;
+  sctxs : Exact.ctx option array; (* None for components without a cycle *)
+  spolicies : int array option array; (* last settled policy, per component *)
+  scold_iters : int array; (* policy rounds the initial cold solve spent *)
+  sresults : Exact.witness option array; (* last per-component witness *)
+}
+
+let session_scc_solve ?deadline ?init ~comp_id (ctx : Exact.ctx) =
+  if !screen_enabled then screened_scc_solve ?deadline ?init ~comp_id ctx
+  else Exact.howard_scc_full ?deadline ?init ctx
+
+let session_parallel s n_comps =
+  n_comps >= 2 && D.num_edges s.sgraph >= !scc_parallel_threshold
+
+let session_init ?deadline g =
+  Obs.with_span "mcr.session_init" @@ fun () ->
+  Obs.incr "mcr.solves";
+  Obs.add "mcr.nodes" (D.num_nodes g);
+  Obs.add "mcr.edges" (D.num_edges g);
+  Exact.check_live g;
+  let scc = Rwt_graph.Scc.tarjan g in
+  let members = Rwt_graph.Scc.members scc in
+  let n_comps = Array.length members in
+  Obs.add "mcr.sccs" n_comps;
+  let sctxs = Array.make n_comps None in
+  let spolicies = Array.make n_comps None in
+  let scold_iters = Array.make n_comps 0 in
+  let results = Array.make n_comps None in
+  let solve_comp comp_id =
+    let ctx = Exact.build_ctx g members.(comp_id) comp_id scc.Rwt_graph.Scc.comp in
+    let has_cycle = ctx.Exact.n >= 2 || ctx.Exact.eptr.(ctx.Exact.n) > 0 in
+    if has_cycle then begin
+      sctxs.(comp_id) <- Some ctx;
+      let ratio, cyc, pol, iters = session_scc_solve ?deadline ~comp_id ctx in
+      spolicies.(comp_id) <- pol;
+      scold_iters.(comp_id) <- iters;
+      results.(comp_id) <-
+        Some { Exact.ratio; cycle = List.map (fun i -> ctx.Exact.eid.(i)) cyc }
+    end
+  in
+  let s = { sgraph = g; sctxs; spolicies; scold_iters; sresults = results } in
+  if session_parallel s n_comps then Rwt_pool.run ~n:n_comps solve_comp
+  else
+    for c = 0 to n_comps - 1 do
+      solve_comp c
+    done;
+  (s, Exact.best_of_results results)
+
+let session_resolve ?deadline s =
+  Obs.with_span "mcr.session_resolve" @@ fun () ->
+  Obs.incr "mcr.solves";
+  let n_comps = Array.length s.sctxs in
+  (* per-component cells, folded after the joins: safe under Rwt_pool *)
+  let saved = Array.make n_comps 0 in
+  let solve_comp comp_id =
+    match s.sctxs.(comp_id) with
+    | None -> ()
+    | Some ctx ->
+      (* Liveness and the SCCs are unchanged by a weight patch; only the
+         weight column needs refreshing from the relabelled edges. While
+         refreshing, detect components the patch left untouched: a sweep
+         step usually perturbs one parameter, dirtying few components, and
+         identical weights over identical topology certify that the cached
+         witness is still the component's optimum — no solve needed. *)
+      let m = Array.length ctx.Exact.ew in
+      let changed = ref false in
+      for j = 0 to m - 1 do
+        let w = (D.edge s.sgraph ctx.Exact.eid.(j)).D.label.Exact.weight in
+        if not (Rwt_util.Rat.equal w ctx.Exact.ew.(j)) then begin
+          ctx.Exact.ew.(j) <- w;
+          changed := true
+        end
+      done;
+      if !changed then begin
+        let ratio, cyc, pol, iters =
+          session_scc_solve ?deadline ?init:s.spolicies.(comp_id) ~comp_id ctx
+        in
+        s.spolicies.(comp_id) <- pol;
+        saved.(comp_id) <- Stdlib.max 0 (s.scold_iters.(comp_id) - iters);
+        s.sresults.(comp_id) <-
+          Some { Exact.ratio; cycle = List.map (fun i -> ctx.Exact.eid.(i)) cyc }
+      end
+      else begin
+        (* the clean component's entire cold solve is saved *)
+        Obs.incr "mcr.resolve_clean_comps";
+        saved.(comp_id) <- s.scold_iters.(comp_id)
+      end
+  in
+  if session_parallel s n_comps then Rwt_pool.run ~n:n_comps solve_comp
+  else
+    for c = 0 to n_comps - 1 do
+      solve_comp c
+    done;
+  (Exact.best_of_results s.sresults, Array.fold_left ( + ) 0 saved)

@@ -129,6 +129,37 @@ val graph_of_arcs :
 
 val float_graph_of_tpn : Tpn.t -> Approx.graph
 
+type session
+(** An incremental solve session over one {!Exact.graph}. The session caches
+    everything that depends only on the graph's topology — the liveness
+    certificate, the SCC decomposition, the per-component CSR contexts — plus
+    the last settled Howard policy of every component. *)
+
+val session_init :
+  ?deadline:(unit -> bool) -> Exact.graph -> session * Exact.witness option
+(** Cold solve (same result as {!solve_exact}, honouring {!screen_enabled})
+    that additionally captures the session state. The session keeps a
+    reference to the graph: subsequent in-place relabellings
+    ([Rwt_graph.Digraph.set_label]) are what {!session_resolve} picks up.
+    @raise Exact.Not_live on token-free cycles. *)
+
+val session_resolve :
+  ?deadline:(unit -> bool) -> session -> Exact.witness option * int
+(** Re-solve after edge weights changed in place. Precondition (the caller's
+    to enforce): only labels' [weight] fields changed since {!session_init} —
+    endpoints, edge count and token counts are untouched, so liveness and the
+    SCC decomposition still hold. Each component refreshes its CSR weight
+    column from the live labels; components whose weights are unchanged
+    (compared exactly during the refresh) keep their cached witness without
+    solving — identical weights over identical topology certify it is still
+    the optimum — and dirty components re-run the (screened) solve
+    warm-started from their previously settled policy. The warm start only
+    moves the iteration's starting point, never its certified fixed point,
+    so the witness is Rat-identical to a cold {!solve_exact} of the patched
+    graph. Counts clean skips under [mcr.resolve_clean_comps]. Returns the
+    witness and the number of policy rounds saved versus the session's
+    initial cold solve (an accounting estimate, ≥ 0). *)
+
 val period_of_tpn : ?deadline:(unit -> bool) -> Tpn.t -> Exact.witness option
 (** Maximum cycle ratio of the net's ratio graph: the exact steady-state
     inter-firing time of every transition ([None] for acyclic nets, which

@@ -465,6 +465,163 @@ let tpn_bench_smoke () =
         Comm_model.all)
     insts
 
+(* --- delta sessions, sensitivity targets, memo capacity --- *)
+
+(* single-parameter neighbour, same mapping: the shapes the delta layer is
+   built for (speed, bandwidth, work w, data δ — cycling with the step) *)
+let perturb_param r step inst =
+  let pf = inst.Instance.platform in
+  let p = Platform.p pf in
+  let pipeline = inst.Instance.pipeline in
+  let n = Pipeline.n_stages pipeline in
+  let factors =
+    [| Rat.of_ints 5 4; Rat.of_ints 3 4; Rat.of_ints 7 4; Rat.of_ints 3 2 |]
+  in
+  let f = factors.(step mod Array.length factors) in
+  let speeds = Array.init p (Platform.speed pf) in
+  let bandwidths = Array.init p (fun u -> Array.init p (Platform.bandwidth pf u)) in
+  let work = Array.init n (Pipeline.work pipeline) in
+  let data = Array.init (max 0 (n - 1)) (Pipeline.data pipeline) in
+  (match step mod 4 with
+   | 1 when p >= 2 ->
+     let u = Prng.int r p in
+     let v = (u + 1 + Prng.int r (p - 1)) mod p in
+     bandwidths.(u).(v) <- Rat.mul bandwidths.(u).(v) f
+   | 3 when n >= 2 ->
+     let fl = Prng.int r (n - 1) in
+     data.(fl) <- Rat.mul data.(fl) f
+   | 0 ->
+     let u = Prng.int r p in
+     speeds.(u) <- Rat.mul speeds.(u) f
+   | _ ->
+     let s = Prng.int r n in
+     work.(s) <- Rat.mul work.(s) f);
+  Instance.create_exn ~name:inst.Instance.name
+    ~pipeline:(Pipeline.create ~work ~data)
+    ~platform:(Platform.create ~speeds ~bandwidths)
+    ~mapping:inst.Instance.mapping
+
+(* add one processor and hand it to the last stage: the replication vector
+   changes, so a live session cannot patch and must fall back cold *)
+let widen_last_stage inst =
+  let p = Platform.p inst.Instance.platform in
+  let speeds = Array.init (p + 1) (fun u ->
+      if u < p then Platform.speed inst.Instance.platform u else Rat.one) in
+  let bw = Array.init (p + 1) (fun u ->
+      Array.init (p + 1) (fun v ->
+          if u < p && v < p then Platform.bandwidth inst.Instance.platform u v
+          else Rat.one)) in
+  let n = Mapping.n_stages inst.Instance.mapping in
+  let assignment = Array.init n (fun i ->
+      let procs = Mapping.procs inst.Instance.mapping i in
+      if i = n - 1 then Array.append procs [| p |] else procs) in
+  Instance.create_exn ~name:"widened" ~pipeline:inst.Instance.pipeline
+    ~platform:(Platform.create ~speeds ~bandwidths:bw)
+    ~mapping:(Mapping.create_exn ~n_stages:n ~p:(p + 1) assignment)
+
+let delta_matches_cold =
+  QCheck.Test.make ~count:40
+    ~name:"delta session = cold solve across perturbation chains (strict)"
+    QCheck.small_nat (fun seed ->
+      let r = Prng.create (seed + 17) in
+      let session = Core.Delta.create Comm_model.Strict in
+      let cur = ref (random_instance (seed + 4242)) in
+      let ok = ref true in
+      for step = 0 to 7 do
+        if step > 0 then cur := perturb_param r (step - 1) !cur;
+        let cold = (Core.Exact.period_exn Comm_model.Strict !cur).Core.Exact.period in
+        let fast = Core.Delta.period_exn session !cur in
+        if not (Rat.equal cold fast) then ok := false
+      done;
+      (* topology change: patched graph is unusable, cold fallback must kick in *)
+      let wide = widen_last_stage !cur in
+      let cold = (Core.Exact.period_exn Comm_model.Strict wide).Core.Exact.period in
+      if not (Rat.equal cold (Core.Delta.period_exn session wide)) then ok := false;
+      let st = Core.Delta.stats session in
+      !ok
+      && st.Core.Delta.patch_hits = 7
+      && st.Core.Delta.cold_fallbacks = 1
+      && st.Core.Delta.rounds_saved >= 0)
+
+let used_links_are_distinct_inter_proc =
+  QCheck.Test.make ~count:200
+    ~name:"used_links: distinct (s,d) pairs, s <> d, first-occurrence order"
+    QCheck.small_nat (fun seed ->
+      let inst = random_instance (seed + 3434) in
+      let mapping = inst.Instance.mapping in
+      let n = Mapping.n_stages mapping in
+      (* naive reference, quadratic dedup *)
+      let expected = ref [] in
+      for i = 0 to n - 2 do
+        Array.iter
+          (fun s ->
+            Array.iter
+              (fun d ->
+                if s <> d && not (List.mem (s, d) !expected) then
+                  expected := (s, d) :: !expected)
+              (Mapping.procs mapping (i + 1)))
+          (Mapping.procs mapping i)
+      done;
+      List.rev !expected = Core.Sensitivity.used_links inst)
+
+let used_links_example_a () =
+  (* Figure 3 wiring: 1×2 + 2×3 + 3×1 = 11 distinct links, in file order *)
+  Alcotest.(check (list (pair int int)))
+    "example A link targets"
+    [ (0, 1); (0, 2); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5);
+      (3, 6); (4, 6); (5, 6) ]
+    (Core.Sensitivity.used_links (Instances.example_a ()))
+
+(* Regression: [memo_store] used to reset the table at capacity BEFORE
+   checking membership, so a duplicate store (two workers racing on the same
+   component) wiped every entry and the warm run re-solved everything. *)
+let memo_cap_duplicate_store () =
+  Rwt_obs.enable ();
+  let saved = !Core.Poly_overlap.memo_cap in
+  Fun.protect
+    ~finally:(fun () ->
+      Core.Poly_overlap.memo_cap := saved;
+      Core.Poly_overlap.reset_memo ())
+    (fun () ->
+      Core.Poly_overlap.reset_memo ();
+      Core.Poly_overlap.memo_cap := 8;
+      for i = 0 to 7 do
+        Core.Poly_overlap.memo_store (Printf.sprintf "k%d" i) (Rat.of_int i)
+      done;
+      Alcotest.(check int) "filled to capacity" 8 (Core.Poly_overlap.memo_size ());
+      Core.Poly_overlap.memo_store "k3" (Rat.of_int 99);
+      Alcotest.(check int) "duplicate store is a no-op" 8
+        (Core.Poly_overlap.memo_size ());
+      for i = 0 to 7 do
+        match Core.Poly_overlap.memo_find (Printf.sprintf "k%d" i) with
+        | Some r ->
+          Alcotest.check rat "original value kept" (Rat.of_int i) r
+        | None -> Alcotest.fail "entry evicted by duplicate store"
+      done;
+      (* a genuinely new key at capacity still resets, then admits the key *)
+      Core.Poly_overlap.memo_store "k8" (Rat.of_int 8);
+      Alcotest.(check int) "new key at capacity resets" 1
+        (Core.Poly_overlap.memo_size ());
+      (* end to end: fill the memo to exactly its capacity, duplicate-store,
+         and check the warm analysis still hits instead of re-solving *)
+      Core.Poly_overlap.reset_memo ();
+      Core.Poly_overlap.memo_cap := saved;
+      let c = Instances.example_c () in
+      ignore (Core.Poly_overlap.analyze c);
+      let entries = Core.Poly_overlap.memo_size () in
+      Alcotest.(check bool) "analysis memoized something" true (entries > 0);
+      Core.Poly_overlap.memo_cap := entries + 1;
+      Core.Poly_overlap.memo_store "mine" Rat.one;
+      (* table now exactly at capacity; this duplicate used to wipe it *)
+      Core.Poly_overlap.memo_store "mine" Rat.one;
+      let hits0 = Rwt_obs.counter_value "poly.memo_hits" in
+      let misses0 = Rwt_obs.counter_value "poly.memo_misses" in
+      ignore (Core.Poly_overlap.analyze c);
+      Alcotest.(check bool) "memo_hits keeps rising" true
+        (Rwt_obs.counter_value "poly.memo_hits" - hits0 >= entries);
+      Alcotest.(check int) "no re-solves after duplicate store" misses0
+        (Rwt_obs.counter_value "poly.memo_misses"))
+
 (* --- full-scale Example C integration (m = 10 395) --- *)
 
 let example_c_overlap_full () =
@@ -509,6 +666,11 @@ let () =
       ( "fused build",
         [ qtest fused_graph_identical; qtest fused_names_match_legacy;
           Alcotest.test_case "tpn bench smoke" `Quick tpn_bench_smoke ] );
+      ( "delta + sensitivity + memo cap",
+        [ qtest delta_matches_cold; qtest used_links_are_distinct_inter_proc;
+          Alcotest.test_case "example A link targets" `Quick used_links_example_a;
+          Alcotest.test_case "memo capacity semantics" `Quick
+            memo_cap_duplicate_store ] );
       ( "reporting", [ Alcotest.test_case "json report" `Quick report_json ] );
       ( "invariances",
         [ qtest scaling_invariance; qtest slower_link_cannot_speed_up;
