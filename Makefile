@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench incr-bench chaos profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench incr-bench serve-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -65,6 +65,13 @@ tpn-bench:
 # 1 core; see doc/PERFORMANCE.md)
 incr-bench:
 	dune exec bench/main.exe -- incr
+
+# serve daemon: echo floor vs memo-hot/cold analyze req/s, plus a
+# kill-and-resume chaos leg through the CLI binary -> BENCH_serve.json
+# (see doc/SERVE.md)
+serve-bench:
+	dune build bin/rwt.exe
+	dune exec bench/main.exe -- serve
 
 # full fault-injection matrix over the shipped examples (the smoke subset
 # already runs inside `make test`); see doc/RESILIENCE.md

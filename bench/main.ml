@@ -809,6 +809,203 @@ let incremental_bench () =
   Printf.eprintf "wrote BENCH_incremental.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Serve daemon: protocol overhead, memo throughput, chaos resume      *)
+(* ------------------------------------------------------------------ *)
+
+(* Three legs against an in-process daemon on a Unix-domain socket:
+   pipelined echo requests (the pure protocol floor — parse, dispatch,
+   order, write), memo-hot analyses (protocol + cache lookup; all but
+   the first request hit the canonical-instance memo), and memo-cold
+   analyses (each request carries a distinct deadline_ms so its
+   canonical key is unique and the solver really runs). A fourth leg —
+   when the CLI binary was built alongside — kills a journaled child
+   daemon mid-batch with an injected abort, restarts it on the same
+   journal, and times the resend-to-identical-responses recovery.
+   Writes BENCH_serve.json. *)
+let serve_bench () =
+  section "Serve — daemon req/s vs no-op echo floor + chaos kill-and-resume (BENCH_serve.json)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rwt-bench-serve-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir tmp 0o700;
+  let sock = Filename.concat tmp "b.sock" in
+  let ready = Atomic.make None in
+  let cfg =
+    { Rwt_serve.default_config with
+      Rwt_serve.socket = Some sock; workers = 1; queue = 1_000_000 }
+  in
+  let dom =
+    Domain.spawn (fun () ->
+        Rwt_serve.run ~on_ready:(fun r -> Atomic.set ready (Some r)) cfg)
+  in
+  let rec await n =
+    match Atomic.get ready with
+    | Some _ -> ()
+    | None when n = 0 -> failwith "serve benchmark: daemon never became ready"
+    | None -> Unix.sleepf 0.005; await (n - 1)
+  in
+  await 2000;
+  let addr = Rwt_serve.Client.Unix_sock sock in
+  let send lines =
+    match Rwt_serve.Client.request_lines addr lines with
+    | Ok rs -> rs
+    | Error (e, _) -> failwith ("serve benchmark: " ^ Rwt_err.to_line e)
+  in
+  let leg label n reqs =
+    let responses, wall = time (fun () -> send reqs) in
+    List.iter
+      (fun r ->
+        match Json.of_string r with
+        | Ok (Json.Obj fields)
+          when List.assoc_opt "status" fields = Some (Json.String "ok") -> ()
+        | _ -> failwith ("serve benchmark: non-ok response: " ^ r))
+      responses;
+    let rps = if wall > 0.0 then float_of_int n /. wall else 0.0 in
+    pf "%-14s %5d pipelined requests in %.3fs -> %9.0f req/s (%.1f us/req)@."
+      label n wall rps (1e6 *. wall /. float_of_int n);
+    Json.Obj
+      [ ("leg", Json.String label);
+        ("n", Json.Int n);
+        ("wall_s", Json.Float wall);
+        ("rps", Json.Float rps) ]
+  in
+  let n = 2000 in
+  let echo =
+    leg "echo" n
+      (List.init n (fun i -> Printf.sprintf {|{"req":"echo","id":"%d"}|} i))
+  in
+  ignore (send [ {|{"example":"a"}|} ]);
+  let hot =
+    leg "analyze-hot" n
+      (List.init n (fun i -> Printf.sprintf {|{"example":"a","id":"%d"}|} i))
+  in
+  let n_cold = 200 in
+  let cold =
+    leg "analyze-cold" n_cold
+      (List.init n_cold (fun i ->
+           Printf.sprintf {|{"example":"a","deadline_ms":%d,"id":"%d"}|}
+             (1_000_000 + i) i))
+  in
+  (match Atomic.get ready with
+   | Some r -> Rwt_serve.stop r.Rwt_serve.control
+   | None -> ());
+  let stats =
+    match Domain.join dom with
+    | Ok s -> s
+    | Error e -> failwith ("serve benchmark: " ^ Rwt_err.to_line e)
+  in
+  pf "daemon drained: %a@." Rwt_serve.pp_stats stats;
+  (* chaos leg: only meaningful through the real binary (the injected
+     abort exits the whole process, so it must be a child) *)
+  let rwt =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat Filename.parent_dir_name
+         (Filename.concat "bin" "rwt.exe"))
+  in
+  let chaos =
+    if not (Sys.file_exists rwt) then begin
+      pf "chaos leg skipped: %s not built@." rwt;
+      Json.Obj [ ("available", Json.Bool false) ]
+    end
+    else begin
+      let csock = Filename.concat tmp "c.sock" in
+      let journal = Filename.concat tmp "c.journal" in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let spawn extra =
+        Unix.create_process rwt
+          (Array.of_list
+             ([ rwt; "serve"; "--socket"; csock; "--workers"; "1";
+                "--journal"; journal ]
+             @ extra))
+          Unix.stdin devnull devnull
+      in
+      let total = 12 in
+      let reqs =
+        List.init total (fun i ->
+            Printf.sprintf {|{"example":"b","deadline_ms":%d,"id":"%d"}|}
+              (1_000_000 + i) i)
+      in
+      let caddr = Rwt_serve.Client.Unix_sock csock in
+      (* armed to die on its 7th request span: a simulated kill -9 *)
+      let pid1 = spawn [ "--fault"; "serve.request=abort@#7" ] in
+      let rec await_sock n =
+        let up =
+          match Unix.stat csock with
+          | { Unix.st_kind = Unix.S_SOCK; _ } -> true
+          | _ -> false
+          | exception Unix.Unix_error _ -> false
+        in
+        if not up then
+          if n = 0 then failwith "serve benchmark: chaos daemon never bound"
+          else (Unix.sleepf 0.025; await_sock (n - 1))
+      in
+      await_sock 400;
+      let partial =
+        match Rwt_serve.Client.request_lines caddr reqs with
+        | Ok _ -> failwith "serve benchmark: chaos daemon survived its abort"
+        | Error (_, partial) -> partial
+      in
+      let _, status1 = Unix.waitpid [] pid1 in
+      let daemon_exit =
+        match status1 with Unix.WEXITED c -> c | _ -> -1
+      in
+      (* restart on the same journal; the client retries through the
+         startup window and the journaled prefix must replay bytewise *)
+      let pid2 = spawn [] in
+      let resumed, resume_wall =
+        time (fun () ->
+            match
+              Rwt_serve.Client.request_lines ~retries:40 ~backoff_ms:25.0
+                ~seed:11 caddr reqs
+            with
+            | Ok rs -> rs
+            | Error (e, _) ->
+              failwith ("serve benchmark: resume: " ^ Rwt_err.to_line e))
+      in
+      let identical =
+        List.for_all2 ( = ) partial
+          (List.filteri (fun i _ -> i < List.length partial) resumed)
+      in
+      Unix.kill pid2 Sys.sigterm;
+      ignore (Unix.waitpid [] pid2);
+      Unix.close devnull;
+      if not identical then
+        failwith "serve benchmark: resumed responses diverged from the pre-kill prefix";
+      pf
+        "chaos: killed (exit %d) after %d/%d responses; restart + resend answered all %d in %.3fs, prefix byte-identical@."
+        daemon_exit (List.length partial) total total resume_wall;
+      Json.Obj
+        [ ("available", Json.Bool true);
+          ("total", Json.Int total);
+          ("answered_before_kill", Json.Int (List.length partial));
+          ("daemon_exit", Json.Int daemon_exit);
+          ("resume_wall_s", Json.Float resume_wall);
+          ("prefix_identical", Json.Bool identical) ]
+    end
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-serve/1");
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("workers", Json.Int 1);
+        ("legs", Json.List [ echo; hot; cold ]);
+        ("cache_hits", Json.Int stats.Rwt_serve.cache_hits);
+        ("chaos", chaos) ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_serve.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -906,6 +1103,7 @@ let all_targets =
     ("mcr", mcr_bench);
     ("tpn", tpn_build_bench);
     ("incr", incremental_bench);
+    ("serve", serve_bench);
     ("bechamel", bechamel) ]
 
 let default_targets =

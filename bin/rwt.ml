@@ -716,12 +716,13 @@ let batch_cmd =
   let retries_arg =
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
            ~doc:"Re-evaluate a job whose failure is transient (fault class) \
-                 up to $(docv) extra times under exponential backoff.")
+                 up to $(docv) extra times under decorrelated-jitter backoff.")
   in
   let backoff_arg =
     Arg.(value & opt float 100.0 & info [ "backoff-ms" ] ~docv:"MS"
-           ~doc:"Base retry backoff: sleep $(docv)*2^k ms before retry k+1 \
-                 (default 100).")
+           ~doc:"Base retry delay (default 100): each retry sleeps uniform in \
+                 [base, 3*previous) ms, capped, seeded per job index so \
+                 schedules are deterministic at any worker count.")
   in
   Cmd.v
     (Cmd.info "batch"
@@ -889,6 +890,191 @@ let obs_cmd =
        ~doc:"Observability tooling: compare two metric dumps against regression            thresholds, or convert a dump to Prometheus text format.")
     [ obs_diff_cmd; obs_prom_cmd ]
 
+(* --- serve / send: the persistent analysis daemon and its client --- *)
+
+let parse_tcp spec =
+  let bad () =
+    die_err (cli_err (Printf.sprintf "bad --tcp %S: expected [HOST:]PORT" spec))
+  in
+  match String.rindex_opt spec ':' with
+  | Some i ->
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match int_of_string_opt port with
+     | Some p when p >= 0 && p < 65536 ->
+       ((if host = "" then "127.0.0.1" else host), p)
+     | _ -> bad ())
+  | None ->
+    (match int_of_string_opt spec with
+     | Some p when p >= 0 && p < 65536 -> ("127.0.0.1", p)
+     | _ -> bad ())
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path of the daemon.")
+
+let tcp_arg =
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"[HOST:]PORT"
+         ~doc:"TCP address of the daemon (host defaults to 127.0.0.1).")
+
+let serve_cmd =
+  let run () socket tcp port_file workers queue max_conns max_line deadline_ms cap
+      journal memo_cap allow_shutdown =
+    let tcp = Option.map parse_tcp tcp in
+    let cfg =
+      { Rwt_serve.default_config with
+        socket; tcp; port_file; workers; queue; max_conns; max_line;
+        default_deadline_ms = deadline_ms; default_transition_cap = cap;
+        journal; memo_cap; allow_shutdown }
+    in
+    let on_ready (r : Rwt_serve.ready) =
+      (* SIGTERM/SIGINT request a graceful drain: stop accepting, finish
+         admitted work, flush every pending response, then exit 0 *)
+      List.iter
+        (fun s ->
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Rwt_serve.stop r.Rwt_serve.control)))
+        [ Sys.sigterm; Sys.sigint ];
+      if r.Rwt_serve.recovered > 0 then
+        Format.eprintf "rwt serve: recovered %d journaled result%s@."
+          r.Rwt_serve.recovered
+          (if r.Rwt_serve.recovered = 1 then "" else "s");
+      Format.eprintf "rwt serve: listening on %s (workers %d, queue %d)@."
+        r.Rwt_serve.addr r.Rwt_serve.eff_workers queue
+    in
+    match Rwt_serve.run ~on_ready cfg with
+    | Ok stats -> Format.eprintf "rwt serve: drained: %a@." Rwt_serve.pp_stats stats
+    | Error e -> die_err e
+  in
+  let port_file_arg =
+    Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE"
+           ~doc:"Write the bound TCP port to $(docv) (useful with --tcp 0 for an \
+                 ephemeral port).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 0 & info [ "w"; "workers" ] ~docv:"N"
+           ~doc:"Worker domains evaluating requests (default 0 = the recommended \
+                 domain count of the machine).")
+  in
+  let queue_arg =
+    Arg.(value & opt int Rwt_serve.default_config.Rwt_serve.queue
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission cap: maximum outstanding (queued + running) analysis \
+                   requests; beyond it the daemon answers status \"shed\" \
+                   immediately instead of queueing without bound.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int Rwt_serve.default_config.Rwt_serve.max_conns
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Maximum concurrent client connections.")
+  in
+  let max_line_arg =
+    Arg.(value & opt int Rwt_serve.default_config.Rwt_serve.max_line
+         & info [ "max-line" ] ~docv:"BYTES"
+             ~doc:"Request line size cap; longer lines are answered with a typed \
+                   capacity error and discarded.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Default per-request budget (from admission, milliseconds) applied \
+                 when a request carries no \"deadline_ms\" of its own.")
+  in
+  let cap_arg =
+    Arg.(value & opt (some int) None & info [ "transition-cap" ] ~docv:"N"
+           ~doc:"Default TPN size guard applied when a request carries no \
+                 \"transition_cap\" of its own.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Crash-tolerance journal: append each completed deterministic \
+                 result (fsync'd before the response is sent) and replay the \
+                 journal on startup, so kill -9 + restart + client resend yields \
+                 byte-identical responses. See doc/SERVE.md.")
+  in
+  let memo_cap_arg =
+    Arg.(value & opt int Rwt_serve.default_config.Rwt_serve.memo_cap
+         & info [ "memo-cap" ] ~docv:"N"
+             ~doc:"Canonical-result cache entries kept in memory (FIFO eviction).")
+  in
+  let allow_shutdown_arg =
+    Arg.(value & flag & info [ "allow-shutdown" ]
+           ~doc:"Honor the {\"req\":\"shutdown\"} request type (off by default: a \
+                 client must not be able to stop a shared daemon).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent analysis daemon: NDJSON requests over a Unix-domain \
+             and/or TCP socket, one response line per request, with admission \
+             control, overload shedding, graceful SIGTERM drain and a crash \
+             journal. Protocol in doc/SERVE.md.")
+    Term.(const run $ obs_term $ socket_arg $ tcp_arg $ port_file_arg $ workers_arg
+          $ queue_arg $ max_conns_arg $ max_line_arg $ deadline_arg $ cap_arg
+          $ journal_arg $ memo_cap_arg $ allow_shutdown_arg)
+
+let send_cmd =
+  let run () reqfile socket tcp retries backoff_ms seed =
+    let addr =
+      match (socket, tcp) with
+      | Some _, Some _ -> die_err (cli_err "use either --socket or --tcp, not both")
+      | Some path, None -> Rwt_serve.Client.Unix_sock path
+      | None, Some spec ->
+        let host, port = parse_tcp spec in
+        Rwt_serve.Client.Tcp (host, port)
+      | None, None ->
+        die_err
+          (cli_err "a daemon address is required: --socket PATH or --tcp HOST:PORT")
+    in
+    let contents =
+      match reqfile with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | p ->
+        (try In_channel.with_open_text p In_channel.input_all
+         with Sys_error msg ->
+           prerr_endline ("rwt: " ^ msg);
+           exit 1)
+    in
+    let lines =
+      List.filter
+        (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
+        (String.split_on_char '\n' contents)
+    in
+    if lines = [] then die_err (cli_err (reqfile ^ ": no requests"));
+    match Rwt_serve.Client.request_lines ~retries ~backoff_ms ~seed addr lines with
+    | Ok responses -> List.iter print_endline responses
+    | Error (e, partial) ->
+      (* the responses that did arrive are still valid results *)
+      List.iter print_endline partial;
+      die_err e
+  in
+  let reqfile_arg =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"REQFILE"
+           ~doc:"Request file (\"-\", the default, for stdin): one NDJSON request \
+                 per line; blank lines and #-comments are skipped.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry budget for failed connects, daemon disconnects and shed \
+                 responses (unanswered requests are re-sent; analysis results are \
+                 memoized server-side, so resending is idempotent).")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 100.0 & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"Base retry delay: each retry sleeps per the decorrelated-jitter \
+                 policy (uniform in [base, 3*previous), capped) so clients that \
+                 failed together do not retry together.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for the jitter stream (deterministic retry schedules in \
+                 tests).")
+  in
+  Cmd.v
+    (Cmd.info "send"
+       ~doc:"Send NDJSON requests to a running rwt serve daemon and print one \
+             response line per request, in request order.")
+    Term.(const run $ obs_term $ reqfile_arg $ socket_arg $ tcp_arg $ retries_arg
+          $ backoff_arg $ seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rwt" ~version:"1.0.0"
@@ -897,9 +1083,26 @@ let main =
     [ period_cmd; mct_cmd; paths_cmd; tpn_cmd; critical_cmd; gantt_cmd; simulate_cmd;
       show_cmd; certificate_cmd; sensitivity_cmd; latency_cmd; optimize_cmd;
       stochastic_cmd; table2_cmd; calibrate_cmd; profile_cmd; batch_cmd;
-      obs_cmd; json_check_cmd ]
+      serve_cmd; send_cmd; obs_cmd; json_check_cmd ]
+
+(* a downstream pipe closing (rwt batch ... | head) surfaces as EPIPE on a
+   raw write or as Sys_error "Broken pipe" on a buffered flush *)
+let is_epipe =
+  let mentions_broken_pipe msg =
+    let sub = "Broken pipe" and n = String.length msg in
+    let k = String.length sub in
+    let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+    scan 0
+  in
+  function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg -> mentions_broken_pipe msg
+  | _ -> false
 
 let () =
+  (* writes to a closed pipe must surface as EPIPE (handled below as a
+     clean exit), not kill the process with an unhandled signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* arm fault injection from the environment before any command runs;
      --fault (per command) overrides *)
   (match Rwt_fault.install_from_env () with
@@ -910,8 +1113,23 @@ let () =
   (* every failure — model-level (invalid mapping, lcm overflow, …),
      solver, or injected — becomes one typed diagnostic line, never a raw
      backtrace or cmdliner's "internal error" banner *)
+  (* flush before [exit]: a broken-pipe failure surfacing only in the
+     [at_exit] flush would escape every handler below and turn a
+     successful run into a fatal error. Once the pipe is broken the
+     stdout buffer is undeliverable, so skip [at_exit] entirely —
+     re-flushing the poisoned channel would just raise again. *)
+  let exit_flushed code =
+    match flush stdout with
+    | () -> exit code
+    | exception e when is_epipe e ->
+      (try flush stderr with _ -> ());
+      Unix._exit code
+  in
   match Cmd.eval ~catch:false main with
-  | code -> exit code
+  | code -> exit_flushed code
+  | exception e when is_epipe e ->
+    (* the consumer stopped reading; whatever was written was wanted *)
+    exit_flushed 0
   | exception Rwt_err.Error e ->
     prerr_endline ("rwt: " ^ Rwt_err.to_line e);
     exit 2

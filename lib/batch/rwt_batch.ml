@@ -525,13 +525,18 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
                 period = None; m = None; n_stages = None; n_resources = None;
                 cache_hit = false; wall_s = 0.0 }
           in
+          (* decorrelated-jitter retries: the jitter stream is seeded per
+             job index, so the retry schedule is deterministic at any
+             worker count while distinct jobs still spread out instead of
+             retrying in lockstep *)
+          let backoff = lazy (Backoff.create ~seed:(0x9e37 + i) ~base_ms:backoff_ms ()) in
           let rec attempt k =
             let o = eval_once () in
             match o.status with
             | Failed e when Rwt_err.transient e && k < retries ->
               Obs.incr "batch.retries";
               if k = 0 then Atomic.incr retried;
-              Unix.sleepf (backoff_ms *. (2.0 ** float_of_int k) /. 1000.0);
+              Unix.sleepf (Backoff.next_ms (Lazy.force backoff) /. 1000.0);
               attempt (k + 1)
             | _ -> o
           in

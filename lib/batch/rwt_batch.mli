@@ -21,7 +21,7 @@
     transition cap produces an ["error"] or ["timeout"] result line; the
     batch always runs to completion. Errors are typed ({!Rwt_err.t}), and
     transient (fault-injected) failures can retry under bounded
-    exponential backoff.
+    decorrelated-jitter backoff.
 
     {b Crash safety.} With [~journal], every completed representative
     evaluation is appended to an fsync'd NDJSON sidecar before the batch
@@ -162,8 +162,9 @@ val run :
 
     [retries] (default 0) re-evaluates a job whose failure is
     {!Rwt_err.transient} (injected faults) up to that many extra times,
-    sleeping [backoff_ms]·2{^k} ms before attempt [k+1]
-    (default 100 ms). *)
+    sleeping per the decorrelated-jitter {!Rwt_util.Backoff} policy with
+    base [backoff_ms] (default 100 ms); the jitter stream is seeded per
+    job index, so schedules are deterministic at any worker count. *)
 
 val run_to_channel :
   ?jobs:int ->

@@ -520,6 +520,8 @@ let prometheus_render ~counters ~gauges ~hists =
     hists;
   Buffer.contents buf
 
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
 let prometheus () =
   let cs, gs, hs =
     locked (fun () ->

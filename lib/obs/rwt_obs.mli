@@ -199,7 +199,12 @@ val prometheus : unit -> string
     ([quantile="0.5"|"0.9"|"0.99"], [_sum], [_count]). Metric names are
     mangled to [[A-Za-z0-9_]] with an [rwt_] prefix; every family carries
     [# HELP]/[# TYPE] headers naming the original metric. This is the
-    future [/metrics] body for [rwt serve]. *)
+    [metrics] response body for [rwt serve]. *)
+
+val prometheus_content_type : string
+(** ["text/plain; version=0.0.4; charset=utf-8"] — the content type a
+    transport should advertise when exposing {!prometheus} output (the
+    serve protocol echoes it in the [metrics] response). *)
 
 val prometheus_of_json : Rwt_util.Json.t -> (string, string) result
 (** Render a parsed [rwt.metrics/1] dump (or any object wrapping one under

@@ -125,3 +125,119 @@ let map ?workers ~n f =
     run ?workers ~n (fun i -> out.(i) <- Some (f i));
     Array.map (function Some v -> v | None -> assert false) out
   end
+
+(* ------------------------------------------------------------------ *)
+(* Long-lived service pool: dynamic submissions over persistent
+   workers, for daemons ([rwt serve]) rather than static fan-out.     *)
+
+type 'a service = {
+  name : string;
+  handler : 'a -> unit;
+  smu : Mutex.t;
+  nonempty : Condition.t;  (* signalled on submit and on shutdown *)
+  all_done : Condition.t;  (* broadcast when queue empty and inflight 0 *)
+  q : 'a Queue.t;
+  queue_cap : int;
+  mutable inflight : int;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable doms : unit Domain.t array;
+}
+
+let service_worker svc () =
+  Domain.DLS.set in_worker true;
+  let finally () = Domain.DLS.set in_worker false in
+  Fun.protect ~finally @@ fun () ->
+  let rec loop () =
+    Mutex.lock svc.smu;
+    let rec await () =
+      if not (Queue.is_empty svc.q) then begin
+        let item = Queue.pop svc.q in
+        svc.inflight <- svc.inflight + 1;
+        Mutex.unlock svc.smu;
+        let settle () =
+          Mutex.lock svc.smu;
+          svc.inflight <- svc.inflight - 1;
+          if svc.inflight = 0 && Queue.is_empty svc.q then
+            Condition.broadcast svc.all_done;
+          Mutex.unlock svc.smu
+        in
+        (* the handler owns its own error reporting (a serve worker always
+           answers with a typed error line); this catch-all is the backstop
+           that keeps a worker domain alive across anything else. Fatal
+           runtime conditions still kill the worker, but only after the
+           inflight count is settled so {!shutdown} cannot hang. *)
+        (match svc.handler item with
+         | () -> ()
+         | exception ((Stack_overflow | Out_of_memory) as e) ->
+           settle ();
+           raise e
+         | exception _ -> Obs.incr (svc.name ^ ".task_errors"));
+        settle ();
+        loop ()
+      end
+      else if svc.stopping then Mutex.unlock svc.smu
+      else begin
+        Condition.wait svc.nonempty svc.smu;
+        await ()
+      end
+    in
+    await ()
+  in
+  loop ()
+
+let service ?workers ?(queue_cap = max_int) ~name handler =
+  let workers =
+    match workers with
+    | Some w -> max 1 (min 128 w)
+    | None -> max 1 (min 128 (recommended ()))
+  in
+  let svc =
+    { name; handler; smu = Mutex.create (); nonempty = Condition.create ();
+      all_done = Condition.create (); q = Queue.create ();
+      queue_cap = max 0 queue_cap; inflight = 0; stopping = false;
+      joined = false; doms = [||] }
+  in
+  svc.doms <- Array.init workers (fun _ -> Domain.spawn (service_worker svc));
+  svc
+
+let submit svc item =
+  Mutex.lock svc.smu;
+  if svc.stopping || Queue.length svc.q >= svc.queue_cap then begin
+    Mutex.unlock svc.smu;
+    false
+  end
+  else begin
+    Queue.push item svc.q;
+    let depth = Queue.length svc.q in
+    Condition.signal svc.nonempty;
+    Mutex.unlock svc.smu;
+    if Obs.enabled () then
+      Obs.sample (svc.name ^ ".queue_depth") (float_of_int depth);
+    true
+  end
+
+let service_depth svc = Mutex.protect svc.smu (fun () -> Queue.length svc.q)
+
+let service_outstanding svc =
+  Mutex.protect svc.smu (fun () -> Queue.length svc.q + svc.inflight)
+
+let service_workers svc = Array.length svc.doms
+
+let shutdown ?(drain = true) svc =
+  Mutex.lock svc.smu;
+  if svc.joined then Mutex.unlock svc.smu
+  else begin
+    if not drain then begin
+      Obs.add (svc.name ^ ".dropped") (Queue.length svc.q);
+      Queue.clear svc.q
+    end;
+    svc.stopping <- true;
+    Condition.broadcast svc.nonempty;
+    while not (Queue.is_empty svc.q && svc.inflight = 0) do
+      Condition.wait svc.all_done svc.smu
+    done;
+    svc.joined <- true;
+    Mutex.unlock svc.smu;
+    Array.iter Domain.join svc.doms
+  end

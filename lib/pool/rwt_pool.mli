@@ -45,3 +45,46 @@ val run : ?workers:int -> n:int -> (int -> unit) -> unit
 val map : ?workers:int -> n:int -> (int -> 'a) -> 'a array
 (** [map ~n f] is [[| f 0; ...; f (n-1) |]] computed through {!run}; the
     result order is always the task order, independent of scheduling. *)
+
+(** {1 Long-lived services}
+
+    The static pool above drains a fixed task set and exits; a daemon
+    needs the dual: persistent worker domains fed by dynamic submissions.
+    A {!service} keeps [workers] domains blocked on a condition variable
+    over one bounded FIFO queue. Workers mark themselves as pool workers,
+    so solver code they call degrades nested {!run}s to sequential loops
+    exactly as in the static pool, and per-worker [Domain.DLS] state (for
+    example [Rwt_core.Delta] sessions in [rwt serve]) persists across
+    submissions for the life of the service. Handler exceptions are
+    counted under [<name>.task_errors] and never kill a worker. *)
+
+type 'a service
+
+val service :
+  ?workers:int -> ?queue_cap:int -> name:string -> ('a -> unit) -> 'a service
+(** [service ~name handler] spawns the worker domains immediately.
+    [workers] defaults to {!recommended} (clamped to [[1, 128]]);
+    [queue_cap] bounds the number of {e queued} (not yet running) items —
+    default unbounded. [name] prefixes the service's metrics
+    ([<name>.queue_depth] samples, [<name>.task_errors],
+    [<name>.dropped]). *)
+
+val submit : 'a service -> 'a -> bool
+(** Enqueue an item; [false] — the caller's load-shedding signal — when
+    the service is stopping or the queue is at [queue_cap]. Never
+    blocks. *)
+
+val service_depth : _ service -> int
+(** Items queued and not yet picked up. *)
+
+val service_outstanding : _ service -> int
+(** Queued plus currently running items. *)
+
+val service_workers : _ service -> int
+
+val shutdown : ?drain:bool -> _ service -> unit
+(** Stop the service and join its domains. With [drain] (the default)
+    every queued item is still handled first; with [~drain:false] the
+    queue is discarded (counted under [<name>.dropped]) and only items
+    already running finish. Subsequent {!submit}s return [false];
+    calling {!shutdown} again is a no-op. *)

@@ -1,0 +1,1180 @@
+open Rwt_util
+open Rwt_workflow
+module Analysis = Rwt_core.Analysis
+module Delta = Rwt_core.Delta
+module Exact = Rwt_core.Exact
+module Poly_overlap = Rwt_core.Poly_overlap
+module Obs = Rwt_obs
+
+(* --- requests --- *)
+
+type source = File of string | Example of string
+
+type analyze = {
+  source : source;
+  model : Comm_model.t;
+  method_ : Analysis.method_;
+  deadline_ms : int option;
+  transition_cap : int option;
+}
+
+type kind =
+  | Analyze of analyze
+  | Echo of Json.t option
+  | Metrics of [ `Prometheus | `Json ]
+  | Health
+  | Shutdown
+
+type request = { id : string option; kind : kind }
+
+let method_to_string = function
+  | Analysis.Auto -> "auto"
+  | Analysis.Tpn -> "tpn"
+  | Analysis.Poly -> "poly"
+
+let method_of_string = function
+  | "auto" -> Some Analysis.Auto
+  | "tpn" -> Some Analysis.Tpn
+  | "poly" -> Some Analysis.Poly
+  | _ -> None
+
+let req_err msg = Rwt_err.parse ~code:"parse.request" msg
+
+let parse_request line =
+  match Json.of_string_pos line with
+  | Error e ->
+    Error
+      (Rwt_err.parse ~code:"parse.request" ~col:e.Json.col
+         ~context:[ ("offset", string_of_int e.Json.offset) ]
+         (Printf.sprintf "bad JSON: %s" e.Json.reason))
+  | Ok (Json.Obj fields) ->
+    let exception Bad of Rwt_err.t in
+    (try
+       let str_field k v =
+         match v with
+         | Json.String s -> s
+         | _ -> raise (Bad (req_err (Printf.sprintf "key %S expects a string" k)))
+       in
+       let int_field k v =
+         match v with
+         | Json.Int n -> n
+         | _ -> raise (Bad (req_err (Printf.sprintf "key %S expects an integer" k)))
+       in
+       let req = ref None and id = ref None in
+       let file = ref None and example = ref None in
+       let model = ref Comm_model.Overlap and method_ = ref Analysis.Auto in
+       let deadline_ms = ref None and transition_cap = ref None in
+       let payload = ref None and format = ref None in
+       List.iter
+         (fun (k, v) ->
+           match k with
+           | "req" -> req := Some (str_field k v)
+           | "id" -> id := Some (str_field k v)
+           | "file" -> file := Some (str_field k v)
+           | "example" -> example := Some (str_field k v)
+           | "model" ->
+             (match Comm_model.of_string (str_field k v) with
+              | Some m -> model := m
+              | None ->
+                raise
+                  (Bad (req_err (Printf.sprintf "unknown model %S" (str_field k v)))))
+           | "method" ->
+             (match method_of_string (str_field k v) with
+              | Some m -> method_ := m
+              | None ->
+                raise
+                  (Bad (req_err (Printf.sprintf "unknown method %S" (str_field k v)))))
+           | "deadline_ms" ->
+             let n = int_field k v in
+             if n < 0 then
+               raise (Bad (req_err "\"deadline_ms\" must be non-negative"));
+             deadline_ms := Some n
+           | "transition_cap" ->
+             let n = int_field k v in
+             if n < 1 then raise (Bad (req_err "\"transition_cap\" must be positive"));
+             transition_cap := Some n
+           | "payload" -> payload := Some v
+           | "format" -> format := Some (str_field k v)
+           | _ -> raise (Bad (req_err (Printf.sprintf "unknown key %S" k))))
+         fields;
+       let kind_name =
+         match !req with
+         | Some r -> r
+         | None ->
+           if !file <> None || !example <> None then "analyze"
+           else
+             raise
+               (Bad
+                  (req_err
+                     "an analysis request needs \"file\" or \"example\" (or set \
+                      \"req\")"))
+       in
+       let forbid field name =
+         if field <> None then
+           raise
+             (Bad
+                (Rwt_err.validate ~code:"validate.request"
+                   (Printf.sprintf "key %S does not apply to req %S" name kind_name)))
+       in
+       let analyze_only () =
+         forbid !payload "payload";
+         forbid !format "format"
+       in
+       let plain () =
+         analyze_only ();
+         forbid !file "file";
+         forbid !example "example";
+         forbid (Option.map (fun _ -> ()) !deadline_ms) "deadline_ms";
+         forbid (Option.map (fun _ -> ()) !transition_cap) "transition_cap"
+       in
+       let kind =
+         match kind_name with
+         | "analyze" ->
+           analyze_only ();
+           let source =
+             match (!file, !example) with
+             | Some _, Some _ ->
+               raise
+                 (Bad
+                    (Rwt_err.validate ~code:"validate.request"
+                       "use either \"file\" or \"example\", not both"))
+             | Some f, None -> File f
+             | None, Some e -> Example e
+             | None, None ->
+               raise
+                 (Bad
+                    (Rwt_err.validate ~code:"validate.request"
+                       "an analysis request needs \"file\" or \"example\""))
+           in
+           Analyze
+             { source; model = !model; method_ = !method_;
+               deadline_ms = !deadline_ms; transition_cap = !transition_cap }
+         | "echo" ->
+           forbid !format "format";
+           forbid !file "file";
+           forbid !example "example";
+           Echo !payload
+         | "metrics" ->
+           forbid !payload "payload";
+           forbid !file "file";
+           forbid !example "example";
+           (match !format with
+            | None | Some "prometheus" -> Metrics `Prometheus
+            | Some "json" -> Metrics `Json
+            | Some other ->
+              raise
+                (Bad
+                   (Rwt_err.validate ~code:"validate.request"
+                      (Printf.sprintf
+                         "unknown metrics format %S (try \"prometheus\" or \"json\")"
+                         other))))
+         | "health" -> plain (); Health
+         | "shutdown" -> plain (); Shutdown
+         | other ->
+           raise
+             (Bad
+                (Rwt_err.validate ~code:"validate.request"
+                   (Printf.sprintf
+                      "unknown req %S (try analyze, echo, metrics, health, shutdown)"
+                      other)))
+       in
+       Ok { id = !id; kind }
+     with Bad e -> Error e)
+  | Ok _ -> Error (req_err "expected a JSON object")
+
+(* --- configuration --- *)
+
+type config = {
+  socket : string option;
+  tcp : (string * int) option;
+  port_file : string option;
+  workers : int;
+  queue : int;
+  max_conns : int;
+  max_line : int;
+  default_deadline_ms : int option;
+  default_transition_cap : int option;
+  journal : string option;
+  memo_cap : int;
+  allow_shutdown : bool;
+  write_timeout_s : float;
+}
+
+let default_config =
+  { socket = None; tcp = None; port_file = None; workers = 0; queue = 64;
+    max_conns = 64; max_line = 1 lsl 20; default_deadline_ms = None;
+    default_transition_cap = None; journal = None; memo_cap = 4096;
+    allow_shutdown = false; write_timeout_s = 30.0 }
+
+type stats = {
+  requests : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  shed : int;
+  cache_hits : int;
+  replayed : int;
+  conns : int;
+  recovered : int;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d request%s: %d ok, %d error%s, %d timeout%s, %d shed; %d cache hit%s, %d \
+     replayed, %d connection%s"
+    s.requests
+    (if s.requests = 1 then "" else "s")
+    s.ok s.errors
+    (if s.errors = 1 then "" else "s")
+    s.timeouts
+    (if s.timeouts = 1 then "" else "s")
+    s.shed s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")
+    s.replayed s.conns
+    (if s.conns = 1 then "" else "s")
+
+type control = bool Atomic.t
+
+let stop c = Atomic.set c true
+
+type ready = {
+  control : control;
+  addr : string;
+  eff_workers : int;
+  recovered : int;
+}
+
+(* --- durable records ---
+
+   The durable (and memoized) fields of one analysis result. Responses
+   are rendered from this record whether it was computed just now,
+   found in the in-process memo, or recovered from the journal — which
+   is what makes a post-crash resend byte-identical. *)
+
+type record = {
+  rec_status : string; (* "ok" | "error" | "timeout" *)
+  rec_period : Rat.t option;
+  rec_degraded : string option;
+  rec_error : Rwt_err.t option;
+}
+
+let journal_schema = "rwt.serve-journal/1"
+
+let opt_field k f v = match v with None -> [] | Some x -> [ (k, f x) ]
+
+let record_to_json key r =
+  Json.Obj
+    (("k", Json.String key)
+     :: ("status", Json.String r.rec_status)
+     :: (opt_field "period" (fun p -> Json.String (Rat.to_string p)) r.rec_period
+         @ opt_field "degraded" (fun s -> Json.String s) r.rec_degraded
+         @ opt_field "error" Rwt_err.to_json r.rec_error))
+
+let record_of_json = function
+  | Json.Obj fields ->
+    let str k =
+      match List.assoc_opt k fields with Some (Json.String s) -> Some s | _ -> None
+    in
+    (match (str "k", str "status") with
+     | Some key, Some rec_status ->
+       let rec_period =
+         match str "period" with
+         | Some s -> (try Some (Rat.of_string s) with _ -> None)
+         | None -> None
+       in
+       let rec_error =
+         Option.bind (List.assoc_opt "error" fields) Rwt_err.of_json
+       in
+       Some (key, { rec_status; rec_period; rec_degraded = str "degraded"; rec_error })
+     | _ -> None)
+  | _ -> None
+
+(* journaled results must be deterministic facts about the request:
+   ok always is, a non-transient error is, a timeout (wall clock) or an
+   injected-fault error (per-hit trigger) is not *)
+let durable r =
+  match r.rec_status with
+  | "ok" -> true
+  | "error" -> (match r.rec_error with Some e -> not (Rwt_err.transient e) | None -> false)
+  | _ -> false
+
+let journal_load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with
+  | exception Sys_error msg -> Error (Rwt_err.parse ~code:"parse.io" msg)
+  | contents ->
+    if String.trim contents = "" then Ok []
+    else begin
+      let lines = String.split_on_char '\n' contents in
+      match lines with
+      | header :: rest ->
+        (match Json.of_string header with
+         | Ok (Json.Obj fields)
+           when List.assoc_opt "schema" fields = Some (Json.String journal_schema) ->
+           let records = ref [] in
+           (try
+              List.iter
+                (fun line ->
+                  if String.trim line <> "" then
+                    match Json.of_string line with
+                    | Ok j ->
+                      (match record_of_json j with
+                       | Some kr -> records := kr :: !records
+                       | None -> raise Exit)
+                    | Error _ ->
+                      (* torn trailing line: the crash hit mid-write *)
+                      raise Exit)
+                rest
+            with Exit -> ());
+           Ok (List.rev !records)
+         | _ ->
+           Error
+             (Rwt_err.validate ~code:"validate.journal"
+                ~context:[ ("file", path); ("want", journal_schema) ]
+                "not an rwt serve journal"))
+      | [] -> Ok []
+    end
+
+(* --- instance loading and evaluation --- *)
+
+let load_source = function
+  | File path -> Format_io.load path
+  | Example name ->
+    (match String.lowercase_ascii name with
+     | "a" | "example-a" -> Ok (Instances.example_a ())
+     | "b" | "example-b" -> Ok (Instances.example_b ())
+     | "c" | "example-c" -> Ok (Instances.example_c ())
+     | "no-replication" | "nr" -> Ok (Instances.no_replication ())
+     | other ->
+       Error
+         (Rwt_err.validate ~code:"validate.example"
+            (Printf.sprintf "unknown example %S (try a, b, c, no-replication)" other)))
+
+(* canonical result key: the instance's canonical serialization with the
+   name stripped (identical content under different names shares one
+   evaluation), plus everything that can change the answer *)
+let canonical_key inst model method_ transition_cap deadline_ms =
+  let anon =
+    Instance.create_exn ~name:"" ~pipeline:inst.Instance.pipeline
+      ~platform:inst.Instance.platform ~mapping:inst.Instance.mapping
+  in
+  let opt = function Some n -> string_of_int n | None -> "-" in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%s|%s|%s|%s" (Format_io.to_string anon)
+          (Comm_model.to_string model) (method_to_string method_)
+          (opt transition_cap) (opt deadline_ms)))
+
+(* per-worker Delta sessions, keyed by (model, cap): the fused TPN graph
+   skeleton and the Mcr session survive across requests, so a stream of
+   shape-compatible instances re-solves warm instead of rebuilding *)
+let delta_sessions : (Comm_model.t * int option, Delta.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let tpn_period ?transition_cap ?deadline model inst =
+  if !Delta.enabled then begin
+    let tbl = Domain.DLS.get delta_sessions in
+    let key = (model, transition_cap) in
+    let session =
+      match Hashtbl.find_opt tbl key with
+      | Some s -> s
+      | None ->
+        let s = Delta.create ?transition_cap model in
+        Hashtbl.add tbl key s;
+        s
+    in
+    Delta.period_exn ?deadline session inst
+  end
+  else (Exact.period_exn ?transition_cap ?deadline model inst).Exact.period
+
+(* same routing and degradation policy as [Analysis.analyze], but the
+   TPN route goes through the persistent per-worker Delta sessions *)
+let eval_period ?transition_cap ?deadline model method_ inst =
+  match (method_, model) with
+  | Analysis.Poly, Comm_model.Strict ->
+    Rwt_err.raise_
+      (Rwt_err.validate ~code:"validate.method"
+         "Analysis.analyze: no polynomial algorithm for the strict model")
+  | (Analysis.Auto | Analysis.Poly), Comm_model.Overlap ->
+    (Poly_overlap.period ?deadline inst, None)
+  | Analysis.Tpn, Comm_model.Overlap ->
+    (match tpn_period ?transition_cap ?deadline model inst with
+     | p -> (p, None)
+     | exception Rwt_err.Error ({ Rwt_err.class_ = Capacity | Timeout; _ } as e) ->
+       Obs.incr "serve.degraded";
+       ( Poly_overlap.period ?deadline inst,
+         Some
+           (Printf.sprintf "tpn route failed (%s: %s); used polynomial algorithm"
+              e.Rwt_err.code
+              (Rwt_err.class_name e.Rwt_err.class_)) ))
+  | (Analysis.Auto | Analysis.Tpn), Comm_model.Strict ->
+    (tpn_period ?transition_cap ?deadline model inst, None)
+
+(* --- server state --- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;
+  wmu : Mutex.t;
+  mutable next_seq : int; (* seq assigned to the next request line *)
+  mutable next_write : int; (* next seq to write out (strict order) *)
+  pending : (int, string) Hashtbl.t; (* finished, awaiting ordered write *)
+  mutable alive : bool; (* write side usable *)
+  mutable eof : bool; (* read side finished *)
+  mutable skipping : bool; (* discarding the rest of an oversized line *)
+}
+
+type task = {
+  t_conn : conn;
+  t_seq : int;
+  t_id : string option;
+  t_kind : kind;
+  t_admit : float;
+}
+
+type state = {
+  cfg : config;
+  eff_workers : int;
+  stop_flag : control;
+  t_start : float;
+  recovered : int;
+  outstanding : int Atomic.t;
+  (* canonical-result memo: record plus whether it came from the journal *)
+  memo_mu : Mutex.t;
+  memo : (string, record * bool) Hashtbl.t;
+  memo_fifo : string Queue.t;
+  journal_mu : Mutex.t;
+  mutable journal_fd : Unix.file_descr option;
+  mutable svc : task Rwt_pool.service option;
+  mutable live_conns : int;
+  (* lifetime counters (workers and the accept loop both write) *)
+  c_requests : int Atomic.t;
+  c_ok : int Atomic.t;
+  c_errors : int Atomic.t;
+  c_timeouts : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_cache_hits : int Atomic.t;
+  c_replayed : int Atomic.t;
+  c_conns : int Atomic.t;
+}
+
+let stats_of st =
+  { requests = Atomic.get st.c_requests;
+    ok = Atomic.get st.c_ok;
+    errors = Atomic.get st.c_errors;
+    timeouts = Atomic.get st.c_timeouts;
+    shed = Atomic.get st.c_shed;
+    cache_hits = Atomic.get st.c_cache_hits;
+    replayed = Atomic.get st.c_replayed;
+    conns = Atomic.get st.c_conns;
+    recovered = st.recovered }
+
+(* --- memo + journal --- *)
+
+let memo_find st key = Mutex.protect st.memo_mu (fun () -> Hashtbl.find_opt st.memo key)
+
+let memo_store st key r ~from_journal =
+  Mutex.protect st.memo_mu (fun () ->
+      if not (Hashtbl.mem st.memo key) then begin
+        while Hashtbl.length st.memo >= st.cfg.memo_cap && Queue.length st.memo_fifo > 0 do
+          Hashtbl.remove st.memo (Queue.pop st.memo_fifo)
+        done;
+        Hashtbl.replace st.memo key (r, from_journal);
+        Queue.push key st.memo_fifo
+      end)
+
+let journal_append st key r =
+  match st.journal_fd with
+  | None -> ()
+  | Some fd ->
+    let line = Json.to_string (record_to_json key r) ^ "\n" in
+    Mutex.protect st.journal_mu (fun () ->
+        let n = String.length line in
+        let written = ref 0 in
+        while !written < n do
+          written := !written + Unix.write_substring fd line !written (n - !written)
+        done;
+        (* fsync before the response goes out: a result is visible to the
+           client only once it is durable, so a crash can never have
+           answered something the journal does not know *)
+        Unix.fsync fd)
+
+(* --- response rendering --- *)
+
+let render ~id fields =
+  Json.to_string
+    (Json.Obj
+       ((match id with Some s -> [ ("id", Json.String s) ] | None -> []) @ fields))
+
+let err_fields e =
+  [ ("error", Json.String (Rwt_err.to_line e));
+    ("error_class", Json.String (Rwt_err.class_name e.Rwt_err.class_));
+    ("error_code", Json.String e.Rwt_err.code) ]
+
+let ok_status = ("status", Json.String "ok")
+
+let error_response st e =
+  Atomic.incr st.c_errors;
+  Obs.incr "serve.errors";
+  ("status", Json.String "error") :: err_fields e
+
+let shed_response st =
+  Atomic.incr st.c_shed;
+  Obs.incr "serve.shed";
+  ("status", Json.String "shed")
+  :: err_fields
+       (Rwt_err.capacity ~code:"serve.shed"
+          ~context:[ ("queue", string_of_int st.cfg.queue) ]
+          "admission queue full")
+
+(* a response from a durable record — the single rendering path for
+   fresh, memoized and journal-replayed results *)
+let record_response st (r, from_journal) ~cached =
+  if cached then begin
+    Atomic.incr st.c_cache_hits;
+    Obs.incr "serve.cache_hits";
+    if from_journal then begin
+      Atomic.incr st.c_replayed;
+      Obs.incr "serve.journal_replays"
+    end
+  end;
+  match r.rec_status with
+  | "ok" ->
+    Atomic.incr st.c_ok;
+    Obs.incr "serve.ok";
+    (ok_status
+     :: (opt_field "period" (fun p -> Json.String (Rat.to_string p)) r.rec_period
+         @ opt_field "period_float" (fun p -> Json.Float (Rat.to_float p)) r.rec_period
+         @ opt_field "throughput_float"
+             (fun p -> Json.Float (Rat.to_float (Rat.inv p)))
+             (match r.rec_period with
+              | Some p when not (Rat.is_zero p) -> Some p
+              | _ -> None)
+         @
+         match r.rec_degraded with
+         | None -> []
+         | Some why ->
+           [ ("degraded", Json.Bool true); ("degraded_reason", Json.String why) ]))
+  | "timeout" ->
+    Atomic.incr st.c_timeouts;
+    Obs.incr "serve.timeouts";
+    [ ("status", Json.String "timeout") ]
+  | _ ->
+    error_response st
+      (match r.rec_error with
+       | Some e -> e
+       | None -> Rwt_err.internal ~code:"internal.journal" "journaled error lost")
+
+(* --- worker-side evaluation --- *)
+
+let timeout_record =
+  { rec_status = "timeout"; rec_period = None; rec_degraded = None; rec_error = None }
+
+let analyze_response st (a : analyze) ~t_admit =
+  match load_source a.source with
+  | Error e -> error_response st e
+  | Ok inst ->
+    let deadline_ms =
+      match a.deadline_ms with Some _ as d -> d | None -> st.cfg.default_deadline_ms
+    in
+    let transition_cap =
+      match a.transition_cap with
+      | Some _ as c -> c
+      | None -> st.cfg.default_transition_cap
+    in
+    let key = canonical_key inst a.model a.method_ transition_cap deadline_ms in
+    (match memo_find st key with
+     | Some entry -> record_response st entry ~cached:true
+     | None ->
+       let deadline =
+         Option.map
+           (fun ms ->
+             let d = t_admit +. (float_of_int ms /. 1000.0) in
+             fun () -> Unix.gettimeofday () >= d)
+           deadline_ms
+       in
+       let r =
+         if match deadline with Some f -> f () | None -> false then
+           (* the budget expired while the request sat in the queue *)
+           timeout_record
+         else
+           match
+             Rwt_err.catch (fun () ->
+                 eval_period ?transition_cap ?deadline a.model a.method_ inst)
+           with
+           | Ok (p, degraded) ->
+             { rec_status = "ok"; rec_period = Some p; rec_degraded = degraded;
+               rec_error = None }
+           | Error { Rwt_err.class_ = Timeout; _ } -> timeout_record
+           | Error e ->
+             { rec_status = "error"; rec_period = None; rec_degraded = None;
+               rec_error = Some e }
+       in
+       if durable r then begin
+         journal_append st key r;
+         memo_store st key r ~from_journal:false
+       end;
+       record_response st (r, false) ~cached:false)
+
+(* ordered delivery: responses are written strictly in request order per
+   connection, whatever order the workers finish in. Only this function
+   (and the final close sweep, under the same mutex) touches the write
+   side of a connection. *)
+let deliver conn seq line =
+  Mutex.protect conn.wmu (fun () ->
+      Hashtbl.replace conn.pending seq line;
+      let rec flush () =
+        match Hashtbl.find_opt conn.pending conn.next_write with
+        | None -> ()
+        | Some l ->
+          Hashtbl.remove conn.pending conn.next_write;
+          conn.next_write <- conn.next_write + 1;
+          (if conn.alive then
+             try
+               let out = l ^ "\n" in
+               let n = String.length out in
+               let written = ref 0 in
+               while !written < n do
+                 written :=
+                   !written + Unix.write_substring conn.fd out !written (n - !written)
+               done
+             with Unix.Unix_error _ | Sys_error _ ->
+               conn.alive <- false;
+               Obs.incr "serve.write_failures");
+          flush ()
+      in
+      flush ())
+
+let handle_task st task =
+  let response =
+    match
+      Rwt_err.catch (fun () ->
+          Obs.with_span "serve.request" (fun () ->
+              match task.t_kind with
+              | Echo payload ->
+                Atomic.incr st.c_ok;
+                Obs.incr "serve.ok";
+                ok_status :: opt_field "payload" Fun.id payload
+              | Analyze a -> analyze_response st a ~t_admit:task.t_admit
+              | Metrics _ | Health | Shutdown -> assert false))
+    with
+    | Ok fields -> fields
+    | Error e -> error_response st e
+  in
+  Atomic.decr st.outstanding;
+  Obs.observe "serve.request_latency_s" (Unix.gettimeofday () -. task.t_admit);
+  deliver task.t_conn task.t_seq (render ~id:task.t_id response)
+
+(* --- accept-loop request handling --- *)
+
+let health_response st =
+  Atomic.incr st.c_ok;
+  Obs.incr "serve.ok";
+  [ ok_status;
+    ( "health",
+      Json.Obj
+        [ ("accepting", Json.Bool (not (Atomic.get st.stop_flag)));
+          ("workers", Json.Int st.eff_workers);
+          ("queue", Json.Int st.cfg.queue);
+          ("outstanding", Json.Int (Atomic.get st.outstanding));
+          ("conns", Json.Int st.live_conns);
+          ("requests", Json.Int (Atomic.get st.c_requests));
+          ("shed", Json.Int (Atomic.get st.c_shed));
+          ("recovered", Json.Int st.recovered);
+          ("uptime_s", Json.Float (Unix.gettimeofday () -. st.t_start)) ] ) ]
+
+let metrics_response st fmt =
+  Atomic.incr st.c_ok;
+  Obs.incr "serve.ok";
+  match fmt with
+  | `Prometheus ->
+    [ ok_status;
+      ("content_type", Json.String Obs.prometheus_content_type);
+      ("metrics", Json.String (Obs.prometheus ())) ]
+  | `Json -> [ ok_status; ("metrics", Obs.metrics_json ()) ]
+
+let handle_line st conn line =
+  let line =
+    (* tolerate CRLF clients *)
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.trim line = "" then ()
+  else begin
+    let seq = conn.next_seq in
+    conn.next_seq <- seq + 1;
+    Atomic.incr st.c_requests;
+    Obs.incr "serve.requests";
+    if String.length line > st.cfg.max_line then
+      deliver conn seq
+        (render ~id:None
+           (error_response st
+              (Rwt_err.capacity ~code:"serve.line_bytes"
+                 ~context:[ ("max", string_of_int st.cfg.max_line) ]
+                 "request line too long")))
+    else
+      match parse_request line with
+      | Error e -> deliver conn seq (render ~id:None (error_response st e))
+      | Ok { id; kind } ->
+        (match kind with
+         | Health -> deliver conn seq (render ~id (health_response st))
+         | Metrics fmt -> deliver conn seq (render ~id (metrics_response st fmt))
+         | Shutdown ->
+           if st.cfg.allow_shutdown then begin
+             Atomic.incr st.c_ok;
+             Obs.incr "serve.ok";
+             deliver conn seq
+               (render ~id [ ok_status; ("stopping", Json.Bool true) ]);
+             stop st.stop_flag
+           end
+           else
+             deliver conn seq
+               (render ~id
+                  (error_response st
+                     (Rwt_err.validate ~code:"validate.shutdown"
+                        "shutdown requests are disabled (start with --allow-shutdown)")))
+         | Echo _ | Analyze _ ->
+           (* admission control: bound the outstanding (queued + running)
+              work; beyond the cap the daemon answers immediately with a
+              typed shed response instead of queueing without bound *)
+           if Atomic.get st.outstanding >= st.cfg.queue then
+             deliver conn seq (render ~id (shed_response st))
+           else begin
+             Atomic.incr st.outstanding;
+             Obs.sample "serve.outstanding"
+               (float_of_int (Atomic.get st.outstanding));
+             let task =
+               { t_conn = conn; t_seq = seq; t_id = id; t_kind = kind;
+                 t_admit = Unix.gettimeofday () }
+             in
+             let submitted =
+               match st.svc with Some svc -> Rwt_pool.submit svc task | None -> false
+             in
+             if not submitted then begin
+               Atomic.decr st.outstanding;
+               deliver conn seq (render ~id (shed_response st))
+             end
+           end)
+  end
+
+let handle_readable st conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 65536 with
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    ()
+  | exception Unix.Unix_error (_, _, _) -> conn.eof <- true
+  | 0 -> conn.eof <- true
+  | k ->
+    let data = conn.inbuf ^ Bytes.sub_string chunk 0 k in
+    let rec consume s =
+      match String.index_opt s '\n' with
+      | Some i ->
+        let line = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        if conn.skipping then conn.skipping <- false
+        else handle_line st conn line;
+        consume rest
+      | None ->
+        if (not conn.skipping) && String.length s > st.cfg.max_line then begin
+          (* oversized line still in flight: answer now, then discard
+             bytes until its newline so one hostile line cannot make the
+             daemon buffer without bound *)
+          conn.skipping <- true;
+          let seq = conn.next_seq in
+          conn.next_seq <- seq + 1;
+          Atomic.incr st.c_requests;
+          Obs.incr "serve.requests";
+          deliver conn seq
+            (render ~id:None
+               (error_response st
+                  (Rwt_err.capacity ~code:"serve.line_bytes"
+                     ~context:[ ("max", string_of_int st.cfg.max_line) ]
+                     "request line too long")))
+        end;
+        conn.inbuf <- (if conn.skipping then "" else s)
+    in
+    consume data
+
+(* --- listeners --- *)
+
+let listen_unix path =
+  (if Sys.file_exists path then begin
+     match (Unix.stat path).Unix.st_kind with
+     | Unix.S_SOCK ->
+       (* stale socket from a crashed daemon, or a live one? Probe it. *)
+       let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       let live =
+         try
+           Unix.connect probe (Unix.ADDR_UNIX path);
+           true
+         with Unix.Unix_error _ -> false
+       in
+       (try Unix.close probe with Unix.Unix_error _ -> ());
+       if live then
+         Rwt_err.raise_
+           (Rwt_err.validate ~code:"serve.addr_in_use"
+              ~context:[ ("socket", path) ]
+              "a daemon is already listening on this socket");
+       (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | _ ->
+       Rwt_err.raise_
+         (Rwt_err.validate ~code:"serve.addr_in_use"
+            ~context:[ ("socket", path) ]
+            "path exists and is not a socket")
+   end);
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 128;
+  fd
+
+let listen_tcp host port =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Rwt_err.raise_
+          (Rwt_err.validate ~code:"serve.addr" ("unknown host " ^ host))
+      | h -> h.Unix.h_addr_list.(0))
+  in
+  let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr (Unix.ADDR_INET (inet, port))) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (inet, port));
+  Unix.listen fd 128;
+  let bound =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (fd, bound)
+
+(* --- the daemon --- *)
+
+let run_exn ?on_ready cfg =
+  if cfg.socket = None && cfg.tcp = None then
+    Rwt_err.raise_
+      (Rwt_err.validate ~code:"validate.serve"
+         "rwt serve needs a listener: --socket PATH and/or --tcp [HOST:]PORT");
+  (* the daemon is an always-observable process: metrics/health requests
+     must answer even when the operator passed no --metrics flag *)
+  if not (Obs.enabled ()) then Obs.enable ();
+  let eff_workers =
+    if cfg.workers <= 0 then min 128 (Rwt_pool.recommended ())
+    else min 128 cfg.workers
+  in
+  let recovered_records =
+    match cfg.journal with
+    | None -> []
+    | Some path ->
+      if Sys.file_exists path then (
+        match journal_load path with Ok rs -> rs | Error e -> Rwt_err.raise_ e)
+      else []
+  in
+  let st =
+    { cfg; eff_workers; stop_flag = Atomic.make false;
+      t_start = Unix.gettimeofday (); recovered = List.length recovered_records;
+      outstanding = Atomic.make 0; memo_mu = Mutex.create ();
+      memo = Hashtbl.create 256; memo_fifo = Queue.create ();
+      journal_mu = Mutex.create (); journal_fd = None; svc = None;
+      live_conns = 0; c_requests = Atomic.make 0; c_ok = Atomic.make 0;
+      c_errors = Atomic.make 0; c_timeouts = Atomic.make 0;
+      c_shed = Atomic.make 0; c_cache_hits = Atomic.make 0;
+      c_replayed = Atomic.make 0; c_conns = Atomic.make 0 }
+  in
+  List.iter
+    (fun (key, r) -> memo_store st key r ~from_journal:true)
+    recovered_records;
+  (match cfg.journal with
+   | None -> ()
+   | Some path ->
+     let fresh = not (Sys.file_exists path) || st.recovered = 0 in
+     let fd =
+       Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+     in
+     if fresh && (Unix.fstat fd).Unix.st_size = 0 then begin
+       let header =
+         Json.to_string (Json.Obj [ ("schema", Json.String journal_schema) ]) ^ "\n"
+       in
+       ignore (Unix.write_substring fd header 0 (String.length header));
+       Unix.fsync fd
+     end;
+     st.journal_fd <- Some fd);
+  (* listeners before workers: once [on_ready] fires, a connect succeeds *)
+  let unix_listener = Option.map listen_unix cfg.socket in
+  let tcp_listener = Option.map (fun (h, p) -> listen_tcp h p) cfg.tcp in
+  (match (tcp_listener, cfg.port_file) with
+   | Some (_, port), Some path ->
+     let oc = open_out path in
+     output_string oc (string_of_int port ^ "\n");
+     close_out oc
+   | _ -> ());
+  let addr =
+    String.concat ", "
+      ((match cfg.socket with Some p -> [ "unix:" ^ p ] | None -> [])
+       @
+       match (tcp_listener, cfg.tcp) with
+       | Some (_, port), Some (host, _) ->
+         [ Printf.sprintf "tcp:%s:%d" host port ]
+       | _ -> [])
+  in
+  st.svc <-
+    Some
+      (Rwt_pool.service ~workers:eff_workers ~queue_cap:max_int ~name:"serve"
+         (handle_task st));
+  (match on_ready with
+   | Some f ->
+     f { control = st.stop_flag; addr; eff_workers; recovered = st.recovered }
+   | None -> ());
+  let listener_fds =
+    (match unix_listener with Some fd -> [ fd ] | None -> [])
+    @ match tcp_listener with Some (fd, _) -> [ fd ] | None -> []
+  in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let accept_conn lfd =
+    match Unix.accept ~cloexec:true lfd with
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+      ->
+      ()
+    | fd, _ ->
+      if Hashtbl.length conns >= cfg.max_conns then begin
+        Obs.incr "serve.conn_rejects";
+        let line =
+          render ~id:None
+            (("status", Json.String "shed")
+             :: err_fields
+                  (Rwt_err.capacity ~code:"serve.conns"
+                     ~context:[ ("max", string_of_int cfg.max_conns) ]
+                     "connection limit reached"))
+          ^ "\n"
+        in
+        (try ignore (Unix.write_substring fd line 0 (String.length line))
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.write_timeout_s
+         with Invalid_argument _ | Unix.Unix_error _ -> ());
+        Atomic.incr st.c_conns;
+        Hashtbl.replace conns fd
+          { fd; inbuf = ""; wmu = Mutex.create (); next_seq = 0; next_write = 0;
+            pending = Hashtbl.create 4; alive = true; eof = false;
+            skipping = false };
+        st.live_conns <- Hashtbl.length conns;
+        Obs.sample "serve.conns" (float_of_int st.live_conns)
+      end
+  in
+  let sweep_closed () =
+    let closable =
+      Hashtbl.fold
+        (fun fd c acc ->
+          let flushed = Mutex.protect c.wmu (fun () -> c.next_write >= c.next_seq) in
+          if (c.eof || not c.alive) && flushed then (fd, c) :: acc else acc)
+        conns []
+    in
+    List.iter
+      (fun (fd, c) ->
+        Mutex.protect c.wmu (fun () ->
+            c.alive <- false;
+            try Unix.close fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove conns fd)
+      closable;
+    st.live_conns <- Hashtbl.length conns
+  in
+  let draining = ref false in
+  let rec loop () =
+    if Atomic.get st.stop_flag && not !draining then begin
+      draining := true;
+      (* stop accepting and stop reading: drain what was admitted *)
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listener_fds;
+      (match cfg.socket with
+       | Some path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+       | None -> ());
+      Hashtbl.iter (fun _ c -> c.eof <- true) conns
+    end;
+    sweep_closed ();
+    if !draining then begin
+      if Atomic.get st.outstanding > 0 || Hashtbl.length conns > 0 then begin
+        Unix.sleepf 0.02;
+        loop ()
+      end
+    end
+    else begin
+      let rfds =
+        listener_fds
+        @ Hashtbl.fold (fun fd c acc -> if c.eof then acc else fd :: acc) conns []
+      in
+      match Unix.select rfds [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if List.memq fd listener_fds then accept_conn fd
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some c -> handle_readable st c
+              | None -> ())
+          readable;
+        loop ()
+    end
+  in
+  loop ();
+  (match st.svc with Some svc -> Rwt_pool.shutdown ~drain:true svc | None -> ());
+  (match st.journal_fd with
+   | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  stats_of st
+
+let run ?on_ready cfg = Rwt_err.catch (fun () -> run_exn ?on_ready cfg)
+
+(* --- client --- *)
+
+module Client = struct
+  type addr = Unix_sock of string | Tcp of string * int
+
+  let connect addr =
+    let mk () =
+      match addr with
+      | Unix_sock path ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (fd, Unix.ADDR_UNIX path, [ ("socket", path) ])
+      | Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+              Rwt_err.raise_
+                (Rwt_err.validate ~code:"serve.addr" ("unknown host " ^ host))
+            | h -> h.Unix.h_addr_list.(0))
+        in
+        let sockaddr = Unix.ADDR_INET (inet, port) in
+        let fd =
+          Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr)
+            Unix.SOCK_STREAM 0
+        in
+        (fd, sockaddr, [ ("host", host); ("port", string_of_int port) ])
+    in
+    match mk () with
+    | exception Rwt_err.Error e -> Error e
+    | fd, sockaddr, context -> (
+      try
+        Unix.connect fd sockaddr;
+        Ok fd
+      with Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Rwt_err.internal ~code:"serve.connect" ~context
+             ("cannot connect: " ^ Unix.error_message err)))
+
+  let is_shed line =
+    match Json.of_string line with
+    | Ok (Json.Obj fields) ->
+      List.assoc_opt "status" fields = Some (Json.String "shed")
+    | _ -> false
+
+  let request_lines ?(retries = 0) ?(backoff_ms = 100.0) ?(seed = 0) addr lines =
+    let lines = Array.of_list lines in
+    let n = Array.length lines in
+    let answers : string option array = Array.make n None in
+    let bo = Backoff.create ~base_ms:backoff_ms ~seed () in
+    let budget = ref retries in
+    let last_err = ref None in
+    let answered () =
+      Array.fold_left (fun k a -> if a = None then k else k + 1) 0 answers
+    in
+    let disconnected why =
+      last_err :=
+        Some
+          (Rwt_err.internal ~code:"serve.disconnected"
+             ~context:
+               [ ("got", string_of_int (answered ())); ("want", string_of_int n) ]
+             why)
+    in
+    let round () =
+      let idxs = ref [] in
+      Array.iteri (fun i a -> if a = None then idxs := i :: !idxs) answers;
+      let idxs = List.rev !idxs in
+      match connect addr with
+      | Error e -> last_err := Some e
+      | Ok fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let buf = Buffer.create 256 in
+            List.iter
+              (fun i ->
+                Buffer.add_string buf lines.(i);
+                Buffer.add_char buf '\n')
+              idxs;
+            let out = Buffer.contents buf in
+            match
+              let len = String.length out in
+              let written = ref 0 in
+              while !written < len do
+                written :=
+                  !written + Unix.write_substring fd out !written (len - !written)
+              done;
+              (* half-close: tells the daemon this stream is complete, so
+                 it can retire the connection once every response is out *)
+              try Unix.shutdown fd Unix.SHUTDOWN_SEND
+              with Unix.Unix_error _ -> ()
+            with
+            | exception (Unix.Unix_error _ | Sys_error _) ->
+              disconnected "daemon connection lost while sending"
+            | () -> (
+              let ic = Unix.in_channel_of_descr fd in
+              try
+                List.iter
+                  (fun i ->
+                    let line = input_line ic in
+                    answers.(i) <- Some line)
+                  idxs
+              with End_of_file | Sys_error _ ->
+                disconnected "connection closed by daemon before all responses"))
+    in
+    let complete () = Array.for_all Option.is_some answers in
+    let partial () =
+      let rec prefix i acc =
+        if i >= n then List.rev acc
+        else
+          match answers.(i) with
+          | Some l -> prefix (i + 1) (l :: acc)
+          | None -> List.rev acc
+      in
+      prefix 0 []
+    in
+    let rec go () =
+      round ();
+      (* while budget remains, shed responses are provisional: forget them
+         so the next round re-submits (results are memoized server-side,
+         so re-submission is idempotent) *)
+      if !budget > 0 then
+        Array.iteri
+          (fun i a ->
+            match a with
+            | Some l when is_shed l -> answers.(i) <- None
+            | _ -> ())
+          answers;
+      if complete () then Ok (Array.to_list (Array.map Option.get answers))
+      else if !budget > 0 then begin
+        decr budget;
+        Unix.sleepf (Backoff.next_ms bo /. 1000.0);
+        go ()
+      end
+      else
+        Error
+          ( (match !last_err with
+             | Some e -> e
+             | None ->
+               Rwt_err.internal ~code:"serve.incomplete"
+                 "not every request was answered"),
+            partial () )
+    in
+    if n = 0 then Ok [] else go ()
+end

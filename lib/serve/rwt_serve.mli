@@ -1,0 +1,168 @@
+(** [rwt serve] — a crash-tolerant persistent analysis daemon.
+
+    Long-lived NDJSON request/response service over a Unix-domain (and
+    optionally TCP) socket: one JSON object per request line, exactly one
+    JSON response line per request, in request order per connection. The
+    daemon composes the existing layers into one production story:
+    requests dispatch onto a {!Rwt_pool.service} of persistent worker
+    domains, analysis results flow through the canonical-instance memo
+    cache (identical content under different names shares one
+    evaluation), each worker keeps [Rwt_core.Delta] sessions alive across
+    requests, and every counter/histogram is an {!Rwt_obs} metric
+    scrapeable through the [metrics] request.
+
+    {2 Protocol}
+
+    Request keys: ["req"] selects the request type — ["analyze"] (the
+    default when ["file"]/["example"] is present), ["echo"], ["metrics"],
+    ["health"], ["shutdown"]. Analysis requests take ["file"] or
+    ["example"] plus optional ["model"], ["method"], ["deadline_ms"],
+    ["transition_cap"]; any request may carry an ["id"] echoed back
+    verbatim. Unknown keys or values are rejected with a typed error
+    response — a malformed or hostile request line {e never} kills the
+    daemon, and an unparseable line still consumes exactly one response
+    slot so the client's line counting survives.
+
+    Responses carry ["status"]: ["ok"], ["error"] (with
+    ["error"]/["error_class"]/["error_code"] as in [rwt batch] output),
+    ["timeout"], or ["shed"]. Analysis responses deliberately contain no
+    wall-time or cache fields, so a replayed result is byte-identical to
+    a freshly computed one.
+
+    {2 Robustness}
+
+    - {e Admission control}: at most [queue] analysis/echo requests may be
+      outstanding (queued + running); beyond that the daemon answers
+      [status "shed"] immediately instead of queueing without bound.
+      [health]/[metrics] bypass admission so the daemon stays observable
+      under overload.
+    - {e Graceful degradation}: a TPN-route capacity/deadline failure on
+      the OVERLAP model falls back to the polynomial algorithm and flags
+      ["degraded"] in the response, mirroring [Analysis.analyze].
+    - {e Graceful shutdown}: {!stop} (wired to SIGTERM/SIGINT by the CLI)
+      stops accepting connections and reading requests, drains queued and
+      running work, flushes every pending response, then returns.
+    - {e Crash tolerance}: with [journal], each completed deterministic
+      result (ok, or a non-transient error) is appended to an fsync'd
+      content-addressed NDJSON journal {e before} the response is
+      written. After [kill -9], restarting with the same journal replays
+      those results from disk, so a client resend yields a byte-identical
+      response set. Timeouts and transient (injected-fault) errors are
+      never journaled — they are not deterministic facts about the
+      request.
+
+    See [doc/SERVE.md] for the full protocol and operations guide. *)
+
+open Rwt_util
+open Rwt_workflow
+module Analysis = Rwt_core.Analysis
+
+(** {1 Requests} *)
+
+type source = File of string | Example of string
+
+type analyze = {
+  source : source;
+  model : Comm_model.t;  (** default OVERLAP *)
+  method_ : Analysis.method_;  (** default Auto *)
+  deadline_ms : int option;  (** budget from admission, milliseconds *)
+  transition_cap : int option;
+}
+
+type kind =
+  | Analyze of analyze
+  | Echo of Json.t option  (** no-op baseline; echoes ["payload"] back *)
+  | Metrics of [ `Prometheus | `Json ]
+  | Health
+  | Shutdown  (** honored only with [allow_shutdown] *)
+
+type request = { id : string option; kind : kind }
+
+val parse_request : string -> (request, Rwt_err.t) result
+(** Parse one NDJSON request line. Every failure is a typed [Parse] /
+    [Validate] error (code ["parse.request"] / ["validate.request"]). *)
+
+(** {1 Configuration} *)
+
+type config = {
+  socket : string option;  (** Unix-domain socket path *)
+  tcp : (string * int) option;  (** host, port; port [0] = ephemeral *)
+  port_file : string option;  (** write the bound TCP port here *)
+  workers : int;  (** worker domains; [<= 0] = {!Rwt_pool.recommended} *)
+  queue : int;  (** admission cap on outstanding analyze/echo requests *)
+  max_conns : int;  (** concurrent connections; beyond = reject + close *)
+  max_line : int;  (** request line byte cap (default 1 MiB) *)
+  default_deadline_ms : int option;  (** applied when a request has none *)
+  default_transition_cap : int option;
+  journal : string option;  (** crash-tolerance journal path *)
+  memo_cap : int;  (** canonical-result cache entries (FIFO eviction) *)
+  allow_shutdown : bool;  (** honor the [shutdown] request type *)
+  write_timeout_s : float;  (** SO_SNDTIMEO on accepted connections *)
+}
+
+val default_config : config
+(** No listeners (callers must set [socket] and/or [tcp]), recommended
+    workers, [queue = 64], [max_conns = 64], [max_line] 1 MiB, no
+    deadline/cap defaults, no journal, [memo_cap = 4096], shutdown
+    requests refused, 30s write timeout. *)
+
+(** {1 Running} *)
+
+type stats = {
+  requests : int;  (** request lines consumed (including malformed) *)
+  ok : int;
+  errors : int;
+  timeouts : int;
+  shed : int;
+  cache_hits : int;  (** memo hits, including journal replays *)
+  replayed : int;  (** memo hits served from journal-recovered records *)
+  conns : int;  (** connections accepted over the daemon's lifetime *)
+  recovered : int;  (** journal records loaded at startup *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One summary line, printed by the CLI on clean shutdown. *)
+
+type control
+(** Handle for requesting shutdown from outside the serve loop. *)
+
+val stop : control -> unit
+(** Request graceful drain; safe from a signal handler or any domain. *)
+
+type ready = {
+  control : control;
+  addr : string;  (** rendered listener set, e.g. ["unix:d.sock"] *)
+  eff_workers : int;  (** resolved worker-domain count *)
+  recovered : int;  (** journal records recovered at startup *)
+}
+
+val run : ?on_ready:(ready -> unit) -> config -> (stats, Rwt_err.t) result
+(** Run the daemon: bind listeners, recover the journal, spawn workers,
+    call [on_ready], then serve until {!stop} is requested. Returns the
+    lifetime stats after a graceful drain, or a typed error for startup
+    problems (no listener configured, address in use, foreign journal
+    schema, …). A stale socket file left by a crashed daemon is detected
+    (nothing accepts on it) and replaced; a live one is a typed
+    ["serve.addr_in_use"] error. *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type addr = Unix_sock of string | Tcp of string * int
+
+  val request_lines :
+    ?retries:int ->
+    ?backoff_ms:float ->
+    ?seed:int ->
+    addr ->
+    string list ->
+    (string list, Rwt_err.t * string list) result
+  (** Send each request line and collect exactly one response line per
+      request, in request order. With [retries > 0], failed connects,
+      daemon disconnects (unanswered requests are re-sent — analysis
+      results are memoized server-side, so resending is idempotent) and
+      [shed] responses are retried, sleeping per the decorrelated-jitter
+      {!Backoff} policy ([backoff_ms] base, [seed]ed for deterministic
+      tests). On failure returns the typed error plus the maximal prefix
+      of responses already received. *)
+end

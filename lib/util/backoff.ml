@@ -1,0 +1,25 @@
+type t = {
+  base_ms : float;
+  cap_ms : float;
+  prng : Prng.t;
+  mutable prev_ms : float;
+  mutable attempts : int;
+}
+
+let create ?(cap_ms = 10_000.0) ?(seed = 0) ~base_ms () =
+  let base_ms = Float.max 0.0 base_ms in
+  let cap_ms = Float.max 0.0 cap_ms in
+  { base_ms; cap_ms; prng = Prng.create seed; prev_ms = base_ms; attempts = 0 }
+
+let next_ms t =
+  t.attempts <- t.attempts + 1;
+  let hi = t.prev_ms *. 3.0 in
+  let d =
+    if hi <= t.base_ms then t.base_ms
+    else t.base_ms +. Prng.float t.prng (hi -. t.base_ms)
+  in
+  let d = Float.min t.cap_ms d in
+  t.prev_ms <- d;
+  d
+
+let attempts t = t.attempts

@@ -1,0 +1,33 @@
+(** Decorrelated-jitter retry backoff.
+
+    The fixed exponential schedule ([base * 2^k]) synchronizes retries:
+    every client that failed together retries together, re-creating the
+    very burst that caused the failure. Decorrelated jitter (the AWS
+    "decorrelated" policy) breaks the lockstep: each delay is drawn
+    uniformly from [[base, 3 * previous)], clamped to a cap, so retry
+    times spread out while still growing geometrically in expectation.
+
+    The policy is {e pure}: {!next_ms} only computes the next delay, the
+    caller sleeps. Determinism comes from the seeded {!Prng} stream, so
+    tests (and the batch engine, which seeds per job index) replay the
+    exact same schedule regardless of worker count or interleaving.
+
+    Used by [rwt batch --retries/--backoff-ms] and the [rwt send] client
+    (reconnect + shed-retry); see [doc/RESILIENCE.md]. *)
+
+type t
+
+val create : ?cap_ms:float -> ?seed:int -> base_ms:float -> unit -> t
+(** [create ~base_ms ()] starts a schedule whose first delay is
+    [base_ms] (milliseconds). [cap_ms] bounds every delay (default
+    10000.0 = 10s). [seed] (default 0) seeds the jitter stream. A
+    non-positive [base_ms] yields all-zero delays (retry immediately). *)
+
+val next_ms : t -> float
+(** Draw the next delay in milliseconds and advance the schedule:
+    [min cap_ms (uniform [base_ms, 3 * prev))] where [prev] is the
+    previously returned delay (initially [base_ms]). Always within
+    [[0, cap_ms]]; at least [base_ms] whenever [base_ms <= cap_ms]. *)
+
+val attempts : t -> int
+(** Number of delays drawn so far. *)

@@ -1,0 +1,86 @@
+Serve walkthrough: the persistent analysis daemon, its NDJSON protocol,
+admission control under overload, and graceful drain. See doc/SERVE.md.
+
+Start a daemon on a Unix-domain socket and wait for the socket to appear:
+
+  $ rwt serve --socket d.sock --workers 1 >serve.out 2>serve.log &
+  $ SRV=$!
+  $ for i in $(seq 1 200); do [ -S d.sock ] && break; sleep 0.05; done
+
+One response line per request line, in order. Analysis responses carry
+the exact rational period; a malformed line is a typed error response,
+never a dead daemon:
+
+  $ cat > reqs.txt <<'EOF'
+  > {"example":"a","id":"a1"}
+  > {"example":"a","model":"strict","method":"tpn","id":"a-strict"}
+  > {"req":"echo","payload":{"n":1},"id":"e1"}
+  > this is not json
+  > EOF
+
+  $ rwt send reqs.txt --socket d.sock
+  {"id":"a1","status":"ok","period":"189","period_float":189,"throughput_float":0.0052910052910052907}
+  {"id":"a-strict","status":"ok","period":"692/3","period_float":230.66666666666666,"throughput_float":0.004335260115606936}
+  {"id":"e1","status":"ok","payload":{"n":1}}
+  {"status":"error","error":"parse: bad JSON: expected true [col=1, offset=0]","error_class":"parse","error_code":"parse.request"}
+
+The daemon stays observable: health and metrics answer on a fresh
+connection even while analysis work queues.
+
+  $ echo '{"req":"health"}' | rwt send --socket d.sock | grep -c '"accepting":true'
+  1
+
+  $ echo '{"req":"metrics"}' | rwt send --socket d.sock | grep -c serve_requests
+  1
+
+Overload: a second daemon with one worker, an admission queue of 3 and a
+400 ms injected stall per request. Six echo requests arrive faster than
+the worker drains them, so exactly three are admitted and three are shed
+with a typed capacity response:
+
+  $ rwt serve --socket o.sock --workers 1 --queue 3 \
+  >   --fault 'serve.request=delay:400' >o.out 2>o.log &
+  $ OSRV=$!
+  $ for i in $(seq 1 200); do [ -S o.sock ] && break; sleep 0.05; done
+
+  $ for i in 1 2 3 4 5 6; do echo "{\"req\":\"echo\",\"id\":\"$i\"}"; done > six.txt
+  $ rwt send six.txt --socket o.sock
+  {"id":"1","status":"ok"}
+  {"id":"2","status":"ok"}
+  {"id":"3","status":"ok"}
+  {"id":"4","status":"shed","error":"capacity: admission queue full [queue=3]","error_class":"capacity","error_code":"serve.shed"}
+  {"id":"5","status":"shed","error":"capacity: admission queue full [queue=3]","error_class":"capacity","error_code":"serve.shed"}
+  {"id":"6","status":"shed","error":"capacity: admission queue full [queue=3]","error_class":"capacity","error_code":"serve.shed"}
+
+A client with a retry budget turns shed responses into eventual
+success — the decorrelated-jitter backoff waits out the queue:
+
+  $ rwt send six.txt --socket o.sock --retries 5 --backoff-ms 300 --seed 7
+  {"id":"1","status":"ok"}
+  {"id":"2","status":"ok"}
+  {"id":"3","status":"ok"}
+  {"id":"4","status":"ok"}
+  {"id":"5","status":"ok"}
+  {"id":"6","status":"ok"}
+
+  $ kill -TERM $OSRV && wait $OSRV
+
+SIGTERM drains: queued work finishes, every pending response is
+flushed, and the daemon exits 0 with a lifetime summary:
+
+  $ kill -TERM $SRV && wait $SRV
+  $ cat serve.log
+  rwt serve: listening on unix:d.sock (workers 1, queue 64)
+  rwt serve: drained: 6 requests: 5 ok, 1 error, 0 timeouts, 0 shed; 0 cache hits, 0 replayed, 3 connections
+
+The socket file is removed on the way out:
+
+  $ [ -S d.sock ] || echo gone
+  gone
+
+SIGPIPE satellite: a closed downstream pipe is a clean exit 0, not a
+killed process (head exits immediately; rwt writes afterwards):
+
+  $ { rwt period -e a --json 2>/dev/null; echo $? > code; } | head -c 0
+  $ cat code
+  0

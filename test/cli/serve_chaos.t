@@ -1,0 +1,89 @@
+Serve chaos walkthrough: kill the daemon mid-batch, restart it on the
+same journal, resend, and get byte-identical responses. See doc/SERVE.md.
+
+A request mix: six analyses (with a duplicate), one load error, one echo.
+
+  $ rwt show -e a > a.rwt
+  $ rwt show -e b > b.rwt
+  $ cat > reqs.txt <<'EOF'
+  > {"file":"a.rwt","id":"r1"}
+  > {"file":"a.rwt","model":"strict","id":"r2"}
+  > {"file":"b.rwt","id":"r3"}
+  > {"file":"b.rwt","model":"strict","id":"r4"}
+  > {"file":"missing.rwt","id":"r5"}
+  > {"file":"a.rwt","id":"r6"}
+  > {"req":"echo","payload":"p","id":"r7"}
+  > {"example":"c","id":"r8"}
+  > EOF
+
+Reference: an uninterrupted run.
+
+  $ rwt serve --socket d.sock --workers 1 --journal ref.journal \
+  >   >/dev/null 2>ref.log &
+  $ SRV=$!
+  $ for i in $(seq 1 200); do [ -S d.sock ] && break; sleep 0.05; done
+  $ rwt send reqs.txt --socket d.sock > reference.out
+  $ kill -TERM $SRV && wait $SRV
+
+Chaos: a fresh daemon on a fresh journal, armed to die — exit 70 with no
+flushing, a simulated kill — on its fifth request span. The first four
+results are journaled and answered; the client reports the cut with a
+typed error and keeps the partial prefix:
+
+  $ rwt serve --socket d.sock --workers 1 --journal crash.journal \
+  >   --fault 'serve.request=abort@#5' >/dev/null 2>c1.log &
+  $ SRV=$!
+  $ for i in $(seq 1 200); do [ -S d.sock ] && break; sleep 0.05; done
+  $ rwt send reqs.txt --socket d.sock > partial.out
+  rwt: internal: connection closed by daemon before all responses [got=4, want=8]
+  [1]
+  $ wait $SRV
+  [70]
+  $ wc -l < partial.out
+  4
+  $ grep -c '"status"' crash.journal
+  4
+
+Restart on the same journal (the stale socket file is detected and
+replaced) and resend everything. The four journaled results replay from
+disk; the rest evaluate fresh; the response set is byte-identical to the
+uninterrupted run:
+
+  $ rwt serve --socket d.sock --workers 1 --journal crash.journal \
+  >   >/dev/null 2>c2.log &
+  $ SRV=$!
+  $ for i in $(seq 1 200); do [ -S d.sock ] && break; sleep 0.05; done
+  $ rwt send reqs.txt --socket d.sock --retries 10 --backoff-ms 20 > resumed.out
+  $ cmp reference.out resumed.out && echo IDENTICAL
+  IDENTICAL
+  $ kill -TERM $SRV && wait $SRV
+  $ grep recovered c2.log
+  rwt serve: recovered 4 journaled results
+  $ grep -o '[0-9]* cache hits, [0-9]* replayed' c2.log
+  5 cache hits, 5 replayed
+
+A real kill -9 after a completed batch: nothing graceful runs — no
+drain, no socket cleanup — yet the journal already holds every durable
+result, so a restarted daemon serves the same bytes:
+
+  $ rwt serve --socket k.sock --workers 1 --journal kill.journal \
+  >   >/dev/null 2>k1.log &
+  $ K=$!
+  $ for i in $(seq 1 200); do [ -S k.sock ] && break; sleep 0.05; done
+  $ rwt send reqs.txt --socket k.sock > before.out
+  $ kill -9 $K
+  $ wait $K || echo killed
+  killed
+  $ [ -S k.sock ] && echo socket-left-behind
+  socket-left-behind
+
+  $ rwt serve --socket k.sock --workers 1 --journal kill.journal \
+  >   >/dev/null 2>k2.log &
+  $ K=$!
+  $ for i in $(seq 1 200); do echo '{"req":"health"}' | rwt send --socket k.sock >/dev/null 2>&1 && break; sleep 0.05; done
+  $ rwt send reqs.txt --socket k.sock > after.out
+  $ cmp before.out after.out && echo IDENTICAL
+  IDENTICAL
+  $ kill -TERM $K && wait $K
+  $ grep recovered k2.log
+  rwt serve: recovered 5 journaled results

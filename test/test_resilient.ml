@@ -317,6 +317,58 @@ let chaos_invariant =
             | _ -> false))
         (render reference) (Array.to_list outcomes))
 
+(* ------------------------------------------------------------------ *)
+(* Total parsers & taxonomy round-trip (qcheck)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [Json.of_string] is total: any byte string — including NULs, broken
+   UTF-8 and unbalanced structure — yields [Ok] or a positioned [Error],
+   never an exception. The serve daemon leans on this: a hostile request
+   line must become a typed response, not a crash. *)
+let json_of_string_total =
+  QCheck.Test.make ~count:1000 ~name:"Json.of_string is total on bytes"
+    QCheck.(string_gen Gen.char)
+    (fun s ->
+      match Json.of_string s with
+      | Ok v -> String.length (Json.to_string v) >= 0
+      | Error _ -> true)
+
+(* [Rwt_err.to_json]/[of_json] round-trip every class with arbitrary
+   code, message and context — the wire contract between batch output,
+   the serve protocol and any client that re-reads error lines. *)
+let err_json_roundtrip =
+  let classes =
+    [ Rwt_err.Parse; Rwt_err.Validate; Rwt_err.Capacity; Rwt_err.Timeout;
+      Rwt_err.Numeric; Rwt_err.Fault; Rwt_err.Internal ]
+  in
+  let gen =
+    QCheck.Gen.(
+      let str = string_size ~gen:char (int_range 0 12) in
+      quad (oneofl classes) str str
+        (list_size (int_range 0 3) (pair str str)))
+  in
+  let print (c, code, msg, ctx) =
+    Printf.sprintf "(%s, %S, %S, [%s])" (Rwt_err.class_name c) code msg
+      (String.concat "; "
+         (List.map (fun (k, v) -> Printf.sprintf "%S,%S" k v) ctx))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"Rwt_err.to_json/of_json round-trips all 7 classes"
+    (QCheck.make gen ~print)
+    (fun (class_, code, msg, ctx) ->
+      (* distinct context keys: duplicates cannot survive a JSON object *)
+      let ctx = List.mapi (fun i (k, v) -> (string_of_int i ^ k, v)) ctx in
+      let e =
+        if code = "" then Rwt_err.make ~context:ctx class_ msg
+        else Rwt_err.make ~code ~context:ctx class_ msg
+      in
+      match Rwt_err.of_json (Rwt_err.to_json e) with
+      | None -> false
+      | Some e' ->
+        e'.Rwt_err.class_ = e.Rwt_err.class_
+        && e'.Rwt_err.code = e.Rwt_err.code
+        && Rwt_err.to_json e' = Rwt_err.to_json e)
+
 let () =
   Alcotest.run "rwt_resilient"
     [ ( "taxonomy",
@@ -334,4 +386,5 @@ let () =
         [ Alcotest.test_case "record & resume" `Quick journal_resume_units;
           Alcotest.test_case "key mismatch" `Quick journal_key_mismatch;
           Alcotest.test_case "transient retry" `Quick retry_units ] );
-      ("chaos", [ qtest chaos_invariant ]) ]
+      ("chaos", [ qtest chaos_invariant ]);
+      ("total", [ qtest json_of_string_total; qtest err_json_roundtrip ]) ]

@@ -1,0 +1,438 @@
+(* Serve-layer tests: the decorrelated-jitter backoff policy, the
+   request parser, the long-lived pool service, and full in-process
+   daemon round-trips (echo/health/analyze, admission shedding,
+   shutdown requests, and journal-backed crash replay) through the
+   real Unix-domain socket via [Rwt_serve.Client]. *)
+
+open Rwt_util
+module Serve = Rwt_serve
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let backoff_bounds () =
+  let b = Backoff.create ~cap_ms:10_000.0 ~seed:3 ~base_ms:100.0 () in
+  let prev = ref 100.0 in
+  for k = 1 to 12 do
+    let d = Backoff.next_ms b in
+    Alcotest.(check bool)
+      (Printf.sprintf "draw %d in [base, cap]" k)
+      true
+      (d >= 100.0 && d <= 10_000.0);
+    (* decorrelated: each draw is below 3x the previous one (or the cap) *)
+    Alcotest.(check bool)
+      (Printf.sprintf "draw %d < max(base, 3*prev)" k)
+      true
+      (d <= Float.max 100.0 (3.0 *. !prev));
+    prev := d
+  done;
+  Alcotest.(check int) "attempts counted" 12 (Backoff.attempts b)
+
+let backoff_determinism () =
+  let draw seed =
+    let b = Backoff.create ~seed ~base_ms:50.0 () in
+    List.init 8 (fun _ -> Backoff.next_ms b)
+  in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule"
+    (draw 7) (draw 7);
+  Alcotest.(check bool) "different seeds diverge" true (draw 7 <> draw 8)
+
+let backoff_edges () =
+  let z = Backoff.create ~seed:1 ~base_ms:0.0 () in
+  for _ = 1 to 5 do
+    Alcotest.(check (float 0.0)) "base<=0 retries immediately" 0.0
+      (Backoff.next_ms z)
+  done;
+  let c = Backoff.create ~cap_ms:150.0 ~seed:1 ~base_ms:100.0 () in
+  for _ = 1 to 10 do
+    let d = Backoff.next_ms c in
+    Alcotest.(check bool) "cap clamps every draw" true
+      (d >= 100.0 && d <= 150.0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok line =
+  match Serve.parse_request line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" line (Rwt_err.to_line e)
+
+let parse_err line =
+  match Serve.parse_request line with
+  | Ok _ -> Alcotest.failf "parse %S: expected an error" line
+  | Error e -> e
+
+let parse_request_units () =
+  (* "req" defaults to analyze when a source is present *)
+  (match parse_ok {|{"example":"a","id":"x"}|} with
+   | { id = Some "x"; kind = Serve.Analyze a } ->
+     Alcotest.(check bool) "example source" true (a.source = Serve.Example "a");
+     Alcotest.(check bool) "default overlap" true
+       (a.model = Rwt_workflow.Comm_model.Overlap);
+     Alcotest.(check bool) "default auto" true
+       (a.method_ = Rwt_core.Analysis.Auto);
+     Alcotest.(check bool) "no deadline" true (a.deadline_ms = None)
+   | _ -> Alcotest.fail "bare example must parse as analyze");
+  (match parse_ok
+           {|{"file":"w.rwt","model":"strict","method":"tpn","deadline_ms":500,"transition_cap":9}|}
+   with
+   | { id = None; kind = Serve.Analyze a } ->
+     Alcotest.(check bool) "file source" true (a.source = Serve.File "w.rwt");
+     Alcotest.(check bool) "strict" true
+       (a.model = Rwt_workflow.Comm_model.Strict);
+     Alcotest.(check bool) "tpn" true (a.method_ = Rwt_core.Analysis.Tpn);
+     Alcotest.(check (option int)) "deadline" (Some 500) a.deadline_ms;
+     Alcotest.(check (option int)) "cap" (Some 9) a.transition_cap
+   | _ -> Alcotest.fail "full analyze must parse");
+  (match parse_ok {|{"req":"echo","payload":{"x":1}}|} with
+   | { kind = Serve.Echo (Some (Json.Obj [ ("x", Json.Int 1) ])); _ } -> ()
+   | _ -> Alcotest.fail "echo must keep its payload");
+  (match parse_ok {|{"req":"health"}|} with
+   | { kind = Serve.Health; _ } -> ()
+   | _ -> Alcotest.fail "health");
+  (match parse_ok {|{"req":"metrics"}|} with
+   | { kind = Serve.Metrics `Prometheus; _ } -> ()
+   | _ -> Alcotest.fail "metrics defaults to prometheus");
+  (* every rejection is typed, never an exception *)
+  Alcotest.(check string) "bad json -> parse.request" "parse.request"
+    (parse_err "not json").Rwt_err.code;
+  Alcotest.(check string) "non-object -> parse.request" "parse.request"
+    (parse_err "[1,2]").Rwt_err.code;
+  Alcotest.(check string) "unknown req" "validate.request"
+    (parse_err {|{"req":"bogus"}|}).Rwt_err.code;
+  Alcotest.(check string) "unknown key" "parse.request"
+    (parse_err {|{"example":"a","wat":1}|}).Rwt_err.code;
+  Alcotest.(check string) "inapplicable key" "validate.request"
+    (parse_err {|{"req":"echo","file":"x.rwt"}|}).Rwt_err.code;
+  Alcotest.(check string) "analyze without source" "validate.request"
+    (parse_err {|{"req":"analyze"}|}).Rwt_err.code
+
+(* ------------------------------------------------------------------ *)
+(* Pool service                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let service_drain () =
+  let mu = Mutex.create () in
+  let got = ref [] in
+  let svc =
+    Rwt_pool.service ~workers:2 ~name:"tsvc" (fun i ->
+        Mutex.lock mu;
+        got := i :: !got;
+        Mutex.unlock mu)
+  in
+  for i = 0 to 19 do
+    Alcotest.(check bool) "submit accepted" true (Rwt_pool.submit svc i)
+  done;
+  Rwt_pool.shutdown svc;
+  Alcotest.(check (list int)) "drain handles every item"
+    (List.init 20 Fun.id)
+    (List.sort compare !got);
+  Alcotest.(check bool) "submit after shutdown is refused" false
+    (Rwt_pool.submit svc 99);
+  (* idempotent *)
+  Rwt_pool.shutdown svc
+
+let service_queue_cap () =
+  let release = Atomic.make false in
+  let done_ = Atomic.make 0 in
+  let svc =
+    Rwt_pool.service ~workers:1 ~queue_cap:1 ~name:"tcap" (fun () ->
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Atomic.incr done_)
+  in
+  (* first item: picked up by the lone worker and parked on [release] *)
+  Alcotest.(check bool) "first accepted" true (Rwt_pool.submit svc ());
+  let rec wait_pickup n =
+    if Rwt_pool.service_depth svc > 0 && n > 0 then (
+      Unix.sleepf 0.002;
+      wait_pickup (n - 1))
+  in
+  wait_pickup 500;
+  (* second item fills the queue; third must be shed *)
+  Alcotest.(check bool) "second queues" true (Rwt_pool.submit svc ());
+  Alcotest.(check bool) "third is shed at queue_cap" false
+    (Rwt_pool.submit svc ());
+  Alcotest.(check int) "outstanding = queued + running" 2
+    (Rwt_pool.service_outstanding svc);
+  Atomic.set release true;
+  Rwt_pool.shutdown svc;
+  Alcotest.(check int) "both accepted items ran" 2 (Atomic.get done_)
+
+let service_handler_errors () =
+  let ok = Atomic.make 0 in
+  let svc =
+    Rwt_pool.service ~workers:1 ~name:"terr" (fun i ->
+        if i = 1 then failwith "boom" else Atomic.incr ok)
+  in
+  List.iter (fun i -> ignore (Rwt_pool.submit svc i)) [ 0; 1; 2 ];
+  Rwt_pool.shutdown svc;
+  Alcotest.(check int) "a handler exception never kills the worker" 2
+    (Atomic.get ok)
+
+(* ------------------------------------------------------------------ *)
+(* In-process daemon round-trips                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rwt-serve-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let base_config dir =
+  { Serve.default_config with
+    Serve.socket = Some (Filename.concat dir "d.sock");
+    workers = 1 }
+
+(* Start the daemon on its own domain, hand [f] the client address, then
+   drain and return the lifetime stats. *)
+let with_server cfg f =
+  let ready = Atomic.make None in
+  let dom =
+    Domain.spawn (fun () ->
+        Serve.run ~on_ready:(fun r -> Atomic.set ready (Some r)) cfg)
+  in
+  let rec await n =
+    match Atomic.get ready with
+    | Some r -> r
+    | None when n = 0 -> Alcotest.fail "daemon never became ready"
+    | None ->
+      Unix.sleepf 0.005;
+      await (n - 1)
+  in
+  let r = await 2000 in
+  let sock = Option.get cfg.Serve.socket in
+  let out =
+    Fun.protect
+      ~finally:(fun () -> Serve.stop r.Serve.control)
+      (fun () -> f (Serve.Client.Unix_sock sock) r)
+  in
+  match Domain.join dom with
+  | Ok stats -> (out, stats)
+  | Error e -> Alcotest.failf "daemon failed: %s" (Rwt_err.to_line e)
+
+let lines_ok addr reqs =
+  match Serve.Client.request_lines addr reqs with
+  | Ok lines -> lines
+  | Error (e, partial) ->
+    Alcotest.failf "client failed after %d responses: %s"
+      (List.length partial) (Rwt_err.to_line e)
+
+let field line key =
+  match Json.of_string line with
+  | Ok (Json.Obj fields) -> List.assoc_opt key fields
+  | _ -> Alcotest.failf "response is not a JSON object: %s" line
+
+let status line =
+  match field line "status" with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "no status in %s" line
+
+let serve_roundtrip () =
+  let dir = fresh_dir () in
+  let (), stats =
+    with_server (base_config dir) (fun addr _ ->
+        let lines =
+          lines_ok addr
+            [ {|{"req":"echo","payload":"ping","id":"e"}|};
+              {|{"example":"a","id":"a1"}|};
+              "this is not json";
+              {|{"req":"health"}|} ]
+        in
+        match lines with
+        | [ echo; a1; bad; health ] ->
+          Alcotest.(check string) "echo ok" "ok" (status echo);
+          Alcotest.(check bool) "echo payload round-trips" true
+            (field echo "payload" = Some (Json.String "ping"));
+          Alcotest.(check bool) "id echoed" true
+            (field echo "id" = Some (Json.String "e"));
+          Alcotest.(check string) "analyze ok" "ok" (status a1);
+          Alcotest.(check bool) "example a period is exactly 189" true
+            (field a1 "period" = Some (Json.String "189"));
+          (* a malformed line still consumes exactly one response slot *)
+          Alcotest.(check string) "malformed -> typed error" "error"
+            (status bad);
+          Alcotest.(check bool) "malformed carries parse class" true
+            (field bad "error_class" = Some (Json.String "parse"));
+          Alcotest.(check string) "health ok" "ok" (status health);
+          (match field health "health" with
+           | Some (Json.Obj h) ->
+             Alcotest.(check bool) "health reports accepting" true
+               (List.assoc_opt "accepting" h = Some (Json.Bool true))
+           | _ -> Alcotest.fail "health payload missing")
+        | _ -> Alcotest.failf "expected 4 responses, got %d" (List.length lines))
+  in
+  Alcotest.(check int) "requests counted" 4 stats.Serve.requests;
+  Alcotest.(check int) "ok counted" 3 stats.Serve.ok;
+  Alcotest.(check int) "errors counted" 1 stats.Serve.errors;
+  Alcotest.(check int) "one connection" 1 stats.Serve.conns
+
+let serve_strict_method () =
+  let dir = fresh_dir () in
+  let (), _ =
+    with_server (base_config dir) (fun addr _ ->
+        let lines =
+          lines_ok addr
+            [ {|{"example":"a","model":"strict","id":"s"}|};
+              {|{"example":"b","id":"b"}|} ]
+        in
+        match lines with
+        | [ s; b ] ->
+          Alcotest.(check bool) "a strict period 692/3" true
+            (field s "period" = Some (Json.String "692/3"));
+          Alcotest.(check bool) "b overlap period 875/3" true
+            (field b "period" = Some (Json.String "875/3"))
+        | _ -> Alcotest.fail "expected 2 responses")
+  in
+  ()
+
+let serve_shed () =
+  let dir = fresh_dir () in
+  (* queue = 0: every analyze/echo request is over the admission cap *)
+  let cfg = { (base_config dir) with Serve.queue = 0 } in
+  let (), stats =
+    with_server cfg (fun addr _ ->
+        let lines =
+          lines_ok addr
+            [ {|{"example":"a","id":"1"}|};
+              {|{"req":"echo","id":"2"}|};
+              {|{"req":"health","id":"3"}|} ]
+        in
+        match lines with
+        | [ l1; l2; l3 ] ->
+          Alcotest.(check string) "analyze shed" "shed" (status l1);
+          Alcotest.(check bool) "shed is typed capacity" true
+            (field l1 "error_class" = Some (Json.String "capacity"));
+          Alcotest.(check bool) "shed carries the queue bound" true
+            (field l1 "error_code" = Some (Json.String "serve.shed"));
+          Alcotest.(check string) "echo shed too" "shed" (status l2);
+          (* observability survives overload *)
+          Alcotest.(check string) "health bypasses admission" "ok" (status l3)
+        | _ -> Alcotest.fail "expected 3 responses")
+  in
+  Alcotest.(check int) "shed counted" 2 stats.Serve.shed;
+  Alcotest.(check int) "health still ok" 1 stats.Serve.ok
+
+let serve_shutdown_request () =
+  let dir = fresh_dir () in
+  let cfg = { (base_config dir) with Serve.allow_shutdown = true } in
+  let (), stats =
+    with_server cfg (fun addr _ ->
+        match lines_ok addr [ {|{"req":"shutdown","id":"z"}|} ] with
+        | [ l ] ->
+          Alcotest.(check string) "shutdown acknowledged" "ok" (status l);
+          Alcotest.(check bool) "stopping flagged" true
+            (field l "stopping" = Some (Json.Bool true))
+        | _ -> Alcotest.fail "expected 1 response")
+  in
+  Alcotest.(check int) "drained with one request" 1 stats.Serve.requests;
+  (* refused without the flag *)
+  let dir2 = fresh_dir () in
+  let (), _ =
+    with_server (base_config dir2) (fun addr _ ->
+        match lines_ok addr [ {|{"req":"shutdown"}|} ] with
+        | [ l ] ->
+          Alcotest.(check string) "refused" "error" (status l);
+          Alcotest.(check bool) "typed validate.shutdown" true
+            (field l "error_code" = Some (Json.String "validate.shutdown"))
+        | _ -> Alcotest.fail "expected 1 response")
+  in
+  ()
+
+let serve_journal_replay () =
+  let dir = fresh_dir () in
+  let journal = Filename.concat dir "serve.journal" in
+  let cfg = { (base_config dir) with Serve.journal = Some journal } in
+  let req = {|{"example":"a","id":"j"}|} in
+  (* first life: evaluate, journal, and memo-hit the duplicate *)
+  let first, stats1 =
+    with_server cfg (fun addr _ ->
+        match lines_ok addr [ req; req ] with
+        | [ l1; l2 ] ->
+          Alcotest.(check string) "duplicate is byte-identical" l1 l2;
+          l1
+        | _ -> Alcotest.fail "expected 2 responses")
+  in
+  Alcotest.(check int) "one memo hit in life 1" 1 stats1.Serve.cache_hits;
+  Alcotest.(check int) "nothing replayed in life 1" 0 stats1.Serve.replayed;
+  Alcotest.(check bool) "journal exists" true (Sys.file_exists journal);
+  (* second life: the same request replays from the recovered journal
+     byte-identically, without re-evaluating *)
+  let second, stats2 =
+    with_server cfg (fun addr ready ->
+        Alcotest.(check int) "one record recovered" 1 ready.Serve.recovered;
+        match lines_ok addr [ req ] with
+        | [ l ] -> l
+        | _ -> Alcotest.fail "expected 1 response")
+  in
+  Alcotest.(check string) "replayed response is byte-identical" first second;
+  Alcotest.(check int) "replay counted" 1 stats2.Serve.replayed;
+  Alcotest.(check int) "recovered counted" 1 stats2.Serve.recovered
+
+let serve_client_retry_after_shed () =
+  (* queue = 0 daemon always sheds; the client with a retry budget keeps
+     retrying until the budget is spent, then surfaces the shed line *)
+  let dir = fresh_dir () in
+  let cfg = { (base_config dir) with Serve.queue = 0 } in
+  let (), _ =
+    with_server cfg (fun addr _ ->
+        match
+          Serve.Client.request_lines ~retries:2 ~backoff_ms:1.0 ~seed:5 addr
+            [ {|{"req":"echo","id":"r"}|} ]
+        with
+        | Ok [ l ] -> Alcotest.(check string) "budget spent -> shed" "shed"
+                        (status l)
+        | Ok _ -> Alcotest.fail "expected 1 response"
+        | Error (e, _) -> Alcotest.failf "unexpected: %s" (Rwt_err.to_line e))
+  in
+  ()
+
+let serve_stale_socket () =
+  (* a socket file left behind by a dead daemon must be replaced *)
+  let dir = fresh_dir () in
+  let cfg = base_config dir in
+  let sock = Option.get cfg.Serve.socket in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.close fd;
+  (* bound then closed: the file exists but nothing accepts on it *)
+  Alcotest.(check bool) "stale socket file present" true (Sys.file_exists sock);
+  let (), _ =
+    with_server cfg (fun addr _ ->
+        match lines_ok addr [ {|{"req":"health"}|} ] with
+        | [ l ] -> Alcotest.(check string) "daemon took over" "ok" (status l)
+        | _ -> Alcotest.fail "expected 1 response")
+  in
+  ()
+
+let () =
+  Random.self_init ();
+  Alcotest.run "rwt_serve"
+    [ ( "backoff",
+        [ Alcotest.test_case "bounds" `Quick backoff_bounds;
+          Alcotest.test_case "determinism" `Quick backoff_determinism;
+          Alcotest.test_case "edges" `Quick backoff_edges ] );
+      ( "parse",
+        [ Alcotest.test_case "request grammar" `Quick parse_request_units ] );
+      ( "service",
+        [ Alcotest.test_case "submit & drain" `Quick service_drain;
+          Alcotest.test_case "queue cap sheds" `Quick service_queue_cap;
+          Alcotest.test_case "handler errors survive" `Quick
+            service_handler_errors ] );
+      ( "daemon",
+        [ Alcotest.test_case "round-trip" `Quick serve_roundtrip;
+          Alcotest.test_case "strict & example b" `Quick serve_strict_method;
+          Alcotest.test_case "admission shed" `Quick serve_shed;
+          Alcotest.test_case "shutdown request" `Quick serve_shutdown_request;
+          Alcotest.test_case "journal replay" `Quick serve_journal_replay;
+          Alcotest.test_case "client shed retry" `Quick
+            serve_client_retry_after_shed;
+          Alcotest.test_case "stale socket takeover" `Quick serve_stale_socket ]
+      ) ]
