@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench incr-bench serve-bench chaos profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench incr-bench serve-bench search-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -72,6 +72,12 @@ incr-bench:
 serve-bench:
 	dune build bin/rwt.exe
 	dune exec bench/main.exe -- serve
+
+# multi-criteria search: branch-and-bound certified against brute force,
+# plus heuristic candidate throughput (>= 10k scored mappings per run)
+# -> BENCH_search.json (see doc/SEARCH.md)
+search-bench:
+	dune exec bench/main.exe -- search
 
 # full fault-injection matrix over the shipped examples (the smoke subset
 # already runs inside `make test`); see doc/RESILIENCE.md

@@ -233,8 +233,8 @@ let extension_optimize () =
   in
   List.iter
     (fun model ->
-      let greedy = Rwt_core.Optimize.greedy model pipeline platform in
-      let ls = Rwt_core.Optimize.local_search ~iterations:300 model pipeline platform in
+      let greedy = Rwt_core.Optimize.greedy_exn model pipeline platform in
+      let ls = Rwt_core.Optimize.local_search_exn ~iterations:300 model pipeline platform in
       pf "%s: greedy period %a -> local search %a (%d evaluations)@."
         (Comm_model.to_string model) Rat.pp_approx greedy.Rwt_core.Optimize.period
         Rat.pp_approx ls.Rwt_core.Optimize.period ls.Rwt_core.Optimize.evaluations)
@@ -1006,6 +1006,151 @@ let serve_bench () =
   Printf.eprintf "wrote BENCH_serve.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Multi-criteria search: branch-and-bound vs brute force, heuristic   *)
+(* throughput                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two legs. The first runs the exact tier against the unpruned brute
+   force on a small failure-prone platform and fails hard if the Pareto
+   fronts differ — the pruning ratio (scored candidates saved) is the
+   headline number. The second drives the heuristic tier until at least
+   10k candidates have been scored in a single run and reports the
+   scoring throughput. Writes BENCH_search.json. *)
+let search_bench () =
+  section
+    "Search — b&b vs brute force + heuristic candidate throughput (BENCH_search.json)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let ok = function
+    | Ok v -> v
+    | Error e -> failwith ("search benchmark: " ^ Rwt_err.to_line e)
+  in
+  let member_key m =
+    ( m.Rwt_core.Search.assignment,
+      Rat.to_string m.Rwt_core.Search.objectives.Rwt_core.Search.period,
+      Rat.to_string m.Rwt_core.Search.objectives.Rwt_core.Search.latency,
+      Rat.to_string m.Rwt_core.Search.objectives.Rwt_core.Search.reliability )
+  in
+  (* Leg 1: exact tier on 3 stages / 6 failure-prone processors
+     (space = 2100 assignments), certified against brute force. *)
+  let pipeline = Pipeline.of_ints ~work:[| 6; 14; 4 |] ~data:[| 3; 2 |] in
+  let platform =
+    Platform.with_failures
+      (Platform.create
+         ~speeds:(Array.map Rat.of_int [| 2; 1; 1; 4; 3; 1 |])
+         ~bandwidths:(Array.make_matrix 6 6 Rat.one))
+      (Array.map
+         (fun (a, b) -> Rat.of_ints a b)
+         [| (1, 10); (1, 5); (1, 4); (1, 2); (1, 8); (1, 20) |])
+  in
+  let bnb, t_bnb =
+    time (fun () ->
+        ok
+          (Rwt_core.Search.search ~tier:`Exact Comm_model.Overlap pipeline
+             platform))
+  in
+  let brute, t_brute =
+    time (fun () ->
+        ok (Rwt_core.Search.brute_force Comm_model.Overlap pipeline platform))
+  in
+  if
+    List.map member_key bnb.Rwt_core.Search.front
+    <> List.map member_key brute.Rwt_core.Search.front
+  then failwith "search benchmark: branch-and-bound front differs from brute force";
+  if not (bnb.Rwt_core.Search.complete && brute.Rwt_core.Search.complete) then
+    failwith "search benchmark: exact leg did not run to completion";
+  let scored_saved =
+    brute.Rwt_core.Search.candidates - bnb.Rwt_core.Search.candidates
+  in
+  let pruning_ratio =
+    if brute.Rwt_core.Search.candidates > 0 then
+      float_of_int scored_saved /. float_of_int brute.Rwt_core.Search.candidates
+    else 0.0
+  in
+  pf
+    "exact:     space %.0f, brute scored %d, b&b scored %d (%d subtrees cut, %.0f%% fewer scores), front %d, %.3fs vs %.3fs@."
+    bnb.Rwt_core.Search.space brute.Rwt_core.Search.candidates
+    bnb.Rwt_core.Search.candidates bnb.Rwt_core.Search.pruned
+    (100.0 *. pruning_ratio)
+    (List.length bnb.Rwt_core.Search.front)
+    t_bnb t_brute;
+  let exact_row =
+    Json.Obj
+      [ ("leg", Json.String "exact-bnb-vs-brute");
+        ("model", Json.String "overlap");
+        ("n_stages", Json.Int 3);
+        ("p", Json.Int 6);
+        ("space", Json.Float bnb.Rwt_core.Search.space);
+        ("brute_candidates", Json.Int brute.Rwt_core.Search.candidates);
+        ("brute_skipped", Json.Int brute.Rwt_core.Search.skipped);
+        ("bnb_candidates", Json.Int bnb.Rwt_core.Search.candidates);
+        ("bnb_pruned_subtrees", Json.Int bnb.Rwt_core.Search.pruned);
+        ("pruning_ratio", Json.Float pruning_ratio);
+        ("front_size", Json.Int (List.length bnb.Rwt_core.Search.front));
+        ("t_bnb_s", Json.Float t_bnb);
+        ("t_brute_s", Json.Float t_brute);
+        ("fronts_identical", Json.Bool true) ]
+  in
+  (* Leg 2: heuristic tier, >= 10k scored candidates in one run. *)
+  let r = Prng.create 11 in
+  let big =
+    Rwt_experiments.Generator.generate r
+      { Rwt_experiments.Generator.n_stages = 5; p = 14; comp = (5, 15); comm = (5, 15) }
+  in
+  let big_platform =
+    Platform.with_failures big.Instance.platform
+      (Array.init 14 (fun i -> Rat.of_ints (1 + (i mod 5)) 20))
+  in
+  let heur, t_heur =
+    time (fun () ->
+        ok
+          (Rwt_core.Search.search ~tier:`Heuristic ~sweeps:48 ~iterations:700
+             ~m_cap:12 Comm_model.Overlap big.Instance.pipeline big_platform))
+  in
+  if heur.Rwt_core.Search.candidates < 10_000 then
+    failwith
+      (Printf.sprintf
+         "search benchmark: heuristic leg scored only %d candidates (need >= 10000)"
+         heur.Rwt_core.Search.candidates);
+  let per_s =
+    if t_heur > 0.0 then float_of_int heur.Rwt_core.Search.candidates /. t_heur
+    else 0.0
+  in
+  pf "heuristic: %d candidates scored in %.3fs (%.0f/s), front %d, %d skipped@."
+    heur.Rwt_core.Search.candidates t_heur per_s
+    (List.length heur.Rwt_core.Search.front)
+    heur.Rwt_core.Search.skipped;
+  let heuristic_row =
+    Json.Obj
+      [ ("leg", Json.String "heuristic-throughput");
+        ("model", Json.String "overlap");
+        ("n_stages", Json.Int 5);
+        ("p", Json.Int 14);
+        ("sweeps", Json.Int 48);
+        ("iterations", Json.Int 700);
+        ("m_cap", Json.Int 12);
+        ("candidates", Json.Int heur.Rwt_core.Search.candidates);
+        ("skipped", Json.Int heur.Rwt_core.Search.skipped);
+        ("candidates_per_s", Json.Float per_s);
+        ("front_size", Json.Int (List.length heur.Rwt_core.Search.front));
+        ("t_s", Json.Float t_heur) ]
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-search/1");
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("rows", Json.List [ exact_row; heuristic_row ]) ]
+  in
+  let oc = open_out "BENCH_search.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_search.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1104,6 +1249,7 @@ let all_targets =
     ("tpn", tpn_build_bench);
     ("incr", incremental_bench);
     ("serve", serve_bench);
+    ("search", search_bench);
     ("bechamel", bechamel) ]
 
 let default_targets =

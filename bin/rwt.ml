@@ -376,7 +376,7 @@ let certificate_cmd =
   in
   Cmd.v
     (Cmd.info "certificate"
-       ~doc:"Emit (and independently re-check) an optimality certificate for the              period: a node potential plus a witness cycle, verifiable in one O(E)              pass of exact arithmetic.")
+       ~doc:"Emit (and independently re-check) an optimality certificate for the period: a node potential plus a witness cycle, verifiable in one O(E) pass of exact arithmetic.")
     Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ verify_arg)
 
 (* --- sensitivity --- *)
@@ -398,7 +398,7 @@ let sensitivity_cmd =
   in
   Cmd.v
     (Cmd.info "sensitivity"
-       ~doc:"What-if analysis: the exact period after upgrading each processor or              link, ranked. Shows which resources actually sit on the critical cycle.")
+       ~doc:"What-if analysis: the exact period after upgrading each processor or link, ranked. Shows which resources actually sit on the critical cycle.")
     Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ factor_arg)
 
 (* --- latency --- *)
@@ -430,25 +430,159 @@ let latency_cmd =
 
 (* --- optimize --- *)
 
+(* The searchers need a pipeline and a platform, not a mapping — finding
+   one is their job. Files may therefore omit the map lines (the only way
+   to describe a platform with fewer processors than stages); a mapping
+   that is present is reported back so the result can be compared to it. *)
+let load_problem file example =
+  match (file, example) with
+  | Some _, Some _ -> Error (cli_err "use either --file or --example, not both")
+  | None, None ->
+    Error
+      (cli_err "an instance is required: --file <path> or --example <a|b|c|no-replication>")
+  | Some path, None ->
+    (match Format_io.load_problem path with
+     | Ok (_name, pipeline, platform, mapping) -> Ok (pipeline, platform, mapping)
+     | Error e -> Error e)
+  | None, Some _ ->
+    (match load_instance file example with
+     | Ok inst ->
+       Ok
+         ( inst.Instance.pipeline,
+           inst.Instance.platform,
+           Some inst.Instance.mapping )
+     | Error e -> Error e)
+
+(* wall-clock budget as a cooperative deadline closure, shared by the
+   search-flavoured commands *)
+let deadline_of_timeout = function
+  | None -> None
+  | Some secs ->
+    let armed = Unix.gettimeofday () +. secs in
+    Some (fun () -> Unix.gettimeofday () > armed)
+
 let optimize_cmd =
-  let run () file example model iterations seed =
-    let inst = or_die (load_instance file example) in
-    let pipeline = inst.Instance.pipeline and platform = inst.Instance.platform in
-    let greedy = Rwt_core.Optimize.greedy model pipeline platform in
+  let run () file example model iterations seed m_cap timeout =
+    let pipeline, platform, given_mapping = or_die (load_problem file example) in
+    let deadline = deadline_of_timeout timeout in
+    let greedy = or_die (Rwt_core.Optimize.greedy ?deadline model pipeline platform) in
     Format.printf "greedy baseline:@.%a@.@." Rwt_core.Optimize.pp greedy;
-    let ls = Rwt_core.Optimize.local_search ~seed ~iterations model pipeline platform in
+    let ls =
+      or_die
+        (Rwt_core.Optimize.local_search ~seed ~iterations ~m_cap ?deadline model
+           pipeline platform)
+    in
     Format.printf "local search:@.%a@." Rwt_core.Optimize.pp ls;
-    let given = Rwt_core.Analysis.analyze_exn model inst in
-    Format.printf "@.(the instance's own mapping has period %a)@." Rat.pp_approx
-      given.Rwt_core.Analysis.period
+    match given_mapping with
+    | None -> ()
+    | Some mapping ->
+      let inst = Instance.create_exn ~name:"given" ~pipeline ~platform ~mapping in
+      let given = Rwt_core.Analysis.analyze_exn model inst in
+      Format.printf "@.(the instance's own mapping has period %a)@." Rat.pp_approx
+        given.Rwt_core.Analysis.period
   in
   let iter_arg =
     Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N" ~doc:"Search moves.")
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let mcap_arg =
+    Arg.(value & opt int 720 & info [ "m-cap" ] ~docv:"N"
+           ~doc:"Reject candidates whose lcm of replication counts exceeds $(docv); \
+                 applies uniformly to every evaluation of the run.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget; when it expires the search stops and reports \
+                 the best mapping found so far (anytime behaviour).")
+  in
   Cmd.v
-    (Cmd.info "optimize" ~doc:"Heuristic mapping search on the instance's platform                                (the paper's NP-hard companion problem).")
-    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ iter_arg $ seed_arg)
+    (Cmd.info "optimize" ~doc:"Heuristic mapping search on the instance's platform (the paper's NP-hard companion problem).")
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ iter_arg $ seed_arg
+          $ mcap_arg $ timeout_arg)
+
+(* --- search --- *)
+
+let search_cmd =
+  let run () file example model tier sweeps iterations seed m_cap budget timeout
+      summary =
+    let pipeline, platform, _given = or_die (load_problem file example) in
+    let deadline = deadline_of_timeout timeout in
+    let outcome =
+      or_die
+        (Rwt_core.Search.search ~seed ~tier ~sweeps ~iterations ~m_cap
+           ~exact_budget:budget ?deadline model pipeline platform)
+    in
+    (* NDJSON front on stdout, one mapping per line; summary on stderr so
+       pipelines stay parseable *)
+    List.iter
+      (fun mem -> print_endline (Json.to_string (Rwt_core.Search.member_to_json mem)))
+      outcome.Rwt_core.Search.front;
+    if summary then Format.eprintf "%a@." Rwt_core.Search.pp_outcome outcome
+    else begin
+      let tier_name =
+        match outcome.Rwt_core.Search.tier with
+        | Rwt_core.Search.Exact -> "exact"
+        | Rwt_core.Search.Heuristic -> "heuristic"
+      in
+      Format.eprintf "rwt search: %s tier, front %d, %d scored, %d pruned%s@."
+        tier_name
+        (List.length outcome.Rwt_core.Search.front)
+        outcome.Rwt_core.Search.candidates outcome.Rwt_core.Search.pruned
+        (if outcome.Rwt_core.Search.complete then "" else " (incomplete: deadline)")
+    end
+  in
+  let tier_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "auto" -> Ok `Auto
+          | "exact" -> Ok `Exact
+          | "heuristic" -> Ok `Heuristic
+          | _ -> Error (`Msg "expected 'auto', 'exact' or 'heuristic'")),
+        fun fmt t ->
+          Format.pp_print_string fmt
+            (match t with `Auto -> "auto" | `Exact -> "exact" | `Heuristic -> "heuristic") )
+  in
+  let tier_arg =
+    Arg.(value & opt tier_conv `Auto & info [ "tier" ] ~docv:"TIER"
+           ~doc:"auto (default), exact (certified branch-and-bound enumeration) \
+                 or heuristic (replication-sweep starts + scalarized walks).")
+  in
+  let sweeps_arg =
+    Arg.(value & opt int 8 & info [ "sweeps" ] ~docv:"N"
+           ~doc:"Heuristic walks (ignored by the exact tier).")
+  in
+  let iter_arg =
+    Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Moves per heuristic walk (ignored by the exact tier).")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let mcap_arg =
+    Arg.(value & opt int 64 & info [ "m-cap" ] ~docv:"N"
+           ~doc:"Exclude candidates whose lcm of replication counts exceeds $(docv).")
+  in
+  let budget_arg =
+    Arg.(value & opt int 20_000 & info [ "exact-budget" ] ~docv:"N"
+           ~doc:"auto picks the exact tier when the assignment space has at most \
+                 $(docv) candidates.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget; an expired search emits the front found so \
+                 far and reports it as incomplete.")
+  in
+  let summary_arg =
+    Arg.(value & flag & info [ "summary" ]
+           ~doc:"Print the full front table to stderr instead of the one-line \
+                 summary.")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Multi-criteria mapping search: the Pareto front over period, latency \
+             and reliability, one NDJSON mapping per line (doc/SEARCH.md).")
+    Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ tier_arg
+          $ sweeps_arg $ iter_arg $ seed_arg $ mcap_arg $ budget_arg $ timeout_arg
+          $ summary_arg)
 
 (* --- stochastic --- *)
 
@@ -472,7 +606,7 @@ let stochastic_cmd =
   in
   let seed_arg = Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
   Cmd.v
-    (Cmd.info "stochastic" ~doc:"Period distribution over a dynamic platform                                  (the paper's stated future work).")
+    (Cmd.info "stochastic" ~doc:"Period distribution over a dynamic platform (the paper's stated future work).")
     Term.(const run $ obs_term $ file_arg $ example_arg $ model_arg $ samples_arg
           $ eps_arg $ seed_arg)
 
@@ -591,7 +725,7 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Run the full analysis pipeline on an instance and print a per-phase              cost table (spans, calls, total/mean/p90/max seconds). Combine with              --metrics/--trace/--events to export the raw numbers.")
+       ~doc:"Run the full analysis pipeline on an instance and print a per-phase cost table (spans, calls, total/mean/p90/max seconds). Combine with --metrics/--trace/--events to export the raw numbers.")
     Term.(const run $ obs_term $ pos_arg $ file_arg $ example_arg $ model_arg $ datasets_arg
           $ sort_arg $ top_arg)
 
@@ -758,7 +892,7 @@ let json_check_cmd =
   in
   Cmd.v
     (Cmd.info "json-check"
-       ~doc:"Parse a JSON file with the library's strict RFC 8259 parser; print              \"ok\" and exit 0 iff it is valid. Used by the test suite to              validate --metrics/--trace/--json output.")
+       ~doc:"Parse a JSON file with the library's strict RFC 8259 parser; print \"ok\" and exit 0 iff it is valid. Used by the test suite to validate --metrics/--trace/--json output.")
     Term.(const run $ path_arg)
 
 (* --- obs: observability tooling (diff, prometheus) --- *)
@@ -862,7 +996,7 @@ let obs_diff_cmd =
   in
   Cmd.v
     (Cmd.info "diff"
-       ~doc:"Compare every numeric leaf of two metrics/BENCH JSON dumps against a              relative threshold; exit 4 when any key regressed. The enforcement              behind make bench-diff.")
+       ~doc:"Compare every numeric leaf of two metrics/BENCH JSON dumps against a relative threshold; exit 4 when any key regressed. The enforcement behind make bench-diff.")
     Term.(const run $ old_arg $ new_arg $ threshold_arg $ min_delta_arg $ good_arg
           $ match_arg $ quiet_arg)
 
@@ -881,13 +1015,13 @@ let obs_prom_cmd =
   in
   Cmd.v
     (Cmd.info "prom"
-       ~doc:"Render a --metrics JSON dump in Prometheus text exposition format              (the future /metrics body for rwt serve).")
+       ~doc:"Render a --metrics JSON dump in Prometheus text exposition format (the future /metrics body for rwt serve).")
     Term.(const run $ path_arg)
 
 let obs_cmd =
   Cmd.group
     (Cmd.info "obs"
-       ~doc:"Observability tooling: compare two metric dumps against regression            thresholds, or convert a dump to Prometheus text format.")
+       ~doc:"Observability tooling: compare two metric dumps against regression thresholds, or convert a dump to Prometheus text format.")
     [ obs_diff_cmd; obs_prom_cmd ]
 
 (* --- serve / send: the persistent analysis daemon and its client --- *)
@@ -1082,7 +1216,7 @@ let main =
              Gallet, Gaujal, Robert 2009).")
     [ period_cmd; mct_cmd; paths_cmd; tpn_cmd; critical_cmd; gantt_cmd; simulate_cmd;
       show_cmd; certificate_cmd; sensitivity_cmd; latency_cmd; optimize_cmd;
-      stochastic_cmd; table2_cmd; calibrate_cmd; profile_cmd; batch_cmd;
+      search_cmd; stochastic_cmd; table2_cmd; calibrate_cmd; profile_cmd; batch_cmd;
       serve_cmd; send_cmd; obs_cmd; json_check_cmd ]
 
 (* a downstream pipe closing (rwt batch ... | head) surfaces as EPIPE on a

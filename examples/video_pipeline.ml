@@ -74,7 +74,7 @@ let () =
 
   (* Can the heuristic optimizer beat our hand-crafted mappings? *)
   let search =
-    Rwt_core.Optimize.local_search ~iterations:300 Comm_model.Overlap pipeline platform
+    Rwt_core.Optimize.local_search_exn ~iterations:300 Comm_model.Overlap pipeline platform
   in
   Format.printf "@.heuristic mapping search (overlap):@.%a@." Rwt_core.Optimize.pp search;
   let latency =

@@ -9,12 +9,17 @@ type t = {
   mean : Rat.t;
 }
 
-let analyze ?(margin = Rat.zero) model inst =
+let analyze ?(margin = Rat.zero) ?period model inst =
   if Rat.sign margin < 0 then invalid_arg "Latency.analyze: negative margin";
   let period =
-    match model with
-    | Comm_model.Overlap -> Poly_overlap.period inst
-    | Comm_model.Strict -> (Exact.period_exn model inst).Exact.period
+    match period with
+    | Some p ->
+      if Rat.sign p <= 0 then invalid_arg "Latency.analyze: non-positive period";
+      p
+    | None ->
+      (match model with
+       | Comm_model.Overlap -> Poly_overlap.period inst
+       | Comm_model.Strict -> (Exact.period_exn model inst).Exact.period)
   in
   let release_period = Rat.mul period (Rat.add Rat.one margin) in
   let m = Mapping.num_paths inst.Instance.mapping in

@@ -20,12 +20,16 @@ type t = {
   mean : Rat.t;
 }
 
-val analyze : ?margin:Rat.t -> Comm_model.t -> Instance.t -> t
+val analyze : ?margin:Rat.t -> ?period:Rat.t -> Comm_model.t -> Instance.t -> t
 (** Releases data sets every [period · (1 + margin)] time units, where
     [period] is the exact period of the mapping and [margin] defaults to 0
     (critical load; a positive margin models an under-loaded system and
-    yields smaller latencies). The steady values are read from the simulated
-    schedule once the per-residue latencies have stabilized.
+    yields smaller latencies). [period] overrides the internally computed
+    exact period — pass it when the caller already holds the exact value
+    (e.g. the search engine's warm-started {!Delta} solves), so the
+    analysis skips the redundant solve; it must be positive. The steady
+    values are read from the simulated schedule once the per-residue
+    latencies have stabilized.
     @raise Failure if the latencies have not stabilized within the horizon
     (cannot happen for [margin >= 0]: the schedule is then eventually
     periodic). *)

@@ -7,11 +7,18 @@ type result = {
   evaluations : int;
 }
 
+let too_few_procs ~n ~p =
+  Rwt_err.validate ~code:"validate.optimize"
+    ~context:[ ("stages", string_of_int n); ("processors", string_of_int p) ]
+    "fewer processors than stages: every stage needs at least one dedicated processor"
+
 (* [session] routes STRICT scoring through the delta layer: replica-preserving
    moves (swaps) keep the replication vector, so they patch the cached graph
    in place and warm-start the solver; shape-changing moves fall back to a
-   cold solve inside the session and re-arm it on the new skeleton. *)
-let evaluate ?session model pipeline platform assignment ~p ~m_cap =
+   cold solve inside the session and re-arm it on the new skeleton.
+   Every successful score bumps the [optimize.evaluations] counter, which is
+   what the [evaluations] field of {!result} must equal exactly. *)
+let evaluate ?session ?deadline model pipeline platform assignment ~p ~m_cap =
   let n = Array.length assignment in
   match Mapping.create ~n_stages:n ~p assignment with
   | Error _ -> None
@@ -23,36 +30,123 @@ let evaluate ?session model pipeline platform assignment ~p ~m_cap =
        let inst = Instance.create_exn ~name:"candidate" ~pipeline ~platform ~mapping in
        let period =
          match (model, session) with
-         | Comm_model.Overlap, _ -> Poly_overlap.period inst
-         | Comm_model.Strict, Some s -> Delta.period_exn s inst
-         | Comm_model.Strict, None -> (Exact.period_exn model inst).Exact.period
+         | Comm_model.Overlap, _ -> Poly_overlap.period ?deadline inst
+         | Comm_model.Strict, Some s -> Delta.period_exn ?deadline s inst
+         | Comm_model.Strict, None ->
+           (Exact.period_exn ?deadline model inst).Exact.period
        in
+       Rwt_obs.incr "optimize.evaluations";
        Some (mapping, period))
 
-let greedy model pipeline platform =
+let greedy ?deadline model pipeline platform =
   let n = Pipeline.n_stages pipeline in
   let p = Platform.p platform in
-  if p < n then invalid_arg "Optimize.greedy: fewer processors than stages";
-  (* stages in decreasing work order pick the fastest remaining processor *)
-  let stages = List.init n (fun i -> i) in
-  let stages =
-    List.sort
-      (fun a b -> Rat.compare (Pipeline.work pipeline b) (Pipeline.work pipeline a))
-      stages
-  in
-  let procs = List.init p (fun u -> u) in
-  let procs =
-    List.sort (fun a b -> Rat.compare (Platform.speed platform b) (Platform.speed platform a)) procs
-  in
-  let assignment = Array.make n [||] in
-  List.iteri
-    (fun k stage -> assignment.(stage) <- [| List.nth procs k |])
-    stages;
-  match evaluate model pipeline platform assignment ~p ~m_cap:max_int with
-  | Some (mapping, period) -> { mapping; period; evaluations = 1 }
-  | None -> invalid_arg "Optimize.greedy: internal error"
+  if p < n then Error (too_few_procs ~n ~p)
+  else begin
+    (* stages in decreasing work order pick the fastest remaining processor *)
+    let stages = List.init n (fun i -> i) in
+    let stages =
+      List.sort
+        (fun a b -> Rat.compare (Pipeline.work pipeline b) (Pipeline.work pipeline a))
+        stages
+    in
+    let procs = List.init p (fun u -> u) in
+    let procs =
+      List.sort
+        (fun a b -> Rat.compare (Platform.speed platform b) (Platform.speed platform a))
+        procs
+    in
+    let assignment = Array.make n [||] in
+    List.iteri
+      (fun k stage -> assignment.(stage) <- [| List.nth procs k |])
+      stages;
+    match
+      Rwt_err.catch (fun () ->
+          evaluate ?deadline model pipeline platform assignment ~p ~m_cap:max_int)
+    with
+    | Ok (Some (mapping, period)) -> Ok { mapping; period; evaluations = 1 }
+    | Ok None ->
+      Error (Rwt_err.internal ~code:"internal.optimize" "Optimize.greedy: internal error")
+    | Error e -> Error e
+  end
 
-let local_search ?(seed = 42) ?(iterations = 400) ?(m_cap = 720) model pipeline platform =
+let greedy_exn ?deadline model pipeline platform =
+  match greedy ?deadline model pipeline platform with
+  | Ok r -> r
+  | Error e -> Rwt_err.raise_ e
+
+(* the shared move kernel: one randomized neighbourhood step over an
+   assignment, also driven by {!Search}'s scalarized walks *)
+let propose r ~p ~n assignment =
+  let a = Array.map Array.copy assignment in
+  let u = Array.make p false in
+  Array.iter (Array.iter (fun x -> u.(x) <- true)) a;
+  let idle = List.filter (fun x -> not u.(x)) (List.init p (fun x -> x)) in
+  let add_replica () =
+    match idle with
+    | [] -> None
+    | _ ->
+      let proc = List.nth idle (Prng.int r (List.length idle)) in
+      let stage = Prng.int r n in
+      a.(stage) <- Array.append a.(stage) [| proc |];
+      Some a
+  in
+  let retire () =
+    let stage = Prng.int r n in
+    let k = Array.length a.(stage) in
+    if k <= 1 then None
+    else begin
+      let victim = Prng.int r k in
+      a.(stage) <-
+        Array.of_list (List.filteri (fun i _ -> i <> victim) (Array.to_list a.(stage)));
+      Some a
+    end
+  in
+  let move () =
+    let from_stage = Prng.int r n and to_stage = Prng.int r n in
+    let k = Array.length a.(from_stage) in
+    if from_stage = to_stage || k <= 1 then None
+    else begin
+      let victim = Prng.int r k in
+      let proc = a.(from_stage).(victim) in
+      a.(from_stage) <-
+        Array.of_list
+          (List.filteri (fun i _ -> i <> victim) (Array.to_list a.(from_stage)));
+      a.(to_stage) <- Array.append a.(to_stage) [| proc |];
+      Some a
+    end
+  in
+  let swap () =
+    let s1 = Prng.int r n and s2 = Prng.int r n in
+    if s1 = s2 then None
+    else begin
+      let i1 = Prng.int r (Array.length a.(s1)) in
+      let i2 = Prng.int r (Array.length a.(s2)) in
+      let tmp = a.(s1).(i1) in
+      a.(s1).(i1) <- a.(s2).(i2);
+      a.(s2).(i2) <- tmp;
+      Some a
+    end
+  in
+  let swap_idle () =
+    match idle with
+    | [] -> None
+    | _ ->
+      let proc = List.nth idle (Prng.int r (List.length idle)) in
+      let stage = Prng.int r n in
+      let i = Prng.int r (Array.length a.(stage)) in
+      a.(stage).(i) <- proc;
+      Some a
+  in
+  match Prng.int r 5 with
+  | 0 -> add_replica ()
+  | 1 -> retire ()
+  | 2 -> move ()
+  | 3 -> swap ()
+  | _ -> swap_idle ()
+
+let local_search ?(seed = 42) ?(iterations = 400) ?(m_cap = 720) ?deadline model
+    pipeline platform =
   let n = Pipeline.n_stages pipeline in
   let p = Platform.p platform in
   let r = Prng.create seed in
@@ -61,122 +155,66 @@ let local_search ?(seed = 42) ?(iterations = 400) ?(m_cap = 720) model pipeline 
     | Comm_model.Strict -> Some (Delta.create model)
     | Comm_model.Overlap -> None
   in
-  let start = greedy model pipeline platform in
-  (* random walk with tolerance: single moves often degrade the period
-     before a paired move pays off (adding a slow replica slows its stage's
-     round-robin until a second replica joins), so strictly-improving search
-     stalls in the no-replication optimum *)
-  let current = ref (Array.init n (fun i -> Mapping.procs start.mapping i)) in
-  let current_period = ref start.period in
-  let best_assignment = ref !current in
-  let best_period = ref start.period in
-  let evaluations = ref 1 in
-  let used assignment =
-    let u = Array.make p false in
-    Array.iter (Array.iter (fun x -> u.(x) <- true)) assignment;
-    u
-  in
-  let copy a = Array.map Array.copy a in
-  let propose () =
-    let a = copy !current in
-    let u = used a in
-    let idle = List.filter (fun x -> not (u.(x))) (List.init p (fun x -> x)) in
-    let add_replica () =
-      match idle with
-      | [] -> None
-      | _ ->
-        let proc = List.nth idle (Prng.int r (List.length idle)) in
-        let stage = Prng.int r n in
-        a.(stage) <- Array.append a.(stage) [| proc |];
-        Some a
-    in
-    let retire () =
-      let stage = Prng.int r n in
-      let k = Array.length a.(stage) in
-      if k <= 1 then None
-      else begin
-        let victim = Prng.int r k in
-        a.(stage) <- Array.of_list (List.filteri (fun i _ -> i <> victim) (Array.to_list a.(stage)));
-        Some a
-      end
-    in
-    let move () =
-      let from_stage = Prng.int r n and to_stage = Prng.int r n in
-      let k = Array.length a.(from_stage) in
-      if from_stage = to_stage || k <= 1 then None
-      else begin
-        let victim = Prng.int r k in
-        let proc = a.(from_stage).(victim) in
-        a.(from_stage) <-
-          Array.of_list (List.filteri (fun i _ -> i <> victim) (Array.to_list a.(from_stage)));
-        a.(to_stage) <- Array.append a.(to_stage) [| proc |];
-        Some a
-      end
-    in
-    let swap () =
-      let s1 = Prng.int r n and s2 = Prng.int r n in
-      if s1 = s2 then None
-      else begin
-        let i1 = Prng.int r (Array.length a.(s1)) in
-        let i2 = Prng.int r (Array.length a.(s2)) in
-        let tmp = a.(s1).(i1) in
-        a.(s1).(i1) <- a.(s2).(i2);
-        a.(s2).(i2) <- tmp;
-        Some a
-      end
-    in
-    let swap_idle () =
-      match idle with
-      | [] -> None
-      | _ ->
-        let proc = List.nth idle (Prng.int r (List.length idle)) in
-        let stage = Prng.int r n in
-        let i = Prng.int r (Array.length a.(stage)) in
-        a.(stage).(i) <- proc;
-        Some a
-      in
-    match Prng.int r 5 with
-    | 0 -> add_replica ()
-    | 1 -> retire ()
-    | 2 -> move ()
-    | 3 -> swap ()
-    | _ -> swap_idle ()
-  in
-  (* accept improvements always; accept mild degradations (< 60%) with
-     probability 1/3 to cross fitness valleys; restart from the best-so-far
-     when the walk drifts too far *)
-  let tolerance = Rat.of_ints 8 5 in
-  for step = 1 to iterations do
-    if step mod 60 = 0 then begin
-      current := !best_assignment;
-      current_period := !best_period
-    end;
-    match propose () with
-    | None -> ()
-    | Some candidate ->
-      (match evaluate ?session model pipeline platform candidate ~p ~m_cap with
-       | None -> ()
-       | Some (_, period) ->
-         incr evaluations;
-         if Rat.compare period !best_period < 0 then begin
-           best_period := period;
-           best_assignment := candidate
+  match greedy ?deadline model pipeline platform with
+  | Error e -> Error e
+  | Ok start ->
+    (* random walk with tolerance: single moves often degrade the period
+       before a paired move pays off (adding a slow replica slows its stage's
+       round-robin until a second replica joins), so strictly-improving search
+       stalls in the no-replication optimum *)
+    let current = ref (Array.init n (fun i -> Mapping.procs start.mapping i)) in
+    let current_period = ref start.period in
+    let best_mapping = ref start.mapping in
+    let best_period = ref start.period in
+    let evaluations = ref 1 in
+    (* accept improvements always; accept mild degradations (< 60%) with
+       probability 1/3 to cross fitness valleys; restart from the best-so-far
+       when the walk drifts too far *)
+    let tolerance = Rat.of_ints 8 5 in
+    let expired () = match deadline with None -> false | Some d -> d () in
+    (* cooperative interruption: the per-iteration poll catches cheap steps,
+       the deadline threaded into the solvers catches one long solve; either
+       way the walk stops and the best mapping found so far is the result *)
+    let exception Out_of_time in
+    (try
+       for step = 1 to iterations do
+         if expired () then raise_notrace Out_of_time;
+         if step mod 60 = 0 then begin
+           current := Array.init n (fun i -> Mapping.procs !best_mapping i);
+           current_period := !best_period
          end;
-         let accept =
-           Rat.compare period !current_period <= 0
-           || (Prng.int r 3 = 0
-               && Rat.compare period (Rat.mul !current_period tolerance) < 0)
-         in
-         if accept then begin
-           current := candidate;
-           current_period := period
-         end)
-  done;
-  match
-    evaluate ?session model pipeline platform !best_assignment ~p ~m_cap:max_int
-  with
-  | Some (mapping, period) -> { mapping; period; evaluations = !evaluations }
-  | None -> invalid_arg "Optimize.local_search: internal error"
+         match propose r ~p ~n !current with
+         | None -> ()
+         | Some candidate ->
+           (match
+              evaluate ?session ?deadline model pipeline platform candidate ~p ~m_cap
+            with
+            | None -> ()
+            | Some (mapping, period) ->
+              incr evaluations;
+              if Rat.compare period !best_period < 0 then begin
+                best_period := period;
+                best_mapping := mapping
+              end;
+              let accept =
+                Rat.compare period !current_period <= 0
+                || (Prng.int r 3 = 0
+                    && Rat.compare period (Rat.mul !current_period tolerance) < 0)
+              in
+              if accept then begin
+                current := candidate;
+                current_period := period
+              end)
+       done
+     with
+     | Out_of_time -> ()
+     | Rwt_err.Error { Rwt_err.class_ = Rwt_err.Timeout; _ } -> ());
+    Ok { mapping = !best_mapping; period = !best_period; evaluations = !evaluations }
+
+let local_search_exn ?seed ?iterations ?m_cap ?deadline model pipeline platform =
+  match local_search ?seed ?iterations ?m_cap ?deadline model pipeline platform with
+  | Ok r -> r
+  | Error e -> Rwt_err.raise_ e
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>period %a after %d evaluations@,%a@]" Rat.pp_approx t.period

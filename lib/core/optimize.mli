@@ -1,11 +1,21 @@
-(** Heuristic mapping search.
+(** Heuristic single-objective mapping search (throughput only).
 
     Finding the throughput-maximizing mapping is NP-hard even without
     replication (Benoit & Robert 2008, the paper's reference [3]); the paper
     assumes the mapping is given. This module closes the loop for users of
     the library: a greedy constructor plus randomized local search over
     replication sets, with the exact period evaluators of this repository as
-    the objective. It is a pragmatic extension, not part of the paper. *)
+    the objective. It is a pragmatic extension, not part of the paper.
+
+    For the multi-criteria problem — period, latency and reliability as a
+    Pareto front, with a certified branch-and-bound tier — see {!Search},
+    which builds on the same move set and evaluation plumbing.
+
+    Both entry points return [(result, Rwt_err.t) result] like every other
+    solver boundary: a platform with fewer processors than stages is a
+    typed [Validate] error (code ["validate.optimize"]), never a raw
+    exception, and a fired [deadline] inside the first (greedy) evaluation
+    surfaces as class [Timeout]. The [_exn] shims raise {!Rwt_err.Error}. *)
 
 open Rwt_util
 open Rwt_workflow
@@ -13,30 +23,80 @@ open Rwt_workflow
 type result = {
   mapping : Mapping.t;
   period : Rat.t;
-  evaluations : int;  (** how many candidate mappings were scored *)
+  evaluations : int;
+      (** exactly how many candidate mappings were scored — equal to the
+          [optimize.evaluations] counter delta of the call *)
 }
 
-val greedy : Comm_model.t -> Pipeline.t -> Platform.t -> result
+val greedy :
+  ?deadline:(unit -> bool) ->
+  Comm_model.t ->
+  Pipeline.t ->
+  Platform.t ->
+  (result, Rwt_err.t) Stdlib.result
 (** One processor per stage: stages in decreasing work order pick the
-    fastest remaining processor. The baseline every search starts from. *)
+    fastest remaining processor. The baseline every search starts from.
+    [Error] of class [Validate] when the platform has fewer processors than
+    stages, and [Timeout] when [deadline] fires inside the single scoring
+    solve. *)
+
+val greedy_exn :
+  ?deadline:(unit -> bool) -> Comm_model.t -> Pipeline.t -> Platform.t -> result
+(** Exception shim for {!greedy}. @raise Rwt_err.Error on the same
+    conditions. *)
 
 val local_search :
   ?seed:int ->
   ?iterations:int ->
   ?m_cap:int ->
+  ?deadline:(unit -> bool) ->
   Comm_model.t ->
   Pipeline.t ->
   Platform.t ->
-  result
+  (result, Rwt_err.t) Stdlib.result
 (** Randomized first-improvement local search from the greedy start.
     Moves: assign an idle processor to a stage (replication), move a
     processor between stages, retire a replica, swap two processors.
     Candidates whose [lcm(m_i)] exceeds [m_cap] (default 720) are rejected
-    to keep the strict-model evaluation exact and fast. Deterministic in
-    [seed]. [iterations] bounds the number of attempted moves (default
-    400). The result never scores worse than {!greedy}. STRICT candidates
-    are scored through one {!Delta} session: replica-preserving moves
-    (swaps) patch the cached graph in place and warm-start the solver,
-    shape-changing moves re-arm the session with a cold solve. *)
+    to keep the strict-model evaluation exact and fast — the cap applies
+    uniformly to {e every} evaluation of the call. Deterministic in [seed].
+    [iterations] bounds the number of attempted moves (default 400). The
+    result never scores worse than {!greedy}. STRICT candidates are scored
+    through one {!Delta} session: replica-preserving moves (swaps) patch
+    the cached graph in place and warm-start the solver, shape-changing
+    moves re-arm the session with a cold solve.
+
+    [deadline] makes the walk interruptible: it is polled before every
+    move and threaded into the period solvers ([Mcr]'s cooperative
+    checkpoints), and when it fires the search stops and returns the best
+    mapping found so far — an anytime result, not an error (unless the
+    deadline fires before even the greedy baseline could be scored, which
+    is a [Timeout] error like every other solver entry point).
+
+    [evaluations] counts exactly the candidates scored (greedy baseline
+    included); no hidden re-scoring happens outside the count. *)
+
+val local_search_exn :
+  ?seed:int ->
+  ?iterations:int ->
+  ?m_cap:int ->
+  ?deadline:(unit -> bool) ->
+  Comm_model.t ->
+  Pipeline.t ->
+  Platform.t ->
+  result
+(** Exception shim for {!local_search}. @raise Rwt_err.Error on the same
+    conditions. *)
+
+val propose :
+  Prng.t -> p:int -> n:int -> int array array -> int array array option
+(** One randomized neighbourhood step over an assignment of [p] processors
+    to [n] stages — the move kernel shared by {!local_search} and the
+    {!Search} walks: assign an idle processor to a stage, retire a replica,
+    move a processor between stages, swap two assigned processors, swap an
+    assigned processor with an idle one. The input is never mutated; [None]
+    means the drawn move does not apply (e.g. no idle processor). Every
+    returned assignment keeps the replica sets nonempty and pairwise
+    disjoint. *)
 
 val pp : Format.formatter -> result -> unit

@@ -1,0 +1,22 @@
+open Rwt_util
+open Rwt_workflow
+
+let stage platform procs =
+  if Array.length procs = 0 then invalid_arg "Reliability.stage: empty replica set";
+  let all_fail =
+    Array.fold_left
+      (fun acc u -> Rat.mul acc (Platform.failure_rate platform u))
+      Rat.one procs
+  in
+  Rat.sub Rat.one all_fail
+
+let of_assignment platform assignment =
+  Array.fold_left (fun acc procs -> Rat.mul acc (stage platform procs)) Rat.one assignment
+
+let of_mapping platform mapping =
+  let n = Mapping.n_stages mapping in
+  let acc = ref Rat.one in
+  for i = 0 to n - 1 do
+    acc := Rat.mul !acc (stage platform (Mapping.procs mapping i))
+  done;
+  !acc

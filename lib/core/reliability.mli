@@ -1,0 +1,30 @@
+(** Reliability of a mapping on a failure-prone platform.
+
+    The third objective of the multi-criteria search — after the paper's
+    period and the latency extension — following {e Optimizing Latency and
+    Reliability of Pipeline Workflow Applications} (Benoit, Rehn-Sonigo &
+    Robert 2008): each processor [P_u] fails (independently) with
+    probability [Platform.failure_rate], and the replica set of a stage is
+    read as a redundancy group — the stage survives as long as at least one
+    of its replicas does, so
+
+    {[ R(stage i) = 1 - prod_{u in procs i} f_u
+       R(mapping) = prod_i R(stage i) ]}
+
+    All arithmetic is exact ({!Rwt_util.Rat}); a platform without failure
+    rates yields reliability 1 for every mapping, which degenerates the
+    three-objective search into the period/latency bi-criteria problem. *)
+
+open Rwt_util
+open Rwt_workflow
+
+val stage : Platform.t -> int array -> Rat.t
+(** [stage platform procs] is [1 - prod f_u] over the replica set.
+    @raise Invalid_argument on an empty replica set. *)
+
+val of_assignment : Platform.t -> int array array -> Rat.t
+(** Product of {!stage} over a raw assignment (one replica array per
+    stage); no mapping validation is performed beyond non-emptiness. *)
+
+val of_mapping : Platform.t -> Mapping.t -> Rat.t
+(** {!of_assignment} on the mapping's replica sets. *)

@@ -1,0 +1,712 @@
+open Rwt_util
+open Rwt_workflow
+
+type objectives = { period : Rat.t; latency : Rat.t; reliability : Rat.t }
+
+type member = {
+  assignment : int array array;
+  m : int;
+  objectives : objectives;
+  dominated : int;
+}
+
+type tier = Exact | Heuristic
+
+type outcome = {
+  front : member list;
+  tier : tier;
+  candidates : int;
+  pruned : int;
+  skipped : int;
+  space : float;
+  complete : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Domination and the Pareto archive                                  *)
+(* ------------------------------------------------------------------ *)
+
+let obj_equal a b =
+  Rat.equal a.period b.period
+  && Rat.equal a.latency b.latency
+  && Rat.equal a.reliability b.reliability
+
+(* period and latency are minimized, reliability is maximized *)
+let weakly_dominates a b =
+  Rat.compare a.period b.period <= 0
+  && Rat.compare a.latency b.latency <= 0
+  && Rat.compare a.reliability b.reliability >= 0
+
+let dominates a b = weakly_dominates a b && not (obj_equal a b)
+
+type scored = { s_assignment : int array array; s_m : int; s_objs : objectives }
+
+type entry = {
+  e_assignment : int array array;
+  e_m : int;
+  e_objs : objectives;
+  mutable e_dominated : int;
+}
+
+(* One representative per non-dominated objective vector, the first one in
+   the (deterministic) insertion order. The archive is a plain list: fronts
+   of three-objective instances stay small, and scans beat tree upkeep. *)
+let insert archive (s : scored) =
+  let objs = s.s_objs in
+  if List.exists (fun e -> obj_equal e.e_objs objs) !archive then ()
+  else begin
+    let above = List.filter (fun e -> dominates e.e_objs objs) !archive in
+    match above with
+    | _ :: _ -> List.iter (fun e -> e.e_dominated <- e.e_dominated + 1) above
+    | [] ->
+      let ejected, kept = List.partition (fun e -> dominates objs e.e_objs) !archive in
+      archive :=
+        kept
+        @ [ { e_assignment = s.s_assignment;
+              e_m = s.s_m;
+              e_objs = objs;
+              e_dominated = List.length ejected }
+          ]
+  end
+
+let front_of_archive archive =
+  let members =
+    List.map
+      (fun e ->
+        { assignment = e.e_assignment;
+          m = e.e_m;
+          objectives = e.e_objs;
+          dominated = e.e_dominated })
+      !archive
+  in
+  List.sort
+    (fun a b ->
+      let c = Rat.compare a.objectives.period b.objectives.period in
+      if c <> 0 then c
+      else
+        let c = Rat.compare a.objectives.latency b.objectives.latency in
+        if c <> 0 then c
+        else
+          let c = Rat.compare b.objectives.reliability a.objectives.reliability in
+          if c <> 0 then c else Stdlib.compare a.assignment b.assignment)
+    members
+
+(* ------------------------------------------------------------------ *)
+(* Scoring                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [None] means the candidate is outside the search space (m_cap, lcm
+   overflow, malformed assignment) — a skip, not a failure. Solver
+   deadlines escape as [Rwt_err.Error] with class [Timeout]. *)
+let score ?session ?deadline ?transition_cap model pipeline platform ~p ~m_cap
+    assignment =
+  let n = Array.length assignment in
+  match Mapping.create ~n_stages:n ~p assignment with
+  | Error _ -> None
+  | Ok mapping ->
+    (match Mapping.num_paths mapping with
+     | exception Failure _ -> None
+     | m when m > m_cap -> None
+     | m ->
+       let inst =
+         Instance.create_exn ~name:"candidate" ~pipeline ~platform ~mapping
+       in
+       let period =
+         match (model, session) with
+         | Comm_model.Overlap, _ -> Poly_overlap.period ?deadline inst
+         | Comm_model.Strict, Some s -> Delta.period_exn ?deadline s inst
+         | Comm_model.Strict, None ->
+           (Exact.period_exn ?transition_cap ?deadline model inst).Exact.period
+       in
+       let latency = (Latency.analyze ~period model inst).Latency.worst in
+       let reliability = Reliability.of_mapping platform mapping in
+       Rwt_obs.incr "search.candidates";
+       Some
+         { s_assignment = Array.map Array.copy assignment;
+           s_m = m;
+           s_objs = { period; latency; reliability }
+         })
+
+type verdict = Scored of scored | Skipped | Unscored
+
+(* Score a batch on the pool: contiguous chunks, one private Delta session
+   per chunk so STRICT scoring warm-starts across the chunk's candidates.
+   A solver timeout raises the shared flag; remaining candidates are left
+   [Unscored] and the caller marks the run incomplete. *)
+let score_batch ?deadline ?transition_cap ?workers model pipeline platform ~p
+    ~m_cap candidates =
+  let nc = Array.length candidates in
+  if nc = 0 then ([||], false)
+  else begin
+    let slots =
+      match workers with Some w -> max 1 w | None -> Rwt_pool.recommended ()
+    in
+    let nchunks = max 1 (min slots nc) in
+    let per = (nc + nchunks - 1) / nchunks in
+    let timed = Atomic.make false in
+    let chunks =
+      Rwt_obs.with_span "search.score" (fun () ->
+          Rwt_pool.map ?workers ~n:nchunks (fun c ->
+              let lo = c * per in
+              let hi = min nc (lo + per) in
+              if lo >= hi then [||]
+              else begin
+                let session =
+                  match model with
+                  | Comm_model.Strict -> Some (Delta.create ?transition_cap model)
+                  | Comm_model.Overlap -> None
+                in
+                Array.init (hi - lo) (fun i ->
+                    if Atomic.get timed then Unscored
+                    else
+                      match
+                        score ?session ?deadline ?transition_cap model pipeline
+                          platform ~p ~m_cap
+                          candidates.(lo + i)
+                      with
+                      | Some s -> Scored s
+                      | None -> Skipped
+                      | exception
+                          Rwt_err.Error { Rwt_err.class_ = Rwt_err.Timeout; _ }
+                        ->
+                        Atomic.set timed true;
+                        Unscored)
+              end))
+    in
+    (Array.concat (Array.to_list chunks), Atomic.get timed)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Space size                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let space_size ~n_stages:n ~p =
+  if n <= 0 || p < n then 0.
+  else begin
+    let choose a b =
+      let acc = ref 1. in
+      for i = 1 to b do
+        acc := !acc *. float_of_int (a - b + i) /. float_of_int i
+      done;
+      !acc
+    in
+    (* sum over the number [u] of busy processors: pick them, then count the
+       surjections of the [u] processors onto the [n] stages *)
+    let total = ref 0. in
+    for u = n to p do
+      let surj = ref 0. in
+      for j = 0 to n do
+        let t = choose n j *. (float_of_int (n - j) ** float_of_int u) in
+        surj := !surj +. (if j land 1 = 0 then t else -.t)
+      done;
+      total := !total +. (choose p u *. !surj)
+    done;
+    if Float.is_finite !total then Float.max 0. !total else Float.max_float
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exact tier: exhaustive enumeration with lower-bound pruning        *)
+(* ------------------------------------------------------------------ *)
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+(* bits of [mask], ascending — the canonical round-robin order of a replica
+   set (enumerating only ascending orders is the classic search-space
+   reduction; see doc/SEARCH.md for why it is a heuristic restriction for
+   STRICT periods and exact for the other objectives) *)
+let procs_of_mask mask =
+  let rec go u m acc =
+    if m = 0 then List.rev acc
+    else go (u + 1) (m lsr 1) (if m land 1 = 1 then u :: acc else acc)
+  in
+  Array.of_list (go 0 mask [])
+
+(* nonempty submasks of [mask] in ascending numeric order *)
+let submasks mask =
+  let rec go s acc = if s = 0 then acc else go ((s - 1) land mask) (s :: acc) in
+  go mask []
+
+(* leaves are buffered and scored in batches on the pool; the batch grows
+   geometrically so the very first flushes seed the archive early (pruning
+   can only cut against already-scored members) while steady state still
+   amortizes the dispatch *)
+let min_flush_batch = 8
+let max_flush_batch = 64
+
+let enumerate ~prune ?deadline ?transition_cap ?workers model pipeline platform
+    ~m_cap =
+  let n = Pipeline.n_stages pipeline in
+  let p = Platform.p platform in
+  let w = Array.init n (Pipeline.work pipeline) in
+  let speeds = Array.init p (Platform.speed platform) in
+  let fails = Array.init p (Platform.failure_rate platform) in
+  (* suffix aggregates over the unassigned stages i..n-1 *)
+  let suffix_max_w = Array.make (n + 1) Rat.zero in
+  let suffix_sum_w = Array.make (n + 1) Rat.zero in
+  for i = n - 1 downto 0 do
+    suffix_max_w.(i) <- Rat.max w.(i) suffix_max_w.(i + 1);
+    suffix_sum_w.(i) <- Rat.add w.(i) suffix_sum_w.(i + 1)
+  done;
+  let archive = ref [] in
+  let candidates = ref 0 and skipped = ref 0 and pruned = ref 0 in
+  let stopped = ref false in
+  let buffer = ref [] and buf_len = ref 0 in
+  let flush_batch = ref min_flush_batch in
+  let flush () =
+    if !buf_len > 0 then begin
+      flush_batch := min max_flush_batch (2 * !flush_batch);
+      let batch = Array.of_list (List.rev !buffer) in
+      buffer := [];
+      buf_len := 0;
+      let verdicts, timed =
+        score_batch ?deadline ?transition_cap ?workers model pipeline platform
+          ~p ~m_cap batch
+      in
+      Array.iter
+        (function
+          | Scored s ->
+            incr candidates;
+            insert archive s
+          | Skipped -> incr skipped
+          | Unscored -> ())
+        verdicts;
+      if timed then stopped := true
+    end
+  in
+  let expired () =
+    match deadline with None -> false | Some d -> d ()
+  in
+  (* the subtree's ideal vector: no completion of the partial assignment can
+     beat any component (doc/SEARCH.md gives the three bounds) *)
+  let bounded_out avail i per_lb lat_sum rel_prod =
+    match !archive with
+    | [] -> false
+    | entries ->
+      let q = popcount avail in
+      let smax = ref Rat.zero in
+      let fprod = ref Rat.one in
+      for u = 0 to p - 1 do
+        if avail land (1 lsl u) <> 0 then begin
+          smax := Rat.max !smax speeds.(u);
+          fprod := Rat.mul !fprod fails.(u)
+        end
+      done;
+      let lb_period =
+        Rat.max per_lb (Rat.div suffix_max_w.(i) (Rat.mul_int !smax q))
+      in
+      let lb_latency = Rat.add lat_sum (Rat.div suffix_sum_w.(i) !smax) in
+      let stage_ub = Rat.sub Rat.one !fprod in
+      let ub_rel = ref rel_prod in
+      for _ = i to n - 1 do
+        ub_rel := Rat.mul !ub_rel stage_ub
+      done;
+      List.exists
+        (fun e ->
+          Rat.compare e.e_objs.period lb_period <= 0
+          && Rat.compare e.e_objs.latency lb_latency <= 0
+          && Rat.compare e.e_objs.reliability !ub_rel >= 0)
+        entries
+  in
+  let exception Cut_short in
+  let rec go i avail per_lb lat_sum rel_prod acc =
+    if !stopped || expired () then begin
+      stopped := true;
+      raise_notrace Cut_short
+    end;
+    if i = n then begin
+      buffer := Array.of_list (List.rev acc) :: !buffer;
+      incr buf_len;
+      if !buf_len >= !flush_batch then flush ()
+    end
+    else if prune && bounded_out avail i per_lb lat_sum rel_prod then begin
+      incr pruned;
+      Rwt_obs.incr "search.pruned"
+    end
+    else
+      List.iter
+        (fun sub ->
+          let remaining = popcount avail - popcount sub in
+          if remaining >= n - i - 1 then begin
+            let smin = ref Rat.zero and smax = ref Rat.zero in
+            let fprod = ref Rat.one in
+            let size = popcount sub in
+            for u = 0 to p - 1 do
+              if sub land (1 lsl u) <> 0 then begin
+                if Rat.is_zero !smin || Rat.compare speeds.(u) !smin < 0 then
+                  smin := speeds.(u);
+                smax := Rat.max !smax speeds.(u);
+                fprod := Rat.mul !fprod fails.(u)
+              end
+            done;
+            let per_lb' =
+              Rat.max per_lb (Rat.div w.(i) (Rat.mul_int !smin size))
+            in
+            let lat_sum' = Rat.add lat_sum (Rat.div w.(i) !smax) in
+            let rel_prod' = Rat.mul rel_prod (Rat.sub Rat.one !fprod) in
+            go (i + 1) (avail lxor sub) per_lb' lat_sum' rel_prod'
+              (procs_of_mask sub :: acc)
+          end)
+        (submasks avail)
+  in
+  let all = (1 lsl p) - 1 in
+  (try
+     go 0 all Rat.zero Rat.zero Rat.one [];
+     flush ()
+   with Cut_short -> ());
+  ( front_of_archive archive,
+    !candidates,
+    !pruned,
+    !skipped,
+    not !stopped )
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic tier: replication-sweep starts + scalarized walks        *)
+(* ------------------------------------------------------------------ *)
+
+(* Start points for the walks. All are valid assignments (nonempty,
+   pairwise-disjoint replica sets): the greedy one-per-stage baseline, one
+   replication sweep per stage rank (all idle processors piled onto the
+   k-th heaviest stage), and a work-proportional allocation of the whole
+   platform. *)
+let make_starts pipeline platform =
+  let n = Pipeline.n_stages pipeline in
+  let p = Platform.p platform in
+  let by_work =
+    List.sort
+      (fun a b -> Rat.compare (Pipeline.work pipeline b) (Pipeline.work pipeline a))
+      (List.init n (fun i -> i))
+  in
+  let by_speed =
+    List.sort
+      (fun a b -> Rat.compare (Platform.speed platform b) (Platform.speed platform a))
+      (List.init p (fun u -> u))
+  in
+  let greedy0 = Array.make n [||] in
+  List.iteri (fun k stage -> greedy0.(stage) <- [| List.nth by_speed k |]) by_work;
+  let idle = List.filteri (fun k _ -> k >= n) by_speed in
+  let sweeps =
+    if idle = [] then []
+    else
+      List.map
+        (fun stage ->
+          let a = Array.map Array.copy greedy0 in
+          a.(stage) <- Array.append a.(stage) (Array.of_list idle);
+          a)
+        by_work
+  in
+  let proportional =
+    let total = List.fold_left (fun acc i -> Rat.add acc (Pipeline.work pipeline i)) Rat.zero by_work in
+    if Rat.is_zero total then []
+    else begin
+      let counts = Array.make n 1 in
+      let budget = ref (p - n) in
+      (* largest-work-first rounding of the p-n spare processors *)
+      List.iter
+        (fun stage ->
+          if !budget > 0 then begin
+            let share =
+              Rat.to_float
+                (Rat.div (Rat.mul_int (Pipeline.work pipeline stage) (p - n)) total)
+            in
+            let extra = min !budget (int_of_float (Float.round share)) in
+            counts.(stage) <- counts.(stage) + extra;
+            budget := !budget - extra
+          end)
+        by_work;
+      (match by_work with
+       | heaviest :: _ -> counts.(heaviest) <- counts.(heaviest) + !budget
+       | [] -> ());
+      let a = Array.make n [||] in
+      let pool = ref by_speed in
+      List.iter
+        (fun stage ->
+          let take = counts.(stage) in
+          let rec split k xs acc =
+            if k = 0 then (List.rev acc, xs)
+            else
+              match xs with
+              | [] -> (List.rev acc, [])
+              | x :: tl -> split (k - 1) tl (x :: acc)
+          in
+          let mine, rest = split take !pool [] in
+          pool := rest;
+          a.(stage) <- Array.of_list mine)
+        by_work;
+      if Array.exists (fun s -> Array.length s = 0) a then [] else [ a ]
+    end
+  in
+  let all = (greedy0 :: sweeps) @ proportional in
+  (* drop structural duplicates, keeping first occurrences *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun a ->
+      let key = Array.map Array.copy a in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    all
+
+let walk_weights widx =
+  match widx mod 4 with
+  | 0 -> (1., 0., 0.)
+  | 1 -> (0., 1., 0.)
+  | 2 -> (0., 0., 1.)
+  | _ -> (0.4, 0.3, 0.3)
+
+type walk_result = { w_scored : scored list; w_skipped : int; w_timed : bool }
+
+(* One scalarized walk: guide with a float weighted sum of the normalized
+   objectives (guidance only — the archive works on exact rationals), feed
+   every scored candidate to the caller. Deterministic in [seed]. *)
+let walk ~seed ~weights ~iterations ~m_cap ?transition_cap ?deadline model
+    pipeline platform start =
+  let n = Pipeline.n_stages pipeline in
+  let p = Platform.p platform in
+  let r = Prng.create seed in
+  let session =
+    match model with
+    | Comm_model.Strict -> Some (Delta.create ?transition_cap model)
+    | Comm_model.Overlap -> None
+  in
+  let out = ref [] and skipped = ref 0 and timed = ref false in
+  let sc assignment =
+    if !timed then None
+    else
+      match
+        score ?session ?deadline ?transition_cap model pipeline platform ~p
+          ~m_cap assignment
+      with
+      | Some s ->
+        out := s :: !out;
+        Some s
+      | None ->
+        incr skipped;
+        None
+      | exception Rwt_err.Error { Rwt_err.class_ = Rwt_err.Timeout; _ } ->
+        timed := true;
+        None
+  in
+  let finish () =
+    { w_scored = List.rev !out; w_skipped = !skipped; w_timed = !timed }
+  in
+  match sc start with
+  | None -> finish ()
+  | Some s0 ->
+    let wp, wl, wr = weights in
+    let base v = Float.max (Rat.to_float v) 1e-9 in
+    let pbase = base s0.s_objs.period and lbase = base s0.s_objs.latency in
+    let scalar o =
+      (wp *. (Rat.to_float o.period /. pbase))
+      +. (wl *. (Rat.to_float o.latency /. lbase))
+      +. (wr *. (1. -. Rat.to_float o.reliability))
+    in
+    let copy a = Array.map Array.copy a in
+    let current = ref (copy start) and cur = ref (scalar s0.s_objs) in
+    let best = ref (copy start) and best_sc = ref !cur in
+    let expired () =
+      !timed || (match deadline with None -> false | Some d -> d ())
+    in
+    let exception Out_of_time in
+    (try
+       for step = 1 to iterations do
+         if expired () then raise_notrace Out_of_time;
+         if step mod 60 = 0 then begin
+           current := copy !best;
+           cur := !best_sc
+         end;
+         match Optimize.propose r ~p ~n !current with
+         | None -> ()
+         | Some candidate ->
+           (match sc candidate with
+            | None -> ()
+            | Some s ->
+              let v = scalar s.s_objs in
+              if v < !best_sc then begin
+                best_sc := v;
+                best := copy candidate
+              end;
+              let accept =
+                v <= !cur || (Prng.int r 3 = 0 && v < (!cur *. 1.6) +. 1e-9)
+              in
+              if accept then begin
+                current := candidate;
+                cur := v
+              end)
+       done
+     with Out_of_time -> ());
+    finish ()
+
+let heuristic_tier ~seed ~sweeps ~iterations ~m_cap ?transition_cap ?deadline
+    ?workers model pipeline platform =
+  let starts = Array.of_list (make_starts pipeline platform) in
+  let ns = Array.length starts in
+  let results =
+    Rwt_pool.map ?workers ~n:sweeps (fun widx ->
+        Rwt_obs.with_span "search.walk" (fun () ->
+            walk ~seed:(seed + widx) ~weights:(walk_weights widx) ~iterations
+              ~m_cap ?transition_cap ?deadline model pipeline platform
+              starts.(widx mod ns)))
+  in
+  let archive = ref [] in
+  let candidates = ref 0 and skipped = ref 0 and timed = ref false in
+  (* walks are independent and deterministic; merging in walk order makes
+     the outcome identical at any worker count *)
+  Array.iter
+    (fun wres ->
+      List.iter
+        (fun s ->
+          incr candidates;
+          insert archive s)
+        wres.w_scored;
+      skipped := !skipped + wres.w_skipped;
+      if wres.w_timed then timed := true)
+    results;
+  (front_of_archive archive, !candidates, !skipped, not !timed)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_exact_budget = 20_000
+let exact_proc_limit = 30
+
+let invalid_platform ~n ~p =
+  Rwt_err.validate ~code:"validate.search"
+    ~context:[ ("stages", string_of_int n); ("processors", string_of_int p) ]
+    "fewer processors than stages: every stage needs at least one dedicated processor"
+
+let no_progress () =
+  Rwt_err.timeout ~code:"timeout.search"
+    "deadline expired before any candidate could be scored"
+
+let finish_outcome outcome =
+  Rwt_obs.gauge "search.front_size" (float_of_int (List.length outcome.front));
+  if outcome.candidates = 0 && not outcome.complete then Error (no_progress ())
+  else Ok outcome
+
+let brute_force ?(m_cap = 64) ?transition_cap ?deadline ?workers model pipeline
+    platform =
+  let n = Pipeline.n_stages pipeline in
+  let p = Platform.p platform in
+  if p < n then Error (invalid_platform ~n ~p)
+  else if p > exact_proc_limit then
+    Error
+      (Rwt_err.validate ~code:"validate.search"
+         ~context:[ ("processors", string_of_int p) ]
+         "exhaustive enumeration supports at most 30 processors")
+  else begin
+    let front, candidates, pruned, skipped, complete =
+      Rwt_obs.with_span "search.enumerate" (fun () ->
+          enumerate ~prune:false ?deadline ?transition_cap ?workers model
+            pipeline platform ~m_cap)
+    in
+    finish_outcome
+      { front;
+        tier = Exact;
+        candidates;
+        pruned;
+        skipped;
+        space = space_size ~n_stages:n ~p;
+        complete
+      }
+  end
+
+let search ?(seed = 42) ?(tier = `Auto) ?(sweeps = 8) ?(iterations = 400)
+    ?(m_cap = 64) ?(exact_budget = default_exact_budget) ?transition_cap
+    ?deadline ?workers model pipeline platform =
+  let n = Pipeline.n_stages pipeline in
+  let p = Platform.p platform in
+  if p < n then Error (invalid_platform ~n ~p)
+  else begin
+    let space = space_size ~n_stages:n ~p in
+    let chosen =
+      match tier with
+      | `Exact ->
+        if p > exact_proc_limit then
+          Error
+            (Rwt_err.validate ~code:"validate.search"
+               ~context:[ ("processors", string_of_int p) ]
+               "exact tier supports at most 30 processors")
+        else Ok Exact
+      | `Heuristic -> Ok Heuristic
+      | `Auto ->
+        Ok
+          (if p <= exact_proc_limit && space <= float_of_int exact_budget then
+             Exact
+           else Heuristic)
+    in
+    match chosen with
+    | Error e -> Error e
+    | Ok Exact ->
+      let front, candidates, pruned, skipped, complete =
+        Rwt_obs.with_span "search.enumerate" (fun () ->
+            enumerate ~prune:true ?deadline ?transition_cap ?workers model
+              pipeline platform ~m_cap)
+      in
+      finish_outcome
+        { front; tier = Exact; candidates; pruned; skipped; space; complete }
+    | Ok Heuristic ->
+      let front, candidates, skipped, complete =
+        Rwt_obs.with_span "search.walks" (fun () ->
+            heuristic_tier ~seed ~sweeps ~iterations ~m_cap ?transition_cap
+              ?deadline ?workers model pipeline platform)
+      in
+      finish_outcome
+        { front;
+          tier = Heuristic;
+          candidates;
+          pruned = 0;
+          skipped;
+          space;
+          complete
+        }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member_to_json mem =
+  let rat_pair name v =
+    [ (name, Json.String (Rat.to_string v));
+      (name ^ "_approx", Json.Float (Rat.to_float v))
+    ]
+  in
+  Json.Obj
+    (( "assignment",
+       Json.List
+         (Array.to_list mem.assignment
+         |> List.map (fun s ->
+                Json.List (Array.to_list s |> List.map (fun u -> Json.Int u))))
+     )
+     :: ("m", Json.Int mem.m)
+     :: (rat_pair "period" mem.objectives.period
+        @ rat_pair "latency" mem.objectives.latency
+        @ rat_pair "reliability" mem.objectives.reliability
+        @ [ ("dominated", Json.Int mem.dominated) ]))
+
+let pp_tier fmt = function
+  | Exact -> Format.pp_print_string fmt "exact"
+  | Heuristic -> Format.pp_print_string fmt "heuristic"
+
+let pp_outcome fmt t =
+  Format.fprintf fmt
+    "@[<v>%a tier: front %d, %d scored, %d pruned, %d skipped, space %g%s@,"
+    pp_tier t.tier (List.length t.front) t.candidates t.pruned t.skipped t.space
+    (if t.complete then "" else " (incomplete: deadline)");
+  List.iteri
+    (fun i mem ->
+      Format.fprintf fmt "%2d: period %a latency %a reliability %a [%s]@," i
+        Rat.pp_approx mem.objectives.period Rat.pp_approx mem.objectives.latency
+        Rat.pp_approx mem.objectives.reliability
+        (String.concat "; "
+           (Array.to_list mem.assignment
+           |> List.map (fun s ->
+                  String.concat ","
+                    (Array.to_list s |> List.map string_of_int)))))
+    t.front;
+  Format.fprintf fmt "@]"

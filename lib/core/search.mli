@@ -1,0 +1,145 @@
+(** Multi-criteria mapping search: Pareto fronts over period, latency and
+    reliability.
+
+    The paper computes the period of a {e given} mapping; its companion
+    literature — {e Multi-criteria scheduling of pipeline workflows}
+    (Benoit, Rehn-Sonigo & Robert 2007) and {e Optimizing Latency and
+    Reliability of Pipeline Workflow Applications} (2008) — searches the
+    mapping space under several objectives at once. This module is that
+    search engine, built on the exact evaluators of this repository:
+
+    - {b period} (minimized): the exact steady-state period — OVERLAP via
+      Theorem 1 ({!Poly_overlap}), STRICT via warm-started {!Delta}
+      sessions over the fused TPN graph;
+    - {b latency} (minimized): the worst steady-state latency under
+      critical-load periodic admission ({!Latency.analyze}, reusing the
+      period already computed so no candidate is solved twice);
+    - {b reliability} (maximized): the mapping's success probability over
+      its replica sets ({!Reliability}), driven by
+      {!Rwt_workflow.Platform.failure_rate}.
+
+    Two tiers share one Pareto archive:
+
+    - {b exact}: exhaustive enumeration of every valid assignment (each
+      stage a nonempty, pairwise-disjoint replica set in ascending
+      round-robin order) with Mct-style lower-bound pruning — a subtree is
+      cut only when an already-found front member weakly dominates the
+      subtree's ideal objective vector, so the returned front is {e
+      certified identical} to brute-force enumeration (assignments
+      included, asserted by the test suite and the search bench);
+    - {b heuristic}: replication-sweep start points (greedy one-per-stage,
+      per-stage full replication, work-proportional allocation) followed by
+      scalarized local-search walks over the {!Optimize} move set, each
+      walk feeding every scored candidate into the archive.
+
+    Candidate batches are scored on the shared {!Rwt_pool} — contiguous
+    chunks (exact tier) or whole walks (heuristic tier) per pool task, each
+    task owning a private {!Delta} session so STRICT scoring warm-starts —
+    which is how tens of thousands of mappings are evaluated in one run.
+    Results are deterministic in [seed] and independent of the worker
+    count.
+
+    Counters/spans: [search.candidates], [search.pruned],
+    [search.front_size], [search.score], [search.walk]. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type objectives = {
+  period : Rat.t;  (** exact steady-state period (minimized) *)
+  latency : Rat.t;  (** worst steady-state latency at critical load (minimized) *)
+  reliability : Rat.t;  (** success probability over replica sets (maximized) *)
+}
+
+val dominates : objectives -> objectives -> bool
+(** [dominates a b]: [a] is no worse on all three objectives and strictly
+    better on at least one. *)
+
+type member = {
+  assignment : int array array;  (** replica sets, ascending round-robin order *)
+  m : int;  (** [lcm(m_i)] of the assignment *)
+  objectives : objectives;
+  dominated : int;
+      (** how many scored candidates this member was seen to dominate
+          (informational: candidates pruned before scoring are not
+          counted) *)
+}
+
+type tier = Exact | Heuristic
+
+type outcome = {
+  front : member list;
+      (** the non-dominated front, sorted by period, then latency, then
+          decreasing reliability *)
+  tier : tier;
+  candidates : int;  (** candidates actually scored *)
+  pruned : int;  (** exact tier: subtrees cut by the lower bound *)
+  skipped : int;  (** candidates rejected before scoring ([m_cap], arity) *)
+  space : float;  (** size of the full assignment space (saturating) *)
+  complete : bool;
+      (** exact tier ran to exhaustion (false when [deadline] fired);
+          always true for an undisturbed heuristic run *)
+}
+
+val space_size : n_stages:int -> p:int -> float
+(** Number of valid assignments of [p] processors to [n_stages] stages
+    (every stage a nonempty subset, subsets disjoint, idle processors
+    allowed): [sum_{u} C(p,u) · Surj(u, n)]. Computed in floating point and
+    saturating, so it is safe on astronomically large spaces. *)
+
+val search :
+  ?seed:int ->
+  ?tier:[ `Auto | `Exact | `Heuristic ] ->
+  ?sweeps:int ->
+  ?iterations:int ->
+  ?m_cap:int ->
+  ?exact_budget:int ->
+  ?transition_cap:int ->
+  ?deadline:(unit -> bool) ->
+  ?workers:int ->
+  Comm_model.t ->
+  Pipeline.t ->
+  Platform.t ->
+  (outcome, Rwt_err.t) Stdlib.result
+(** Run the search on the given pipeline/platform (any mapping the caller
+    holds is ignored — finding mappings is the point).
+
+    [tier] defaults to [`Auto]: exact when {!space_size} is at most
+    [exact_budget] (default 20000) and [p <= 30], heuristic otherwise.
+    [sweeps] (default 8) is the number of heuristic walks, [iterations]
+    (default 400) the moves per walk; both are ignored by the exact tier.
+    Candidates whose [lcm(m_i)] exceeds [m_cap] (default 64 — tighter than
+    {!Optimize}'s 720 because every candidate here is also
+    latency-simulated over [max(40·m, 200)] data sets) are excluded from
+    the candidate space of {e both} tiers (and of {!brute_force}, so
+    certification compares like with like). [transition_cap] bounds any
+    STRICT TPN the scorer builds; [deadline] is polled between candidates
+    and threaded into every solver — when it fires, the search stops and
+    returns the front found so far with [complete = false], or a typed
+    [Timeout] error if nothing was scored yet. [workers] caps the pool
+    fan-out (default: the machine's recommended domain count).
+
+    Errors: class [Validate] (code ["validate.search"]) when the platform
+    has fewer processors than stages, or when [`Exact] is forced on a
+    platform with more than 30 processors. *)
+
+val brute_force :
+  ?m_cap:int ->
+  ?transition_cap:int ->
+  ?deadline:(unit -> bool) ->
+  ?workers:int ->
+  Comm_model.t ->
+  Pipeline.t ->
+  Platform.t ->
+  (outcome, Rwt_err.t) Stdlib.result
+(** Exhaustive enumeration with pruning disabled — the reference the exact
+    tier is certified against ([pruned = 0]; same front, same
+    representatives). Exposed for the test suite and the search bench. *)
+
+val member_to_json : member -> Json.t
+(** One NDJSON front line: assignment, [m], the three objectives as exact
+    rational strings plus float approximations, and the dominated count.
+    Schema in [doc/SEARCH.md]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Human-readable summary (tier, candidate/pruned counts, front table). *)

@@ -16,6 +16,10 @@ let to_string inst =
   pr "processors %d\n" p;
   pr "speeds %s\n"
     (String.concat " " (List.init p (fun u -> Rat.to_string (Platform.speed platform u))));
+  if Platform.failures_given platform then
+    pr "failures %s\n"
+      (String.concat " "
+         (List.init p (fun u -> Rat.to_string (Platform.failure_rate platform u))));
   for u = 0 to p - 1 do
     for v = 0 to p - 1 do
       if u <> v && not (Rat.equal (Platform.bandwidth platform u v) Rat.one) then
@@ -36,14 +40,18 @@ type parse_state = {
   mutable data : Rat.t array option;
   mutable procs : int option;
   mutable speeds : Rat.t array option;
+  mutable failures : Rat.t array option;
   mutable bw : (int * int * Rat.t) list;
   mutable maps : int array list; (* reversed *)
 }
 
-let of_string ?file s =
+(* Shared front half of the two parsers: everything except the mapping.
+   Returns the raw (possibly empty) assignment so {!of_string} can demand a
+   full instance while {!problem_of_string} tolerates map-less files. *)
+let parse_parts ?file s =
   let st =
     { pname = "instance"; stages = None; work = None; data = None; procs = None;
-      speeds = None; bw = []; maps = [] }
+      speeds = None; failures = None; bw = []; maps = [] }
   in
   let fctx = match file with None -> [] | Some f -> [ ("file", f) ] in
   let exception Fail of Rwt_err.t in
@@ -84,6 +92,8 @@ let of_string ?file s =
         | "data" :: rest -> st.data <- Some (Array.of_list (List.map (rat lineno) rest))
         | [ "processors"; p ] -> st.procs <- Some (int_tok lineno p)
         | "speeds" :: rest -> st.speeds <- Some (Array.of_list (List.map (rat lineno) rest))
+        | "failures" :: rest ->
+          st.failures <- Some (Array.of_list (List.map (rat lineno) rest))
         | [ "bw"; u; v; r ] ->
           st.bw <- (int_tok lineno u, int_tok lineno v, rat lineno r) :: st.bw
         | "map" :: rest ->
@@ -107,22 +117,56 @@ let of_string ?file s =
       st.bw;
     let pipeline = Pipeline.create ~work ~data in
     let platform =
-      try Platform.create ~speeds ~bandwidths:bwm
+      try
+        let base = Platform.create ~speeds ~bandwidths:bwm in
+        match st.failures with
+        | None -> base
+        | Some rates ->
+          if Array.length rates <> p then vfail "failures: wrong arity";
+          Platform.with_failures base rates
       with Invalid_argument m -> vfail m
     in
     let assignment = Array.of_list (List.rev st.maps) in
-    let mapping =
-      match Mapping.create ~n_stages:n ~p assignment with
-      | Ok m -> m
-      | Error e -> vfail (Mapping.error_to_string e)
-    in
-    (match Instance.create ~name:st.pname ~pipeline ~platform ~mapping with
-     | Ok inst -> Ok inst
-     | Error e -> Error { e with Rwt_err.context = fctx @ e.Rwt_err.context })
+    Ok (fctx, st.pname, pipeline, platform, assignment)
   with
   | Fail e -> Error e
   | Invalid_argument msg ->
-    Error (Rwt_err.validate ~code:"validate.instance_file" ~context:fctx msg)
+    Error
+      (Rwt_err.validate ~code:"validate.instance_file"
+         ~context:(match file with None -> [] | Some f -> [ ("file", f) ])
+         msg)
+
+let of_string ?file s =
+  match parse_parts ?file s with
+  | Error e -> Error e
+  | Ok (fctx, name, pipeline, platform, assignment) ->
+    let n = Pipeline.n_stages pipeline in
+    let p = Platform.p platform in
+    (match Mapping.create ~n_stages:n ~p assignment with
+     | Error e ->
+       Error
+         (Rwt_err.validate ~code:"validate.instance_file" ~context:fctx
+            (Mapping.error_to_string e))
+     | Ok mapping ->
+       (match Instance.create ~name ~pipeline ~platform ~mapping with
+        | Ok inst -> Ok inst
+        | Error e -> Error { e with Rwt_err.context = fctx @ e.Rwt_err.context }))
+
+let problem_of_string ?file s =
+  match parse_parts ?file s with
+  | Error e -> Error e
+  | Ok (fctx, name, pipeline, platform, assignment) ->
+    if Array.length assignment = 0 then Ok (name, pipeline, platform, None)
+    else begin
+      let n = Pipeline.n_stages pipeline in
+      let p = Platform.p platform in
+      match Mapping.create ~n_stages:n ~p assignment with
+      | Error e ->
+        Error
+          (Rwt_err.validate ~code:"validate.instance_file" ~context:fctx
+             (Mapping.error_to_string e))
+      | Ok mapping -> Ok (name, pipeline, platform, Some mapping)
+    end
 
 let save path inst =
   let oc = open_out path in
@@ -132,4 +176,9 @@ let save path inst =
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | s -> of_string ~file:path s
+  | exception Sys_error msg -> Error (Rwt_err.parse ~code:"parse.io" msg)
+
+let load_problem path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> problem_of_string ~file:path s
   | exception Sys_error msg -> Error (Rwt_err.parse ~code:"parse.io" msg)

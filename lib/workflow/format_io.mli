@@ -23,9 +23,27 @@ val of_string : ?file:string -> string -> (Instance.t, Rwt_err.t) result
     mismatches) are {!Rwt_err.Validate} errors (code
     ["validate.instance_file"]). *)
 
+val problem_of_string :
+  ?file:string ->
+  string ->
+  (string * Pipeline.t * Platform.t * Mapping.t option, Rwt_err.t) result
+(** Like {!of_string} but for commands that {e search} for a mapping
+    ([rwt optimize], [rwt search]): the [map] lines are optional. Returns
+    [(name, pipeline, platform, mapping)] where [mapping] is [None] when
+    the file carries no [map] line — the only way to describe a platform
+    with fewer processors than stages, which the searchers then reject
+    with their own typed error. Present [map] lines are validated exactly
+    as in {!of_string}. *)
+
 val save : string -> Instance.t -> unit
 (** @raise Sys_error on I/O failure. *)
 
 val load : string -> (Instance.t, Rwt_err.t) result
 (** {!of_string} on the file's contents; I/O failures become {!Rwt_err.Parse}
     errors with code ["parse.io"]. *)
+
+val load_problem :
+  string ->
+  (string * Pipeline.t * Platform.t * Mapping.t option, Rwt_err.t) result
+(** {!problem_of_string} on the file's contents; I/O failures become
+    {!Rwt_err.Parse} errors with code ["parse.io"]. *)

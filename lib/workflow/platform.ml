@@ -7,7 +7,9 @@ open Rwt_util
    with the replication counts). *)
 type bw_repr = Dense of Rat.t array array | Star of Rat.t array
 
-type t = { speeds : Rat.t array; bw : bw_repr }
+(* [failures] is [None] on a reliable platform: every rate reads as 0 and
+   the file format round-trips without a failures line. *)
+type t = { speeds : Rat.t array; bw : bw_repr; failures : Rat.t array option }
 
 let create ~speeds ~bandwidths =
   let p = Array.length speeds in
@@ -25,7 +27,7 @@ let create ~speeds ~bandwidths =
             invalid_arg "Platform.create: non-positive bandwidth")
         row)
     bandwidths;
-  { speeds; bw = Dense bandwidths }
+  { speeds; bw = Dense bandwidths; failures = None }
 
 let uniform ~p ~speed ~bandwidth =
   create ~speeds:(Array.make p speed) ~bandwidths:(Array.make_matrix p p bandwidth)
@@ -40,7 +42,7 @@ let star ~speeds ~link_bw =
   Array.iter
     (fun b -> if Rat.sign b <= 0 then invalid_arg "Platform.star: non-positive bandwidth")
     link_bw;
-  { speeds; bw = Star (Array.copy link_bw) }
+  { speeds; bw = Star (Array.copy link_bw); failures = None }
 
 let two_clusters ~speeds ~split ~intra_bw ~inter_bw =
   let p = Array.length speeds in
@@ -60,6 +62,22 @@ let random r ~p ~speed_range:(slo, shi) ~bandwidth_range:(blo, bhi) =
   create ~speeds ~bandwidths:bw
 
 let p t = Array.length t.speeds
+
+let with_failures t rates =
+  if Array.length rates <> p t then
+    invalid_arg "Platform.with_failures: one rate per processor expected";
+  Array.iter
+    (fun f ->
+      if Rat.sign f < 0 || Rat.compare f Rat.one > 0 then
+        invalid_arg "Platform.with_failures: rates must lie in [0, 1]")
+    rates;
+  { t with failures = Some (Array.copy rates) }
+
+let failure_rate t u =
+  match t.failures with None -> Rat.zero | Some f -> f.(u)
+
+let failures_given t = t.failures <> None
+
 let speed t u = t.speeds.(u)
 let bandwidth t u v =
   match t.bw with
@@ -70,6 +88,9 @@ let proc_name u = Printf.sprintf "P%d" u
 let pp fmt t =
   Format.fprintf fmt "@[<v>platform with %d processors:@," (p t);
   for u = 0 to p t - 1 do
-    Format.fprintf fmt "  %s: speed %a@," (proc_name u) Rat.pp t.speeds.(u)
+    Format.fprintf fmt "  %s: speed %a" (proc_name u) Rat.pp t.speeds.(u);
+    if failures_given t && not (Rat.is_zero (failure_rate t u)) then
+      Format.fprintf fmt " (failure %a)" Rat.pp (failure_rate t u);
+    Format.fprintf fmt "@,"
   done;
   Format.fprintf fmt "@]"

@@ -42,6 +42,26 @@ val p : t -> int
 val speed : t -> int -> Rat.t
 val bandwidth : t -> int -> int -> Rat.t
 
+(** {1 Failure rates}
+
+    The reliability objective of the multi-criteria search (the companion
+    papers of Benoit, Rehn-Sonigo & Robert) models each processor as
+    failure-prone: [failure_rate t u] is the probability that [P_u] fails
+    over the mission. Platforms are reliable by default (every rate 0);
+    {!with_failures} attaches per-processor rates. *)
+
+val with_failures : t -> Rat.t array -> t
+(** A copy of the platform carrying the given per-processor failure
+    probabilities. @raise Invalid_argument unless the array has length [p]
+    with every rate in [\[0, 1\]]. *)
+
+val failure_rate : t -> int -> Rat.t
+(** [0] unless set by {!with_failures}. *)
+
+val failures_given : t -> bool
+(** Whether {!with_failures} rates are attached (drives the optional
+    [failures] line of the file format). *)
+
 val proc_name : int -> string
 (** ["P<u>"]. *)
 

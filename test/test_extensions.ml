@@ -91,9 +91,9 @@ let optimizer_valid_and_no_worse =
       let platform =
         Platform.random r ~p ~speed_range:(1, 10) ~bandwidth_range:(1, 10)
       in
-      let greedy = Rwt_core.Optimize.greedy Comm_model.Overlap pipeline platform in
+      let greedy = Rwt_core.Optimize.greedy_exn Comm_model.Overlap pipeline platform in
       let ls =
-        Rwt_core.Optimize.local_search ~seed ~iterations:120 Comm_model.Overlap pipeline
+        Rwt_core.Optimize.local_search_exn ~seed ~iterations:120 Comm_model.Overlap pipeline
           platform
       in
       Rat.compare ls.Rwt_core.Optimize.period greedy.Rwt_core.Optimize.period <= 0
@@ -111,9 +111,9 @@ let optimizer_finds_replication () =
      win over any one-per-stage mapping *)
   let pipeline = Pipeline.of_ints ~work:[| 1; 60; 1 |] ~data:[| 1; 1 |] in
   let platform = Platform.uniform ~p:8 ~speed:(Rat.of_int 1) ~bandwidth:(Rat.of_int 10) in
-  let greedy = Rwt_core.Optimize.greedy Comm_model.Overlap pipeline platform in
+  let greedy = Rwt_core.Optimize.greedy_exn Comm_model.Overlap pipeline platform in
   let ls =
-    Rwt_core.Optimize.local_search ~seed:3 ~iterations:400 Comm_model.Overlap pipeline
+    Rwt_core.Optimize.local_search_exn ~seed:3 ~iterations:400 Comm_model.Overlap pipeline
       platform
   in
   Alcotest.(check bool) "replication found" true
@@ -126,7 +126,7 @@ let optimizer_strict_model () =
   let pipeline = Pipeline.of_ints ~work:[| 2; 20 |] ~data:[| 1 |] in
   let platform = Platform.uniform ~p:4 ~speed:Rat.one ~bandwidth:(Rat.of_int 4) in
   let ls =
-    Rwt_core.Optimize.local_search ~seed:5 ~iterations:80 Comm_model.Strict pipeline
+    Rwt_core.Optimize.local_search_exn ~seed:5 ~iterations:80 Comm_model.Strict pipeline
       platform
   in
   let inst =
@@ -140,8 +140,8 @@ let optimizer_strict_model () =
 let optimizer_deterministic () =
   let pipeline = Pipeline.of_ints ~work:[| 4; 9 |] ~data:[| 3 |] in
   let platform = Platform.uniform ~p:5 ~speed:Rat.one ~bandwidth:Rat.one in
-  let a = Rwt_core.Optimize.local_search ~seed:7 Comm_model.Overlap pipeline platform in
-  let b = Rwt_core.Optimize.local_search ~seed:7 Comm_model.Overlap pipeline platform in
+  let a = Rwt_core.Optimize.local_search_exn ~seed:7 Comm_model.Overlap pipeline platform in
+  let b = Rwt_core.Optimize.local_search_exn ~seed:7 Comm_model.Overlap pipeline platform in
   Alcotest.check rat "same period" a.Rwt_core.Optimize.period b.Rwt_core.Optimize.period
 
 (* --- stochastic platforms --- *)

@@ -1,0 +1,309 @@
+(* Tests for the multi-criteria search engine and the Optimize bugfix
+   sweep: reliability arithmetic, Result-typed error paths, exact
+   evaluation counting, deadline (anytime) behaviour, and the qcheck
+   properties of the Pareto front — determinism in the seed, mutual
+   non-domination, and branch-and-bound certified against brute force. *)
+
+open Rwt_util
+open Rwt_workflow
+
+let qtest = QCheck_alcotest.to_alcotest
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let tiny_platform () =
+  Platform.with_failures
+    (Platform.create
+       ~speeds:(Array.map Rat.of_int [| 2; 1; 1; 4 |])
+       ~bandwidths:(Array.make_matrix 4 4 Rat.one))
+    (Array.map (fun (a, b) -> Rat.of_ints a b) [| (1, 10); (1, 5); (1, 4); (1, 2) |])
+
+let tiny_pipeline () =
+  Pipeline.of_ints ~work:[| 4; 8; 2 |] ~data:[| 2; 1 |]
+
+(* --- reliability --- *)
+
+let reliability_values () =
+  let plat = tiny_platform () in
+  (* stage on {1,2}: 1 - 1/5 * 1/4 = 19/20 *)
+  Alcotest.check rat "replica set" (Rat.of_ints 19 20)
+    (Rwt_core.Reliability.stage plat [| 1; 2 |]);
+  (* mapping [0][3][1,2]: 9/10 * 1/2 * 19/20 = 171/400 *)
+  Alcotest.check rat "whole mapping" (Rat.of_ints 171 400)
+    (Rwt_core.Reliability.of_assignment plat [| [| 0 |]; [| 3 |]; [| 1; 2 |] |]);
+  (* a reliable platform scores 1 regardless of the mapping *)
+  let reliable = Platform.uniform ~p:3 ~speed:Rat.one ~bandwidth:Rat.one in
+  Alcotest.check rat "no failures" Rat.one
+    (Rwt_core.Reliability.of_assignment reliable [| [| 0; 1; 2 |] |])
+
+let reliability_rejects_bad_rates () =
+  let plat = Platform.uniform ~p:2 ~speed:Rat.one ~bandwidth:Rat.one in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Platform.with_failures: one rate per processor expected")
+    (fun () -> ignore (Platform.with_failures plat [| Rat.zero |]));
+  Alcotest.check_raises "rate above one"
+    (Invalid_argument "Platform.with_failures: rates must lie in [0, 1]")
+    (fun () -> ignore (Platform.with_failures plat [| Rat.zero; Rat.of_int 2 |]))
+
+(* --- Optimize: typed errors, exact evaluation count, deadlines --- *)
+
+let optimize_too_few_procs () =
+  let pipeline = tiny_pipeline () in
+  let platform = Platform.uniform ~p:2 ~speed:Rat.one ~bandwidth:Rat.one in
+  let check_err = function
+    | Ok _ -> Alcotest.fail "expected a Validate error"
+    | Error e ->
+      Alcotest.(check string) "class" "validate" (Rwt_err.class_name e.Rwt_err.class_);
+      Alcotest.(check string) "code" "validate.optimize" e.Rwt_err.code
+  in
+  check_err (Rwt_core.Optimize.greedy Comm_model.Overlap pipeline platform);
+  check_err (Rwt_core.Optimize.local_search Comm_model.Overlap pipeline platform)
+
+(* regression: the final re-scoring of the old implementation was not
+   counted (and used ~m_cap:max_int); with the fix the reported
+   [evaluations] equals the [optimize.evaluations] counter delta exactly *)
+let optimize_counts_every_evaluation () =
+  let inst = Instances.example_a () in
+  let pipeline = inst.Instance.pipeline and platform = inst.Instance.platform in
+  Rwt_obs.enable ();
+  Rwt_obs.reset ();
+  let before = Rwt_obs.counter_value "optimize.evaluations" in
+  let r =
+    match
+      Rwt_core.Optimize.local_search ~seed:7 ~iterations:60 Comm_model.Overlap
+        pipeline platform
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Rwt_err.to_line e)
+  in
+  let after = Rwt_obs.counter_value "optimize.evaluations" in
+  Rwt_obs.disable ();
+  Alcotest.(check int) "reported = scored" (after - before)
+    r.Rwt_core.Optimize.evaluations
+
+let optimize_deadline_before_greedy () =
+  let inst = Instances.example_a () in
+  match
+    Rwt_core.Optimize.local_search ~deadline:(fun () -> true) Comm_model.Overlap
+      inst.Instance.pipeline inst.Instance.platform
+  with
+  | Ok _ -> Alcotest.fail "expected a Timeout error"
+  | Error e ->
+    Alcotest.(check string) "class" "timeout" (Rwt_err.class_name e.Rwt_err.class_)
+
+let optimize_deadline_is_anytime () =
+  let inst = Instances.example_a () in
+  let pipeline = inst.Instance.pipeline and platform = inst.Instance.platform in
+  let run ?deadline () =
+    match
+      Rwt_core.Optimize.local_search ?deadline ~seed:7 ~iterations:100
+        Comm_model.Overlap pipeline platform
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Rwt_err.to_line e)
+  in
+  (* calibrate: count deadline polls over the undisturbed run, then fire
+     halfway — well past the greedy baseline, well before the end *)
+  let polls = ref 0 in
+  let full = run ~deadline:(fun () -> incr polls; false) () in
+  let budget = !polls / 2 in
+  let used = ref 0 in
+  let cut = run ~deadline:(fun () -> incr used; !used > budget) () in
+  let greedy =
+    match Rwt_core.Optimize.greedy Comm_model.Overlap pipeline platform with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Rwt_err.to_line e)
+  in
+  Alcotest.(check bool) "fewer evaluations than the full run" true
+    (cut.Rwt_core.Optimize.evaluations <= full.Rwt_core.Optimize.evaluations);
+  Alcotest.(check bool) "still no worse than greedy" true
+    (Rat.compare cut.Rwt_core.Optimize.period greedy.Rwt_core.Optimize.period <= 0)
+
+(* --- search: unit behaviour --- *)
+
+let search_too_few_procs () =
+  let pipeline = tiny_pipeline () in
+  let platform = Platform.uniform ~p:2 ~speed:Rat.one ~bandwidth:Rat.one in
+  match Rwt_core.Search.search Comm_model.Overlap pipeline platform with
+  | Ok _ -> Alcotest.fail "expected a Validate error"
+  | Error e ->
+    Alcotest.(check string) "class" "validate" (Rwt_err.class_name e.Rwt_err.class_);
+    Alcotest.(check string) "code" "validate.search" e.Rwt_err.code
+
+let search_deadline_before_first_score () =
+  let pipeline = tiny_pipeline () in
+  let platform = tiny_platform () in
+  match
+    Rwt_core.Search.search ~deadline:(fun () -> true) Comm_model.Overlap pipeline
+      platform
+  with
+  | Ok _ -> Alcotest.fail "expected a Timeout error"
+  | Error e ->
+    Alcotest.(check string) "class" "timeout" (Rwt_err.class_name e.Rwt_err.class_)
+
+let search_exact_tiny () =
+  let pipeline = tiny_pipeline () in
+  let platform = tiny_platform () in
+  let o =
+    match Rwt_core.Search.search Comm_model.Overlap pipeline platform with
+    | Ok o -> o
+    | Error e -> Alcotest.fail (Rwt_err.to_line e)
+  in
+  Alcotest.(check bool) "auto picks exact" true (o.Rwt_core.Search.tier = Rwt_core.Search.Exact);
+  Alcotest.(check bool) "complete" true o.Rwt_core.Search.complete;
+  Alcotest.(check (float 0.0)) "space" 60.0 o.Rwt_core.Search.space;
+  Alcotest.(check bool) "front nonempty" true (o.Rwt_core.Search.front <> []);
+  (* every front member's stored objectives match a cold re-evaluation *)
+  List.iter
+    (fun mem ->
+      let mapping =
+        Mapping.create_exn ~n_stages:3 ~p:4 mem.Rwt_core.Search.assignment
+      in
+      let inst =
+        Instance.create_exn ~name:"check" ~pipeline ~platform ~mapping
+      in
+      let period = Rwt_core.Poly_overlap.period inst in
+      let latency = (Rwt_core.Latency.analyze Comm_model.Overlap inst).Rwt_core.Latency.worst in
+      let objs = mem.Rwt_core.Search.objectives in
+      Alcotest.check rat "period" period objs.Rwt_core.Search.period;
+      Alcotest.check rat "latency" latency objs.Rwt_core.Search.latency;
+      Alcotest.check rat "reliability"
+        (Rwt_core.Reliability.of_mapping platform mapping)
+        objs.Rwt_core.Search.reliability)
+    o.Rwt_core.Search.front;
+  (* the front NDJSON round-trips through the strict JSON parser *)
+  List.iter
+    (fun mem ->
+      let line = Json.to_string (Rwt_core.Search.member_to_json mem) in
+      match Json.of_string line with
+      | Ok (Json.Obj fields) ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) ("has " ^ k) true (List.mem_assoc k fields))
+          [ "assignment"; "m"; "period"; "latency"; "reliability"; "dominated" ]
+      | Ok _ | Error _ -> Alcotest.fail "front line is not a JSON object")
+    o.Rwt_core.Search.front
+
+let search_space_size () =
+  (* n=3, p=4: 24 assignments using 3 processors + 36 using all 4 *)
+  Alcotest.(check (float 0.0)) "3 stages, 4 procs" 60.0
+    (Rwt_core.Search.space_size ~n_stages:3 ~p:4);
+  (* single stage: any nonempty subset *)
+  Alcotest.(check (float 0.0)) "1 stage, 5 procs" 31.0
+    (Rwt_core.Search.space_size ~n_stages:1 ~p:5);
+  Alcotest.(check (float 0.0)) "infeasible" 0.0
+    (Rwt_core.Search.space_size ~n_stages:3 ~p:2);
+  Alcotest.(check bool) "huge space saturates finite" true
+    (Float.is_finite (Rwt_core.Search.space_size ~n_stages:10 ~p:300))
+
+(* --- search: qcheck properties --- *)
+
+let small_problem ?(max_stages = 3) ?(max_extra = 1) seed =
+  let r = Prng.create (seed + 11) in
+  let n = Prng.int_in r 2 max_stages in
+  let p = n + Prng.int r (max_extra + 1) in
+  let inst =
+    Rwt_experiments.Generator.generate r
+      { Rwt_experiments.Generator.n_stages = n; p; comp = (1, 8); comm = (1, 8) }
+  in
+  let rates =
+    Array.init p (fun _ -> Rat.of_ints (Prng.int r 10) 10)
+  in
+  ( inst.Instance.pipeline,
+    Platform.with_failures inst.Instance.platform rates )
+
+let member_key mem =
+  ( mem.Rwt_core.Search.assignment,
+    Rat.to_string mem.Rwt_core.Search.objectives.Rwt_core.Search.period,
+    Rat.to_string mem.Rwt_core.Search.objectives.Rwt_core.Search.latency,
+    Rat.to_string mem.Rwt_core.Search.objectives.Rwt_core.Search.reliability )
+
+let search_deterministic_in_seed =
+  QCheck.Test.make ~count:6 ~name:"search: same seed, same front" QCheck.small_nat
+    (fun seed ->
+      let pipeline, platform = small_problem seed in
+      let run () =
+        match
+          Rwt_core.Search.search ~seed:(seed * 3) ~tier:`Heuristic ~sweeps:3
+            ~iterations:30 Comm_model.Overlap pipeline platform
+        with
+        | Ok o -> o
+        | Error e -> QCheck.Test.fail_report (Rwt_err.to_line e)
+      in
+      let a = run () and b = run () in
+      List.map member_key a.Rwt_core.Search.front
+      = List.map member_key b.Rwt_core.Search.front
+      && a.Rwt_core.Search.candidates = b.Rwt_core.Search.candidates)
+
+let search_front_non_dominated =
+  QCheck.Test.make ~count:6 ~name:"search: front is mutually non-dominated"
+    QCheck.small_nat (fun seed ->
+      let pipeline, platform = small_problem seed in
+      let o =
+        match
+          Rwt_core.Search.search ~seed ~tier:`Heuristic ~sweeps:3 ~iterations:30
+            Comm_model.Overlap pipeline platform
+        with
+        | Ok o -> o
+        | Error e -> QCheck.Test.fail_report (Rwt_err.to_line e)
+      in
+      let front = Array.of_list o.Rwt_core.Search.front in
+      let ok = ref true in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              if i <> j
+                 && Rwt_core.Search.dominates a.Rwt_core.Search.objectives
+                      b.Rwt_core.Search.objectives
+              then ok := false)
+            front)
+        front;
+      !ok)
+
+let search_bnb_equals_brute_force =
+  QCheck.Test.make ~count:6
+    ~name:"search: branch-and-bound front = brute force (all 3 objectives)"
+    QCheck.small_nat (fun seed ->
+      let pipeline, platform = small_problem ~max_stages:3 ~max_extra:1 seed in
+      let run f =
+        match f () with
+        | Ok o -> o
+        | Error e -> QCheck.Test.fail_report (Rwt_err.to_line e)
+      in
+      List.for_all
+        (fun model ->
+          let bnb =
+            run (fun () ->
+                Rwt_core.Search.search ~tier:`Exact model pipeline platform)
+          in
+          let brute =
+            run (fun () -> Rwt_core.Search.brute_force model pipeline platform)
+          in
+          bnb.Rwt_core.Search.complete && brute.Rwt_core.Search.complete
+          && brute.Rwt_core.Search.pruned = 0
+          && List.map member_key bnb.Rwt_core.Search.front
+             = List.map member_key brute.Rwt_core.Search.front)
+        [ Comm_model.Overlap; Comm_model.Strict ])
+
+let () =
+  Alcotest.run "search"
+    [ ( "reliability",
+        [ Alcotest.test_case "values" `Quick reliability_values;
+          Alcotest.test_case "bad rates" `Quick reliability_rejects_bad_rates ] );
+      ( "optimize result api",
+        [ Alcotest.test_case "p < n typed error" `Quick optimize_too_few_procs;
+          Alcotest.test_case "exact evaluation count" `Quick
+            optimize_counts_every_evaluation;
+          Alcotest.test_case "deadline before greedy" `Quick
+            optimize_deadline_before_greedy;
+          Alcotest.test_case "deadline anytime" `Quick optimize_deadline_is_anytime ] );
+      ( "search engine",
+        [ Alcotest.test_case "p < n typed error" `Quick search_too_few_procs;
+          Alcotest.test_case "deadline before first score" `Quick
+            search_deadline_before_first_score;
+          Alcotest.test_case "exact tier on tiny instance" `Quick search_exact_tiny;
+          Alcotest.test_case "space size" `Quick search_space_size ] );
+      ( "search properties",
+        [ qtest search_deterministic_in_seed;
+          qtest search_front_non_dominated;
+          qtest search_bnb_equals_brute_force ] ) ]
