@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench incr-bench serve-bench search-bench chaos profile examples clean fmt doc
+.PHONY: all build test bench bench-full bench-json bench-diff batch-bench mcr-bench tpn-bench incr-bench serve-bench search-bench scale-bench chaos profile examples clean fmt doc
 
 all: build
 
@@ -72,6 +72,17 @@ incr-bench:
 serve-bench:
 	dune build bin/rwt.exe
 	dune exec bench/main.exe -- serve
+
+# scaling: generated workload corpus (lib/experiments/corpus.ml) through the
+# four parallel layers vs worker count, chunked-vs-per-task submission, and
+# the committed period snapshots (bench/snapshots/) -> BENCH_scale.json.
+# Tier via RWT_SCALE_TIER=tiny|standard|full (default standard); worker
+# override via RWT_WORKERS. Runs alone because it resets Rwt_obs between
+# legs. See doc/PERFORMANCE.md §Scaling.
+scale-bench:
+	dune build bin/rwt.exe
+	dune exec bench/main.exe -- scale
+	dune exec bin/rwt.exe -- json-check BENCH_scale.json
 
 # multi-criteria search: branch-and-bound certified against brute force,
 # plus heuristic candidate throughput (>= 10k scored mappings per run)

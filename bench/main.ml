@@ -356,6 +356,8 @@ let batch () =
         ("cache_hits", Json.Int seq_sum.Rwt_batch.cache_hits);
         ("ok", Json.Int seq_sum.Rwt_batch.ok);
         ("cores", Json.Int cores);
+        ("cores_available", Json.Int cores);
+        ("workers_used", Json.Int par_jobs);
         ("jobs_parallel", Json.Int par_jobs);
         ("t_seq_s", Json.Float t_seq);
         ("t_par_s", Json.Float t_par);
@@ -489,6 +491,8 @@ let mcr_bench () =
     Json.Obj
       [ ("schema", Json.String "rwt.bench-mcr/1");
         ("cores", Json.Int cores);
+        ("cores_available", Json.Int cores);
+        ("workers_used", Json.Int (max (Rwt_pool.resolved_default ()) 4));
         ("rows", Json.List (graph_rows @ [ poly_row ])) ]
   in
   let oc = open_out "BENCH_mcr.json" in
@@ -680,6 +684,8 @@ let tpn_build_bench () =
     Json.Obj
       [ ("schema", Json.String "rwt.bench-tpnbuild/1");
         ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("cores_available", Json.Int (Domain.recommended_domain_count ()));
+        ("workers_used", Json.Int 1);
         ("rows", Json.List rows) ]
   in
   let oc = open_out "BENCH_tpnbuild.json" in
@@ -800,6 +806,8 @@ let incremental_bench () =
     Json.Obj
       [ ("schema", Json.String "rwt.bench-incremental/1");
         ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("cores_available", Json.Int (Domain.recommended_domain_count ()));
+        ("workers_used", Json.Int 1);
         ("rows", Json.List rows) ]
   in
   let oc = open_out "BENCH_incremental.json" in
@@ -994,6 +1002,8 @@ let serve_bench () =
     Json.Obj
       [ ("schema", Json.String "rwt.bench-serve/1");
         ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("cores_available", Json.Int (Domain.recommended_domain_count ()));
+        ("workers_used", Json.Int 1);
         ("workers", Json.Int 1);
         ("legs", Json.List [ echo; hot; cold ]);
         ("cache_hits", Json.Int stats.Rwt_serve.cache_hits);
@@ -1142,6 +1152,8 @@ let search_bench () =
     Json.Obj
       [ ("schema", Json.String "rwt.bench-search/1");
         ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("cores_available", Json.Int (Domain.recommended_domain_count ()));
+        ("workers_used", Json.Int 1);
         ("rows", Json.List [ exact_row; heuristic_row ]) ]
   in
   let oc = open_out "BENCH_search.json" in
@@ -1149,6 +1161,357 @@ let search_bench () =
   output_char oc '\n';
   close_out oc;
   Printf.eprintf "wrote BENCH_search.json\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: generated workload corpus vs worker count                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall time and req/s vs worker count (1, 2, 4, … up to the hardware;
+   2 always included, so a single-core host still exercises multiplexed
+   domains) over the generated corpus (lib/experiments/corpus.ml), for
+   the four parallel layers: [Rwt_pool.map] over corpus solves, per-SCC
+   [Mcr.solve_screened], [Rwt_batch] and the serve daemon. Per-leg
+   busy/idle/steal histograms come from [Rwt_obs]; metrics are reset
+   between legs, which is why `make scale-bench` runs this target alone.
+   Every period is checked against the committed corpus snapshot
+   (bench/snapshots/) and asserted identical across worker counts,
+   chunk sizes and kernels — a scheduler change that alters one digit of
+   one answer fails the bench. The chunk leg measures per-task vs
+   chunked submission on the same 2-worker pool; on a single-core host
+   the auto-policy degradation to one worker is asserted, too. Writes
+   BENCH_scale.json; tier and workers via RWT_SCALE_TIER / RWT_WORKERS. *)
+let scale_bench () =
+  let module C = Rwt_experiments.Corpus in
+  let module Mcr = Rwt_petri.Mcr in
+  section "Scaling — generated corpus, schedulers vs worker count (BENCH_scale.json)";
+  let tier =
+    match Sys.getenv_opt "RWT_SCALE_TIER" with
+    | None -> C.Standard
+    | Some s ->
+      (match C.tier_of_string s with
+       | Some t -> t
+       | None -> failwith (Printf.sprintf "scale benchmark: unknown tier %S" s))
+  in
+  let cores = Domain.recommended_domain_count () in
+  let auto_workers = Rwt_pool.resolved_default () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* best-of-k wall time: every leg's value is deterministic, only the
+     timing varies, so the minimum is the honest estimate *)
+  let best k f =
+    let v, t0 = time f in
+    let t = ref t0 in
+    for _ = 2 to k do
+      let _, ti = time f in
+      if ti < !t then t := ti
+    done;
+    (v, !t)
+  in
+  let entries = C.build tier in
+  let n = Array.length entries in
+  pf "corpus: tier %s, %d instances, %d families; cores %d, auto workers %d@."
+    (C.tier_name tier) n (List.length C.all_families) cores auto_workers;
+  let worker_counts =
+    let rec pows acc w =
+      if w >= cores then List.rev (cores :: acc) else pows (w :: acc) (2 * w)
+    in
+    List.sort_uniq compare (1 :: 2 :: (if cores <= 1 then [] else pows [] 1))
+  in
+  let hist name =
+    match Rwt_obs.histogram_summary name with
+    | None -> Json.Null
+    | Some h ->
+      Json.Obj
+        [ ("count", Json.Int h.Rwt_obs.count);
+          ("sum_s", Json.Float h.Rwt_obs.sum);
+          ("mean_s", Json.Float h.Rwt_obs.mean);
+          ("p50_s", Json.Float h.Rwt_obs.p50);
+          ("p90_s", Json.Float h.Rwt_obs.p90);
+          ("p99_s", Json.Float h.Rwt_obs.p99) ]
+  in
+  let pool_obs () =
+    Json.Obj
+      [ ("busy", hist "pool.worker_busy_s");
+        ("idle", hist "pool.worker_idle_s");
+        ("steal_latency", hist "pool.steal_latency_s");
+        ("steals", Json.Int (Rwt_obs.counter_value "pool.steals"));
+        ("chunks", Json.Int (Rwt_obs.counter_value "pool.chunks")) ]
+  in
+  (* --- leg 1: Rwt_pool.map over the corpus, per worker count -------- *)
+  let baseline = ref "" in
+  let pool_leg ~kernel w =
+    Rwt_obs.reset ();
+    let rows, t = best 2 (fun () -> C.run ~workers:w ~kernel entries) in
+    let nd = C.to_ndjson rows in
+    if !baseline = "" then baseline := nd;
+    let identical = String.equal nd !baseline in
+    if not identical then
+      failwith
+        (Printf.sprintf "scale benchmark: %s kernel at %d workers changed the periods"
+           (C.kernel_name kernel) w);
+    let rps = if t > 0.0 then float_of_int n /. t else 0.0 in
+    pf "pool-map  %-8s w=%d: %.3fs  %7.1f inst/s@." (C.kernel_name kernel) w t rps;
+    ( rows,
+      Json.Obj
+        [ ("leg", Json.String "pool-map");
+          ("kernel", Json.String (C.kernel_name kernel));
+          ("workers", Json.Int w);
+          ("wall_s", Json.Float t);
+          ("req_s", Json.Float rps);
+          ("periods_identical", Json.Bool identical);
+          ("pool", pool_obs ()) ] )
+  in
+  let screened = List.map (fun w -> pool_leg ~kernel:C.Screened w) worker_counts in
+  (* the exact kernel must produce byte-identical NDJSON (the screen is
+     certified); 1 and 2 workers keep the slow kernel's share bounded *)
+  let exact = List.map (fun w -> snd (pool_leg ~kernel:C.Exact_howard w)) [ 1; 2 ] in
+  let pool_rows = List.map snd screened @ exact in
+  let rows1 = fst (List.hd screened) in
+  (* --- snapshot: pin every exact period ----------------------------- *)
+  let snap_path =
+    Printf.sprintf "bench/snapshots/corpus_%s.ndjson" (C.tier_name tier)
+  in
+  let snapshot_status =
+    match C.check_snapshot ~path:snap_path rows1 with
+    | Ok () ->
+      pf "snapshot %s: %d periods identical@." snap_path n;
+      "checked"
+    | Error msg when not (Sys.file_exists snap_path) ->
+      ignore msg;
+      C.write_snapshot ~path:snap_path rows1;
+      pf "snapshot %s: written (first run)@." snap_path;
+      "written"
+    | Error msg -> failwith ("scale benchmark: " ^ msg)
+  in
+  (* --- leg 2: chunked vs per-task submission on the same pool ------- *)
+  (* many tiny tasks make scheduling overhead the workload: chunk=1 is
+     the seed scheduler's per-task deque traffic, chunk auto amortizes
+     it. Obs is disabled for this leg so per-task spans don't flatten
+     the contrast. *)
+  let chunk_row =
+    let n_tasks = 100_000 in
+    let sink = Array.make n_tasks 0 in
+    let task i = sink.(i) <- (i * i) land 0xffff in
+    Rwt_obs.disable ();
+    let (), t_chunk1 =
+      best 3 (fun () -> Rwt_pool.run ~workers:2 ~chunk:1 ~n:n_tasks task)
+    in
+    let (), t_auto = best 3 (fun () -> Rwt_pool.run ~workers:2 ~n:n_tasks task) in
+    Rwt_obs.enable ();
+    let speedup = if t_auto > 0.0 then t_chunk1 /. t_auto else 0.0 in
+    pf "chunking  w=2, %d micro-tasks: per-task %.4fs, chunked %.4fs -> %.2fx@."
+      n_tasks t_chunk1 t_auto speedup;
+    if speedup < 1.0 then
+      failwith "scale benchmark: chunked submission slower than per-task";
+    Json.Obj
+      [ ("leg", Json.String "chunking");
+        ("workers", Json.Int 2);
+        ("n_tasks", Json.Int n_tasks);
+        ("t_per_task_s", Json.Float t_chunk1);
+        ("t_chunked_s", Json.Float t_auto);
+        ("speedup_chunked", Json.Float speedup);
+        ("asserted_ge_1", Json.Bool true) ]
+  in
+  (* --- leg 3: per-SCC Mcr.solve_screened ---------------------------- *)
+  let scc_rows =
+    let r = Prng.create 2026 in
+    let g = mcr_graph r ~blocks:16 ~size:90 in
+    let saved_thresh = !Mcr.scc_parallel_threshold in
+    let saved_workers = !Rwt_pool.default_workers in
+    Mcr.scc_parallel_threshold := 0;
+    let base = ref None in
+    let rows =
+      List.map
+        (fun w ->
+          Rwt_obs.reset ();
+          Rwt_pool.default_workers := w;
+          let wit, t = best 2 (fun () -> Mcr.solve_screened g) in
+          let ratio =
+            match wit with
+            | Some x -> x.Mcr.Exact.ratio
+            | None -> failwith "scale benchmark: scc graph had no cycle"
+          in
+          (match !base with
+           | None -> base := Some ratio
+           | Some b ->
+             if not (Rat.equal b ratio) then
+               failwith "scale benchmark: scc ratio changed with worker count");
+          pf "scc       w=%d: %.3fs (16 sccs x 90 nodes)@." w t;
+          Json.Obj
+            [ ("leg", Json.String "scc");
+              ("workers", Json.Int w);
+              ("wall_s", Json.Float t);
+              ("pool", pool_obs ()) ])
+        worker_counts
+    in
+    Mcr.scc_parallel_threshold := saved_thresh;
+    Rwt_pool.default_workers := saved_workers;
+    rows
+  in
+  (* --- leg 4: rwt batch over corpus jobs ---------------------------- *)
+  let batch_rows =
+    let k = min n 100 in
+    let jobs =
+      List.init k (fun i ->
+          let e = entries.(i) in
+          Rwt_batch.job ~index:i ~model:e.C.model ~method_:Rwt_core.Analysis.Tpn
+            (Rwt_batch.Inline e.C.instance))
+    in
+    let render outcomes =
+      String.concat "\n"
+        (Array.to_list
+           (Array.map
+              (fun o -> Json.to_string (Rwt_batch.outcome_to_json ~timing:false o))
+              outcomes))
+    in
+    let base = ref "" in
+    List.map
+      (fun w ->
+        Rwt_obs.reset ();
+        let (outcomes, summary), t = best 2 (fun () -> Rwt_batch.run ~jobs:w jobs) in
+        let rendered = render outcomes in
+        if !base = "" then base := rendered;
+        if not (String.equal rendered !base) then
+          failwith "scale benchmark: batch outcomes changed with worker count";
+        let rps = if t > 0.0 then float_of_int k /. t else 0.0 in
+        pf "batch     w=%d (effective %d): %d jobs in %.3fs  %7.1f jobs/s@." w
+          summary.Rwt_batch.workers k t rps;
+        Json.Obj
+          [ ("leg", Json.String "batch");
+            ("workers", Json.Int w);
+            ("workers_effective", Json.Int summary.Rwt_batch.workers);
+            ("jobs", Json.Int k);
+            ("wall_s", Json.Float t);
+            ("req_s", Json.Float rps);
+            ("pool", pool_obs ()) ])
+      worker_counts
+  in
+  (* --- leg 5: serve daemon, workers 1 and 2 ------------------------- *)
+  let serve_rows =
+    let tmp =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rwt-bench-scale-%d" (Unix.getpid ()))
+    in
+    Unix.mkdir tmp 0o700;
+    let one w =
+      Rwt_obs.reset ();
+      let sock = Filename.concat tmp (Printf.sprintf "s%d.sock" w) in
+      let ready = Atomic.make None in
+      let cfg =
+        { Rwt_serve.default_config with
+          Rwt_serve.socket = Some sock; workers = w; queue = 1_000_000 }
+      in
+      let dom =
+        Domain.spawn (fun () ->
+            Rwt_serve.run ~on_ready:(fun r -> Atomic.set ready (Some r)) cfg)
+      in
+      let rec await k =
+        match Atomic.get ready with
+        | Some _ -> ()
+        | None when k = 0 -> failwith "scale benchmark: daemon never became ready"
+        | None ->
+          Unix.sleepf 0.005;
+          await (k - 1)
+      in
+      await 2000;
+      let addr = Rwt_serve.Client.Unix_sock sock in
+      let send lines =
+        match Rwt_serve.Client.request_lines addr lines with
+        | Ok rs -> rs
+        | Error (e, _) -> failwith ("scale benchmark: " ^ Rwt_err.to_line e)
+      in
+      ignore (send [ {|{"example":"a"}|} ]);
+      let n_req = 1500 in
+      let reqs =
+        List.init n_req (fun i -> Printf.sprintf {|{"example":"a","id":"%d"}|} i)
+      in
+      let responses, t = time (fun () -> send reqs) in
+      List.iter
+        (fun r ->
+          match Json.of_string r with
+          | Ok (Json.Obj fields)
+            when List.assoc_opt "status" fields = Some (Json.String "ok") -> ()
+          | _ -> failwith ("scale benchmark: non-ok response: " ^ r))
+        responses;
+      (match Atomic.get ready with
+       | Some r -> Rwt_serve.stop r.Rwt_serve.control
+       | None -> ());
+      (match Domain.join dom with
+       | Ok _ -> ()
+       | Error e -> failwith ("scale benchmark: " ^ Rwt_err.to_line e));
+      let rps = if t > 0.0 then float_of_int n_req /. t else 0.0 in
+      pf "serve     w=%d: %d memo-hot requests in %.3fs  %9.0f req/s@." w n_req t rps;
+      Json.Obj
+        [ ("leg", Json.String "serve");
+          ("workers", Json.Int w);
+          ("n", Json.Int n_req);
+          ("wall_s", Json.Float t);
+          ("req_s", Json.Float rps) ]
+    in
+    let r1 = one 1 in
+    let r2 = one 2 in
+    [ r1; r2 ]
+  in
+  (* --- degradation: auto policies must collapse on a starved host --- *)
+  let degradation =
+    let batch_auto =
+      let jobs =
+        List.init 2 (fun i ->
+            let e = entries.(i) in
+            Rwt_batch.job ~index:i ~model:e.C.model ~method_:Rwt_core.Analysis.Tpn
+              (Rwt_batch.Inline e.C.instance))
+      in
+      let _, summary = Rwt_batch.run jobs in
+      summary.Rwt_batch.workers
+    in
+    let asserted = cores <= 1 && Rwt_pool.env_workers () = None in
+    if asserted then begin
+      if auto_workers <> 1 then
+        failwith "scale benchmark: pool auto workers should degrade to 1 on one core";
+      if batch_auto <> 1 then
+        failwith "scale benchmark: batch auto policy should degrade to 1 worker"
+    end;
+    pf "degradation: pool auto %d, batch auto %d (asserted on this host: %b)@."
+      auto_workers batch_auto asserted;
+    Json.Obj
+      [ ("pool_auto_workers", Json.Int auto_workers);
+        ("batch_auto_workers", Json.Int batch_auto);
+        ("asserted", Json.Bool asserted) ]
+  in
+  (* re-open the driver's span dropped by the per-leg resets, so the
+     enclosing span_end stays balanced *)
+  Rwt_obs.span_begin "bench.scale";
+  let top = List.fold_left max 1 worker_counts in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "rwt.bench-scale/1");
+        ("cores", Json.Int cores);
+        ("cores_available", Json.Int cores);
+        ("workers_used", Json.Int top);
+        ("tier", Json.String (C.tier_name tier));
+        ("instances", Json.Int n);
+        ("families",
+         Json.List
+           (List.map (fun f -> Json.String (C.family_name f)) C.all_families));
+        ("worker_counts", Json.List (List.map (fun w -> Json.Int w) worker_counts));
+        ("snapshot", Json.String snap_path);
+        ("snapshot_status", Json.String snapshot_status);
+        ("periods_identical_across_workers", Json.Bool true);
+        ("pool_map", Json.List pool_rows);
+        ("chunking", chunk_row);
+        ("scc", Json.List scc_rows);
+        ("batch", Json.List batch_rows);
+        ("serve", Json.List serve_rows);
+        ("degradation", degradation) ]
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_scale.json\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                            *)
@@ -1250,6 +1613,7 @@ let all_targets =
     ("incr", incremental_bench);
     ("serve", serve_bench);
     ("search", search_bench);
+    ("scale", scale_bench);
     ("bechamel", bechamel) ]
 
 let default_targets =
@@ -1267,6 +1631,8 @@ let write_bench_obs targets =
   let json =
     Json.Obj
       [ ("schema", Json.String "rwt.bench-obs/1");
+        ("cores_available", Json.Int (Domain.recommended_domain_count ()));
+        ("workers_used", Json.Int (Rwt_pool.resolved_default ()));
         ("targets", Json.List (List.map (fun t -> Json.String t) targets));
         ("metrics", Rwt_obs.metrics_json ()) ]
   in

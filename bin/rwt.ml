@@ -812,9 +812,11 @@ let batch_cmd =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Worker domains. An explicit count is honored as given (capped at \
                  the number of unique jobs), even on a single-core host — combine \
-                 with --trace to see one lane per worker. Default: the recommended \
-                 domain count of the machine, with a sequential fallback for tiny \
-                 batches and single-core hosts.")
+                 with --trace to see one lane per worker. Without the flag the \
+                 RWT_WORKERS environment variable is honored next (precedence: \
+                 flag > RWT_WORKERS > auto); the automatic default is the \
+                 recommended domain count of the machine, with a sequential \
+                 fallback for tiny batches and single-core hosts.")
   in
   let timeout_arg =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
@@ -916,6 +918,25 @@ let read_json_file path =
 let obs_diff_cmd =
   let run old_path new_path threshold_pct min_delta good match_pats quiet =
     let old_json = read_json_file old_path and new_json = read_json_file new_path in
+    (* wall times and req/s from different machines are noise, not signal:
+       when both snapshots record the hardware parallelism and it differs,
+       the pair is incomparable — warn and succeed rather than flag
+       phantom regressions *)
+    let cores_of json =
+      match json with
+      | Json.Obj fields ->
+        (match List.assoc_opt "cores_available" fields with
+         | Some (Json.Int c) -> Some c
+         | _ -> None)
+      | _ -> None
+    in
+    (match (cores_of old_json, cores_of new_json) with
+     | Some a, Some b when a <> b ->
+       Printf.printf
+         "rwt obs diff: incomparable snapshots (cores_available %d vs %d); skipping\n"
+         a b;
+       exit 0
+     | _ -> ());
     let higher_better k = List.exists (fun p -> Rwt_obs.glob_match p k) good in
     let keep k =
       match match_pats with
@@ -1087,8 +1108,9 @@ let serve_cmd =
   in
   let workers_arg =
     Arg.(value & opt int 0 & info [ "w"; "workers" ] ~docv:"N"
-           ~doc:"Worker domains evaluating requests (default 0 = the recommended \
-                 domain count of the machine).")
+           ~doc:"Worker domains evaluating requests (default 0 = the RWT_WORKERS \
+                 environment variable when set, else the recommended domain count \
+                 of the machine; precedence: flag > RWT_WORKERS > auto).")
   in
   let queue_arg =
     Arg.(value & opt int Rwt_serve.default_config.Rwt_serve.queue

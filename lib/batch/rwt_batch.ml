@@ -444,24 +444,39 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
                ("key", Json.String (Lazy.force key)) ]);
       Some jr
   in
-  (* phase 1 (sequential, cheap): load every instance and dedupe on the
-     canonical key so duplicates resolve identically at any worker count *)
+  (* phase 1: load every instance and render its canonical key. The two
+     are independent per job (pure parse + anonymized re-render), so on a
+     corpus of thousands of specs they fan out on the pool; the dedup
+     scan below stays sequential so the representative for a key is
+     always the lowest job index — identical at any worker count. *)
+  let prep_workers =
+    match jobs with
+    | Some j -> min (min 128 (max 1 j)) (max 1 n)
+    | None ->
+      if n < min_parallel_jobs then 1 else min (Rwt_pool.resolved_default ()) n
+  in
+  let prepped =
+    Rwt_pool.map ~workers:prep_workers ~n (fun i ->
+        let j = job_arr.(i) in
+        match load_spec j.spec with
+        | Error e -> Error e
+        | Ok inst -> Ok (inst, canonical_key inst j.model j.method_))
+  in
   let seen : (string, int) Hashtbl.t = Hashtbl.create (2 * n) in
   let loaded : Instance.t option array = Array.make n None in
   let alias = Array.make n (-1) in (* representative index, or -1 *)
   let unique = ref [] in (* reversed indices of jobs that must be solved *)
   Array.iteri
     (fun i j ->
-      match load_spec j.spec with
+      match prepped.(i) with
       | Error e ->
         results.(i) <-
           Some
             { job = j; status = Failed e; instance_name = None; period = None;
               m = None; n_stages = None; n_resources = None; cache_hit = false;
               wall_s = 0.0 }
-      | Ok inst ->
+      | Ok (inst, key) ->
         loaded.(i) <- Some inst;
-        let key = canonical_key inst j.model j.method_ in
         (match Hashtbl.find_opt seen key with
          | Some rep -> alias.(i) <- rep
          | None ->
@@ -471,7 +486,8 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
   let unique = Array.of_list (List.rev !unique) in
   (* worker policy: an explicit [~jobs] request is honored as given
      (capped at the unique-job count — extra domains would only idle —
-     and at 128). Without one, collapse to a sequential run when domains
+     and at 128). Next an RWT_WORKERS override, honored like an explicit
+     request. Without either, collapse to a sequential run when domains
      cannot pay for themselves: a single-core host (spawned domains only
      add scheduling overhead — once measured as a 0.27× "speedup" in
      BENCH_batch.json) or too few unique jobs to amortize domain startup.
@@ -481,10 +497,13 @@ let run ?jobs ?timeout ?transition_cap ?journal:journal_path ?(resume = false)
     match jobs with
     | Some j -> min (min 128 (max 1 j)) n_unique
     | None ->
-      if Domain.recommended_domain_count () <= 1
-         || Array.length unique < min_parallel_jobs
-      then 1
-      else min (max 1 (default_jobs ())) n_unique
+      (match Rwt_pool.env_workers () with
+       | Some w -> min w n_unique
+       | None ->
+         if Domain.recommended_domain_count () <= 1
+            || Array.length unique < min_parallel_jobs
+         then 1
+         else min (max 1 (default_jobs ())) n_unique)
   in
   let resumed = Atomic.make 0 in
   let retried = Atomic.make 0 in

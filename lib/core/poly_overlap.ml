@@ -183,7 +183,7 @@ let analyze ?deadline ?workers inst =
         &&
         match workers with
         | Some w -> w > 1
-        | None -> 2 * p * u * v >= !Mcr.scc_parallel_threshold
+        | None -> Mcr.scc_parallel ~n_comps:p ~edges:(2 * p * u * v)
       in
       let components =
         Array.to_list

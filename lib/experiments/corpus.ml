@@ -1,0 +1,183 @@
+open Rwt_util
+open Rwt_workflow
+
+type family = Lcm_heavy | Scc_heavy | Wide_replication | Long_chain | Mixed
+
+let all_families = [ Lcm_heavy; Scc_heavy; Wide_replication; Long_chain; Mixed ]
+
+let family_name = function
+  | Lcm_heavy -> "lcm-heavy"
+  | Scc_heavy -> "scc-heavy"
+  | Wide_replication -> "wide-replication"
+  | Long_chain -> "long-chain"
+  | Mixed -> "mixed"
+
+type tier = Tiny | Standard | Full
+
+let tier_name = function Tiny -> "tiny" | Standard -> "standard" | Full -> "full"
+
+let tier_of_string = function
+  | "tiny" -> Some Tiny
+  | "standard" -> Some Standard
+  | "full" -> Some Full
+  | _ -> None
+
+(* instances per family; the full tier lands at the "few thousand" scale
+   the scaling bench needs while staying solvable in seconds per family *)
+let per_family = function Tiny -> 4 | Standard -> 40 | Full -> 400
+
+type entry = {
+  id : string;
+  family : family;
+  model : Comm_model.t;
+  instance : Instance.t;
+}
+
+(* Prescribed-replication instance: stage i runs on repl.(i) dedicated
+   processors of a star platform, processors numbered in stage order.
+   Speeds and bandwidths are drawn per instance so firing times are
+   non-trivial rationals (tied values would let the float screen coast). *)
+let instance_of_repl ~id ~seed repl =
+  let n = Array.length repl in
+  let p = Array.fold_left ( + ) 0 repl in
+  let r = Prng.create seed in
+  let pipeline =
+    Pipeline.of_ints
+      ~work:(Array.init n (fun _ -> Prng.int_in r 500 9000))
+      ~data:(Array.init (n - 1) (fun _ -> Prng.int_in r 100 3000))
+  in
+  let platform =
+    Platform.star
+      ~speeds:(Array.init p (fun _ -> Rat.of_int (Prng.int_in r 300 700)))
+      ~link_bw:(Array.init p (fun _ -> Rat.of_int (Prng.int_in r 200 500)))
+  in
+  let next = ref 0 in
+  let assignment =
+    Array.map
+      (fun mi ->
+        Array.init mi (fun _ ->
+            let u = !next in
+            incr next;
+            u))
+      repl
+  in
+  let mapping = Mapping.create_exn ~n_stages:n ~p assignment in
+  Instance.create_exn ~name:id ~pipeline ~platform ~mapping
+
+(* mix the corpus seed, a family tag and the instance index into one
+   per-instance seed, so every instance is independently reproducible *)
+let mix seed tag i = (seed * 1_000_003) + (tag * 7919) + i
+
+let build_one ~seed family i =
+  let id = Printf.sprintf "%s-%04d" (family_name family) i in
+  let s = mix seed (Hashtbl.hash (family_name family)) i in
+  let r = Prng.create s in
+  match family with
+  | Lcm_heavy ->
+    (* pairwise-coprime-ish replication keeps m = lcm(m_i) large relative
+       to the processor count: the paper's worst case for the TPN route *)
+    let a = Prng.pick r [| 2; 3; 5 |] in
+    let b = Prng.pick r [| 3; 4; 5; 7 |] in
+    let c = Prng.pick r [| 2; 5; 7; 9 |] in
+    { id; family; model = Comm_model.Strict;
+      instance = instance_of_repl ~id ~seed:s [| a; b; c |] }
+  | Scc_heavy ->
+    (* aligned replication [k; k; k]: the event graph splits into many
+       similar strongly connected components, the per-SCC pool's best
+       case *)
+    let k = 2 + Prng.int r 4 in
+    { id; family; model = Comm_model.Overlap;
+      instance = instance_of_repl ~id ~seed:s [| k; k; k |] }
+  | Wide_replication ->
+    let k = 4 + Prng.int r 9 in
+    { id; family; model = Comm_model.Overlap;
+      instance = instance_of_repl ~id ~seed:s [| k; 1 |] }
+  | Long_chain ->
+    let n = 6 + Prng.int r 9 in
+    { id; family; model = Comm_model.Strict;
+      instance = instance_of_repl ~id ~seed:s (Array.make n 1) }
+  | Mixed ->
+    let n = 2 + Prng.int r 3 in
+    let p = n + Prng.int r 7 in
+    let inst =
+      Generator.generate r
+        { Generator.n_stages = n; p; comp = (5, 40); comm = (5, 40) }
+    in
+    let model = if Prng.bool r then Comm_model.Overlap else Comm_model.Strict in
+    { id; family; model; instance = inst }
+
+let build ?(seed = 2009) tier =
+  let k = per_family tier in
+  Array.concat
+    (List.map
+       (fun family -> Array.init k (fun i -> build_one ~seed family i))
+       all_families)
+
+(* --- running ------------------------------------------------------- *)
+
+type kernel = Screened | Exact_howard
+
+let kernel_name = function Screened -> "screened" | Exact_howard -> "exact"
+
+type row = { rid : string; rfamily : string; rmodel : string; rm : int; rperiod : Rat.t }
+
+let run ?workers ?chunk ~kernel entries =
+  let saved = !Rwt_petri.Mcr.screen_enabled in
+  Rwt_petri.Mcr.screen_enabled := (kernel = Screened);
+  Fun.protect ~finally:(fun () -> Rwt_petri.Mcr.screen_enabled := saved)
+  @@ fun () ->
+  Rwt_pool.map ?workers ?chunk ~n:(Array.length entries) (fun i ->
+      let e = entries.(i) in
+      let res = Rwt_core.Exact.period_exn e.model e.instance in
+      { rid = e.id; rfamily = family_name e.family;
+        rmodel = Comm_model.to_string e.model; rm = res.Rwt_core.Exact.m;
+        rperiod = res.Rwt_core.Exact.period })
+
+(* --- snapshots ------------------------------------------------------
+
+   One NDJSON line per instance, in corpus order. The committed snapshot
+   pins every exact period: any scheduler or solver change that flips a
+   single digit fails the check, whatever worker count produced it. *)
+
+let row_to_ndjson r =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.String r.rid);
+         ("family", Json.String r.rfamily);
+         ("model", Json.String r.rmodel);
+         ("m", Json.Int r.rm);
+         ("period", Json.String (Rat.to_string r.rperiod)) ])
+
+let to_ndjson rows =
+  String.concat "" (List.map (fun r -> row_to_ndjson r ^ "\n") (Array.to_list rows))
+
+let write_snapshot ~path rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc (to_ndjson rows)
+
+let check_snapshot ~path rows =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "snapshot %s missing" path)
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let committed = really_input_string ic len in
+    close_in ic;
+    let got = to_ndjson rows in
+    if String.equal committed got then Ok ()
+    else begin
+      let cl = String.split_on_char '\n' committed in
+      let gl = String.split_on_char '\n' got in
+      let rec first_diff i = function
+        | c :: cs, g :: gs ->
+          if String.equal c g then first_diff (i + 1) (cs, gs)
+          else
+            Printf.sprintf "snapshot %s: line %d differs\n  committed: %s\n  computed:  %s"
+              path (i + 1) c g
+        | [], g :: _ -> Printf.sprintf "snapshot %s: extra computed line %d: %s" path (i + 1) g
+        | c :: _, [] -> Printf.sprintf "snapshot %s: missing line %d: %s" path (i + 1) c
+        | [], [] -> Printf.sprintf "snapshot %s: differs" path
+      in
+      Error (first_diff 0 (cl, gl))
+    end
+  end

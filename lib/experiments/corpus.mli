@@ -1,0 +1,82 @@
+(** Seeded workload corpus for the scaling benchmarks.
+
+    Builds a deterministic set of instances across named shape families —
+    each family stresses a different part of the pipeline-throughput
+    machinery — and runs the exact solver over them on the shared pool
+    ({!Rwt_pool}), producing one NDJSON row per instance. The exact
+    periods of a corpus are pinned as committed snapshot files: any
+    scheduler or solver change that alters a single answer fails
+    {!check_snapshot}, whatever worker count or chunk size produced it.
+
+    Families:
+    - [Lcm_heavy] — coprime-ish replication on 3 stages, strict model:
+      [m = lcm(m_i)] large relative to the processor count, the TPN
+      route's worst case (transfer rows dominate).
+    - [Scc_heavy] — aligned replication [k;k;k], overlap: the event graph
+      splits into many similar SCCs, the per-SCC pool's best case.
+    - [Wide_replication] — one wide stage feeding a singleton.
+    - [Long_chain] — 6–14 unreplicated stages, strict: long dependency
+      chains, [m = 1].
+    - [Mixed] — random instances from {!Generator}, both models. *)
+
+open Rwt_util
+open Rwt_workflow
+
+type family = Lcm_heavy | Scc_heavy | Wide_replication | Long_chain | Mixed
+
+val all_families : family list
+val family_name : family -> string
+
+type tier = Tiny | Standard | Full
+(** Corpus size: [Tiny] (tests, CI smoke), [Standard] (default bench),
+    [Full] (a few thousand instances). *)
+
+val tier_name : tier -> string
+val tier_of_string : string -> tier option
+
+val per_family : tier -> int
+(** Instances generated per family at this tier. *)
+
+type entry = {
+  id : string;  (** ["<family>-<index>"], stable across runs *)
+  family : family;
+  model : Comm_model.t;
+  instance : Instance.t;
+}
+
+val build : ?seed:int -> tier -> entry array
+(** Deterministic in [seed] (default 2009); entries are ordered by family
+    then index, and each instance depends only on [(seed, family, index)]. *)
+
+type kernel = Screened | Exact_howard
+(** Solver kernel for {!run}: float-screened certified exact (the
+    production default) or pure exact Howard. Results are Rat-identical;
+    only the wall time differs. *)
+
+val kernel_name : kernel -> string
+
+type row = {
+  rid : string;
+  rfamily : string;
+  rmodel : string;
+  rm : int;  (** lcm of the replication vector *)
+  rperiod : Rat.t;  (** exact period per data set *)
+}
+
+val run : ?workers:int -> ?chunk:int -> kernel:kernel -> entry array -> row array
+(** Solve every entry ([Rwt_core.Exact.period_exn]) on the shared pool;
+    the result array is in entry order at any worker count or chunk size.
+    Flips [Mcr.screen_enabled] for the duration according to [kernel] and
+    restores it. *)
+
+val row_to_ndjson : row -> string
+(** One JSON object, no trailing newline. *)
+
+val to_ndjson : row array -> string
+(** Newline-terminated NDJSON, rows in array order — the byte-exact
+    payload pinned by snapshots. *)
+
+val write_snapshot : path:string -> row array -> unit
+
+val check_snapshot : path:string -> row array -> (unit, string) result
+(** [Error] carries the first differing line (committed vs computed). *)

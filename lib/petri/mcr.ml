@@ -15,11 +15,48 @@ let check_deadline = function
            "solver deadline exceeded (cooperative checkpoint)")
     end
 
-(* Graphs with at least this many edges solve their SCCs on the shared
-   domain pool ({!Rwt_pool}); below it the per-domain spawn/join overhead
-   outweighs the win. Mutable so benchmarks and the CLI can force either
-   mode. *)
-let scc_parallel_threshold = ref 2048
+(* Parallelism gate for per-SCC solves. Historically a fixed edge count
+   (2048): big graphs fan components out on the shared pool ({!Rwt_pool}),
+   small ones stay serial because the spawn/join overhead outweighs the
+   win. The fixed gate is kept for [scc_parallel_threshold >= 0] (so [0]
+   still forces the pool and [max_int] still forces serial — benches and
+   tests rely on both), but the default [-1] decides adaptively: the
+   solvers feed an EWMA of measured per-edge solve seconds, and a graph
+   goes parallel when its predicted serial cost
+   [edges * per_edge_seconds] crosses [scc_min_parallel_cost]. The EWMA
+   bootstraps at [scc_min_parallel_cost / 2048] so the very first solves
+   behave exactly like the historical 2048-edge gate, then the measured
+   cost takes over — cheap float screens raise the effective edge
+   threshold, expensive exact kernels lower it. *)
+let scc_parallel_threshold = ref (-1)
+let scc_min_parallel_cost = ref 1e-3
+
+(* per-edge solve seconds as an EWMA; stored as float bits in an Atomic
+   because pool workers publish measurements concurrently *)
+let scc_cost_bootstrap () = !scc_min_parallel_cost /. 2048.
+let scc_cost_bits = Atomic.make (Int64.bits_of_float (1e-3 /. 2048.))
+let scc_edge_cost () = Int64.float_of_bits (Atomic.get scc_cost_bits)
+let scc_cost_reset () = Atomic.set scc_cost_bits (Int64.bits_of_float (scc_cost_bootstrap ()))
+
+let note_scc_cost ~edges seconds =
+  if edges > 0 && seconds > 0. && seconds < 3600. then begin
+    let per_edge = seconds /. float_of_int edges in
+    let rec publish () =
+      let old_bits = Atomic.get scc_cost_bits in
+      let old = Int64.float_of_bits old_bits in
+      let next = (0.9 *. old) +. (0.1 *. per_edge) in
+      if not (Atomic.compare_and_set scc_cost_bits old_bits (Int64.bits_of_float next))
+      then publish ()
+    in
+    publish ()
+  end
+
+let scc_parallel ~n_comps ~edges =
+  n_comps >= 2
+  &&
+  let t = !scc_parallel_threshold in
+  if t >= 0 then edges >= t
+  else float_of_int edges *. scc_edge_cost () >= !scc_min_parallel_cost
 
 module Make (N : Rwt_util.Num_intf.S) = struct
   type edge_data = { weight : N.t; tokens : int }
@@ -551,7 +588,9 @@ module Make (N : Rwt_util.Num_intf.S) = struct
          every out-degree >= 1 inside *)
       let has_cycle = ctx.n >= 2 || ctx.eptr.(ctx.n) > 0 in
       if has_cycle then begin
+        let t0 = Obs.now () in
         let ratio, cyc = scc_solver ctx in
+        note_scc_cost ~edges:ctx.eptr.(ctx.n) (Obs.now () -. t0);
         if Obs.events_enabled () then
           Obs.event "mcr.scc_solved"
             ~fields:
@@ -564,7 +603,7 @@ module Make (N : Rwt_util.Num_intf.S) = struct
         results.(comp_id) <- Some { ratio; cycle = List.map (fun i -> ctx.eid.(i)) cyc }
       end
     in
-    if n_comps >= 2 && D.num_edges g >= !scc_parallel_threshold then
+    if scc_parallel ~n_comps ~edges:(D.num_edges g) then
       Rwt_pool.run ~n:n_comps solve_comp
     else
       for c = 0 to n_comps - 1 do
@@ -861,12 +900,14 @@ let solve_screened ?deadline g =
     let ctx = Exact.build_ctx g members.(comp_id) comp_id scc.Rwt_graph.Scc.comp in
     let has_cycle = ctx.Exact.n >= 2 || ctx.Exact.eptr.(ctx.Exact.n) > 0 in
     if has_cycle then begin
+      let t0 = Obs.now () in
       let ratio, cyc, _, _ = screened_scc_solve ?deadline ~comp_id ctx in
+      note_scc_cost ~edges:ctx.Exact.eptr.(ctx.Exact.n) (Obs.now () -. t0);
       results.(comp_id) <-
         Some { Exact.ratio; cycle = List.map (fun i -> ctx.Exact.eid.(i)) cyc }
     end
   in
-  if n_comps >= 2 && D.num_edges g >= !scc_parallel_threshold then
+  if scc_parallel ~n_comps ~edges:(D.num_edges g) then
     Rwt_pool.run ~n:n_comps solve_comp
   else
     for c = 0 to n_comps - 1 do
@@ -908,7 +949,7 @@ let session_scc_solve ?deadline ?init ~comp_id (ctx : Exact.ctx) =
   else Exact.howard_scc_full ?deadline ?init ctx
 
 let session_parallel s n_comps =
-  n_comps >= 2 && D.num_edges s.sgraph >= !scc_parallel_threshold
+  scc_parallel ~n_comps ~edges:(D.num_edges s.sgraph)
 
 let session_init ?deadline g =
   Obs.with_span "mcr.session_init" @@ fun () ->
@@ -929,7 +970,9 @@ let session_init ?deadline g =
     let has_cycle = ctx.Exact.n >= 2 || ctx.Exact.eptr.(ctx.Exact.n) > 0 in
     if has_cycle then begin
       sctxs.(comp_id) <- Some ctx;
+      let t0 = Obs.now () in
       let ratio, cyc, pol, iters = session_scc_solve ?deadline ~comp_id ctx in
+      note_scc_cost ~edges:ctx.Exact.eptr.(ctx.Exact.n) (Obs.now () -. t0);
       spolicies.(comp_id) <- pol;
       scold_iters.(comp_id) <- iters;
       results.(comp_id) <-
@@ -970,9 +1013,11 @@ let session_resolve ?deadline s =
         end
       done;
       if !changed then begin
+        let t0 = Obs.now () in
         let ratio, cyc, pol, iters =
           session_scc_solve ?deadline ?init:s.spolicies.(comp_id) ~comp_id ctx
         in
+        note_scc_cost ~edges:m (Obs.now () -. t0);
         s.spolicies.(comp_id) <- pol;
         saved.(comp_id) <- Stdlib.max 0 (s.scold_iters.(comp_id) - iters);
         s.sresults.(comp_id) <-

@@ -81,11 +81,31 @@ module Exact : module type of Make (Rwt_util.Rat)
 module Approx : module type of Make (Rwt_util.Num_intf.Float_num)
 
 val scc_parallel_threshold : int ref
-(** Graphs with at least this many edges solve their strongly connected
-    components on the shared domain pool ({!Rwt_pool}); smaller graphs stay
-    serial (default 2048). Set to [max_int] to force serial solves, [0] to
-    force the pool. The reduction over components is deterministic either
-    way. *)
+(** Gate for solving strongly connected components on the shared domain
+    pool ({!Rwt_pool}). A value [>= 0] is a fixed edge-count threshold:
+    graphs with at least that many edges fan out, smaller ones stay
+    serial; [max_int] forces serial solves, [0] forces the pool. The
+    default [-1] decides adaptively from measured cost: a graph goes
+    parallel when [edges * EWMA(per-edge solve seconds)] crosses
+    {!scc_min_parallel_cost}. The EWMA bootstraps so the first solves
+    match the historical fixed gate of 2048 edges, then measurements take
+    over. The reduction over components is deterministic in every mode. *)
+
+val scc_min_parallel_cost : float ref
+(** Predicted serial solve cost (seconds) above which the adaptive gate
+    (see {!scc_parallel_threshold}) fans components out on the pool;
+    default [1e-3]. Roughly: spawn domains when the solve is predicted to
+    dwarf the ~0.1 ms of spawn/join overhead by an order of magnitude. *)
+
+val scc_parallel : n_comps:int -> edges:int -> bool
+(** The gate itself: would a graph with [n_comps] components and [edges]
+    edges solve its components on the pool right now? Exposed so sibling
+    solvers ([Poly_overlap]) and benches share one decision. *)
+
+val scc_cost_reset : unit -> unit
+(** Reset the adaptive gate's cost EWMA to its bootstrap value, as if no
+    solve had been measured. For benches and tests that need runs to be
+    independent of solver history. *)
 
 val screen_enabled : bool ref
 (** When true (the default) {!solve_exact} routes through {!solve_screened};

@@ -5,11 +5,43 @@ let recommended () = Domain.recommended_domain_count ()
 
 let default_workers = ref 0
 
+(* RWT_WORKERS: process-wide worker-count override, honored by every layer
+   that resolves an automatic worker count (the static pool, batch auto
+   policy, serve). Precedence everywhere is explicit flag/argument >
+   environment > hardware auto; a malformed or non-positive value is
+   ignored rather than fatal. *)
+let env_workers () =
+  match Sys.getenv_opt "RWT_WORKERS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some w when w >= 1 -> Some (min 128 w)
+     | _ -> None)
+
+let resolved_default () =
+  match !default_workers with
+  | 0 -> (match env_workers () with Some w -> w | None -> recommended ())
+  | w -> max 1 w
+
 (* a worker must never spawn a nested pool: domains-inside-domains
    oversubscribe the machine and can deadlock join order under memory
    pressure, so nested [run]s degrade to the sequential loop *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+(* Scheduling granularity: tasks are submitted to the deques as contiguous
+   chunks so that queue and steal traffic is paid once per chunk, not once
+   per task — on corpora of small solves the per-task mutex round trip
+   dominated the wall time (see doc/PERFORMANCE.md §Scaling). [chunk_size]
+   pins the chunk length process-wide; 0 (the default) picks
+   [n / (workers * chunks_per_worker)] so every worker still sees several
+   steal-able chunks for load balancing. *)
+let chunk_size = ref 0
+let chunks_per_worker = 8
+
+let auto_chunk ~n ~workers =
+  max 1 (min 256 (n / (workers * chunks_per_worker)))
+
+(* deques hold chunk indices; chunk k covers tasks [k*c, min n ((k+1)*c)) *)
 type deque = { mu : Mutex.t; tasks : int array; mutable head : int; mutable tail : int }
 
 let pop_front d =
@@ -29,100 +61,150 @@ let pop_back d =
       end
       else None)
 
-let run ?workers ~n task =
-  let requested =
-    match workers with
-    | Some w -> max 1 w
-    | None -> (match !default_workers with 0 -> recommended () | w -> max 1 w)
-  in
-  let workers = min 128 (min requested (max 1 n)) in
-  if workers <= 1 || n <= 1 || Domain.DLS.get in_worker then
-    for t = 0 to n - 1 do
-      task t
-    done
+let run ?workers ?chunk ~n task =
+  (* an empty task set must cost nothing: no deques, no domains spawned *)
+  if n <= 0 then ()
   else begin
-    let failure : exn option Atomic.t = Atomic.make None in
-    (* static task set, seeded round-robin before any domain starts *)
-    let deques =
-      Array.init workers (fun w ->
-          let mine = ref [] in
-          for t = n - 1 downto 0 do
-            if t mod workers = w then mine := t :: !mine
-          done;
-          let tasks = Array.of_list !mine in
-          { mu = Mutex.create (); tasks; head = 0; tail = Array.length tasks })
+    let requested =
+      match workers with Some w -> max 1 w | None -> resolved_default ()
     in
-    (* per-worker observability: one [pool.worker] span per worker (so the
-       trace shows one lane per domain even when a single worker drains
-       everything), busy/idle split, steal-latency histogram and a
-       queue-depth counter sample after every pop. All of it sits behind a
-       single flag read taken before the domains spawn. *)
-    let obs_on = Obs.enabled () in
-    let depth d = Mutex.protect d.mu (fun () -> d.tail - d.head) in
-    let worker w () =
-      Domain.DLS.set in_worker true;
-      let rec next_task k =
-        (* own deque first, then clockwise victims *)
-        if k >= workers then None
-        else begin
-          let v = (w + k) mod workers in
-          let take = if k = 0 then pop_front else pop_back in
-          match take deques.(v) with
-          | Some t ->
-            if k > 0 then Obs.incr "pool.steals";
-            Some (t, k > 0)
-          | None -> next_task (k + 1)
-        end
+    let workers = min 128 (min requested n) in
+    if workers <= 1 || n <= 1 || Domain.DLS.get in_worker then
+      for t = 0 to n - 1 do
+        task t
+      done
+    else begin
+      let c =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | _ ->
+          (match !chunk_size with
+           | pinned when pinned >= 1 -> pinned
+           | _ -> auto_chunk ~n ~workers)
       in
-      let busy = ref 0.0 in
-      let run_task t =
-        try task t
-        with e -> ignore (Atomic.compare_and_set failure None (Some e))
-      in
-      let rec loop () =
-        if Atomic.get failure = None then
-          if not obs_on then
-            match next_task 0 with
-            | Some (t, _) -> run_task t; loop ()
-            | None -> ()
-          else begin
-            let t_seek = Obs.now () in
-            match next_task 0 with
-            | Some (t, stolen) ->
-              if stolen then Obs.observe "pool.steal_latency_s" (Obs.now () -. t_seek);
-              Obs.sample "pool.queue_depth" (float_of_int (depth deques.(w)));
+      let n_chunks = (n + c - 1) / c in
+      (* more domains than chunks would only idle *)
+      let workers = min workers n_chunks in
+      if workers <= 1 then
+        for t = 0 to n - 1 do
+          task t
+        done
+      else begin
+        let failure : exn option Atomic.t = Atomic.make None in
+        (* static chunk set, seeded round-robin before any domain starts *)
+        let deques =
+          Array.init workers (fun w ->
+              let mine = ref [] in
+              for k = n_chunks - 1 downto 0 do
+                if k mod workers = w then mine := k :: !mine
+              done;
+              let tasks = Array.of_list !mine in
+              { mu = Mutex.create (); tasks; head = 0; tail = Array.length tasks })
+        in
+        (* per-worker observability: one [pool.worker] span per worker (so
+           the trace shows one lane per domain even when a single worker
+           drains everything), busy/idle split, steal-latency histogram and
+           a queue-depth counter sample after every pop. All of it sits
+           behind a single flag read taken before the domains spawn. *)
+        let obs_on = Obs.enabled () in
+        let depth d = Mutex.protect d.mu (fun () -> d.tail - d.head) in
+        let worker w () =
+          Domain.DLS.set in_worker true;
+          (* steal affinity: remember the victim offset that last yielded a
+             chunk and start the next hunt there — a loaded victim usually
+             stays loaded, so repeat thieves skip the empty part of the
+             clockwise scan. Work conservation is untouched: a full scan
+             still visits every deque before giving up. *)
+          let steal_from = ref 1 in
+          let next_chunk () =
+            match pop_front deques.(w) with
+            | Some k -> Some (k, false)
+            | None ->
+              let rec hunt tried =
+                if tried >= workers - 1 then None
+                else begin
+                  let off = 1 + ((!steal_from - 1 + tried) mod (workers - 1)) in
+                  match pop_back deques.((w + off) mod workers) with
+                  | Some k ->
+                    steal_from := off;
+                    Obs.incr "pool.steals";
+                    Some (k, true)
+                  | None -> hunt (tried + 1)
+                end
+              in
+              hunt 0
+          in
+          let busy = ref 0.0 in
+          let run_task t =
+            try task t
+            with e -> ignore (Atomic.compare_and_set failure None (Some e))
+          in
+          let run_chunk k =
+            let stop = min n ((k + 1) * c) in
+            let t = ref (k * c) in
+            while !t < stop && Atomic.get failure = None do
+              run_task !t;
+              incr t
+            done
+          in
+          let run_chunk_obs k =
+            let stop = min n ((k + 1) * c) in
+            let t = ref (k * c) in
+            while !t < stop && Atomic.get failure = None do
               let t_run = Obs.now () in
-              Obs.with_span ~args:[ ("task", Json.Int t) ] "pool.task" (fun () ->
-                  run_task t);
+              Obs.with_span ~args:[ ("task", Json.Int !t) ] "pool.task" (fun () ->
+                  run_task !t);
               busy := !busy +. (Obs.now () -. t_run);
-              loop ()
-            | None -> ()
-          end
-      in
-      let body () =
-        if not obs_on then loop ()
-        else begin
-          let t_start = Obs.now () in
-          Obs.with_span ~args:[ ("worker", Json.Int w) ] "pool.worker" loop;
-          Obs.observe "pool.worker_busy_s" !busy;
-          Obs.observe "pool.worker_idle_s"
-            (Float.max 0.0 (Obs.now () -. t_start -. !busy))
-        end
-      in
-      Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) body
-    in
-    let domains = Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
-    (* the calling domain is worker 0, so [run] never idles a core *)
-    worker 0 ();
-    Array.iter Domain.join domains;
-    match Atomic.get failure with None -> () | Some e -> raise e
+              incr t
+            done
+          in
+          let rec loop () =
+            if Atomic.get failure = None then
+              if not obs_on then
+                match next_chunk () with
+                | Some (k, _) -> run_chunk k; loop ()
+                | None -> ()
+              else begin
+                let t_seek = Obs.now () in
+                match next_chunk () with
+                | Some (k, stolen) ->
+                  if stolen then
+                    Obs.observe "pool.steal_latency_s" (Obs.now () -. t_seek);
+                  Obs.incr "pool.chunks";
+                  Obs.sample "pool.queue_depth" (float_of_int (depth deques.(w)));
+                  run_chunk_obs k;
+                  loop ()
+                | None -> ()
+              end
+          in
+          let body () =
+            if not obs_on then loop ()
+            else begin
+              let t_start = Obs.now () in
+              Obs.with_span ~args:[ ("worker", Json.Int w) ] "pool.worker" loop;
+              Obs.observe "pool.worker_busy_s" !busy;
+              Obs.observe "pool.worker_idle_s"
+                (Float.max 0.0 (Obs.now () -. t_start -. !busy))
+            end
+          in
+          Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) body
+        in
+        let domains =
+          Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1)))
+        in
+        (* the calling domain is worker 0, so [run] never idles a core *)
+        worker 0 ();
+        Array.iter Domain.join domains;
+        match Atomic.get failure with None -> () | Some e -> raise e
+      end
+    end
   end
 
-let map ?workers ~n f =
+let map ?workers ?chunk ~n f =
   if n <= 0 then [||]
   else begin
     let out = Array.make n None in
-    run ?workers ~n (fun i -> out.(i) <- Some (f i));
+    run ?workers ?chunk ~n (fun i -> out.(i) <- Some (f i));
     Array.map (function Some v -> v | None -> assert false) out
   end
 

@@ -5,9 +5,15 @@
     max-cycle-ratio solves, per-component pattern solves in the polynomial
     algorithm) schedules through the same pool discipline:
 
-    - per-worker bounded deques are seeded round-robin before any domain
-      starts; the owner pops the front, thieves pop the back;
-    - no task is ever added after seeding, so "every deque is empty" is a
+    - tasks are grouped into contiguous {e chunks} (auto-sized, see
+      {!chunk_size}) so queue and steal traffic is paid per chunk, not per
+      task — the difference between scaling and thrashing on corpora of
+      small solves;
+    - per-worker bounded deques of chunks are seeded round-robin before any
+      domain starts; the owner pops the front, thieves pop whole chunks off
+      the back (steal granularity = one chunk), re-trying their last
+      successful victim first;
+    - no chunk is ever added after seeding, so "every deque is empty" is a
       sound termination test and workers simply exit;
     - nested calls run sequentially: a task that itself calls {!run} (for
       example a batch job whose solver fans out over SCCs) detects that it is
@@ -30,21 +36,46 @@ val recommended : unit -> int
 
 val default_workers : int ref
 (** Worker count used when {!run} is called without [?workers]:
-    [0] (the default) means {!recommended}; any positive value pins the
+    [0] (the default) means the [RWT_WORKERS] environment variable when set
+    to a positive integer, else {!recommended}; any positive value pins the
     count process-wide ([1] disables parallelism everywhere). Meant to be
-    set once by the CLI / test harness before solvers run. *)
+    set once by the CLI / test harness before solvers run. Precedence is
+    always explicit argument > {!default_workers} > [RWT_WORKERS] >
+    hardware auto. *)
 
-val run : ?workers:int -> n:int -> (int -> unit) -> unit
+val env_workers : unit -> int option
+(** The [RWT_WORKERS] override, if set to a positive integer (clamped to
+    128). [None] when unset, malformed, or non-positive — a bad value is
+    ignored, never fatal. Exposed so [rwt batch] / [rwt serve] / bench
+    targets resolve the same precedence as the pool itself. *)
+
+val resolved_default : unit -> int
+(** The worker count {!run} uses when called without [?workers]:
+    {!default_workers} if pinned, else {!env_workers}, else
+    {!recommended}. Always [>= 1]. *)
+
+val chunk_size : int ref
+(** Scheduling granularity: tasks are submitted to the worker deques in
+    contiguous chunks of this many indices, so queue and steal traffic is
+    paid per chunk rather than per task. [0] (the default) auto-sizes to
+    [n / (workers * 8)], clamped to [[1, 256]] — every worker still sees
+    several steal-able chunks for load balancing. Pin a positive value
+    only for experiments ([1] reproduces per-task submission). *)
+
+val run : ?workers:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [run ~n f] evaluates [f 0 .. f (n-1)], using up to [workers] domains
-    (clamped to [[1, min 128 n]]). Sequential — in task order — when the
-    effective worker count is 1, when [n <= 1], or when called from inside
-    a pool worker. Tasks must be independent; any shared state they touch
-    must be domain-safe. The first task exception is re-raised after the
-    pool drains. *)
+    (clamped to [[1, min 128 n]]). A call with [n <= 0] returns
+    immediately without allocating deques or spawning any domain.
+    Sequential — in task order — when the effective worker count is 1,
+    when [n <= 1], or when called from inside a pool worker. [chunk]
+    overrides {!chunk_size} for this call. Tasks must be independent; any
+    shared state they touch must be domain-safe. The first task exception
+    is re-raised after the pool drains. *)
 
-val map : ?workers:int -> n:int -> (int -> 'a) -> 'a array
+val map : ?workers:int -> ?chunk:int -> n:int -> (int -> 'a) -> 'a array
 (** [map ~n f] is [[| f 0; ...; f (n-1) |]] computed through {!run}; the
-    result order is always the task order, independent of scheduling. *)
+    result order is always the task order, independent of scheduling and
+    chunking. [map ~n:0 f] is [[||]] with no pool work at all. *)
 
 (** {1 Long-lived services}
 

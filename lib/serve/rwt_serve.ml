@@ -438,6 +438,13 @@ type task = {
   t_admit : float;
 }
 
+type memo_shard = {
+  sh_mu : Mutex.t;
+  sh_tbl : (string, record * bool) Hashtbl.t;
+  sh_fifo : string Queue.t; (* FIFO eviction within the shard *)
+  sh_cap : int;
+}
+
 type state = {
   cfg : config;
   eff_workers : int;
@@ -445,10 +452,13 @@ type state = {
   t_start : float;
   recovered : int;
   outstanding : int Atomic.t;
-  (* canonical-result memo: record plus whether it came from the journal *)
-  memo_mu : Mutex.t;
-  memo : (string, record * bool) Hashtbl.t;
-  memo_fifo : string Queue.t;
+  (* canonical-result memo: record plus whether it came from the journal.
+     Sharded by key hash so concurrent workers answering distinct requests
+     don't serialize on one mutex — the single global lock showed up as
+     the hot path once the solver itself got cheap (memo hits). Each
+     shard keeps its own FIFO; the configured cap is split across shards
+     so the total never exceeds [memo_cap]. *)
+  memo_shards : memo_shard array;
   journal_mu : Mutex.t;
   mutable journal_fd : Unix.file_descr option;
   mutable svc : task Rwt_pool.service option;
@@ -477,16 +487,33 @@ let stats_of st =
 
 (* --- memo + journal --- *)
 
-let memo_find st key = Mutex.protect st.memo_mu (fun () -> Hashtbl.find_opt st.memo key)
+(* up to 16 shards; never more shards than capacity entries, so the
+   per-shard caps still sum exactly to [memo_cap] *)
+let memo_make_shards ~cap =
+  let n = max 1 (min 16 cap) in
+  Array.init n (fun i ->
+      { sh_mu = Mutex.create (); sh_tbl = Hashtbl.create 64;
+        sh_fifo = Queue.create ();
+        sh_cap = (cap / n) + (if i < cap mod n then 1 else 0) })
+
+let memo_shard st key =
+  st.memo_shards.(Hashtbl.hash key mod Array.length st.memo_shards)
+
+let memo_find st key =
+  let sh = memo_shard st key in
+  Mutex.protect sh.sh_mu (fun () -> Hashtbl.find_opt sh.sh_tbl key)
 
 let memo_store st key r ~from_journal =
-  Mutex.protect st.memo_mu (fun () ->
-      if not (Hashtbl.mem st.memo key) then begin
-        while Hashtbl.length st.memo >= st.cfg.memo_cap && Queue.length st.memo_fifo > 0 do
-          Hashtbl.remove st.memo (Queue.pop st.memo_fifo)
+  let sh = memo_shard st key in
+  Mutex.protect sh.sh_mu (fun () ->
+      if not (Hashtbl.mem sh.sh_tbl key) then begin
+        while Hashtbl.length sh.sh_tbl >= sh.sh_cap && Queue.length sh.sh_fifo > 0 do
+          Hashtbl.remove sh.sh_tbl (Queue.pop sh.sh_fifo)
         done;
-        Hashtbl.replace st.memo key (r, from_journal);
-        Queue.push key st.memo_fifo
+        if sh.sh_cap > 0 then begin
+          Hashtbl.replace sh.sh_tbl key (r, from_journal);
+          Queue.push key sh.sh_fifo
+        end
       end)
 
 let journal_append st key r =
@@ -862,9 +889,13 @@ let run_exn ?on_ready cfg =
   (* the daemon is an always-observable process: metrics/health requests
      must answer even when the operator passed no --metrics flag *)
   if not (Obs.enabled ()) then Obs.enable ();
+  (* precedence: explicit --workers > RWT_WORKERS > hardware auto *)
   let eff_workers =
-    if cfg.workers <= 0 then min 128 (Rwt_pool.recommended ())
-    else min 128 cfg.workers
+    if cfg.workers > 0 then min 128 cfg.workers
+    else
+      match Rwt_pool.env_workers () with
+      | Some w -> w
+      | None -> min 128 (Rwt_pool.recommended ())
   in
   let recovered_records =
     match cfg.journal with
@@ -877,8 +908,8 @@ let run_exn ?on_ready cfg =
   let st =
     { cfg; eff_workers; stop_flag = Atomic.make false;
       t_start = Unix.gettimeofday (); recovered = List.length recovered_records;
-      outstanding = Atomic.make 0; memo_mu = Mutex.create ();
-      memo = Hashtbl.create 256; memo_fifo = Queue.create ();
+      outstanding = Atomic.make 0;
+      memo_shards = memo_make_shards ~cap:(max 0 cfg.memo_cap);
       journal_mu = Mutex.create (); journal_fd = None; svc = None;
       live_conns = 0; c_requests = Atomic.make 0; c_ok = Atomic.make 0;
       c_errors = Atomic.make 0; c_timeouts = Atomic.make 0;

@@ -69,8 +69,11 @@ in-flight counter samples riding along.
   multiple lanes
   $ grep -o '"ph":"C"' t.json | wc -l | awk '{print ($1 > 0) ? "counter samples present" : "none"}'
   counter samples present
+(the prepass pool run and the solve pool run each contribute one span
+per worker domain: 2 runs x 4 workers)
+
   $ grep -o '"name":"pool.worker"' t.json | sort | uniq -c | sed 's/^ *//'
-  4 "name":"pool.worker"
+  8 "name":"pool.worker"
   $ grep -oE '"id":"[a-z-]*"' lanes.ndjson
   "id":"overlap-auto"
   "id":"overlap-tpn"

@@ -1,0 +1,52 @@
+Worker-count precedence across the CLI surface: explicit flag beats the
+RWT_WORKERS environment override, which beats the automatic choice. See
+doc/PERFORMANCE.md (Scaling).
+
+The env override drives the batch engine's automatic policy even on a
+single-core host (the batch has 5 unique jobs, so 3 workers fit):
+
+  $ RWT_WORKERS=3 rwt batch -e a --no-timing -o /dev/null
+  rwt batch: 5 jobs: 5 ok, 0 errors, 0 timeouts; 0 cache hits (workers 3)
+
+An explicit --jobs wins over the environment:
+
+  $ RWT_WORKERS=3 rwt batch -e a --jobs 2 --no-timing -o /dev/null
+  rwt batch: 5 jobs: 5 ok, 0 errors, 0 timeouts; 0 cache hits (workers 2)
+
+A malformed override is ignored, falling back to the automatic choice —
+a single-job batch is sequential everywhere, so this pins "auto":
+
+  $ rwt show -e a > a.rwt
+  $ printf 'a.rwt\n' | RWT_WORKERS=banana rwt batch - --no-timing -o /dev/null
+  rwt batch: 1 job: 1 ok, 0 errors, 0 timeouts; 0 cache hits (workers 1)
+
+The serve daemon resolves its pool the same way: no --workers flag, so
+RWT_WORKERS=2 decides, and the health response reports it:
+
+  $ RWT_WORKERS=2 rwt serve --socket s.sock >/dev/null 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 200); do [ -S s.sock ] && break; sleep 0.05; done
+  $ echo '{"req":"health"}' | rwt send --socket s.sock | grep -o '"workers":[0-9]*'
+  "workers":2
+  $ kill -TERM $SRV && wait $SRV
+
+Cross-machine perf snapshots are incomparable: when two BENCH files
+record different hardware parallelism, `rwt obs diff` warns and exits 0
+instead of flagging phantom regressions.
+
+  $ cat > old.json <<'EOF'
+  > {"cores_available":1,"metrics":{"bench.wall_s":10}}
+  > EOF
+  $ cat > new.json <<'EOF'
+  > {"cores_available":4,"metrics":{"bench.wall_s":99}}
+  > EOF
+  $ rwt obs diff old.json new.json
+  rwt obs diff: incomparable snapshots (cores_available 1 vs 4); skipping
+
+Same hardware still compares (and catches the 890% regression):
+
+  $ sed 's/"cores_available":4/"cores_available":1/' new.json > new1.json
+  $ rwt obs diff old.json new1.json
+  rwt obs diff: 2 keys compared, 1 regression, 0 improvements (threshold 10%)
+    REGRESSION  metrics.bench.wall_s                     10 -> 99  (+890.0%)
+  [4]

@@ -68,6 +68,68 @@ let worker_policy_units () =
     tiny_auto.Batch.workers
 
 (* ------------------------------------------------------------------ *)
+(* Pool scheduler: empty task sets, chunking, RWT_WORKERS precedence   *)
+(* ------------------------------------------------------------------ *)
+
+(* regression: an empty task set must return immediately without spinning
+   up worker domains (or recording any pool activity) *)
+let pool_empty_units () =
+  let was_enabled = Rwt_obs.enabled () in
+  Rwt_obs.enable ();
+  Rwt_obs.reset ();
+  let out = Rwt_pool.map ~workers:8 ~n:0 (fun _ -> Alcotest.fail "task ran") in
+  Alcotest.(check int) "empty map returns [||]" 0 (Array.length out);
+  Rwt_pool.run ~workers:8 ~n:0 (fun _ -> Alcotest.fail "task ran");
+  Rwt_pool.run ~workers:8 ~n:(-3) (fun _ -> Alcotest.fail "task ran");
+  Alcotest.(check bool) "no worker spans recorded" true
+    (Rwt_obs.histogram_summary "pool.worker_busy_s" = None);
+  Alcotest.(check int) "no chunks submitted" 0
+    (Rwt_obs.counter_value "pool.chunks");
+  Rwt_obs.reset ();
+  if not was_enabled then Rwt_obs.disable ()
+
+let chunk_determinism =
+  QCheck.Test.make ~count:25
+    ~name:"pool map identical across workers and chunk sizes"
+    (QCheck.triple (QCheck.int_range 0 200) (QCheck.int_range 1 8)
+       (QCheck.int_range 1 17))
+    (fun (n, workers, chunk) ->
+      let f i = (i * 2654435761) lxor (i lsl 3) in
+      Array.init n f = Rwt_pool.map ~workers ~chunk ~n f)
+
+(* precedence: explicit argument > default_workers > RWT_WORKERS > auto *)
+let env_workers_units () =
+  let saved = try Some (Sys.getenv "RWT_WORKERS") with Not_found -> None in
+  let saved_default = !Rwt_pool.default_workers in
+  let restore () =
+    Rwt_pool.default_workers := saved_default;
+    (* putenv cannot unset; "" parses as malformed and is ignored *)
+    Unix.putenv "RWT_WORKERS" (match saved with Some s -> s | None -> "")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "RWT_WORKERS" "3";
+      Rwt_pool.default_workers := 0;
+      Alcotest.(check (option int)) "env parsed" (Some 3)
+        (Rwt_pool.env_workers ());
+      Alcotest.(check int) "env drives resolved default" 3
+        (Rwt_pool.resolved_default ());
+      Rwt_pool.default_workers := 5;
+      Alcotest.(check int) "pinned default beats env" 5
+        (Rwt_pool.resolved_default ());
+      Rwt_pool.default_workers := 0;
+      (* batch: automatic policy honors the override, explicit --jobs wins *)
+      let _, auto = Batch.run (inline_jobs 7 24) in
+      Alcotest.(check int) "batch auto honors RWT_WORKERS" 3 auto.Batch.workers;
+      let _, expl = Batch.run ~jobs:2 (inline_jobs 7 24) in
+      Alcotest.(check int) "explicit jobs beats env" 2 expl.Batch.workers;
+      Unix.putenv "RWT_WORKERS" "banana";
+      Alcotest.(check (option int)) "malformed env ignored" None
+        (Rwt_pool.env_workers ());
+      Unix.putenv "RWT_WORKERS" "-2";
+      Alcotest.(check (option int)) "non-positive env ignored" None
+        (Rwt_pool.env_workers ()))
+
+(* ------------------------------------------------------------------ *)
 (* Dedup / memo cache                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -182,10 +244,17 @@ let ndjson_units () =
   | _ -> Alcotest.fail "unparsable timed line"
 
 let () =
+  (* hermetic: a stray RWT_WORKERS in the environment would change the
+     automatic worker policy that several tests assert on ("" is ignored) *)
+  Unix.putenv "RWT_WORKERS" "";
   Alcotest.run "rwt_batch"
     [ ( "determinism", [ qtest determinism_across_workers ] );
       ( "workers",
-        [ Alcotest.test_case "worker policy" `Quick worker_policy_units ] );
+        [ Alcotest.test_case "worker policy" `Quick worker_policy_units;
+          Alcotest.test_case "env override" `Quick env_workers_units ] );
+      ( "pool",
+        [ Alcotest.test_case "empty task set" `Quick pool_empty_units;
+          qtest chunk_determinism ] );
       ( "cache", [ Alcotest.test_case "units" `Quick cache_units ] );
       ( "timeout", [ Alcotest.test_case "units" `Quick timeout_units ] );
       ( "parse", [ Alcotest.test_case "units" `Quick parse_units ] );

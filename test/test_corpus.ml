@@ -1,0 +1,121 @@
+(* Tests for Rwt_experiments.Corpus: the headline scaling property — runner
+   output (periods and NDJSON ordering) is bit-identical across worker
+   counts and chunk sizes, for both solver kernels — plus the committed
+   tiny-tier snapshot and the corpus builder's determinism. *)
+
+module Corpus = Rwt_experiments.Corpus
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* One Tiny build shared by every test: building is cheap, solving is the
+   expensive part, so the baselines are computed lazily exactly once. *)
+let entries = lazy (Corpus.build Corpus.Tiny)
+
+let baseline kernel =
+  Corpus.to_ndjson (Corpus.run ~workers:1 ~kernel (Lazy.force entries))
+
+let screened_baseline = lazy (baseline Corpus.Screened)
+let exact_baseline = lazy (baseline Corpus.Exact_howard)
+
+(* ------------------------------------------------------------------ *)
+(* Builder determinism and shape                                       *)
+(* ------------------------------------------------------------------ *)
+
+let build_units () =
+  let es = Lazy.force entries in
+  let expected =
+    List.length Corpus.all_families * Corpus.per_family Corpus.Tiny
+  in
+  Alcotest.(check int) "tiny corpus size" expected (Array.length es);
+  (* same seed -> same ids and instances; different seed -> same ids but
+     (almost surely) different instances *)
+  let es' = Corpus.build Corpus.Tiny in
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check string) "stable id" e.Corpus.id es'.(i).Corpus.id)
+    es;
+  let ids = Array.map (fun e -> e.Corpus.id) es in
+  let dedup = List.sort_uniq compare (Array.to_list ids) in
+  Alcotest.(check int) "ids unique" (Array.length ids) (List.length dedup)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identical output across workers / chunk sizes / kernels         *)
+(* ------------------------------------------------------------------ *)
+
+let same_bytes ~kernel ~workers ~chunk =
+  let base =
+    Lazy.force
+      (match kernel with
+      | Corpus.Screened -> screened_baseline
+      | Corpus.Exact_howard -> exact_baseline)
+  in
+  let out =
+    match chunk with
+    | 0 -> Corpus.run ~workers ~kernel (Lazy.force entries)
+    | c -> Corpus.run ~workers ~chunk:c ~kernel (Lazy.force entries)
+  in
+  String.equal base (Corpus.to_ndjson out)
+
+let screened_determinism =
+  QCheck.Test.make ~count:8
+    ~name:"screened corpus NDJSON bit-identical across workers and chunks"
+    QCheck.(
+      pair (oneofl [ 1; 2; 4 ]) (oneofl [ 0; 1; 3; 16 ]))
+    (fun (workers, chunk) ->
+      same_bytes ~kernel:Corpus.Screened ~workers ~chunk)
+
+(* the exact kernel is ~50x slower, so pin the worker/chunk grid small *)
+let exact_determinism () =
+  List.iter
+    (fun (workers, chunk) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exact kernel identical at workers=%d chunk=%d"
+           workers chunk)
+        true
+        (same_bytes ~kernel:Corpus.Exact_howard ~workers ~chunk))
+    [ (2, 0); (4, 1) ]
+
+(* screened and exact must agree on every period, not just with themselves *)
+let kernels_agree () =
+  Alcotest.(check string) "screened = exact"
+    (Lazy.force screened_baseline)
+    (Lazy.force exact_baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Committed snapshot                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_path = "../bench/snapshots/corpus_tiny.ndjson"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let snapshot_units () =
+  let rows = Corpus.run ~workers:2 ~kernel:Corpus.Screened (Lazy.force entries) in
+  (match Corpus.check_snapshot ~path:snapshot_path rows with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("tiny snapshot drifted: " ^ e));
+  (* a perturbed row must be caught, and the error must say where *)
+  let bad =
+    Array.mapi
+      (fun i r ->
+        if i = 1 then { r with Corpus.rperiod = Rwt_util.Rat.of_int 424242 }
+        else r)
+      rows
+  in
+  match Corpus.check_snapshot ~path:snapshot_path bad with
+  | Ok () -> Alcotest.fail "perturbed corpus passed the snapshot check"
+  | Error e ->
+      Alcotest.(check bool) "error names line 2" true
+        (contains ~sub:"line 2" e)
+
+let () =
+  Alcotest.run "rwt_corpus"
+    [ ( "build", [ Alcotest.test_case "determinism" `Quick build_units ] );
+      ( "determinism",
+        [ qtest screened_determinism;
+          Alcotest.test_case "exact kernel" `Slow exact_determinism;
+          Alcotest.test_case "kernels agree" `Quick kernels_agree ] );
+      ( "snapshot", [ Alcotest.test_case "units" `Quick snapshot_units ] ) ]
